@@ -1,0 +1,90 @@
+// BEN-CLOSURE: derived iteration — powers, transitive closure, reachability
+// — on chain, tree and random graphs. Semi-naive closure cost tracks
+// |R⁺| · depth; indexed reachability touches only the frontier.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/core/builder.h"
+#include "src/ops/closure.h"
+
+namespace xst {
+namespace {
+
+// A chain 0 → 1 → … → n-1 (worst-case depth for closure).
+XSet ChainGraph(int64_t n) {
+  XSetBuilder builder;
+  for (int64_t i = 0; i + 1 < n; ++i) {
+    builder.Add(XSet::Pair(XSet::Int(i), XSet::Int(i + 1)));
+  }
+  return builder.Build();
+}
+
+// A complete binary tree with n nodes (logarithmic depth).
+XSet TreeGraph(int64_t n) {
+  XSetBuilder builder;
+  for (int64_t i = 1; i < n; ++i) {
+    builder.Add(XSet::Pair(XSet::Int((i - 1) / 2), XSet::Int(i)));
+  }
+  return builder.Build();
+}
+
+void BM_TransitiveClosureChain(benchmark::State& state) {
+  XSet r = ChainGraph(state.range(0));
+  for (auto _ : state) {
+    auto closure = TransitiveClosure(r);
+    benchmark::DoNotOptimize(closure);
+  }
+  // |R⁺| of an n-chain is n(n−1)/2.
+  state.SetItemsProcessed(state.iterations() * state.range(0) * (state.range(0) - 1) / 2);
+}
+// Chain closure is O(depth · |R⁺|): kept small, the point is the shape.
+BENCHMARK(BM_TransitiveClosureChain)->Arg(32)->Arg(128);
+
+void BM_TransitiveClosureTree(benchmark::State& state) {
+  XSet r = TreeGraph(state.range(0));
+  for (auto _ : state) {
+    auto closure = TransitiveClosure(r);
+    benchmark::DoNotOptimize(closure);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TransitiveClosureTree)->Arg(1 << 8)->Arg(1 << 12);
+
+void BM_RelationPowerSquare(benchmark::State& state) {
+  XSet r = TreeGraph(state.range(0));
+  for (auto _ : state) {
+    auto squared = RelationPower(r, 2);
+    benchmark::DoNotOptimize(squared);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RelationPowerSquare)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_ReachableFromRoot(benchmark::State& state) {
+  XSet r = TreeGraph(state.range(0));
+  XSet root = XSet::Classical({XSet::Tuple({XSet::Int(0)})});
+  for (auto _ : state) {
+    auto reached = Reachable(r, root);
+    benchmark::DoNotOptimize(reached);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ReachableFromRoot)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_ReachableFromLeaf(benchmark::State& state) {
+  // Frontier dies immediately: cost is index build + O(1) sweep, showing
+  // reachability is output-sensitive, unlike full closure.
+  XSet r = TreeGraph(state.range(0));
+  XSet leaf = XSet::Classical({XSet::Tuple({XSet::Int(state.range(0) - 1)})});
+  for (auto _ : state) {
+    auto reached = Reachable(r, leaf);
+    benchmark::DoNotOptimize(reached);
+  }
+}
+BENCHMARK(BM_ReachableFromLeaf)->Arg(1 << 12);
+
+}  // namespace
+}  // namespace xst
+
+BENCHMARK_MAIN();

@@ -1,0 +1,170 @@
+// BEN-COMP: composition as optimization (paper §11, Theorem 11.2).
+//
+// A k-hop navigation query is evaluated two ways:
+//   staged    g(f(x)) … — every hop materializes an intermediate set;
+//   composed  h(x) with h = f /σω g … built ONCE, then reused per query.
+//
+// The paper's claim is amortization: the composed carrier costs one relative
+// product up front, after which each application touches no intermediates.
+// The staged/composed gap widens with hop count and with the number of
+// queries sharing the composed carrier.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/ops/index.h"
+#include "src/process/compose.h"
+#include "src/xsp/eval.h"
+#include "src/xsp/optimizer.h"
+
+namespace xst {
+namespace {
+
+// A chain of hop relations: layer i maps node j to nodes of layer i+1.
+std::vector<XSet> HopRelations(int hops, int64_t nodes, int64_t fanout) {
+  std::vector<XSet> layers;
+  for (int h = 0; h < hops; ++h) {
+    XSetBuilder builder;
+    for (int64_t i = 0; i < nodes; ++i) {
+      for (int64_t f = 0; f < fanout; ++f) {
+        builder.Add(XSet::Pair(XSet::Int(h * 1000000 + i),
+                               XSet::Int((h + 1) * 1000000 + (i * fanout + f) % nodes)));
+      }
+    }
+    layers.push_back(builder.Build());
+  }
+  return layers;
+}
+
+XSet ProbeFor(int64_t node) {
+  return XSet::Classical({XSet::Tuple({XSet::Int(node)})});
+}
+
+void BM_StagedApplication(benchmark::State& state) {
+  const int hops = static_cast<int>(state.range(0));
+  const int64_t nodes = 1 << 12;
+  std::vector<XSet> layers = HopRelations(hops, nodes, 2);
+  std::vector<Process> chain;
+  for (const XSet& layer : layers) chain.push_back(Process(layer, Sigma::Std()));
+  int64_t which = 0;
+  for (auto _ : state) {
+    XSet value = ProbeFor(which++ % nodes);
+    for (const Process& hop : chain) value = hop.Apply(value);
+    benchmark::DoNotOptimize(value);
+  }
+}
+BENCHMARK(BM_StagedApplication)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_ComposedApplication(benchmark::State& state) {
+  // The composed carrier is built outside the timed loop: Theorem 11.2 says
+  // it exists and is a set; the benchmark shows what reusing it buys.
+  const int hops = static_cast<int>(state.range(0));
+  const int64_t nodes = 1 << 12;
+  std::vector<XSet> layers = HopRelations(hops, nodes, 2);
+  Process composed(layers[0], Sigma::Std());
+  for (int h = 1; h < hops; ++h) {
+    composed = ComposeStd(Process(layers[h], Sigma::Std()), composed);
+  }
+  int64_t which = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(composed.Apply(ProbeFor(which++ % nodes)));
+  }
+}
+BENCHMARK(BM_ComposedApplication)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_StagedIndexedApplication(benchmark::State& state) {
+  // Staged hops, each behind an ImageIndex: k indexed lookups per query,
+  // k−1 intermediate sets still built.
+  const int hops = static_cast<int>(state.range(0));
+  const int64_t nodes = 1 << 12;
+  std::vector<XSet> layers = HopRelations(hops, nodes, 2);
+  std::vector<ImageIndex> indexes;
+  for (const XSet& layer : layers) indexes.emplace_back(layer, Sigma::Std());
+  int64_t which = 0;
+  for (auto _ : state) {
+    XSet value = ProbeFor(which++ % nodes);
+    for (const ImageIndex& index : indexes) value = index.Lookup(value);
+    benchmark::DoNotOptimize(value);
+  }
+}
+BENCHMARK(BM_StagedIndexedApplication)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_ComposedIndexedApplication(benchmark::State& state) {
+  // The §11 regime: compose once, index once, then every query is a single
+  // O(result) lookup with no intermediates at all.
+  const int hops = static_cast<int>(state.range(0));
+  const int64_t nodes = 1 << 12;
+  std::vector<XSet> layers = HopRelations(hops, nodes, 2);
+  Process composed(layers[0], Sigma::Std());
+  for (int h = 1; h < hops; ++h) {
+    composed = ComposeStd(Process(layers[h], Sigma::Std()), composed);
+  }
+  ImageIndex index(composed.set(), composed.sigma());
+  int64_t which = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Lookup(ProbeFor(which++ % nodes)));
+  }
+}
+BENCHMARK(BM_ComposedIndexedApplication)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_ComposeConstruction(benchmark::State& state) {
+  // The up-front cost the composed plan pays once.
+  const int hops = static_cast<int>(state.range(0));
+  const int64_t nodes = 1 << 12;
+  std::vector<XSet> layers = HopRelations(hops, nodes, 2);
+  for (auto _ : state) {
+    Process composed(layers[0], Sigma::Std());
+    for (int h = 1; h < hops; ++h) {
+      composed = ComposeStd(Process(layers[h], Sigma::Std()), composed);
+    }
+    benchmark::DoNotOptimize(composed);
+  }
+}
+BENCHMARK(BM_ComposeConstruction)->Arg(2)->Arg(4);
+
+void BM_XspPlanStaged(benchmark::State& state) {
+  // The same comparison at the XSP plan level, staged variant.
+  const int64_t nodes = 1 << 12;
+  std::vector<XSet> layers = HopRelations(3, nodes, 2);
+  xsp::Bindings env{{"h0", layers[0]}, {"h1", layers[1]}, {"h2", layers[2]}};
+  int64_t which = 0;
+  for (auto _ : state) {
+    xsp::ExprPtr plan = xsp::Expr::Image(
+        xsp::Expr::Named("h2"),
+        xsp::Expr::Image(xsp::Expr::Named("h1"),
+                         xsp::Expr::Image(xsp::Expr::Named("h0"),
+                                          xsp::Expr::Literal(ProbeFor(which++ % nodes)),
+                                          Sigma::Std()),
+                         Sigma::Std()),
+        Sigma::Std());
+    benchmark::DoNotOptimize(xsp::Eval(plan, env));
+  }
+}
+BENCHMARK(BM_XspPlanStaged);
+
+void BM_XspPlanOptimized(benchmark::State& state) {
+  // Optimizer applied once (composition happens at plan time), evaluation
+  // repeated — the amortized regime.
+  const int64_t nodes = 1 << 12;
+  std::vector<XSet> layers = HopRelations(3, nodes, 2);
+  xsp::Bindings env{{"h0", layers[0]}, {"h1", layers[1]}, {"h2", layers[2]}};
+  xsp::ExprPtr probe_hole = xsp::Expr::Named("probe");
+  xsp::ExprPtr plan = xsp::Expr::Image(
+      xsp::Expr::Named("h2"),
+      xsp::Expr::Image(xsp::Expr::Named("h1"),
+                       xsp::Expr::Image(xsp::Expr::Named("h0"), probe_hole, Sigma::Std()),
+                       Sigma::Std()),
+      Sigma::Std());
+  Result<xsp::ExprPtr> optimized = xsp::Optimize(plan, env);
+  int64_t which = 0;
+  for (auto _ : state) {
+    env["probe"] = ProbeFor(which++ % nodes);
+    benchmark::DoNotOptimize(xsp::Eval(*optimized, env));
+  }
+}
+BENCHMARK(BM_XspPlanOptimized);
+
+}  // namespace
+}  // namespace xst
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// BEN-OPS (part 2): image / restriction / σ-domain scaling, including the
+// singleton-probe fast path vs. the general subset-embedding path.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/ops/domain.h"
+#include "src/ops/image.h"
+#include "src/ops/rescope.h"
+#include "src/ops/restrict.h"
+
+namespace xst {
+namespace {
+
+void BM_SigmaDomainProject(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  XSet r = bench::PairRelation(n);
+  XSet spec = XSet::Tuple({XSet::Int(2)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SigmaDomain(r, spec));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SigmaDomainProject)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+
+void BM_RestrictPointLookup(benchmark::State& state) {
+  // One singleton probe against an n-pair relation (the fast path).
+  const int64_t n = state.range(0);
+  XSet r = bench::PairRelation(n);
+  XSet probe = bench::UnaryTuples(n / 2, n / 2 + 1);
+  XSet sigma1 = XSet::Tuple({XSet::Int(1)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SigmaRestrict(r, sigma1, probe));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RestrictPointLookup)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+
+void BM_RestrictManyProbes(benchmark::State& state) {
+  // n/8 probes at once — one hash-set build, one scan.
+  const int64_t n = state.range(0);
+  XSet r = bench::PairRelation(n);
+  XSet probes = bench::UnaryTuples(0, n / 8);
+  XSet sigma1 = XSet::Tuple({XSet::Int(1)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SigmaRestrict(r, sigma1, probes));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RestrictManyProbes)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+
+void BM_RestrictGeneralPath(benchmark::State& state) {
+  // Two-membership probes defeat the singleton fast path: the general
+  // subset-embedding scan is O(|R|·probes).
+  const int64_t n = state.range(0);
+  XSet r = bench::PairRelation(n);
+  XSet probe = XSet::Classical(
+      {XSet::Pair(XSet::Int(n / 2), XSet::Int(n / 2))});  // ⟨k,k⟩: 2 memberships
+  XSet sigma1 = XSet::FromMembers({M(XSet::Int(1), XSet::Int(1)),
+                                   M(XSet::Int(2), XSet::Int(2))});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SigmaRestrict(r, sigma1, probe));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RestrictGeneralPath)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+
+void BM_ImagePointQuery(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  XSet r = bench::PairRelation(n);
+  XSet probe = bench::UnaryTuples(n / 3, n / 3 + 1);
+  Sigma sigma = Sigma::Std();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Image(r, probe, sigma));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ImagePointQuery)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+
+void BM_ImageInverseQuery(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  XSet r = bench::PairRelation(n, /*fanout=*/4);
+  XSet probe = XSet::Classical({XSet::Tuple({XSet::Int(4 * (n / 3))})});
+  Sigma inv = Sigma::Inv();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Image(r, probe, inv));
+  }
+  state.SetItemsProcessed(state.iterations() * n * 4);
+}
+BENCHMARK(BM_ImageInverseQuery)->Arg(1 << 10)->Arg(1 << 13);
+
+void BM_RescopeByScope(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  // One wide tuple re-scoped by a permutation spec.
+  std::vector<XSet> elems;
+  for (int64_t i = 0; i < n; ++i) elems.push_back(XSet::Int(i % 7));
+  XSet tuple = XSet::Tuple(elems);
+  std::vector<Membership> spec;
+  for (int64_t i = 1; i <= n; ++i) {
+    spec.push_back(M(XSet::Int(i), XSet::Int(n + 1 - i)));
+  }
+  XSet sigma = XSet::FromMembers(std::move(spec));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RescopeByScope(tuple, sigma));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RescopeByScope)->Arg(1 << 6)->Arg(1 << 10);
+
+}  // namespace
+}  // namespace xst
+
+BENCHMARK_MAIN();

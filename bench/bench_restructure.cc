@@ -1,0 +1,116 @@
+// BEN-RESTRUCT (ablation): dynamic data restructuring vs. prestructured
+// storage — the companion claim of the paper family ("Set Processing vs
+// Record Processing / Dynamic Data Restructuring vs Prestructured Data
+// Storage").
+//
+// Setting: orders are stored in arrival layout ⟨order_id, customer_id,
+// amount⟩, but a reporting workload wants them keyed by customer, i.e. the
+// permuted layout ⟨customer_id, order_id, amount⟩.
+//
+//   prestructured   keep a second physical copy in the permuted layout
+//                   (2× storage, every update writes twice);
+//   dynamic         keep one copy; permuting IS one σ-domain call with a
+//                   permutation spec, done on demand and amortizable.
+//
+// The shape to reproduce: a dynamic restructure costs one linear pass —
+// roughly a scan, much less than maintaining a copy — and once restructured
+// (or indexed) per-query costs match the prestructured copy exactly.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/core/atom.h"
+#include "src/ops/domain.h"
+#include "src/ops/index.h"
+#include "src/rel/generator.h"
+#include "src/store/codec.h"
+
+namespace xst {
+namespace {
+
+using lit::Spec;
+
+// ⟨order_id, customer_id, amount⟩ → ⟨customer_id, order_id, amount⟩.
+const std::vector<std::pair<int64_t, int64_t>> kPermutation = {{2, 1}, {1, 2}, {3, 3}};
+
+XSet ArrivalLayout(int64_t n) {
+  rel::WorkloadSpec spec;
+  spec.row_count = static_cast<size_t>(n);
+  spec.key_cardinality = std::max<int64_t>(n / 16, 4);
+  spec.seed = 7;
+  auto orders = rel::MakeOrders(spec);
+  return orders->xst.tuples();
+}
+
+void BM_DynamicRestructure(benchmark::State& state) {
+  // The on-demand permutation: one σ-domain call.
+  XSet stored = ArrivalLayout(state.range(0));
+  XSet permutation = Spec(kPermutation);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SigmaDomain(stored, permutation));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DynamicRestructure)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_FullScanBaselineForScale(benchmark::State& state) {
+  // Reference cost of touching every tuple once (an identity σ-domain),
+  // to show the restructure is scan-priced.
+  XSet stored = ArrivalLayout(state.range(0));
+  XSet identity = Spec({{1, 1}, {2, 2}, {3, 3}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SigmaDomain(stored, identity));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FullScanBaselineForScale)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_PrestructuredQuery(benchmark::State& state) {
+  // The second copy exists (built and indexed outside the loop); queries
+  // hit it directly.
+  XSet copy = SigmaDomain(ArrivalLayout(state.range(0)), Spec(kPermutation));
+  ImageIndex index(copy, Sigma{Spec({{1, 1}}), Spec({{1, 1}, {2, 2}, {3, 3}})});
+  int64_t key = 0;
+  const int64_t cardinality = std::max<int64_t>(state.range(0) / 16, 4);
+  for (auto _ : state) {
+    XSet probe = XSet::Classical({XSet::Tuple({XSet::Int(key++ % cardinality)})});
+    benchmark::DoNotOptimize(index.Lookup(probe));
+  }
+}
+BENCHMARK(BM_PrestructuredQuery)->Arg(1 << 15);
+
+void BM_DynamicRestructureThenQuery(benchmark::State& state) {
+  // One copy on disk; restructure + index once (amortized, outside the
+  // loop), then identical per-query costs.
+  XSet stored = ArrivalLayout(state.range(0));
+  XSet restructured = SigmaDomain(stored, Spec(kPermutation));
+  ImageIndex index(restructured, Sigma{Spec({{1, 1}}), Spec({{1, 1}, {2, 2}, {3, 3}})});
+  int64_t key = 0;
+  const int64_t cardinality = std::max<int64_t>(state.range(0) / 16, 4);
+  for (auto _ : state) {
+    XSet probe = XSet::Classical({XSet::Tuple({XSet::Int(key++ % cardinality)})});
+    benchmark::DoNotOptimize(index.Lookup(probe));
+  }
+}
+BENCHMARK(BM_DynamicRestructureThenQuery)->Arg(1 << 15);
+
+void BM_StorageAmplification(benchmark::State& state) {
+  // Not a timing benchmark per se: reports the storage the prestructured
+  // strategy pays for each extra layout, as counters.
+  XSet stored = ArrivalLayout(state.range(0));
+  XSet copy = SigmaDomain(stored, Spec(kPermutation));
+  size_t one_copy = 0, two_copies = 0;
+  for (auto _ : state) {
+    one_copy = EncodeXSetToString(stored).size();
+    two_copies = one_copy + EncodeXSetToString(copy).size();
+    benchmark::DoNotOptimize(two_copies);
+  }
+  state.counters["bytes_one_copy"] = static_cast<double>(one_copy);
+  state.counters["bytes_prestructured"] = static_cast<double>(two_copies);
+}
+BENCHMARK(BM_StorageAmplification)->Arg(1 << 14);
+
+}  // namespace
+}  // namespace xst
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// BEN-OPS (part 1): Boolean-operator scaling on extended sets.
+//
+// Union/intersection/difference are sorted-membership merges — the expected
+// shape is linear in |A| + |B|, which is the algebraic substrate the paper's
+// set-processing claims stand on.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/ops/boolean.h"
+#include "src/ops/powerset.h"
+
+namespace xst {
+namespace {
+
+void BM_Union(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  XSet a = bench::PairRelation(n);
+  XSet b = bench::PairRelation(n, 1, /*value_offset=*/n / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Union(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_Union)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+
+void BM_Intersect(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  XSet a = bench::PairRelation(n);
+  XSet b = bench::PairRelation(n, 1, n / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Intersect(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_Intersect)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+
+void BM_Difference(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  XSet a = bench::PairRelation(n);
+  XSet b = bench::PairRelation(n, 1, n / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Difference(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_Difference)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+
+void BM_SubsetCheck(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  XSet whole = bench::PairRelation(n);
+  XSet half = bench::PairRelation(n / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsSubset(half, whole));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SubsetCheck)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_BuildCanonical(benchmark::State& state) {
+  // Cost of canonicalization + interning for a fresh n-member set. Built
+  // from reversed inputs so sorting does real work; a nonce membership
+  // defeats the interner's structural cache across iterations.
+  const int64_t n = state.range(0);
+  std::vector<Membership> members;
+  for (int64_t i = n; i > 0; --i) {
+    members.push_back(M(XSet::Pair(XSet::Int(i), XSet::Int(i))));
+  }
+  int64_t nonce = 0;
+  for (auto _ : state) {
+    std::vector<Membership> batch = members;
+    batch.push_back(M(XSet::Int(1000000000 + nonce++)));
+    benchmark::DoNotOptimize(XSet::FromMembers(std::move(batch)));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BuildCanonical)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_InternedEqualityIsO1(benchmark::State& state) {
+  // Structural equality on interned values is pointer comparison, size
+  // independent — the property everything else leans on.
+  const int64_t n = state.range(0);
+  XSet a = bench::PairRelation(n);
+  XSet b = bench::PairRelation(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a == b);
+  }
+}
+BENCHMARK(BM_InternedEqualityIsO1)->Arg(1 << 4)->Arg(1 << 16);
+
+void BM_PowerSet(benchmark::State& state) {
+  XSet a = bench::IntAtoms(state.range(0));
+  for (auto _ : state) {
+    auto p = PowerSet(a);
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << state.range(0)));
+}
+BENCHMARK(BM_PowerSet)->Arg(8)->Arg(12)->Arg(16);
+
+}  // namespace
+}  // namespace xst
+
+BENCHMARK_MAIN();

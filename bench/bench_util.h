@@ -1,0 +1,44 @@
+// Shared builders for the benchmark binaries.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/builder.h"
+#include "src/core/xset.h"
+
+namespace xst {
+namespace bench {
+
+/// \brief A classical set of pairs ⟨kᵢ, vᵢ⟩ with keys 0..n-1 (one value per
+/// key when fanout == 1).
+inline XSet PairRelation(int64_t n, int64_t fanout = 1, int64_t value_offset = 0) {
+  XSetBuilder builder(static_cast<size_t>(n * fanout));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t f = 0; f < fanout; ++f) {
+      builder.Add(XSet::Pair(XSet::Int(i), XSet::Int(value_offset + i * fanout + f)));
+    }
+  }
+  return builder.Build();
+}
+
+/// \brief A classical set of 1-tuples ⟨k⟩ for k in [lo, hi).
+inline XSet UnaryTuples(int64_t lo, int64_t hi) {
+  XSetBuilder builder(static_cast<size_t>(hi - lo));
+  for (int64_t i = lo; i < hi; ++i) {
+    builder.Add(XSet::Tuple({XSet::Int(i)}));
+  }
+  return builder.Build();
+}
+
+/// \brief A classical set of n distinct integer atoms.
+inline XSet IntAtoms(int64_t n, int64_t offset = 0) {
+  XSetBuilder builder(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) builder.Add(XSet::Int(offset + i));
+  return builder.Build();
+}
+
+}  // namespace bench
+}  // namespace xst

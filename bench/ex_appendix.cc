@@ -1,0 +1,82 @@
+// EX-A2 / EX-B reproduction: the worked examples of Appendices A and B,
+// printed with derived values and checked against the paper's stated
+// results.
+
+#include <cstdio>
+
+#include "src/core/parse.h"
+#include "src/process/process.h"
+
+using namespace xst;
+
+namespace {
+
+int g_failures = 0;
+
+void Check(const char* label, const XSet& derived, const char* expected_text) {
+  XSet expected = ParseOrDie(expected_text);
+  bool ok = derived == expected;
+  if (!ok) ++g_failures;
+  std::printf("  %-34s %s %s\n", label, derived.ToString().c_str(),
+              ok ? "(matches paper)" : ("EXPECTED " + expected.ToString()).c_str());
+}
+
+void CheckBehavior(const char* label, const Process& derived, const Process& expected) {
+  bool ok = ExtensionallyEqual(derived, expected);
+  if (!ok) ++g_failures;
+  std::printf("  %-34s carrier %s %s\n", label, derived.set().ToString().c_str(),
+              ok ? "(behaves as stated)" : "MISMATCH");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("EX-A2: the two readings of f_(sigma) g_(omega) (h) disagree\n");
+  std::printf("===========================================================\n");
+  Process f(ParseOrDie("{<y, z>^{{}^1, {}^2}, <a, x, b, k>^{{}^1, {}^2, {}^3, {}^4}}"),
+            Sigma{ParseOrDie("<1, 3>"), ParseOrDie("<2, 4>")});
+  Process g(ParseOrDie("{<x, y>^{{}^1, {}^2}, <a, b>^{{}^1, {}^2}}"), Sigma::Std());
+  XSet h = ParseOrDie("{<x>^{{}^1}}");
+
+  Check("g_(omega)(h):", g.Apply(h), "{<y>^{{}^1}}");
+  Check("f_(sigma)(g):", f.Apply(g.set()), "{<x, k>^{{}^1, {}^2}}");
+  XSet reading_a = f.Apply(g.Apply(h));
+  XSet reading_b = f.ApplyToProcess(g).Apply(h);
+  Check("reading (a) f(g(h)):", reading_a, "{<z>^{{}^1}}");
+  Check("reading (b) (f(g))(h):", reading_b, "{<k>^{{}^1}}");
+  bool distinct = !reading_a.empty() && !reading_b.empty() && reading_a != reading_b;
+  if (!distinct) ++g_failures;
+  std::printf("  both non-empty and different:      %s\n\n", distinct ? "yes" : "NO");
+
+  std::printf("EX-B: self-application derives g1..g4 from one carrier\n");
+  std::printf("=======================================================\n");
+  XSet fb = ParseOrDie("{<a, a, a, b, b>, <b, b, a, a, b>}");
+  Process f_sigma(fb, Sigma::Std());
+  Process f_omega(fb, Sigma{ParseOrDie("<1>"), ParseOrDie("<1, 3, 4, 5, 2>")});
+  Check("f_(sigma)({<a>}):", f_sigma.Apply(ParseOrDie("{<a>}")), "{<a>}");
+  Check("f_(omega)({<a>}):", f_omega.Apply(ParseOrDie("{<a>}")), "{<a, a, b, b, a>}");
+  Check("f_(omega)({<b>}):", f_omega.Apply(ParseOrDie("{<b>}")), "{<b, a, a, b, b>}");
+
+  Process g1(ParseOrDie("{<a, a>, <b, b>}"), Sigma::Std());
+  Process g2(ParseOrDie("{<a, a>, <b, a>}"), Sigma::Std());
+  Process g3(ParseOrDie("{<a, b>, <b, a>}"), Sigma::Std());
+  Process g4(ParseOrDie("{<a, b>, <b, b>}"), Sigma::Std());
+  CheckBehavior("(a) f_(sigma) = g1 (identity):", f_sigma, g1);
+  CheckBehavior("(b) f_om(f_sg) = g2:", f_omega.ApplyToProcess(f_sigma), g2);
+  CheckBehavior("(c) f_om^2(f_sg) = g3:",
+                f_omega.ApplyToProcess(f_omega).ApplyToProcess(f_sigma), g3);
+  CheckBehavior("(d) f_om^3(f_sg) = g4:",
+                f_omega.ApplyToProcess(f_omega)
+                    .ApplyToProcess(f_omega)
+                    .ApplyToProcess(f_sigma),
+                g4);
+  CheckBehavior("    f_om^4(f_sg) = g1 (cycle):",
+                f_omega.ApplyToProcess(f_omega)
+                    .ApplyToProcess(f_omega)
+                    .ApplyToProcess(f_omega)
+                    .ApplyToProcess(f_sigma),
+                g1);
+
+  std::printf("\nverdict:  %s\n", g_failures == 0 ? "MATCH" : "MISMATCH");
+  return g_failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+// FIG-E reproduction: the refined process-space lattice of Appendix E —
+// "Refined Spaces: Process (29), Non-Empty Function (12)".
+//
+// Inhabitation is established by enumeration across a family of carrier
+// sizes (different spaces need different witness shapes, e.g. the
+// many-to-one-only onto function space first appears at |A|=4, |B|=2).
+// Exactly one of the 29 spaces is provably empty: the no-association space
+// "()" — every non-empty process exhibits some association.
+
+#include <cstdio>
+
+#include "src/process/lattice.h"
+#include "src/process/witness.h"
+
+using namespace xst;
+
+int main() {
+  std::printf("FIG-E: refined process-space lattice (paper Appendix E)\n");
+  std::printf("========================================================\n\n");
+
+  const std::pair<int, int> kSizes[] = {{2, 2}, {3, 2}, {4, 2}, {2, 3}, {2, 4}, {3, 3}};
+  std::vector<SpaceId> spaces = AllRefinedSpaces();
+  std::vector<bool> inhabited(spaces.size(), false);
+  size_t relations = 0;
+  for (const auto& [a, b] : kSizes) {
+    LatticeReport report = EnumerateLattice(a, b, /*refined=*/true);
+    relations += report.relations_enumerated;
+    for (size_t i = 0; i < spaces.size(); ++i) {
+      if (report.inhabited[i]) inhabited[i] = true;
+    }
+  }
+
+  size_t function_spaces = 0, function_inhabited = 0, total_inhabited = 0;
+  size_t witnesses_agree = 0;
+  std::printf("space  function  inhabited  synthesized witness (carrier |A|x|B|)\n");
+  for (size_t i = 0; i < spaces.size(); ++i) {
+    bool fn = spaces[i].IsFunctionSpace();
+    function_spaces += fn;
+    function_inhabited += fn && inhabited[i];
+    total_inhabited += inhabited[i];
+    std::optional<SpaceWitness> witness = SynthesizeWitness(spaces[i]);
+    // The constructive path must agree with the enumerative one.
+    if (witness.has_value() == inhabited[i] &&
+        (!witness.has_value() ||
+         Inhabits(witness->process, witness->a, witness->b, spaces[i]))) {
+      ++witnesses_agree;
+    }
+    std::string detail = "-";
+    if (witness.has_value()) {
+      detail = witness->process.set().ToString();
+      if (detail.size() > 44) detail.resize(44);
+      detail += "  (" + std::to_string(witness->a_size) + "x" +
+                std::to_string(witness->b_size) + ")";
+    }
+    std::printf("%-6s %-9s %-10s %s\n", spaces[i].Notation().c_str(), fn ? "yes" : "no",
+                inhabited[i] ? "yes" : "EMPTY", detail.c_str());
+  }
+  std::printf("\nwitness synthesis agrees with enumeration on %zu/%zu spaces\n",
+              witnesses_agree, spaces.size());
+
+  // Regenerate the figure itself (Graphviz source).
+  const char* dot_path = "/tmp/xst_figE_lattice.dot";
+  if (FILE* f = std::fopen(dot_path, "w")) {
+    std::string dot = LatticeToDot(spaces, "appendix_e_refined_spaces");
+    std::fwrite(dot.data(), 1, dot.size(), f);
+    std::fclose(f);
+    std::printf("figure source written to %s (render with: dot -Tpng)\n", dot_path);
+  }
+
+  std::printf("\npaper:    29 refined process spaces, 12 non-empty function spaces\n");
+  std::printf("derived:  %zu spaces, %zu function spaces, %zu of them inhabited,\n",
+              spaces.size(), function_spaces, function_inhabited);
+  std::printf("          %zu spaces inhabited in total (over %zu enumerated relations)\n",
+              total_inhabited, relations);
+  bool ok = spaces.size() == 29 && function_spaces == 12 && function_inhabited == 12 &&
+            total_inhabited == 28 && witnesses_agree == spaces.size();
+  std::printf("verdict:  %s\n", ok ? "MATCH" : "MISMATCH");
+  return ok ? 0 : 1;
+}

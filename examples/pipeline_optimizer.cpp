@@ -1,0 +1,96 @@
+// Composition as query optimization (paper §11, Theorem 11.2).
+//
+// A three-hop navigation query is written naively as stacked images; the
+// XSP optimizer composes the stacked behaviors into one relative product so
+// the intermediate sets are never materialized. EXPLAIN output and the
+// evaluator's intermediate-cardinality counters show the difference.
+//
+// Run:  ./build/examples/pipeline_optimizer
+
+#include <cstdio>
+
+#include "src/core/builder.h"
+#include "src/core/xset.h"
+#include "src/xsp/eval.h"
+#include "src/xsp/optimizer.h"
+
+using namespace xst;
+using xsp::Expr;
+using xsp::ExprPtr;
+
+namespace {
+
+// supplier -> part -> machine -> product chains, fanout 4 at each level.
+XSet Edges(const char* from_prefix, const char* to_prefix, int n, int fanout) {
+  XSetBuilder builder;
+  for (int i = 0; i < n; ++i) {
+    for (int f = 0; f < fanout; ++f) {
+      builder.Add(XSet::Pair(
+          XSet::Symbol(std::string(from_prefix) + std::to_string(i)),
+          XSet::Symbol(std::string(to_prefix) + std::to_string((i * fanout + f) % n))));
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+int main() {
+  const int kNodes = 400;
+  xsp::Bindings env;
+  env["supplies"] = Edges("s", "p", kNodes, 4);   // supplier → part
+  env["feeds"] = Edges("p", "m", kNodes, 4);      // part → machine
+  env["produces"] = Edges("m", "o", kNodes, 4);   // machine → product
+
+  // Which products trace back to supplier s17?
+  ExprPtr probe = Expr::Literal(XSet::Classical({XSet::Tuple({XSet::Symbol("s17")})}));
+  ExprPtr staged = Expr::Image(
+      Expr::Named("produces"),
+      Expr::Image(Expr::Named("feeds"),
+                  Expr::Image(Expr::Named("supplies"), probe, Sigma::Std()),
+                  Sigma::Std()),
+      Sigma::Std());
+
+  std::printf("== staged plan (naive, three materialized hops) ==\n%s\n",
+              xsp::Explain(staged).c_str());
+  xsp::EvalStats staged_stats;
+  Result<XSet> staged_result = xsp::Eval(staged, env, &staged_stats);
+  if (!staged_result.ok()) {
+    std::fprintf(stderr, "eval failed: %s\n", staged_result.status().ToString().c_str());
+    return 1;
+  }
+
+  xsp::OptimizerStats opt;
+  Result<ExprPtr> optimized = xsp::Optimize(staged, env, &opt);
+  if (!optimized.ok()) {
+    std::fprintf(stderr, "optimize failed: %s\n", optimized.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("== optimized plan (Theorem 11.2 applied %d times) ==\n%s\n",
+              opt.compose_images, xsp::Explain(*optimized).c_str());
+  xsp::EvalStats optimized_stats;
+  Result<XSet> optimized_result = xsp::Eval(*optimized, env, &optimized_stats);
+  if (!optimized_result.ok()) {
+    std::fprintf(stderr, "eval failed: %s\n",
+                 optimized_result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("results identical: %s (%zu products)\n",
+              *staged_result == *optimized_result ? "yes" : "NO",
+              staged_result->cardinality());
+  std::printf("\n                    staged    optimized\n");
+  std::printf("plan nodes          %6lu    %9lu\n",
+              (unsigned long)staged_stats.nodes_evaluated,
+              (unsigned long)optimized_stats.nodes_evaluated);
+  std::printf("intermediate card.  %6lu    %9lu\n",
+              (unsigned long)staged_stats.intermediate_cardinality,
+              (unsigned long)optimized_stats.intermediate_cardinality);
+  std::printf("peak intermediate   %6lu    %9lu\n",
+              (unsigned long)staged_stats.peak_cardinality,
+              (unsigned long)optimized_stats.peak_cardinality);
+  std::printf(
+      "\nThe composed carrier is built once at plan time; re-running the query\n"
+      "for other suppliers amortizes it (see bench/bench_compose).\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Appendix B, live: one carrier set realizes four different behaviors
+// through nested self-application.
+//
+// f = {⟨a,a,a,b,b⟩, ⟨b,b,a,a,b⟩} read under two specifications:
+//   σ = ⟨⟨1⟩,⟨2⟩⟩            — the ordinary "first column to second column"
+//   ω = ⟨⟨1⟩,⟨1,3,4,5,2⟩⟩    — project a *permutation* of all five columns
+//
+// Each ω-application permutes the carrier's columns (the permutation
+// (2 5 4 3) has order 4), so stacking self-applications walks through all
+// four functions on {⟨a⟩, ⟨b⟩}: identity, constant-a, swap, constant-b.
+//
+// Run:  ./build/examples/self_application
+
+#include <cstdio>
+#include <vector>
+
+#include "src/core/parse.h"
+#include "src/process/process.h"
+#include "src/process/spaces.h"
+
+using namespace xst;
+
+namespace {
+
+void Describe(const char* label, const Process& p) {
+  XSet a = ParseOrDie("{<a>}");
+  XSet b = ParseOrDie("{<b>}");
+  std::printf("  %-28s a -> %-8s b -> %-8s carrier: %s\n", label,
+              p.Apply(a).ToString().c_str(), p.Apply(b).ToString().c_str(),
+              p.set().ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  XSet f = ParseOrDie("{<a, a, a, b, b>, <b, b, a, a, b>}");
+  Sigma sigma = Sigma::Std();
+  Sigma omega{ParseOrDie("<1>"), ParseOrDie("<1, 3, 4, 5, 2>")};
+  Process f_sigma(f, sigma);
+  Process f_omega(f, omega);
+
+  std::printf("the carrier f = %s\n\n", f.ToString().c_str());
+
+  std::printf("stacked self-applications (Def 4.1):\n");
+  Describe("f_sigma (= identity g1)", f_sigma);
+  Process g2 = f_omega.ApplyToProcess(f_sigma);
+  Describe("f_omega(f_sigma)  (= g2)", g2);
+  Process g3 = f_omega.ApplyToProcess(f_omega).ApplyToProcess(f_sigma);
+  Describe("f_omega^2(f_sigma) (= g3)", g3);
+  Process g4 =
+      f_omega.ApplyToProcess(f_omega).ApplyToProcess(f_omega).ApplyToProcess(f_sigma);
+  Describe("f_omega^3(f_sigma) (= g4)", g4);
+  Process g1_again = f_omega.ApplyToProcess(f_omega)
+                         .ApplyToProcess(f_omega)
+                         .ApplyToProcess(f_omega)
+                         .ApplyToProcess(f_sigma);
+  Describe("f_omega^4(f_sigma) (= g1)", g1_again);
+
+  std::printf("\nall derived behaviors are functions on A = {<a>, <b>}:\n");
+  XSet a_set = ParseOrDie("{<a>, <b>}");
+  int index = 1;
+  for (const Process& p : std::vector<Process>{f_sigma, g2, g3, g4}) {
+    std::printf("  g%d: function=%s  on=%s  onto=%s  1-1=%s\n", index++,
+                IsFunction(p) ? "yes" : "no", IsOn(p, a_set) ? "yes" : "no",
+                IsOnto(p, a_set) ? "yes" : "no", IsOneToOne(p) ? "yes" : "no");
+  }
+
+  std::printf("\nself-image f[f] (awkward in CST, ordinary here): %s\n",
+              f_omega.Apply(f).ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Example 9.1 from the paper: multi-valued operations with named branches.
+//
+// CST functions must pick one square root; XST returns the whole answer set
+// with each branch under its own scope, and 𝒱_σ selects a branch without
+// losing the others. The same pattern models any multi-valued computation
+// (DNS answers, versioned records, measurement candidates).
+//
+// Run:  ./build/examples/sqrt_multivalue
+
+#include <cstdio>
+
+#include "src/core/parse.h"
+#include "src/core/xset.h"
+#include "src/ops/value.h"
+#include "src/process/process.h"
+
+using namespace xst;
+
+namespace {
+
+// The four complex fourth-roots-squared of 16, tagged by branch:
+//   √16 = { ⟨2⟩^⟨plus⟩, ⟨-2⟩^⟨minus⟩, ⟨2i⟩^⟨i⟩, ⟨-2i⟩^⟨neg_i⟩ }
+XSet SqrtSet(int64_t n) {
+  // A toy integer square root for the demo (exact case only).
+  int64_t r = 0;
+  while (r * r < n) ++r;
+  return ParseOrDie("{<" + std::to_string(r) + ">^<plus>, <-" + std::to_string(r) +
+                    ">^<minus>, <i" + std::to_string(r) + ">^<i>, <neg_i" +
+                    std::to_string(r) + ">^<neg_i>}");
+}
+
+void ShowBranch(const XSet& roots, const char* branch) {
+  Result<XSet> value = SigmaValue(roots, XSet::Symbol(branch));
+  std::printf("  V_%-6s = %s\n", branch,
+              value.ok() ? value->ToString().c_str() : value.status().ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  XSet roots = SqrtSet(16);
+  std::printf("sqrt(16) as a scoped answer set:\n  %s\n\n", roots.ToString().c_str());
+
+  std::printf("branch selection with sigma-value (Def 9.8):\n");
+  ShowBranch(roots, "plus");
+  ShowBranch(roots, "minus");
+  ShowBranch(roots, "i");
+  ShowBranch(roots, "neg_i");
+  ShowBranch(roots, "missing");  // NotFound — the definition has no witness
+
+  // A classical single-valued reading embeds as the ∅-scope slice: a set
+  // carrying only ⟨4⟩ classically yields 𝒱 = 4 (Def 9.9).
+  XSet classical = ParseOrDie("{<4>}");
+  Result<XSet> v = Value(classical);
+  std::printf("\nclassical value of {<4>}: %s\n", v->ToString().c_str());
+
+  // Multi-valued answers refuse to collapse: 𝒱 over an ambiguous set fails
+  // loudly instead of guessing.
+  Result<XSet> ambiguous = Value(ParseOrDie("{<4>, <-4>}"));
+  std::printf("value of {<4>, <-4>}: %s\n", ambiguous.status().ToString().c_str());
+
+  // And the whole answer set is still a first-class operand: apply the
+  // square behavior to every branch at once (XST functions take sets to
+  // sets — no per-element loop in sight).
+  XSet square = ParseOrDie(
+      "{<2, 4>, <-2, 4>, <i2, -4>, <neg_i2, -4>}");
+  Process square_of(square, Sigma::Std());
+  std::vector<XSet> branch_values;
+  for (const Membership& m : SqrtSet(4).members()) branch_values.push_back(m.element);
+  XSet squares = square_of.Apply(XSet::Classical(branch_values));
+  std::printf("\nsquaring every branch of sqrt(4) at once: %s\n",
+              squares.ToString().c_str());
+  return 0;
+}

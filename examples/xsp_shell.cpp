@@ -1,0 +1,191 @@
+// xsp_shell: an interactive/batch shell for extended set processing.
+//
+// Commands (one per line; '#' starts a comment):
+//   name = <plan>          evaluate a plan, bind the result to @name
+//   <plan>                 evaluate and print
+//   :explain <plan>        print the plan tree
+//   :optimize <plan>       print the optimized plan tree
+//   :bindings              list current bindings
+//   :save <file>           persist all bindings to a set store
+//   :load <file>           load every set from a store as bindings
+//   :quit                  exit
+//
+// Plans use the XSP surface language, e.g.
+//   friends = {<ann, bob>, <bob, cho>}
+//   image[<1>, <2>](@friends, {<ann>})
+//
+// Run interactively, pipe a script, or run with no input to see a demo:
+//   ./build/examples/xsp_shell < script.xsp
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/store/setstore.h"
+#include "src/xsp/eval.h"
+#include "src/xsp/optimizer.h"
+#include "src/xsp/parser.h"
+
+using namespace xst;
+
+namespace {
+
+const char* kDemoScript = R"(# --- xsp_shell demo script ---
+friends = {<ann, bob>, <bob, cho>, <cho, dee>}
+likes = {<bob, tea>, <cho, jazz>, <dee, go>}
+# who does ann's friend like?
+image[<1>, <2>](@likes, image[<1>, <2>](@friends, {<ann>}))
+:explain image[<1>, <2>](@likes, image[<1>, <2>](@friends, {<ann>}))
+:optimize image[<1>, <2>](@likes, image[<1>, <2>](@friends, {<ann>}))
+# set algebra on results
+reachable = union(image[<1>, <2>](@friends, {<ann>}), {<ann>})
+@reachable
+:bindings
+)";
+
+class Shell {
+ public:
+  void RunStream(std::istream& in, bool echo) {
+    std::string line;
+    while (std::getline(in, line)) {
+      if (echo) std::printf("xsp> %s\n", line.c_str());
+      HandleLine(line);
+    }
+  }
+
+ private:
+  static std::string Trim(const std::string& s) {
+    size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos) return "";
+    size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+  }
+
+  void HandleLine(const std::string& raw) {
+    std::string line = Trim(raw);
+    if (line.empty() || line[0] == '#') return;
+    if (line[0] == ':') {
+      HandleCommand(line);
+      return;
+    }
+    // Binding? name = plan (the '=' must come before any plan syntax).
+    size_t eq = line.find('=');
+    size_t syntax = line.find_first_of("([{<@\"");
+    if (eq != std::string::npos && (syntax == std::string::npos || eq < syntax)) {
+      std::string name = Trim(line.substr(0, eq));
+      EvalAndReport(line.substr(eq + 1), &name);
+      return;
+    }
+    EvalAndReport(line, nullptr);
+  }
+
+  void EvalAndReport(const std::string& text, const std::string* bind_as) {
+    Result<xsp::ExprPtr> plan = xsp::ParsePlan(text);
+    if (!plan.ok()) {
+      std::printf("  parse error: %s\n", plan.status().ToString().c_str());
+      return;
+    }
+    xsp::EvalStats stats;
+    Result<XSet> value = xsp::Eval(*plan, bindings_, &stats);
+    if (!value.ok()) {
+      std::printf("  error: %s\n", value.status().ToString().c_str());
+      return;
+    }
+    if (bind_as != nullptr) {
+      bindings_[*bind_as] = *value;
+      std::printf("  @%s = %s\n", bind_as->c_str(), value->ToString().c_str());
+    } else {
+      std::printf("  %s   [%zu memberships, %lu plan nodes]\n",
+                  value->ToString().c_str(), value->cardinality(),
+                  (unsigned long)stats.nodes_evaluated);
+    }
+  }
+
+  void HandleCommand(const std::string& line) {
+    std::istringstream iss(line);
+    std::string cmd;
+    iss >> cmd;
+    std::string rest;
+    std::getline(iss, rest);
+    rest = Trim(rest);
+    if (cmd == ":quit" || cmd == ":q") {
+      std::exit(0);
+    } else if (cmd == ":bindings") {
+      for (const auto& [name, value] : bindings_) {
+        std::printf("  @%-12s %zu memberships\n", name.c_str(), value.cardinality());
+      }
+    } else if (cmd == ":explain" || cmd == ":optimize") {
+      Result<xsp::ExprPtr> plan = xsp::ParsePlan(rest);
+      if (!plan.ok()) {
+        std::printf("  parse error: %s\n", plan.status().ToString().c_str());
+        return;
+      }
+      if (cmd == ":optimize") {
+        xsp::OptimizerStats stats;
+        Result<xsp::ExprPtr> optimized = xsp::Optimize(*plan, bindings_, &stats);
+        if (!optimized.ok()) {
+          std::printf("  error: %s\n", optimized.status().ToString().c_str());
+          return;
+        }
+        std::printf("  %d rewrites applied\n%s", stats.total(),
+                    xsp::Explain(*optimized).c_str());
+      } else {
+        std::printf("%s", xsp::Explain(*plan).c_str());
+      }
+    } else if (cmd == ":save" || cmd == ":load") {
+      if (rest.empty()) {
+        std::printf("  usage: %s <file>\n", cmd.c_str());
+        return;
+      }
+      auto store = SetStore::Open(rest);
+      if (!store.ok()) {
+        std::printf("  error: %s\n", store.status().ToString().c_str());
+        return;
+      }
+      if (cmd == ":save") {
+        for (const auto& [name, value] : bindings_) {
+          Status st = (*store)->Put(name, value);
+          if (!st.ok()) {
+            std::printf("  error saving @%s: %s\n", name.c_str(),
+                        st.ToString().c_str());
+            return;
+          }
+        }
+        std::printf("  saved %zu bindings to %s\n", bindings_.size(), rest.c_str());
+      } else {
+        for (const std::string& name : (*store)->List()) {
+          Result<XSet> value = (*store)->Get(name);
+          if (!value.ok()) {
+            std::printf("  error loading @%s: %s\n", name.c_str(),
+                        value.status().ToString().c_str());
+            return;
+          }
+          bindings_[name] = *value;
+        }
+        std::printf("  loaded %zu sets from %s\n", (*store)->List().size(),
+                    rest.c_str());
+      }
+    } else {
+      std::printf("  unknown command %s\n", cmd.c_str());
+    }
+  }
+
+  xsp::Bindings bindings_;
+};
+
+}  // namespace
+
+int main() {
+  Shell shell;
+  if (isatty(STDIN_FILENO)) {
+    std::printf("no piped input — running the demo script\n\n");
+    std::istringstream demo(kDemoScript);
+    shell.RunStream(demo, /*echo=*/true);
+  } else {
+    shell.RunStream(std::cin, /*echo=*/true);
+  }
+  return 0;
+}

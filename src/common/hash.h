@@ -1,0 +1,38 @@
+// Hash combinators used by the interner and the storage codec.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace xst {
+
+/// \brief 64-bit FNV-1a over a byte range; the base primitive for all hashing.
+inline uint64_t HashBytes(const void* data, size_t len, uint64_t seed = 14695981039346656037ULL) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s) { return HashBytes(s.data(), s.size()); }
+
+/// \brief Mixes a new 64-bit value into an accumulated hash (boost-style).
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  // 64-bit variant of boost::hash_combine with a splitmix64 finisher on v.
+  v += 0x9e3779b97f4a7c15ULL;
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+  v = v ^ (v >> 31);
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+inline uint64_t HashInt(int64_t v) {
+  return HashCombine(0x51ed27f1a1c3a3b7ULL, static_cast<uint64_t>(v));
+}
+
+}  // namespace xst

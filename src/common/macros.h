@@ -1,0 +1,26 @@
+// Propagation macros for Status / Result, Arrow style.
+
+#pragma once
+
+#define XST_CONCAT_IMPL(x, y) x##y
+#define XST_CONCAT(x, y) XST_CONCAT_IMPL(x, y)
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if it is not OK.
+#define XST_RETURN_NOT_OK(expr)             \
+  do {                                      \
+    ::xst::Status _st = (expr);             \
+    if (!_st.ok()) return _st;              \
+  } while (false)
+
+/// Evaluates `expr` (a Result<T> expression); on error returns the Status,
+/// otherwise moves the value into `lhs` (which may be a declaration).
+#define XST_ASSIGN_OR_RAISE_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define XST_ASSIGN_OR_RAISE(lhs, expr) \
+  XST_ASSIGN_OR_RAISE_IMPL(XST_CONCAT(_xst_result_, __COUNTER__), lhs, expr)
+
+#define XST_DCHECK(cond) assert(cond)

@@ -1,0 +1,53 @@
+// Terse factories for the atoms and small sets that appear constantly in
+// XST expressions — tuple ordinals, symbolic letters, scope specifications.
+//
+// These are pure conveniences over the XSet factories; they exist so that
+// code transcribing paper definitions reads like the paper:
+//
+//   using namespace xst::lit;
+//   XSet f = U({Tup({Sym("a"), Sym("x")}), Tup({Sym("b"), Sym("y")})});
+//   XSet sigma = Pair2(Tup({I(1)}), Tup({I(2)}));   // σ = ⟨⟨1⟩, ⟨2⟩⟩
+
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "src/core/xset.h"
+
+namespace xst {
+namespace lit {
+
+/// \brief Integer atom.
+inline XSet I(int64_t v) { return XSet::Int(v); }
+/// \brief Symbolic atom.
+inline XSet Sym(std::string_view name) { return XSet::Symbol(name); }
+/// \brief String atom.
+inline XSet Str(std::string_view text) { return XSet::String(text); }
+/// \brief Classical (unscoped) set of the given elements.
+inline XSet U(const std::vector<XSet>& elements) { return XSet::Classical(elements); }
+/// \brief n-tuple ⟨e₁,…,eₙ⟩.
+inline XSet Tup(const std::vector<XSet>& elements) { return XSet::Tuple(elements); }
+/// \brief Ordered pair ⟨a,b⟩ (a 2-tuple).
+inline XSet Pair2(const XSet& a, const XSet& b) { return XSet::Pair(a, b); }
+/// \brief The empty set ∅.
+inline XSet Nil() { return XSet::Empty(); }
+/// \brief Scoped set from explicit memberships.
+inline XSet Sc(std::vector<Membership> members) {
+  return XSet::FromMembers(std::move(members));
+}
+
+/// \brief σ-specification {old₁^new₁, …}: maps old scopes to new scopes when
+/// used with re-scope by scope (Def 7.3); the standard "select position k and
+/// renumber to j" specs are built as Spec({{k, j}, ...}).
+inline XSet Spec(const std::vector<std::pair<int64_t, int64_t>>& pairs) {
+  std::vector<Membership> ms;
+  ms.reserve(pairs.size());
+  for (const auto& [elem, scope] : pairs) {
+    ms.push_back(Membership{I(elem), I(scope)});
+  }
+  return XSet::FromMembers(std::move(ms));
+}
+
+}  // namespace lit
+}  // namespace xst

@@ -1,0 +1,4 @@
+// XSetBuilder is header-only; this translation unit exists to give the
+// header a home in the library target and to host future non-inline
+// additions (e.g. spill-to-disk builders).
+#include "src/core/builder.h"

@@ -1,0 +1,63 @@
+// Incremental construction of extended sets.
+//
+// XSet values are immutable; XSetBuilder accumulates memberships and
+// canonicalizes once at Build() time, which is the efficient way to
+// assemble large sets (relations, stored files) membership by membership.
+
+#pragma once
+
+#include <vector>
+
+#include "src/core/xset.h"
+
+namespace xst {
+
+class XSetBuilder {
+ public:
+  XSetBuilder() = default;
+
+  /// \brief Pre-reserves capacity for n memberships.
+  explicit XSetBuilder(size_t reserve) { members_.reserve(reserve); }
+
+  /// \brief Adds `element ∈_scope`.
+  XSetBuilder& Add(const XSet& element, const XSet& scope) {
+    members_.push_back(Membership{element, scope});
+    return *this;
+  }
+
+  /// \brief Adds a classical membership (`element ∈_∅`).
+  XSetBuilder& Add(const XSet& element) { return Add(element, XSet::Empty()); }
+
+  /// \brief Adds a membership under an integer scope (tuple-style position).
+  XSetBuilder& AddAt(const XSet& element, int64_t position) {
+    return Add(element, XSet::Int(position));
+  }
+
+  /// \brief Adds every membership of `other` (set union by accumulation).
+  XSetBuilder& AddAll(const XSet& other) {
+    for (const Membership& m : other.members()) members_.push_back(m);
+    return *this;
+  }
+
+  /// \brief Adds a raw membership record.
+  XSetBuilder& Add(const Membership& m) {
+    members_.push_back(m);
+    return *this;
+  }
+
+  size_t size() const { return members_.size(); }
+  bool empty() const { return members_.empty(); }
+
+  /// \brief Canonicalizes and interns. The builder is left empty and may be
+  /// reused.
+  XSet Build() {
+    XSet result = XSet::FromMembers(std::move(members_));
+    members_.clear();
+    return result;
+  }
+
+ private:
+  std::vector<Membership> members_;
+};
+
+}  // namespace xst

@@ -1,0 +1,197 @@
+#include "src/core/interner.h"
+
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/hash.h"
+#include "src/core/order.h"
+
+namespace xst {
+
+namespace {
+
+// Kind tags folded into hashes so atoms of different kinds never collide
+// structurally (e.g. the int 1 vs the symbol "1" vs the string "1").
+constexpr uint64_t kIntTag = 0xa11ce0fde1ce1e57ULL;
+constexpr uint64_t kSymbolTag = 0x5e7a9b3c1d2e4f60ULL;
+constexpr uint64_t kStringTag = 0x0df1ab7e6c5d4b3aULL;
+constexpr uint64_t kSetTag = 0x9d3c2b1a0f8e7d6cULL;
+
+uint64_t HashIntAtom(int64_t v) { return HashCombine(kIntTag, static_cast<uint64_t>(v)); }
+uint64_t HashSymbolAtom(std::string_view s) { return HashCombine(kSymbolTag, HashString(s)); }
+uint64_t HashStringAtom(std::string_view s) { return HashCombine(kStringTag, HashString(s)); }
+
+uint64_t HashSetNode(const std::vector<Membership>& members) {
+  uint64_t h = HashCombine(kSetTag, members.size());
+  for (const Membership& m : members) {
+    h = HashCombine(h, m.element.hash());
+    h = HashCombine(h, m.scope.hash());
+  }
+  return h;
+}
+
+// Heterogeneous set-table key: either an interned node or a candidate
+// (hash + canonical member list) that has not been interned yet.
+struct SetKeyView {
+  uint64_t hash;
+  const std::vector<Membership>* members;
+};
+
+struct SetTableHash {
+  using is_transparent = void;
+  size_t operator()(const internal::Node* n) const { return n->hash; }
+  size_t operator()(const SetKeyView& k) const { return k.hash; }
+};
+
+bool SameMembers(const std::vector<Membership>& a, const std::vector<Membership>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;  // pointer equality on interned children
+  }
+  return true;
+}
+
+struct SetTableEq {
+  using is_transparent = void;
+  bool operator()(const internal::Node* a, const internal::Node* b) const { return a == b; }
+  bool operator()(const SetKeyView& k, const internal::Node* n) const {
+    return k.hash == n->hash && SameMembers(*k.members, n->members);
+  }
+  bool operator()(const internal::Node* n, const SetKeyView& k) const {
+    return (*this)(k, n);
+  }
+};
+
+}  // namespace
+
+struct Interner::Shard {
+  std::mutex mu;
+  std::unordered_map<int64_t, const internal::Node*> ints;
+  std::unordered_map<std::string, const internal::Node*> symbols;
+  std::unordered_map<std::string, const internal::Node*> strings;
+  std::unordered_set<const internal::Node*, SetTableHash, SetTableEq> sets;
+};
+
+Interner& Interner::Global() {
+  static Interner* instance = new Interner();  // leaked with the arena
+  return *instance;
+}
+
+Interner::Interner() {
+  shards_ = new Shard[kNumShards];
+  {
+    auto* n = new internal::Node();
+    n->kind = NodeKind::kSet;
+    n->hash = HashSetNode({});
+    n->depth = 0;
+    n->tree_size = 1;
+    empty_ = n;
+    ShardFor(n->hash).sets.insert(n);
+  }
+  small_ints_.resize(static_cast<size_t>(kSmallIntMax - kSmallIntMin + 1));
+  for (int64_t v = kSmallIntMin; v <= kSmallIntMax; ++v) {
+    auto* n = new internal::Node();
+    n->kind = NodeKind::kInt;
+    n->hash = HashIntAtom(v);
+    n->depth = 0;
+    n->tree_size = 1;
+    n->int_value = v;
+    small_ints_[static_cast<size_t>(v - kSmallIntMin)] = n;
+    ShardFor(n->hash).ints.emplace(v, n);
+  }
+}
+
+Interner::Shard& Interner::ShardFor(uint64_t hash) {
+  return shards_[(hash >> (64 - kShardBits)) & (kNumShards - 1)];
+}
+
+const internal::Node* Interner::Int(int64_t v) {
+  if (v >= kSmallIntMin && v <= kSmallIntMax) {
+    return small_ints_[static_cast<size_t>(v - kSmallIntMin)];
+  }
+  uint64_t h = HashIntAtom(v);
+  Shard& shard = ShardFor(h);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.ints.find(v);
+  if (it != shard.ints.end()) return it->second;
+  auto* n = new internal::Node();
+  n->kind = NodeKind::kInt;
+  n->hash = h;
+  n->depth = 0;
+  n->tree_size = 1;
+  n->int_value = v;
+  shard.ints.emplace(v, n);
+  return n;
+}
+
+const internal::Node* Interner::Symbol(std::string_view name) {
+  uint64_t h = HashSymbolAtom(name);
+  Shard& shard = ShardFor(h);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.symbols.find(std::string(name));
+  if (it != shard.symbols.end()) return it->second;
+  auto* n = new internal::Node();
+  n->kind = NodeKind::kSymbol;
+  n->hash = h;
+  n->depth = 0;
+  n->tree_size = 1;
+  n->str_value = std::string(name);
+  shard.symbols.emplace(n->str_value, n);
+  return n;
+}
+
+const internal::Node* Interner::String(std::string_view text) {
+  uint64_t h = HashStringAtom(text);
+  Shard& shard = ShardFor(h);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.strings.find(std::string(text));
+  if (it != shard.strings.end()) return it->second;
+  auto* n = new internal::Node();
+  n->kind = NodeKind::kString;
+  n->hash = h;
+  n->depth = 0;
+  n->tree_size = 1;
+  n->str_value = std::string(text);
+  shard.strings.emplace(n->str_value, n);
+  return n;
+}
+
+const internal::Node* Interner::Set(std::vector<Membership> members) {
+  if (members.empty()) return empty_;
+  uint64_t h = HashSetNode(members);
+  Shard& shard = ShardFor(h);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.sets.find(SetKeyView{h, &members});
+  if (it != shard.sets.end()) return *it;
+  auto* n = new internal::Node();
+  n->kind = NodeKind::kSet;
+  n->hash = h;
+  uint32_t depth = 0;
+  uint64_t tree_size = 1;
+  for (const Membership& m : members) {
+    depth = std::max(depth, std::max(m.element.depth(), m.scope.depth()));
+    tree_size += m.element.tree_size() + m.scope.tree_size();
+  }
+  n->depth = depth + 1;
+  n->tree_size = tree_size;
+  n->members = std::move(members);
+  shard.sets.insert(n);
+  return n;
+}
+
+InternerStats Interner::GetStats() const {
+  InternerStats stats;
+  for (int i = 0; i < kNumShards; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.atom_count += shard.ints.size() + shard.symbols.size() + shard.strings.size();
+    stats.set_count += shard.sets.size();
+    for (const internal::Node* n : shard.sets) {
+      stats.membership_count += n->members.size();
+    }
+  }
+  return stats;
+}
+
+}  // namespace xst

@@ -1,0 +1,72 @@
+// The global hash-consing arena for extended set nodes.
+//
+// Every XSet value in the process is interned here exactly once, so that
+// structural equality is pointer equality and common subtrees are shared.
+// Nodes are immutable and live for the lifetime of the process (an arena, in
+// the RocksDB sense: allocation is cheap, reclamation is wholesale-only —
+// here, never, which is the right trade for a value system whose handles may
+// be stored anywhere, including the buffer pool and user code).
+//
+// Thread safety: fully thread-safe. The table is sharded 16 ways by hash and
+// each shard takes a short mutex; a lock-free fast path serves small integer
+// atoms, which dominate tuple-heavy workloads (tuple scopes are 1..n).
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/core/xset.h"
+
+namespace xst {
+
+/// \brief Aggregate statistics about the interning arena.
+struct InternerStats {
+  uint64_t atom_count = 0;      ///< interned atoms (ints + symbols + strings)
+  uint64_t set_count = 0;       ///< interned set nodes
+  uint64_t membership_count = 0;  ///< total memberships across set nodes
+};
+
+class Interner {
+ public:
+  /// \brief The process-wide interner.
+  static Interner& Global();
+
+  Interner(const Interner&) = delete;
+  Interner& operator=(const Interner&) = delete;
+
+  /// \brief Interns an integer atom.
+  const internal::Node* Int(int64_t v);
+  /// \brief Interns a symbolic atom.
+  const internal::Node* Symbol(std::string_view name);
+  /// \brief Interns a string atom.
+  const internal::Node* String(std::string_view text);
+  /// \brief Interns a set node. `members` must already be canonical:
+  /// sorted by CompareMembership with exact duplicates removed.
+  const internal::Node* Set(std::vector<Membership> members);
+  /// \brief The unique ∅ node.
+  const internal::Node* EmptySet() const { return empty_; }
+
+  /// \brief Snapshot of arena statistics (approximate under concurrency).
+  InternerStats GetStats() const;
+
+ private:
+  Interner();
+  ~Interner() = default;
+
+  struct Shard;
+  static constexpr int kShardBits = 4;
+  static constexpr int kNumShards = 1 << kShardBits;
+  Shard& ShardFor(uint64_t hash);
+
+  // Lock-free cache for the hottest atoms: tuple ordinals and small ints.
+  static constexpr int64_t kSmallIntMin = -16;
+  static constexpr int64_t kSmallIntMax = 1024;
+  std::vector<const internal::Node*> small_ints_;
+
+  const internal::Node* empty_;
+  Shard* shards_;  // kNumShards, leaked with the arena
+};
+
+}  // namespace xst

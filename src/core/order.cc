@@ -1,0 +1,40 @@
+#include "src/core/order.h"
+
+namespace xst {
+
+int Compare(const XSet& a, const XSet& b) {
+  if (a == b) return 0;  // interned: pointer equality is structural equality
+  const internal::Node* na = a.node();
+  const internal::Node* nb = b.node();
+  if (na->kind != nb->kind) {
+    return static_cast<int>(na->kind) < static_cast<int>(nb->kind) ? -1 : 1;
+  }
+  switch (na->kind) {
+    case NodeKind::kInt:
+      return na->int_value < nb->int_value ? -1 : 1;
+    case NodeKind::kSymbol:
+    case NodeKind::kString: {
+      int c = na->str_value.compare(nb->str_value);
+      return c < 0 ? -1 : 1;  // c != 0: interning guarantees distinct payloads
+    }
+    case NodeKind::kSet: {
+      if (na->members.size() != nb->members.size()) {
+        return na->members.size() < nb->members.size() ? -1 : 1;
+      }
+      for (size_t i = 0; i < na->members.size(); ++i) {
+        int c = CompareMembership(na->members[i], nb->members[i]);
+        if (c != 0) return c;
+      }
+      return 0;  // unreachable for distinct interned nodes
+    }
+  }
+  return 0;
+}
+
+int CompareMembership(const Membership& a, const Membership& b) {
+  int c = Compare(a.element, b.element);
+  if (c != 0) return c;
+  return Compare(a.scope, b.scope);
+}
+
+}  // namespace xst

@@ -1,0 +1,34 @@
+// The structural total order on extended sets.
+//
+// Canonical form requires *some* deterministic total order on values so that
+// a set's membership list can be sorted independently of construction order.
+// The order implemented here is structural (it depends only on the value, not
+// on interning history), so printed output and serialized bytes are stable
+// across runs:
+//
+//   rank:  int < symbol < string < set
+//   ints by value; symbols/strings lexicographically;
+//   sets first by cardinality, then lexicographically by their sorted
+//   ⟨element, scope⟩ membership lists (element compared before scope).
+
+#pragma once
+
+#include "src/core/xset.h"
+
+namespace xst {
+
+/// \brief Three-way structural comparison: <0, 0, >0 like strcmp.
+int Compare(const XSet& a, const XSet& b);
+
+/// \brief Three-way comparison of memberships: element first, then scope.
+int CompareMembership(const Membership& a, const Membership& b);
+
+/// \brief Structural strict-less (usable as a std comparator).
+inline bool Less(const XSet& a, const XSet& b) { return Compare(a, b) < 0; }
+
+/// \brief Strict-less functor for ordered containers of XSet.
+struct XSetLess {
+  bool operator()(const XSet& a, const XSet& b) const { return Less(a, b); }
+};
+
+}  // namespace xst

@@ -1,0 +1,189 @@
+#include "src/core/parse.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace xst {
+
+namespace {
+
+constexpr uint32_t kMaxNestingDepth = 512;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<XSet> ParseAll() {
+    SkipWs();
+    XSet value;
+    Status st = ParseValue(0, &value);
+    if (!st.ok()) return st;
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after value");
+    }
+    return value;
+  }
+
+ private:
+  // Whitespace is insignificant between tokens.
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError(what + " at offset " + std::to_string(pos_));
+  }
+
+  bool Peek(char c) const { return pos_ < text_.size() && text_[pos_] == c; }
+
+  bool Consume(char c) {
+    if (Peek(c)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(uint32_t depth, XSet* out) {
+    if (depth > kMaxNestingDepth) return Error("nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return ParseSet(depth, out);
+    if (c == '<') return ParseTuple(depth, out);
+    if (c == '"') return ParseString(out);
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) return ParseInt(out);
+    if (c == '_' || std::isalpha(static_cast<unsigned char>(c))) return ParseSymbol(out);
+    return Error(std::string("unexpected character '") + c + "'");
+  }
+
+  Status ParseInt(XSet* out) {
+    size_t start = pos_;
+    if (Peek('-')) ++pos_;
+    size_t digits = 0;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+      ++digits;
+    }
+    if (digits == 0) return Error("expected digits");
+    errno = 0;
+    char* end = nullptr;
+    std::string token(text_.substr(start, pos_ - start));
+    long long v = std::strtoll(token.c_str(), &end, 10);
+    if (errno == ERANGE) return Error("integer literal out of range");
+    *out = XSet::Int(v);
+    return Status::OK();
+  }
+
+  Status ParseSymbol(XSet* out) {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (text_[pos_] == '_' || std::isalnum(static_cast<unsigned char>(text_[pos_])))) {
+      ++pos_;
+    }
+    *out = XSet::Symbol(text_.substr(start, pos_ - start));
+    return Status::OK();
+  }
+
+  Status ParseString(XSet* out) {
+    ++pos_;  // opening quote
+    std::string value;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Error("dangling escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case 'n':
+            value.push_back('\n');
+            break;
+          case 't':
+            value.push_back('\t');
+            break;
+          case '"':
+          case '\\':
+            value.push_back(e);
+            break;
+          default:
+            return Error(std::string("unknown escape '\\") + e + "'");
+        }
+      } else {
+        value.push_back(c);
+      }
+    }
+    if (!Consume('"')) return Error("unterminated string");
+    *out = XSet::String(value);
+    return Status::OK();
+  }
+
+  Status ParseSet(uint32_t depth, XSet* out) {
+    ++pos_;  // '{'
+    std::vector<Membership> members;
+    SkipWs();
+    if (Consume('}')) {
+      *out = XSet::Empty();
+      return Status::OK();
+    }
+    while (true) {
+      XSet element;
+      Status st = ParseValue(depth + 1, &element);
+      if (!st.ok()) return st;
+      XSet scope = XSet::Empty();
+      SkipWs();
+      if (Consume('^')) {
+        st = ParseValue(depth + 1, &scope);
+        if (!st.ok()) return st;
+      }
+      members.push_back(Membership{element, scope});
+      SkipWs();
+      if (Consume('}')) break;
+      if (!Consume(',')) return Error("expected ',' or '}'");
+    }
+    *out = XSet::FromMembers(std::move(members));
+    return Status::OK();
+  }
+
+  Status ParseTuple(uint32_t depth, XSet* out) {
+    ++pos_;  // '<'
+    std::vector<XSet> elements;
+    SkipWs();
+    if (Consume('>')) {
+      *out = XSet::Empty();  // the 0-tuple is ∅
+      return Status::OK();
+    }
+    while (true) {
+      XSet element;
+      Status st = ParseValue(depth + 1, &element);
+      if (!st.ok()) return st;
+      elements.push_back(element);
+      SkipWs();
+      if (Consume('>')) break;
+      if (!Consume(',')) return Error("expected ',' or '>'");
+    }
+    *out = XSet::Tuple(elements);
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<XSet> Parse(std::string_view text) { return Parser(text).ParseAll(); }
+
+XSet ParseOrDie(std::string_view text) {
+  Result<XSet> r = Parse(text);
+  if (!r.ok()) {
+    std::fprintf(stderr, "ParseOrDie(\"%.*s\"): %s\n", static_cast<int>(text.size()),
+                 text.data(), r.status().ToString().c_str());
+    std::abort();
+  }
+  return *std::move(r);
+}
+
+}  // namespace xst

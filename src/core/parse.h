@@ -1,0 +1,30 @@
+// Parser for the textual XST notation produced by print.h.
+//
+// Grammar (whitespace insignificant between tokens):
+//
+//   value   := int | symbol | string | set | tuple
+//   int     := '-'? digit+
+//   symbol  := (alpha | '_') (alnum | '_')*
+//   string  := '"' (escaped chars) '"'
+//   set     := '{' [ member (',' member)* ] '}'
+//   member  := value ( '^' value )?          -- scope defaults to ∅
+//   tuple   := '<' [ value (',' value)* ] '>'  -- sugar for {v₁^1,…,vₙ^n}
+//
+// Parse("{a^1, b^2}") == Parse("<a, b>") — both are the pair ⟨a,b⟩.
+
+#pragma once
+
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/core/xset.h"
+
+namespace xst {
+
+/// \brief Parses one complete value; trailing garbage is a ParseError.
+Result<XSet> Parse(std::string_view text);
+
+/// \brief Parses, aborting the process on error. For tests and examples only.
+XSet ParseOrDie(std::string_view text);
+
+}  // namespace xst

@@ -1,0 +1,91 @@
+#include "src/core/print.h"
+
+#include <algorithm>
+
+#include "src/ops/tuple.h"
+
+namespace xst {
+
+namespace {
+
+void AppendEscaped(std::string_view text, std::string* out) {
+  out->push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+void PrintImpl(const XSet& s, const PrintOptions& opts, uint32_t depth, std::string* out) {
+  if (opts.max_depth != 0 && depth > opts.max_depth) {
+    out->append("...");
+    return;
+  }
+  const char* comma = opts.spaces ? ", " : ",";
+  switch (s.kind()) {
+    case NodeKind::kInt:
+      out->append(std::to_string(s.int_value()));
+      return;
+    case NodeKind::kSymbol:
+      out->append(s.str_value());
+      return;
+    case NodeKind::kString:
+      AppendEscaped(s.str_value(), out);
+      return;
+    case NodeKind::kSet:
+      break;
+  }
+  if (opts.tuple_sugar && !s.empty()) {
+    std::vector<XSet> parts;
+    if (TupleElements(s, &parts)) {
+      out->push_back('<');
+      for (size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0) out->append(comma);
+        PrintImpl(parts[i], opts, depth + 1, out);
+      }
+      out->push_back('>');
+      return;
+    }
+  }
+  out->push_back('{');
+  bool first = true;
+  for (const Membership& m : s.members()) {
+    if (!first) out->append(comma);
+    first = false;
+    PrintImpl(m.element, opts, depth + 1, out);
+    if (!m.scope.empty() || m.scope.is_atom()) {
+      out->push_back('^');
+      PrintImpl(m.scope, opts, depth + 1, out);
+    }
+  }
+  out->push_back('}');
+}
+
+}  // namespace
+
+void PrintTo(const XSet& s, const PrintOptions& options, std::string* out) {
+  PrintImpl(s, options, 1, out);
+}
+
+std::string Print(const XSet& s, const PrintOptions& options) {
+  std::string out;
+  PrintTo(s, options, &out);
+  return out;
+}
+
+}  // namespace xst

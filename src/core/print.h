@@ -1,0 +1,34 @@
+// Rendering extended sets in the paper's notation.
+//
+//   {a^1, b^2}        scoped memberships (scope omitted when ∅)
+//   <a, b>            tuple sugar for {a^1, b^2} (Def 9.1)
+//   {}                the empty set ∅
+//   42, price, "txt"  integer / symbol / string atoms
+//
+// Output is deterministic: members print in the structural order of the
+// canonical form (tuples print in ordinal order).
+
+#pragma once
+
+#include <string>
+
+#include "src/core/xset.h"
+
+namespace xst {
+
+struct PrintOptions {
+  /// Render {x^1,…,xₙ^n} as <x₁,…,xₙ>.
+  bool tuple_sugar = true;
+  /// Insert a space after commas.
+  bool spaces = true;
+  /// Cap on rendered depth; deeper structure prints as "…". 0 = unlimited.
+  uint32_t max_depth = 0;
+};
+
+/// \brief Renders `s` as parseable XST notation (see parse.h for the inverse).
+std::string Print(const XSet& s, const PrintOptions& options = {});
+
+/// \brief Appends the rendering of `s` to `out`.
+void PrintTo(const XSet& s, const PrintOptions& options, std::string* out);
+
+}  // namespace xst

@@ -1,0 +1,175 @@
+// XSet: an immutable, hash-consed extended set.
+//
+// Extended set theory (XST, Childs 1977) generalizes membership to a ternary
+// predicate: x ∈ₛ A — "x is a member of A under scope s" — where the scope s
+// is itself an extended set. A classical set is the special case in which all
+// memberships carry the empty scope. This single generalization is enough to
+// give ordered pairs, n-tuples, records, and whole stored files a direct
+// set-theoretic identity:
+//
+//   ⟨x, y⟩ = { x^1, y^2 }          (ordered pair, Def 7.2)
+//   tup(x) = n ⟺ x = {x₁¹,…,xₙⁿ}  (n-tuple, Def 9.1)
+//
+// Representation. An XSet is a handle (one pointer) to an interned Node.
+// A Node is either an atom (int64, symbol, or string) or a set: a canonically
+// sorted, deduplicated vector of ⟨element, scope⟩ memberships whose element
+// and scope are themselves interned XSets. Interning ("hash-consing") gives:
+//   * structural sharing — common subtrees are stored once;
+//   * O(1) equality — equal structure ⟺ equal pointer;
+//   * cheap hashing — precomputed per node.
+// All values are immutable; every operator in src/ops builds new sets.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xst {
+
+class XSet;
+
+/// \brief One membership fact: `element ∈_scope set`.
+struct Membership;
+
+/// \brief Discriminates the physical shape of an interned node.
+enum class NodeKind : uint8_t {
+  kInt = 0,     ///< integer atom
+  kSymbol = 1,  ///< symbolic atom (bare identifier: a, b, price, ...)
+  kString = 2,  ///< string atom (quoted text data)
+  kSet = 3,     ///< extended set: list of scoped memberships
+};
+
+namespace internal {
+
+/// \brief The interned, immutable representation behind an XSet handle.
+///
+/// Nodes live for the lifetime of the process in the global Interner; user
+/// code never constructs or destroys them directly.
+struct Node {
+  NodeKind kind;
+  uint64_t hash;       ///< structural hash, precomputed at intern time
+  uint32_t depth;      ///< 0 for atoms; 1 + max(child depth) for sets
+  uint64_t tree_size;  ///< total node count of the subtree (atoms count 1)
+  int64_t int_value = 0;
+  std::string str_value;  ///< symbol / string payload
+  // For kSet: memberships sorted by (element, scope) under the structural
+  // total order (see order.h), with exact duplicates removed.
+  std::vector<Membership> members;
+};
+
+}  // namespace internal
+
+/// \brief Immutable handle to an interned extended set. Copyable in O(1).
+///
+/// Equality is structural and O(1) (pointer comparison on interned nodes).
+/// The default-constructed XSet is the empty set ∅.
+class XSet {
+ public:
+  /// Constructs ∅ (the empty extended set).
+  XSet();
+
+  // -- Factories ------------------------------------------------------------
+
+  /// \brief The empty set ∅.
+  static XSet Empty();
+  /// \brief Integer atom.
+  static XSet Int(int64_t v);
+  /// \brief Symbolic atom (an uninterpreted name such as `a` or `price`).
+  static XSet Symbol(std::string_view name);
+  /// \brief String atom (data text).
+  static XSet String(std::string_view text);
+  /// \brief Set from memberships; canonicalizes (sorts, dedups) the input.
+  static XSet FromMembers(std::vector<Membership> members);
+  /// \brief Classical set {e₁, e₂, …}: every element under the empty scope.
+  static XSet Classical(const std::vector<XSet>& elements);
+  /// \brief n-tuple ⟨e₁,…,eₙ⟩ = {e₁^1, …, eₙ^n} (Def 9.1).
+  static XSet Tuple(const std::vector<XSet>& elements);
+  /// \brief Ordered pair ⟨a, b⟩ = {a^1, b^2} (Def 7.2).
+  static XSet Pair(const XSet& a, const XSet& b);
+
+  // -- Shape ----------------------------------------------------------------
+
+  NodeKind kind() const;
+  bool is_int() const { return kind() == NodeKind::kInt; }
+  bool is_symbol() const { return kind() == NodeKind::kSymbol; }
+  bool is_string() const { return kind() == NodeKind::kString; }
+  bool is_set() const { return kind() == NodeKind::kSet; }
+  bool is_atom() const { return !is_set(); }
+  /// \brief True iff this is the empty set ∅ (a set with no memberships).
+  bool empty() const;
+
+  /// \brief Integer payload. Precondition: is_int().
+  int64_t int_value() const;
+  /// \brief Symbol/string payload. Precondition: is_symbol() || is_string().
+  const std::string& str_value() const;
+
+  // -- Membership -----------------------------------------------------------
+
+  /// \brief The canonical membership list. Empty for atoms and ∅.
+  std::span<const Membership> members() const;
+
+  /// \brief Number of memberships (distinct ⟨element, scope⟩ pairs).
+  size_t cardinality() const;
+
+  /// \brief True iff `element ∈_scope this` holds exactly.
+  bool Contains(const XSet& element, const XSet& scope) const;
+  /// \brief True iff `element ∈_∅ this` (classical membership).
+  bool ContainsClassical(const XSet& element) const;
+  /// \brief True iff `element` is a member under *some* scope.
+  bool ContainsUnderAnyScope(const XSet& element) const;
+  /// \brief All scopes s with `element ∈_s this` (may be empty).
+  std::vector<XSet> ScopesOf(const XSet& element) const;
+  /// \brief All elements x with `x ∈_scope this` for the given scope.
+  std::vector<XSet> ElementsWithScope(const XSet& scope) const;
+
+  // -- Identity -------------------------------------------------------------
+
+  /// \brief Precomputed structural hash.
+  uint64_t hash() const;
+  /// \brief Nesting depth: 0 for atoms and ∅-like atoms; sets are 1+max child.
+  uint32_t depth() const;
+  /// \brief Total interned-node count of this subtree.
+  uint64_t tree_size() const;
+
+  /// O(1): interned nodes are structurally equal iff pointer-equal.
+  bool operator==(const XSet& other) const { return node_ == other.node_; }
+  bool operator!=(const XSet& other) const { return node_ != other.node_; }
+
+  /// \brief Renders this set in XST notation (see print.h for options).
+  std::string ToString() const;
+
+  /// \brief Internal node pointer; for the interner, codec and ordering only.
+  const internal::Node* node() const { return node_; }
+  /// \brief Wraps an interned node. Internal use only.
+  static XSet FromNode(const internal::Node* node) { return XSet(node); }
+
+ private:
+  explicit XSet(const internal::Node* node) : node_(node) {}
+  const internal::Node* node_;
+};
+
+struct Membership {
+  XSet element;
+  XSet scope;
+
+  bool operator==(const Membership& other) const {
+    return element == other.element && scope == other.scope;
+  }
+};
+
+/// \brief Convenience: scoped membership literal `element ^ scope`.
+inline Membership M(const XSet& element, const XSet& scope) {
+  return Membership{element, scope};
+}
+/// \brief Convenience: classical membership (empty scope).
+inline Membership M(const XSet& element) { return Membership{element, XSet::Empty()}; }
+
+/// \brief Hash functor for using XSet in unordered containers.
+struct XSetHash {
+  size_t operator()(const XSet& s) const { return static_cast<size_t>(s.hash()); }
+};
+
+}  // namespace xst

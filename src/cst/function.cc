@@ -1,0 +1,47 @@
+#include "src/cst/function.h"
+
+#include <unordered_set>
+
+#include "src/cst/relation.h"
+#include "src/ops/tuple.h"
+#include "src/ops/value.h"
+#include "src/process/process.h"
+
+namespace xst {
+namespace cst {
+
+bool IsFunctionRelation(const XSet& r) {
+  if (!IsRelation(r)) return false;
+  std::unordered_set<XSet, XSetHash> seen;
+  for (const Membership& m : r.members()) {
+    Result<XSet> first = TupleGet(m.element, 1);
+    if (!first.ok()) return false;
+    if (!seen.insert(*first).second) return false;
+  }
+  return true;
+}
+
+Result<CstFunction> CstFunction::Make(const XSet& relation) {
+  if (!IsFunctionRelation(relation)) {
+    return Status::TypeError("CstFunction: not a functional relation: " +
+                             relation.ToString());
+  }
+  return CstFunction(relation);
+}
+
+Result<XSet> CstFunction::Apply(const XSet& a) const {
+  for (const Membership& m : relation_.members()) {
+    Result<XSet> first = TupleGet(m.element, 1);
+    if (first.ok() && *first == a) return TupleGet(m.element, 2);
+  }
+  return Status::NotFound("CstFunction: " + a.ToString() + " not in domain");
+}
+
+Result<XSet> ApplyViaXst(const XSet& relation, const XSet& x) {
+  Process behavior(relation, Sigma::Std());
+  XSet image = behavior.Apply(XSet::Classical({XSet::Tuple({x})}));
+  return Value(image);
+}
+
+}  // namespace cst
+}  // namespace xst

@@ -1,0 +1,45 @@
+// CST functions and the element-level bridge (paper §3, Theorem 9.10).
+//
+// A CST function is a relation in which no first component repeats:
+// f(a) = b ⟺ f[{a}] = {b} (Def 3.2). Theorem 9.10 states that every CST
+// element-level function is recovered from the XST set-level behavior by
+// value extraction:
+//
+//   f(x) = 𝒱( f₍σ₎({⟨x⟩}) )   with σ = ⟨⟨1⟩,⟨2⟩⟩.
+
+#pragma once
+
+#include "src/common/result.h"
+#include "src/core/xset.h"
+
+namespace xst {
+namespace cst {
+
+/// \brief True iff r is a relation with pairwise distinct first components.
+bool IsFunctionRelation(const XSet& r);
+
+/// \brief A CST function: a validated functional relation with element-level
+/// application.
+class CstFunction {
+ public:
+  /// \brief Validates the relation; TypeError if some first component
+  /// repeats or a member is not a classical pair.
+  static Result<CstFunction> Make(const XSet& relation);
+
+  /// \brief f(a) = b (Def 3.2). NotFound when a ∉ 𝔇₁(f).
+  Result<XSet> Apply(const XSet& a) const;
+
+  const XSet& relation() const { return relation_; }
+
+ private:
+  explicit CstFunction(XSet relation) : relation_(std::move(relation)) {}
+  XSet relation_;
+};
+
+/// \brief Theorem 9.10: element application routed through the XST behavior
+/// and value extraction. Equal to CstFunction::Apply on every functional
+/// relation — tested property.
+Result<XSet> ApplyViaXst(const XSet& relation, const XSet& x);
+
+}  // namespace cst
+}  // namespace xst

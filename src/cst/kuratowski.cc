@@ -1,0 +1,97 @@
+#include "src/cst/kuratowski.h"
+
+#include "src/ops/tuple.h"
+
+namespace xst {
+namespace cst {
+
+XSet KuratowskiPair(const XSet& a, const XSet& b) {
+  XSet singleton = XSet::Classical({a});
+  XSet doubleton = XSet::Classical({a, b});  // collapses when a == b
+  return XSet::Classical({singleton, doubleton});
+}
+
+namespace {
+
+// Extracts {singleton, doubleton} with |singleton| = 1. Returns false on any
+// shape violation.
+bool Decompose(const XSet& s, XSet* first, XSet* second) {
+  if (!s.is_set()) return false;
+  if (s.cardinality() == 1) {
+    // Degenerate ⟨a,a⟩ = {{a}}.
+    const Membership& m = s.members()[0];
+    if (!m.scope.empty() || m.element.cardinality() != 1) return false;
+    const Membership& inner = m.element.members()[0];
+    if (!inner.scope.empty()) return false;
+    *first = inner.element;
+    *second = inner.element;
+    return true;
+  }
+  if (s.cardinality() != 2) return false;
+  // Canonical order sorts the 1-member set before the 2-member set.
+  const Membership& small = s.members()[0];
+  const Membership& large = s.members()[1];
+  if (!small.scope.empty() || !large.scope.empty()) return false;
+  if (small.element.cardinality() != 1 || large.element.cardinality() != 2) return false;
+  const Membership& a_m = small.element.members()[0];
+  if (!a_m.scope.empty()) return false;
+  XSet a = a_m.element;
+  // The doubleton must be {a, b} with b ≠ a.
+  XSet b;
+  bool saw_a = false, saw_b = false;
+  for (const Membership& m : large.element.members()) {
+    if (!m.scope.empty()) return false;
+    if (m.element == a) {
+      saw_a = true;
+    } else {
+      b = m.element;
+      saw_b = true;
+    }
+  }
+  if (!saw_a || !saw_b) return false;
+  *first = a;
+  *second = b;
+  return true;
+}
+
+}  // namespace
+
+bool IsKuratowskiPair(const XSet& s) {
+  XSet first, second;
+  return Decompose(s, &first, &second);
+}
+
+Result<XSet> KuratowskiFirst(const XSet& s) {
+  XSet first, second;
+  if (!Decompose(s, &first, &second)) {
+    return Status::TypeError("not a Kuratowski pair: " + s.ToString());
+  }
+  return first;
+}
+
+Result<XSet> KuratowskiSecond(const XSet& s) {
+  XSet first, second;
+  if (!Decompose(s, &first, &second)) {
+    return Status::TypeError("not a Kuratowski pair: " + s.ToString());
+  }
+  return second;
+}
+
+Result<XSet> KuratowskiToXstPair(const XSet& s) {
+  XSet first, second;
+  if (!Decompose(s, &first, &second)) {
+    return Status::TypeError("not a Kuratowski pair: " + s.ToString());
+  }
+  return XSet::Pair(first, second);
+}
+
+Result<XSet> XstPairToKuratowski(const XSet& pair) {
+  std::vector<XSet> parts;
+  if (!TupleElements(pair, &parts) || parts.size() != 2) {
+    return Status::TypeError("not an XST pair: " + pair.ToString());
+  }
+  return KuratowskiPair(parts[0], parts[1]);
+}
+
+}  // namespace cst
+}  // namespace xst

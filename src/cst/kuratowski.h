@@ -1,0 +1,42 @@
+// Kuratowski pairs: the classical encoding XST replaces, implemented for
+// comparison (paper §9 and Skolem's objection, reference [5]).
+//
+//   ⟨a,b⟩_K = {{a}, {a,b}}
+//
+// The encoding is faithful for pair *identity* but hostile to pairs as
+// *operands*: components are recovered by case analysis (the degenerate
+// ⟨a,a⟩_K collapses to {{a}}), n-tuples must nest (⟨a,b,c⟩ becomes
+// ⟨a,⟨b,c⟩⟩ or ⟨⟨a,b⟩,c⟩ — two *different* sets), and no σ-machinery can
+// address "the i-th component" uniformly. The tests in kuratowski_test.cc
+// demonstrate each failure next to the scope-based tuple that avoids it —
+// the concrete content of the paper's claim that XST tuples "replace these
+// old challenges".
+
+#pragma once
+
+#include "src/common/result.h"
+#include "src/core/xset.h"
+
+namespace xst {
+namespace cst {
+
+/// \brief ⟨a,b⟩_K = {{a},{a,b}} (collapses to {{a}} when a = b).
+XSet KuratowskiPair(const XSet& a, const XSet& b);
+
+/// \brief True iff s is a well-formed Kuratowski pair.
+bool IsKuratowskiPair(const XSet& s);
+
+/// \brief First component; TypeError when s is not a Kuratowski pair.
+Result<XSet> KuratowskiFirst(const XSet& s);
+
+/// \brief Second component (equal to the first for the degenerate case).
+Result<XSet> KuratowskiSecond(const XSet& s);
+
+/// \brief Converts a Kuratowski pair to the XST pair ⟨a,b⟩ = {a¹, b²}.
+Result<XSet> KuratowskiToXstPair(const XSet& s);
+
+/// \brief Converts an XST pair to its Kuratowski encoding.
+Result<XSet> XstPairToKuratowski(const XSet& pair);
+
+}  // namespace cst
+}  // namespace xst

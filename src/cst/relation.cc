@@ -1,0 +1,109 @@
+#include "src/cst/relation.h"
+
+#include "src/ops/domain.h"
+#include "src/ops/image.h"
+#include "src/ops/restrict.h"
+#include "src/ops/tuple.h"
+
+namespace xst {
+namespace cst {
+
+namespace {
+
+// Decomposes a relation member into its pair components; false if malformed.
+bool PairParts(const Membership& m, XSet* first, XSet* second) {
+  if (!m.scope.empty()) return false;
+  std::vector<XSet> parts;
+  if (!TupleElements(m.element, &parts) || parts.size() != 2) return false;
+  *first = parts[0];
+  *second = parts[1];
+  return true;
+}
+
+}  // namespace
+
+bool IsRelation(const XSet& r) {
+  if (!r.is_set()) return false;
+  XSet first, second;
+  for (const Membership& m : r.members()) {
+    if (!PairParts(m, &first, &second)) return false;
+  }
+  return true;
+}
+
+XSet Image(const XSet& r, const XSet& a) {
+  std::vector<Membership> out;
+  XSet first, second;
+  for (const Membership& m : r.members()) {
+    if (!PairParts(m, &first, &second)) continue;
+    if (a.ContainsClassical(first)) out.push_back(Membership{second, XSet::Empty()});
+  }
+  return XSet::FromMembers(std::move(out));
+}
+
+XSet Restriction(const XSet& r, const XSet& a) {
+  std::vector<Membership> out;
+  XSet first, second;
+  for (const Membership& m : r.members()) {
+    if (!PairParts(m, &first, &second)) continue;
+    if (a.ContainsClassical(first)) out.push_back(m);
+  }
+  return XSet::FromMembers(std::move(out));
+}
+
+XSet Domain1(const XSet& r) {
+  std::vector<Membership> out;
+  XSet first, second;
+  for (const Membership& m : r.members()) {
+    if (!PairParts(m, &first, &second)) continue;
+    out.push_back(Membership{first, XSet::Empty()});
+  }
+  return XSet::FromMembers(std::move(out));
+}
+
+XSet Domain2(const XSet& r) {
+  std::vector<Membership> out;
+  XSet first, second;
+  for (const Membership& m : r.members()) {
+    if (!PairParts(m, &first, &second)) continue;
+    out.push_back(Membership{second, XSet::Empty()});
+  }
+  return XSet::FromMembers(std::move(out));
+}
+
+XSet WrapUnary(const XSet& a) {
+  std::vector<Membership> out;
+  out.reserve(a.cardinality());
+  for (const Membership& m : a.members()) {
+    out.push_back(Membership{XSet::Tuple({m.element}), m.scope});
+  }
+  return XSet::FromMembers(std::move(out));
+}
+
+XSet UnwrapUnary(const XSet& a) {
+  std::vector<Membership> out;
+  out.reserve(a.cardinality());
+  for (const Membership& m : a.members()) {
+    std::vector<XSet> parts;
+    if (TupleElements(m.element, &parts) && parts.size() == 1) {
+      out.push_back(Membership{parts[0], m.scope});
+    }
+  }
+  return XSet::FromMembers(std::move(out));
+}
+
+XSet ImageViaXst(const XSet& r, const XSet& a) {
+  return UnwrapUnary(ImageStd(r, WrapUnary(a)));
+}
+
+XSet RestrictionViaXst(const XSet& r, const XSet& a) {
+  return SigmaRestrict(r, Sigma::Std().s1, WrapUnary(a));
+}
+
+XSet DomainViaXst(const XSet& r, int k) {
+  XSet spec = XSet::Tuple({XSet::Int(k)});
+  return UnwrapUnary(SigmaDomain(r, spec));
+}
+
+}  // namespace cst
+}  // namespace xst

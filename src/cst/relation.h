@@ -1,0 +1,55 @@
+// Classical set theory (CST) relation operations (paper §3).
+//
+// CST relations are encoded as classical extended sets of XST ordered pairs:
+// R = { ⟨x,y⟩^∅, … } with ⟨x,y⟩ = {x^1, y^2}. The operations here implement
+// Definitions 3.1–3.6 *directly* (straight iteration over pairs); the
+// ...ViaXst variants compute the same results through the XST image
+// machinery, which is how the library demonstrates that CST behavior is
+// preserved under the extension (the paper's compatibility claim).
+//
+// Encoding note: CST operands (the A in R[A]) are classical sets of
+// elements. XST restriction probes with subset-embedding of 1-tuples, so the
+// ViaXst variants wrap elements into 1-tuples on the way in and unwrap on
+// the way out.
+
+#pragma once
+
+#include "src/common/result.h"
+#include "src/core/xset.h"
+
+namespace xst {
+namespace cst {
+
+/// \brief True iff every member of r is an ordered pair under empty scope.
+bool IsRelation(const XSet& r);
+
+/// \brief Def 3.1 / 3.6 — R[A] = { y : ∃x (x ∈ A & ⟨x,y⟩ ∈ R) }.
+XSet Image(const XSet& r, const XSet& a);
+
+/// \brief Def 3.3 — R|A = { ⟨x,y⟩ ∈ R : x ∈ A }.
+XSet Restriction(const XSet& r, const XSet& a);
+
+/// \brief Def 3.4 — 𝔇₁(R) = { x : ∃y ⟨x,y⟩ ∈ R }.
+XSet Domain1(const XSet& r);
+
+/// \brief Def 3.5 — 𝔇₂(R) = { y : ∃x ⟨x,y⟩ ∈ R }.
+XSet Domain2(const XSet& r);
+
+/// \brief R[A] computed as 𝔇₂(R|A) through the XST operators (Def 3.6 via
+/// Def 7.1). Equal to Image(r, a) on every relation — tested property.
+XSet ImageViaXst(const XSet& r, const XSet& a);
+
+/// \brief R|A through XST σ-restriction.
+XSet RestrictionViaXst(const XSet& r, const XSet& a);
+
+/// \brief 𝔇ₖ(R) through XST σ-domain (k = 1 or 2).
+XSet DomainViaXst(const XSet& r, int k);
+
+/// \brief Wraps each element of a classical set into a 1-tuple: {x} → {⟨x⟩}.
+XSet WrapUnary(const XSet& a);
+
+/// \brief Inverse of WrapUnary; members that are not 1-tuples are dropped.
+XSet UnwrapUnary(const XSet& a);
+
+}  // namespace cst
+}  // namespace xst

@@ -1,0 +1,141 @@
+#include "src/ops/boolean.h"
+
+#include "src/core/order.h"
+
+namespace xst {
+
+namespace {
+
+// The canonical membership list of a value; atoms contribute none.
+std::span<const Membership> Members(const XSet& s) { return s.members(); }
+
+}  // namespace
+
+XSet Union(const XSet& a, const XSet& b) {
+  if (a == b) return a;
+  auto ma = Members(a);
+  auto mb = Members(b);
+  if (ma.empty()) return b.is_set() ? b : XSet::Empty();
+  if (mb.empty()) return a.is_set() ? a : XSet::Empty();
+  std::vector<Membership> out;
+  out.reserve(ma.size() + mb.size());
+  size_t i = 0, j = 0;
+  while (i < ma.size() && j < mb.size()) {
+    int c = CompareMembership(ma[i], mb[j]);
+    if (c < 0) {
+      out.push_back(ma[i++]);
+    } else if (c > 0) {
+      out.push_back(mb[j++]);
+    } else {
+      out.push_back(ma[i]);
+      ++i;
+      ++j;
+    }
+  }
+  for (; i < ma.size(); ++i) out.push_back(ma[i]);
+  for (; j < mb.size(); ++j) out.push_back(mb[j]);
+  return XSet::FromMembers(std::move(out));
+}
+
+XSet Intersect(const XSet& a, const XSet& b) {
+  if (a == b) return a.is_set() ? a : XSet::Empty();
+  auto ma = Members(a);
+  auto mb = Members(b);
+  std::vector<Membership> out;
+  size_t i = 0, j = 0;
+  while (i < ma.size() && j < mb.size()) {
+    int c = CompareMembership(ma[i], mb[j]);
+    if (c < 0) {
+      ++i;
+    } else if (c > 0) {
+      ++j;
+    } else {
+      out.push_back(ma[i]);
+      ++i;
+      ++j;
+    }
+  }
+  return XSet::FromMembers(std::move(out));
+}
+
+XSet Difference(const XSet& a, const XSet& b) {
+  if (a == b) return XSet::Empty();
+  auto ma = Members(a);
+  auto mb = Members(b);
+  std::vector<Membership> out;
+  size_t i = 0, j = 0;
+  while (i < ma.size()) {
+    if (j >= mb.size()) {
+      out.push_back(ma[i++]);
+      continue;
+    }
+    int c = CompareMembership(ma[i], mb[j]);
+    if (c < 0) {
+      out.push_back(ma[i++]);
+    } else if (c > 0) {
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  return XSet::FromMembers(std::move(out));
+}
+
+XSet SymmetricDifference(const XSet& a, const XSet& b) {
+  return Union(Difference(a, b), Difference(b, a));
+}
+
+bool IsSubset(const XSet& a, const XSet& b) {
+  if (a == b) return true;
+  if (a.is_atom()) return false;  // distinct atom is never ⊆ anything else
+  if (a.empty()) return true;
+  if (b.is_atom()) return false;
+  auto ma = Members(a);
+  auto mb = Members(b);
+  if (ma.size() > mb.size()) return false;
+  size_t j = 0;
+  for (const Membership& m : ma) {
+    while (j < mb.size() && CompareMembership(mb[j], m) < 0) ++j;
+    if (j >= mb.size() || !(mb[j] == m)) return false;
+    ++j;
+  }
+  return true;
+}
+
+bool IsProperSubset(const XSet& a, const XSet& b) { return a != b && IsSubset(a, b); }
+
+bool IsNonEmptySubset(const XSet& a, const XSet& b) {
+  return !a.empty() && IsSubset(a, b);
+}
+
+bool AreDisjoint(const XSet& a, const XSet& b) {
+  auto ma = Members(a);
+  auto mb = Members(b);
+  size_t i = 0, j = 0;
+  while (i < ma.size() && j < mb.size()) {
+    int c = CompareMembership(ma[i], mb[j]);
+    if (c < 0) {
+      ++i;
+    } else if (c > 0) {
+      ++j;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+XSet UnionAll(const std::vector<XSet>& sets) {
+  std::vector<Membership> out;
+  size_t total = 0;
+  for (const XSet& s : sets) total += s.cardinality();
+  out.reserve(total);
+  for (const XSet& s : sets) {
+    auto ms = Members(s);
+    out.insert(out.end(), ms.begin(), ms.end());
+  }
+  return XSet::FromMembers(std::move(out));
+}
+
+}  // namespace xst

@@ -1,0 +1,47 @@
+// Boolean algebra on extended sets.
+//
+// XST Boolean operations act on scoped memberships: two memberships are the
+// same iff both element and scope agree, so {a^1} ∪ {a^2} = {a^1, a^2} and
+// {a^1} ∩ {a^2} = ∅. On classical (∅-scoped) sets these coincide exactly
+// with the CST operations. All operations are O(|A| + |B|) merges over the
+// canonical sorted membership lists.
+//
+// Atoms: an atom is subset-comparable only to itself (A ⊆ atom holds iff
+// A == atom or A == ∅); Boolean combinations of atoms with sets treat the
+// atom as having no memberships.
+
+#pragma once
+
+#include "src/core/xset.h"
+
+namespace xst {
+
+/// \brief A ∪ B.
+XSet Union(const XSet& a, const XSet& b);
+
+/// \brief A ∩ B.
+XSet Intersect(const XSet& a, const XSet& b);
+
+/// \brief A ∼ B (set difference).
+XSet Difference(const XSet& a, const XSet& b);
+
+/// \brief A Δ B (symmetric difference).
+XSet SymmetricDifference(const XSet& a, const XSet& b);
+
+/// \brief A ⊆ B: every membership of A is a membership of B.
+bool IsSubset(const XSet& a, const XSet& b);
+
+/// \brief A ⊂ B: subset and A ≠ B.
+bool IsProperSubset(const XSet& a, const XSet& b);
+
+/// \brief The paper's '⊆̇' (dotted subset): non-empty subset. Used by the
+/// process-space definitions (Def 5.1) and the process axiom (Def 2.1).
+bool IsNonEmptySubset(const XSet& a, const XSet& b);
+
+/// \brief True iff A and B share no membership.
+bool AreDisjoint(const XSet& a, const XSet& b);
+
+/// \brief Union over many operands (single canonicalization pass).
+XSet UnionAll(const std::vector<XSet>& sets);
+
+}  // namespace xst

@@ -1,0 +1,74 @@
+#include "src/ops/closure.h"
+
+#include "src/ops/boolean.h"
+#include "src/ops/image.h"
+#include "src/ops/index.h"
+#include "src/ops/relative.h"
+
+namespace xst {
+
+namespace {
+
+Status CheckBudget(const XSet& s, size_t max_cardinality, const char* op) {
+  if (s.cardinality() > max_cardinality) {
+    return Status::CapacityError(std::string(op) + ": intermediate of " +
+                                 std::to_string(s.cardinality()) +
+                                 " memberships exceeds budget " +
+                                 std::to_string(max_cardinality));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<XSet> RelationPower(const XSet& r, int k, size_t max_cardinality) {
+  if (k < 1) return Status::Invalid("RelationPower: k must be >= 1");
+  XSet power = r;
+  for (int i = 1; i < k; ++i) {
+    power = RelativeProductStd(power, r);
+    Status st = CheckBudget(power, max_cardinality, "RelationPower");
+    if (!st.ok()) return st;
+  }
+  return power;
+}
+
+Result<XSet> TransitiveClosure(const XSet& r, size_t max_cardinality) {
+  // Semi-naive iteration: frontier ← new pairs only.
+  XSet closure = r;
+  XSet frontier = r;
+  while (!frontier.empty()) {
+    XSet next = RelativeProductStd(frontier, r);
+    frontier = Difference(next, closure);
+    closure = Union(closure, frontier);
+    Status st = CheckBudget(closure, max_cardinality, "TransitiveClosure");
+    if (!st.ok()) return st;
+  }
+  return closure;
+}
+
+Result<XSet> ReflexiveTransitiveClosure(const XSet& r, const XSet& vertices,
+                                        size_t max_cardinality) {
+  Result<XSet> plus = TransitiveClosure(r, max_cardinality);
+  if (!plus.ok()) return plus;
+  std::vector<Membership> loops;
+  loops.reserve(vertices.cardinality());
+  for (const Membership& m : vertices.members()) {
+    loops.push_back(Membership{XSet::Pair(m.element, m.element), XSet::Empty()});
+  }
+  return Union(*plus, XSet::FromMembers(std::move(loops)));
+}
+
+Result<XSet> Reachable(const XSet& r, const XSet& sources, size_t max_cardinality) {
+  ImageIndex index(r, Sigma::Std());
+  XSet reached;  // accumulated 1-tuples
+  XSet frontier = index.Lookup(sources);
+  while (!frontier.empty()) {
+    reached = Union(reached, frontier);
+    Status st = CheckBudget(reached, max_cardinality, "Reachable");
+    if (!st.ok()) return st;
+    frontier = Difference(index.Lookup(frontier), reached);
+  }
+  return reached;
+}
+
+}  // namespace xst

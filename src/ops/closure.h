@@ -1,0 +1,36 @@
+// Derived iteration operators: powers, transitive closure, reachability.
+//
+// Composition (Def 11.1) makes iteration algebraic: R² = R/R, R⁺ = ⋃ Rⁱ.
+// These are the classic derived operations a backend needs for hierarchy
+// and graph queries (bill-of-materials, org charts), built purely from the
+// relative product and union — no new primitives.
+//
+// All operators act on standard pair relations ({⟨x,y⟩, …}); results are
+// again pair relations. Iteration is semi-naive: each round joins only the
+// frontier (the pairs discovered in the previous round) against R.
+
+#pragma once
+
+#include "src/common/result.h"
+#include "src/core/xset.h"
+
+namespace xst {
+
+/// \brief R^k under relational composition (R¹ = R). Invalid for k < 1;
+/// CapacityError if an intermediate would exceed `max_cardinality`.
+Result<XSet> RelationPower(const XSet& r, int k, size_t max_cardinality = 10'000'000);
+
+/// \brief R⁺ = R ∪ R² ∪ R³ ∪ … (transitive closure, to fixpoint).
+Result<XSet> TransitiveClosure(const XSet& r, size_t max_cardinality = 10'000'000);
+
+/// \brief R* restricted to the given vertex set: R⁺ ∪ {⟨v,v⟩ : v ∈ vertices}.
+/// `vertices` is a classical set of atoms.
+Result<XSet> ReflexiveTransitiveClosure(const XSet& r, const XSet& vertices,
+                                        size_t max_cardinality = 10'000'000);
+
+/// \brief All elements reachable from `sources` (a set of 1-tuples ⟨v⟩)
+/// through one or more R-steps; the result is a set of 1-tuples.
+Result<XSet> Reachable(const XSet& r, const XSet& sources,
+                       size_t max_cardinality = 10'000'000);
+
+}  // namespace xst

@@ -1,0 +1,19 @@
+#include "src/ops/domain.h"
+
+#include "src/ops/rescope.h"
+
+namespace xst {
+
+XSet SigmaDomain(const XSet& r, const XSet& sigma) {
+  std::vector<Membership> out;
+  out.reserve(r.cardinality());
+  for (const Membership& m : r.members()) {
+    XSet x = RescopeByScope(m.element, sigma);
+    if (x.empty()) continue;  // the definition requires z^{/σ/} ≠ ∅
+    XSet s = RescopeByScope(m.scope, sigma);
+    out.push_back(Membership{x, s});
+  }
+  return XSet::FromMembers(std::move(out));
+}
+
+}  // namespace xst

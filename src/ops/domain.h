@@ -1,0 +1,24 @@
+// σ-domain (Def 7.4): the generalized projection.
+//
+//   𝔇_σ(R) = { x^s : ∃z,w ( z ∈_w R  &  x = z^{/σ/} ≠ ∅  &  s = w^{/σ/} ) }
+//
+// Each member z of R is re-scoped by σ; members whose re-scope is empty are
+// dropped, and each survivor's membership scope is re-scoped the same way.
+// This one operation subsumes CST's 1-domain and 2-domain:
+//
+//   𝔇₁(R) = 𝔇_{⟨1⟩}(R)   (project first components of a set of pairs)
+//   𝔇₂(R) = 𝔇_{⟨2⟩}(R)   (project second components)
+//
+// and also arbitrary column selection/permutation, e.g. 𝔇_{⟨3,1⟩} projects
+// column 3 then column 1 of a set of triples.
+
+#pragma once
+
+#include "src/core/xset.h"
+
+namespace xst {
+
+/// \brief 𝔇_σ(R) (Def 7.4).
+XSet SigmaDomain(const XSet& r, const XSet& sigma);
+
+}  // namespace xst

@@ -1,0 +1,32 @@
+#include "src/ops/image.h"
+
+#include "src/ops/domain.h"
+#include "src/ops/restrict.h"
+#include "src/ops/tuple.h"
+
+namespace xst {
+
+Sigma Sigma::Std() {
+  return Sigma{XSet::Tuple({XSet::Int(1)}), XSet::Tuple({XSet::Int(2)})};
+}
+
+Sigma Sigma::Inv() {
+  return Sigma{XSet::Tuple({XSet::Int(2)}), XSet::Tuple({XSet::Int(1)})};
+}
+
+Result<Sigma> Sigma::FromXSet(const XSet& pair) {
+  std::vector<XSet> parts;
+  if (!TupleElements(pair, &parts) || parts.size() != 2) {
+    return Status::TypeError("Sigma::FromXSet: expected a 2-tuple ⟨σ1,σ2⟩, got " +
+                             pair.ToString());
+  }
+  return Sigma{parts[0], parts[1]};
+}
+
+XSet Image(const XSet& r, const XSet& a, const Sigma& sigma) {
+  return SigmaDomain(SigmaRestrict(r, sigma.s1, a), sigma.s2);
+}
+
+XSet ImageStd(const XSet& r, const XSet& a) { return Image(r, a, Sigma::Std()); }
+
+}  // namespace xst

@@ -1,0 +1,54 @@
+// XST image (Def 7.1): restriction followed by projection.
+//
+//   R[A]_{⟨σ₁,σ₂⟩} = 𝔇_{σ₂}( R |_{σ₁} A )
+//
+// "The σ₂-domain of the σ₁-restriction": select the members of R that match
+// A on the σ₁ positions, then project the σ₂ positions. With the standard
+// specification σ = ⟨⟨1⟩,⟨2⟩⟩ over a set of pairs this is exactly the CST
+// image R[A]; other specifications compute inverse images, multi-column
+// lookups, and projections in the same stroke.
+//
+// Image is the semantic core of Application (Def 8.1): f₍σ₎(x) = f[x]_σ.
+
+#pragma once
+
+#include "src/common/result.h"
+#include "src/core/xset.h"
+
+namespace xst {
+
+/// \brief A specification pair σ = ⟨σ₁, σ₂⟩: the restriction spec and the
+/// domain (projection) spec of an image/application.
+///
+/// A Sigma is itself representable as an extended set (the 2-tuple
+/// ⟨σ₁,σ₂⟩), which is what lets processes "be represented in such a way as
+/// to denote the proper process" while remaining legitimate sets.
+struct Sigma {
+  XSet s1;  ///< σ₁ — matched against inputs by σ-restriction
+  XSet s2;  ///< σ₂ — projected out by σ-domain
+
+  /// \brief The standard specification ⟨⟨1⟩,⟨2⟩⟩ for sets of ordered pairs:
+  /// restrict on first components, project second components.
+  static Sigma Std();
+
+  /// \brief The inverse of Std(): ⟨⟨2⟩,⟨1⟩⟩ (match seconds, project firsts).
+  static Sigma Inv();
+
+  /// \brief σ from its set form ⟨σ₁,σ₂⟩; TypeError unless `pair` is a 2-tuple.
+  static Result<Sigma> FromXSet(const XSet& pair);
+
+  /// \brief The set form ⟨σ₁,σ₂⟩.
+  XSet ToXSet() const { return XSet::Pair(s1, s2); }
+
+  bool operator==(const Sigma& other) const = default;
+
+  std::string ToString() const { return ToXSet().ToString(); }
+};
+
+/// \brief R[A]_σ (Def 7.1).
+XSet Image(const XSet& r, const XSet& a, const Sigma& sigma);
+
+/// \brief CST image R[A] = R[A]_{⟨⟨1⟩,⟨2⟩⟩} over a set of pairs (Def 3.6).
+XSet ImageStd(const XSet& r, const XSet& a);
+
+}  // namespace xst

@@ -1,0 +1,51 @@
+#include "src/ops/index.h"
+
+#include "src/common/hash.h"
+#include "src/ops/domain.h"
+#include "src/ops/rescope.h"
+#include "src/ops/restrict.h"
+
+namespace xst {
+
+size_t ImageIndex::KeyHash::operator()(const Membership& m) const {
+  return static_cast<size_t>(HashCombine(m.element.hash(), m.scope.hash()));
+}
+
+ImageIndex::ImageIndex(XSet r, Sigma sigma) : r_(std::move(r)), sigma_(std::move(sigma)) {
+  for (const Membership& m : r_.members()) {
+    XSet projected = RescopeByScope(m.element, sigma_.s2);
+    if (projected.empty()) continue;  // can never contribute (Def 7.4)
+    Membership out{projected, RescopeByScope(m.scope, sigma_.s2)};
+    for (const Membership& inner : m.element.members()) {
+      buckets_[inner].push_back(out);
+    }
+  }
+}
+
+XSet ImageIndex::LookupOne(const XSet& probe_element) const {
+  return Lookup(XSet::Classical({probe_element}));
+}
+
+XSet ImageIndex::Lookup(const XSet& probes) const {
+  std::vector<Membership> out;
+  for (const Membership& probe : probes.members()) {
+    XSet elem_key = RescopeByElement(probe.element, sigma_.s1);
+    XSet scope_key = RescopeByElement(probe.scope, sigma_.s1);
+    if (elem_key.cardinality() == 1 && scope_key.empty()) {
+      auto it = buckets_.find(elem_key.members()[0]);
+      if (it != buckets_.end()) {
+        out.insert(out.end(), it->second.begin(), it->second.end());
+      }
+      continue;
+    }
+    // General shape: evaluate this probe against the full carrier.
+    ++fallbacks_;
+    XSet single = XSet::FromMembers({probe});
+    XSet image = SigmaDomain(SigmaRestrict(r_, sigma_.s1, single), sigma_.s2);
+    auto ms = image.members();
+    out.insert(out.end(), ms.begin(), ms.end());
+  }
+  return XSet::FromMembers(std::move(out));
+}
+
+}  // namespace xst

@@ -1,0 +1,37 @@
+#include "src/ops/partition.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/ops/rescope.h"
+
+namespace xst {
+
+XSet Partition(const XSet& r, const XSet& sigma) {
+  std::unordered_map<XSet, std::vector<Membership>, XSetHash> blocks;
+  for (const Membership& m : r.members()) {
+    blocks[RescopeByScope(m.element, sigma)].push_back(m);
+  }
+  std::vector<Membership> out;
+  out.reserve(blocks.size());
+  for (auto& [key, members] : blocks) {
+    out.push_back(Membership{XSet::FromMembers(std::move(members)), key});
+  }
+  return XSet::FromMembers(std::move(out));
+}
+
+XSet PartitionKeys(const XSet& partition) {
+  std::vector<XSet> keys;
+  keys.reserve(partition.cardinality());
+  for (const Membership& m : partition.members()) keys.push_back(m.scope);
+  return XSet::Classical(keys);
+}
+
+XSet PartitionBlock(const XSet& partition, const XSet& key) {
+  for (const Membership& m : partition.members()) {
+    if (m.scope == key) return m.element;
+  }
+  return XSet::Empty();
+}
+
+}  // namespace xst

@@ -1,0 +1,30 @@
+// Partition: the quotient of a set by a σ-kernel — grouping as scoping.
+//
+//   Partition(R, σ) = { block_k ^ k : k ∈ 𝔇-keys of R under σ }
+//   block_k = { z^w ∈ R : z^{/σ/} = k }
+//
+// Two members land in the same block exactly when σ cannot tell them apart
+// (they agree on the σ-selected positions). The result is a *key-scoped set
+// of blocks*: the group key is the scope, the group is the element — GROUP
+// BY with no machinery outside the set model. rel::GroupBy folds blocks
+// with arithmetic; Partition is the underlying set-level operation and obeys
+// the reconstruction law ⋃ blocks = matching members of R (tested).
+
+#pragma once
+
+#include "src/core/xset.h"
+
+namespace xst {
+
+/// \brief The σ-partition of R (see file comment). Members whose σ-re-scope
+/// is ∅ form their own block under the ∅ key — every member of R lands in
+/// exactly one block.
+XSet Partition(const XSet& r, const XSet& sigma);
+
+/// \brief All block keys of a partition (its scopes), as a classical set.
+XSet PartitionKeys(const XSet& partition);
+
+/// \brief The block for `key`, or ∅ when absent.
+XSet PartitionBlock(const XSet& partition, const XSet& key);
+
+}  // namespace xst

@@ -1,0 +1,55 @@
+#include "src/ops/powerset.h"
+
+namespace xst {
+
+namespace {
+
+Status CheckBounds(const XSet& a) {
+  if (a.is_atom()) {
+    return Status::TypeError("PowerSet: operand is an atom: " + a.ToString());
+  }
+  if (a.cardinality() > kMaxPowerSetCardinality) {
+    return Status::CapacityError("PowerSet: cardinality " +
+                                 std::to_string(a.cardinality()) + " exceeds bound " +
+                                 std::to_string(kMaxPowerSetCardinality));
+  }
+  return Status::OK();
+}
+
+XSet SubsetForMask(std::span<const Membership> ms, uint32_t mask) {
+  std::vector<Membership> members;
+  for (size_t i = 0; i < ms.size(); ++i) {
+    if (mask & (1u << i)) members.push_back(ms[i]);
+  }
+  return XSet::FromMembers(std::move(members));
+}
+
+}  // namespace
+
+Result<XSet> PowerSet(const XSet& a) {
+  Status st = CheckBounds(a);
+  if (!st.ok()) return st;
+  auto ms = a.members();
+  const uint32_t count = 1u << ms.size();
+  std::vector<Membership> out;
+  out.reserve(count);
+  for (uint32_t mask = 0; mask < count; ++mask) {
+    out.push_back(Membership{SubsetForMask(ms, mask), XSet::Empty()});
+  }
+  return XSet::FromMembers(std::move(out));
+}
+
+Result<std::vector<XSet>> NonEmptySubsets(const XSet& a) {
+  Status st = CheckBounds(a);
+  if (!st.ok()) return st;
+  auto ms = a.members();
+  const uint32_t count = 1u << ms.size();
+  std::vector<XSet> out;
+  out.reserve(count > 0 ? count - 1 : 0);
+  for (uint32_t mask = 1; mask < count; ++mask) {
+    out.push_back(SubsetForMask(ms, mask));
+  }
+  return out;
+}
+
+}  // namespace xst

@@ -1,0 +1,26 @@
+// Power set.
+//
+// 𝒫(A) is the classical set of all B ⊆ A, where subsets are taken over the
+// scoped membership list (so each membership is independently in or out; a
+// set with n memberships has 2ⁿ subsets). Because the result is exponential,
+// the operation is bounded and returns CapacityError beyond the limit.
+
+#pragma once
+
+#include "src/common/result.h"
+#include "src/core/xset.h"
+
+namespace xst {
+
+/// \brief Maximum operand cardinality accepted by PowerSet (2²⁰ results).
+inline constexpr size_t kMaxPowerSetCardinality = 20;
+
+/// \brief 𝒫(A): the set of all subsets of A under empty scopes.
+/// CapacityError when |A| > kMaxPowerSetCardinality; TypeError for atoms.
+Result<XSet> PowerSet(const XSet& a);
+
+/// \brief All non-empty subsets of A, as a vector (the paper's "∀g ⊆̇ f"
+/// quantifier ranges over these). Same bounds as PowerSet.
+Result<std::vector<XSet>> NonEmptySubsets(const XSet& a);
+
+}  // namespace xst

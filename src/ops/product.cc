@@ -1,0 +1,76 @@
+#include "src/ops/product.h"
+
+#include <unordered_set>
+
+#include "src/ops/boolean.h"
+#include "src/ops/tuple.h"
+
+namespace xst {
+
+namespace {
+
+// (x·y) under kDisjointUnion: union with a guard that no position (scope)
+// appears on both sides, which would silently merge or drop memberships.
+Result<XSet> DisjointConcat(const XSet& x, const XSet& y) {
+  std::unordered_set<uint64_t> scopes_of_x;
+  for (const Membership& m : x.members()) scopes_of_x.insert(m.scope.hash());
+  for (const Membership& m : y.members()) {
+    if (scopes_of_x.count(m.scope.hash()) != 0) {
+      // Hash hit: confirm a genuine scope collision before failing.
+      for (const Membership& mx : x.members()) {
+        if (mx.scope == m.scope) {
+          return Status::TypeError("CrossProduct: operands share position " +
+                                   m.scope.ToString());
+        }
+      }
+    }
+  }
+  return Union(x, y);
+}
+
+Result<XSet> ConcatForMode(const XSet& x, const XSet& y, ConcatMode mode) {
+  switch (mode) {
+    case ConcatMode::kTupleShift:
+      return Concat(x, y);
+    case ConcatMode::kDisjointUnion:
+      return DisjointConcat(x, y);
+  }
+  return Status::Invalid("CrossProduct: unknown concat mode");
+}
+
+}  // namespace
+
+Result<XSet> CrossProduct(const XSet& a, const XSet& b, ConcatMode mode) {
+  std::vector<Membership> out;
+  out.reserve(a.cardinality() * b.cardinality());
+  for (const Membership& ma : a.members()) {
+    for (const Membership& mb : b.members()) {
+      Result<XSet> element = ConcatForMode(ma.element, mb.element, mode);
+      if (!element.ok()) return element.status();
+      Result<XSet> scope = ConcatForMode(ma.scope, mb.scope, mode);
+      if (!scope.ok()) return scope.status();
+      out.push_back(Membership{*element, *scope});
+    }
+  }
+  return XSet::FromMembers(std::move(out));
+}
+
+XSet Tag(const XSet& a, const XSet& tag) {
+  std::vector<Membership> out;
+  out.reserve(a.cardinality());
+  for (const Membership& m : a.members()) {
+    XSet element = XSet::FromMembers({Membership{m.element, tag}});
+    XSet scope = m.scope.empty()
+                     ? XSet::Empty()  // Def 9.6
+                     : XSet::FromMembers({Membership{m.scope, tag}});  // Def 9.5
+    out.push_back(Membership{element, scope});
+  }
+  return XSet::FromMembers(std::move(out));
+}
+
+Result<XSet> CartesianProduct(const XSet& a, const XSet& b) {
+  return CrossProduct(Tag(a, XSet::Int(1)), Tag(b, XSet::Int(2)),
+                      ConcatMode::kDisjointUnion);
+}
+
+}  // namespace xst

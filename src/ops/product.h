@@ -1,0 +1,50 @@
+// Products: XST cross product, tagging, and the CST Cartesian product
+// (Defs 9.3, 9.5–9.7).
+//
+//   A ⊗ B = { (x·y)^{(s·t)} : x ∈ₛ A  &  y ∈ₜ B }
+//
+// The XST cross product concatenates tuples directly — ⟨a,b⟩ ⊗-composed
+// with ⟨c⟩ yields ⟨a,b,c⟩, a *flat* tuple, not a nested pair. This is what
+// makes ⊗ associative (Theorem 9.4), unlike the CST product.
+//
+// Tagging wraps each element into a singleton scoped by a tag:
+//
+//   A^(a) = { {x^a}^{ {s^a} } : x ∈ₛ A }   (s ≠ ∅, Def 9.5)
+//   A^(a) = { {x^a} : x ∈ₛ A }             (s = ∅, Def 9.6)
+//
+// and the backward-compatible CST product is A × B = A⁽¹⁾ ⊗ B⁽²⁾ (Def 9.7):
+// tagging pre-assigns final positions 1 and 2, after which the concatenation
+// of the two singletons is their scope-disjoint union, producing the XST
+// ordered pair {x^1, y^2} = ⟨x,y⟩ exactly.
+
+#pragma once
+
+#include "src/common/result.h"
+#include "src/core/xset.h"
+
+namespace xst {
+
+/// \brief How (x·y) is computed inside a cross product.
+enum class ConcatMode {
+  /// Def 9.2 tuple concatenation: the right operand's positions are shifted
+  /// past the left operand's length. Requires every member (and every
+  /// non-empty membership scope) of both operands to be a tuple.
+  kTupleShift,
+  /// Scope-disjoint union: positions are taken as already assigned (the
+  /// shape tagging produces). Invalid when position sets collide.
+  kDisjointUnion,
+};
+
+/// \brief A ⊗ B (Def 9.3). TypeError when members are not concatenable under
+/// the chosen mode.
+Result<XSet> CrossProduct(const XSet& a, const XSet& b,
+                          ConcatMode mode = ConcatMode::kTupleShift);
+
+/// \brief A^(tag) (Defs 9.5 / 9.6).
+XSet Tag(const XSet& a, const XSet& tag);
+
+/// \brief A × B = A⁽¹⁾ ⊗ B⁽²⁾ (Def 9.7): the CST Cartesian product of two
+/// classical sets, yielding the set of XST ordered pairs ⟨x,y⟩.
+Result<XSet> CartesianProduct(const XSet& a, const XSet& b);
+
+}  // namespace xst

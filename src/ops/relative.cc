@@ -1,0 +1,63 @@
+#include "src/ops/relative.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/core/atom.h"
+#include "src/ops/boolean.h"
+#include "src/ops/rescope.h"
+
+namespace xst {
+
+namespace {
+
+struct KeyHash {
+  size_t operator()(const std::pair<XSet, XSet>& k) const {
+    return static_cast<size_t>(HashCombine(k.first.hash(), k.second.hash()));
+  }
+};
+
+}  // namespace
+
+XSet RelativeProduct(const XSet& f, const XSet& g, const Sigma& sigma, const Sigma& omega,
+                     const RelativeProductOptions& options) {
+  // Build phase: partition G by its re-scoped key ⟨y^{/ω₁/}, t^{/ω₁/}⟩.
+  std::unordered_map<std::pair<XSet, XSet>, std::vector<std::pair<XSet, XSet>>, KeyHash>
+      partitions;
+  partitions.reserve(g.cardinality());
+  for (const Membership& mg : g.members()) {
+    XSet yk = RescopeByScope(mg.element, omega.s1);
+    if (options.require_nonempty_key && yk.empty()) continue;
+    XSet tk = RescopeByScope(mg.scope, omega.s1);
+    partitions[{yk, tk}].push_back({RescopeByScope(mg.element, omega.s2),
+                                    RescopeByScope(mg.scope, omega.s2)});
+  }
+  // Probe phase: each member of F looks up its ⟨x^{/σ₂/}, s^{/σ₂/}⟩ key.
+  std::vector<Membership> out;
+  for (const Membership& mf : f.members()) {
+    XSet xk = RescopeByScope(mf.element, sigma.s2);
+    if (options.require_nonempty_key && xk.empty()) continue;
+    XSet sk = RescopeByScope(mf.scope, sigma.s2);
+    auto it = partitions.find({xk, sk});
+    if (it == partitions.end()) continue;
+    XSet x_out = RescopeByScope(mf.element, sigma.s1);
+    XSet s_out = RescopeByScope(mf.scope, sigma.s1);
+    for (const auto& [y_out, t_out] : it->second) {
+      out.push_back(Membership{Union(x_out, y_out), Union(s_out, t_out)});
+    }
+  }
+  return XSet::FromMembers(std::move(out));
+}
+
+XSet RelativeProductStd(const XSet& r, const XSet& s) {
+  // Paper §10, parameter set 1:
+  //   σ = ⟨{1¹}, {2¹}⟩  — keep F's column 1 in place, join on its column 2;
+  //   ω = ⟨{1¹}, {2²}⟩  — join on G's column 1, land G's column 2 at position 2.
+  using lit::Spec;
+  Sigma sigma{Spec({{1, 1}}), Spec({{2, 1}})};
+  Sigma omega{Spec({{1, 1}}), Spec({{2, 2}})};
+  return RelativeProduct(r, s, sigma, omega);
+}
+
+}  // namespace xst

@@ -1,0 +1,49 @@
+#include "src/ops/rescope.h"
+
+#include <algorithm>
+
+#include "src/core/order.h"
+
+namespace xst {
+
+XSet RescopeByScope(const XSet& a, const XSet& sigma) {
+  // x ∈ₛ A contributes x^w for every w with s ∈_w σ, i.e. for every
+  // membership of σ whose element equals the old scope s.
+  std::vector<Membership> out;
+  for (const Membership& m : a.members()) {
+    for (const XSet& w : sigma.ScopesOf(m.scope)) {
+      out.push_back(Membership{m.element, w});
+    }
+  }
+  return XSet::FromMembers(std::move(out));
+}
+
+XSet RescopeByElement(const XSet& a, const XSet& sigma) {
+  // x ∈ₛ A contributes x^w for every element w of σ carried under scope s.
+  // σ is indexed by scope once up front so the pass over A is a lookup.
+  std::vector<Membership> out;
+  if (a.cardinality() == 0 || sigma.cardinality() == 0) return XSet::Empty();
+  // (scope of σ-membership, its element), sorted by scope for binary search.
+  std::vector<std::pair<XSet, XSet>> by_scope;
+  by_scope.reserve(sigma.cardinality());
+  for (const Membership& m : sigma.members()) {
+    by_scope.push_back({m.scope, m.element});
+  }
+  std::sort(by_scope.begin(), by_scope.end(), [](const auto& p, const auto& q) {
+    int c = Compare(p.first, q.first);
+    if (c != 0) return c < 0;
+    return Compare(p.second, q.second) < 0;
+  });
+  for (const Membership& m : a.members()) {
+    auto it = std::lower_bound(by_scope.begin(), by_scope.end(), m.scope,
+                               [](const auto& p, const XSet& s) {
+                                 return Compare(p.first, s) < 0;
+                               });
+    for (; it != by_scope.end() && it->first == m.scope; ++it) {
+      out.push_back(Membership{m.element, it->second});
+    }
+  }
+  return XSet::FromMembers(std::move(out));
+}
+
+}  // namespace xst

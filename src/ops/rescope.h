@@ -1,0 +1,35 @@
+// Re-scoping: the primitive that powers σ-domain, σ-restriction and the
+// relative product (Defs 7.3 and 7.5).
+//
+// A σ-specification is itself an extended set read as a mapping between
+// scopes:
+//
+//   Re-scope by scope   A^{/σ/} = { x^w : ∃s ( x ∈ₛ A  &  s ∈_w σ ) }
+//     — each membership's OLD scope s is looked up as an ELEMENT of σ; the
+//       new scope w is the scope σ assigns to s. Memberships whose scope σ
+//       does not mention are dropped.
+//         {a^x, b^y, c^z}^{/{x^1, y^2, z^3}/} = {a^1, b^2, c^3}
+//
+//   Re-scope by element A^{\σ\} = { x^w : ∃s ( x ∈ₛ A  &  w ∈ₛ σ ) }
+//     — the inverse orientation: the new scope w is the ELEMENT of σ whose
+//       scope matches the old scope s.
+//         {a^1, b^2, c^3}^{\{w^1, v^2, t^3\}} = {a^w, b^v, c^t}
+//
+// Both return ∅ when the operand is an atom (atoms have no memberships).
+// A σ mapping one old scope to several new scopes fans the membership out;
+// several old scopes mapping to one new scope merge (duplicates collapse by
+// canonicalization).
+
+#pragma once
+
+#include "src/core/xset.h"
+
+namespace xst {
+
+/// \brief A^{/σ/} (Def 7.3).
+XSet RescopeByScope(const XSet& a, const XSet& sigma);
+
+/// \brief A^{\σ\} (Def 7.5).
+XSet RescopeByElement(const XSet& a, const XSet& sigma);
+
+}  // namespace xst

@@ -1,0 +1,67 @@
+#include "src/ops/restrict.h"
+
+#include <unordered_set>
+
+#include "src/common/hash.h"
+#include "src/ops/boolean.h"
+#include "src/ops/rescope.h"
+
+namespace xst {
+
+namespace {
+
+struct MembershipHash {
+  size_t operator()(const Membership& m) const {
+    return static_cast<size_t>(HashCombine(m.element.hash(), m.scope.hash()));
+  }
+};
+
+// Fast path for the dominant query shape: every probe is a singleton
+// {e^s} with an empty scope-probe. Then "probe ⊆ z" is simply "z contains
+// the membership ⟨e, s⟩", which one hash lookup per candidate membership
+// answers — O(|R|·width + |A|) instead of O(|R|·|A|).
+bool TrySingletonFastPath(const XSet& r,
+                          const std::vector<std::pair<XSet, XSet>>& probes,
+                          std::vector<Membership>* out) {
+  std::unordered_set<Membership, MembershipHash> wanted;
+  wanted.reserve(probes.size());
+  for (const auto& [elem_probe, scope_probe] : probes) {
+    if (!scope_probe.empty() || elem_probe.cardinality() != 1) return false;
+    wanted.insert(elem_probe.members()[0]);
+  }
+  for (const Membership& m : r.members()) {
+    for (const Membership& inner : m.element.members()) {
+      if (wanted.count(inner) != 0) {
+        out->push_back(m);
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+XSet SigmaRestrict(const XSet& r, const XSet& sigma, const XSet& a) {
+  // Pre-compute the re-scoped probes ⟨a^{\σ\}, s^{\σ\}⟩ once; each probe is
+  // then a pair of subset tests against every candidate membership of R.
+  std::vector<std::pair<XSet, XSet>> probes;
+  probes.reserve(a.cardinality());
+  for (const Membership& m : a.members()) {
+    probes.push_back({RescopeByElement(m.element, sigma), RescopeByElement(m.scope, sigma)});
+  }
+  std::vector<Membership> out;
+  if (!probes.empty() && !TrySingletonFastPath(r, probes, &out)) {
+    for (const Membership& m : r.members()) {
+      for (const auto& [elem_probe, scope_probe] : probes) {
+        if (IsSubset(elem_probe, m.element) && IsSubset(scope_probe, m.scope)) {
+          out.push_back(m);
+          break;
+        }
+      }
+    }
+  }
+  return XSet::FromMembers(std::move(out));
+}
+
+}  // namespace xst

@@ -1,0 +1,25 @@
+// σ-restriction (Def 7.6): the generalized selection.
+//
+//   R |_σ A = { z^w : z ∈_w R  &  ∃a,s ( a ∈ₛ A  &  a^{\σ\} ⊆ z  &  s^{\σ\} ⊆ w ) }
+//
+// A membership z^w of R survives when some member a of A, re-scoped by
+// element through σ, embeds into z (and the corresponding scopes embed too).
+// With σ = ⟨1⟩ and A a set of 1-tuples this is exactly CST restriction of a
+// relation to the pairs whose first component appears in A; general σ selects
+// on any column combination.
+//
+// The definition is implemented literally. Note its edge case: a member a
+// whose re-scope a^{\σ\} is ∅ matches every z (∅ ⊆ z always holds). That is
+// the behavior the paper's equations require; query-level code that wants
+// key-based selection should present properly shaped σ and A.
+
+#pragma once
+
+#include "src/core/xset.h"
+
+namespace xst {
+
+/// \brief R |_σ A (Def 7.6).
+XSet SigmaRestrict(const XSet& r, const XSet& sigma, const XSet& a);
+
+}  // namespace xst

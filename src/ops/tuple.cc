@@ -1,0 +1,85 @@
+#include "src/ops/tuple.h"
+
+#include <algorithm>
+
+namespace xst {
+
+namespace {
+
+// Collects (position, element) for an indexed set; returns false when some
+// scope is not a positive int atom or a position repeats.
+bool IndexedEntries(const XSet& x, std::vector<std::pair<int64_t, XSet>>* out) {
+  if (!x.is_set()) return false;
+  out->clear();
+  out->reserve(x.cardinality());
+  for (const Membership& m : x.members()) {
+    if (!m.scope.is_int() || m.scope.int_value() < 1) return false;
+    out->push_back({m.scope.int_value(), m.element});
+  }
+  std::sort(out->begin(), out->end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (size_t i = 1; i < out->size(); ++i) {
+    if ((*out)[i].first == (*out)[i - 1].first) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<int64_t> TupleLength(const XSet& x) {
+  std::vector<std::pair<int64_t, XSet>> entries;
+  if (!IndexedEntries(x, &entries)) return std::nullopt;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].first != static_cast<int64_t>(i + 1)) return std::nullopt;
+  }
+  return static_cast<int64_t>(entries.size());
+}
+
+bool TupleElements(const XSet& x, std::vector<XSet>* out) {
+  std::vector<std::pair<int64_t, XSet>> entries;
+  if (!IndexedEntries(x, &entries)) return false;
+  out->clear();
+  out->reserve(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].first != static_cast<int64_t>(i + 1)) return false;
+    out->push_back(entries[i].second);
+  }
+  return true;
+}
+
+Result<XSet> TupleGet(const XSet& x, int64_t i) {
+  std::optional<int64_t> n = TupleLength(x);
+  if (!n.has_value()) {
+    return Status::TypeError("TupleGet: operand is not a tuple: " + x.ToString());
+  }
+  if (i < 1 || i > *n) {
+    return Status::OutOfRange("TupleGet: position " + std::to_string(i) +
+                              " outside 1.." + std::to_string(*n));
+  }
+  std::vector<XSet> elems = x.ElementsWithScope(XSet::Int(i));
+  return elems.front();
+}
+
+Result<XSet> Concat(const XSet& x, const XSet& y) {
+  std::optional<int64_t> n = TupleLength(x);
+  if (!n.has_value()) {
+    return Status::TypeError("Concat: left operand is not a tuple: " + x.ToString());
+  }
+  std::optional<int64_t> m = TupleLength(y);
+  if (!m.has_value()) {
+    return Status::TypeError("Concat: right operand is not a tuple: " + y.ToString());
+  }
+  std::vector<Membership> members(x.members().begin(), x.members().end());
+  members.reserve(static_cast<size_t>(*n + *m));
+  for (const Membership& my : y.members()) {
+    members.push_back(Membership{my.element, XSet::Int(my.scope.int_value() + *n)});
+  }
+  return XSet::FromMembers(std::move(members));
+}
+
+bool IsIndexed(const XSet& x) {
+  std::vector<std::pair<int64_t, XSet>> entries;
+  return IndexedEntries(x, &entries);
+}
+
+}  // namespace xst

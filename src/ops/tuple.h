@@ -1,0 +1,43 @@
+// Tuples as extended sets (Defs 9.1, 9.2).
+//
+//   tup(x) = n  ⟺  x = {x₁^1, x₂^2, …, xₙ^n}
+//
+// A tuple is a set whose scopes are exactly the integer atoms 1..n, each used
+// once. The 0-tuple is ∅. Tuples are the data-representation workhorse: a
+// record is a tuple, a stored file is a set of tuples, and σ-specifications
+// select and reorder tuple positions.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/xset.h"
+
+namespace xst {
+
+/// \brief tup(x): the tuple length, or nullopt if x is not a tuple.
+std::optional<int64_t> TupleLength(const XSet& x);
+
+/// \brief True iff x is an n-tuple for some n ≥ 0 (∅ is the 0-tuple).
+inline bool IsTuple(const XSet& x) { return TupleLength(x).has_value(); }
+
+/// \brief Extracts tuple elements in ordinal order. Returns false (leaving
+/// *out unspecified) if x is not a tuple.
+bool TupleElements(const XSet& x, std::vector<XSet>* out);
+
+/// \brief The element at 1-based position i, or an error if x is not a tuple
+/// or i is out of range.
+Result<XSet> TupleGet(const XSet& x, int64_t i);
+
+/// \brief Tuple concatenation x·y (Def 9.2): ⟨x₁,…,xₙ⟩·⟨y₁,…,yₘ⟩ =
+/// ⟨x₁,…,xₙ,y₁,…,yₘ⟩. TypeError if either operand is not a tuple.
+Result<XSet> Concat(const XSet& x, const XSet& y);
+
+/// \brief True iff every scope of x is a positive integer atom, no two
+/// memberships sharing a scope ("indexed set": a tuple with possible gaps).
+bool IsIndexed(const XSet& x);
+
+}  // namespace xst

@@ -1,0 +1,38 @@
+#include "src/ops/value.h"
+
+#include "src/ops/tuple.h"
+
+namespace xst {
+
+namespace {
+
+Result<XSet> UniqueUnwrapped(const XSet& x, const XSet& wanted_scope) {
+  bool found = false;
+  XSet value;
+  for (const Membership& m : x.members()) {
+    if (m.scope != wanted_scope) continue;
+    std::vector<XSet> parts;
+    if (!TupleElements(m.element, &parts) || parts.size() != 1) continue;
+    if (found && parts[0] != value) {
+      return Status::Invalid("Value: ambiguous — both " + value.ToString() + " and " +
+                             parts[0].ToString() + " qualify in " + x.ToString());
+    }
+    found = true;
+    value = parts[0];
+  }
+  if (!found) {
+    return Status::NotFound("Value: no 1-tuple member under scope " +
+                            wanted_scope.ToString() + " in " + x.ToString());
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<XSet> SigmaValue(const XSet& x, const XSet& sigma) {
+  return UniqueUnwrapped(x, XSet::Tuple({sigma}));
+}
+
+Result<XSet> Value(const XSet& x) { return UniqueUnwrapped(x, XSet::Empty()); }
+
+}  // namespace xst

@@ -1,0 +1,29 @@
+// Value extraction (Defs 9.8, 9.9): from set-valued results back to elements.
+//
+//   𝒱_σ(x) = b ⟺ ∀y ( ⟨y⟩ ∈_{⟨σ⟩} x → y = b )
+//   𝒱(x)   = b ⟺ ∀y ( ⟨y⟩ ∈ x → y = b )
+//
+// XST applications return sets; 𝒱 recovers the single element when the
+// result is (or a σ-selected slice of it is) a singleton of 1-tuples. This
+// is the bridge that lets XST support elements-to-elements functions
+// (Theorem 9.10) and multi-valued operations with named branches, e.g. the
+// square root of Example 9.1:
+//
+//   √16 = { ⟨2⟩^⟨+⟩, ⟨-2⟩^⟨-⟩, ⟨2i⟩^⟨i⟩, ⟨-2i⟩^⟨-i⟩ },   𝒱₊(√16) = 2.
+
+#pragma once
+
+#include "src/common/result.h"
+#include "src/core/xset.h"
+
+namespace xst {
+
+/// \brief 𝒱_σ(x): the unique y with ⟨y⟩ ∈_{⟨σ⟩} x. NotFound when no such
+/// membership exists; Invalid when several distinct y qualify (the formal
+/// definition has no witness b in that case).
+Result<XSet> SigmaValue(const XSet& x, const XSet& sigma);
+
+/// \brief 𝒱(x): the unique y with ⟨y⟩ ∈ x (classical-scope memberships).
+Result<XSet> Value(const XSet& x);
+
+}  // namespace xst

@@ -1,0 +1,74 @@
+#include "src/process/calculus.h"
+
+#include "src/ops/boolean.h"
+#include "src/ops/rescope.h"
+#include "src/ops/domain.h"
+#include "src/ops/tuple.h"
+#include "src/process/compose.h"
+
+namespace xst {
+
+Result<Process> IdentityProcess(const XSet& a) {
+  std::vector<Membership> pairs;
+  pairs.reserve(a.cardinality());
+  for (const Membership& m : a.members()) {
+    std::vector<XSet> parts;
+    if (!TupleElements(m.element, &parts) || parts.size() != 1) {
+      return Status::TypeError("IdentityProcess: carrier elements must be 1-tuples, got " +
+                               m.element.ToString());
+    }
+    pairs.push_back(Membership{XSet::Pair(parts[0], parts[0]), m.scope});
+  }
+  return Process(XSet::FromMembers(std::move(pairs)), Sigma::Std());
+}
+
+Process Converse(const Process& f) {
+  return Process(f.set(), Sigma{f.sigma().s2, f.sigma().s1});
+}
+
+Process UnionProcess(const Process& f, const Process& g) {
+  return Process(Union(f.set(), g.set()), f.sigma());
+}
+
+Process IntersectProcess(const Process& f, const Process& g) {
+  return Process(Intersect(f.set(), g.set()), f.sigma());
+}
+
+Process DifferenceProcess(const Process& f, const Process& g) {
+  return Process(Difference(f.set(), g.set()), f.sigma());
+}
+
+Process RestrictDomain(const Process& f, const XSet& a) {
+  std::vector<Membership> kept;
+  for (const Membership& m : f.set().members()) {
+    XSet key = RescopeByScope(m.element, f.sigma().s1);
+    XSet key_scope = RescopeByScope(m.scope, f.sigma().s1);
+    if (a.Contains(key, key_scope)) kept.push_back(m);
+  }
+  return Process(XSet::FromMembers(std::move(kept)), f.sigma());
+}
+
+Result<Process> IterateProcess(const Process& f, int k) {
+  if (k < 1) return Status::Invalid("IterateProcess: k must be >= 1");
+  if (!(f.sigma() == Sigma::Std())) {
+    return Status::Invalid("IterateProcess: standard pair-relation spec required");
+  }
+  Process power = f;
+  for (int i = 1; i < k; ++i) {
+    power = ComposeStd(f, power);
+  }
+  return power;
+}
+
+std::optional<int> SelfApplicationOrbit(const XSet& carrier, const Sigma& omega,
+                                        int limit) {
+  XSet current = carrier;
+  for (int k = 1; k <= limit; ++k) {
+    current = SigmaDomain(current, omega.s2);
+    if (current == carrier) return k;
+    if (current.empty()) return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace xst

@@ -1,0 +1,50 @@
+// A calculus of derived behaviors.
+//
+// The paper defines processes and one combinator (composition). This module
+// provides the standard derived constructions — identity, converse,
+// carrier-level Boolean combinations (Consequence 8.1), domain restriction,
+// and iteration — all as ordinary sets-plus-specifications, so everything
+// here persists through the set store like any other process.
+//
+// All constructions assume standard pair-relation processes (σ = ⟨⟨1⟩,⟨2⟩⟩),
+// the shape the relational layer and the CST bridge use.
+
+#pragma once
+
+#include <optional>
+
+#include "src/common/result.h"
+#include "src/process/process.h"
+
+namespace xst {
+
+/// \brief I_A: the identity behavior on a set of 1-tuples ⟨v⟩:
+/// carrier {⟨v,v⟩ : ⟨v⟩ ∈ A}, standard spec. (Appendix B: f₍σ₎ = I_A.)
+Result<Process> IdentityProcess(const XSet& a);
+
+/// \brief The converse behavior f⁻¹: swaps the roles of σ₁ and σ₂, so
+/// Converse(f).Apply(y) is the inverse image. The carrier is untouched —
+/// only the reading changes (Example 8.1's f₍τ₎).
+Process Converse(const Process& f);
+
+/// \brief Union / intersection / difference of behaviors at the carrier
+/// level; Consequence 8.1 relates these to pointwise set operations.
+Process UnionProcess(const Process& f, const Process& g);
+Process IntersectProcess(const Process& f, const Process& g);
+Process DifferenceProcess(const Process& f, const Process& g);
+
+/// \brief f restricted to the sub-domain A (a set of domain-shaped
+/// memberships): keeps only carrier members whose σ₁-projection lies in A.
+Process RestrictDomain(const Process& f, const XSet& a);
+
+/// \brief f iterated k times under composition (f¹ = f). Standard-spec
+/// processes only; Invalid otherwise or for k < 1.
+Result<Process> IterateProcess(const Process& f, int k);
+
+/// \brief The orbit length of f's σ₂-projection under self-application with
+/// spec ω (Appendix B's cycle: the example's ω has orbit 4): the smallest
+/// k ≥ 1 with proj^k(carrier) = carrier, or nullopt within `limit`.
+std::optional<int> SelfApplicationOrbit(const XSet& carrier, const Sigma& omega,
+                                        int limit = 64);
+
+}  // namespace xst

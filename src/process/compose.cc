@@ -1,0 +1,32 @@
+#include "src/process/compose.h"
+
+#include "src/core/atom.h"
+#include "src/ops/relative.h"
+#include "src/process/spaces.h"
+
+namespace xst {
+
+Process Compose(const Process& g, const Process& f) {
+  XSet h = RelativeProduct(f.set(), g.set(), f.sigma(), g.sigma());
+  return Process(h, Sigma{f.sigma().s1, g.sigma().s2});
+}
+
+Process ComposeStd(const Process& g, const Process& f) {
+  XSet h = RelativeProductStd(f.set(), g.set());
+  return Process(h, Sigma::Std());
+}
+
+CompositionTheoremCheck CheckCompositionTheorem(const Process& f, const Process& g,
+                                                const XSet& a, const XSet& b,
+                                                const XSet& c) {
+  CompositionTheoremCheck check;
+  check.premises_hold = InFunctionSpace(f, a, b) && IsOn(f, a) &&
+                        InFunctionSpace(g, b, c) && IsOn(g, b);
+  Process h = Compose(g, f);
+  check.h = h;
+  check.h_constructed = !h.set().empty();
+  check.conclusion_holds = InFunctionSpace(h, a, c) && IsOn(h, a);
+  return check;
+}
+
+}  // namespace xst

@@ -1,0 +1,46 @@
+// Composition (paper §11): aggregating two behaviors into one process.
+//
+//   g₍ω₎ ∘ f₍σ₎ = ( f /⟨ω₁,ω₂⟩⟨σ₁,σ₂⟩ g )₍⟨σ₁,ω₂⟩₎        (Def 11.1)
+//
+// The carrier of the composite is a relative product: f's σ₂-projection is
+// joined against g's ω₁-projection, keeping f's σ₁ columns and g's ω₂
+// columns; the composite's specification is ⟨σ₁, ω₂⟩. Theorem 11.2 then
+// gives the constructive guarantee the paper builds its optimization story
+// on: for f ∈_σ ℱ[A,B) and g ∈_ω ℱ[B,C), the composite is a concrete set h
+// with h ∈_τ ℱ[A,C) — the intermediate set B never needs to be materialized.
+//
+// Semantics note. The relative product matches re-scoped keys by *equality*,
+// while staged application matches probes by *embedding* (⊆). On the pair
+// relations used throughout the paper (and the relational layer) these
+// coincide and (g ∘ f)(x) = g(f(x)) pointwise; tests pin both the agreement
+// on that class and the general construction of Theorem 11.2.
+
+#pragma once
+
+#include "src/process/process.h"
+
+namespace xst {
+
+/// \brief g₍ω₎ ∘ f₍σ₎ (Def 11.1).
+Process Compose(const Process& g, const Process& f);
+
+/// \brief Composition specialized to standard pair-relation processes
+/// (σ = ω = ⟨⟨1⟩,⟨2⟩⟩): the result is again a standard pair-relation
+/// process whose carrier is the CST relative product, so
+/// ComposeStd(g, f).Apply(x) == g.Apply(f.Apply(x)) for every x.
+Process ComposeStd(const Process& g, const Process& f);
+
+/// \brief The outcome of checking Theorem 11.2 on a concrete f, g, A, B, C.
+struct CompositionTheoremCheck {
+  bool premises_hold = false;   ///< f ∈_σ ℱ[A,B) and g ∈_ω ℱ[B,C)
+  bool h_constructed = false;   ///< the relative product is non-empty
+  bool conclusion_holds = false;  ///< h ∈_τ ℱ[A,C)
+  Process h = Process(XSet::Empty());  ///< the constructed composite
+};
+
+/// \brief Verifies Theorem 11.2 for concrete operands.
+CompositionTheoremCheck CheckCompositionTheorem(const Process& f, const Process& g,
+                                                const XSet& a, const XSet& b,
+                                                const XSet& c);
+
+}  // namespace xst

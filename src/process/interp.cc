@@ -1,0 +1,97 @@
+#include "src/process/interp.h"
+
+namespace xst {
+
+namespace {
+
+// Evaluated node: either still a behavior or already a result set.
+struct Value {
+  bool is_process;
+  Process process = Process(XSet::Empty());
+  XSet set;
+  std::string notation;
+};
+
+// Enumerate all binary application trees over items[lo..hi] (inclusive),
+// where items[i] for i < n are processes and the final item is the input
+// set. Order is preserved, so the input set can only ever appear as the
+// rightmost leaf and every left operand evaluates to a process.
+void Enumerate(const std::vector<Value>& items, size_t lo, size_t hi,
+               std::vector<Value>* out) {
+  out->clear();
+  if (lo == hi) {
+    out->push_back(items[lo]);
+    return;
+  }
+  for (size_t split = lo; split < hi; ++split) {
+    std::vector<Value> lefts, rights;
+    Enumerate(items, lo, split, &lefts);
+    Enumerate(items, split + 1, hi, &rights);
+    for (const Value& l : lefts) {
+      for (const Value& r : rights) {
+        // The left operand is always a pure process subchain (it cannot
+        // contain the rightmost input set), so applying it is total.
+        Value v;
+        v.notation = l.notation + "(" + r.notation + ")";
+        if (r.is_process) {
+          v.is_process = true;
+          v.process = l.process.ApplyToProcess(r.process);  // Def 4.1
+        } else {
+          v.is_process = false;
+          v.set = l.process.Apply(r.set);  // Def 8.1
+        }
+        out->push_back(v);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Interpretation> EnumerateInterpretations(const std::vector<Process>& chain,
+                                                     const XSet& x,
+                                                     const std::vector<std::string>& names) {
+  std::vector<Value> items;
+  items.reserve(chain.size() + 1);
+  for (size_t i = 0; i < chain.size(); ++i) {
+    Value v;
+    v.is_process = true;
+    v.process = chain[i];
+    v.notation = i < names.size() ? names[i] : "p" + std::to_string(i + 1);
+    items.push_back(v);
+  }
+  Value input;
+  input.is_process = false;
+  input.set = x;
+  input.notation = "x";
+  items.push_back(input);
+
+  std::vector<Value> evaluated;
+  if (items.size() == 1) {
+    // No processes: the only interpretation is x itself.
+    return {Interpretation{"x", x}};
+  }
+  Enumerate(items, 0, items.size() - 1, &evaluated);
+  std::vector<Interpretation> out;
+  out.reserve(evaluated.size());
+  for (const Value& v : evaluated) {
+    // Every complete tree consumes the input set, so results are sets.
+    out.push_back(Interpretation{v.notation, v.set});
+  }
+  return out;
+}
+
+uint64_t InterpretationCount(int n) {
+  // Catalan(n) by the recurrence C₀ = 1, Cₖ₊₁ = Σ Cᵢ·Cₖ₋ᵢ.
+  if (n < 0) return 0;
+  std::vector<uint64_t> c(static_cast<size_t>(n) + 1, 0);
+  c[0] = 1;
+  for (int k = 1; k <= n; ++k) {
+    uint64_t sum = 0;
+    for (int i = 0; i < k; ++i) sum += c[i] * c[k - 1 - i];
+    c[static_cast<size_t>(k)] = sum;
+  }
+  return c[static_cast<size_t>(n)];
+}
+
+}  // namespace xst

@@ -1,0 +1,42 @@
+// Interpretation enumeration for unbracketed application chains (paper §4,
+// Appendix A).
+//
+// The expression f₍σ₎ g₍ω₎ (x) is ambiguous: it may mean f₍σ₎(g₍ω₎(x)) or
+// (f₍σ₎(g₍ω₎))(x), and the two generally disagree (Appendix A exhibits a
+// witness). A chain of n processes followed by an input set has exactly
+// Catalan(n) full bracketings — the counts the paper quotes: 2 for two
+// processes, 5 for three, 14 for four, 42 for five.
+//
+// EnumerateInterpretations materializes every bracketing, evaluates it with
+// the Def 4.1 semantics (process applied to process → process; process
+// applied to set → set), and returns the resulting sets with their bracketed
+// notations — the machinery behind the TAB-CAT and EX-A2 reproductions.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/process/process.h"
+
+namespace xst {
+
+/// \brief One fully bracketed reading of a chain.
+struct Interpretation {
+  std::string notation;  ///< e.g. "(f(g))(x)"
+  XSet result;           ///< the value of the bracketing applied to x
+};
+
+/// \brief All Catalan(n) bracketings of `chain[0] … chain[n-1] (x)`,
+/// evaluated. `names` labels the processes in the notations; when shorter
+/// than the chain, names fall back to p1, p2, ….
+std::vector<Interpretation> EnumerateInterpretations(const std::vector<Process>& chain,
+                                                     const XSet& x,
+                                                     const std::vector<std::string>& names = {});
+
+/// \brief The number of distinct bracketings of a chain of n processes
+/// (the n-th Catalan number): 1, 2, 5, 14, 42, …
+uint64_t InterpretationCount(int n);
+
+}  // namespace xst

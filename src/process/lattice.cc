@@ -1,0 +1,192 @@
+#include "src/process/lattice.h"
+
+#include <string>
+
+#include "src/ops/tuple.h"
+
+namespace xst {
+
+bool SpaceId::IsLegitimate() const {
+  bool s_empty = !allow_many_to_one && !allow_one_to_one && !allow_one_to_many;
+  if (s_empty && (require_on || require_onto)) return false;
+  return true;
+}
+
+bool SpaceId::IsFunctionSpace() const {
+  bool s_empty = !allow_many_to_one && !allow_one_to_one && !allow_one_to_many;
+  return !s_empty && !allow_one_to_many;
+}
+
+std::string SpaceId::Notation() const {
+  std::string out;
+  out += require_on ? '[' : '(';
+  if (allow_many_to_one) out += '>';
+  if (allow_one_to_one) out += '-';
+  if (allow_one_to_many) out += '<';
+  out += require_onto ? ']' : ')';
+  return out;
+}
+
+std::vector<SpaceId> AllRefinedSpaces() {
+  std::vector<SpaceId> spaces;
+  for (int mask = 0; mask < 32; ++mask) {
+    SpaceId s;
+    s.allow_many_to_one = (mask & 1) != 0;
+    s.allow_one_to_one = (mask & 2) != 0;
+    s.allow_one_to_many = (mask & 4) != 0;
+    s.require_on = (mask & 8) != 0;
+    s.require_onto = (mask & 16) != 0;
+    if (s.IsLegitimate()) spaces.push_back(s);
+  }
+  return spaces;
+}
+
+std::vector<SpaceId> AllBasicSpaces() {
+  // Association classes 𝒫, 𝒫*, ℱ, ℱ* as permitted-association sets.
+  const bool kClasses[4][3] = {
+      {true, true, true},    // 𝒫  = {>,-,<}
+      {false, true, true},   // 𝒫* = {-,<}
+      {true, true, false},   // ℱ  = {>,-}
+      {false, true, false},  // ℱ* = {-}
+  };
+  std::vector<SpaceId> spaces;
+  for (const auto& cls : kClasses) {
+    for (int on = 0; on < 2; ++on) {
+      for (int onto = 0; onto < 2; ++onto) {
+        SpaceId s;
+        s.allow_many_to_one = cls[0];
+        s.allow_one_to_one = cls[1];
+        s.allow_one_to_many = cls[2];
+        s.require_on = on != 0;
+        s.require_onto = onto != 0;
+        spaces.push_back(s);
+      }
+    }
+  }
+  return spaces;
+}
+
+bool Inhabits(const Process& f, const XSet& a, const XSet& b, const SpaceId& space) {
+  if (!InProcessSpace(f, a, b)) return false;
+  if (space.require_on && !IsOn(f, a)) return false;
+  if (space.require_onto && !IsOnto(f, b)) return false;
+  Associations assoc = ClassifyAssociations(f);
+  if (assoc.many_to_one && !space.allow_many_to_one) return false;
+  if (assoc.one_to_one && !space.allow_one_to_one) return false;
+  if (assoc.one_to_many && !space.allow_one_to_many) return false;
+  return true;
+}
+
+bool SpaceContains(const SpaceId& outer, const SpaceId& inner) {
+  if (inner.allow_many_to_one && !outer.allow_many_to_one) return false;
+  if (inner.allow_one_to_one && !outer.allow_one_to_one) return false;
+  if (inner.allow_one_to_many && !outer.allow_one_to_many) return false;
+  // An on/onto requirement on the *outer* space restricts it; containment
+  // needs the inner space to be at least as restricted.
+  if (outer.require_on && !inner.require_on) return false;
+  if (outer.require_onto && !inner.require_onto) return false;
+  return true;
+}
+
+namespace {
+
+std::vector<XSet> MakeCarrierAtoms(int size, const char* prefix) {
+  std::vector<XSet> atoms;
+  atoms.reserve(static_cast<size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    atoms.push_back(XSet::Symbol(std::string(prefix) + std::to_string(i)));
+  }
+  return atoms;
+}
+
+std::vector<XSet> WrapAsUnaryTuples(const std::vector<XSet>& atoms) {
+  std::vector<XSet> tuples;
+  tuples.reserve(atoms.size());
+  for (const XSet& atom : atoms) tuples.push_back(XSet::Tuple({atom}));
+  return tuples;
+}
+
+}  // namespace
+
+LatticeReport EnumerateLattice(int a_size, int b_size, bool refined) {
+  LatticeReport report;
+  report.spaces = refined ? AllRefinedSpaces() : AllBasicSpaces();
+  for (const SpaceId& s : report.spaces) {
+    if (s.IsFunctionSpace()) ++report.function_space_count;
+  }
+  report.inhabited.assign(report.spaces.size(), false);
+
+  const int pair_count = a_size * b_size;
+  if (pair_count > 20) {
+    // Caller exceeded the enumeration budget: report the lattice structure
+    // only (spaces + edges), leaving inhabitation unexplored.
+    a_size = 0;
+  }
+  std::vector<XSet> a_atoms = MakeCarrierAtoms(a_size, "a");
+  std::vector<XSet> b_atoms = MakeCarrierAtoms(b_size, "b");
+  XSet a = XSet::Classical(WrapAsUnaryTuples(a_atoms));
+  XSet b = XSet::Classical(WrapAsUnaryTuples(b_atoms));
+  std::vector<XSet> pairs;
+  for (const XSet& x : a_atoms) {
+    for (const XSet& y : b_atoms) {
+      pairs.push_back(XSet::Pair(x, y));
+    }
+  }
+  const uint32_t total = a_size > 0 ? (1u << pairs.size()) : 0;
+  for (uint32_t mask = 1; mask < total; ++mask) {
+    std::vector<XSet> chosen;
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      if (mask & (1u << i)) chosen.push_back(pairs[i]);
+    }
+    Process f(XSet::Classical(chosen), Sigma::Std());
+    ++report.relations_enumerated;
+    for (size_t s = 0; s < report.spaces.size(); ++s) {
+      if (!report.inhabited[s] && Inhabits(f, a, b, report.spaces[s])) {
+        report.inhabited[s] = true;
+      }
+    }
+  }
+  for (bool v : report.inhabited) {
+    if (v) ++report.inhabited_count;
+  }
+  // Hasse cover edges: containment with no strictly intermediate space.
+  for (size_t i = 0; i < report.spaces.size(); ++i) {
+    for (size_t j = 0; j < report.spaces.size(); ++j) {
+      if (i == j) continue;
+      if (!SpaceContains(report.spaces[i], report.spaces[j])) continue;
+      bool covered = true;
+      for (size_t k = 0; k < report.spaces.size() && covered; ++k) {
+        if (k == i || k == j) continue;
+        if (SpaceContains(report.spaces[i], report.spaces[k]) &&
+            SpaceContains(report.spaces[k], report.spaces[j])) {
+          covered = false;
+        }
+      }
+      if (covered) report.cover_edges.push_back({i, j});
+    }
+  }
+  return report;
+}
+
+std::string FormatLatticeReport(const LatticeReport& report) {
+  std::string out;
+  out += "spaces: " + std::to_string(report.spaces.size()) +
+         "  function spaces: " + std::to_string(report.function_space_count) +
+         "  inhabited: " + std::to_string(report.inhabited_count) + " (over " +
+         std::to_string(report.relations_enumerated) + " relations)\n";
+  for (size_t i = 0; i < report.spaces.size(); ++i) {
+    const SpaceId& s = report.spaces[i];
+    out += "  " + s.Notation();
+    out += s.IsFunctionSpace() ? "  [function space]" : "                  ";
+    out += report.inhabited[i] ? "  inhabited" : "  EMPTY";
+    out += "\n";
+  }
+  out += "cover edges (outer <- inner):\n";
+  for (const auto& [outer, inner] : report.cover_edges) {
+    out += "  " + report.spaces[outer].Notation() + " <- " +
+           report.spaces[inner].Notation() + "\n";
+  }
+  return out;
+}
+
+}  // namespace xst

@@ -1,0 +1,97 @@
+// The process-space lattices of Figure 1 and Appendices D/E.
+//
+// A *space* is identified by which associations it permits and which domain
+// restrictions it imposes:
+//
+//   on    "["  — 𝔇_{σ₁}(f) must equal A (otherwise only ⊆̇ A)
+//   onto  "]"  — 𝔇_{σ₂}(f) must equal B
+//   >          — many-to-one associations permitted
+//   -          — one-to-one associations permitted
+//   <          — one-to-many associations permitted
+//
+// Basic lattice (Figure 1): four association classes
+//   𝒫  = {>,-,<}   any process
+//   𝒫* = {-,<}     no many-to-one (the inverses of functions)
+//   ℱ  = {>,-}     no one-to-many — the functions
+//   ℱ* = {-}       one-to-one functions
+// crossed with on/onto: 4 × 2 × 2 = 16 spaces, of which the 8 with
+// association class ℱ or ℱ* are function spaces ("8 of these qualify as
+// non-empty function spaces").
+//
+// Refined lattice (Appendix E): the permitted-association set S ranges over
+// all subsets of {>,-,<}; S = ∅ admits no associations at all, so it cannot
+// satisfy an on/onto constraint — the 3 combinations (∅,on), (∅,onto),
+// (∅,on+onto) are illegitimate, leaving 2⁵ − 3 = 29 spaces. Function spaces
+// are those with < ∉ S and S ≠ ∅: 3 × 4 = 12 ("Non-Empty Function (12)").
+//
+// EnumerateLattice verifies the counts *computationally*: it enumerates every
+// non-empty pair relation over small carriers A and B, classifies each, and
+// reports which spaces are inhabited and how the spaces nest (the Hasse
+// diagram of Consequence 6.1).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/xset.h"
+#include "src/process/spaces.h"
+
+namespace xst {
+
+/// \brief One refined space: permitted associations × domain restrictions.
+struct SpaceId {
+  bool allow_many_to_one = false;  ///< '>'
+  bool allow_one_to_one = false;   ///< '-'
+  bool allow_one_to_many = false;  ///< '<'
+  bool require_on = false;         ///< '['
+  bool require_onto = false;       ///< ']'
+
+  /// S = ∅ with an on/onto requirement is self-contradictory (see header).
+  bool IsLegitimate() const;
+  /// A function space permits no one-to-many association (and is not S = ∅).
+  bool IsFunctionSpace() const;
+  /// Notation in the paper's five-condition style, e.g. "[>-)" or "(-<]".
+  std::string Notation() const;
+
+  bool operator==(const SpaceId&) const = default;
+};
+
+/// \brief All 29 legitimate refined spaces (Appendix E).
+std::vector<SpaceId> AllRefinedSpaces();
+
+/// \brief The 16 basic spaces of Figure 1 (association classes 𝒫,𝒫*,ℱ,ℱ*).
+std::vector<SpaceId> AllBasicSpaces();
+
+/// \brief Space membership: f ∈ the space over (A, B) — f must lie in
+/// 𝒫(A,B), satisfy the on/onto requirements, and exhibit only permitted
+/// associations.
+bool Inhabits(const Process& f, const XSet& a, const XSet& b, const SpaceId& space);
+
+/// \brief Containment between spaces (same A, B): every process of `inner`
+/// is a process of `outer`.
+bool SpaceContains(const SpaceId& outer, const SpaceId& inner);
+
+struct LatticeReport {
+  std::vector<SpaceId> spaces;
+  size_t function_space_count = 0;
+  /// spaces[i] inhabited by at least one enumerated relation.
+  std::vector<bool> inhabited;
+  size_t inhabited_count = 0;
+  /// Hasse cover edges (outer index, inner index) under SpaceContains.
+  std::vector<std::pair<size_t, size_t>> cover_edges;
+  /// Number of relations enumerated.
+  size_t relations_enumerated = 0;
+};
+
+/// \brief Enumerates every non-empty pair relation between carriers of the
+/// given sizes (with the standard specification) and classifies it against
+/// each space. `refined` selects the 29-space lattice; otherwise the basic
+/// 16-space lattice. Sizes are capped so the enumeration stays ≤ 2²⁰.
+LatticeReport EnumerateLattice(int a_size, int b_size, bool refined);
+
+/// \brief Renders a report as the textual lattice used by the FIG-1 / FIG-E
+/// reproduction binaries.
+std::string FormatLatticeReport(const LatticeReport& report);
+
+}  // namespace xst

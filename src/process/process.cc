@@ -1,0 +1,86 @@
+#include "src/process/process.h"
+
+#include "src/ops/boolean.h"
+#include "src/ops/domain.h"
+#include "src/ops/image.h"
+#include "src/ops/rescope.h"
+#include "src/ops/tuple.h"
+
+namespace xst {
+
+XSet Process::Apply(const XSet& x) const { return Image(f_, x, sigma_); }
+
+Process Process::ApplyToProcess(const Process& g) const {
+  // f₍σ₎(g₍ω₎) = (f[g]_σ)₍ω₎ — the carrier g is treated as an input *set*
+  // and the result keeps g's specification ω as its behavior.
+  return Process(Apply(g.set()), g.sigma());
+}
+
+XSet Process::Domain() const { return SigmaDomain(f_, sigma_.s1); }
+
+XSet Process::Codomain() const { return SigmaDomain(f_, sigma_.s2); }
+
+bool Process::IsWellFormed() const {
+  if (f_.cardinality() == 0) return false;
+  for (const Membership& m : f_.members()) {
+    if (RescopeByScope(m.element, sigma_.s2).empty()) return false;
+  }
+  return true;
+}
+
+XSet Process::ToXSet() const { return XSet::Pair(f_, sigma_.ToXSet()); }
+
+Result<Process> Process::FromXSet(const XSet& repr) {
+  std::vector<XSet> parts;
+  if (!TupleElements(repr, &parts) || parts.size() != 2) {
+    return Status::TypeError("Process::FromXSet: expected ⟨f, ⟨σ1,σ2⟩⟩, got " +
+                             repr.ToString());
+  }
+  Result<Sigma> sigma = Sigma::FromXSet(parts[1]);
+  if (!sigma.ok()) return sigma.status();
+  return Process(parts[0], *sigma);
+}
+
+std::string Process::ToString() const {
+  return f_.ToString() + "_(" + sigma_.ToString() + ")";
+}
+
+bool EquivalentOn(const Process& f, const Process& g, const std::vector<XSet>& inputs) {
+  for (const XSet& x : inputs) {
+    if (f.Apply(x) != g.Apply(x)) return false;
+  }
+  return true;
+}
+
+std::vector<XSet> CanonicalProbes(const Process& f, const Process& g) {
+  std::vector<XSet> probes;
+  XSet df = f.Domain();
+  XSet dg = g.Domain();
+  for (const XSet& d : {df, dg}) {
+    for (const Membership& m : d.members()) {
+      probes.push_back(XSet::FromMembers({m}));
+    }
+  }
+  probes.push_back(df);
+  probes.push_back(dg);
+  probes.push_back(Union(df, dg));
+  probes.push_back(XSet::Classical({XSet::Empty()}));  // the universal probe {∅}
+  probes.push_back(XSet::Empty());
+  return probes;
+}
+
+bool ExtensionallyEqual(const Process& f, const Process& g) {
+  return EquivalentOn(f, g, CanonicalProbes(f, g));
+}
+
+std::vector<XSet> DomainSingletons(const Process& f) {
+  std::vector<XSet> probes;
+  XSet d = f.Domain();
+  probes.reserve(d.cardinality());
+  for (const Membership& m : d.members()) {
+    probes.push_back(XSet::FromMembers({m}));
+  }
+  return probes;
+}
+
+}  // namespace xst

@@ -1,0 +1,101 @@
+// Processes: set behaviors (paper §2, §3, §4, §8).
+//
+// A process f₍σ₎ is a pair of sets — a carrier f and a specification
+// σ = ⟨σ₁,σ₂⟩ — read as a *behavior*: applying it to a set x yields the set
+//
+//   f₍σ₎(x) = f[x]_σ = 𝔇_{σ₂}( f |_{σ₁} x )        (Application, Def 8.1)
+//
+// A process is not itself a set (it is a behavior), but its notation is
+// made of legitimate sets, so it has a faithful set representation
+// ⟨f, ⟨σ₁,σ₂⟩⟩ that can be stored, transmitted and recovered — the property
+// the paper leans on for reliable data management.
+//
+// Nested application (Def 4.1) applies a behavior to a *behavior* and yields
+// another behavior, not a result set:
+//
+//   f₍σ₎(g₍ω₎) = (f[g]_σ)₍ω₎
+//
+// Well-formedness (Def 2.1): f₍σ₎ is a process iff some input produces a
+// non-empty result and the same holds for every non-empty subset of f.
+// Because application is monotone in the carrier and the probe {∅} matches
+// every member, this is equivalent to the decidable condition implemented
+// here: f ≠ ∅ and every member z of f satisfies z^{/σ₂/} ≠ ∅ (each
+// membership must be able to contribute an output).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/xset.h"
+#include "src/ops/image.h"
+
+namespace xst {
+
+class Process {
+ public:
+  /// \brief The behavior f₍σ₎.
+  Process(XSet f, Sigma sigma) : f_(std::move(f)), sigma_(std::move(sigma)) {}
+
+  /// \brief The behavior f₍σ₎ with the standard pair specification ⟨⟨1⟩,⟨2⟩⟩.
+  explicit Process(XSet f) : f_(std::move(f)), sigma_(Sigma::Std()) {}
+
+  const XSet& set() const { return f_; }
+  const Sigma& sigma() const { return sigma_; }
+
+  /// \brief Application f₍σ₎(x) = f[x]_σ (Def 8.1). Always returns a set.
+  XSet Apply(const XSet& x) const;
+
+  /// \brief Nested application f₍σ₎(g₍ω₎) = (f[g]_σ)₍ω₎ (Def 4.1):
+  /// produces a new *behavior*, not a result set.
+  Process ApplyToProcess(const Process& g) const;
+
+  /// \brief 𝔇_{σ₁}(f): the domain of definition.
+  XSet Domain() const;
+
+  /// \brief 𝔇_{σ₂}(f): the codomain of definition (the full image).
+  XSet Codomain() const;
+
+  /// \brief Def 2.1, decidable form (see file comment): f ≠ ∅ and every
+  /// member can contribute an output under σ₂.
+  bool IsWellFormed() const;
+
+  /// \brief The set representation ⟨f, ⟨σ₁,σ₂⟩⟩.
+  XSet ToXSet() const;
+
+  /// \brief Recovers a process from its set representation.
+  static Result<Process> FromXSet(const XSet& repr);
+
+  /// \brief Representation equality (same carrier, same specification).
+  /// Behavioral equality (Def 2.2) is EquivalentOn / ExtensionallyEqual.
+  bool operator==(const Process& other) const {
+    return f_ == other.f_ && sigma_ == other.sigma_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  XSet f_;
+  Sigma sigma_;
+};
+
+/// \brief Def 2.2 restricted to explicit probes: f₍σ₎(x) = g₍ω₎(x) for all
+/// x in `inputs`.
+bool EquivalentOn(const Process& f, const Process& g, const std::vector<XSet>& inputs);
+
+/// \brief Def 2.2 decided over the canonical probe family of both processes:
+/// every singleton of either domain of definition, both full domains, their
+/// union, the universal probe {∅}, and ∅. For carrier/spec shapes whose
+/// application is determined by singleton behavior (all shapes in this
+/// library and the paper), this decides behavioral equality.
+bool ExtensionallyEqual(const Process& f, const Process& g);
+
+/// \brief The canonical probe family used by ExtensionallyEqual.
+std::vector<XSet> CanonicalProbes(const Process& f, const Process& g);
+
+/// \brief Singleton probes {x^s}, one per membership of 𝔇_{σ₁}(f) — the
+/// quantification domain used by the function/1-1 predicates (Def 8.2, 6.3).
+std::vector<XSet> DomainSingletons(const Process& f);
+
+}  // namespace xst

@@ -1,0 +1,113 @@
+#include "src/process/spaces.h"
+
+#include <map>
+
+#include "src/core/order.h"
+#include "src/ops/boolean.h"
+
+namespace xst {
+
+bool IsFunction(const Process& f) {
+  for (const XSet& y : DomainSingletons(f)) {
+    XSet image = f.Apply(y);
+    if (!image.empty() && image.cardinality() != 1) return false;
+  }
+  return true;
+}
+
+bool IsOneToOne(const Process& f) {
+  std::vector<XSet> singletons = DomainSingletons(f);
+  std::vector<XSet> images;
+  images.reserve(singletons.size());
+  for (const XSet& y : singletons) images.push_back(f.Apply(y));
+  for (size_t i = 0; i < singletons.size(); ++i) {
+    if (images[i].empty()) continue;
+    for (size_t j = i + 1; j < singletons.size(); ++j) {
+      if (images[i] == images[j]) return false;  // x ≠ y with equal non-∅ images
+    }
+  }
+  return true;
+}
+
+bool InProcessSpace(const Process& f, const XSet& a, const XSet& b) {
+  return IsNonEmptySubset(f.Domain(), a) && IsNonEmptySubset(f.Codomain(), b);
+}
+
+bool InFunctionSpace(const Process& f, const XSet& a, const XSet& b) {
+  return InProcessSpace(f, a, b) && IsFunction(f);
+}
+
+bool IsOn(const Process& f, const XSet& a) { return f.Domain() == a; }
+
+bool IsOnto(const Process& f, const XSet& b) { return f.Codomain() == b; }
+
+bool IsInjective(const Process& f, const XSet& a, const XSet& b) {
+  return InFunctionSpace(f, a, b) && IsOneToOne(f) && IsOn(f, a);
+}
+
+bool IsSurjective(const Process& f, const XSet& a, const XSet& b) {
+  return InFunctionSpace(f, a, b) && IsOn(f, a) && IsOnto(f, b);
+}
+
+bool IsBijective(const Process& f, const XSet& a, const XSet& b) {
+  return IsInjective(f, a, b) && IsOnto(f, b);
+}
+
+Associations ClassifyAssociations(const Process& f) {
+  // The induced pairing: one (input, output) edge per domain singleton and
+  // per member of its image.
+  Associations assoc;
+  std::map<XSet, std::vector<XSet>, XSetLess> outputs_of;   // input → outputs
+  std::map<XSet, std::vector<XSet>, XSetLess> inputs_of;    // output → inputs
+  for (const XSet& y : DomainSingletons(f)) {
+    XSet image = f.Apply(y);
+    for (const Membership& m : image.members()) {
+      XSet out = XSet::FromMembers({m});
+      outputs_of[y].push_back(out);
+      inputs_of[out].push_back(y);
+    }
+  }
+  for (const auto& [input, outs] : outputs_of) {
+    if (outs.size() >= 2) assoc.one_to_many = true;
+    if (outs.size() == 1 && inputs_of[outs.front()].size() == 1) {
+      assoc.one_to_one = true;
+    }
+  }
+  for (const auto& [output, ins] : inputs_of) {
+    if (ins.size() >= 2) assoc.many_to_one = true;
+  }
+  return assoc;
+}
+
+ProcessTraits Classify(const Process& f, const XSet& a, const XSet& b) {
+  ProcessTraits traits;
+  traits.well_formed = f.IsWellFormed();
+  traits.in_process_space = InProcessSpace(f, a, b);
+  traits.is_function = IsFunction(f);
+  traits.is_one_to_one = IsOneToOne(f);
+  traits.on = IsOn(f, a);
+  traits.onto = IsOnto(f, b);
+  traits.assoc = ClassifyAssociations(f);
+  return traits;
+}
+
+std::string ToString(const Associations& assoc) {
+  std::string out;
+  if (assoc.many_to_one) out += '>';
+  if (assoc.one_to_one) out += '-';
+  if (assoc.one_to_many) out += '<';
+  return out.empty() ? "(none)" : out;
+}
+
+std::string ToString(const ProcessTraits& traits) {
+  std::string out;
+  out += traits.on ? '[' : '(';
+  out += ToString(traits.assoc);
+  out += traits.onto ? ']' : ')';
+  if (traits.is_function) out += " fn";
+  if (traits.is_one_to_one) out += " 1-1";
+  if (!traits.well_formed) out += " ill-formed";
+  return out;
+}
+
+}  // namespace xst

@@ -1,0 +1,78 @@
+// Process/function predicates and space membership (paper §5, §6, §8).
+//
+// Quantification note. Definitions 8.2 and 6.3 quantify over "all singleton
+// sets y". Taken over the entire set universe that quantifier includes the
+// degenerate probe {∅}, which matches every member of every carrier and
+// would disqualify every multi-output carrier from being a function —
+// contradicting the paper's own Example 8.1. The intended reading (and the
+// one implemented) quantifies over the singletons of the domain of
+// definition 𝔇_{σ₁}(f), each carried with its scope; probes outside the
+// domain produce ∅ and satisfy the implications vacuously.
+
+#pragma once
+
+#include <string>
+
+#include "src/core/xset.h"
+#include "src/process/process.h"
+
+namespace xst {
+
+/// \brief Def 8.2: f₍σ₎ is a function ⟺ every non-empty application to a
+/// domain singleton is a singleton (no one-to-many behavior).
+bool IsFunction(const Process& f);
+
+/// \brief Def 6.3: ∀x,y singleton, f₍σ₎(x) = f₍σ₎(y) ≠ ∅ → x = y.
+bool IsOneToOne(const Process& f);
+
+/// \brief Def 5.1: f ∈_σ 𝒫(A,B) ⟺ 𝔇_{σ₁}(f) ⊆̇ A and 𝔇_{σ₂}(f) ⊆̇ B.
+/// (The ∀x f₍σ₎(x) ⊆ B clause follows from the second conjunct because
+/// application results are always subsets of the codomain of definition.)
+bool InProcessSpace(const Process& f, const XSet& a, const XSet& b);
+
+/// \brief Def 5.2: f ∈_σ ℱ(A,B) ⟺ f ∈_σ 𝒫(A,B) and IsFunction(f).
+bool InFunctionSpace(const Process& f, const XSet& a, const XSet& b);
+
+/// \brief Def 6.1 "ON": 𝔇_{σ₁}(f) = A (every domain element is used).
+bool IsOn(const Process& f, const XSet& a);
+
+/// \brief Def 6.2 "ONTO": 𝔇_{σ₂}(f) = B (every codomain element is hit).
+bool IsOnto(const Process& f, const XSet& b);
+
+/// \brief Def 6.4: injective — 1-1 and ON A: f ∈_σ ℱ*[A,B).
+bool IsInjective(const Process& f, const XSet& a, const XSet& b);
+/// \brief Def 6.5: surjective — ON A and ONTO B: f ∈_σ ℱ[A,B].
+bool IsSurjective(const Process& f, const XSet& a, const XSet& b);
+/// \brief Def 6.6: bijective — 1-1, ON A, ONTO B: f ∈_σ ℱ*[A,B].
+bool IsBijective(const Process& f, const XSet& a, const XSet& b);
+
+/// \brief The input/output association kinds a process exhibits, computed
+/// from the induced pairing between domain singletons and their outputs.
+/// These are the three association symbols of Appendix E (">", "-", "<").
+struct Associations {
+  bool many_to_one = false;  ///< ">": some output has ≥ 2 distinct inputs
+  bool one_to_one = false;   ///< "-": some input↔output pair is exclusive both ways
+  bool one_to_many = false;  ///< "<": some input has ≥ 2 distinct outputs
+
+  bool operator==(const Associations&) const = default;
+};
+
+Associations ClassifyAssociations(const Process& f);
+
+/// \brief Full classification of a process against a domain/codomain pair.
+struct ProcessTraits {
+  bool well_formed = false;
+  bool in_process_space = false;
+  bool is_function = false;
+  bool is_one_to_one = false;
+  bool on = false;
+  bool onto = false;
+  Associations assoc;
+};
+
+ProcessTraits Classify(const Process& f, const XSet& a, const XSet& b);
+
+std::string ToString(const Associations& assoc);
+std::string ToString(const ProcessTraits& traits);
+
+}  // namespace xst

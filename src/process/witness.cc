@@ -1,0 +1,110 @@
+#include "src/process/witness.h"
+
+#include <string>
+
+namespace xst {
+
+namespace {
+
+// Appends a gadget exhibiting exactly one association kind, over fresh
+// symbols; returns the pairs and records the inputs/outputs used.
+void AddGadget(char kind, int index, std::vector<XSet>* pairs, std::vector<XSet>* inputs,
+               std::vector<XSet>* outputs) {
+  auto in = [index](int i) {
+    return XSet::Symbol("a" + std::to_string(index) + "_" + std::to_string(i));
+  };
+  auto out = [index](int i) {
+    return XSet::Symbol("x" + std::to_string(index) + "_" + std::to_string(i));
+  };
+  switch (kind) {
+    case '-':  // one exclusive pair
+      pairs->push_back(XSet::Pair(in(0), out(0)));
+      inputs->push_back(in(0));
+      outputs->push_back(out(0));
+      break;
+    case '>':  // two inputs share one output: many-to-one, nothing else
+      pairs->push_back(XSet::Pair(in(0), out(0)));
+      pairs->push_back(XSet::Pair(in(1), out(0)));
+      inputs->push_back(in(0));
+      inputs->push_back(in(1));
+      outputs->push_back(out(0));
+      break;
+    case '<':  // one input fans to two outputs: one-to-many, nothing else
+      pairs->push_back(XSet::Pair(in(0), out(0)));
+      pairs->push_back(XSet::Pair(in(0), out(1)));
+      inputs->push_back(in(0));
+      outputs->push_back(out(0));
+      outputs->push_back(out(1));
+      break;
+  }
+}
+
+XSet AsUnaryTupleSet(const std::vector<XSet>& atoms) {
+  std::vector<XSet> tuples;
+  tuples.reserve(atoms.size());
+  for (const XSet& atom : atoms) tuples.push_back(XSet::Tuple({atom}));
+  return XSet::Classical(tuples);
+}
+
+}  // namespace
+
+std::optional<SpaceWitness> SynthesizeWitness(const SpaceId& space) {
+  if (!space.IsLegitimate()) return std::nullopt;
+  bool s_empty =
+      !space.allow_many_to_one && !space.allow_one_to_one && !space.allow_one_to_many;
+  if (s_empty) {
+    // Every non-empty process exhibits at least one association: the space
+    // "()" is provably empty.
+    return std::nullopt;
+  }
+  std::vector<XSet> pairs, inputs, outputs;
+  int gadget = 0;
+  if (space.allow_many_to_one) AddGadget('>', gadget++, &pairs, &inputs, &outputs);
+  if (space.allow_one_to_one) AddGadget('-', gadget++, &pairs, &inputs, &outputs);
+  if (space.allow_one_to_many) AddGadget('<', gadget++, &pairs, &inputs, &outputs);
+  SpaceWitness witness;
+  witness.process = Process(XSet::Classical(pairs), Sigma::Std());
+  // A = exactly the used inputs and B = exactly the used outputs, so the
+  // witness is simultaneously ON and ONTO — inhabiting all four on/onto
+  // variants of the association set.
+  witness.a = AsUnaryTupleSet(inputs);
+  witness.b = AsUnaryTupleSet(outputs);
+  witness.a_size = static_cast<int>(inputs.size());
+  witness.b_size = static_cast<int>(outputs.size());
+  return witness;
+}
+
+std::string LatticeToDot(const std::vector<SpaceId>& spaces, const char* title) {
+  std::string out = "digraph \"" + std::string(title) + "\" {\n";
+  out += "  rankdir=BT;\n  node [shape=box, fontname=\"monospace\"];\n";
+  for (size_t i = 0; i < spaces.size(); ++i) {
+    const SpaceId& s = spaces[i];
+    bool inhabited = SynthesizeWitness(s).has_value();
+    out += "  n" + std::to_string(i) + " [label=\"" + s.Notation() + "\"";
+    if (s.IsFunctionSpace()) out += ", style=filled, fillcolor=lightgrey";
+    if (!inhabited) out += ", color=red";
+    out += "];\n";
+  }
+  // Hasse cover edges, drawn inner → outer (subset pointing up).
+  for (size_t outer = 0; outer < spaces.size(); ++outer) {
+    for (size_t inner = 0; inner < spaces.size(); ++inner) {
+      if (outer == inner) continue;
+      if (!SpaceContains(spaces[outer], spaces[inner])) continue;
+      bool covered = true;
+      for (size_t mid = 0; mid < spaces.size() && covered; ++mid) {
+        if (mid == outer || mid == inner) continue;
+        if (SpaceContains(spaces[outer], spaces[mid]) &&
+            SpaceContains(spaces[mid], spaces[inner])) {
+          covered = false;
+        }
+      }
+      if (covered) {
+        out += "  n" + std::to_string(inner) + " -> n" + std::to_string(outer) + ";\n";
+      }
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace xst

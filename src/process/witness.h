@@ -1,0 +1,44 @@
+// Witness synthesis for the refined process-space lattice (Appendix E).
+//
+// EnumerateLattice *finds* inhabitants by brute force; this module
+// *constructs* one canonical witness per inhabitable refined space, together
+// with the smallest carrier shape it needs — which makes the Appendix E
+// figure's "non-empty" annotations explicit and machine-checkable:
+//
+//   space   witness shape                                   first exists at
+//   (-)     a ↦ x                                           1×1
+//   [>]     {a0,a1 ↦ x0; a2,a3 ↦ x1}                        4×2 (onto)
+//   (<]     a0 ↦ {x0,x1}, …                                 2×4 (on+onto)
+//   ()      —                                               nowhere
+//
+// The one uninhabitable space is "()" (no associations permitted): every
+// non-empty process exhibits at least one association, which Inhabits
+// verifies for each synthesized witness.
+
+#pragma once
+
+#include <optional>
+
+#include "src/process/lattice.h"
+
+namespace xst {
+
+/// \brief A synthesized inhabitant of a refined space.
+struct SpaceWitness {
+  Process process = Process(XSet::Empty());
+  XSet a;            ///< the domain carrier used
+  XSet b;            ///< the codomain carrier used
+  int a_size = 0;    ///< |A|
+  int b_size = 0;    ///< |B|
+};
+
+/// \brief Constructs a canonical witness for `space`, or nullopt for the
+/// provably empty space. Every returned witness satisfies
+/// Inhabits(w.process, w.a, w.b, space) — asserted in the tests.
+std::optional<SpaceWitness> SynthesizeWitness(const SpaceId& space);
+
+/// \brief Renders a lattice (with optional inhabitation marks) as Graphviz
+/// DOT — the regenerable form of Figure 1 / the Appendix E figure.
+std::string LatticeToDot(const std::vector<SpaceId>& spaces, const char* title);
+
+}  // namespace xst

@@ -1,0 +1,47 @@
+// Grouped aggregation over XST relations.
+//
+// GROUP BY is set partitioning: the key columns induce a quotient of the
+// tuple set, and each block folds to one output tuple. Aggregates stay
+// within the set model — the result is again a relation (an extended set of
+// tuples), so aggregation composes with the rest of the algebra and
+// persists through the store like everything else.
+//
+//   GroupBy(orders, {"customer_id"}, {{kSum, "amount", "total"},
+//                                     {kCount, "", "n"}})
+//   → (customer_id: int, total: int, n: int)
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/rel/relation.h"
+
+namespace xst {
+namespace rel {
+
+enum class AggKind {
+  kCount,  ///< number of tuples in the block (attr ignored)
+  kSum,    ///< sum of an int attribute
+  kMin,    ///< minimum of an int attribute
+  kMax,    ///< maximum of an int attribute
+};
+
+struct AggSpec {
+  AggKind kind = AggKind::kCount;
+  std::string attr;  ///< source attribute (must be kInt unless kCount)
+  std::string as;    ///< output attribute name
+};
+
+/// \brief Groups `r` by `keys` (possibly empty: one global block) and folds
+/// each block with `aggs`. Output schema: keys in the given order, then one
+/// int attribute per AggSpec. Sum overflow is an error, not a wrap.
+Result<Relation> GroupBy(const Relation& r, const std::vector<std::string>& keys,
+                         const std::vector<AggSpec>& aggs);
+
+/// \brief Whole-relation aggregation (GroupBy with no keys).
+Result<Relation> Aggregate(const Relation& r, const std::vector<AggSpec>& aggs);
+
+}  // namespace rel
+}  // namespace xst

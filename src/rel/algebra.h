@@ -1,0 +1,74 @@
+// The relational algebra, compiled to XST operators.
+//
+// Every operation here is a thin schema-aware wrapper that assembles
+// σ-specifications and calls the set machinery:
+//
+//   select   →  σ-restriction  (Def 7.6)    R |_{⟨pos⟩} {⟨value⟩}
+//   project  →  σ-domain       (Def 7.4)    𝔇_{{old^new,…}}(R)
+//   join     →  relative product (Def 10.1) R /σω S keyed on common columns
+//   set ops  →  Boolean algebra on the tuple sets
+//
+// This is the 1977 pitch made executable: the data language *is* set theory,
+// and access-path choice (hash partitioning inside the relative product, the
+// singleton fast path inside restriction) lives beneath the algebra, not in
+// application code.
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/rel/relation.h"
+
+namespace xst {
+namespace rel {
+
+/// \brief σ_{attr = value}(r).
+Result<Relation> Select(const Relation& r, const std::string& attr, const XSet& value);
+
+/// \brief σ_{attr ∈ values}(r).
+Result<Relation> SelectIn(const Relation& r, const std::string& attr,
+                          const std::vector<XSet>& values);
+
+/// \brief σ_{lo ≤ attr ≤ hi}(r) over an int attribute. Range selection is
+/// σ-restriction with an interval probe set: the probes are exactly the
+/// integers in [lo, hi] (bounded; Invalid when the interval is wider than
+/// kMaxRangeProbes — use SelectWhere for open-ended scans).
+Result<Relation> SelectRange(const Relation& r, const std::string& attr, int64_t lo,
+                             int64_t hi);
+
+inline constexpr int64_t kMaxRangeProbes = 1 << 20;
+
+/// \brief σ_{pred(attr)}(r): general predicate selection. This is the one
+/// operation that leaves the σ-machinery (a predicate is not a set), so it
+/// scans; the algebraic selects above should be preferred when they fit.
+Result<Relation> SelectWhere(const Relation& r, const std::string& attr,
+                             const std::function<bool(const XSet&)>& predicate);
+
+/// \brief π_{attrs}(r), in the given attribute order (set semantics:
+/// duplicate projected tuples collapse).
+Result<Relation> Project(const Relation& r, const std::vector<std::string>& attrs);
+
+/// \brief Renames one attribute (pure metadata).
+Result<Relation> Rename(const Relation& r, const std::string& from, const std::string& to);
+
+/// \brief Natural join on all common attribute names. The result schema is
+/// r's attributes followed by s's non-common attributes. Invalid when the
+/// schemas share no attribute (use CrossJoin for that).
+Result<Relation> NaturalJoin(const Relation& r, const Relation& s);
+
+/// \brief Cross product (no join predicate) via the XST cross product ⊗.
+Result<Relation> CrossJoin(const Relation& r, const Relation& s);
+
+/// \brief Semijoin r ⋉ s: r tuples with a join partner in s.
+Result<Relation> SemiJoin(const Relation& r, const Relation& s);
+
+/// \brief r ∪ s / r ∩ s / r ∼ s; schemas must agree.
+Result<Relation> UnionRel(const Relation& r, const Relation& s);
+Result<Relation> IntersectRel(const Relation& r, const Relation& s);
+Result<Relation> DifferenceRel(const Relation& r, const Relation& s);
+
+}  // namespace rel
+}  // namespace xst

@@ -1,0 +1,211 @@
+#include "src/rel/csv.h"
+
+#include <cctype>
+
+#include "src/common/macros.h"
+#include "src/core/parse.h"
+#include "src/core/print.h"
+#include "src/ops/tuple.h"
+
+namespace xst {
+namespace rel {
+
+namespace {
+
+bool NeedsQuoting(const std::string& field, char delimiter) {
+  if (field.empty()) return true;
+  for (char c : field) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void AppendField(const std::string& field, char delimiter, std::string* out) {
+  if (!NeedsQuoting(field, delimiter)) {
+    out->append(field);
+    return;
+  }
+  out->push_back('"');
+  for (char c : field) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+std::string FieldFor(const XSet& value, AttrType type) {
+  switch (type) {
+    case AttrType::kInt:
+      return std::to_string(value.int_value());
+    case AttrType::kSymbol:
+    case AttrType::kString:
+      return value.str_value();
+    case AttrType::kAny: {
+      PrintOptions opts;
+      opts.spaces = false;
+      return Print(value, opts);
+    }
+  }
+  return value.ToString();
+}
+
+// Splits one CSV record (handles quoting); advances *pos past the record's
+// line terminator. Returns false at end of input.
+bool NextRecord(std::string_view text, size_t* pos, char delimiter,
+                std::vector<std::string>* fields, bool* saw_quotes, Status* error) {
+  fields->clear();
+  *saw_quotes = false;
+  if (*pos >= text.size()) return false;
+  std::string field;
+  bool in_quotes = false;
+  bool any = false;
+  while (*pos < text.size()) {
+    char c = text[(*pos)++];
+    any = true;
+    if (in_quotes) {
+      if (c == '"') {
+        if (*pos < text.size() && text[*pos] == '"') {
+          field.push_back('"');
+          ++(*pos);
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    if (c == '"' && field.empty()) {
+      in_quotes = true;
+      *saw_quotes = true;
+    } else if (c == delimiter) {
+      fields->push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      break;
+    } else if (c == '\r') {
+      if (*pos < text.size() && text[*pos] == '\n') ++(*pos);
+      break;
+    } else {
+      field.push_back(c);
+    }
+  }
+  if (in_quotes) {
+    *error = Status::ParseError("csv: unterminated quoted field");
+    return false;
+  }
+  if (!any) return false;
+  fields->push_back(std::move(field));
+  return true;
+}
+
+Result<XSet> ValueFor(const std::string& field, AttrType type, size_t line) {
+  auto fail = [&](const std::string& what) {
+    return Status::ParseError("csv line " + std::to_string(line) + ": " + what);
+  };
+  switch (type) {
+    case AttrType::kInt: {
+      Result<XSet> parsed = Parse(field);
+      if (!parsed.ok() || !parsed->is_int()) {
+        return fail("expected an integer, got '" + field + "'");
+      }
+      return *parsed;
+    }
+    case AttrType::kSymbol: {
+      if (field.empty()) return fail("empty symbol");
+      for (char c : field) {
+        if (c != '_' && !std::isalnum(static_cast<unsigned char>(c))) {
+          return fail("'" + field + "' is not a symbol");
+        }
+      }
+      if (std::isdigit(static_cast<unsigned char>(field[0]))) {
+        return fail("'" + field + "' is not a symbol");
+      }
+      return XSet::Symbol(field);
+    }
+    case AttrType::kString:
+      return XSet::String(field);
+    case AttrType::kAny: {
+      Result<XSet> parsed = Parse(field);
+      if (!parsed.ok()) return fail(parsed.status().message());
+      return *parsed;
+    }
+  }
+  return fail("unknown attribute type");
+}
+
+}  // namespace
+
+std::string ExportCsv(const Relation& r, const CsvOptions& options) {
+  std::string out;
+  if (options.header) {
+    for (size_t i = 0; i < r.schema().arity(); ++i) {
+      if (i > 0) out.push_back(options.delimiter);
+      AppendField(r.schema().attribute(i).name, options.delimiter, &out);
+    }
+    out.push_back('\n');
+  }
+  std::vector<XSet> parts;
+  for (const Membership& m : r.tuples().members()) {
+    if (!TupleElements(m.element, &parts)) continue;
+    for (size_t i = 0; i < parts.size(); ++i) {
+      if (i > 0) out.push_back(options.delimiter);
+      AppendField(FieldFor(parts[i], r.schema().attribute(i).type), options.delimiter,
+                  &out);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<Relation> ImportCsv(Schema schema, std::string_view text,
+                           const CsvOptions& options) {
+  size_t pos = 0;
+  size_t line = 0;
+  std::vector<std::string> fields;
+  Status error = Status::OK();
+  bool saw_quotes = false;
+  if (options.header) {
+    if (!NextRecord(text, &pos, options.delimiter, &fields, &saw_quotes, &error)) {
+      if (!error.ok()) return error;
+      return Status::ParseError("csv: missing header row");
+    }
+    ++line;
+    if (fields.size() != schema.arity()) {
+      return Status::ParseError("csv: header has " + std::to_string(fields.size()) +
+                                " columns, schema has " + std::to_string(schema.arity()));
+    }
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (fields[i] != schema.attribute(i).name) {
+        return Status::ParseError("csv: header column '" + fields[i] +
+                                  "' does not match schema attribute '" +
+                                  schema.attribute(i).name + "'");
+      }
+    }
+  }
+  std::vector<std::vector<XSet>> rows;
+  while (NextRecord(text, &pos, options.delimiter, &fields, &saw_quotes, &error)) {
+    ++line;
+    // A truly blank line (no quoting) is skipped; a quoted empty field is a
+    // one-column record containing the empty string.
+    if (fields.size() == 1 && fields[0].empty() && !saw_quotes) continue;
+    if (fields.size() != schema.arity()) {
+      return Status::ParseError("csv line " + std::to_string(line) + ": expected " +
+                                std::to_string(schema.arity()) + " fields, got " +
+                                std::to_string(fields.size()));
+    }
+    std::vector<XSet> row;
+    row.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      XST_ASSIGN_OR_RAISE(XSet value,
+                          ValueFor(fields[i], schema.attribute(i).type, line));
+      row.push_back(value);
+    }
+    rows.push_back(std::move(row));
+  }
+  if (!error.ok()) return error;
+  return Relation::FromRows(std::move(schema), rows);
+}
+
+}  // namespace rel
+}  // namespace xst

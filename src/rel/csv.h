@@ -1,0 +1,38 @@
+// CSV import/export for relations — the interchange path between XST
+// relations and the rest of the world.
+//
+// Column typing comes from the schema:
+//   kInt     plain decimal
+//   kSymbol  bare token (must be a valid symbol)
+//   kString  quoted or bare text (RFC-4180-style quoting on export)
+//   kAny     full XST notation, parsed by the core parser
+//
+// Export writes a header row with the attribute names; import checks it
+// against the schema when present (and can be told the data has no header).
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/rel/relation.h"
+
+namespace xst {
+namespace rel {
+
+struct CsvOptions {
+  char delimiter = ',';
+  bool header = true;
+};
+
+/// \brief Renders the relation as CSV (deterministic: canonical tuple
+/// order).
+std::string ExportCsv(const Relation& r, const CsvOptions& options = {});
+
+/// \brief Parses CSV text into a relation under `schema`.
+Result<Relation> ImportCsv(Schema schema, std::string_view text,
+                           const CsvOptions& options = {});
+
+}  // namespace rel
+}  // namespace xst

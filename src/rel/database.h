@@ -1,0 +1,102 @@
+// Database: the backend-information-system facade.
+//
+// Ties the stack together: a SetStore holds each table's tuple set under
+// `tbl:<name>` and its schema (itself an extended set) under `schema:<name>`;
+// secondary indexes are built on demand and cached; queries go through the
+// XST algebra with index-aware point selects. One object, the full 1977
+// pitch: schemas, data, catalog and indexes all live in one mathematical
+// vocabulary and one storage engine.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/rel/algebra.h"
+#include "src/rel/index.h"
+#include "src/rel/relation.h"
+#include "src/store/setstore.h"
+
+namespace xst {
+namespace rel {
+
+class Database {
+ public:
+  /// \brief Opens (creating if needed) a database file.
+  static Result<std::unique_ptr<Database>> Open(const std::string& path);
+
+  /// \brief Creates a table; AlreadyExists if the name is taken.
+  Status CreateTable(const std::string& name, const Schema& schema);
+
+  /// \brief Replaces a table's tuple set (schema-checked).
+  Status Write(const std::string& name, const Relation& relation);
+
+  /// \brief Inserts rows into an existing table (set semantics: duplicates
+  /// collapse).
+  Status Insert(const std::string& name, const std::vector<std::vector<XSet>>& rows);
+
+  /// \brief Reads a table (through the table cache).
+  Result<Relation> Read(const std::string& name);
+
+  /// \brief Drops a table and its cached indexes.
+  Status DropTable(const std::string& name);
+
+  /// \brief All table names.
+  std::vector<std::string> Tables() const;
+
+  /// \brief Point select, using a cached AttributeIndex when one exists
+  /// (see EnsureIndex) and the scan path otherwise.
+  Result<Relation> SelectEq(const std::string& table, const std::string& attr,
+                            const XSet& value);
+
+  /// \brief Builds (or reuses) a secondary index on table.attr.
+  Status EnsureIndex(const std::string& table, const std::string& attr);
+  bool HasIndex(const std::string& table, const std::string& attr) const;
+
+  /// \brief Natural join of two tables.
+  Result<Relation> Join(const std::string& left, const std::string& right);
+
+  // -- Views ------------------------------------------------------------
+
+  /// \brief Registers a named XSP plan (surface-language text). The plan is
+  /// parse-checked now and evaluated on demand; it may reference tables and
+  /// previously created views (@name leaves). Persisted with the data.
+  Status CreateView(const std::string& name, const std::string& plan_text);
+
+  /// \brief Evaluates a view against the current table contents. Views
+  /// referenced by this view are expanded recursively (cycles are Invalid).
+  Result<XSet> QueryView(const std::string& name);
+
+  Status DropView(const std::string& name);
+  std::vector<std::string> Views() const;
+
+  /// \brief Flush underlying storage.
+  Status Flush() { return store_->Flush(); }
+
+  SetStore& store() { return *store_; }
+
+ private:
+  explicit Database(std::unique_ptr<SetStore> store) : store_(std::move(store)) {}
+
+  static std::string TableKey(const std::string& name) { return "tbl:" + name; }
+  static std::string SchemaKey(const std::string& name) { return "schema:" + name; }
+  static std::string ViewKey(const std::string& name) { return "view:" + name; }
+
+  Result<XSet> EvaluateView(const std::string& name, std::vector<std::string>* trail);
+  std::string IndexKey(const std::string& table, const std::string& attr) const {
+    return table + "." + attr;
+  }
+
+  Result<Schema> ReadSchema(const std::string& name);
+  void InvalidateCaches(const std::string& name);
+
+  std::unique_ptr<SetStore> store_;
+  std::map<std::string, Relation> table_cache_;
+  std::map<std::string, AttributeIndex> index_cache_;
+};
+
+}  // namespace rel
+}  // namespace xst

@@ -1,0 +1,85 @@
+#include "src/rel/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/macros.h"
+#include "src/core/builder.h"
+
+namespace xst {
+namespace rel {
+
+KeySampler::KeySampler(int64_t n, double zipf_exponent, uint64_t seed)
+    : n_(n), exponent_(zipf_exponent), rng_(seed) {
+  if (exponent_ > 0.0) {
+    cdf_.reserve(static_cast<size_t>(n_));
+    double total = 0.0;
+    for (int64_t k = 1; k <= n_; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k), exponent_);
+      cdf_.push_back(total);
+    }
+    for (double& v : cdf_) v /= total;
+  }
+}
+
+int64_t KeySampler::Next() {
+  if (cdf_.empty()) {
+    return static_cast<int64_t>(rng_() % static_cast<uint64_t>(n_));
+  }
+  double u = std::uniform_real_distribution<double>(0.0, 1.0)(rng_);
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int64_t>(it - cdf_.begin());
+}
+
+namespace {
+
+const char* kRegions[] = {"north", "south", "east", "west", "central"};
+
+Result<Schema> OrdersSchema() {
+  return Schema::Make({{"order_id", AttrType::kInt},
+                       {"customer_id", AttrType::kInt},
+                       {"amount", AttrType::kInt}});
+}
+
+Result<Schema> CustomersSchema() {
+  return Schema::Make({{"customer_id", AttrType::kInt}, {"region", AttrType::kSymbol}});
+}
+
+}  // namespace
+
+Result<DualTable> MakeOrders(const WorkloadSpec& spec) {
+  XST_ASSIGN_OR_RAISE(Schema schema, OrdersSchema());
+  KeySampler keys(spec.key_cardinality, spec.zipf_exponent, spec.seed);
+  std::mt19937_64 rng(spec.seed ^ 0x9e3779b97f4a7c15ULL);
+
+  XSetBuilder builder(spec.row_count);
+  std::vector<Row> rows;
+  rows.reserve(spec.row_count);
+  for (size_t i = 0; i < spec.row_count; ++i) {
+    int64_t order_id = static_cast<int64_t>(i);
+    int64_t customer_id = keys.Next();
+    int64_t amount = static_cast<int64_t>(rng() % 10000);
+    builder.Add(XSet::Tuple({XSet::Int(order_id), XSet::Int(customer_id),
+                             XSet::Int(amount)}));
+    rows.push_back(Row{order_id, customer_id, amount});
+  }
+  XST_ASSIGN_OR_RAISE(Relation xst, Relation::Make(schema, builder.Build()));
+  return DualTable{std::move(xst), RowRelation{schema, std::move(rows)}};
+}
+
+Result<DualTable> MakeCustomers(const WorkloadSpec& spec) {
+  XST_ASSIGN_OR_RAISE(Schema schema, CustomersSchema());
+  XSetBuilder builder(static_cast<size_t>(spec.key_cardinality));
+  std::vector<Row> rows;
+  rows.reserve(static_cast<size_t>(spec.key_cardinality));
+  for (int64_t id = 0; id < spec.key_cardinality; ++id) {
+    const char* region = kRegions[id % (sizeof(kRegions) / sizeof(kRegions[0]))];
+    builder.Add(XSet::Tuple({XSet::Int(id), XSet::Symbol(region)}));
+    rows.push_back(Row{id, std::string(region)});
+  }
+  XST_ASSIGN_OR_RAISE(Relation xst, Relation::Make(schema, builder.Build()));
+  return DualTable{std::move(xst), RowRelation{schema, std::move(rows)}};
+}
+
+}  // namespace rel
+}  // namespace xst

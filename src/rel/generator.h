@@ -1,0 +1,65 @@
+// Synthetic workload generation.
+//
+// The 1977 paper reports no workloads, so the benchmarks run on seeded
+// synthetic tables (the substitution documented in DESIGN.md §4). One
+// generator emits the SAME logical rows in both physical forms — an XST
+// Relation and a row-engine RowRelation — so every engine comparison is over
+// identical data.
+//
+// The standard shape is a two-table star fragment:
+//   orders(order_id int, customer_id int, amount int)
+//   customers(customer_id int, region symbol)
+// with customer_id drawn uniformly or Zipf-skewed to control join fan-in and
+// selection selectivity.
+
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/rel/record.h"
+#include "src/rel/relation.h"
+
+namespace xst {
+namespace rel {
+
+struct WorkloadSpec {
+  size_t row_count = 1000;
+  /// Number of distinct foreign-key values.
+  int64_t key_cardinality = 100;
+  /// 0 = uniform; otherwise the Zipf exponent (≈1 is classic skew).
+  double zipf_exponent = 0.0;
+  uint64_t seed = 42;
+};
+
+/// \brief The same logical table in both physical forms.
+struct DualTable {
+  Relation xst;
+  RowRelation rows;
+};
+
+/// \brief orders(order_id, customer_id, amount) with `spec.row_count` rows;
+/// customer_id ∈ [0, key_cardinality) under the requested distribution.
+Result<DualTable> MakeOrders(const WorkloadSpec& spec);
+
+/// \brief customers(customer_id, region): one row per key, region cycling
+/// through a small symbol pool.
+Result<DualTable> MakeCustomers(const WorkloadSpec& spec);
+
+/// \brief Draws keys in [0, n) under uniform or Zipf skew, deterministically.
+class KeySampler {
+ public:
+  KeySampler(int64_t n, double zipf_exponent, uint64_t seed);
+  int64_t Next();
+
+ private:
+  int64_t n_;
+  double exponent_;
+  std::mt19937_64 rng_;
+  std::vector<double> cdf_;  // non-empty only for the Zipf case
+};
+
+}  // namespace rel
+}  // namespace xst

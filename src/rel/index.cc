@@ -1,0 +1,34 @@
+#include "src/rel/index.h"
+
+#include "src/common/macros.h"
+#include "src/core/atom.h"
+
+namespace xst {
+namespace rel {
+
+Result<AttributeIndex> AttributeIndex::Build(const Relation& r, const std::string& attr) {
+  XST_ASSIGN_OR_RAISE(size_t pos, r.schema().IndexOf(attr));
+  // σ₁ = {pos¹}: key on the attribute. σ₂ = identity over the arity:
+  // project the entire matching tuple.
+  std::vector<std::pair<int64_t, int64_t>> identity;
+  for (size_t i = 1; i <= r.schema().arity(); ++i) {
+    identity.push_back({static_cast<int64_t>(i), static_cast<int64_t>(i)});
+  }
+  Sigma sigma{lit::Spec({{static_cast<int64_t>(pos + 1), 1}}), lit::Spec(identity)};
+  return AttributeIndex(r.schema(), attr, ImageIndex(r.tuples(), sigma));
+}
+
+Result<Relation> AttributeIndex::Select(const XSet& value) const {
+  return SelectIn({value});
+}
+
+Result<Relation> AttributeIndex::SelectIn(const std::vector<XSet>& values) const {
+  std::vector<XSet> probes;
+  probes.reserve(values.size());
+  for (const XSet& v : values) probes.push_back(XSet::Tuple({v}));
+  XSet selected = index_->Lookup(XSet::Classical(probes));
+  return Relation::Make(schema_, selected);
+}
+
+}  // namespace rel
+}  // namespace xst

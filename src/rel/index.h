@@ -1,0 +1,49 @@
+// AttributeIndex: a secondary index over one attribute of a relation.
+//
+// Point and IN-list selects through the index cost O(result) instead of a
+// relation scan. The index is an ImageIndex with σ = ⟨{pos¹}, identity⟩ —
+// "project the whole tuple of every member matching the key" — so index
+// selects are extensionally the same σ-restriction the algebra performs,
+// just through a different access path (checked against rel::Select in the
+// tests).
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/ops/index.h"
+#include "src/rel/relation.h"
+
+namespace xst {
+namespace rel {
+
+class AttributeIndex {
+ public:
+  /// \brief Builds an index over `attr`. O(|r| · arity).
+  static Result<AttributeIndex> Build(const Relation& r, const std::string& attr);
+
+  /// \brief σ_{attr = value}(r) through the index.
+  Result<Relation> Select(const XSet& value) const;
+
+  /// \brief σ_{attr ∈ values}(r) through the index.
+  Result<Relation> SelectIn(const std::vector<XSet>& values) const;
+
+  const std::string& attribute() const { return attr_; }
+  const Schema& schema() const { return schema_; }
+  size_t key_count() const { return index_->key_count(); }
+
+ private:
+  AttributeIndex(Schema schema, std::string attr, ImageIndex index)
+      : schema_(std::move(schema)),
+        attr_(std::move(attr)),
+        index_(std::make_shared<ImageIndex>(std::move(index))) {}
+
+  Schema schema_;
+  std::string attr_;
+  std::shared_ptr<const ImageIndex> index_;  // shared: AttributeIndex is copyable
+};
+
+}  // namespace rel
+}  // namespace xst

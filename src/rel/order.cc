@@ -1,0 +1,61 @@
+#include "src/rel/order.h"
+
+#include <algorithm>
+
+#include "src/common/macros.h"
+#include "src/core/order.h"
+#include "src/ops/tuple.h"
+
+namespace xst {
+namespace rel {
+
+namespace {
+
+Result<std::vector<XSet>> SortedTuples(const Relation& r, const std::string& attr,
+                                       bool ascending) {
+  XST_ASSIGN_OR_RAISE(size_t pos, r.schema().IndexOf(attr));
+  XSet position = XSet::Int(static_cast<int64_t>(pos + 1));
+  std::vector<std::pair<XSet, XSet>> keyed;  // (sort key, tuple)
+  keyed.reserve(r.size());
+  for (const Membership& m : r.tuples().members()) {
+    std::vector<XSet> values = m.element.ElementsWithScope(position);
+    if (values.size() != 1) {
+      return Status::TypeError("OrderBy: member without attribute '" + attr + "': " +
+                               m.element.ToString());
+    }
+    keyed.push_back({values[0], m.element});
+  }
+  std::sort(keyed.begin(), keyed.end(), [ascending](const auto& a, const auto& b) {
+    int c = Compare(a.first, b.first);
+    if (c == 0) c = Compare(a.second, b.second);  // deterministic tie-break
+    return ascending ? c < 0 : c > 0;
+  });
+  std::vector<XSet> tuples;
+  tuples.reserve(keyed.size());
+  for (auto& [key, tuple] : keyed) tuples.push_back(tuple);
+  return tuples;
+}
+
+}  // namespace
+
+Result<XSet> OrderBy(const Relation& r, const std::string& attr, bool ascending) {
+  XST_ASSIGN_OR_RAISE(std::vector<XSet> tuples, SortedTuples(r, attr, ascending));
+  return XSet::Tuple(tuples);
+}
+
+Result<XSet> TopK(const Relation& r, const std::string& attr, size_t k, bool ascending) {
+  XST_ASSIGN_OR_RAISE(std::vector<XSet> tuples, SortedTuples(r, attr, ascending));
+  if (tuples.size() > k) tuples.resize(k);
+  return XSet::Tuple(tuples);
+}
+
+Result<std::vector<XSet>> RankedRows(const XSet& ranked) {
+  std::vector<XSet> rows;
+  if (!TupleElements(ranked, &rows)) {
+    return Status::TypeError("RankedRows: not a rank-scoped set: " + ranked.ToString());
+  }
+  return rows;
+}
+
+}  // namespace rel
+}  // namespace xst

@@ -1,0 +1,34 @@
+// Ordering as scoping.
+//
+// Sets are unordered; XST expresses order *inside the set model* by scope:
+// an ordered result is a tuple whose elements are the rows —
+// {row₁^1, row₂^2, …} (Def 9.1 again, one level up). No side-channel
+// ordering metadata: the ranked result is an ordinary extended set that
+// prints, stores, and compares like any other.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/rel/relation.h"
+
+namespace xst {
+namespace rel {
+
+/// \brief Orders r by `attr` (ties broken by the structural total order, so
+/// output is deterministic) and returns the rank-scoped set
+/// {row₁^1, row₂^2, …}.
+Result<XSet> OrderBy(const Relation& r, const std::string& attr, bool ascending = true);
+
+/// \brief OrderBy truncated to the first k rows.
+Result<XSet> TopK(const Relation& r, const std::string& attr, size_t k,
+                  bool ascending = true);
+
+/// \brief The rows of a rank-scoped set, in rank order. TypeError when the
+/// input is not a tuple-of-rows.
+Result<std::vector<XSet>> RankedRows(const XSet& ranked);
+
+}  // namespace rel
+}  // namespace xst

@@ -1,0 +1,138 @@
+#include "src/rel/plan.h"
+
+#include <algorithm>
+
+#include "src/common/macros.h"
+#include "src/rel/algebra.h"
+
+namespace xst {
+namespace rel {
+
+std::string QueryPlan::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    out += std::to_string(i + 1) + ". " + steps[i].description + "  (~" +
+           std::to_string(steps[i].estimated_rows) + " rows)\n";
+  }
+  return out;
+}
+
+namespace {
+
+struct PlannedAccess {
+  // Predicate order: indexed ones first, then by arbitrary stable order.
+  std::vector<EqPredicate> ordered;
+  bool first_uses_index = false;
+};
+
+PlannedAccess OrderPredicates(Database* db, const std::string& table,
+                              const std::vector<EqPredicate>& predicates) {
+  PlannedAccess access;
+  access.ordered = predicates;
+  std::stable_sort(access.ordered.begin(), access.ordered.end(),
+                   [db, &table](const EqPredicate& a, const EqPredicate& b) {
+                     return db->HasIndex(table, a.attr) > db->HasIndex(table, b.attr);
+                   });
+  access.first_uses_index =
+      !access.ordered.empty() && db->HasIndex(table, access.ordered.front().attr);
+  return access;
+}
+
+}  // namespace
+
+Result<QueryPlan> Planner::Plan(const QuerySpec& spec) {
+  QueryPlan plan;
+  XST_ASSIGN_OR_RAISE(Relation base, db_->Read(spec.table));
+  size_t estimate = base.size();
+
+  PlannedAccess access = OrderPredicates(db_, spec.table, spec.predicates);
+  if (access.ordered.empty()) {
+    plan.steps.push_back({"scan " + spec.table, estimate});
+  } else {
+    for (size_t i = 0; i < access.ordered.size(); ++i) {
+      const EqPredicate& pred = access.ordered[i];
+      // Selectivity guess: indexed first predicate divides by the index's
+      // key count; later predicates halve (no statistics yet).
+      if (i == 0 && access.first_uses_index) {
+        // The index exists; key_count is unavailable through Database's
+        // cache API, so use a flat 10% guess for indexed access.
+        estimate = std::max<size_t>(estimate / 10, 1);
+        plan.steps.push_back({"index select " + spec.table + "." + pred.attr + " = " +
+                                  pred.value.ToString(),
+                              estimate});
+      } else {
+        estimate = std::max<size_t>(estimate / 2, 1);
+        plan.steps.push_back({std::string(i == 0 ? "scan select " : "filter ") +
+                                  spec.table + "." + pred.attr + " = " +
+                                  pred.value.ToString(),
+                              estimate});
+      }
+    }
+  }
+
+  // Greedy smallest-first join order.
+  std::vector<std::pair<std::string, size_t>> partners;
+  for (const std::string& name : spec.joins) {
+    XST_ASSIGN_OR_RAISE(Relation r, db_->Read(name));
+    partners.push_back({name, r.size()});
+  }
+  std::sort(partners.begin(), partners.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  for (const auto& [name, size] : partners) {
+    estimate = std::max<size_t>(std::max(estimate, size), 1);
+    plan.steps.push_back({"natural join " + name, estimate});
+  }
+
+  if (!spec.project.empty()) {
+    std::string attrs;
+    for (const std::string& attr : spec.project) {
+      if (!attrs.empty()) attrs += ", ";
+      attrs += attr;
+    }
+    plan.steps.push_back({"project {" + attrs + "}", estimate});
+  }
+  return plan;
+}
+
+Result<Relation> Planner::Execute(const QuerySpec& spec, QueryPlan* plan_out) {
+  XST_ASSIGN_OR_RAISE(QueryPlan plan, Plan(spec));
+  if (plan_out != nullptr) *plan_out = plan;
+
+  PlannedAccess access = OrderPredicates(db_, spec.table, spec.predicates);
+  Result<Relation> current = db_->Read(spec.table);
+  if (!current.ok()) return current;
+  for (size_t i = 0; i < access.ordered.size(); ++i) {
+    const EqPredicate& pred = access.ordered[i];
+    if (i == 0) {
+      // First predicate goes through the database (index-aware path).
+      current = db_->SelectEq(spec.table, pred.attr, pred.value);
+    } else {
+      current = Select(*current, pred.attr, pred.value);
+    }
+    if (!current.ok()) return current;
+  }
+
+  std::vector<std::pair<std::string, size_t>> partners;
+  for (const std::string& name : spec.joins) {
+    XST_ASSIGN_OR_RAISE(Relation r, db_->Read(name));
+    partners.push_back({name, r.size()});
+  }
+  std::sort(partners.begin(), partners.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  for (const auto& [name, size] : partners) {
+    (void)size;
+    XST_ASSIGN_OR_RAISE(Relation partner, db_->Read(name));
+    current = NaturalJoin(*current, partner);
+    if (!current.ok()) {
+      return current.status().WithContext("joining " + name);
+    }
+  }
+
+  if (!spec.project.empty()) {
+    current = Project(*current, spec.project);
+  }
+  return current;
+}
+
+}  // namespace rel
+}  // namespace xst

@@ -1,0 +1,67 @@
+// A (deliberately simple) query planner over the Database.
+//
+// Input: a conjunctive query — one base table, equality predicates, a set of
+// natural-join partners, an optional projection. The planner makes the two
+// classic decisions:
+//
+//   * access path — start from the most selective equality predicate,
+//     through an AttributeIndex when the database has one (the index is the
+//     paper's "representation detail": the chosen plan computes the same
+//     σ-restriction either way);
+//   * join order — greedy smallest-first over the current cardinality
+//     estimates, so multi-way joins stay output-bound.
+//
+// The produced plan is inspectable (EXPLAIN-style text with estimates) and
+// executable; Execute(spec) ≡ the naive algebra composition on every input
+// (a tested property).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/rel/database.h"
+
+namespace xst {
+namespace rel {
+
+struct EqPredicate {
+  std::string attr;
+  XSet value;
+};
+
+struct QuerySpec {
+  std::string table;                  ///< base table
+  std::vector<EqPredicate> predicates;  ///< conjunctive equality filters
+  std::vector<std::string> joins;     ///< tables to natural-join in
+  std::vector<std::string> project;   ///< final projection (empty = all)
+};
+
+struct PlanStep {
+  std::string description;  ///< e.g. "index select orders.customer_id = 3"
+  size_t estimated_rows = 0;
+};
+
+struct QueryPlan {
+  std::vector<PlanStep> steps;
+  std::string ToString() const;
+};
+
+class Planner {
+ public:
+  /// \brief The planner borrows the database (must outlive the planner).
+  explicit Planner(Database* db) : db_(db) {}
+
+  /// \brief Chooses access paths and join order for `spec`.
+  Result<QueryPlan> Plan(const QuerySpec& spec);
+
+  /// \brief Plans and runs; `plan_out` (optional) receives the chosen plan.
+  Result<Relation> Execute(const QuerySpec& spec, QueryPlan* plan_out = nullptr);
+
+ private:
+  Database* db_;
+};
+
+}  // namespace rel
+}  // namespace xst

@@ -1,0 +1,331 @@
+#include "src/rel/record.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+#include "src/common/hash.h"
+
+namespace xst {
+namespace rel {
+
+size_t RowValueHash::operator()(const RowValue& v) const {
+  if (std::holds_alternative<int64_t>(v)) {
+    return static_cast<size_t>(HashInt(std::get<int64_t>(v)));
+  }
+  return static_cast<size_t>(HashString(std::get<std::string>(v)));
+}
+
+bool RowValueLess(const RowValue& a, const RowValue& b) {
+  if (a.index() != b.index()) return a.index() < b.index();
+  if (std::holds_alternative<int64_t>(a)) {
+    return std::get<int64_t>(a) < std::get<int64_t>(b);
+  }
+  return std::get<std::string>(a) < std::get<std::string>(b);
+}
+
+bool RowLess(const Row& a, const Row& b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end(),
+                                      RowValueLess);
+}
+
+namespace {
+
+class ScanIterator : public RowIterator {
+ public:
+  explicit ScanIterator(const RowRelation* table) : table_(table) {}
+  std::optional<Row> Next() override {
+    if (pos_ >= table_->rows.size()) return std::nullopt;
+    return table_->rows[pos_++];
+  }
+
+ private:
+  const RowRelation* table_;
+  size_t pos_ = 0;
+};
+
+class FilterIterator : public RowIterator {
+ public:
+  FilterIterator(std::unique_ptr<RowIterator> input, size_t column,
+                 std::vector<RowValue> values)
+      : input_(std::move(input)), column_(column), values_(std::move(values)) {}
+  std::optional<Row> Next() override {
+    while (auto row = input_->Next()) {
+      for (const RowValue& v : values_) {
+        if ((*row)[column_] == v) return row;
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::unique_ptr<RowIterator> input_;
+  size_t column_;
+  std::vector<RowValue> values_;
+};
+
+class ProjectIterator : public RowIterator {
+ public:
+  ProjectIterator(std::unique_ptr<RowIterator> input, std::vector<size_t> columns)
+      : input_(std::move(input)), columns_(std::move(columns)) {}
+  std::optional<Row> Next() override {
+    auto row = input_->Next();
+    if (!row) return std::nullopt;
+    Row out;
+    out.reserve(columns_.size());
+    for (size_t c : columns_) out.push_back((*row)[c]);
+    return out;
+  }
+
+ private:
+  std::unique_ptr<RowIterator> input_;
+  std::vector<size_t> columns_;
+};
+
+Row JoinRows(const Row& left, const Row& right, const std::vector<size_t>& right_keep) {
+  Row out = left;
+  out.reserve(left.size() + right_keep.size());
+  for (size_t c : right_keep) out.push_back(right[c]);
+  return out;
+}
+
+class NestedLoopJoinIterator : public RowIterator {
+ public:
+  NestedLoopJoinIterator(std::unique_ptr<RowIterator> left, const RowRelation* right,
+                         size_t left_column, size_t right_column,
+                         std::vector<size_t> right_keep)
+      : left_(std::move(left)),
+        right_(right),
+        left_column_(left_column),
+        right_column_(right_column),
+        right_keep_(std::move(right_keep)) {}
+
+  std::optional<Row> Next() override {
+    while (true) {
+      if (!current_left_) {
+        current_left_ = left_->Next();
+        right_pos_ = 0;
+        if (!current_left_) return std::nullopt;
+      }
+      while (right_pos_ < right_->rows.size()) {
+        const Row& right_row = right_->rows[right_pos_++];
+        if ((*current_left_)[left_column_] == right_row[right_column_]) {
+          return JoinRows(*current_left_, right_row, right_keep_);
+        }
+      }
+      current_left_.reset();
+    }
+  }
+
+ private:
+  std::unique_ptr<RowIterator> left_;
+  const RowRelation* right_;
+  size_t left_column_;
+  size_t right_column_;
+  std::vector<size_t> right_keep_;
+  std::optional<Row> current_left_;
+  size_t right_pos_ = 0;
+};
+
+class HashJoinIterator : public RowIterator {
+ public:
+  HashJoinIterator(std::unique_ptr<RowIterator> left, const RowRelation* right,
+                   size_t left_column, size_t right_column, std::vector<size_t> right_keep)
+      : left_(std::move(left)), left_column_(left_column), right_keep_(std::move(right_keep)) {
+    table_.reserve(right->rows.size());
+    for (const Row& row : right->rows) {
+      table_[row[right_column]].push_back(&row);
+    }
+  }
+
+  std::optional<Row> Next() override {
+    while (true) {
+      if (matches_ != nullptr && match_pos_ < matches_->size()) {
+        return JoinRows(*current_left_, *(*matches_)[match_pos_++], right_keep_);
+      }
+      current_left_ = left_->Next();
+      if (!current_left_) return std::nullopt;
+      auto it = table_.find((*current_left_)[left_column_]);
+      matches_ = it == table_.end() ? nullptr : &it->second;
+      match_pos_ = 0;
+    }
+  }
+
+ private:
+  std::unique_ptr<RowIterator> left_;
+  size_t left_column_;
+  std::vector<size_t> right_keep_;
+  std::unordered_map<RowValue, std::vector<const Row*>, RowValueHash> table_;
+  std::optional<Row> current_left_;
+  const std::vector<const Row*>* matches_ = nullptr;
+  size_t match_pos_ = 0;
+};
+
+struct RowVectorHash {
+  size_t operator()(const Row& row) const {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    RowValueHash value_hash;
+    for (const RowValue& v : row) h = h * 31 + value_hash(v);
+    return h;
+  }
+};
+
+class GroupByIterator : public RowIterator {
+ public:
+  GroupByIterator(std::unique_ptr<RowIterator> input, std::vector<size_t> key_columns,
+                  std::vector<RowAgg> aggs)
+      : input_(std::move(input)), key_columns_(std::move(key_columns)),
+        aggs_(std::move(aggs)) {}
+
+  std::optional<Row> Next() override {
+    if (!materialized_) Materialize();
+    if (pos_ >= output_.size()) return std::nullopt;
+    return output_[pos_++];
+  }
+
+ private:
+  struct Acc {
+    int64_t count = 0;
+    int64_t sum = 0;
+    int64_t min = INT64_MAX;
+    int64_t max = INT64_MIN;
+  };
+
+  void Materialize() {
+    materialized_ = true;
+    std::unordered_map<Row, std::vector<Acc>, RowVectorHash> groups;
+    while (auto row = input_->Next()) {
+      Row key;
+      key.reserve(key_columns_.size());
+      for (size_t c : key_columns_) key.push_back((*row)[c]);
+      auto [it, inserted] = groups.try_emplace(std::move(key), aggs_.size());
+      for (size_t i = 0; i < aggs_.size(); ++i) {
+        Acc& acc = it->second[i];
+        ++acc.count;
+        if (std::strcmp(aggs_[i].kind, "count") != 0) {
+          int64_t v = std::get<int64_t>((*row)[aggs_[i].column]);
+          acc.sum += v;
+          acc.min = std::min(acc.min, v);
+          acc.max = std::max(acc.max, v);
+        }
+      }
+    }
+    for (const auto& [key, accs] : groups) {
+      Row out = key;
+      for (size_t i = 0; i < aggs_.size(); ++i) {
+        const Acc& acc = accs[i];
+        if (std::strcmp(aggs_[i].kind, "count") == 0) {
+          out.push_back(acc.count);
+        } else if (std::strcmp(aggs_[i].kind, "sum") == 0) {
+          out.push_back(acc.sum);
+        } else if (std::strcmp(aggs_[i].kind, "min") == 0) {
+          out.push_back(acc.min);
+        } else {
+          out.push_back(acc.max);
+        }
+      }
+      output_.push_back(std::move(out));
+    }
+  }
+
+  std::unique_ptr<RowIterator> input_;
+  std::vector<size_t> key_columns_;
+  std::vector<RowAgg> aggs_;
+  bool materialized_ = false;
+  std::vector<Row> output_;
+  size_t pos_ = 0;
+};
+
+class SortIterator : public RowIterator {
+ public:
+  SortIterator(std::unique_ptr<RowIterator> input, size_t column, bool ascending)
+      : input_(std::move(input)), column_(column), ascending_(ascending) {}
+
+  std::optional<Row> Next() override {
+    if (!materialized_) {
+      materialized_ = true;
+      while (auto row = input_->Next()) rows_.push_back(std::move(*row));
+      std::sort(rows_.begin(), rows_.end(), [this](const Row& a, const Row& b) {
+        if (a[column_] != b[column_]) {
+          bool less = RowValueLess(a[column_], b[column_]);
+          return ascending_ ? less : !less;
+        }
+        return ascending_ ? RowLess(a, b) : RowLess(b, a);
+      });
+    }
+    if (pos_ >= rows_.size()) return std::nullopt;
+    return rows_[pos_++];
+  }
+
+ private:
+  std::unique_ptr<RowIterator> input_;
+  size_t column_;
+  bool ascending_;
+  bool materialized_ = false;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<RowIterator> MakeGroupBy(std::unique_ptr<RowIterator> input,
+                                         std::vector<size_t> key_columns,
+                                         std::vector<RowAgg> aggs) {
+  return std::make_unique<GroupByIterator>(std::move(input), std::move(key_columns),
+                                           std::move(aggs));
+}
+
+std::unique_ptr<RowIterator> MakeSort(std::unique_ptr<RowIterator> input, size_t column,
+                                      bool ascending) {
+  return std::make_unique<SortIterator>(std::move(input), column, ascending);
+}
+
+std::unique_ptr<RowIterator> MakeScan(const RowRelation* table) {
+  return std::make_unique<ScanIterator>(table);
+}
+
+std::unique_ptr<RowIterator> MakeFilter(std::unique_ptr<RowIterator> input, size_t column,
+                                        RowValue value) {
+  return std::make_unique<FilterIterator>(std::move(input), column,
+                                          std::vector<RowValue>{std::move(value)});
+}
+
+std::unique_ptr<RowIterator> MakeFilterIn(std::unique_ptr<RowIterator> input, size_t column,
+                                          std::vector<RowValue> values) {
+  return std::make_unique<FilterIterator>(std::move(input), column, std::move(values));
+}
+
+std::unique_ptr<RowIterator> MakeProject(std::unique_ptr<RowIterator> input,
+                                         std::vector<size_t> columns) {
+  return std::make_unique<ProjectIterator>(std::move(input), std::move(columns));
+}
+
+std::unique_ptr<RowIterator> MakeNestedLoopJoin(std::unique_ptr<RowIterator> left,
+                                                const RowRelation* right, size_t left_column,
+                                                size_t right_column,
+                                                std::vector<size_t> right_keep) {
+  return std::make_unique<NestedLoopJoinIterator>(std::move(left), right, left_column,
+                                                  right_column, std::move(right_keep));
+}
+
+std::unique_ptr<RowIterator> MakeHashJoin(std::unique_ptr<RowIterator> left,
+                                          const RowRelation* right, size_t left_column,
+                                          size_t right_column,
+                                          std::vector<size_t> right_keep) {
+  return std::make_unique<HashJoinIterator>(std::move(left), right, left_column,
+                                            right_column, std::move(right_keep));
+}
+
+std::vector<Row> Execute(RowIterator* it) {
+  std::vector<Row> rows;
+  while (auto row = it->Next()) rows.push_back(std::move(*row));
+  return rows;
+}
+
+void DedupRows(std::vector<Row>* rows) {
+  std::sort(rows->begin(), rows->end(), RowLess);
+  rows->erase(std::unique(rows->begin(), rows->end()), rows->end());
+}
+
+}  // namespace rel
+}  // namespace xst

@@ -1,0 +1,105 @@
+// The record-at-a-time baseline engine.
+//
+// The comparison system for the set-processing benchmarks: a classic
+// Volcano-style iterator engine over plain row vectors, deliberately
+// independent of the XST value system (rows are variant atoms, no interning,
+// no canonical form). Both engines are fed identical logical data by the
+// workload generator and must produce identical result sets — checked in
+// the integration tests — so the benchmark differences are purely
+// execution-model differences.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/rel/schema.h"
+
+namespace xst {
+namespace rel {
+
+/// \brief A plain row value: int or string payload (symbols ride as strings).
+using RowValue = std::variant<int64_t, std::string>;
+using Row = std::vector<RowValue>;
+
+struct RowValueHash {
+  size_t operator()(const RowValue& v) const;
+};
+
+/// \brief A row table with a schema (shared with the XST side for parity).
+struct RowRelation {
+  Schema schema;
+  std::vector<Row> rows;
+};
+
+/// \brief Volcano iterator: Open is construction; Next yields rows until
+/// nullopt.
+class RowIterator {
+ public:
+  virtual ~RowIterator() = default;
+  virtual std::optional<Row> Next() = 0;
+};
+
+/// \brief Full scan over a materialized table.
+std::unique_ptr<RowIterator> MakeScan(const RowRelation* table);
+
+/// \brief Filter: keep rows whose `column` equals `value`.
+std::unique_ptr<RowIterator> MakeFilter(std::unique_ptr<RowIterator> input, size_t column,
+                                        RowValue value);
+
+/// \brief Filter with an IN-list.
+std::unique_ptr<RowIterator> MakeFilterIn(std::unique_ptr<RowIterator> input, size_t column,
+                                          std::vector<RowValue> values);
+
+/// \brief Projection to the given column indexes (in order). Note: row
+/// engines keep duplicates — parity with set semantics requires an explicit
+/// Dedup below, one of the costs the paper's set model does not pay.
+std::unique_ptr<RowIterator> MakeProject(std::unique_ptr<RowIterator> input,
+                                         std::vector<size_t> columns);
+
+/// \brief Tuple-nested-loop equi-join (the era's default plan): for each
+/// left row, scan the whole right table.
+std::unique_ptr<RowIterator> MakeNestedLoopJoin(std::unique_ptr<RowIterator> left,
+                                                const RowRelation* right,
+                                                size_t left_column, size_t right_column,
+                                                std::vector<size_t> right_keep);
+
+/// \brief Hash equi-join (build right, probe left).
+std::unique_ptr<RowIterator> MakeHashJoin(std::unique_ptr<RowIterator> left,
+                                          const RowRelation* right, size_t left_column,
+                                          size_t right_column,
+                                          std::vector<size_t> right_keep);
+
+/// \brief Hash aggregation: groups by `key_columns` and emits one row per
+/// group: key values followed by one value per aggregate. Aggregates are
+/// (column, kind) with kind ∈ {"count", "sum", "min", "max"}; sum/min/max
+/// require int columns. Blocking operator (drains its input on first Next).
+struct RowAgg {
+  size_t column = 0;  ///< ignored for "count"
+  const char* kind = "count";
+};
+std::unique_ptr<RowIterator> MakeGroupBy(std::unique_ptr<RowIterator> input,
+                                         std::vector<size_t> key_columns,
+                                         std::vector<RowAgg> aggs);
+
+/// \brief Sort by one column (blocking). Ties break by whole-row order.
+std::unique_ptr<RowIterator> MakeSort(std::unique_ptr<RowIterator> input, size_t column,
+                                      bool ascending);
+
+/// \brief Drains an iterator into a vector.
+std::vector<Row> Execute(RowIterator* it);
+
+/// \brief Sort + unique (the row engine's price for set semantics).
+void DedupRows(std::vector<Row>* rows);
+
+/// \brief Row-side comparison helpers (total order over variant values).
+bool RowValueLess(const RowValue& a, const RowValue& b);
+bool RowLess(const Row& a, const Row& b);
+
+}  // namespace rel
+}  // namespace xst

@@ -1,0 +1,66 @@
+#include "src/rel/relation.h"
+
+#include "src/common/macros.h"
+#include "src/core/builder.h"
+#include "src/ops/tuple.h"
+
+namespace xst {
+namespace rel {
+
+Result<Relation> Relation::Make(Schema schema, XSet tuples) {
+  if (!tuples.is_set()) {
+    return Status::TypeError("relation body must be a set, got " + tuples.ToString());
+  }
+  for (const Membership& m : tuples.members()) {
+    if (!m.scope.empty()) {
+      return Status::TypeError("relation tuples must be classically scoped, got scope " +
+                               m.scope.ToString());
+    }
+    XST_RETURN_NOT_OK(schema.ValidateTuple(m.element));
+  }
+  return Relation(std::move(schema), std::move(tuples));
+}
+
+Result<Relation> Relation::FromRows(Schema schema,
+                                    const std::vector<std::vector<XSet>>& rows) {
+  XSetBuilder builder(rows.size());
+  for (const std::vector<XSet>& row : rows) {
+    if (row.size() != schema.arity()) {
+      return Status::TypeError("row of width " + std::to_string(row.size()) +
+                               " does not fit " + schema.ToString());
+    }
+    builder.Add(XSet::Tuple(row));
+  }
+  return Make(std::move(schema), builder.Build());
+}
+
+Relation Relation::Empty(Schema schema) {
+  return Relation(std::move(schema), XSet::Empty());
+}
+
+std::vector<std::vector<XSet>> Relation::Rows() const {
+  std::vector<std::vector<XSet>> rows;
+  rows.reserve(size());
+  std::vector<XSet> parts;
+  for (const Membership& m : tuples_.members()) {
+    if (TupleElements(m.element, &parts)) rows.push_back(parts);
+  }
+  return rows;
+}
+
+std::string Relation::ToString(size_t max_rows) const {
+  std::string out = schema_.ToString();
+  out += " [" + std::to_string(size()) + " tuples]";
+  size_t shown = 0;
+  for (const Membership& m : tuples_.members()) {
+    if (shown++ >= max_rows) {
+      out += "\n  ...";
+      break;
+    }
+    out += "\n  " + m.element.ToString();
+  }
+  return out;
+}
+
+}  // namespace rel
+}  // namespace xst

@@ -1,0 +1,57 @@
+// Relations as extended sets of tuples.
+//
+// A Relation couples a Schema with a classical extended set whose members
+// are n-tuples — the direct XST reading of a stored file. Because the tuple
+// set IS an extended set, relations persist through the SetStore unchanged
+// and every algebra operation (rel/algebra.h) is an XST operator call.
+
+#pragma once
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/xset.h"
+#include "src/rel/schema.h"
+
+namespace xst {
+namespace rel {
+
+class Relation {
+ public:
+  /// \brief Wraps a tuple set after validating every member against the
+  /// schema.
+  static Result<Relation> Make(Schema schema, XSet tuples);
+
+  /// \brief Builds the tuple set from rows of attribute values.
+  static Result<Relation> FromRows(Schema schema,
+                                   const std::vector<std::vector<XSet>>& rows);
+
+  /// \brief An empty relation over the schema.
+  static Relation Empty(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  /// \brief The underlying extended set (classical set of n-tuples).
+  const XSet& tuples() const { return tuples_; }
+  /// \brief Tuple count (duplicates are set-collapsed by construction).
+  size_t size() const { return tuples_.cardinality(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// \brief Materializes rows (attribute-ordered element vectors).
+  std::vector<std::vector<XSet>> Rows() const;
+
+  /// \brief Equal schema and equal tuple set.
+  bool operator==(const Relation& other) const {
+    return schema_ == other.schema_ && tuples_ == other.tuples_;
+  }
+
+  std::string ToString(size_t max_rows = 16) const;
+
+ private:
+  Relation(Schema schema, XSet tuples)
+      : schema_(std::move(schema)), tuples_(std::move(tuples)) {}
+  Schema schema_;
+  XSet tuples_;
+};
+
+}  // namespace rel
+}  // namespace xst

@@ -1,0 +1,144 @@
+#include "src/rel/schema.h"
+
+#include <unordered_set>
+
+#include "src/ops/tuple.h"
+
+namespace xst {
+namespace rel {
+
+const char* AttrTypeName(AttrType type) {
+  switch (type) {
+    case AttrType::kInt:
+      return "int";
+    case AttrType::kString:
+      return "string";
+    case AttrType::kSymbol:
+      return "symbol";
+    case AttrType::kAny:
+      return "any";
+  }
+  return "any";
+}
+
+bool MatchesType(const XSet& value, AttrType type) {
+  switch (type) {
+    case AttrType::kInt:
+      return value.is_int();
+    case AttrType::kString:
+      return value.is_string();
+    case AttrType::kSymbol:
+      return value.is_symbol();
+    case AttrType::kAny:
+      return true;
+  }
+  return false;
+}
+
+Result<Schema> Schema::Make(std::vector<Attribute> attributes) {
+  std::unordered_set<std::string> seen;
+  for (const Attribute& attr : attributes) {
+    if (attr.name.empty()) {
+      return Status::Invalid("schema: attribute names must be non-empty");
+    }
+    if (!seen.insert(attr.name).second) {
+      return Status::Invalid("schema: duplicate attribute '" + attr.name + "'");
+    }
+  }
+  return Schema(std::move(attributes));
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return Status::NotFound("schema: no attribute '" + name + "' in " + ToString());
+}
+
+bool Schema::Contains(const std::string& name) const {
+  return IndexOf(name).ok();
+}
+
+Status Schema::ValidateTuple(const XSet& tuple) const {
+  std::vector<XSet> parts;
+  if (!TupleElements(tuple, &parts)) {
+    return Status::TypeError("tuple expected, got " + tuple.ToString());
+  }
+  if (parts.size() != attributes_.size()) {
+    return Status::TypeError("arity mismatch: tuple " + tuple.ToString() +
+                             " does not fit " + ToString());
+  }
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (!MatchesType(parts[i], attributes_[i].type)) {
+      return Status::TypeError("attribute '" + attributes_[i].name + "' expects " +
+                               AttrTypeName(attributes_[i].type) + ", got " +
+                               parts[i].ToString());
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Schema::CommonAttributes(const Schema& other) const {
+  std::vector<std::string> common;
+  for (const Attribute& attr : attributes_) {
+    if (other.Contains(attr.name)) common.push_back(attr.name);
+  }
+  return common;
+}
+
+XSet Schema::ToXSet() const {
+  std::vector<XSet> entries;
+  entries.reserve(attributes_.size());
+  for (const Attribute& attr : attributes_) {
+    entries.push_back(
+        XSet::Pair(XSet::String(attr.name), XSet::Symbol(AttrTypeName(attr.type))));
+  }
+  return XSet::Tuple(entries);
+}
+
+Result<Schema> Schema::FromXSet(const XSet& repr) {
+  std::vector<XSet> entries;
+  if (!TupleElements(repr, &entries)) {
+    return Status::TypeError("Schema::FromXSet: expected a tuple, got " + repr.ToString());
+  }
+  std::vector<Attribute> attrs;
+  attrs.reserve(entries.size());
+  for (const XSet& entry : entries) {
+    std::vector<XSet> parts;
+    if (!TupleElements(entry, &parts) || parts.size() != 2 || !parts[0].is_string() ||
+        !parts[1].is_symbol()) {
+      return Status::TypeError("Schema::FromXSet: malformed attribute " +
+                               entry.ToString());
+    }
+    const std::string& type_name = parts[1].str_value();
+    AttrType type;
+    if (type_name == "int") {
+      type = AttrType::kInt;
+    } else if (type_name == "string") {
+      type = AttrType::kString;
+    } else if (type_name == "symbol") {
+      type = AttrType::kSymbol;
+    } else if (type_name == "any") {
+      type = AttrType::kAny;
+    } else {
+      return Status::TypeError("Schema::FromXSet: unknown type '" + type_name + "'");
+    }
+    attrs.push_back({parts[0].str_value(), type});
+  }
+  return Make(std::move(attrs));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i].name;
+    out += ": ";
+    out += AttrTypeName(attributes_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace rel
+}  // namespace xst

@@ -1,0 +1,77 @@
+// Relation schemas.
+//
+// A relation is an extended set of n-tuples; the schema names the positions
+// and constrains the atom type at each. Attribute names enter the algebra
+// only as a naming layer — every operation compiles names down to the
+// positional σ-specifications of the XST operators.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/xset.h"
+
+namespace xst {
+namespace rel {
+
+enum class AttrType {
+  kInt,     ///< integer atoms
+  kString,  ///< string atoms
+  kSymbol,  ///< symbolic atoms
+  kAny,     ///< any extended set (including nested sets)
+};
+
+const char* AttrTypeName(AttrType type);
+
+/// \brief True iff `value` is admissible under `type`.
+bool MatchesType(const XSet& value, AttrType type);
+
+struct Attribute {
+  std::string name;
+  AttrType type = AttrType::kAny;
+
+  bool operator==(const Attribute&) const = default;
+};
+
+class Schema {
+ public:
+  /// \brief Validates attribute names (non-empty, unique).
+  static Result<Schema> Make(std::vector<Attribute> attributes);
+
+  size_t arity() const { return attributes_.size(); }
+  const Attribute& attribute(size_t i) const { return attributes_[i]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// \brief 0-based position of a named attribute; NotFound if absent.
+  Result<size_t> IndexOf(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+
+  /// \brief Checks that `tuple` is an n-tuple of this arity whose components
+  /// satisfy the attribute types.
+  Status ValidateTuple(const XSet& tuple) const;
+
+  /// \brief Attribute names shared with `other`, in this schema's order.
+  std::vector<std::string> CommonAttributes(const Schema& other) const;
+
+  bool operator==(const Schema&) const = default;
+
+  /// \brief "(id: int, name: string)" for messages and EXPLAIN output.
+  std::string ToString() const;
+
+  /// \brief The schema as an extended set — a tuple of ⟨name, type⟩ pairs:
+  /// ⟨⟨"id", int⟩, ⟨"name", symbol⟩, …⟩ — so schemas persist through the
+  /// set store exactly like data.
+  XSet ToXSet() const;
+
+  /// \brief Inverse of ToXSet; TypeError on malformed input.
+  static Result<Schema> FromXSet(const XSet& repr);
+
+ private:
+  explicit Schema(std::vector<Attribute> attributes) : attributes_(std::move(attributes)) {}
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace rel
+}  // namespace xst

@@ -1,0 +1,63 @@
+#include "src/store/catalog.h"
+
+#include "src/ops/tuple.h"
+
+namespace xst {
+
+void Catalog::Put(const std::string& name, const CatalogEntry& entry) {
+  entries_[name] = entry;
+}
+
+Result<CatalogEntry> Catalog::Get(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("catalog: no set named '" + name + "'");
+  }
+  return it->second;
+}
+
+Status Catalog::Remove(const std::string& name) {
+  if (entries_.erase(name) == 0) {
+    return Status::NotFound("catalog: no set named '" + name + "'");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+XSet Catalog::ToXSet() const {
+  std::vector<XSet> tuples;
+  tuples.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    tuples.push_back(XSet::Tuple({XSet::String(name),
+                                  XSet::Int(entry.first_page),
+                                  XSet::Int(entry.page_span),
+                                  XSet::Int(static_cast<int64_t>(entry.byte_length))}));
+  }
+  return XSet::Classical(tuples);
+}
+
+Result<Catalog> Catalog::FromXSet(const XSet& repr) {
+  Catalog catalog;
+  for (const Membership& m : repr.members()) {
+    std::vector<XSet> parts;
+    if (!m.scope.empty() || !TupleElements(m.element, &parts) || parts.size() != 4 ||
+        !parts[0].is_string() || !parts[1].is_int() || !parts[2].is_int() ||
+        !parts[3].is_int()) {
+      return Status::TypeError("catalog: malformed entry " + m.element.ToString());
+    }
+    CatalogEntry entry;
+    entry.first_page = static_cast<uint32_t>(parts[1].int_value());
+    entry.page_span = static_cast<uint32_t>(parts[2].int_value());
+    entry.byte_length = static_cast<uint64_t>(parts[3].int_value());
+    catalog.Put(parts[0].str_value(), entry);
+  }
+  return catalog;
+}
+
+}  // namespace xst

@@ -1,0 +1,61 @@
+// The set-store catalog: name → blob location.
+//
+// Dogfooding the thesis that every data representation has a set identity,
+// the catalog itself round-trips through an extended set:
+//
+//   { ⟨"name", first_page, page_span, byte_length⟩, … }
+//
+// — a classical set of 4-tuples — and is persisted with the same codec and
+// pages as user data.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/xset.h"
+
+namespace xst {
+
+struct CatalogEntry {
+  uint32_t first_page = kInvalidFirstPage;
+  uint32_t page_span = 0;
+  uint64_t byte_length = 0;
+
+  static constexpr uint32_t kInvalidFirstPage = 0xffffffff;
+  bool operator==(const CatalogEntry&) const = default;
+};
+
+class Catalog {
+ public:
+  /// \brief Registers or replaces a name.
+  void Put(const std::string& name, const CatalogEntry& entry);
+
+  /// \brief Looks a name up; NotFound if absent.
+  Result<CatalogEntry> Get(const std::string& name) const;
+
+  /// \brief Removes a name; NotFound if absent.
+  Status Remove(const std::string& name);
+
+  bool Contains(const std::string& name) const { return entries_.count(name) != 0; }
+
+  /// \brief All names in lexicographic order.
+  std::vector<std::string> Names() const;
+
+  size_t size() const { return entries_.size(); }
+
+  /// \brief The catalog as an extended set (see file comment).
+  XSet ToXSet() const;
+
+  /// \brief Rebuilds a catalog from its set form; TypeError on malformed
+  /// entries.
+  static Result<Catalog> FromXSet(const XSet& repr);
+
+ private:
+  std::map<std::string, CatalogEntry> entries_;
+};
+
+}  // namespace xst

@@ -1,0 +1,170 @@
+#include "src/store/codec.h"
+
+namespace xst {
+
+namespace {
+
+constexpr uint8_t kTagEmpty = 0x00;
+constexpr uint8_t kTagInt = 0x01;
+constexpr uint8_t kTagSymbol = 0x02;
+constexpr uint8_t kTagString = 0x03;
+constexpr uint8_t kTagSet = 0x04;
+
+constexpr uint32_t kMaxDecodeDepth = 512;
+
+Status CorruptAt(size_t offset, const char* what) {
+  return Status::Corruption(std::string(what) + " at offset " + std::to_string(offset));
+}
+
+Status DecodeImpl(std::string_view data, size_t* offset, uint32_t depth, XSet* out);
+
+Status DecodeStringPayload(std::string_view data, size_t* offset, std::string_view* payload) {
+  uint64_t len;
+  if (!GetVarint(data, offset, &len)) return CorruptAt(*offset, "truncated length");
+  if (len > data.size() - *offset) return CorruptAt(*offset, "string overruns buffer");
+  *payload = data.substr(*offset, len);
+  *offset += len;
+  return Status::OK();
+}
+
+Status DecodeImpl(std::string_view data, size_t* offset, uint32_t depth, XSet* out) {
+  if (depth > kMaxDecodeDepth) return CorruptAt(*offset, "nesting too deep");
+  if (*offset >= data.size()) return CorruptAt(*offset, "truncated value");
+  uint8_t tag = static_cast<uint8_t>(data[(*offset)++]);
+  switch (tag) {
+    case kTagEmpty:
+      *out = XSet::Empty();
+      return Status::OK();
+    case kTagInt: {
+      uint64_t raw;
+      if (!GetVarint(data, offset, &raw)) return CorruptAt(*offset, "truncated int");
+      *out = XSet::Int(ZigZagDecode(raw));
+      return Status::OK();
+    }
+    case kTagSymbol: {
+      std::string_view payload;
+      Status st = DecodeStringPayload(data, offset, &payload);
+      if (!st.ok()) return st;
+      *out = XSet::Symbol(payload);
+      return Status::OK();
+    }
+    case kTagString: {
+      std::string_view payload;
+      Status st = DecodeStringPayload(data, offset, &payload);
+      if (!st.ok()) return st;
+      *out = XSet::String(payload);
+      return Status::OK();
+    }
+    case kTagSet: {
+      uint64_t count;
+      if (!GetVarint(data, offset, &count)) return CorruptAt(*offset, "truncated count");
+      // Each membership needs at least 2 tag bytes; reject absurd counts
+      // before reserving memory.
+      if (count > (data.size() - *offset) / 2 + 1) {
+        return CorruptAt(*offset, "member count overruns buffer");
+      }
+      std::vector<Membership> members;
+      members.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        XSet element, scope;
+        Status st = DecodeImpl(data, offset, depth + 1, &element);
+        if (!st.ok()) return st;
+        st = DecodeImpl(data, offset, depth + 1, &scope);
+        if (!st.ok()) return st;
+        members.push_back(Membership{element, scope});
+      }
+      *out = XSet::FromMembers(std::move(members));
+      return Status::OK();
+    }
+    default:
+      return CorruptAt(*offset - 1, "unknown tag");
+  }
+}
+
+}  // namespace
+
+void PutVarint(uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+bool GetVarint(std::string_view data, size_t* offset, uint64_t* out) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (*offset < data.size() && shift <= 63) {
+    uint8_t byte = static_cast<uint8_t>(data[(*offset)++]);
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+void EncodeXSet(const XSet& s, std::string* out) {
+  switch (s.kind()) {
+    case NodeKind::kInt:
+      out->push_back(static_cast<char>(kTagInt));
+      PutVarint(ZigZagEncode(s.int_value()), out);
+      return;
+    case NodeKind::kSymbol:
+    case NodeKind::kString: {
+      out->push_back(static_cast<char>(s.is_symbol() ? kTagSymbol : kTagString));
+      PutVarint(s.str_value().size(), out);
+      out->append(s.str_value());
+      return;
+    }
+    case NodeKind::kSet: {
+      if (s.empty()) {
+        out->push_back(static_cast<char>(kTagEmpty));
+        return;
+      }
+      out->push_back(static_cast<char>(kTagSet));
+      PutVarint(s.cardinality(), out);
+      for (const Membership& m : s.members()) {
+        EncodeXSet(m.element, out);
+        EncodeXSet(m.scope, out);
+      }
+      return;
+    }
+  }
+}
+
+std::string EncodeXSetToString(const XSet& s) {
+  std::string out;
+  EncodeXSet(s, &out);
+  return out;
+}
+
+Result<XSet> DecodeXSet(std::string_view data, size_t* offset) {
+  XSet out;
+  Status st = DecodeImpl(data, offset, 0, &out);
+  if (!st.ok()) return st;
+  return out;
+}
+
+Result<XSet> DecodeXSetWhole(std::string_view data) {
+  size_t offset = 0;
+  Result<XSet> r = DecodeXSet(data, &offset);
+  if (!r.ok()) return r;
+  if (offset != data.size()) {
+    return Status::Corruption("trailing bytes after value: " +
+                              std::to_string(data.size() - offset));
+  }
+  return r;
+}
+
+}  // namespace xst

@@ -1,0 +1,136 @@
+#include "src/store/pager.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace xst {
+
+namespace {
+
+Status IOErrorFromErrno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path, size_t capacity) {
+  if (capacity == 0) return Status::Invalid("buffer pool capacity must be >= 1");
+  std::FILE* file = std::fopen(path.c_str(), "r+b");
+  if (file == nullptr) {
+    file = std::fopen(path.c_str(), "w+b");
+    if (file == nullptr) return IOErrorFromErrno("open " + path);
+  }
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    std::fclose(file);
+    return IOErrorFromErrno("seek " + path);
+  }
+  long size = std::ftell(file);
+  if (size < 0 || static_cast<size_t>(size) % kPageSize != 0) {
+    std::fclose(file);
+    return Status::Corruption(path + ": file size " + std::to_string(size) +
+                              " is not a whole number of pages");
+  }
+  return std::unique_ptr<Pager>(
+      new Pager(file, capacity, static_cast<uint32_t>(size / kPageSize)));
+}
+
+Pager::~Pager() {
+  Flush().ok();  // best effort on teardown
+  std::fclose(file_);
+}
+
+Result<uint32_t> Pager::AllocatePage() {
+  uint32_t page_id = page_count_;
+  Frame frame;
+  frame.dirty = true;
+  Status st = EvictIfFull();
+  if (!st.ok()) return st;
+  lru_.emplace_front(page_id, std::move(frame));
+  frames_[page_id] = lru_.begin();
+  ++page_count_;
+  ++stats_.allocations;
+  return page_id;
+}
+
+Result<Page*> Pager::FetchPage(uint32_t page_id) {
+  if (page_id >= page_count_) {
+    return Status::OutOfRange("page " + std::to_string(page_id) + " of " +
+                              std::to_string(page_count_));
+  }
+  auto it = frames_.find(page_id);
+  if (it != frames_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);  // touch
+    return &it->second->second.page;
+  }
+  ++stats_.misses;
+  Status st = EvictIfFull();
+  if (!st.ok()) return st;
+  std::string bytes(kPageSize, '\0');
+  if (std::fseek(file_, static_cast<long>(page_id) * static_cast<long>(kPageSize),
+                 SEEK_SET) != 0) {
+    return IOErrorFromErrno("seek page " + std::to_string(page_id));
+  }
+  if (std::fread(bytes.data(), 1, kPageSize, file_) != kPageSize) {
+    return IOErrorFromErrno("read page " + std::to_string(page_id));
+  }
+  Result<Page> page = Page::FromBytes(bytes);
+  if (!page.ok()) {
+    return page.status().WithContext("page " + std::to_string(page_id));
+  }
+  Frame frame;
+  frame.page = *std::move(page);
+  lru_.emplace_front(page_id, std::move(frame));
+  frames_[page_id] = lru_.begin();
+  return &lru_.begin()->second.page;
+}
+
+Status Pager::MarkDirty(uint32_t page_id) {
+  auto it = frames_.find(page_id);
+  if (it == frames_.end()) {
+    return Status::Invalid("MarkDirty: page " + std::to_string(page_id) +
+                           " is not resident");
+  }
+  it->second->second.dirty = true;
+  return Status::OK();
+}
+
+Status Pager::WriteBack(uint32_t page_id, const Frame& frame) {
+  std::string bytes = frame.page.ToBytes();
+  if (std::fseek(file_, static_cast<long>(page_id) * static_cast<long>(kPageSize),
+                 SEEK_SET) != 0) {
+    return IOErrorFromErrno("seek page " + std::to_string(page_id));
+  }
+  if (std::fwrite(bytes.data(), 1, kPageSize, file_) != kPageSize) {
+    return IOErrorFromErrno("write page " + std::to_string(page_id));
+  }
+  ++stats_.writebacks;
+  return Status::OK();
+}
+
+Status Pager::EvictIfFull() {
+  while (lru_.size() >= capacity_) {
+    auto& [victim_id, victim] = lru_.back();
+    if (victim.dirty) {
+      Status st = WriteBack(victim_id, victim);
+      if (!st.ok()) return st;
+    }
+    frames_.erase(victim_id);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  return Status::OK();
+}
+
+Status Pager::Flush() {
+  for (auto& [page_id, frame] : lru_) {
+    if (!frame.dirty) continue;
+    Status st = WriteBack(page_id, frame);
+    if (!st.ok()) return st;
+    frame.dirty = false;
+  }
+  if (std::fflush(file_) != 0) return IOErrorFromErrno("fflush");
+  return Status::OK();
+}
+
+}  // namespace xst

@@ -1,0 +1,83 @@
+// Pager: a file of pages behind an LRU buffer pool.
+//
+// The 1977 paper's backend context (block devices, scarce memory) is
+// simulated with a page file plus a bounded write-back cache. The pager
+// tracks hit/miss/eviction counters so the benchmarks can report locality
+// behavior, and validates checksums on every fill — a torn or tampered page
+// surfaces as Corruption, never as silent bad data.
+//
+// Not thread-safe: the set store serializes access (single writer, as the
+// era's systems did).
+
+#pragma once
+
+#include <cstdio>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/result.h"
+#include "src/store/page.h"
+
+namespace xst {
+
+struct PagerStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t writebacks = 0;
+  uint64_t allocations = 0;
+};
+
+class Pager {
+ public:
+  /// \brief Opens (creating if needed) a page file. `capacity` is the
+  /// buffer-pool size in pages (≥ 1).
+  static Result<std::unique_ptr<Pager>> Open(const std::string& path, size_t capacity = 64);
+
+  ~Pager();
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  /// \brief Appends a fresh empty page; returns its id.
+  Result<uint32_t> AllocatePage();
+
+  /// \brief Reads a page through the pool. The reference stays valid until
+  /// the next pager call (eviction may recycle the frame).
+  Result<Page*> FetchPage(uint32_t page_id);
+
+  /// \brief Marks a fetched page dirty so eviction/flush persists it.
+  Status MarkDirty(uint32_t page_id);
+
+  /// \brief Writes back every dirty page and fsyncs.
+  Status Flush();
+
+  /// \brief Number of pages in the file.
+  uint32_t page_count() const { return page_count_; }
+
+  const PagerStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = PagerStats{}; }
+
+ private:
+  Pager(std::FILE* file, size_t capacity, uint32_t page_count)
+      : file_(file), capacity_(capacity), page_count_(page_count) {}
+
+  struct Frame {
+    Page page;
+    bool dirty = false;
+  };
+
+  Status WriteBack(uint32_t page_id, const Frame& frame);
+  Status EvictIfFull();
+
+  std::FILE* file_;
+  size_t capacity_;
+  uint32_t page_count_;
+  PagerStats stats_;
+  // LRU: most-recent at front. The map stores list iterators for O(1) touch.
+  std::list<std::pair<uint32_t, Frame>> lru_;
+  std::unordered_map<uint32_t, std::list<std::pair<uint32_t, Frame>>::iterator> frames_;
+};
+
+}  // namespace xst

@@ -1,0 +1,193 @@
+#include "src/store/setstore.h"
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "src/common/macros.h"
+#include "src/ops/tuple.h"
+#include "src/store/codec.h"
+
+namespace xst {
+
+namespace {
+
+// A conservative per-page chunk budget: page free space for the first record
+// of a fresh page.
+size_t ChunkCapacity() {
+  static const size_t capacity = Page().FreeSpace();
+  return capacity;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SetStore>> SetStore::Open(const std::string& path,
+                                                 const SetStoreOptions& options) {
+  XST_ASSIGN_OR_RAISE(std::unique_ptr<Pager> pager,
+                      Pager::Open(path, options.buffer_pool_pages));
+  std::unique_ptr<SetStore> store(new SetStore(path, std::move(pager)));
+  if (store->pager_->page_count() == 0) {
+    // Fresh store: create the superblock.
+    XST_ASSIGN_OR_RAISE(uint32_t superblock, store->pager_->AllocatePage());
+    XST_DCHECK(superblock == 0);
+    (void)superblock;
+    XST_RETURN_NOT_OK(store->PersistCatalog());
+  } else {
+    XST_RETURN_NOT_OK(store->LoadCatalog());
+  }
+  return store;
+}
+
+Result<CatalogEntry> SetStore::WriteBlob(const std::string& bytes) {
+  CatalogEntry entry;
+  entry.byte_length = bytes.size();
+  size_t offset = 0;
+  uint32_t span = 0;
+  do {
+    size_t chunk = std::min(ChunkCapacity(), bytes.size() - offset);
+    XST_ASSIGN_OR_RAISE(uint32_t page_id, pager_->AllocatePage());
+    if (span == 0) entry.first_page = page_id;
+    XST_ASSIGN_OR_RAISE(Page * page, pager_->FetchPage(page_id));
+    if (chunk > 0) {
+      Result<uint32_t> slot = page->AddRecord(std::string_view(bytes).substr(offset, chunk));
+      if (!slot.ok()) return slot.status();
+    }
+    XST_RETURN_NOT_OK(pager_->MarkDirty(page_id));
+    offset += chunk;
+    ++span;
+  } while (offset < bytes.size());
+  entry.page_span = span;
+  return entry;
+}
+
+Result<std::string> SetStore::ReadBlob(const CatalogEntry& entry) {
+  std::string bytes;
+  bytes.reserve(entry.byte_length);
+  for (uint32_t i = 0; i < entry.page_span; ++i) {
+    XST_ASSIGN_OR_RAISE(Page * page, pager_->FetchPage(entry.first_page + i));
+    if (page->slot_count() == 0) continue;  // empty blob chunk
+    XST_ASSIGN_OR_RAISE(std::string_view record, page->GetRecord(0));
+    bytes.append(record);
+  }
+  if (bytes.size() != entry.byte_length) {
+    return Status::Corruption("blob length mismatch: expected " +
+                              std::to_string(entry.byte_length) + ", got " +
+                              std::to_string(bytes.size()));
+  }
+  return bytes;
+}
+
+Status SetStore::PersistCatalog() {
+  // Write the catalog blob first, then swap the superblock pointer — the
+  // order that keeps a crash from orphaning anything but garbage pages.
+  std::string encoded = EncodeXSetToString(catalog_.ToXSet());
+  XST_ASSIGN_OR_RAISE(CatalogEntry entry, WriteBlob(encoded));
+  XSet pointer = XSet::Pair(XSet::Int(entry.first_page),
+                            XSet::Int(static_cast<int64_t>(entry.byte_length)));
+  XSet with_span = XSet::Pair(pointer, XSet::Int(entry.page_span));
+  std::string superblock_record = EncodeXSetToString(with_span);
+
+  XST_ASSIGN_OR_RAISE(Page * superblock, pager_->FetchPage(0));
+  *superblock = Page();  // reset: the superblock holds exactly one record
+  Result<uint32_t> slot = superblock->AddRecord(superblock_record);
+  if (!slot.ok()) return slot.status();
+  XST_RETURN_NOT_OK(pager_->MarkDirty(0));
+  return pager_->Flush();
+}
+
+Status SetStore::LoadCatalog() {
+  XST_ASSIGN_OR_RAISE(Page * superblock, pager_->FetchPage(0));
+  XST_ASSIGN_OR_RAISE(std::string_view record, superblock->GetRecord(0));
+  XST_ASSIGN_OR_RAISE(XSet with_span, DecodeXSetWhole(record));
+  XST_ASSIGN_OR_RAISE(XSet pointer, TupleGet(with_span, 1));
+  XST_ASSIGN_OR_RAISE(XSet span_val, TupleGet(with_span, 2));
+  XST_ASSIGN_OR_RAISE(XSet first_val, TupleGet(pointer, 1));
+  XST_ASSIGN_OR_RAISE(XSet len_val, TupleGet(pointer, 2));
+  if (!first_val.is_int() || !len_val.is_int() || !span_val.is_int()) {
+    return Status::Corruption("superblock pointer is not numeric");
+  }
+  CatalogEntry entry;
+  entry.first_page = static_cast<uint32_t>(first_val.int_value());
+  entry.page_span = static_cast<uint32_t>(span_val.int_value());
+  entry.byte_length = static_cast<uint64_t>(len_val.int_value());
+  XST_ASSIGN_OR_RAISE(std::string encoded, ReadBlob(entry));
+  XST_ASSIGN_OR_RAISE(XSet repr, DecodeXSetWhole(encoded));
+  XST_ASSIGN_OR_RAISE(catalog_, Catalog::FromXSet(repr));
+  return Status::OK();
+}
+
+Status SetStore::Put(const std::string& name, const XSet& value) {
+  if (name.empty()) return Status::Invalid("set names must be non-empty");
+  std::string encoded = EncodeXSetToString(value);
+  XST_ASSIGN_OR_RAISE(CatalogEntry entry, WriteBlob(encoded));
+  catalog_.Put(name, entry);
+  return PersistCatalog();
+}
+
+Status SetStore::PutBatch(const std::vector<std::pair<std::string, XSet>>& entries) {
+  // Validate up front: the batch must be all-or-nothing, so no partial
+  // catalog mutation may happen after the first write.
+  std::unordered_set<std::string> seen;
+  for (const auto& [name, value] : entries) {
+    (void)value;
+    if (name.empty()) return Status::Invalid("set names must be non-empty");
+    if (!seen.insert(name).second) {
+      return Status::Invalid("PutBatch: duplicate name '" + name + "' in batch");
+    }
+  }
+  Catalog staged = catalog_;
+  for (const auto& [name, value] : entries) {
+    std::string encoded = EncodeXSetToString(value);
+    XST_ASSIGN_OR_RAISE(CatalogEntry entry, WriteBlob(encoded));
+    staged.Put(name, entry);
+  }
+  catalog_ = std::move(staged);
+  return PersistCatalog();  // the single commit point
+}
+
+Result<size_t> SetStore::Scrub() {
+  size_t verified = 0;
+  for (const std::string& name : catalog_.Names()) {
+    Result<XSet> value = Get(name);
+    if (!value.ok()) {
+      return value.status().WithContext("scrub: set '" + name + "'");
+    }
+    ++verified;
+  }
+  return verified;
+}
+
+Result<XSet> SetStore::Get(const std::string& name) {
+  XST_ASSIGN_OR_RAISE(CatalogEntry entry, catalog_.Get(name));
+  XST_ASSIGN_OR_RAISE(std::string encoded, ReadBlob(entry));
+  Result<XSet> decoded = DecodeXSetWhole(encoded);
+  if (!decoded.ok()) return decoded.status().WithContext("set '" + name + "'");
+  return decoded;
+}
+
+Status SetStore::Delete(const std::string& name) {
+  XST_RETURN_NOT_OK(catalog_.Remove(name));
+  return PersistCatalog();
+}
+
+Status SetStore::Compact() {
+  // Rewrite live blobs into a sibling file, then swap it in.
+  const std::string tmp_path = path_ + ".compact";
+  std::remove(tmp_path.c_str());
+  {
+    XST_ASSIGN_OR_RAISE(std::unique_ptr<SetStore> fresh, SetStore::Open(tmp_path));
+    for (const std::string& name : catalog_.Names()) {
+      XST_ASSIGN_OR_RAISE(XSet value, Get(name));
+      XST_RETURN_NOT_OK(fresh->Put(name, value));
+    }
+    XST_RETURN_NOT_OK(fresh->Flush());
+  }
+  XST_RETURN_NOT_OK(Flush());
+  pager_.reset();  // close our file before replacing it
+  if (std::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    return Status::IOError("rename during compaction failed");
+  }
+  XST_ASSIGN_OR_RAISE(pager_, Pager::Open(path_));
+  return LoadCatalog();
+}
+
+}  // namespace xst

@@ -1,0 +1,95 @@
+// SetStore: named, persistent extended sets.
+//
+// The store realizes the 1977 proposition directly: the stored object is a
+// set, the access interface is sets in / sets out, and everything else
+// (pages, chunking, the catalog) is representation detail beneath the
+// mathematical identity.
+//
+// Layout:
+//   page 0           superblock: one record, the encoded pair
+//                    ⟨catalog_first_page, catalog_byte_length⟩
+//                    (⟨-1, 0⟩ while the store is empty)
+//   pages 1..N       blob chunks; a blob occupies a contiguous page span,
+//                    one record per page
+//
+// Updates are append-only (new blob, catalog pointer swap); stale pages are
+// reclaimed by Compact(), which rewrites the live blobs into a fresh file.
+// Every page is checksummed; any torn or tampered byte surfaces as
+// Corruption on read.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/xset.h"
+#include "src/store/catalog.h"
+#include "src/store/pager.h"
+
+namespace xst {
+
+struct SetStoreOptions {
+  size_t buffer_pool_pages = 64;
+};
+
+class SetStore {
+ public:
+  /// \brief Opens (creating if necessary) a store at `path`.
+  static Result<std::unique_ptr<SetStore>> Open(const std::string& path,
+                                                const SetStoreOptions& options = {});
+
+  /// \brief Writes (or replaces) a named set and persists the catalog.
+  Status Put(const std::string& name, const XSet& value);
+
+  /// \brief Writes several named sets with ONE catalog persist at the end:
+  /// all-or-nothing visibility across restarts (the superblock pointer is
+  /// the commit point; blobs written before a crash are unreferenced
+  /// garbage, reclaimed by Compact). Names must be unique within the batch.
+  Status PutBatch(const std::vector<std::pair<std::string, XSet>>& entries);
+
+  /// \brief Full-store verification: re-reads every live blob through the
+  /// checksummed page path and decodes it. Returns the number of blobs
+  /// verified, or the first Corruption/IOError encountered.
+  Result<size_t> Scrub();
+
+  /// \brief Reads a named set back. NotFound / Corruption as appropriate.
+  Result<XSet> Get(const std::string& name);
+
+  /// \brief Removes the name (space reclaimed at Compact()).
+  Status Delete(const std::string& name);
+
+  bool Contains(const std::string& name) const { return catalog_.Contains(name); }
+
+  /// \brief All stored names.
+  std::vector<std::string> List() const { return catalog_.Names(); }
+
+  /// \brief Rewrites the store keeping only live blobs; reopens in place.
+  Status Compact();
+
+  /// \brief Flushes the pool to disk.
+  Status Flush() { return pager_->Flush(); }
+
+  const PagerStats& pager_stats() const { return pager_->stats(); }
+  void ResetPagerStats() { pager_->ResetStats(); }
+  uint32_t page_count() const { return pager_->page_count(); }
+
+  /// \brief The catalog's set representation (for inspection and tests).
+  XSet CatalogAsXSet() const { return catalog_.ToXSet(); }
+
+ private:
+  SetStore(std::string path, std::unique_ptr<Pager> pager)
+      : path_(std::move(path)), pager_(std::move(pager)) {}
+
+  Result<CatalogEntry> WriteBlob(const std::string& bytes);
+  Result<std::string> ReadBlob(const CatalogEntry& entry);
+  Status PersistCatalog();
+  Status LoadCatalog();
+
+  std::string path_;
+  std::unique_ptr<Pager> pager_;
+  Catalog catalog_;
+};
+
+}  // namespace xst

@@ -1,0 +1,31 @@
+// XSP evaluation with execution statistics.
+//
+// Evaluation is bottom-up and materializing; EvalStats records how much
+// intermediate state a plan touched, which is what the optimizer benchmarks
+// compare (composed plans vs. staged plans with materialized intermediates).
+
+#pragma once
+
+#include "src/common/result.h"
+#include "src/xsp/expr.h"
+
+namespace xst {
+namespace xsp {
+
+struct EvalStats {
+  uint64_t nodes_evaluated = 0;
+  /// Sum of the cardinalities of every intermediate (non-root) result — the
+  /// materialization cost a composed plan avoids.
+  uint64_t intermediate_cardinality = 0;
+  /// Largest single intermediate.
+  uint64_t peak_cardinality = 0;
+};
+
+/// \brief Evaluates `expr` against `bindings`. `stats` may be null.
+Result<XSet> Eval(const ExprPtr& expr, const Bindings& bindings, EvalStats* stats = nullptr);
+
+/// \brief Multi-line EXPLAIN rendering of a plan.
+std::string Explain(const ExprPtr& expr);
+
+}  // namespace xsp
+}  // namespace xst

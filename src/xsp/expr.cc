@@ -1,0 +1,143 @@
+#include "src/xsp/expr.h"
+
+namespace xst {
+namespace xsp {
+
+namespace {
+
+std::string SpecToString(const Sigma& sigma) {
+  return "<" + sigma.s1.ToString() + ", " + sigma.s2.ToString() + ">";
+}
+
+}  // namespace
+
+ExprPtr Expr::Literal(XSet value) {
+  auto node = std::shared_ptr<Expr>(new Expr());
+  node->kind_ = ExprKind::kLiteral;
+  node->literal_ = std::move(value);
+  return node;
+}
+
+ExprPtr Expr::Named(std::string name) {
+  auto node = std::shared_ptr<Expr>(new Expr());
+  node->kind_ = ExprKind::kNamed;
+  node->name_ = std::move(name);
+  return node;
+}
+
+ExprPtr Expr::Union(ExprPtr a, ExprPtr b) {
+  auto node = std::shared_ptr<Expr>(new Expr());
+  node->kind_ = ExprKind::kUnion;
+  node->children_ = {std::move(a), std::move(b)};
+  return node;
+}
+
+ExprPtr Expr::Intersect(ExprPtr a, ExprPtr b) {
+  auto node = std::shared_ptr<Expr>(new Expr());
+  node->kind_ = ExprKind::kIntersect;
+  node->children_ = {std::move(a), std::move(b)};
+  return node;
+}
+
+ExprPtr Expr::Difference(ExprPtr a, ExprPtr b) {
+  auto node = std::shared_ptr<Expr>(new Expr());
+  node->kind_ = ExprKind::kDifference;
+  node->children_ = {std::move(a), std::move(b)};
+  return node;
+}
+
+ExprPtr Expr::Domain(ExprPtr r, XSet spec) {
+  auto node = std::shared_ptr<Expr>(new Expr());
+  node->kind_ = ExprKind::kDomain;
+  node->children_ = {std::move(r)};
+  node->sigma_.s1 = std::move(spec);
+  return node;
+}
+
+ExprPtr Expr::Restrict(ExprPtr r, XSet spec, ExprPtr probes) {
+  auto node = std::shared_ptr<Expr>(new Expr());
+  node->kind_ = ExprKind::kRestrict;
+  node->children_ = {std::move(r), std::move(probes)};
+  node->sigma_.s1 = std::move(spec);
+  return node;
+}
+
+ExprPtr Expr::Image(ExprPtr r, ExprPtr probes, Sigma sigma) {
+  auto node = std::shared_ptr<Expr>(new Expr());
+  node->kind_ = ExprKind::kImage;
+  node->children_ = {std::move(r), std::move(probes)};
+  node->sigma_ = std::move(sigma);
+  return node;
+}
+
+ExprPtr Expr::RelProduct(ExprPtr f, ExprPtr g, Sigma sigma, Sigma omega) {
+  auto node = std::shared_ptr<Expr>(new Expr());
+  node->kind_ = ExprKind::kRelProduct;
+  node->children_ = {std::move(f), std::move(g)};
+  node->sigma_ = std::move(sigma);
+  node->omega_ = std::move(omega);
+  return node;
+}
+
+ExprPtr Expr::Closure(ExprPtr r) {
+  auto node = std::shared_ptr<Expr>(new Expr());
+  node->kind_ = ExprKind::kClosure;
+  node->children_ = {std::move(r)};
+  return node;
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kLiteral: {
+      std::string text = literal_.ToString();
+      if (text.size() > 40) text = text.substr(0, 37) + "...";
+      return "lit " + text;
+    }
+    case ExprKind::kNamed:
+      return "@" + name_;
+    case ExprKind::kUnion:
+      return "union(" + children_[0]->ToString() + ", " + children_[1]->ToString() + ")";
+    case ExprKind::kIntersect:
+      return "intersect(" + children_[0]->ToString() + ", " + children_[1]->ToString() +
+             ")";
+    case ExprKind::kDifference:
+      return "difference(" + children_[0]->ToString() + ", " + children_[1]->ToString() +
+             ")";
+    case ExprKind::kDomain:
+      return "domain[" + sigma_.s1.ToString() + "](" + children_[0]->ToString() + ")";
+    case ExprKind::kRestrict:
+      return "restrict[" + sigma_.s1.ToString() + "](" + children_[0]->ToString() + ", " +
+             children_[1]->ToString() + ")";
+    case ExprKind::kImage:
+      return "image[" + SpecToString(sigma_) + "](" + children_[0]->ToString() + ", " +
+             children_[1]->ToString() + ")";
+    case ExprKind::kRelProduct:
+      return "relprod[" + SpecToString(sigma_) + "; " + SpecToString(omega_) + "](" +
+             children_[0]->ToString() + ", " + children_[1]->ToString() + ")";
+    case ExprKind::kClosure:
+      return "closure(" + children_[0]->ToString() + ")";
+  }
+  return "?";
+}
+
+bool Expr::Equal(const ExprPtr& a, const ExprPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind_ != b->kind_) return false;
+  if (a->literal_ != b->literal_ || a->name_ != b->name_) return false;
+  if (!(a->sigma_ == b->sigma_) || !(a->omega_ == b->omega_)) return false;
+  if (a->children_.size() != b->children_.size()) return false;
+  for (size_t i = 0; i < a->children_.size(); ++i) {
+    if (!Equal(a->children_[i], b->children_[i])) return false;
+  }
+  return true;
+}
+
+void CollectNamedLeaves(const ExprPtr& expr, std::vector<std::string>* names) {
+  if (expr == nullptr) return;
+  if (expr->kind() == ExprKind::kNamed) names->push_back(expr->name());
+  for (const ExprPtr& child : expr->children()) CollectNamedLeaves(child, names);
+}
+
+}  // namespace xsp
+}  // namespace xst

@@ -1,0 +1,90 @@
+// XSP expressions: an algebra of extended-set operations as data.
+//
+// XSP ("extended set processing") is the execution face of the theory: a
+// query is a tree of set operators, evaluation is bottom-up, and — because
+// the operators obey the paper's algebraic identities — trees can be
+// rewritten before execution (see optimizer.h). Named leaves resolve
+// against a binding environment (in-memory map or a SetStore snapshot).
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/xset.h"
+#include "src/ops/image.h"
+
+namespace xst {
+namespace xsp {
+
+enum class ExprKind {
+  kLiteral,     ///< an embedded constant set
+  kNamed,       ///< a named set, resolved at evaluation time
+  kUnion,       ///< children[0] ∪ children[1]
+  kIntersect,   ///< children[0] ∩ children[1]
+  kDifference,  ///< children[0] ∼ children[1]
+  kDomain,      ///< 𝔇_{spec}(children[0])
+  kRestrict,    ///< children[0] |_{spec} children[1]
+  kImage,       ///< children[0][children[1]]_{⟨spec, spec2⟩}
+  kRelProduct,  ///< children[0] /σω children[1]
+  kClosure,     ///< transitive closure (children[0])⁺ of a pair relation
+};
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// \brief An immutable expression node. Build via the factory functions.
+class Expr {
+ public:
+  ExprKind kind() const { return kind_; }
+  const XSet& literal() const { return literal_; }
+  const std::string& name() const { return name_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+  const ExprPtr& child(size_t i) const { return children_[i]; }
+  /// σ for kDomain/kRestrict (in .s1) and kImage; σ of the left operand for
+  /// kRelProduct.
+  const Sigma& sigma() const { return sigma_; }
+  /// ω of the right operand for kRelProduct.
+  const Sigma& omega() const { return omega_; }
+
+  /// \brief Structural description for EXPLAIN output.
+  std::string ToString() const;
+
+  /// \brief Structural equality (used by rewrite rules to match shared
+  /// subtrees).
+  static bool Equal(const ExprPtr& a, const ExprPtr& b);
+
+  // Factories.
+  static ExprPtr Literal(XSet value);
+  static ExprPtr Named(std::string name);
+  static ExprPtr Union(ExprPtr a, ExprPtr b);
+  static ExprPtr Intersect(ExprPtr a, ExprPtr b);
+  static ExprPtr Difference(ExprPtr a, ExprPtr b);
+  static ExprPtr Domain(ExprPtr r, XSet spec);
+  static ExprPtr Restrict(ExprPtr r, XSet spec, ExprPtr probes);
+  static ExprPtr Image(ExprPtr r, ExprPtr probes, Sigma sigma);
+  static ExprPtr RelProduct(ExprPtr f, ExprPtr g, Sigma sigma, Sigma omega);
+  static ExprPtr Closure(ExprPtr r);
+
+ private:
+  Expr() = default;
+  ExprKind kind_ = ExprKind::kLiteral;
+  XSet literal_;
+  std::string name_;
+  std::vector<ExprPtr> children_;
+  Sigma sigma_{XSet::Empty(), XSet::Empty()};
+  Sigma omega_{XSet::Empty(), XSet::Empty()};
+};
+
+/// \brief Name → set bindings for kNamed leaves.
+using Bindings = std::map<std::string, XSet>;
+
+/// \brief Appends the names of every kNamed leaf in the plan (with
+/// duplicates) — used to resolve dependencies before evaluation.
+void CollectNamedLeaves(const ExprPtr& expr, std::vector<std::string>* names);
+
+}  // namespace xsp
+}  // namespace xst

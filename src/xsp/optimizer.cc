@@ -1,0 +1,216 @@
+#include "src/xsp/optimizer.h"
+
+#include <optional>
+
+#include "src/common/macros.h"
+#include "src/cst/relation.h"
+#include "src/ops/relative.h"
+
+namespace xst {
+namespace xsp {
+
+namespace {
+
+bool IsLiteralEmpty(const ExprPtr& e) {
+  return e->kind() == ExprKind::kLiteral && e->literal().empty();
+}
+
+ExprPtr EmptyLit() { return Expr::Literal(XSet::Empty()); }
+
+// Resolves an expression that is a base table (literal or bound name).
+std::optional<XSet> ResolveBase(const ExprPtr& e, const Bindings& bindings) {
+  if (e->kind() == ExprKind::kLiteral) return e->literal();
+  if (e->kind() == ExprKind::kNamed) {
+    auto it = bindings.find(e->name());
+    if (it != bindings.end()) return it->second;
+  }
+  return std::nullopt;
+}
+
+class Rewriter {
+ public:
+  // `stats` must be non-null (Optimize always supplies a sink).
+  Rewriter(const Bindings& bindings, OptimizerStats* stats)
+      : bindings_(bindings), stats_(stats) {}
+
+  ExprPtr Rewrite(const ExprPtr& expr) {
+    if (expr == nullptr) return expr;
+    // Bottom-up: rewrite children first, then apply rules at this node.
+    ExprPtr node = RebuildWithChildren(expr);
+    node = ApplyRules(node);
+    return node;
+  }
+
+  bool changed() const { return changed_; }
+
+ private:
+  ExprPtr RebuildWithChildren(const ExprPtr& expr) {
+    if (expr->children().empty()) return expr;
+    std::vector<ExprPtr> rewritten;
+    bool any = false;
+    rewritten.reserve(expr->children().size());
+    for (const ExprPtr& child : expr->children()) {
+      ExprPtr r = Rewrite(child);
+      any |= (r != child);
+      rewritten.push_back(std::move(r));
+    }
+    if (!any) return expr;
+    switch (expr->kind()) {
+      case ExprKind::kUnion:
+        return Expr::Union(rewritten[0], rewritten[1]);
+      case ExprKind::kIntersect:
+        return Expr::Intersect(rewritten[0], rewritten[1]);
+      case ExprKind::kDifference:
+        return Expr::Difference(rewritten[0], rewritten[1]);
+      case ExprKind::kDomain:
+        return Expr::Domain(rewritten[0], expr->sigma().s1);
+      case ExprKind::kRestrict:
+        return Expr::Restrict(rewritten[0], expr->sigma().s1, rewritten[1]);
+      case ExprKind::kImage:
+        return Expr::Image(rewritten[0], rewritten[1], expr->sigma());
+      case ExprKind::kRelProduct:
+        return Expr::RelProduct(rewritten[0], rewritten[1], expr->sigma(), expr->omega());
+      case ExprKind::kClosure:
+        return Expr::Closure(rewritten[0]);
+      default:
+        return expr;
+    }
+  }
+
+  void Count(int* counter) {
+    changed_ = true;
+    ++(*counter);
+  }
+
+  ExprPtr ApplyRules(const ExprPtr& e) {
+    // R4: empty propagation.
+    switch (e->kind()) {
+      case ExprKind::kUnion:
+        if (IsLiteralEmpty(e->child(0))) {
+          Count(&stats_->empty_propagation);
+          return e->child(1);
+        }
+        if (IsLiteralEmpty(e->child(1))) {
+          Count(&stats_->empty_propagation);
+          return e->child(0);
+        }
+        break;
+      case ExprKind::kIntersect:
+        if (IsLiteralEmpty(e->child(0)) || IsLiteralEmpty(e->child(1))) {
+          Count(&stats_->empty_propagation);
+          return EmptyLit();
+        }
+        break;
+      case ExprKind::kDifference:
+        if (IsLiteralEmpty(e->child(0))) {
+          Count(&stats_->empty_propagation);
+          return EmptyLit();
+        }
+        if (IsLiteralEmpty(e->child(1))) {
+          Count(&stats_->empty_propagation);
+          return e->child(0);
+        }
+        break;
+      case ExprKind::kDomain:
+        if (IsLiteralEmpty(e->child(0)) || e->sigma().s1.empty()) {
+          Count(&stats_->empty_propagation);
+          return EmptyLit();
+        }
+        break;
+      case ExprKind::kRestrict:
+      case ExprKind::kImage:
+        if (IsLiteralEmpty(e->child(0)) || IsLiteralEmpty(e->child(1))) {
+          Count(&stats_->empty_propagation);
+          return EmptyLit();
+        }
+        break;
+      case ExprKind::kRelProduct:
+        if (IsLiteralEmpty(e->child(0)) || IsLiteralEmpty(e->child(1))) {
+          Count(&stats_->empty_propagation);
+          return EmptyLit();
+        }
+        break;
+      case ExprKind::kClosure:
+        if (IsLiteralEmpty(e->child(0))) {
+          Count(&stats_->empty_propagation);
+          return EmptyLit();
+        }
+        break;
+      default:
+        break;
+    }
+
+    // R1: fuse 𝔇_{σ₂}(R |_{σ₁} A) into an image node.
+    if (e->kind() == ExprKind::kDomain &&
+        e->child(0)->kind() == ExprKind::kRestrict) {
+      const ExprPtr& restrict_node = e->child(0);
+      Count(&stats_->fuse_image);
+      return Expr::Image(restrict_node->child(0), restrict_node->child(1),
+                         Sigma{restrict_node->sigma().s1, e->sigma().s1});
+    }
+
+    // R5: push restriction through a union of carriers.
+    if (e->kind() == ExprKind::kRestrict && e->child(0)->kind() == ExprKind::kUnion) {
+      const ExprPtr& u = e->child(0);
+      Count(&stats_->restrict_pushdown);
+      return Expr::Union(Expr::Restrict(u->child(0), e->sigma().s1, e->child(1)),
+                         Expr::Restrict(u->child(1), e->sigma().s1, e->child(1)));
+    }
+
+    // R3: merge two images of the same carrier and spec over a union.
+    if (e->kind() == ExprKind::kUnion &&
+        e->child(0)->kind() == ExprKind::kImage &&
+        e->child(1)->kind() == ExprKind::kImage) {
+      const ExprPtr& left = e->child(0);
+      const ExprPtr& right = e->child(1);
+      if (left->sigma() == right->sigma() &&
+          Expr::Equal(left->child(0), right->child(0))) {
+        Count(&stats_->merge_image_probes);
+        return Expr::Image(left->child(0),
+                           Expr::Union(left->child(1), right->child(1)), left->sigma());
+      }
+    }
+
+    // R2: compose stacked images of standard pair relations (Theorem 11.2).
+    if (e->kind() == ExprKind::kImage && e->child(0) != nullptr &&
+        e->child(1)->kind() == ExprKind::kImage && e->sigma() == Sigma::Std()) {
+      const ExprPtr& inner = e->child(1);
+      if (inner->sigma() == Sigma::Std()) {
+        std::optional<XSet> g = ResolveBase(e->child(0), bindings_);
+        std::optional<XSet> f = ResolveBase(inner->child(0), bindings_);
+        if (g.has_value() && f.has_value() && cst::IsRelation(*g) &&
+            cst::IsRelation(*f)) {
+          Count(&stats_->compose_images);
+          XSet h = RelativeProductStd(*f, *g);
+          return Expr::Image(Expr::Literal(h), inner->child(1), Sigma::Std());
+        }
+      }
+    }
+
+    return e;
+  }
+
+  const Bindings& bindings_;
+  OptimizerStats* stats_;
+  bool changed_ = false;
+};
+
+}  // namespace
+
+Result<ExprPtr> Optimize(const ExprPtr& expr, const Bindings& bindings,
+                         OptimizerStats* stats) {
+  if (expr == nullptr) return Status::Invalid("null expression");
+  OptimizerStats local;
+  OptimizerStats* sink = stats != nullptr ? stats : &local;
+  ExprPtr current = expr;
+  for (int round = 0; round < 16; ++round) {
+    Rewriter rewriter(bindings, sink);
+    ExprPtr next = rewriter.Rewrite(current);
+    if (!rewriter.changed()) break;
+    current = next;
+  }
+  return current;
+}
+
+}  // namespace xsp
+}  // namespace xst

@@ -1,0 +1,54 @@
+// The XSP optimizer: algebraic rewrites licensed by the paper.
+//
+// Rules (each cites its justification):
+//
+//   R1 fuse-image          𝔇_{σ₂}(R |_{σ₁} A)  →  R[A]_{⟨σ₁,σ₂⟩}
+//                          (Def 7.1 read right-to-left; exposes R2.)
+//
+//   R2 compose-images      G[ F[X]_σ ]_ω  →  H[X]_τ  with H = F /σω G built
+//                          once at plan time (Def 11.1 / Theorem 11.2: the
+//                          intermediate F[X] is never materialized). Applied
+//                          when F and G resolve to classical pair relations
+//                          under the standard specification — the shape for
+//                          which composed and staged plans agree pointwise.
+//
+//   R3 merge-image-probes  R[A]_σ ∪ R[B]_σ  →  R[A ∪ B]_σ  (Consequence
+//                          C.1 (a)).
+//
+//   R4 empty-propagation   R[∅]_σ = ∅, ∅[A]_σ = ∅, X ∪ ∅ = X, X ∩ ∅ = ∅,
+//                          ∅ ∼ X = ∅, 𝔇_∅(R) = ∅, … (C.1 (g), 7.1 (e)).
+//
+//   R5 restrict-pushdown   (Q ∪ R) |_σ A  →  (Q |_σ A) ∪ (R |_σ A)
+//                          (C.1 (i) lifted to restriction).
+//
+// Optimize() applies the rules to fixpoint (bounded), resolving kNamed
+// leaves against the bindings when a rule needs carrier values (R2).
+
+#pragma once
+
+#include "src/common/result.h"
+#include "src/xsp/expr.h"
+
+namespace xst {
+namespace xsp {
+
+struct OptimizerStats {
+  int fuse_image = 0;
+  int compose_images = 0;
+  int merge_image_probes = 0;
+  int empty_propagation = 0;
+  int restrict_pushdown = 0;
+
+  int total() const {
+    return fuse_image + compose_images + merge_image_probes + empty_propagation +
+           restrict_pushdown;
+  }
+};
+
+/// \brief Rewrites `expr` to a plan with the same value on every binding
+/// environment that agrees with `bindings` on the names R2 resolved.
+Result<ExprPtr> Optimize(const ExprPtr& expr, const Bindings& bindings,
+                         OptimizerStats* stats = nullptr);
+
+}  // namespace xsp
+}  // namespace xst

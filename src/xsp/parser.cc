@@ -1,0 +1,227 @@
+#include "src/xsp/parser.h"
+
+#include <cctype>
+
+#include "src/common/macros.h"
+#include "src/core/parse.h"
+
+namespace xst {
+namespace xsp {
+
+namespace {
+
+class PlanParser {
+ public:
+  explicit PlanParser(std::string_view text) : text_(text) {}
+
+  Result<ExprPtr> ParseAll() {
+    Result<ExprPtr> expr = ParseExpr();
+    if (!expr.ok()) return expr;
+    SkipWs();
+    if (pos_ != text_.size()) return Error("trailing characters after plan");
+    return expr;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError(what + " at offset " + std::to_string(pos_));
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) return Error(std::string("expected '") + c + "'");
+    return Status::OK();
+  }
+
+  std::string ParseIdent() {
+    SkipWs();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (text_[pos_] == '_' || std::isalnum(static_cast<unsigned char>(text_[pos_])))) {
+      ++pos_;
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  // Scans one balanced core-notation value and parses it with the core
+  // parser. Handles nested {} <>, quoted strings, atoms.
+  Result<XSet> ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) return Status::ParseError("expected a value at end of plan");
+    size_t start = pos_;
+    char c = text_[pos_];
+    if (c == '{' || c == '<') {
+      int depth = 0;
+      bool in_string = false;
+      while (pos_ < text_.size()) {
+        char ch = text_[pos_];
+        if (in_string) {
+          if (ch == '\\') {
+            ++pos_;  // skip the escaped character
+          } else if (ch == '"') {
+            in_string = false;
+          }
+        } else if (ch == '"') {
+          in_string = true;
+        } else if (ch == '{' || ch == '<') {
+          ++depth;
+        } else if (ch == '}' || ch == '>') {
+          --depth;
+          if (depth == 0) {
+            ++pos_;
+            break;
+          }
+        }
+        ++pos_;
+      }
+      if (depth != 0) return Error("unbalanced value");
+    } else if (c == '"') {
+      ++pos_;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        if (text_[pos_] == '\\') ++pos_;
+        ++pos_;
+      }
+      if (pos_ >= text_.size()) return Error("unterminated string value");
+      ++pos_;
+    } else if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    } else if (c == '_' || std::isalpha(static_cast<unsigned char>(c))) {
+      ParseIdent();
+    } else {
+      return Error("expected a value");
+    }
+    return Parse(text_.substr(start, pos_ - start));
+  }
+
+  Result<ExprPtr> ParseExpr() {
+    SkipWs();
+    if (pos_ >= text_.size()) return Status::ParseError("expected an expression");
+    char c = text_[pos_];
+    if (c == '@') {
+      ++pos_;
+      std::string name = ParseIdent();
+      if (name.empty()) return Error("expected a name after '@'");
+      return Expr::Named(std::move(name));
+    }
+    if (c == '{' || c == '<' || c == '"' || c == '-' ||
+        std::isdigit(static_cast<unsigned char>(c))) {
+      Result<XSet> value = ParseValue();
+      if (!value.ok()) return value.status();
+      return Expr::Literal(*value);
+    }
+    std::string op = ParseIdent();
+    if (op == "union" || op == "intersect" || op == "difference") {
+      XST_RETURN_NOT_OK(Expect('('));
+      Result<ExprPtr> a = ParseExpr();
+      if (!a.ok()) return a;
+      XST_RETURN_NOT_OK(Expect(','));
+      Result<ExprPtr> b = ParseExpr();
+      if (!b.ok()) return b;
+      XST_RETURN_NOT_OK(Expect(')'));
+      if (op == "union") return Expr::Union(*a, *b);
+      if (op == "intersect") return Expr::Intersect(*a, *b);
+      return Expr::Difference(*a, *b);
+    }
+    if (op == "closure") {
+      XST_RETURN_NOT_OK(Expect('('));
+      Result<ExprPtr> r = ParseExpr();
+      if (!r.ok()) return r;
+      XST_RETURN_NOT_OK(Expect(')'));
+      return Expr::Closure(*r);
+    }
+    if (op == "domain") {
+      XST_RETURN_NOT_OK(Expect('['));
+      Result<XSet> spec = ParseValue();
+      if (!spec.ok()) return spec.status();
+      XST_RETURN_NOT_OK(Expect(']'));
+      XST_RETURN_NOT_OK(Expect('('));
+      Result<ExprPtr> r = ParseExpr();
+      if (!r.ok()) return r;
+      XST_RETURN_NOT_OK(Expect(')'));
+      return Expr::Domain(*r, *spec);
+    }
+    if (op == "restrict") {
+      XST_RETURN_NOT_OK(Expect('['));
+      Result<XSet> spec = ParseValue();
+      if (!spec.ok()) return spec.status();
+      XST_RETURN_NOT_OK(Expect(']'));
+      XST_RETURN_NOT_OK(Expect('('));
+      Result<ExprPtr> r = ParseExpr();
+      if (!r.ok()) return r;
+      XST_RETURN_NOT_OK(Expect(','));
+      Result<ExprPtr> a = ParseExpr();
+      if (!a.ok()) return a;
+      XST_RETURN_NOT_OK(Expect(')'));
+      return Expr::Restrict(*r, *spec, *a);
+    }
+    if (op == "image") {
+      XST_RETURN_NOT_OK(Expect('['));
+      Result<XSet> s1 = ParseValue();
+      if (!s1.ok()) return s1.status();
+      XST_RETURN_NOT_OK(Expect(','));
+      Result<XSet> s2 = ParseValue();
+      if (!s2.ok()) return s2.status();
+      XST_RETURN_NOT_OK(Expect(']'));
+      XST_RETURN_NOT_OK(Expect('('));
+      Result<ExprPtr> r = ParseExpr();
+      if (!r.ok()) return r;
+      XST_RETURN_NOT_OK(Expect(','));
+      Result<ExprPtr> a = ParseExpr();
+      if (!a.ok()) return a;
+      XST_RETURN_NOT_OK(Expect(')'));
+      return Expr::Image(*r, *a, Sigma{*s1, *s2});
+    }
+    if (op == "relprod") {
+      XST_RETURN_NOT_OK(Expect('['));
+      Result<XSet> s1 = ParseValue();
+      if (!s1.ok()) return s1.status();
+      XST_RETURN_NOT_OK(Expect(','));
+      Result<XSet> s2 = ParseValue();
+      if (!s2.ok()) return s2.status();
+      XST_RETURN_NOT_OK(Expect(';'));
+      Result<XSet> o1 = ParseValue();
+      if (!o1.ok()) return o1.status();
+      XST_RETURN_NOT_OK(Expect(','));
+      Result<XSet> o2 = ParseValue();
+      if (!o2.ok()) return o2.status();
+      XST_RETURN_NOT_OK(Expect(']'));
+      XST_RETURN_NOT_OK(Expect('('));
+      Result<ExprPtr> f = ParseExpr();
+      if (!f.ok()) return f;
+      XST_RETURN_NOT_OK(Expect(','));
+      Result<ExprPtr> g = ParseExpr();
+      if (!g.ok()) return g;
+      XST_RETURN_NOT_OK(Expect(')'));
+      return Expr::RelProduct(*f, *g, Sigma{*s1, *s2}, Sigma{*o1, *o2});
+    }
+    if (op.empty()) return Error("expected an expression");
+    return Error("unknown operator '" + op + "'");
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ExprPtr> ParsePlan(std::string_view text) { return PlanParser(text).ParseAll(); }
+
+}  // namespace xsp
+}  // namespace xst

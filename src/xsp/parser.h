@@ -1,0 +1,38 @@
+// A textual surface language for XSP plans.
+//
+//   plan     := expr
+//   expr     := '@' name                               named stored set
+//             | set-literal                            core XST notation
+//             | 'union' '(' expr ',' expr ')'
+//             | 'intersect' '(' expr ',' expr ')'
+//             | 'difference' '(' expr ',' expr ')'
+//             | 'domain' '[' value ']' '(' expr ')'
+//             | 'restrict' '[' value ']' '(' expr ',' expr ')'
+//             | 'image' '[' value ',' value ']' '(' expr ',' expr ')'
+//             | 'relprod' '[' value ',' value ';' value ',' value ']'
+//                        '(' expr ',' expr ')'
+//   value    := any value in the core notation ({a^1}, <1, 2>, 7, name, …)
+//
+// Examples:
+//   image[<1>, <2>](@friends, {<ann>})
+//   union(domain[<1>](@orders), {<sentinel>})
+//   relprod[<1>, <2>; <1>, {2^2}](@f, @g)
+//
+// Bare identifiers are operator names only; data always appears as @names
+// or literals, so the grammar stays unambiguous.
+
+#pragma once
+
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/xsp/expr.h"
+
+namespace xst {
+namespace xsp {
+
+/// \brief Parses one complete plan; trailing garbage is a ParseError.
+Result<ExprPtr> ParsePlan(std::string_view text);
+
+}  // namespace xsp
+}  // namespace xst

@@ -1,0 +1,157 @@
+// Full machine-checked reproductions of Appendix A (nested-application
+// ambiguity witness) and Appendix B (self-application deriving all four
+// behaviors on a two-element carrier from a single set f).
+
+#include <gtest/gtest.h>
+
+#include "src/process/process.h"
+#include "src/process/spaces.h"
+#include "tests/testing.h"
+
+namespace xst {
+namespace {
+
+using testing::X;
+
+// ---------------------------------------------------------------------------
+// Appendix A.2 — the two interpretations of f₍σ₎ g₍ω₎ (h) are both non-empty
+// and different.
+// ---------------------------------------------------------------------------
+
+class AppendixA : public ::testing::Test {
+ protected:
+  // σ = ⟨⟨1,3⟩, ⟨2,4⟩⟩,  ω = ⟨⟨1⟩, ⟨2⟩⟩.
+  Process f_{X("{<y, z>^{{}^1, {}^2}, <a, x, b, k>^{{}^1, {}^2, {}^3, {}^4}}"),
+             Sigma{X("<1, 3>"), X("<2, 4>")}};
+  Process g_{X("{<x, y>^{{}^1, {}^2}, <a, b>^{{}^1, {}^2}}"),
+             Sigma{X("<1>"), X("<2>")}};
+  XSet h_ = X("{<x>^{{}^1}}");
+};
+
+TEST_F(AppendixA, StatedDomains) {
+  EXPECT_EQ(f_.Domain(), X("{<y>^{{}^1}, <a, b>^{{}^1, {}^2}}"));
+  // The appendix lists 𝔇_{σ₂}(f) = {⟨x⟩, ⟨x,k⟩}; the ⟨x⟩ is a typo in the
+  // source — f's first member ⟨y,z⟩ projects to ⟨z⟩ under σ₂ = ⟨2,4⟩, which
+  // is also what the appendix's own f₍σ₎({⟨y⟩}) = {⟨z⟩} requires.
+  EXPECT_EQ(f_.Codomain(), X("{<z>^{{}^1}, <x, k>^{{}^1, {}^2}}"));
+  EXPECT_EQ(g_.Domain(), X("{<x>^{{}^1}, <a>^{{}^1}}"));
+  EXPECT_EQ(g_.Codomain(), X("{<y>^{{}^1}, <b>^{{}^1}}"));
+}
+
+TEST_F(AppendixA, StatedIntermediateValues) {
+  EXPECT_EQ(f_.Apply(X("{<y>^{{}^1}}")), X("{<z>^{{}^1}}"));
+  EXPECT_EQ(f_.Apply(g_.set()), X("{<x, k>^{{}^1, {}^2}}"));
+  EXPECT_EQ(g_.Apply(h_), X("{<y>^{{}^1}}"));
+}
+
+TEST_F(AppendixA, InterpretationA) {
+  // f₍σ₎(g₍ω₎(h)) = f₍σ₎({⟨y⟩}) = {⟨z⟩}.
+  XSet result = f_.Apply(g_.Apply(h_));
+  EXPECT_EQ(result, X("{<z>^{{}^1}}"));
+  EXPECT_FALSE(result.empty());
+}
+
+TEST_F(AppendixA, InterpretationB) {
+  // (f₍σ₎(g₍ω₎))(h) = p₍ω₎(h) = {⟨k⟩} with p = {⟨x,k⟩}.
+  Process p = f_.ApplyToProcess(g_);
+  EXPECT_EQ(p.set(), X("{<x, k>^{{}^1, {}^2}}"));
+  EXPECT_EQ(p.sigma(), g_.sigma());
+  XSet result = p.Apply(h_);
+  EXPECT_EQ(result, X("{<k>^{{}^1}}"));
+  EXPECT_FALSE(result.empty());
+}
+
+TEST_F(AppendixA, InterpretationsDisagree) {
+  // The headline claim: both readings are non-empty yet different (k ≠ z).
+  XSet reading_a = f_.Apply(g_.Apply(h_));
+  XSet reading_b = f_.ApplyToProcess(g_).Apply(h_);
+  EXPECT_FALSE(reading_a.empty());
+  EXPECT_FALSE(reading_b.empty());
+  EXPECT_NE(reading_a, reading_b);
+}
+
+// ---------------------------------------------------------------------------
+// Appendix B — self-application: one carrier f realizes g₁..g₄ on
+// A = {⟨a⟩, ⟨b⟩} through nested self-applications.
+// ---------------------------------------------------------------------------
+
+class AppendixB : public ::testing::Test {
+ protected:
+  const XSet a_ = X("{<a>, <b>}");
+  const Sigma sigma_ = Sigma::Std();
+  const Sigma omega_{X("<1>"), X("<1, 3, 4, 5, 2>")};
+  const XSet f_ = X("{<a, a, a, b, b>, <b, b, a, a, b>}");
+  const Process g1_{X("{<a, a>, <b, b>}"), Sigma::Std()};
+  const Process g2_{X("{<a, a>, <b, a>}"), Sigma::Std()};
+  const Process g3_{X("{<a, b>, <b, a>}"), Sigma::Std()};
+  const Process g4_{X("{<a, b>, <b, b>}"), Sigma::Std()};
+
+  Process FSigma() const { return Process(f_, sigma_); }
+  Process FOmega() const { return Process(f_, omega_); }
+};
+
+TEST_F(AppendixB, BaseApplications) {
+  // a) f₍σ₎({⟨a⟩}) = {⟨a⟩}   b) f₍σ₎({⟨b⟩}) = {⟨b⟩}
+  EXPECT_EQ(FSigma().Apply(X("{<a>}")), X("{<a>}"));
+  EXPECT_EQ(FSigma().Apply(X("{<b>}")), X("{<b>}"));
+  // c) f₍ω₎({⟨a⟩}) = {⟨a,a,b,b,a⟩}   d) f₍ω₎({⟨b⟩}) = {⟨b,a,a,b,b⟩}
+  EXPECT_EQ(FOmega().Apply(X("{<a>}")), X("{<a, a, b, b, a>}"));
+  EXPECT_EQ(FOmega().Apply(X("{<b>}")), X("{<b, a, a, b, b>}"));
+}
+
+TEST_F(AppendixB, IdentityBehavior) {
+  // (a): f₍σ₎ = g₁₍σ₎ = I_A.
+  EXPECT_TRUE(ExtensionallyEqual(FSigma(), g1_));
+}
+
+TEST_F(AppendixB, OneSelfApplicationGivesG2) {
+  // (b): f₍ω₎(f₍σ₎) = g₂₍σ₎.
+  Process derived = FOmega().ApplyToProcess(FSigma());
+  EXPECT_EQ(derived.set(), X("{<a, a, b, b, a>, <b, a, a, b, b>}"));
+  EXPECT_TRUE(ExtensionallyEqual(derived, g2_));
+}
+
+TEST_F(AppendixB, TwoSelfApplicationsGiveG3) {
+  // (c): (f₍ω₎(f₍ω₎))(f₍σ₎) = g₃₍σ₎.
+  Process derived = FOmega().ApplyToProcess(FOmega()).ApplyToProcess(FSigma());
+  EXPECT_TRUE(ExtensionallyEqual(derived, g3_));
+}
+
+TEST_F(AppendixB, ThreeSelfApplicationsGiveG4) {
+  // (d): ((f₍ω₎(f₍ω₎))(f₍ω₎))(f₍σ₎) = g₄₍σ₎.
+  Process derived = FOmega()
+                        .ApplyToProcess(FOmega())
+                        .ApplyToProcess(FOmega())
+                        .ApplyToProcess(FSigma());
+  EXPECT_TRUE(ExtensionallyEqual(derived, g4_));
+}
+
+TEST_F(AppendixB, FourSelfApplicationsCycleBackToG1) {
+  // The ω-rescope has order 4 on this carrier: a fourth application returns
+  // to the identity, closing the cycle g₁ → g₂ → g₃ → g₄ → g₁.
+  Process derived = FOmega()
+                        .ApplyToProcess(FOmega())
+                        .ApplyToProcess(FOmega())
+                        .ApplyToProcess(FOmega())
+                        .ApplyToProcess(FSigma());
+  EXPECT_TRUE(ExtensionallyEqual(derived, g1_));
+}
+
+TEST_F(AppendixB, AllFourBehaviorsAreFunctionsOnA) {
+  for (const Process& g : {g1_, g2_, g3_, g4_}) {
+    EXPECT_TRUE(IsFunction(g));
+    EXPECT_TRUE(InFunctionSpace(g, a_, a_));
+  }
+  // ...and the paper's note: nothing forces a *resultant* behavior to be
+  // functional — the τ-direction of Example 8.1 is the counterexample,
+  // checked in process_test.cc.
+}
+
+TEST_F(AppendixB, SelfImageIsExpressible) {
+  // f[f] ≠ ∅ — self-application at the set level, awkward in CST, is just
+  // another application here.
+  EXPECT_FALSE(FOmega().Apply(f_).empty());
+}
+
+}  // namespace
+}  // namespace xst

@@ -1,0 +1,169 @@
+// Boolean algebra on extended sets: unit cases plus randomized law checks.
+
+#include <gtest/gtest.h>
+
+#include "src/ops/boolean.h"
+#include "src/ops/powerset.h"
+#include "tests/testing.h"
+
+namespace xst {
+namespace {
+
+using testing::X;
+
+TEST(Boolean, UnionBasics) {
+  EXPECT_EQ(Union(X("{a, b}"), X("{b, c}")), X("{a, b, c}"));
+  EXPECT_EQ(Union(X("{a^1}"), X("{a^2}")), X("{a^1, a^2}"));
+  EXPECT_EQ(Union(X("{}"), X("{q}")), X("{q}"));
+  EXPECT_EQ(Union(X("{q}"), X("{}")), X("{q}"));
+}
+
+TEST(Boolean, IntersectBasics) {
+  EXPECT_EQ(Intersect(X("{a, b}"), X("{b, c}")), X("{b}"));
+  EXPECT_EQ(Intersect(X("{a^1}"), X("{a^2}")), X("{}"));
+  EXPECT_EQ(Intersect(X("{a^1, a^2}"), X("{a^2, a^3}")), X("{a^2}"));
+}
+
+TEST(Boolean, DifferenceBasics) {
+  EXPECT_EQ(Difference(X("{a, b, c}"), X("{b}")), X("{a, c}"));
+  EXPECT_EQ(Difference(X("{a^1, a^2}"), X("{a^1}")), X("{a^2}"));
+  EXPECT_EQ(Difference(X("{}"), X("{a}")), X("{}"));
+}
+
+TEST(Boolean, SymmetricDifferenceBasics) {
+  EXPECT_EQ(SymmetricDifference(X("{a, b}"), X("{b, c}")), X("{a, c}"));
+  EXPECT_EQ(SymmetricDifference(X("{a}"), X("{a}")), X("{}"));
+}
+
+TEST(Boolean, AtomsBehaveAsMemberless) {
+  XSet atom = XSet::Int(5);
+  EXPECT_EQ(Union(atom, X("{a}")), X("{a}"));
+  EXPECT_EQ(Intersect(atom, X("{a}")), X("{}"));
+  EXPECT_EQ(Difference(X("{a}"), atom), X("{a}"));
+}
+
+TEST(Boolean, SubsetBasics) {
+  EXPECT_TRUE(IsSubset(X("{}"), X("{}")));
+  EXPECT_TRUE(IsSubset(X("{}"), X("{a}")));
+  EXPECT_TRUE(IsSubset(X("{a^1}"), X("{a^1, b^2}")));
+  EXPECT_FALSE(IsSubset(X("{a^1}"), X("{a^2, b^2}")));
+  EXPECT_FALSE(IsSubset(X("{a, b}"), X("{a}")));
+}
+
+TEST(Boolean, SubsetOnAtoms) {
+  EXPECT_TRUE(IsSubset(XSet::Int(3), XSet::Int(3)));
+  EXPECT_FALSE(IsSubset(XSet::Int(3), XSet::Int(4)));
+  EXPECT_FALSE(IsSubset(XSet::Int(3), X("{3}")));
+  EXPECT_TRUE(IsSubset(X("{}"), XSet::Int(3)));
+}
+
+TEST(Boolean, ProperAndNonEmptySubset) {
+  EXPECT_TRUE(IsProperSubset(X("{a}"), X("{a, b}")));
+  EXPECT_FALSE(IsProperSubset(X("{a}"), X("{a}")));
+  EXPECT_TRUE(IsNonEmptySubset(X("{a}"), X("{a}")));
+  EXPECT_FALSE(IsNonEmptySubset(X("{}"), X("{a}")));  // ⊆̇ excludes ∅
+}
+
+TEST(Boolean, Disjointness) {
+  EXPECT_TRUE(AreDisjoint(X("{a^1}"), X("{a^2}")));
+  EXPECT_FALSE(AreDisjoint(X("{a, b}"), X("{b}")));
+  EXPECT_TRUE(AreDisjoint(X("{}"), X("{}")));
+}
+
+TEST(Boolean, UnionAll) {
+  EXPECT_EQ(UnionAll({X("{a}"), X("{b}"), X("{a, c}")}), X("{a, b, c}"));
+  EXPECT_EQ(UnionAll({}), X("{}"));
+}
+
+// Randomized algebraic laws over scoped sets.
+class BooleanLaws : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BooleanLaws, LatticeAxioms) {
+  testing::RandomSetGen gen(GetParam());
+  for (int i = 0; i < 60; ++i) {
+    XSet a = gen.Set(2);
+    XSet b = gen.Set(2);
+    XSet c = gen.Set(2);
+    EXPECT_EQ(Union(a, b), Union(b, a));
+    EXPECT_EQ(Intersect(a, b), Intersect(b, a));
+    EXPECT_EQ(Union(a, Union(b, c)), Union(Union(a, b), c));
+    EXPECT_EQ(Intersect(a, Intersect(b, c)), Intersect(Intersect(a, b), c));
+    EXPECT_EQ(Union(a, Intersect(a, b)), a);      // absorption
+    EXPECT_EQ(Intersect(a, Union(a, b)), a);      // absorption
+    EXPECT_EQ(Intersect(a, Union(b, c)),
+              Union(Intersect(a, b), Intersect(a, c)));  // distributivity
+  }
+}
+
+TEST_P(BooleanLaws, DifferenceIdentities) {
+  testing::RandomSetGen gen(GetParam() + 1000);
+  for (int i = 0; i < 60; ++i) {
+    XSet a = gen.Set(2);
+    XSet b = gen.Set(2);
+    EXPECT_EQ(Union(Difference(a, b), Intersect(a, b)), a);
+    EXPECT_TRUE(AreDisjoint(Difference(a, b), b));
+    EXPECT_EQ(SymmetricDifference(a, b), SymmetricDifference(b, a));
+    EXPECT_EQ(Difference(a, a), XSet::Empty());
+    EXPECT_EQ(SymmetricDifference(a, XSet::Empty()), a);
+  }
+}
+
+TEST_P(BooleanLaws, SubsetCoherence) {
+  testing::RandomSetGen gen(GetParam() + 2000);
+  for (int i = 0; i < 60; ++i) {
+    XSet a = gen.Set(2);
+    XSet b = gen.Set(2);
+    EXPECT_TRUE(IsSubset(Intersect(a, b), a));
+    EXPECT_TRUE(IsSubset(a, Union(a, b)));
+    EXPECT_TRUE(IsSubset(Difference(a, b), a));
+    EXPECT_EQ(IsSubset(a, b) && IsSubset(b, a), a == b);
+    EXPECT_EQ(IsSubset(a, b), Union(a, b) == b);  // gen.Set() always yields sets
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BooleanLaws, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(PowerSetOp, SmallCases) {
+  Result<XSet> p = PowerSet(X("{a, b}"));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(*p, X("{{}, {a}, {b}, {a, b}}"));
+  Result<XSet> p0 = PowerSet(X("{}"));
+  ASSERT_TRUE(p0.ok());
+  EXPECT_EQ(*p0, X("{{}}"));
+}
+
+TEST(PowerSetOp, ScopedMembershipsAreIndependent) {
+  Result<XSet> p = PowerSet(X("{a^1, a^2}"));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->cardinality(), 4u);
+  EXPECT_TRUE(p->ContainsClassical(X("{a^1}")));
+}
+
+TEST(PowerSetOp, Bounds) {
+  EXPECT_TRUE(PowerSet(XSet::Int(1)).status().IsTypeError());
+  std::vector<XSet> many;
+  for (int i = 0; i < 21; ++i) many.push_back(XSet::Int(i));
+  EXPECT_TRUE(PowerSet(XSet::Classical(many)).status().IsCapacityError());
+}
+
+TEST(PowerSetOp, NonEmptySubsetsCount) {
+  Result<std::vector<XSet>> subsets = NonEmptySubsets(X("{a, b, c}"));
+  ASSERT_TRUE(subsets.ok());
+  EXPECT_EQ(subsets->size(), 7u);
+  for (const XSet& s : *subsets) {
+    EXPECT_TRUE(IsNonEmptySubset(s, X("{a, b, c}")));
+  }
+}
+
+TEST(PowerSetOp, CardinalityIsPowerOfTwo) {
+  testing::RandomSetGen gen(31);
+  for (int i = 0; i < 30; ++i) {
+    XSet a = gen.Set(1, 5);
+    Result<XSet> p = PowerSet(a);
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(p->cardinality(), 1u << a.cardinality());
+  }
+}
+
+}  // namespace
+}  // namespace xst

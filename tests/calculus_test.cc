@@ -1,0 +1,119 @@
+// The derived process calculus: identity, converse, Boolean combinations,
+// domain restriction, iteration, and self-application orbits.
+
+#include <gtest/gtest.h>
+
+#include "src/ops/boolean.h"
+#include "src/ops/relative.h"
+#include "src/process/calculus.h"
+#include "src/process/spaces.h"
+#include "tests/testing.h"
+
+namespace xst {
+namespace {
+
+using testing::X;
+
+Process P(const char* carrier) { return Process(X(carrier), Sigma::Std()); }
+
+TEST(IdentityProcessOp, ActsAsIdentity) {
+  Result<Process> id = IdentityProcess(X("{<a>, <b>}"));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(id->Apply(X("{<a>}")), X("{<a>}"));
+  EXPECT_EQ(id->Apply(X("{<a>, <b>}")), X("{<a>, <b>}"));
+  EXPECT_EQ(id->Apply(X("{<q>}")), X("{}"));
+  EXPECT_TRUE(IsFunction(*id));
+  EXPECT_TRUE(IsOneToOne(*id));
+}
+
+TEST(IdentityProcessOp, RejectsNonUnaryCarriers) {
+  EXPECT_TRUE(IdentityProcess(X("{<a, b>}")).status().IsTypeError());
+  EXPECT_TRUE(IdentityProcess(X("{a}")).status().IsTypeError());
+}
+
+TEST(IdentityProcessOp, NeutralUnderComposition) {
+  Process f = P("{<a, x>, <b, y>}");
+  Result<Process> id_dom = IdentityProcess(X("{<a>, <b>}"));
+  ASSERT_TRUE(id_dom.ok());
+  EXPECT_TRUE(ExtensionallyEqual(*IterateProcess(f, 1), f));
+  Process composed(RelativeProductStd(id_dom->set(), f.set()), Sigma::Std());
+  EXPECT_TRUE(ExtensionallyEqual(composed, f));
+}
+
+TEST(ConverseOp, IsExample81Inverse) {
+  Process f(X("{<a, x>^<A, Z>, <b, y>^<B, Y>, <c, x>^<A, Z>}"), Sigma::Std());
+  Process inv = Converse(f);
+  EXPECT_EQ(inv.sigma(), Sigma::Inv());
+  EXPECT_EQ(inv.Apply(X("{<x>^<Z>}")), X("{<a>^<A>, <c>^<A>}"));
+  EXPECT_TRUE(IsFunction(f));
+  EXPECT_FALSE(IsFunction(inv));
+  // Converse twice is the original reading.
+  EXPECT_TRUE(Converse(inv) == f);
+}
+
+TEST(ConverseOp, DomainsSwap) {
+  Process f = P("{<a, x>, <b, y>}");
+  Process inv = Converse(f);
+  EXPECT_EQ(inv.Domain(), f.Codomain());
+  EXPECT_EQ(inv.Codomain(), f.Domain());
+}
+
+TEST(BooleanProcessOps, Consequence81Pointwise) {
+  testing::RandomSetGen gen(83);
+  for (int i = 0; i < 60; ++i) {
+    Process f(gen.Relation()), g(gen.Relation());
+    XSet x = Union(f.Domain(), g.Domain());
+    EXPECT_EQ(UnionProcess(f, g).Apply(x), Union(f.Apply(x), g.Apply(x)));
+    EXPECT_TRUE(
+        IsSubset(IntersectProcess(f, g).Apply(x), Intersect(f.Apply(x), g.Apply(x))));
+    EXPECT_TRUE(IsSubset(Difference(f.Apply(x), g.Apply(x)),
+                         DifferenceProcess(f, g).Apply(x)));
+  }
+}
+
+TEST(RestrictDomainOp, KeepsOnlyMatchingMembers) {
+  Process f = P("{<a, x>, <b, y>, <c, z>}");
+  Process restricted = RestrictDomain(f, X("{<a>, <c>}"));
+  EXPECT_EQ(restricted.set(), X("{<a, x>, <c, z>}"));
+  EXPECT_EQ(restricted.Apply(X("{<b>}")), X("{}"));
+  EXPECT_EQ(restricted.Apply(X("{<a>}")), X("{<x>}"));
+}
+
+TEST(RestrictDomainOp, RespectsScopes) {
+  Process f(X("{<a, x>^<A, Z>, <a, y>^<B, W>}"), Sigma::Std());
+  // Only the member whose domain projection carries scope ⟨A⟩ survives.
+  Process restricted = RestrictDomain(f, X("{<a>^<A>}"));
+  EXPECT_EQ(restricted.set(), X("{<a, x>^<A, Z>}"));
+}
+
+TEST(IterateProcessOp, PowersOfAPermutation) {
+  Process swap = P("{<a, b>, <b, a>}");
+  EXPECT_TRUE(ExtensionallyEqual(*IterateProcess(swap, 2),
+                                 *IdentityProcess(X("{<a>, <b>}"))));
+  EXPECT_TRUE(ExtensionallyEqual(*IterateProcess(swap, 3), swap));
+  EXPECT_TRUE(IterateProcess(swap, 0).status().IsInvalid());
+  EXPECT_TRUE(
+      IterateProcess(Process(swap.set(), Sigma::Inv()), 2).status().IsInvalid());
+}
+
+TEST(SelfApplicationOrbitOp, AppendixBOmegaHasOrder4) {
+  XSet f = X("{<a, a, a, b, b>, <b, b, a, a, b>}");
+  Sigma omega{X("<1>"), X("<1, 3, 4, 5, 2>")};
+  EXPECT_EQ(SelfApplicationOrbit(f, omega), 4);
+}
+
+TEST(SelfApplicationOrbitOp, IdentitySpecHasOrder1) {
+  XSet f = X("{<a, b>, <c, d>}");
+  Sigma ident{X("<1>"), X("{1^1, 2^2}")};
+  EXPECT_EQ(SelfApplicationOrbit(f, ident), 1);
+}
+
+TEST(SelfApplicationOrbitOp, NonPeriodicReturnsNothing) {
+  XSet f = X("{<a, b>}");
+  // ω₂ = ⟨2⟩ projects to 1-tuples: never returns to the 2-tuple carrier.
+  Sigma omega = Sigma::Std();
+  EXPECT_FALSE(SelfApplicationOrbit(f, omega, 8).has_value());
+}
+
+}  // namespace
+}  // namespace xst

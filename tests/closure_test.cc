@@ -1,0 +1,117 @@
+// Derived iteration operators: powers, transitive closure, reachability.
+
+#include <gtest/gtest.h>
+
+#include "src/ops/boolean.h"
+#include "src/ops/closure.h"
+#include "src/ops/tuple.h"
+#include "tests/testing.h"
+
+namespace xst {
+namespace {
+
+using testing::X;
+
+// A 4-chain: a → b → c → d.
+const char* kChain = "{<a, b>, <b, c>, <c, d>}";
+// A 3-cycle: p → q → r → p.
+const char* kCycle = "{<p, q>, <q, r>, <r, p>}";
+
+TEST(RelationPowerOp, Basics) {
+  EXPECT_EQ(*RelationPower(X(kChain), 1), X(kChain));
+  EXPECT_EQ(*RelationPower(X(kChain), 2), X("{<a, c>, <b, d>}"));
+  EXPECT_EQ(*RelationPower(X(kChain), 3), X("{<a, d>}"));
+  EXPECT_EQ(*RelationPower(X(kChain), 4), X("{}"));
+  EXPECT_TRUE(RelationPower(X(kChain), 0).status().IsInvalid());
+}
+
+TEST(RelationPowerOp, CyclePowersRotate) {
+  EXPECT_EQ(*RelationPower(X(kCycle), 3), X("{<p, p>, <q, q>, <r, r>}"));
+  EXPECT_EQ(*RelationPower(X(kCycle), 4), X(kCycle));
+}
+
+TEST(TransitiveClosureOp, Chain) {
+  EXPECT_EQ(*TransitiveClosure(X(kChain)),
+            X("{<a, b>, <b, c>, <c, d>, <a, c>, <b, d>, <a, d>}"));
+}
+
+TEST(TransitiveClosureOp, CycleSaturates) {
+  XSet closure = *TransitiveClosure(X(kCycle));
+  EXPECT_EQ(closure.cardinality(), 9u);  // every vertex reaches every vertex
+  EXPECT_TRUE(closure.ContainsClassical(X("<p, p>")));
+  EXPECT_TRUE(closure.ContainsClassical(X("<r, q>")));
+}
+
+TEST(TransitiveClosureOp, EmptyAndSelfLoop) {
+  EXPECT_EQ(*TransitiveClosure(X("{}")), X("{}"));
+  EXPECT_EQ(*TransitiveClosure(X("{<a, a>}")), X("{<a, a>}"));
+}
+
+TEST(TransitiveClosureOp, ClosureIsIdempotent) {
+  testing::RandomSetGen gen(41);
+  for (int i = 0; i < 40; ++i) {
+    // Random graph over one shared vertex pool so paths actually compose.
+    std::vector<XSet> edges;
+    for (int e = 0; e < 6; ++e) {
+      edges.push_back(XSet::Pair(XSet::Symbol("v" + std::to_string(gen.Next() % 5)),
+                                 XSet::Symbol("v" + std::to_string(gen.Next() % 5))));
+    }
+    XSet r = XSet::Classical(edges);
+    XSet once = *TransitiveClosure(r);
+    EXPECT_EQ(*TransitiveClosure(once), once);
+    EXPECT_TRUE(IsSubset(r, once));
+    // Closed under composition: R⁺/R⁺ ⊆ R⁺.
+    EXPECT_TRUE(IsSubset(*RelationPower(once, 2), once));
+  }
+}
+
+TEST(ReflexiveTransitiveClosureOp, AddsLoops) {
+  XSet vertices = X("{a, b, c, d}");
+  XSet star = *ReflexiveTransitiveClosure(X(kChain), vertices);
+  EXPECT_TRUE(star.ContainsClassical(X("<a, a>")));
+  EXPECT_TRUE(star.ContainsClassical(X("<d, d>")));
+  EXPECT_TRUE(star.ContainsClassical(X("<a, d>")));
+  EXPECT_EQ(star.cardinality(), 6u + 4u);
+}
+
+TEST(ReachableOp, FollowsEdges) {
+  EXPECT_EQ(*Reachable(X(kChain), X("{<a>}")), X("{<b>, <c>, <d>}"));
+  EXPECT_EQ(*Reachable(X(kChain), X("{<c>}")), X("{<d>}"));
+  EXPECT_EQ(*Reachable(X(kChain), X("{<d>}")), X("{}"));
+  EXPECT_EQ(*Reachable(X(kCycle), X("{<p>}")), X("{<p>, <q>, <r>}"));
+}
+
+TEST(ReachableOp, MultipleSourcesUnion) {
+  EXPECT_EQ(*Reachable(X(kChain), X("{<a>, <c>}")), X("{<b>, <c>, <d>}"));
+}
+
+TEST(ClosureBudgets, CapacityErrorsFireDeterministically) {
+  // A dense bipartite-ish relation whose closure explodes past the budget.
+  std::vector<XSet> edges;
+  for (int i = 0; i < 40; ++i) {
+    for (int j = 0; j < 40; ++j) {
+      edges.push_back(XSet::Pair(XSet::Int(i), XSet::Int(j)));
+    }
+  }
+  XSet dense = XSet::Classical(edges);
+  EXPECT_TRUE(TransitiveClosure(dense, /*max_cardinality=*/100)
+                  .status()
+                  .IsCapacityError());
+  EXPECT_TRUE(RelationPower(dense, 3, 100).status().IsCapacityError());
+}
+
+TEST(ClosureVsReachability, Agree) {
+  // ⟨a⟩ reaches v  ⟺  ⟨a,v⟩ ∈ R⁺.
+  XSet r = X("{<a, b>, <b, c>, <a, d>, <d, c>, <c, e>}");
+  XSet closure = *TransitiveClosure(r);
+  XSet reach = *Reachable(r, X("{<a>}"));
+  for (const Membership& m : reach.members()) {
+    std::vector<XSet> parts;
+    ASSERT_TRUE(TupleElements(m.element, &parts));
+    EXPECT_TRUE(closure.ContainsClassical(XSet::Pair(XSet::Symbol("a"), parts[0])));
+  }
+  EXPECT_EQ(reach.cardinality(), 4u);  // b, c, d, e
+}
+
+}  // namespace
+}  // namespace xst

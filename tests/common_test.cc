@@ -1,0 +1,127 @@
+// The error-handling vocabulary: Status, Result, and the propagation macros.
+
+#include <gtest/gtest.h>
+
+#include "src/common/macros.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace xst {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_EQ(st, Status::OK());
+}
+
+TEST(StatusTest, EveryFactoryHasItsCode) {
+  EXPECT_TRUE(Status::Invalid("m").IsInvalid());
+  EXPECT_TRUE(Status::TypeError("m").IsTypeError());
+  EXPECT_TRUE(Status::NotFound("m").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("m").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("m").IsOutOfRange());
+  EXPECT_TRUE(Status::CapacityError("m").IsCapacityError());
+  EXPECT_TRUE(Status::IOError("m").IsIOError());
+  EXPECT_TRUE(Status::Corruption("m").IsCorruption());
+  EXPECT_TRUE(Status::NotImplemented("m").IsNotImplemented());
+  EXPECT_TRUE(Status::ParseError("m").IsParseError());
+}
+
+TEST(StatusTest, ToStringAndContext) {
+  Status st = Status::NotFound("missing thing");
+  EXPECT_EQ(st.ToString(), "not found: missing thing");
+  Status wrapped = st.WithContext("while loading");
+  EXPECT_TRUE(wrapped.IsNotFound());
+  EXPECT_EQ(wrapped.message(), "while loading: missing thing");
+  EXPECT_EQ(Status::OK().WithContext("ignored"), Status::OK());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Invalid("x"), Status::Invalid("x"));
+  EXPECT_FALSE(Status::Invalid("x") == Status::Invalid("y"));
+  EXPECT_FALSE(Status::Invalid("x") == Status::NotFound("x"));
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "ok");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCorruption), "corruption");
+}
+
+TEST(ResultTest, ValuePath) {
+  Result<int> r(42);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.status(), Status::OK());
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(ResultTest, ErrorPath) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 5);
+}
+
+namespace macro_helpers {
+
+Status FailIf(bool fail) {
+  if (fail) return Status::Invalid("asked to fail");
+  return Status::OK();
+}
+
+Result<int> HalfOf(int v) {
+  if (v % 2 != 0) return Status::Invalid("odd");
+  return v / 2;
+}
+
+Status Chain(bool fail_early) {
+  XST_RETURN_NOT_OK(FailIf(fail_early));
+  XST_ASSIGN_OR_RAISE(int half, HalfOf(8));
+  return half == 4 ? Status::OK() : Status::Invalid("math broke");
+}
+
+Result<int> Quarter(int v) {
+  XST_ASSIGN_OR_RAISE(int half, HalfOf(v));
+  XST_ASSIGN_OR_RAISE(int quarter, HalfOf(half));
+  return quarter;
+}
+
+}  // namespace macro_helpers
+
+TEST(MacroTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(macro_helpers::Chain(true).IsInvalid());
+  EXPECT_TRUE(macro_helpers::Chain(false).ok());
+}
+
+TEST(MacroTest, AssignOrRaiseChains) {
+  Result<int> ok = macro_helpers::Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  EXPECT_TRUE(macro_helpers::Quarter(6).status().IsInvalid());  // 3 is odd
+  EXPECT_TRUE(macro_helpers::Quarter(7).status().IsInvalid());
+}
+
+TEST(StatusTest, CheapToCopyWhenOk) {
+  // The OK state is a null pointer; copies are trivial.
+  Status ok = Status::OK();
+  Status copy = ok;
+  EXPECT_TRUE(copy.ok());
+  // Error states share their message storage.
+  Status err = Status::IOError("disk");
+  Status err_copy = err;
+  EXPECT_EQ(err_copy.message(), "disk");
+}
+
+}  // namespace
+}  // namespace xst

@@ -1,0 +1,204 @@
+// Core value system: interning, canonical form, membership queries, the
+// structural order, and the builder.
+
+#include <gtest/gtest.h>
+
+#include "src/core/atom.h"
+#include "src/core/builder.h"
+#include "src/core/interner.h"
+#include "src/core/order.h"
+#include "src/core/xset.h"
+#include "tests/testing.h"
+
+namespace xst {
+namespace {
+
+using testing::X;
+using namespace lit;
+
+TEST(XSetBasics, DefaultIsEmptySet) {
+  XSet s;
+  EXPECT_TRUE(s.is_set());
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s, XSet::Empty());
+  EXPECT_EQ(s.cardinality(), 0u);
+}
+
+TEST(XSetBasics, AtomKinds) {
+  EXPECT_TRUE(I(3).is_int());
+  EXPECT_TRUE(I(3).is_atom());
+  EXPECT_EQ(I(3).int_value(), 3);
+  EXPECT_TRUE(Sym("a").is_symbol());
+  EXPECT_EQ(Sym("a").str_value(), "a");
+  EXPECT_TRUE(Str("a").is_string());
+  EXPECT_FALSE(I(3).is_set());
+}
+
+TEST(XSetBasics, AtomsOfDifferentKindsAreDistinct) {
+  EXPECT_NE(I(1), Sym("1"));
+  EXPECT_NE(Sym("a"), Str("a"));
+  EXPECT_NE(I(0), XSet::Empty());
+}
+
+TEST(XSetBasics, InterningGivesPointerEquality) {
+  XSet a = XSet::FromMembers({M(I(1), I(2)), M(Sym("q"))});
+  XSet b = XSet::FromMembers({M(Sym("q")), M(I(1), I(2))});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.node(), b.node());
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(XSetBasics, DuplicateMembershipsCollapse) {
+  XSet a = XSet::FromMembers({M(I(1)), M(I(1)), M(I(1), I(7))});
+  EXPECT_EQ(a.cardinality(), 2u);
+}
+
+TEST(XSetBasics, SameElementDifferentScopesAreDistinctMemberships) {
+  XSet a = X("{a^1, a^2}");
+  EXPECT_EQ(a.cardinality(), 2u);
+  EXPECT_TRUE(a.Contains(Sym("a"), I(1)));
+  EXPECT_TRUE(a.Contains(Sym("a"), I(2)));
+  EXPECT_FALSE(a.Contains(Sym("a"), I(3)));
+  EXPECT_FALSE(a.ContainsClassical(Sym("a")));
+}
+
+TEST(XSetBasics, ScopedVsClassicalMembership) {
+  XSet a = X("{a, b^1}");
+  EXPECT_TRUE(a.ContainsClassical(Sym("a")));
+  EXPECT_FALSE(a.ContainsClassical(Sym("b")));
+  EXPECT_TRUE(a.ContainsUnderAnyScope(Sym("b")));
+  EXPECT_FALSE(a.ContainsUnderAnyScope(Sym("c")));
+}
+
+TEST(XSetBasics, ScopesOf) {
+  XSet a = X("{a^1, a^2, b^1}");
+  std::vector<XSet> scopes = a.ScopesOf(Sym("a"));
+  ASSERT_EQ(scopes.size(), 2u);
+  EXPECT_EQ(scopes[0], I(1));
+  EXPECT_EQ(scopes[1], I(2));
+  EXPECT_TRUE(a.ScopesOf(Sym("c")).empty());
+}
+
+TEST(XSetBasics, ElementsWithScope) {
+  XSet a = X("{a^1, b^1, c^2}");
+  std::vector<XSet> elements = a.ElementsWithScope(I(1));
+  EXPECT_EQ(elements.size(), 2u);
+  EXPECT_EQ(a.ElementsWithScope(I(3)).size(), 0u);
+}
+
+TEST(XSetBasics, OrderedPairDefinition) {
+  // Def 7.2: ⟨x,y⟩ = {x^1, y^2}.
+  EXPECT_EQ(XSet::Pair(Sym("x"), Sym("y")), X("{x^1, y^2}"));
+  EXPECT_NE(XSet::Pair(Sym("x"), Sym("y")), XSet::Pair(Sym("y"), Sym("x")));
+}
+
+TEST(XSetBasics, TupleDefinition) {
+  // Def 9.1: an n-tuple assigns positions 1..n as scopes.
+  XSet t = XSet::Tuple({Sym("a"), Sym("b"), Sym("c")});
+  EXPECT_EQ(t, X("{a^1, b^2, c^3}"));
+  EXPECT_EQ(XSet::Tuple({}), XSet::Empty());  // the 0-tuple is ∅
+}
+
+TEST(XSetBasics, NestedScopes) {
+  XSet inner = X("<a, b>");
+  XSet s = XSet::FromMembers({M(Sym("q"), inner)});
+  EXPECT_TRUE(s.Contains(Sym("q"), inner));
+  EXPECT_EQ(s.depth(), inner.depth() + 1);
+}
+
+TEST(XSetBasics, DepthAndTreeSize) {
+  EXPECT_EQ(I(1).depth(), 0u);
+  EXPECT_EQ(I(1).tree_size(), 1u);
+  EXPECT_EQ(XSet::Empty().depth(), 0u);
+  XSet pair = XSet::Pair(I(1), I(2));
+  EXPECT_EQ(pair.depth(), 1u);
+  EXPECT_EQ(pair.tree_size(), 5u);  // node + 2 elements + 2 scopes
+  XSet nested = XSet::Classical({pair});
+  EXPECT_EQ(nested.depth(), 2u);
+}
+
+TEST(Order, TotalOrderBasics) {
+  // rank: int < symbol < string < set
+  EXPECT_LT(Compare(I(5), Sym("a")), 0);
+  EXPECT_LT(Compare(Sym("z"), Str("a")), 0);
+  EXPECT_LT(Compare(Str("z"), XSet::Empty()), 0);
+  EXPECT_LT(Compare(I(-2), I(3)), 0);
+  EXPECT_LT(Compare(Sym("a"), Sym("b")), 0);
+  EXPECT_EQ(Compare(I(4), I(4)), 0);
+}
+
+TEST(Order, SetsCompareByCardinalityThenMembers) {
+  EXPECT_LT(Compare(XSet::Empty(), X("{a}")), 0);
+  EXPECT_LT(Compare(X("{a}"), X("{a, b}")), 0);
+  EXPECT_LT(Compare(X("{a}"), X("{b}")), 0);
+  EXPECT_LT(Compare(X("{a^1}"), X("{a^2}")), 0);
+}
+
+TEST(Order, Antisymmetric) {
+  testing::RandomSetGen gen(11);
+  for (int i = 0; i < 200; ++i) {
+    XSet a = gen.Value(3);
+    XSet b = gen.Value(3);
+    int ab = Compare(a, b);
+    int ba = Compare(b, a);
+    EXPECT_EQ(ab == 0, a == b);
+    EXPECT_EQ(ab < 0, ba > 0);
+  }
+}
+
+TEST(Order, Transitive) {
+  testing::RandomSetGen gen(12);
+  for (int i = 0; i < 120; ++i) {
+    XSet a = gen.Value(2);
+    XSet b = gen.Value(2);
+    XSet c = gen.Value(2);
+    if (Compare(a, b) <= 0 && Compare(b, c) <= 0) {
+      EXPECT_LE(Compare(a, c), 0) << a.ToString() << " " << b.ToString() << " "
+                                  << c.ToString();
+    }
+  }
+}
+
+TEST(Builder, AccumulatesAndCanonicalizes) {
+  XSetBuilder builder;
+  builder.Add(Sym("b")).AddAt(Sym("a"), 1).Add(Sym("b"));
+  XSet s = builder.Build();
+  EXPECT_EQ(s, X("{b, a^1}"));
+  EXPECT_TRUE(builder.empty());  // reusable after Build
+  builder.Add(I(1));
+  EXPECT_EQ(builder.Build(), X("{1}"));
+}
+
+TEST(Builder, AddAllMergesMemberships) {
+  XSetBuilder builder;
+  builder.AddAll(X("{a^1, b^2}")).AddAll(X("{b^2, c^3}"));
+  EXPECT_EQ(builder.Build(), X("{a^1, b^2, c^3}"));
+}
+
+TEST(Interner, StatsGrow) {
+  InternerStats before = Interner::Global().GetStats();
+  // A set guaranteed fresh for this test via a unique symbol.
+  XSet::FromMembers({M(Sym("interner_stats_probe_xyzzy"), I(99))});
+  InternerStats after = Interner::Global().GetStats();
+  EXPECT_GT(after.atom_count + after.set_count, before.atom_count + before.set_count);
+}
+
+TEST(Interner, SharedSubtreesAreShared) {
+  XSet inner = X("{p^1, q^2}");
+  XSet a = XSet::Classical({inner, Sym("one")});
+  XSet b = XSet::Classical({inner, Sym("two")});
+  // Both outer sets reference the identical interned inner node.
+  bool found_a = false, found_b = false;
+  for (const Membership& m : a.members()) found_a |= m.element.node() == inner.node();
+  for (const Membership& m : b.members()) found_b |= m.element.node() == inner.node();
+  EXPECT_TRUE(found_a);
+  EXPECT_TRUE(found_b);
+}
+
+TEST(Lit, SpecBuildsScopeMaps) {
+  EXPECT_EQ(Spec({{1, 1}, {3, 2}}), X("{1^1, 3^2}"));
+  EXPECT_EQ(Spec({{2, 1}}), X("<2>"));  // {2^1} is the 1-tuple ⟨2⟩
+}
+
+}  // namespace
+}  // namespace xst

@@ -1,0 +1,108 @@
+// CSV import/export: round-trips, quoting, typing, and error reporting.
+
+#include <gtest/gtest.h>
+
+#include "src/rel/csv.h"
+#include "src/rel/generator.h"
+#include "tests/testing.h"
+
+namespace xst {
+namespace rel {
+namespace {
+
+using testing::X;
+
+Schema MixedSchema() {
+  return *Schema::Make({{"id", AttrType::kInt},
+                        {"name", AttrType::kSymbol},
+                        {"note", AttrType::kString},
+                        {"extra", AttrType::kAny}});
+}
+
+TEST(Csv, ExportBasic) {
+  Relation r = *Relation::FromRows(
+      MixedSchema(),
+      {{XSet::Int(1), XSet::Symbol("bolt"), XSet::String("plain"), X("{a^1}")},
+       {XSet::Int(2), XSet::Symbol("nut"), XSet::String("has,comma"), X("<>")}});
+  std::string csv = ExportCsv(r);
+  EXPECT_EQ(csv,
+            "id,name,note,extra\n"
+            "1,bolt,plain,<a>\n"
+            "2,nut,\"has,comma\",{}\n");
+}
+
+TEST(Csv, QuotingEdgeCases) {
+  Relation r = *Relation::FromRows(
+      *Schema::Make({{"s", AttrType::kString}}),
+      {{XSet::String("he said \"hi\"")}, {XSet::String("two\nlines")}, {XSet::String("")}});
+  std::string csv = ExportCsv(r);
+  Result<Relation> back = ImportCsv(r.schema(), csv);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, r);
+}
+
+TEST(Csv, RoundTripMixedTypes) {
+  Relation r = *Relation::FromRows(
+      MixedSchema(),
+      {{XSet::Int(-5), XSet::Symbol("q_1"), XSet::String("x,y\n\"z\""), X("{p^<1, 2>}")},
+       {XSet::Int(0), XSet::Symbol("w"), XSet::String(""), X("<a, 3>")}});
+  Result<Relation> back = ImportCsv(r.schema(), ExportCsv(r));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, r);
+}
+
+TEST(Csv, RoundTripGeneratedWorkload) {
+  WorkloadSpec spec;
+  spec.row_count = 300;
+  auto orders = MakeOrders(spec);
+  ASSERT_TRUE(orders.ok());
+  Result<Relation> back = ImportCsv(orders->xst.schema(), ExportCsv(orders->xst));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, orders->xst);
+}
+
+TEST(Csv, HeaderValidation) {
+  Schema schema = *Schema::Make({{"a", AttrType::kInt}, {"b", AttrType::kInt}});
+  EXPECT_TRUE(ImportCsv(schema, "a,wrong\n1,2\n").status().IsParseError());
+  EXPECT_TRUE(ImportCsv(schema, "a\n1\n").status().IsParseError());  // arity
+  EXPECT_TRUE(ImportCsv(schema, "").status().IsParseError());        // no header
+  CsvOptions no_header;
+  no_header.header = false;
+  Result<Relation> r = ImportCsv(schema, "1,2\n3,4\n", no_header);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+  // Empty body with no header is an empty relation, not an error.
+  EXPECT_TRUE(ImportCsv(schema, "", no_header)->empty());
+}
+
+TEST(Csv, FieldValidation) {
+  Schema schema = *Schema::Make({{"n", AttrType::kInt}, {"s", AttrType::kSymbol}});
+  EXPECT_TRUE(ImportCsv(schema, "n,s\nxx,ok\n").status().IsParseError());   // bad int
+  EXPECT_TRUE(ImportCsv(schema, "n,s\n1,has space\n").status().IsParseError());
+  EXPECT_TRUE(ImportCsv(schema, "n,s\n1,9lives\n").status().IsParseError());
+  EXPECT_TRUE(ImportCsv(schema, "n,s\n1\n").status().IsParseError());       // arity
+  EXPECT_TRUE(ImportCsv(schema, "n,s\n1,\"open\n").status().IsParseError());  // quote
+  Schema any_schema = *Schema::Make({{"v", AttrType::kAny}});
+  EXPECT_TRUE(ImportCsv(any_schema, "v\n{unbalanced\n").status().IsParseError());
+}
+
+TEST(Csv, AlternateDelimiter) {
+  Schema schema = *Schema::Make({{"a", AttrType::kInt}, {"b", AttrType::kInt}});
+  CsvOptions tsv;
+  tsv.delimiter = '\t';
+  Relation r = *Relation::FromRows(schema, {{XSet::Int(1), XSet::Int(2)}});
+  std::string out = ExportCsv(r, tsv);
+  EXPECT_EQ(out, "a\tb\n1\t2\n");
+  EXPECT_EQ(*ImportCsv(schema, out, tsv), r);
+}
+
+TEST(Csv, BlankLinesAreSkipped) {
+  Schema schema = *Schema::Make({{"a", AttrType::kInt}});
+  Result<Relation> r = ImportCsv(schema, "a\n1\n\n2\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 2u);
+}
+
+}  // namespace
+}  // namespace rel
+}  // namespace xst

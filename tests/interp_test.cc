@@ -1,0 +1,112 @@
+// Interpretation enumeration (§4): the Catalan counts 2, 5, 14, 42 quoted in
+// the paper, the five explicit readings of Example 4.2, and the Appendix A
+// witness recovered through the enumerator.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/order.h"
+#include "src/process/interp.h"
+#include "tests/testing.h"
+
+namespace xst {
+namespace {
+
+using testing::X;
+
+TEST(InterpretationCountFn, CatalanSequence) {
+  EXPECT_EQ(InterpretationCount(0), 1u);
+  EXPECT_EQ(InterpretationCount(1), 1u);
+  EXPECT_EQ(InterpretationCount(2), 2u);   // "two legitimate interpretations"
+  EXPECT_EQ(InterpretationCount(3), 5u);   // Example 4.2 lists (a)–(e)
+  EXPECT_EQ(InterpretationCount(4), 14u);  // "14 for four"
+  EXPECT_EQ(InterpretationCount(5), 42u);  // "42 for five"
+  EXPECT_EQ(InterpretationCount(10), 16796u);
+}
+
+Process Ident(const char* a, const char* b) {
+  return Process(X((std::string("{<") + a + ", " + a + ">, <" + b + ", " + b + ">}").c_str()),
+                 Sigma::Std());
+}
+
+TEST(EnumerateInterpretationsFn, CountsMatchCatalan) {
+  Process p = Ident("a", "b");
+  XSet x = X("{<a>}");
+  for (int n = 1; n <= 5; ++n) {
+    std::vector<Process> chain(static_cast<size_t>(n), p);
+    std::vector<Interpretation> interps = EnumerateInterpretations(chain, x);
+    EXPECT_EQ(interps.size(), InterpretationCount(n)) << "chain length " << n;
+  }
+}
+
+TEST(EnumerateInterpretationsFn, NotationsAreDistinctBracketings) {
+  Process p = Ident("a", "b");
+  std::vector<Interpretation> interps =
+      EnumerateInterpretations({p, p, p}, X("{<a>}"), {"f", "g", "h"});
+  ASSERT_EQ(interps.size(), 5u);
+  std::set<std::string> notations;
+  for (const Interpretation& i : interps) notations.insert(i.notation);
+  EXPECT_EQ(notations.size(), 5u);
+  // The five bracketings of Example 4.2.
+  EXPECT_TRUE(notations.count("f(g(h(x)))"));
+  EXPECT_TRUE(notations.count("f(g(h)(x))"));
+  EXPECT_TRUE(notations.count("f(g)(h(x))"));
+  EXPECT_TRUE(notations.count("f(g(h))(x)"));
+  EXPECT_TRUE(notations.count("f(g)(h)(x)"));
+}
+
+TEST(EnumerateInterpretationsFn, AppendixAWitnessViaEnumerator) {
+  // The two readings of f₍σ₎ g₍ω₎ (h): non-empty and different.
+  Process f(X("{<y, z>^{{}^1, {}^2}, <a, x, b, k>^{{}^1, {}^2, {}^3, {}^4}}"),
+            Sigma{X("<1, 3>"), X("<2, 4>")});
+  Process g(X("{<x, y>^{{}^1, {}^2}, <a, b>^{{}^1, {}^2}}"), Sigma::Std());
+  XSet h = X("{<x>^{{}^1}}");
+  std::vector<Interpretation> interps = EnumerateInterpretations({f, g}, h, {"f", "g"});
+  ASSERT_EQ(interps.size(), 2u);
+  EXPECT_FALSE(interps[0].result.empty());
+  EXPECT_FALSE(interps[1].result.empty());
+  EXPECT_NE(interps[0].result, interps[1].result);
+  std::set<XSet, XSetLess> results;
+  for (const Interpretation& i : interps) results.insert(i.result);
+  EXPECT_TRUE(results.count(X("{<z>^{{}^1}}")));
+  EXPECT_TRUE(results.count(X("{<k>^{{}^1}}")));
+}
+
+TEST(EnumerateInterpretationsFn, RightNestedReadingIsIteratedApplication) {
+  // The fully right-nested bracketing f(g(h(x))) is ordinary iterated
+  // application (Example 4.2 (a)).
+  Process f = Ident("a", "b");
+  Process g(X("{<a, b>, <b, a>}"), Sigma::Std());
+  Process h(X("{<a, a>, <b, a>}"), Sigma::Std());
+  XSet x = X("{<b>}");
+  std::vector<Interpretation> interps =
+      EnumerateInterpretations({f, g, h}, x, {"f", "g", "h"});
+  bool found = false;
+  for (const Interpretation& i : interps) {
+    if (i.notation == "f(g(h(x)))") {
+      found = true;
+      EXPECT_EQ(i.result, f.Apply(g.Apply(h.Apply(x))));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(EnumerateInterpretationsFn, EmptyChainReturnsInput) {
+  std::vector<Interpretation> interps = EnumerateInterpretations({}, X("{<q>}"));
+  ASSERT_EQ(interps.size(), 1u);
+  EXPECT_EQ(interps[0].result, X("{<q>}"));
+}
+
+TEST(EnumerateInterpretationsFn, DefaultNamesAreStable) {
+  Process p = Ident("a", "b");
+  std::vector<Interpretation> interps = EnumerateInterpretations({p, p}, X("{<a>}"));
+  ASSERT_EQ(interps.size(), 2u);
+  std::set<std::string> notations;
+  for (const Interpretation& i : interps) notations.insert(i.notation);
+  EXPECT_TRUE(notations.count("p1(p2(x))"));
+  EXPECT_TRUE(notations.count("p1(p2)(x)"));
+}
+
+}  // namespace
+}  // namespace xst

@@ -1,0 +1,127 @@
+// Kuratowski pairs vs scope-based tuples: the encoding comparison behind
+// paper §9 and Skolem's objection (reference [5]).
+
+#include <gtest/gtest.h>
+
+#include "src/cst/kuratowski.h"
+#include "src/ops/domain.h"
+#include "src/ops/product.h"
+#include "src/ops/tuple.h"
+#include "tests/testing.h"
+
+namespace xst {
+namespace cst {
+namespace {
+
+using testing::X;
+
+TEST(Kuratowski, EncodingShape) {
+  XSet p = KuratowskiPair(XSet::Symbol("a"), XSet::Symbol("b"));
+  EXPECT_EQ(p, X("{{a}, {a, b}}"));
+  EXPECT_TRUE(IsKuratowskiPair(p));
+}
+
+TEST(Kuratowski, DegenerateDiagonalCollapses) {
+  // ⟨a,a⟩_K = {{a},{a,a}} = {{a},{a}} = {{a}} — the famous wart.
+  XSet p = KuratowskiPair(XSet::Symbol("a"), XSet::Symbol("a"));
+  EXPECT_EQ(p, X("{{a}}"));
+  EXPECT_TRUE(IsKuratowskiPair(p));
+  EXPECT_EQ(*KuratowskiFirst(p), XSet::Symbol("a"));
+  EXPECT_EQ(*KuratowskiSecond(p), XSet::Symbol("a"));
+}
+
+TEST(Kuratowski, PairIdentityIsFaithful) {
+  testing::RandomSetGen gen(555);
+  for (int i = 0; i < 150; ++i) {
+    XSet a = gen.Value(2), b = gen.Value(2), c = gen.Value(2), d = gen.Value(2);
+    bool pairs_equal = (a == c && b == d);
+    EXPECT_EQ(KuratowskiPair(a, b) == KuratowskiPair(c, d), pairs_equal);
+    // The XST encoding is faithful too, with no case analysis.
+    EXPECT_EQ(XSet::Pair(a, b) == XSet::Pair(c, d), pairs_equal);
+  }
+}
+
+TEST(Kuratowski, ComponentRecovery) {
+  XSet p = KuratowskiPair(XSet::Int(1), XSet::Int(2));
+  EXPECT_EQ(*KuratowskiFirst(p), XSet::Int(1));
+  EXPECT_EQ(*KuratowskiSecond(p), XSet::Int(2));
+  EXPECT_TRUE(KuratowskiFirst(X("{a}")).status().IsTypeError());
+  EXPECT_TRUE(KuratowskiFirst(X("{{a}, {b, c}}")).status().IsTypeError());  // a ∉ {b,c}
+  EXPECT_TRUE(KuratowskiFirst(XSet::Int(3)).status().IsTypeError());
+  EXPECT_FALSE(IsKuratowskiPair(X("{{a}, {a, b}, {c}}")));
+  EXPECT_FALSE(IsKuratowskiPair(X("{{a^1}}")));  // scoped members disqualify
+}
+
+TEST(Kuratowski, ConversionRoundTrips) {
+  testing::RandomSetGen gen(556);
+  for (int i = 0; i < 100; ++i) {
+    XSet a = gen.Atom(), b = gen.Atom();
+    XSet k = KuratowskiPair(a, b);
+    Result<XSet> xst_pair = KuratowskiToXstPair(k);
+    ASSERT_TRUE(xst_pair.ok());
+    EXPECT_EQ(*xst_pair, XSet::Pair(a, b));
+    EXPECT_EQ(*XstPairToKuratowski(*xst_pair), k);
+  }
+  EXPECT_TRUE(XstPairToKuratowski(X("<a, b, c>")).status().IsTypeError());
+}
+
+TEST(Kuratowski, SkolemObjectionNestedTuplesDiffer) {
+  // n-tuples must nest under Kuratowski, and the two natural nestings are
+  // DIFFERENT sets — so "the triple (a,b,c)" has no canonical identity.
+  XSet a = XSet::Symbol("a"), b = XSet::Symbol("b"), c = XSet::Symbol("c");
+  XSet left_nested = KuratowskiPair(KuratowskiPair(a, b), c);
+  XSet right_nested = KuratowskiPair(a, KuratowskiPair(b, c));
+  EXPECT_NE(left_nested, right_nested);
+  // The XST 3-tuple is one flat set; the nesting question never arises.
+  XSet flat = XSet::Tuple({a, b, c});
+  EXPECT_EQ(TupleLength(flat), 3);
+}
+
+TEST(Kuratowski, NoUniformComponentAddressing) {
+  // "Give me component 2 of every pair in the set" is one σ-domain call on
+  // XST pairs; under Kuratowski the same question needs per-element case
+  // analysis (and the components of left/right nestings disagree).
+  XSet xst_pairs = X("{<a, 1>, <b, 2>, <b, b>}");
+  XSet seconds = SigmaDomain(xst_pairs, X("<2>"));
+  EXPECT_EQ(seconds, X("{<1>, <2>, <b>}"));
+
+  // The Kuratowski twin of the same data:
+  std::vector<XSet> k_pairs = {
+      KuratowskiPair(XSet::Symbol("a"), XSet::Int(1)),
+      KuratowskiPair(XSet::Symbol("b"), XSet::Int(2)),
+      KuratowskiPair(XSet::Symbol("b"), XSet::Symbol("b")),
+  };
+  // σ-machinery sees only ∅ scopes — there is no position to address:
+  XSet k_set = XSet::Classical(k_pairs);
+  EXPECT_EQ(SigmaDomain(k_set, X("<2>")), XSet::Empty());
+  // ...recovery must go through the decoder, element by element:
+  std::vector<XSet> recovered;
+  for (const Membership& m : k_set.members()) {
+    Result<XSet> second = KuratowskiSecond(m.element);
+    ASSERT_TRUE(second.ok());
+    recovered.push_back(XSet::Tuple({*second}));
+  }
+  EXPECT_EQ(XSet::Classical(recovered), seconds);
+}
+
+TEST(Kuratowski, CartesianProductAgreesWithXstProduct) {
+  // The CST product built from tags (Def 9.7) enumerates exactly the pairs
+  // the Kuratowski-style product would, pair for pair.
+  XSet a = X("{p, q}");
+  XSet b = X("{x, y}");
+  Result<XSet> xst_product = CartesianProduct(a, b);
+  ASSERT_TRUE(xst_product.ok());
+  size_t matched = 0;
+  for (const Membership& ma : a.members()) {
+    for (const Membership& mb : b.members()) {
+      XSet xst_pair = XSet::Pair(ma.element, mb.element);
+      EXPECT_TRUE(xst_product->ContainsClassical(xst_pair));
+      ++matched;
+    }
+  }
+  EXPECT_EQ(xst_product->cardinality(), matched);
+}
+
+}  // namespace
+}  // namespace cst
+}  // namespace xst

@@ -1,0 +1,168 @@
+// Deeper algebraic laws: re-scope composition, image/relative-product
+// monotonicity and distributivity, closure characterization, and the
+// interactions between operators that the individual module tests don't
+// cover. All randomized over shared atom pools so the interesting branches
+// fire.
+
+#include <gtest/gtest.h>
+
+#include "src/core/atom.h"
+#include "src/ops/boolean.h"
+#include "src/ops/closure.h"
+#include "src/ops/domain.h"
+#include "src/ops/image.h"
+#include "src/ops/relative.h"
+#include "src/ops/rescope.h"
+#include "src/ops/restrict.h"
+#include "tests/testing.h"
+
+namespace xst {
+namespace {
+
+using testing::X;
+
+class Laws : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  testing::RandomSetGen gen_{GetParam()};
+
+  XSet RandomScopeMap() {
+    // Small maps from int scopes to int scopes (possibly non-injective).
+    std::vector<Membership> entries;
+    size_t count = gen_.Next() % 4;
+    for (size_t i = 0; i < count; ++i) {
+      entries.push_back(M(XSet::Int(static_cast<int64_t>(1 + gen_.Next() % 4)),
+                          XSet::Int(static_cast<int64_t>(1 + gen_.Next() % 4))));
+    }
+    return XSet::FromMembers(std::move(entries));
+  }
+
+  XSet RandomEdgeSet() {
+    std::vector<XSet> edges;
+    size_t count = gen_.Next() % 7;
+    for (size_t i = 0; i < count; ++i) {
+      edges.push_back(XSet::Pair(XSet::Symbol("v" + std::to_string(gen_.Next() % 4)),
+                                 XSet::Symbol("v" + std::to_string(gen_.Next() % 4))));
+    }
+    return XSet::Classical(edges);
+  }
+};
+
+TEST_P(Laws, RescopeComposition) {
+  // A^{/σ/}^{/τ/} = A^{/σ;τ/} where (σ;τ) is the relational composition of
+  // the scope maps — re-scoping is functorial.
+  for (int i = 0; i < 80; ++i) {
+    XSet a = gen_.Set(1, 5);
+    XSet sigma = RandomScopeMap();
+    XSet tau = RandomScopeMap();
+    // σ;τ = {(x, w) : (x, s) ∈ σ and (s, w) ∈ τ}.
+    std::vector<Membership> composed;
+    for (const Membership& ms : sigma.members()) {
+      for (const XSet& w : tau.ScopesOf(ms.scope)) {
+        composed.push_back(Membership{ms.element, w});
+      }
+    }
+    XSet sigma_tau = XSet::FromMembers(std::move(composed));
+    EXPECT_EQ(RescopeByScope(RescopeByScope(a, sigma), tau), RescopeByScope(a, sigma_tau));
+  }
+}
+
+TEST_P(Laws, RescopeDistributesOverUnion) {
+  for (int i = 0; i < 80; ++i) {
+    XSet a = gen_.Set(1, 4);
+    XSet b = gen_.Set(1, 4);
+    XSet sigma = RandomScopeMap();
+    EXPECT_EQ(RescopeByScope(Union(a, b), sigma),
+              Union(RescopeByScope(a, sigma), RescopeByScope(b, sigma)));
+    EXPECT_EQ(RescopeByElement(Union(a, b), sigma),
+              Union(RescopeByElement(a, sigma), RescopeByElement(b, sigma)));
+  }
+}
+
+TEST_P(Laws, ImageMonotoneInCarrier) {
+  const Sigma sigma = Sigma::Std();
+  for (int i = 0; i < 60; ++i) {
+    XSet r = gen_.Relation();
+    XSet q = gen_.Relation();
+    XSet probes = SigmaDomain(Union(r, q), sigma.s1);
+    // R ⊆ R∪Q → R[A] ⊆ (R∪Q)[A].
+    EXPECT_TRUE(IsSubset(Image(r, probes, sigma), Image(Union(r, q), probes, sigma)));
+  }
+}
+
+TEST_P(Laws, RestrictionIsIdempotentAndContractive) {
+  for (int i = 0; i < 60; ++i) {
+    XSet r = gen_.Relation();
+    XSet probes = SigmaDomain(r, XSet::Tuple({XSet::Int(1)}));
+    XSet sigma1 = XSet::Tuple({XSet::Int(1)});
+    XSet once = SigmaRestrict(r, sigma1, probes);
+    EXPECT_TRUE(IsSubset(once, r));
+    EXPECT_EQ(SigmaRestrict(once, sigma1, probes), once);  // idempotent
+  }
+}
+
+TEST_P(Laws, RelativeProductDistributesOverUnion) {
+  using lit::Spec;
+  Sigma sigma{Spec({{1, 1}}), Spec({{2, 1}})};
+  Sigma omega{Spec({{1, 1}}), Spec({{2, 2}})};
+  for (int i = 0; i < 50; ++i) {
+    XSet f1 = gen_.Relation();
+    XSet f2 = gen_.Relation();
+    XSet g = RandomEdgeSet();
+    // (F₁ ∪ F₂)/G = F₁/G ∪ F₂/G — and symmetrically on the right.
+    EXPECT_EQ(RelativeProduct(Union(f1, f2), g, sigma, omega),
+              Union(RelativeProduct(f1, g, sigma, omega),
+                    RelativeProduct(f2, g, sigma, omega)));
+    EXPECT_EQ(RelativeProduct(g, Union(f1, f2), sigma, omega),
+              Union(RelativeProduct(g, f1, sigma, omega),
+                    RelativeProduct(g, f2, sigma, omega)));
+  }
+}
+
+TEST_P(Laws, ClosureIsTheLeastTransitiveSuperset) {
+  for (int i = 0; i < 40; ++i) {
+    XSet r = RandomEdgeSet();
+    XSet plus = *TransitiveClosure(r);
+    // Contains R, transitive.
+    EXPECT_TRUE(IsSubset(r, plus));
+    EXPECT_TRUE(IsSubset(RelativeProductStd(plus, plus), plus));
+    // Least: any transitive T ⊇ R also contains R⁺. Build T by saturating a
+    // slightly larger relation.
+    XSet t = *TransitiveClosure(Union(r, RandomEdgeSet()));
+    if (IsSubset(r, t)) {
+      EXPECT_TRUE(IsSubset(plus, t));
+    }
+  }
+}
+
+TEST_P(Laws, ImageThroughClosureIsReachability) {
+  for (int i = 0; i < 40; ++i) {
+    XSet r = RandomEdgeSet();
+    XSet plus = *TransitiveClosure(r);
+    for (int v = 0; v < 4; ++v) {
+      XSet source = XSet::Classical({XSet::Tuple({XSet::Symbol("v" + std::to_string(v))})});
+      EXPECT_EQ(ImageStd(plus, source), *Reachable(r, source));
+    }
+  }
+}
+
+TEST_P(Laws, DomainOfRestrictionShrinks) {
+  for (int i = 0; i < 60; ++i) {
+    XSet r = gen_.Relation();
+    XSet probes = testing::RandomSetGen(gen_.Next()).DomainSubset();
+    std::vector<Membership> wrapped;
+    for (const Membership& m : probes.members()) {
+      wrapped.push_back(Membership{XSet::Tuple({m.element}), m.scope});
+    }
+    XSet a = XSet::FromMembers(std::move(wrapped));
+    XSet sigma1 = XSet::Tuple({XSet::Int(1)});
+    XSet restricted = SigmaRestrict(r, sigma1, a);
+    for (const XSet& spec : {XSet::Tuple({XSet::Int(1)}), XSet::Tuple({XSet::Int(2)})}) {
+      EXPECT_TRUE(IsSubset(SigmaDomain(restricted, spec), SigmaDomain(r, spec)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Laws, ::testing::Values(601, 602, 603, 604, 605));
+
+}  // namespace
+}  // namespace xst

@@ -1,0 +1,98 @@
+// The XSP surface language: parse → evaluate, parse errors, and round-trip
+// agreement with hand-built plans.
+
+#include <gtest/gtest.h>
+
+#include "src/xsp/eval.h"
+#include "src/xsp/parser.h"
+#include "tests/testing.h"
+
+namespace xst {
+namespace xsp {
+namespace {
+
+using testing::X;
+
+Bindings Env() {
+  return Bindings{{"r", X("{<a, x>, <b, y>, <c, x>}")},
+                  {"f", X("{<a, p>}")},
+                  {"g", X("{<p, 1>}")}};
+}
+
+XSet EvalPlan(const char* text) {
+  Result<ExprPtr> plan = ParsePlan(text);
+  EXPECT_TRUE(plan.ok()) << text << ": " << plan.status().ToString();
+  Result<XSet> value = Eval(*plan, Env());
+  EXPECT_TRUE(value.ok()) << text << ": " << value.status().ToString();
+  return value.ok() ? *value : XSet::Empty();
+}
+
+TEST(PlanParser, Leaves) {
+  EXPECT_EQ(EvalPlan("@r"), Env()["r"]);
+  EXPECT_EQ(EvalPlan("{<a>, <b>}"), X("{<a>, <b>}"));
+  EXPECT_EQ(EvalPlan("<1, 2>"), X("<1, 2>"));
+  EXPECT_EQ(EvalPlan("42"), XSet::Int(42));
+  EXPECT_EQ(EvalPlan("\"text\""), XSet::String("text"));
+}
+
+TEST(PlanParser, BooleanOperators) {
+  EXPECT_EQ(EvalPlan("union({<a>}, {<b>})"), X("{<a>, <b>}"));
+  EXPECT_EQ(EvalPlan("intersect({<a>, <b>}, {<b>})"), X("{<b>}"));
+  EXPECT_EQ(EvalPlan("difference({<a>, <b>}, {<b>})"), X("{<a>}"));
+  EXPECT_EQ(EvalPlan("union(union({1}, {2}), {3})"), X("{1, 2, 3}"));
+}
+
+TEST(PlanParser, SpecOperators) {
+  EXPECT_EQ(EvalPlan("domain[<1>](@r)"), X("{<a>, <b>, <c>}"));
+  EXPECT_EQ(EvalPlan("restrict[<1>](@r, {<a>})"), X("{<a, x>}"));
+  EXPECT_EQ(EvalPlan("image[<1>, <2>](@r, {<c>})"), X("{<x>}"));
+  EXPECT_EQ(EvalPlan("image[<2>, <1>](@r, {<x>})"), X("{<a>, <c>}"));
+}
+
+TEST(PlanParser, Closure) {
+  EXPECT_EQ(EvalPlan("closure({<a, b>, <b, c>})"), X("{<a, b>, <b, c>, <a, c>}"));
+  EXPECT_EQ(EvalPlan("image[<1>, <2>](closure({<a, b>, <b, c>}), {<a>})"),
+            X("{<b>, <c>}"));
+  EXPECT_TRUE(ParsePlan("closure(@r").status().IsParseError());
+}
+
+TEST(PlanParser, RelProduct) {
+  EXPECT_EQ(EvalPlan("relprod[<1>, <2>; <1>, {2^2}](@f, @g)"), X("{{a^1, 1^2}}"));
+}
+
+TEST(PlanParser, NestedPlansAndWhitespace) {
+  EXPECT_EQ(EvalPlan("image[ <1> , <2> ] ( @g , image[<1>, <2>](@f, {<a>}) )"),
+            X("{<1>}"));
+}
+
+TEST(PlanParser, SymbolValuesInSpecPosition) {
+  // Spec values may be arbitrary core values, including symbol atoms inside
+  // sets: scope maps like {x^1}.
+  Result<ExprPtr> plan = ParsePlan("domain[{x^1}]({{q^x}})");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(*Eval(*plan, {}), X("{{q^1}}"));
+}
+
+TEST(PlanParser, Errors) {
+  EXPECT_TRUE(ParsePlan("").status().IsParseError());
+  EXPECT_TRUE(ParsePlan("bogus(@r)").status().IsParseError());
+  EXPECT_TRUE(ParsePlan("union({<a>})").status().IsParseError());       // arity
+  EXPECT_TRUE(ParsePlan("union({<a>}, {<b>}) junk").status().IsParseError());
+  EXPECT_TRUE(ParsePlan("@").status().IsParseError());
+  EXPECT_TRUE(ParsePlan("image[<1>](@r, {<a>})").status().IsParseError());  // one spec
+  EXPECT_TRUE(ParsePlan("domain[<1>](").status().IsParseError());
+  EXPECT_TRUE(ParsePlan("{<a>").status().IsParseError());  // unbalanced literal
+}
+
+TEST(PlanParser, ParsedEqualsHandBuilt) {
+  Result<ExprPtr> parsed = ParsePlan("image[<1>, <2>](@r, union({<a>}, {<b>}))");
+  ASSERT_TRUE(parsed.ok());
+  ExprPtr manual = Expr::Image(
+      Expr::Named("r"),
+      Expr::Union(Expr::Literal(X("{<a>}")), Expr::Literal(X("{<b>}"))), Sigma::Std());
+  EXPECT_TRUE(Expr::Equal(*parsed, manual));
+}
+
+}  // namespace
+}  // namespace xsp
+}  // namespace xst

@@ -1,0 +1,92 @@
+// Partition: the σ-quotient, its laws, and its agreement with GroupBy.
+
+#include <gtest/gtest.h>
+
+#include "src/ops/boolean.h"
+#include "src/ops/rescope.h"
+#include "src/ops/tuple.h"
+#include "src/ops/partition.h"
+#include "src/rel/aggregate.h"
+#include "src/rel/generator.h"
+#include "tests/testing.h"
+
+namespace xst {
+namespace {
+
+using testing::X;
+
+TEST(PartitionOp, GroupsByKey) {
+  XSet r = X("{<a, x>, <b, y>, <c, x>}");
+  XSet partition = Partition(r, X("<2>"));  // group by second component
+  EXPECT_EQ(partition.cardinality(), 2u);
+  EXPECT_EQ(PartitionBlock(partition, X("<x>")), X("{<a, x>, <c, x>}"));
+  EXPECT_EQ(PartitionBlock(partition, X("<y>")), X("{<b, y>}"));
+  EXPECT_EQ(PartitionBlock(partition, X("<zz>")), X("{}"));
+  EXPECT_EQ(PartitionKeys(partition), X("{<x>, <y>}"));
+}
+
+TEST(PartitionOp, KeyIsTheScope) {
+  XSet partition = Partition(X("{<a, x>}"), X("<2>"));
+  const Membership& block = partition.members()[0];
+  EXPECT_EQ(block.scope, X("<x>"));
+  EXPECT_EQ(block.element, X("{<a, x>}"));
+}
+
+TEST(PartitionOp, EmptyRescopeFormsItsOwnBlock) {
+  // ⟨q⟩ has no position 2: it lands in the ∅-keyed block.
+  XSet r = X("{<a, x>, <q>}");
+  XSet partition = Partition(r, X("<2>"));
+  EXPECT_EQ(PartitionBlock(partition, XSet::Empty()), X("{<q>}"));
+}
+
+TEST(PartitionOp, BlocksReconstructTheSet) {
+  testing::RandomSetGen gen(777);
+  for (int i = 0; i < 100; ++i) {
+    XSet r = gen.Relation(10);
+    for (const XSet& spec : {X("<1>"), X("<2>"), X("{}")}) {
+      XSet partition = Partition(r, spec);
+      // ⋃ blocks = R, blocks pairwise disjoint.
+      XSet reunion;
+      for (const Membership& m : partition.members()) {
+        EXPECT_TRUE(AreDisjoint(reunion, m.element));
+        reunion = Union(reunion, m.element);
+      }
+      EXPECT_EQ(reunion, r);
+      // Every member of a block re-scopes to the block key.
+      for (const Membership& m : partition.members()) {
+        for (const Membership& inner : m.element.members()) {
+          EXPECT_EQ(RescopeByScope(inner.element, spec), m.scope);
+        }
+      }
+    }
+  }
+}
+
+TEST(PartitionOp, AgreesWithGroupByCounts) {
+  rel::WorkloadSpec spec;
+  spec.row_count = 400;
+  spec.key_cardinality = 19;
+  auto orders = rel::MakeOrders(spec);
+  ASSERT_TRUE(orders.ok());
+  // Partition by customer_id (position 2) vs GroupBy count.
+  XSet partition = Partition(orders->xst.tuples(), X("<2>"));
+  Result<rel::Relation> counts = rel::GroupBy(orders->xst, {"customer_id"},
+                                              {{rel::AggKind::kCount, "", "n"}});
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ(partition.cardinality(), counts->size());
+  for (const Membership& block : partition.members()) {
+    std::vector<XSet> key_parts;
+    ASSERT_TRUE(TupleElements(block.scope, &key_parts));
+    XSet expected = XSet::Tuple(
+        {key_parts[0], XSet::Int(static_cast<int64_t>(block.element.cardinality()))});
+    EXPECT_TRUE(counts->tuples().ContainsClassical(expected)) << expected.ToString();
+  }
+}
+
+TEST(PartitionOp, AtomAndEmptyInputs) {
+  EXPECT_EQ(Partition(XSet::Empty(), X("<1>")), XSet::Empty());
+  EXPECT_EQ(Partition(XSet::Int(5), X("<1>")), XSet::Empty());
+}
+
+}  // namespace
+}  // namespace xst

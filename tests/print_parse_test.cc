@@ -1,0 +1,110 @@
+// Printer/parser: notation round-trips and error reporting.
+
+#include <gtest/gtest.h>
+
+#include "src/core/parse.h"
+#include "src/core/print.h"
+#include "tests/testing.h"
+
+namespace xst {
+namespace {
+
+using testing::X;
+
+TEST(Parse, Atoms) {
+  EXPECT_EQ(X("42"), XSet::Int(42));
+  EXPECT_EQ(X("-7"), XSet::Int(-7));
+  EXPECT_EQ(X("abc_1"), XSet::Symbol("abc_1"));
+  EXPECT_EQ(X("\"hi there\""), XSet::String("hi there"));
+  EXPECT_EQ(X("\"a\\\"b\\\\c\\n\""), XSet::String("a\"b\\c\n"));
+}
+
+TEST(Parse, Sets) {
+  EXPECT_EQ(X("{}"), XSet::Empty());
+  EXPECT_EQ(X("{a}"), XSet::Classical({XSet::Symbol("a")}));
+  EXPECT_EQ(X("{ a ^ 1 , b ^ 2 }"), XSet::Pair(XSet::Symbol("a"), XSet::Symbol("b")));
+  EXPECT_EQ(X("{a^{x^1}}"),
+            XSet::FromMembers({M(XSet::Symbol("a"), X("{x^1}"))}));
+}
+
+TEST(Parse, TupleSugar) {
+  EXPECT_EQ(X("<a, b>"), X("{a^1, b^2}"));
+  EXPECT_EQ(X("<>"), XSet::Empty());
+  EXPECT_EQ(X("<<1>, <2>>"), X("{{1^1}^1, {2^1}^2}"));
+}
+
+TEST(Parse, Errors) {
+  EXPECT_TRUE(Parse("").status().IsParseError());
+  EXPECT_TRUE(Parse("{a").status().IsParseError());
+  EXPECT_TRUE(Parse("{a^}").status().IsParseError());
+  EXPECT_TRUE(Parse("<a b>").status().IsParseError());
+  EXPECT_TRUE(Parse("a b").status().IsParseError());  // trailing garbage
+  EXPECT_TRUE(Parse("\"unterminated").status().IsParseError());
+  EXPECT_TRUE(Parse("#").status().IsParseError());
+  EXPECT_TRUE(Parse("99999999999999999999999").status().IsParseError());
+}
+
+TEST(Parse, DeepNestingIsBounded) {
+  std::string deep;
+  for (int i = 0; i < 600; ++i) deep += "{";
+  for (int i = 0; i < 600; ++i) deep += "}";
+  EXPECT_TRUE(Parse(deep).status().IsParseError());
+}
+
+TEST(Print, Atoms) {
+  EXPECT_EQ(XSet::Int(-3).ToString(), "-3");
+  EXPECT_EQ(XSet::Symbol("price").ToString(), "price");
+  EXPECT_EQ(XSet::String("a\"b").ToString(), "\"a\\\"b\"");
+}
+
+TEST(Print, EmptySet) { EXPECT_EQ(XSet::Empty().ToString(), "{}"); }
+
+TEST(Print, TupleSugarRendersInOrdinalOrder) {
+  // Canonical member order sorts by element; tuple printing must re-sort by
+  // position (⟨b,a⟩ stores a^2 before b^1 in canonical order).
+  EXPECT_EQ(X("<b, a>").ToString(), "<b, a>");
+  EXPECT_EQ(X("<b, a, c>").ToString(), "<b, a, c>");
+}
+
+TEST(Print, ScopedMembers) {
+  EXPECT_EQ(X("{a^x}").ToString(), "{a^x}");
+  EXPECT_EQ(X("{a^{}}").ToString(), "{a}");  // ∅ scope is implicit
+  EXPECT_EQ(X("{q^<1, 2>}").ToString(), "{q^<1, 2>}");
+}
+
+TEST(Print, OptionsControlSugarAndSpacing) {
+  PrintOptions no_sugar;
+  no_sugar.tuple_sugar = false;
+  EXPECT_EQ(Print(X("<a, b>"), no_sugar), "{a^1, b^2}");
+  PrintOptions tight;
+  tight.spaces = false;
+  EXPECT_EQ(Print(X("<a, b>"), tight), "<a,b>");
+  PrintOptions shallow;
+  shallow.max_depth = 1;
+  EXPECT_EQ(Print(X("{{a}}"), shallow), "{...}");
+}
+
+TEST(Print, NonContiguousPositionsAreNotTuples) {
+  EXPECT_EQ(X("{a^1, b^3}").ToString(), "{a^1, b^3}");
+  EXPECT_EQ(X("{a^0}").ToString(), "{a^0}");
+  EXPECT_EQ(X("{a^1, a^2, b^2}").ToString(), "{a^1, a^2, b^2}");
+}
+
+TEST(RoundTrip, PrintedFormsParseBack) {
+  testing::RandomSetGen gen(77);
+  for (int i = 0; i < 500; ++i) {
+    XSet original = gen.Value(3, 5);
+    std::string text = original.ToString();
+    Result<XSet> reparsed = Parse(text);
+    ASSERT_TRUE(reparsed.ok()) << text << ": " << reparsed.status().ToString();
+    EXPECT_EQ(*reparsed, original) << text;
+  }
+}
+
+TEST(RoundTrip, PrintingIsDeterministic) {
+  XSet a = X("{z^9, a^1, m^{q^2}}");
+  EXPECT_EQ(a.ToString(), X(a.ToString()).ToString());
+}
+
+}  // namespace
+}  // namespace xst

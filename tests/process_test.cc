@@ -1,0 +1,155 @@
+// Processes: application, well-formedness (Def 2.1), equality (Def 2.2),
+// nested application (Def 4.1), function predicates (Def 8.2), and the
+// function properties of Consequence 8.1.
+
+#include <gtest/gtest.h>
+
+#include "src/ops/boolean.h"
+#include "src/process/process.h"
+#include "src/process/spaces.h"
+#include "tests/testing.h"
+
+namespace xst {
+namespace {
+
+using testing::X;
+
+Process P(const char* carrier, Sigma sigma = Sigma::Std()) {
+  return Process(X(carrier), sigma);
+}
+
+TEST(ProcessBasics, ApplicationIsImage) {
+  Process f = P("{<a, x>, <b, y>}");
+  EXPECT_EQ(f.Apply(X("{<a>}")), X("{<x>}"));
+  EXPECT_EQ(f.Apply(X("{<a>, <b>}")), X("{<x>, <y>}"));
+  EXPECT_EQ(f.Apply(X("{<q>}")), X("{}"));
+  EXPECT_EQ(f.Apply(X("{}")), X("{}"));
+}
+
+TEST(ProcessBasics, DomainsOfDefinition) {
+  Process f = P("{<a, x>, <b, y>, <c, x>}");
+  EXPECT_EQ(f.Domain(), X("{<a>, <b>, <c>}"));
+  EXPECT_EQ(f.Codomain(), X("{<x>, <y>}"));
+}
+
+TEST(ProcessBasics, ApplicationIsMonotoneInInput) {
+  testing::RandomSetGen gen(17);
+  for (int i = 0; i < 60; ++i) {
+    Process f(gen.Relation(), Sigma::Std());
+    XSet a = f.Domain();
+    for (const Membership& m : a.members()) {
+      XSet single = XSet::FromMembers({m});
+      EXPECT_TRUE(IsSubset(f.Apply(single), f.Apply(a)));
+    }
+  }
+}
+
+TEST(ProcessBasics, WellFormedness) {
+  // Def 2.1: every member must contribute an output under σ₂.
+  EXPECT_TRUE(P("{<a, x>}").IsWellFormed());
+  EXPECT_FALSE(P("{}").IsWellFormed());
+  EXPECT_FALSE(P("{<a>}").IsWellFormed());          // no position 2 anywhere
+  EXPECT_FALSE(P("{<a, x>, <b>}").IsWellFormed());  // one member is barren
+}
+
+TEST(ProcessBasics, WellFormednessMatchesSubsetQuantifier) {
+  // Cross-check the decidable form against the literal Def 2.1 quantifier
+  // (every non-empty subset has an input with non-empty application, probed
+  // with the universal probe {∅}).
+  testing::RandomSetGen gen(19);
+  XSet universal = XSet::Classical({XSet::Empty()});
+  for (int i = 0; i < 40; ++i) {
+    XSet carrier = Union(gen.Relation(), gen.Next() % 2 ? X("{<q>}") : X("{}"));
+    Process f(carrier, Sigma::Std());
+    if (carrier.empty()) continue;
+    bool literal = true;
+    for (const Membership& m : carrier.members()) {
+      Process g(XSet::FromMembers({m}), Sigma::Std());
+      if (g.Apply(universal).empty()) literal = false;
+    }
+    EXPECT_EQ(f.IsWellFormed(), literal) << carrier.ToString();
+  }
+}
+
+TEST(ProcessBasics, SetRepresentationRoundTrips) {
+  Process f = P("{<a, x>}", Sigma::Inv());
+  Result<Process> back = Process::FromXSet(f.ToXSet());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, f);
+  EXPECT_TRUE(Process::FromXSet(X("{a}")).status().IsTypeError());
+  EXPECT_TRUE(Process::FromXSet(X("<f, g>")).status().IsTypeError());
+}
+
+TEST(ProcessBasics, EquivalenceIsBehavioralNotRepresentational) {
+  // Two different carriers can define the same behavior (Def 2.2): an
+  // unused extra column never surfaces under these specs.
+  Process f = P("{<a, x>}");
+  Process g(X("{<a, x, junk>}"), Sigma::Std());
+  EXPECT_FALSE(f == g);  // different representations...
+  EXPECT_TRUE(ExtensionallyEqual(f, g));  // ...same behavior
+}
+
+TEST(ProcessBasics, EquivalenceDistinguishes) {
+  EXPECT_FALSE(ExtensionallyEqual(P("{<a, x>}"), P("{<a, y>}")));
+  EXPECT_FALSE(ExtensionallyEqual(P("{<a, x>}"), P("{<b, x>}")));
+  EXPECT_TRUE(ExtensionallyEqual(P("{<a, x>, <b, y>}"), P("{<b, y>, <a, x>}")));
+}
+
+TEST(ProcessBasics, NestedApplicationYieldsProcess) {
+  // Def 4.1: f₍σ₎(g₍ω₎) = (f[g]_σ)₍ω₎ — the result carries ω.
+  Process f = P("{<a, x>}");
+  Process g = P("{<p, q>}", Sigma::Inv());
+  Process nested = f.ApplyToProcess(g);
+  EXPECT_EQ(nested.sigma(), Sigma::Inv());
+  EXPECT_EQ(nested.set(), f.Apply(g.set()));
+}
+
+TEST(FunctionPredicate, Example81) {
+  XSet carrier = X("{<a, x>^<A, Z>, <b, y>^<B, Y>, <c, x>^<A, Z>}");
+  Process forward(carrier, Sigma::Std());
+  Process inverse(carrier, Sigma::Inv());
+  EXPECT_TRUE(IsFunction(forward));   // a→x, b→y, c→x
+  EXPECT_FALSE(IsFunction(inverse));  // x→{a, c}
+}
+
+TEST(FunctionPredicate, EmptyAndSingletons) {
+  EXPECT_TRUE(IsFunction(P("{}")));  // vacuous
+  EXPECT_TRUE(IsFunction(P("{<a, x>}")));
+  EXPECT_FALSE(IsFunction(P("{<a, x>, <a, y>}")));
+}
+
+TEST(FunctionPredicate, OneToOne) {
+  EXPECT_TRUE(IsOneToOne(P("{<a, x>, <b, y>}")));
+  EXPECT_FALSE(IsOneToOne(P("{<a, x>, <b, x>}")));
+  EXPECT_TRUE(IsOneToOne(P("{}")));
+}
+
+// Consequence 8.1: function properties, randomized.
+class FunctionProperties : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FunctionProperties, CarrierAlgebra) {
+  testing::RandomSetGen gen(GetParam());
+  for (int i = 0; i < 80; ++i) {
+    XSet fc = gen.Relation();
+    XSet gc = gen.Relation();
+    Process f(fc), g(gc), fu(Union(fc, gc)), fi(Intersect(fc, gc)), fd(Difference(fc, gc));
+    XSet x = gen.Next() % 2 ? f.Domain() : Union(f.Domain(), g.Domain());
+    // (a) (f ∪ g)₍σ₎(x) = f₍σ₎(x) ∪ g₍σ₎(x)
+    EXPECT_EQ(fu.Apply(x), Union(f.Apply(x), g.Apply(x)));
+    // (b) (f ∩ g)₍σ₎(x) ⊆ f₍σ₎(x) ∩ g₍σ₎(x)
+    EXPECT_TRUE(IsSubset(fi.Apply(x), Intersect(f.Apply(x), g.Apply(x))));
+    // (c) f₍σ₎(x) ∼ g₍σ₎(x) ⊆ (f ∼ g)₍σ₎(x)
+    EXPECT_TRUE(IsSubset(Difference(f.Apply(x), g.Apply(x)), fd.Apply(x)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FunctionProperties, ::testing::Values(7, 8, 9));
+
+TEST(ProcessBasics, ToStringMentionsCarrierAndSpec) {
+  std::string s = P("{<a, x>}").ToString();
+  EXPECT_NE(s.find("<a, x>"), std::string::npos);
+  EXPECT_NE(s.find("<1>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xst

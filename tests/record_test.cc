@@ -1,0 +1,165 @@
+// The record-at-a-time baseline engine in isolation.
+
+#include <gtest/gtest.h>
+
+#include "src/ops/tuple.h"
+#include "src/rel/aggregate.h"
+#include "src/rel/generator.h"
+#include "src/rel/order.h"
+#include "src/rel/record.h"
+
+namespace xst {
+namespace rel {
+namespace {
+
+RowRelation SmallTable() {
+  RowRelation t{*Schema::Make({{"id", AttrType::kInt}, {"tag", AttrType::kString}}), {}};
+  t.rows = {{int64_t{1}, std::string("a")},
+            {int64_t{2}, std::string("b")},
+            {int64_t{3}, std::string("a")}};
+  return t;
+}
+
+TEST(RecordEngine, ScanYieldsAllRows) {
+  RowRelation t = SmallTable();
+  auto it = MakeScan(&t);
+  EXPECT_EQ(Execute(it.get()).size(), 3u);
+}
+
+TEST(RecordEngine, FilterByEquality) {
+  RowRelation t = SmallTable();
+  auto it = MakeFilter(MakeScan(&t), 1, std::string("a"));
+  std::vector<Row> rows = Execute(it.get());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(std::get<int64_t>(rows[0][0]), 1);
+  EXPECT_EQ(std::get<int64_t>(rows[1][0]), 3);
+}
+
+TEST(RecordEngine, FilterInList) {
+  RowRelation t = SmallTable();
+  auto it = MakeFilterIn(MakeScan(&t), 0, {int64_t{1}, int64_t{3}, int64_t{99}});
+  EXPECT_EQ(Execute(it.get()).size(), 2u);
+}
+
+TEST(RecordEngine, ProjectReordersColumns) {
+  RowRelation t = SmallTable();
+  auto it = MakeProject(MakeScan(&t), {1, 0});
+  std::vector<Row> rows = Execute(it.get());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(std::get<std::string>(rows[0][0]), "a");
+  EXPECT_EQ(std::get<int64_t>(rows[0][1]), 1);
+}
+
+TEST(RecordEngine, ProjectKeepsDuplicates) {
+  RowRelation t = SmallTable();
+  auto it = MakeProject(MakeScan(&t), {1});
+  std::vector<Row> rows = Execute(it.get());
+  EXPECT_EQ(rows.size(), 3u);  // "a" twice — bag semantics
+  DedupRows(&rows);
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST(RecordEngine, JoinsAgreeAndFanOut) {
+  RowRelation left{*Schema::Make({{"k", AttrType::kInt}}), {{int64_t{1}}, {int64_t{2}}}};
+  RowRelation right{*Schema::Make({{"k", AttrType::kInt}, {"v", AttrType::kString}}),
+                    {{int64_t{1}, std::string("x")},
+                     {int64_t{1}, std::string("y")},
+                     {int64_t{3}, std::string("z")}}};
+  auto nl = MakeNestedLoopJoin(MakeScan(&left), &right, 0, 0, {1});
+  auto hash = MakeHashJoin(MakeScan(&left), &right, 0, 0, {1});
+  std::vector<Row> nl_rows = Execute(nl.get());
+  std::vector<Row> hash_rows = Execute(hash.get());
+  DedupRows(&nl_rows);
+  DedupRows(&hash_rows);
+  EXPECT_EQ(nl_rows, hash_rows);
+  EXPECT_EQ(nl_rows.size(), 2u);  // key 1 fans out to x and y
+}
+
+TEST(RecordEngine, EmptyInputs) {
+  RowRelation empty{*Schema::Make({{"k", AttrType::kInt}}), {}};
+  auto it = MakeFilter(MakeScan(&empty), 0, int64_t{1});
+  EXPECT_TRUE(Execute(it.get()).empty());
+  RowRelation left{*Schema::Make({{"k", AttrType::kInt}}), {{int64_t{1}}}};
+  auto join = MakeHashJoin(MakeScan(&left), &empty, 0, 0, {});
+  EXPECT_TRUE(Execute(join.get()).empty());
+}
+
+TEST(RecordEngine, GroupByAggregates) {
+  RowRelation t{*Schema::Make({{"k", AttrType::kInt}, {"v", AttrType::kInt}}),
+                {{int64_t{1}, int64_t{10}},
+                 {int64_t{1}, int64_t{30}},
+                 {int64_t{2}, int64_t{5}}}};
+  auto it = MakeGroupBy(MakeScan(&t), {0},
+                        {{1, "sum"}, {0, "count"}, {1, "min"}, {1, "max"}});
+  std::vector<Row> rows = Execute(it.get());
+  DedupRows(&rows);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (Row{int64_t{1}, int64_t{40}, int64_t{2}, int64_t{10}, int64_t{30}}));
+  EXPECT_EQ(rows[1], (Row{int64_t{2}, int64_t{5}, int64_t{1}, int64_t{5}, int64_t{5}}));
+}
+
+TEST(RecordEngine, GroupByParityWithXstAggregate) {
+  rel::WorkloadSpec spec;
+  spec.row_count = 600;
+  spec.key_cardinality = 17;
+  auto orders = MakeOrders(spec);
+  ASSERT_TRUE(orders.ok());
+  // Record side.
+  auto it = MakeGroupBy(MakeScan(&orders->rows), {1}, {{2, "sum"}, {0, "count"}});
+  std::vector<Row> rows = Execute(it.get());
+  DedupRows(&rows);
+  // XST side.
+  Result<Relation> grouped = GroupBy(orders->xst, {"customer_id"},
+                                     {{AggKind::kSum, "amount", "total"},
+                                      {AggKind::kCount, "", "n"}});
+  ASSERT_TRUE(grouped.ok());
+  ASSERT_EQ(rows.size(), grouped->size());
+  for (const Row& row : rows) {
+    XSet tuple = XSet::Tuple({XSet::Int(std::get<int64_t>(row[0])),
+                              XSet::Int(std::get<int64_t>(row[1])),
+                              XSet::Int(std::get<int64_t>(row[2]))});
+    EXPECT_TRUE(grouped->tuples().ContainsClassical(tuple)) << tuple.ToString();
+  }
+}
+
+TEST(RecordEngine, SortIterator) {
+  RowRelation t = SmallTable();
+  auto asc = MakeSort(MakeScan(&t), 1, true);
+  std::vector<Row> rows = Execute(asc.get());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(std::get<std::string>(rows[0][1]), "a");
+  EXPECT_EQ(std::get<std::string>(rows[2][1]), "b");
+  auto desc = MakeSort(MakeScan(&t), 0, false);
+  rows = Execute(desc.get());
+  EXPECT_EQ(std::get<int64_t>(rows[0][0]), 3);
+}
+
+TEST(RecordEngine, SortParityWithOrderBy) {
+  rel::WorkloadSpec spec;
+  spec.row_count = 150;
+  auto orders = MakeOrders(spec);
+  ASSERT_TRUE(orders.ok());
+  auto it = MakeSort(MakeScan(&orders->rows), 2, true);
+  std::vector<Row> rows = Execute(it.get());
+  Result<XSet> ranked = OrderBy(orders->xst, "amount");
+  ASSERT_TRUE(ranked.ok());
+  Result<std::vector<XSet>> xst_rows = RankedRows(*ranked);
+  ASSERT_TRUE(xst_rows.ok());
+  ASSERT_EQ(rows.size(), xst_rows->size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    Result<XSet> amount = TupleGet((*xst_rows)[i], 3);
+    ASSERT_TRUE(amount.ok());
+    EXPECT_EQ(std::get<int64_t>(rows[i][2]), amount->int_value()) << i;
+  }
+}
+
+TEST(RecordEngine, RowOrdering) {
+  EXPECT_TRUE(RowValueLess(int64_t{1}, int64_t{2}));
+  EXPECT_TRUE(RowValueLess(int64_t{5}, std::string("a")));  // ints before strings
+  EXPECT_TRUE(RowValueLess(std::string("a"), std::string("b")));
+  EXPECT_TRUE(RowLess({int64_t{1}, std::string("z")}, {int64_t{2}, std::string("a")}));
+}
+
+}  // namespace
+}  // namespace rel
+}  // namespace xst

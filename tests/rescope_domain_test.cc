@@ -1,0 +1,138 @@
+// Re-scoping and σ-domain: Defs 7.3–7.5 with the paper's worked examples,
+// plus the preserved domain properties of Consequence 7.1.
+
+#include <gtest/gtest.h>
+
+#include "src/ops/boolean.h"
+#include "src/ops/domain.h"
+#include "src/ops/rescope.h"
+#include "tests/testing.h"
+
+namespace xst {
+namespace {
+
+using testing::X;
+
+TEST(RescopeByScopeOp, PaperExample) {
+  // {a^x, b^y, c^z}^{/{x^1, y^2, z^3}/} = {a^1, b^2, c^3}  (Def 7.3)
+  EXPECT_EQ(RescopeByScope(X("{a^x, b^y, c^z}"), X("{x^1, y^2, z^3}")),
+            X("{a^1, b^2, c^3}"));
+}
+
+TEST(RescopeByScopeOp, DropsUnmappedScopes) {
+  EXPECT_EQ(RescopeByScope(X("{a^x, b^y}"), X("{x^1}")), X("{a^1}"));
+  EXPECT_EQ(RescopeByScope(X("{a^x}"), X("{q^1}")), X("{}"));
+}
+
+TEST(RescopeByScopeOp, FansOutOnMultiMapping) {
+  // σ maps scope x to both 1 and 2.
+  EXPECT_EQ(RescopeByScope(X("{a^x}"), X("{x^1, x^2}")), X("{a^1, a^2}"));
+}
+
+TEST(RescopeByScopeOp, MergesOnManyToOneMapping) {
+  EXPECT_EQ(RescopeByScope(X("{a^x, a^y}"), X("{x^1, y^1}")), X("{a^1}"));
+}
+
+TEST(RescopeByScopeOp, AtomAndEmptyOperands) {
+  EXPECT_EQ(RescopeByScope(XSet::Int(7), X("{1^1}")), X("{}"));
+  EXPECT_EQ(RescopeByScope(X("{}"), X("{1^1}")), X("{}"));
+  EXPECT_EQ(RescopeByScope(X("{a^1}"), X("{}")), X("{}"));
+}
+
+TEST(RescopeByScopeOp, TupleProjectionIdiom) {
+  // σ = ⟨3,1⟩ = {3^1, 1^2} selects position 3 then position 1.
+  EXPECT_EQ(RescopeByScope(X("<a, b, c>"), X("<3, 1>")), X("<c, a>"));
+  // σ = ⟨2⟩ selects position 2 into a 1-tuple.
+  EXPECT_EQ(RescopeByScope(X("<a, b, c>"), X("<2>")), X("<b>"));
+}
+
+TEST(RescopeByElementOp, PaperExample) {
+  // {a^1, b^2, c^3}^{\{w^1, v^2, t^3\}} = {a^w, b^v, c^t}  (Def 7.5)
+  EXPECT_EQ(RescopeByElement(X("{a^1, b^2, c^3}"), X("{w^1, v^2, t^3}")),
+            X("{a^w, b^v, c^t}"));
+}
+
+TEST(RescopeByElementOp, DropsUnmatchedScopes) {
+  EXPECT_EQ(RescopeByElement(X("{a^1, b^9}"), X("{w^1}")), X("{a^w}"));
+}
+
+TEST(RescopeByElementOp, FansOutWhenScopeRepeats) {
+  EXPECT_EQ(RescopeByElement(X("{a^1}"), X("{w^1, v^1}")), X("{a^w, a^v}"));
+}
+
+TEST(RescopeByElementOp, EmptyCases) {
+  EXPECT_EQ(RescopeByElement(X("{}"), X("{w^1}")), X("{}"));
+  EXPECT_EQ(RescopeByElement(X("{a^1}"), X("{}")), X("{}"));
+  EXPECT_EQ(RescopeByElement(XSet::Symbol("q"), X("{w^1}")), X("{}"));
+}
+
+TEST(RescopeDuality, ElementThenScopeRoundTripsOnBijectiveSpecs) {
+  // For a spec that is 1-1 between old and new scopes, /σ/ then \σ\ restores
+  // the original scopes.
+  XSet a = X("{p^x, q^y}");
+  XSet sigma = X("{x^1, y^2}");
+  XSet via = RescopeByScope(a, sigma);
+  EXPECT_EQ(via, X("{p^1, q^2}"));
+  EXPECT_EQ(RescopeByElement(via, sigma), a);
+}
+
+TEST(SigmaDomainOp, PaperExampleScopeMap) {
+  // 𝔇_{{A¹,C²}}({{a^A, b^B, c^C}}) = {{a^1, c^2}}
+  EXPECT_EQ(SigmaDomain(X("{{a^A, b^B, c^C}}"), X("{A^1, C^2}")), X("{{a^1, c^2}}"));
+}
+
+TEST(SigmaDomainOp, PaperExampleTupleWithScopes) {
+  // 𝔇_{⟨3,1⟩}({ {a^1,b^2,c^3}^{A¹,B²,C³} }) = { ⟨c,a⟩^⟨C,A⟩ }
+  XSet r = X("{{a^1, b^2, c^3}^{A^1, B^2, C^3}}");
+  EXPECT_EQ(SigmaDomain(r, X("<3, 1>")), X("{<c, a>^<C, A>}"));
+}
+
+TEST(SigmaDomainOp, CstDomains) {
+  XSet r = X("{<a, x>, <b, y>}");
+  EXPECT_EQ(SigmaDomain(r, X("<1>")), X("{<a>, <b>}"));
+  EXPECT_EQ(SigmaDomain(r, X("<2>")), X("{<x>, <y>}"));
+}
+
+TEST(SigmaDomainOp, DropsMembersWithEmptyRescope) {
+  XSet r = X("{<a, x>, <q>}");  // ⟨q⟩ has no position 2
+  EXPECT_EQ(SigmaDomain(r, X("<2>")), X("{<x>}"));
+}
+
+TEST(SigmaDomainOp, EmptySigmaGivesEmpty) {
+  // Consequence 7.1 (e): 𝔇_∅(R) = ∅.
+  EXPECT_EQ(SigmaDomain(X("{<a, b>}"), X("{}")), X("{}"));
+}
+
+// Consequence 7.1: preserved domain properties, randomized.
+class DomainProperties : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DomainProperties, UnionIntersectionDifferenceMonotone) {
+  testing::RandomSetGen gen(GetParam());
+  const XSet sigma1 = X("<1>");
+  const XSet sigma2 = X("<2>");
+  for (int i = 0; i < 80; ++i) {
+    XSet r = gen.Relation();
+    XSet q = gen.Relation();
+    for (const XSet& sigma : {sigma1, sigma2}) {
+      // (a) 𝔇_σ(R ∪ Q) = 𝔇_σ(R) ∪ 𝔇_σ(Q)
+      EXPECT_EQ(SigmaDomain(Union(r, q), sigma),
+                Union(SigmaDomain(r, sigma), SigmaDomain(q, sigma)));
+      // (b) 𝔇_σ(R ∩ Q) ⊆ 𝔇_σ(R) ∩ 𝔇_σ(Q)
+      EXPECT_TRUE(IsSubset(SigmaDomain(Intersect(r, q), sigma),
+                           Intersect(SigmaDomain(r, sigma), SigmaDomain(q, sigma))));
+      // (c) 𝔇_σ(R) ∼ 𝔇_σ(Q) ⊆ 𝔇_σ(R ∼ Q)
+      EXPECT_TRUE(IsSubset(Difference(SigmaDomain(r, sigma), SigmaDomain(q, sigma)),
+                           SigmaDomain(Difference(r, q), sigma)));
+      // (d) R ⊆ Q → 𝔇_σ(R) ⊆ 𝔇_σ(Q)
+      XSet sub = Intersect(r, q);
+      EXPECT_TRUE(IsSubset(SigmaDomain(sub, sigma), SigmaDomain(r, sigma)));
+      // (e) 𝔇_∅(R) = ∅
+      EXPECT_EQ(SigmaDomain(r, XSet::Empty()), XSet::Empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DomainProperties, ::testing::Values(10, 20, 30, 40));
+
+}  // namespace
+}  // namespace xst

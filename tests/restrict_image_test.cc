@@ -1,0 +1,179 @@
+// σ-restriction and image: Def 7.6, Def 7.1, Example 8.1, and the preserved
+// image properties of Consequence C.1.
+
+#include <gtest/gtest.h>
+
+#include "src/ops/boolean.h"
+#include "src/ops/domain.h"
+#include "src/ops/image.h"
+#include "src/ops/restrict.h"
+#include "tests/testing.h"
+
+namespace xst {
+namespace {
+
+using testing::X;
+
+XSet WrapTuples(const XSet& classical) {
+  // {d0, d1} → {⟨d0⟩, ⟨d1⟩}: probes for pair relations.
+  std::vector<Membership> out;
+  for (const Membership& m : classical.members()) {
+    out.push_back(Membership{XSet::Tuple({m.element}), m.scope});
+  }
+  return XSet::FromMembers(std::move(out));
+}
+
+TEST(SigmaRestrictOp, SelectsByFirstComponent) {
+  XSet r = X("{<a, x>, <b, y>, <a, z>}");
+  EXPECT_EQ(SigmaRestrict(r, X("<1>"), X("{<a>}")), X("{<a, x>, <a, z>}"));
+  EXPECT_EQ(SigmaRestrict(r, X("<1>"), X("{<b>}")), X("{<b, y>}"));
+  EXPECT_EQ(SigmaRestrict(r, X("<1>"), X("{<q>}")), X("{}"));
+}
+
+TEST(SigmaRestrictOp, SelectsBySecondComponent) {
+  XSet r = X("{<a, x>, <b, y>, <c, x>}");
+  // τ₁ = ⟨2⟩ = {2^1}: match probes against position 2.
+  EXPECT_EQ(SigmaRestrict(r, X("<2>"), X("{<x>}")), X("{<a, x>, <c, x>}"));
+}
+
+TEST(SigmaRestrictOp, MultiColumnKeys) {
+  XSet r = X("{<a, b, c>, <a, q, c>, <z, b, c>}");
+  // σ₁ = {1^1, 2^2}: probe ⟨a,b⟩ must embed at positions 1 and 2.
+  EXPECT_EQ(SigmaRestrict(r, X("{1^1, 2^2}"), X("{<a, b>}")), X("{<a, b, c>}"));
+}
+
+TEST(SigmaRestrictOp, ScopeConditionsMustEmbed) {
+  XSet r = X("{<a, x>^<A, Z>, <a, y>^<B, W>}");
+  // Probe with scope ⟨A⟩: only the member whose scope embeds A at 1 passes.
+  XSet a = X("{<a>^<A>}");
+  EXPECT_EQ(SigmaRestrict(r, X("<1>"), a), X("{<a, x>^<A, Z>}"));
+}
+
+TEST(SigmaRestrictOp, EmptyProbeSetGivesEmpty) {
+  EXPECT_EQ(SigmaRestrict(X("{<a, x>}"), X("<1>"), X("{}")), X("{}"));
+}
+
+TEST(SigmaRestrictOp, EmptyRescopeProbeMatchesEverything) {
+  // Documented literal edge case: a probe whose re-scope is ∅ embeds in all.
+  XSet r = X("{<a, x>, <b, y>}");
+  EXPECT_EQ(SigmaRestrict(r, X("<1>"), X("{{}}")), r);
+}
+
+TEST(SigmaRestrictOp, FastPathMatchesGeneralPath) {
+  // The singleton fast path and the subset general path must agree; force
+  // the general path with a two-membership probe.
+  XSet r = X("{<a, b, c>, <a, z, c>, <q, b, c>}");
+  XSet probe_single = X("{<a>}");          // fast path
+  XSet probe_double = X("{{a^1, b^2}}");   // general path (2 memberships)
+  EXPECT_EQ(SigmaRestrict(r, X("<1>"), probe_single), X("{<a, b, c>, <a, z, c>}"));
+  EXPECT_EQ(SigmaRestrict(r, X("{1^1, 2^2}"), probe_double), X("{<a, b, c>}"));
+}
+
+TEST(ImageOp, DefinitionDecomposes) {
+  // Def 7.1: R[A]_{⟨σ₁,σ₂⟩} = 𝔇_{σ₂}(R |_{σ₁} A)  (Consequence C.1 (f))
+  testing::RandomSetGen gen(5);
+  for (int i = 0; i < 100; ++i) {
+    XSet r = gen.Relation();
+    XSet a = WrapTuples(gen.DomainSubset());
+    Sigma sigma = Sigma::Std();
+    EXPECT_EQ(Image(r, a, sigma), SigmaDomain(SigmaRestrict(r, sigma.s1, a), sigma.s2));
+  }
+}
+
+TEST(ImageOp, Example81Forward) {
+  // Example 8.1 (a): f₍σ₎({⟨a⟩^⟨A⟩}) = {⟨x⟩^⟨Z⟩} with σ = ⟨⟨1⟩,⟨2⟩⟩.
+  XSet f = X("{<a, x>^<A, Z>, <b, y>^<B, Y>, <c, x>^<A, Z>}");
+  EXPECT_EQ(Image(f, X("{<a>^<A>}"), Sigma::Std()), X("{<x>^<Z>}"));
+}
+
+TEST(ImageOp, Example81Inverse) {
+  // Example 8.1 (b): f₍τ₎({⟨x⟩^⟨Z⟩}) = {⟨a⟩^⟨A⟩, ⟨c⟩^⟨A⟩} with τ = ⟨⟨2⟩,⟨1⟩⟩.
+  XSet f = X("{<a, x>^<A, Z>, <b, y>^<B, Y>, <c, x>^<A, Z>}");
+  EXPECT_EQ(Image(f, X("{<x>^<Z>}"), Sigma::Inv()), X("{<a>^<A>, <c>^<A>}"));
+}
+
+TEST(ImageOp, Example81Domains) {
+  XSet f = X("{<a, x>^<A, Z>, <b, y>^<B, Y>, <c, x>^<A, Z>}");
+  EXPECT_EQ(SigmaDomain(f, X("<1>")), X("{<a>^<A>, <b>^<B>, <c>^<A>}"));
+  EXPECT_EQ(SigmaDomain(f, X("<2>")), X("{<x>^<Z>, <y>^<Y>}"));
+}
+
+// Consequence C.1: preserved image properties, randomized.
+class ImageProperties : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ImageProperties, OperandLaws) {
+  testing::RandomSetGen gen(GetParam());
+  const Sigma sigma = Sigma::Std();
+  for (int i = 0; i < 60; ++i) {
+    XSet q = gen.Relation();
+    XSet a = WrapTuples(gen.DomainSubset());
+    XSet b = WrapTuples(gen.DomainSubset());
+    // (a) Q[A ∪ B] = Q[A] ∪ Q[B]
+    EXPECT_EQ(Image(q, Union(a, b), sigma), Union(Image(q, a, sigma), Image(q, b, sigma)));
+    // (b) Q[A ∩ B] ⊆ Q[A] ∩ Q[B]
+    EXPECT_TRUE(IsSubset(Image(q, Intersect(a, b), sigma),
+                         Intersect(Image(q, a, sigma), Image(q, b, sigma))));
+    // (c) Q[A] ∼ Q[B] ⊆ Q[A ∼ B]
+    EXPECT_TRUE(IsSubset(Difference(Image(q, a, sigma), Image(q, b, sigma)),
+                         Image(q, Difference(a, b), sigma)));
+    // (d) A ⊆ B → Q[A] ⊆ Q[B]
+    EXPECT_TRUE(IsSubset(Image(q, Intersect(a, b), sigma), Image(q, b, sigma)));
+  }
+}
+
+TEST_P(ImageProperties, RelationLaws) {
+  testing::RandomSetGen gen(GetParam() + 500);
+  const Sigma sigma = Sigma::Std();
+  for (int i = 0; i < 60; ++i) {
+    XSet q = gen.Relation();
+    XSet r = gen.Relation();
+    XSet a = WrapTuples(gen.DomainSubset());
+    // (i) (Q ∪ R)[A] = Q[A] ∪ R[A]
+    EXPECT_EQ(Image(Union(q, r), a, sigma), Union(Image(q, a, sigma), Image(r, a, sigma)));
+    // (j) (Q ∩ R)[A] ⊆ Q[A] ∩ R[A]
+    EXPECT_TRUE(IsSubset(Image(Intersect(q, r), a, sigma),
+                         Intersect(Image(q, a, sigma), Image(r, a, sigma))));
+    // (k) Q[A] ∼ R[A] ⊆ (Q ∼ R)[A]
+    EXPECT_TRUE(IsSubset(Difference(Image(q, a, sigma), Image(r, a, sigma)),
+                         Image(Difference(q, r), a, sigma)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImageProperties, ::testing::Values(100, 200, 300));
+
+TEST_P(ImageProperties, DomainRestrictedProbes) {
+  testing::RandomSetGen gen(GetParam() + 900);
+  const Sigma sigma = Sigma::Std();
+  for (int i = 0; i < 60; ++i) {
+    XSet q = gen.Relation();
+    XSet a = WrapTuples(gen.DomainSubset());
+    // (e) Q[𝔇_{σ₁}(Q) ∩ A] = Q[A]
+    XSet d1 = SigmaDomain(q, sigma.s1);
+    EXPECT_EQ(Image(q, Intersect(d1, a), sigma), Image(q, a, sigma));
+    // (h) 𝔇_{σ₁}(Q) ∩ A = ∅ → Q[A] = ∅
+    if (Intersect(d1, a).empty()) {
+      EXPECT_EQ(Image(q, a, sigma), XSet::Empty());
+    }
+  }
+}
+
+TEST(ImageOp, EmptinessLaws) {
+  // (g) Q[∅] = ∅, ∅[A] = ∅, Q[A]_∅ = ∅.
+  XSet q = X("{<a, x>}");
+  XSet a = X("{<a>}");
+  EXPECT_EQ(Image(q, XSet::Empty(), Sigma::Std()), XSet::Empty());
+  EXPECT_EQ(Image(XSet::Empty(), a, Sigma::Std()), XSet::Empty());
+  EXPECT_EQ(Image(q, a, Sigma{XSet::Empty(), XSet::Empty()}), XSet::Empty());
+}
+
+TEST(SigmaStruct, RoundTripsThroughSetForm) {
+  Sigma sigma = Sigma::Std();
+  Result<Sigma> back = Sigma::FromXSet(sigma.ToXSet());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, sigma);
+  EXPECT_TRUE(Sigma::FromXSet(X("{a}")).status().IsTypeError());
+  EXPECT_TRUE(Sigma::FromXSet(X("<1, 2, 3>")).status().IsTypeError());
+}
+
+}  // namespace
+}  // namespace xst

@@ -1,0 +1,138 @@
+// Robustness: hostile inputs never crash or silently corrupt — the decoder
+// and parsers fail cleanly on fuzzed bytes, and the interner is safe under
+// concurrent construction of identical values.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <thread>
+
+#include "src/core/parse.h"
+#include "src/core/print.h"
+#include "src/store/codec.h"
+#include "src/store/page.h"
+#include "src/xsp/parser.h"
+#include "tests/testing.h"
+
+namespace xst {
+namespace {
+
+TEST(Robustness, CodecSurvivesRandomBytes) {
+  std::mt19937_64 rng(4242);
+  for (int i = 0; i < 3000; ++i) {
+    size_t len = rng() % 64;
+    std::string bytes;
+    for (size_t b = 0; b < len; ++b) bytes.push_back(static_cast<char>(rng() & 0xff));
+    // Must return cleanly, never crash; anything accepted must round-trip.
+    Result<XSet> decoded = DecodeXSetWhole(bytes);
+    if (decoded.ok()) {
+      EXPECT_EQ(*DecodeXSetWhole(EncodeXSetToString(*decoded)), *decoded);
+    }
+  }
+}
+
+TEST(Robustness, CodecSurvivesMutatedValidBytes) {
+  testing::RandomSetGen gen(4243);
+  std::mt19937_64 rng(4244);
+  for (int i = 0; i < 400; ++i) {
+    std::string bytes = EncodeXSetToString(gen.Value(3, 4));
+    if (bytes.empty()) continue;
+    std::string mutated = bytes;
+    mutated[rng() % mutated.size()] = static_cast<char>(rng() & 0xff);
+    Result<XSet> decoded = DecodeXSetWhole(mutated);  // ok or error, never UB
+    (void)decoded;
+  }
+}
+
+TEST(Robustness, CoreParserSurvivesGarbage) {
+  std::mt19937_64 rng(4245);
+  const char pool[] = "{}<>^,\"\\ab1-_ \t";
+  for (int i = 0; i < 3000; ++i) {
+    size_t len = rng() % 48;
+    std::string text;
+    for (size_t c = 0; c < len; ++c) text.push_back(pool[rng() % (sizeof(pool) - 1)]);
+    Result<XSet> parsed = Parse(text);
+    if (parsed.ok()) {
+      // Anything accepted must round-trip.
+      EXPECT_EQ(*Parse(parsed->ToString()), *parsed) << text;
+    }
+  }
+}
+
+TEST(Robustness, PlanParserSurvivesGarbage) {
+  std::mt19937_64 rng(4246);
+  const char pool[] = "(){}[]<>@;,^\"uniondomainimagerestrict1a ";
+  for (int i = 0; i < 2000; ++i) {
+    size_t len = rng() % 64;
+    std::string text;
+    for (size_t c = 0; c < len; ++c) text.push_back(pool[rng() % (sizeof(pool) - 1)]);
+    auto plan = xsp::ParsePlan(text);
+    (void)plan;  // ok or ParseError, never a crash
+  }
+}
+
+TEST(Robustness, PageFromBytesSurvivesGarbageImages) {
+  std::mt19937_64 rng(4247);
+  for (int i = 0; i < 100; ++i) {
+    std::string bytes(kPageSize, '\0');
+    for (char& c : bytes) c = static_cast<char>(rng() & 0xff);
+    EXPECT_FALSE(Page::FromBytes(bytes).ok());  // checksum defeats garbage
+  }
+}
+
+TEST(Robustness, InternerIsThreadSafe) {
+  // Many threads race to intern the same values; all handles must agree.
+  constexpr int kThreads = 8;
+  constexpr int kValues = 200;
+  std::vector<std::vector<XSet>> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &results] {
+      testing::RandomSetGen gen(999);  // same seed: same value sequence
+      results[t].reserve(kValues);
+      for (int i = 0; i < kValues; ++i) {
+        results[t].push_back(gen.Value(3, 4));
+      }
+      (void)t;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) {
+    ASSERT_EQ(results[t].size(), results[0].size());
+    for (int i = 0; i < kValues; ++i) {
+      EXPECT_EQ(results[t][i], results[0][i]);
+      EXPECT_EQ(results[t][i].node(), results[0][i].node());  // same interned node
+    }
+  }
+}
+
+TEST(Robustness, DeeplyNestedValuesWork) {
+  // 300 levels of nesting: build, print (bounded), encode, decode.
+  XSet value = XSet::Int(0);
+  for (int i = 0; i < 300; ++i) value = XSet::Classical({value});
+  EXPECT_EQ(value.depth(), 300u);
+  Result<XSet> decoded = DecodeXSetWhole(EncodeXSetToString(value));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, value);
+  PrintOptions opts;
+  opts.max_depth = 5;
+  EXPECT_LT(Print(value, opts).size(), 64u);
+}
+
+TEST(Robustness, WideValuesWork) {
+  // One set with 100k memberships: canonicalization, codec, equality.
+  std::vector<Membership> members;
+  members.reserve(100000);
+  for (int i = 0; i < 100000; ++i) {
+    members.push_back(M(XSet::Int(i), XSet::Int(i % 7)));
+  }
+  XSet wide = XSet::FromMembers(std::move(members));
+  EXPECT_EQ(wide.cardinality(), 100000u);
+  Result<XSet> decoded = DecodeXSetWhole(EncodeXSetToString(wide));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, wide);
+}
+
+}  // namespace
+}  // namespace xst

@@ -1,0 +1,237 @@
+// Process/function spaces: Defs 5.1–6.8, Consequence 6.1, and the two space
+// lattices — 16 basic spaces with 8 function spaces (Figure 1) and 29
+// refined spaces with 12 non-empty function spaces (Appendix E).
+
+#include <gtest/gtest.h>
+
+#include "src/process/lattice.h"
+#include "src/process/spaces.h"
+#include "tests/testing.h"
+
+namespace xst {
+namespace {
+
+using testing::X;
+
+Process P(const char* carrier) { return Process(X(carrier), Sigma::Std()); }
+
+const char* kA = "{<a>, <b>}";
+const char* kB = "{<x>, <y>}";
+
+TEST(Spaces, ProcessSpaceMembership) {
+  EXPECT_TRUE(InProcessSpace(P("{<a, x>}"), X(kA), X(kB)));
+  EXPECT_TRUE(InProcessSpace(P("{<a, x>, <a, y>}"), X(kA), X(kB)));
+  EXPECT_FALSE(InProcessSpace(P("{<q, x>}"), X(kA), X(kB)));  // domain escapes A
+  EXPECT_FALSE(InProcessSpace(P("{<a, q>}"), X(kA), X(kB)));  // codomain escapes B
+  EXPECT_FALSE(InProcessSpace(P("{}"), X(kA), X(kB)));        // ⊆̇ excludes ∅
+}
+
+TEST(Spaces, FunctionSpaceMembership) {
+  EXPECT_TRUE(InFunctionSpace(P("{<a, x>, <b, x>}"), X(kA), X(kB)));
+  EXPECT_FALSE(InFunctionSpace(P("{<a, x>, <a, y>}"), X(kA), X(kB)));
+}
+
+TEST(Spaces, OnAndOnto) {
+  EXPECT_TRUE(IsOn(P("{<a, x>, <b, x>}"), X(kA)));
+  EXPECT_FALSE(IsOn(P("{<a, x>}"), X(kA)));
+  EXPECT_TRUE(IsOnto(P("{<a, x>, <b, y>}"), X(kB)));
+  EXPECT_FALSE(IsOnto(P("{<a, x>, <b, x>}"), X(kB)));
+}
+
+TEST(Spaces, InjectiveSurjectiveBijective) {
+  Process bijection = P("{<a, x>, <b, y>}");
+  Process collapse = P("{<a, x>, <b, x>}");
+  Process partial = P("{<a, x>}");
+  EXPECT_TRUE(IsBijective(bijection, X(kA), X(kB)));
+  EXPECT_TRUE(IsInjective(bijection, X(kA), X(kB)));
+  EXPECT_TRUE(IsSurjective(bijection, X(kA), X(kB)));
+  EXPECT_FALSE(IsInjective(collapse, X(kA), X(kB)));
+  EXPECT_TRUE(IsOn(collapse, X(kA)));
+  EXPECT_FALSE(IsInjective(partial, X(kA), X(kB)));  // not ON A
+  EXPECT_FALSE(IsSurjective(collapse, X(kA), X(kB)));
+}
+
+TEST(Spaces, Consequence61Containments) {
+  // (a)-(d): ℱ[A,B) ⊆ ℱ(A,B), ℱ(A,B] ⊆ ℱ(A,B), ℱ[A,B] ⊆ ℱ(A,B], ℱ[A,B] ⊆ ℱ[A,B).
+  testing::RandomSetGen gen(61);
+  // Carriers match the generator's pools: relations map d* → r*.
+  XSet a = X("{<d0>, <d1>}");
+  XSet b = X("{<r0>, <r1>}");
+  int hits = 0;
+  for (int i = 0; i < 400; ++i) {
+    Process f(gen.Relation(4, 2, 2), Sigma::Std());
+    bool in_f = InFunctionSpace(f, a, b);
+    bool on = in_f && IsOn(f, a);
+    bool onto = in_f && IsOnto(f, b);
+    bool on_onto = on && onto;
+    if (on) {
+      EXPECT_TRUE(in_f);
+    }
+    if (onto) {
+      EXPECT_TRUE(in_f);
+    }
+    if (on_onto) {
+      EXPECT_TRUE(on);
+      EXPECT_TRUE(onto);
+      ++hits;
+    }
+  }
+  EXPECT_GT(hits, 0);  // the strongest space is actually exercised
+}
+
+TEST(Associations, Kinds) {
+  EXPECT_EQ(ClassifyAssociations(P("{<a, x>, <b, y>}")),
+            (Associations{false, true, false}));
+  EXPECT_EQ(ClassifyAssociations(P("{<a, x>, <b, x>}")),
+            (Associations{true, false, false}));
+  EXPECT_EQ(ClassifyAssociations(P("{<a, x>, <a, y>}")),
+            (Associations{false, false, true}));
+  // Mixed: a→{x,y} (one-to-many), b→x and a→x (many-to-one).
+  EXPECT_EQ(ClassifyAssociations(P("{<a, x>, <a, y>, <b, x>}")),
+            (Associations{true, false, true}));
+}
+
+TEST(Associations, ToStringNotation) {
+  EXPECT_EQ(ToString(Associations{true, true, true}), ">-<");
+  EXPECT_EQ(ToString(Associations{}), "(none)");
+}
+
+TEST(Traits, ClassifyEndToEnd) {
+  ProcessTraits t = Classify(P("{<a, x>, <b, y>}"), X(kA), X(kB));
+  EXPECT_TRUE(t.well_formed);
+  EXPECT_TRUE(t.in_process_space);
+  EXPECT_TRUE(t.is_function);
+  EXPECT_TRUE(t.is_one_to_one);
+  EXPECT_TRUE(t.on);
+  EXPECT_TRUE(t.onto);
+  EXPECT_EQ(ToString(t), "[-] fn 1-1");
+}
+
+TEST(Lattice, BasicSpaceCount) {
+  // Figure 1: 16 basic spaces, 8 of them function spaces.
+  std::vector<SpaceId> basic = AllBasicSpaces();
+  EXPECT_EQ(basic.size(), 16u);
+  size_t function_spaces = 0;
+  for (const SpaceId& s : basic) {
+    if (s.IsFunctionSpace()) ++function_spaces;
+  }
+  EXPECT_EQ(function_spaces, 8u);
+}
+
+TEST(Lattice, RefinedSpaceCount) {
+  // Appendix E: 29 refined spaces, 12 non-empty function spaces.
+  std::vector<SpaceId> refined = AllRefinedSpaces();
+  EXPECT_EQ(refined.size(), 29u);
+  size_t function_spaces = 0;
+  for (const SpaceId& s : refined) {
+    if (s.IsFunctionSpace()) ++function_spaces;
+  }
+  EXPECT_EQ(function_spaces, 12u);
+}
+
+TEST(Lattice, IllegitimateCombosAreExactlyThree) {
+  int illegitimate = 0;
+  for (int mask = 0; mask < 32; ++mask) {
+    SpaceId s;
+    s.allow_many_to_one = (mask & 1) != 0;
+    s.allow_one_to_one = (mask & 2) != 0;
+    s.allow_one_to_many = (mask & 4) != 0;
+    s.require_on = (mask & 8) != 0;
+    s.require_onto = (mask & 16) != 0;
+    if (!s.IsLegitimate()) ++illegitimate;
+  }
+  EXPECT_EQ(illegitimate, 3);
+}
+
+TEST(Lattice, Notation) {
+  SpaceId injective;  // ℱ*[A,B): on, 1-1 only
+  injective.allow_one_to_one = true;
+  injective.require_on = true;
+  EXPECT_EQ(injective.Notation(), "[-)");
+  SpaceId full;
+  full.allow_many_to_one = full.allow_one_to_one = full.allow_one_to_many = true;
+  full.require_onto = true;
+  EXPECT_EQ(full.Notation(), "(>-<]");
+}
+
+TEST(Lattice, ContainmentMatchesInhabitation) {
+  // SpaceContains must be sound w.r.t. Inhabits: if outer ⊇ inner, every
+  // inhabitant of inner inhabits outer.
+  testing::RandomSetGen gen(62);
+  XSet a = X(kA);
+  XSet b = X(kB);
+  std::vector<SpaceId> spaces = AllRefinedSpaces();
+  for (int i = 0; i < 150; ++i) {
+    Process f(gen.Relation(4, 2, 2), Sigma::Std());
+    for (const SpaceId& outer : spaces) {
+      for (const SpaceId& inner : spaces) {
+        if (SpaceContains(outer, inner) && Inhabits(f, a, b, inner)) {
+          EXPECT_TRUE(Inhabits(f, a, b, outer))
+              << outer.Notation() << " should contain " << inner.Notation();
+        }
+      }
+    }
+  }
+}
+
+TEST(Lattice, EnumerationBasic2x2) {
+  LatticeReport report = EnumerateLattice(2, 2, /*refined=*/false);
+  EXPECT_EQ(report.spaces.size(), 16u);
+  EXPECT_EQ(report.function_space_count, 8u);
+  EXPECT_EQ(report.relations_enumerated, 15u);  // 2⁴ − 1 non-empty relations
+  // All 16 basic spaces have witnesses already at |A| = |B| = 2.
+  EXPECT_EQ(report.inhabited_count, 16u);
+}
+
+TEST(Lattice, EnumerationRefinedAcrossCarrierSizes) {
+  // Witness sizes differ per space: e.g. the "only many-to-one" function
+  // space [>] needs every output doubly covered *and* onto, first possible
+  // at |A|=4, |B|=2. Union inhabitation across a family of sizes.
+  const std::pair<int, int> kSizes[] = {{2, 2}, {3, 2}, {4, 2}, {2, 3}, {2, 4}, {3, 3}};
+  std::vector<SpaceId> spaces = AllRefinedSpaces();
+  std::vector<bool> inhabited(spaces.size(), false);
+  for (const auto& [a, b] : kSizes) {
+    LatticeReport report = EnumerateLattice(a, b, /*refined=*/true);
+    ASSERT_EQ(report.spaces.size(), spaces.size());
+    for (size_t i = 0; i < spaces.size(); ++i) {
+      if (report.inhabited[i]) inhabited[i] = true;
+    }
+  }
+  size_t total = 0, function_inhabited = 0;
+  for (size_t i = 0; i < spaces.size(); ++i) {
+    if (inhabited[i]) ++total;
+    if (spaces[i].IsFunctionSpace() && inhabited[i]) ++function_inhabited;
+    if (!inhabited[i]) {
+      // The only space with no inhabitants anywhere is the S = ∅ space "()":
+      // every non-empty process exhibits at least one association.
+      EXPECT_EQ(spaces[i].Notation(), "()");
+    }
+  }
+  EXPECT_EQ(total, 28u);               // 29 spaces, one provably empty
+  EXPECT_EQ(function_inhabited, 12u);  // Appendix E: Non-Empty Function (12)
+}
+
+TEST(Lattice, CoverEdgesFormAHasseDiagram) {
+  LatticeReport report = EnumerateLattice(2, 2, false);
+  EXPECT_FALSE(report.cover_edges.empty());
+  for (const auto& [outer, inner] : report.cover_edges) {
+    EXPECT_TRUE(SpaceContains(report.spaces[outer], report.spaces[inner]));
+    EXPECT_NE(outer, inner);
+  }
+}
+
+TEST(Lattice, OversizedEnumerationDegradesGracefully) {
+  LatticeReport report = EnumerateLattice(10, 10, false);
+  EXPECT_EQ(report.relations_enumerated, 0u);
+  EXPECT_EQ(report.spaces.size(), 16u);
+}
+
+TEST(Lattice, FormatMentionsCounts) {
+  LatticeReport report = EnumerateLattice(2, 2, false);
+  std::string text = FormatLatticeReport(report);
+  EXPECT_NE(text.find("spaces: 16"), std::string::npos);
+  EXPECT_NE(text.find("function spaces: 8"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xst

@@ -1,0 +1,367 @@
+// Pages, the pager, and the set store: persistence, caching behavior,
+// corruption detection (failure injection), and compaction.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/store/page.h"
+#include "src/store/pager.h"
+#include "src/store/setstore.h"
+#include "tests/testing.h"
+
+namespace xst {
+namespace {
+
+using testing::X;
+
+// A unique temp path per test, removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag) {
+    path_ = ::testing::TempDir();
+    if (path_.empty()) path_ = "/tmp/";
+    if (path_.back() != '/') path_ += '/';
+    path_ += "xst_store_test_" + tag + "_" + std::to_string(::getpid());
+    std::remove(path_.c_str());
+  }
+  ~TempFile() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".compact").c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(PageTest, AddGetDelete) {
+  Page page;
+  Result<uint32_t> slot0 = page.AddRecord("hello");
+  Result<uint32_t> slot1 = page.AddRecord("world!");
+  ASSERT_TRUE(slot0.ok());
+  ASSERT_TRUE(slot1.ok());
+  EXPECT_EQ(*slot0, 0u);
+  EXPECT_EQ(*slot1, 1u);
+  EXPECT_EQ(*page.GetRecord(0), "hello");
+  EXPECT_EQ(*page.GetRecord(1), "world!");
+  EXPECT_TRUE(page.GetRecord(2).status().IsOutOfRange());
+  ASSERT_TRUE(page.DeleteRecord(0).ok());
+  EXPECT_TRUE(page.GetRecord(0).status().IsNotFound());
+  EXPECT_EQ(*page.GetRecord(1), "world!");
+}
+
+TEST(PageTest, RejectsEmptyAndOversizedRecords) {
+  Page page;
+  EXPECT_TRUE(page.AddRecord("").status().IsInvalid());
+  std::string big(kPageSize, 'x');
+  EXPECT_TRUE(page.AddRecord(big).status().IsCapacityError());
+}
+
+TEST(PageTest, FillsToCapacity) {
+  Page page;
+  std::string record(100, 'r');
+  int added = 0;
+  while (page.AddRecord(record).ok()) ++added;
+  // 8192 bytes / (100 payload + 8 directory) ≈ 75 records.
+  EXPECT_GT(added, 70);
+  EXPECT_LT(added, 80);
+}
+
+TEST(PageTest, SerializationRoundTrips) {
+  Page page;
+  ASSERT_TRUE(page.AddRecord("alpha").ok());
+  ASSERT_TRUE(page.AddRecord("beta").ok());
+  ASSERT_TRUE(page.DeleteRecord(0).ok());
+  std::string bytes = page.ToBytes();
+  ASSERT_EQ(bytes.size(), kPageSize);
+  Result<Page> back = Page::FromBytes(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->GetRecord(0).status().IsNotFound());
+  EXPECT_EQ(*back->GetRecord(1), "beta");
+}
+
+TEST(PageTest, ChecksumCatchesBitFlips) {
+  Page page;
+  ASSERT_TRUE(page.AddRecord("payload").ok());
+  std::string bytes = page.ToBytes();
+  for (size_t pos : {size_t{9}, size_t{20}, kPageSize - 1}) {
+    std::string tampered = bytes;
+    tampered[pos] = static_cast<char>(tampered[pos] ^ 0x40);
+    EXPECT_TRUE(Page::FromBytes(tampered).status().IsCorruption()) << pos;
+  }
+  EXPECT_TRUE(Page::FromBytes("short").status().IsCorruption());
+}
+
+TEST(PagerTest, AllocateFetchPersist) {
+  TempFile file("pager_basic");
+  {
+    auto pager = Pager::Open(file.path(), 4);
+    ASSERT_TRUE(pager.ok());
+    Result<uint32_t> id = (*pager)->AllocatePage();
+    ASSERT_TRUE(id.ok());
+    Result<Page*> page = (*pager)->FetchPage(*id);
+    ASSERT_TRUE(page.ok());
+    ASSERT_TRUE((*page)->AddRecord("persisted").ok());
+    ASSERT_TRUE((*pager)->MarkDirty(*id).ok());
+    ASSERT_TRUE((*pager)->Flush().ok());
+  }
+  auto pager = Pager::Open(file.path(), 4);
+  ASSERT_TRUE(pager.ok());
+  EXPECT_EQ((*pager)->page_count(), 1u);
+  Result<Page*> page = (*pager)->FetchPage(0);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(*(*page)->GetRecord(0), "persisted");
+}
+
+TEST(PagerTest, FetchBeyondEndFails) {
+  TempFile file("pager_oob");
+  auto pager = Pager::Open(file.path(), 4);
+  ASSERT_TRUE(pager.ok());
+  EXPECT_TRUE((*pager)->FetchPage(0).status().IsOutOfRange());
+}
+
+TEST(PagerTest, LruEvictionCountsAndWritesBack) {
+  TempFile file("pager_lru");
+  auto pager_or = Pager::Open(file.path(), 2);  // tiny pool
+  ASSERT_TRUE(pager_or.ok());
+  Pager& pager = **pager_or;
+  for (int i = 0; i < 4; ++i) {
+    Result<uint32_t> id = pager.AllocatePage();
+    ASSERT_TRUE(id.ok());
+    Result<Page*> page = pager.FetchPage(*id);
+    ASSERT_TRUE(page.ok());
+    ASSERT_TRUE((*page)->AddRecord("page " + std::to_string(i)).ok());
+    ASSERT_TRUE(pager.MarkDirty(*id).ok());
+  }
+  EXPECT_GT(pager.stats().evictions, 0u);
+  // Re-read everything: early pages must have been written back on eviction.
+  for (uint32_t i = 0; i < 4; ++i) {
+    Result<Page*> page = pager.FetchPage(i);
+    ASSERT_TRUE(page.ok()) << page.status().ToString();
+    EXPECT_EQ(*(*page)->GetRecord(0), "page " + std::to_string(i));
+  }
+  EXPECT_GT(pager.stats().misses, 0u);
+}
+
+TEST(PagerTest, HotPageStaysCached) {
+  TempFile file("pager_hot");
+  auto pager_or = Pager::Open(file.path(), 2);
+  ASSERT_TRUE(pager_or.ok());
+  Pager& pager = **pager_or;
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(pager.AllocatePage().ok());
+  ASSERT_TRUE(pager.Flush().ok());
+  pager.ResetStats();
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(pager.FetchPage(0).ok());
+  EXPECT_GE(pager.stats().hits, 9u);
+}
+
+TEST(SetStoreTest, PutGetDeleteList) {
+  TempFile file("store_basic");
+  auto store_or = SetStore::Open(file.path());
+  ASSERT_TRUE(store_or.ok());
+  SetStore& store = **store_or;
+  ASSERT_TRUE(store.Put("pairs", X("{<a, 1>, <b, 2>}")).ok());
+  ASSERT_TRUE(store.Put("empty", X("{}")).ok());
+  EXPECT_EQ(*store.Get("pairs"), X("{<a, 1>, <b, 2>}"));
+  EXPECT_EQ(*store.Get("empty"), X("{}"));
+  EXPECT_TRUE(store.Get("missing").status().IsNotFound());
+  EXPECT_EQ(store.List(), (std::vector<std::string>{"empty", "pairs"}));
+  ASSERT_TRUE(store.Delete("empty").ok());
+  EXPECT_TRUE(store.Get("empty").status().IsNotFound());
+  EXPECT_TRUE(store.Delete("empty").IsNotFound());
+  EXPECT_TRUE(store.Put("", X("{}")).IsInvalid());
+}
+
+TEST(SetStoreTest, ReplaceKeepsLatest) {
+  TempFile file("store_replace");
+  auto store_or = SetStore::Open(file.path());
+  ASSERT_TRUE(store_or.ok());
+  SetStore& store = **store_or;
+  ASSERT_TRUE(store.Put("s", X("{old}")).ok());
+  ASSERT_TRUE(store.Put("s", X("{new}")).ok());
+  EXPECT_EQ(*store.Get("s"), X("{new}"));
+}
+
+TEST(SetStoreTest, PersistsAcrossReopen) {
+  TempFile file("store_reopen");
+  XSet value = X("{<alpha, 1>^<k, v>, {nested^{deep^9}}}");
+  {
+    auto store = SetStore::Open(file.path());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("survivor", value).ok());
+  }
+  auto store = SetStore::Open(file.path());
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(*(*store)->Get("survivor"), value);
+}
+
+TEST(SetStoreTest, LargeSetsSpanPages) {
+  TempFile file("store_large");
+  auto store_or = SetStore::Open(file.path());
+  ASSERT_TRUE(store_or.ok());
+  SetStore& store = **store_or;
+  // ~20k tuples encode to far more than one 8 KiB page.
+  std::vector<XSet> tuples;
+  for (int i = 0; i < 20000; ++i) {
+    tuples.push_back(XSet::Pair(XSet::Int(i), XSet::Int(i * 7)));
+  }
+  XSet big = XSet::Classical(tuples);
+  ASSERT_TRUE(store.Put("big", big).ok());
+  EXPECT_GT(store.page_count(), 10u);
+  EXPECT_EQ(*store.Get("big"), big);
+  // Reopen and read through the pool again.
+  auto reopened = SetStore::Open(file.path(), SetStoreOptions{.buffer_pool_pages = 8});
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(*(*reopened)->Get("big"), big);
+  EXPECT_GT((*reopened)->pager_stats().misses, 8u);  // forced through a small pool
+}
+
+TEST(SetStoreTest, CatalogIsAnExtendedSet) {
+  TempFile file("store_catalog");
+  auto store_or = SetStore::Open(file.path());
+  ASSERT_TRUE(store_or.ok());
+  SetStore& store = **store_or;
+  ASSERT_TRUE(store.Put("x", X("{1}")).ok());
+  ASSERT_TRUE(store.Put("y", X("{2}")).ok());
+  XSet catalog = store.CatalogAsXSet();
+  EXPECT_EQ(catalog.cardinality(), 2u);
+  // Entries are ⟨name, first_page, span, bytes⟩ 4-tuples.
+  for (const Membership& m : catalog.members()) {
+    EXPECT_TRUE(m.scope.empty());
+    EXPECT_EQ(m.element.cardinality(), 4u);
+  }
+}
+
+TEST(SetStoreTest, CompactionReclaimsSpace) {
+  TempFile file("store_compact");
+  auto store_or = SetStore::Open(file.path());
+  ASSERT_TRUE(store_or.ok());
+  SetStore& store = **store_or;
+  XSet keep = X("{<keep, 1>}");
+  ASSERT_TRUE(store.Put("keep", keep).ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(store.Put("churn", X(("{" + std::to_string(i) + "}").c_str())).ok());
+  }
+  ASSERT_TRUE(store.Delete("churn").ok());
+  uint32_t before = store.page_count();
+  ASSERT_TRUE(store.Compact().ok()) << "compaction failed";
+  EXPECT_LT(store.page_count(), before);
+  EXPECT_EQ(*store.Get("keep"), keep);
+  EXPECT_EQ(store.List(), std::vector<std::string>{"keep"});
+}
+
+TEST(SetStoreTest, FailureInjectionTornPage) {
+  TempFile file("store_torn");
+  {
+    auto store = SetStore::Open(file.path());
+    ASSERT_TRUE(store.ok());
+    std::vector<XSet> tuples;
+    for (int i = 0; i < 5000; ++i) tuples.push_back(XSet::Pair(XSet::Int(i), XSet::Int(i)));
+    ASSERT_TRUE((*store)->Put("data", XSet::Classical(tuples)).ok());
+  }
+  // Flip one byte in the middle of page 3: page 0 is the superblock and
+  // page 1 holds the stale first (empty) catalog blob, so page 3 is in the
+  // middle of the live data blob.
+  {
+    std::fstream f(file.path(), std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    const auto target = static_cast<std::streamoff>(3 * kPageSize + kPageSize / 2);
+    f.seekg(target);
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(target);
+    byte = static_cast<char>(byte ^ 0x01);
+    f.write(&byte, 1);
+  }
+  auto store = SetStore::Open(file.path(), SetStoreOptions{.buffer_pool_pages = 2});
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  Result<XSet> data = (*store)->Get("data");
+  EXPECT_FALSE(data.ok());
+  EXPECT_TRUE(data.status().IsCorruption()) << data.status().ToString();
+}
+
+TEST(SetStoreTest, PutBatchIsOneCommit) {
+  TempFile file("store_batch");
+  auto store_or = SetStore::Open(file.path());
+  ASSERT_TRUE(store_or.ok());
+  SetStore& store = **store_or;
+  uint32_t pages_before = store.page_count();
+  ASSERT_TRUE(store
+                  .PutBatch({{"a", X("{1}")},
+                             {"b", X("{2}")},
+                             {"c", X("{3}")}})
+                  .ok());
+  EXPECT_EQ(store.List(), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(*store.Get("b"), X("{2}"));
+  // One catalog persist for the whole batch: 3 blob pages + 1 catalog page.
+  EXPECT_EQ(store.page_count(), pages_before + 4);
+}
+
+TEST(SetStoreTest, PutBatchValidation) {
+  TempFile file("store_batch_bad");
+  auto store_or = SetStore::Open(file.path());
+  ASSERT_TRUE(store_or.ok());
+  SetStore& store = **store_or;
+  EXPECT_TRUE(store.PutBatch({{"x", X("{1}")}, {"x", X("{2}")}}).IsInvalid());
+  EXPECT_TRUE(store.PutBatch({{"", X("{1}")}}).IsInvalid());
+  // Failed validation left no trace.
+  EXPECT_TRUE(store.List().empty());
+}
+
+TEST(SetStoreTest, ScrubVerifiesEverything) {
+  TempFile file("store_scrub");
+  auto store_or = SetStore::Open(file.path());
+  ASSERT_TRUE(store_or.ok());
+  SetStore& store = **store_or;
+  ASSERT_TRUE(store.PutBatch({{"one", X("{<a, 1>}")}, {"two", X("{<b, 2>}")}}).ok());
+  Result<size_t> verified = store.Scrub();
+  ASSERT_TRUE(verified.ok()) << verified.status().ToString();
+  EXPECT_EQ(*verified, 2u);
+}
+
+TEST(SetStoreTest, ScrubDetectsTamperedBlob) {
+  TempFile file("store_scrub_bad");
+  {
+    auto store = SetStore::Open(file.path());
+    ASSERT_TRUE(store.ok());
+    std::vector<XSet> tuples;
+    for (int i = 0; i < 5000; ++i) tuples.push_back(XSet::Pair(XSet::Int(i), XSet::Int(i)));
+    ASSERT_TRUE((*store)->Put("data", XSet::Classical(tuples)).ok());
+  }
+  {
+    std::fstream f(file.path(), std::ios::in | std::ios::out | std::ios::binary);
+    const auto target = static_cast<std::streamoff>(3 * kPageSize + 64);
+    f.seekg(target);
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(target);
+    byte = static_cast<char>(byte ^ 0x10);
+    f.write(&byte, 1);
+  }
+  auto store = SetStore::Open(file.path(), SetStoreOptions{.buffer_pool_pages = 2});
+  ASSERT_TRUE(store.ok());
+  Result<size_t> verified = (*store)->Scrub();
+  EXPECT_FALSE(verified.ok());
+  EXPECT_TRUE(verified.status().IsCorruption());
+}
+
+TEST(SetStoreTest, FailureInjectionTruncatedFile) {
+  TempFile file("store_trunc");
+  {
+    auto store = SetStore::Open(file.path());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("x", X("{1}")).ok());
+  }
+  // Truncate to a non-page boundary.
+  ASSERT_EQ(truncate(file.path().c_str(), static_cast<off_t>(kPageSize + 100)), 0);
+  auto store = SetStore::Open(file.path());
+  EXPECT_FALSE(store.ok());
+  EXPECT_TRUE(store.status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace xst

@@ -1,0 +1,84 @@
+// Shared test utilities: notation shortcuts and deterministic random
+// extended-set generators for property suites.
+
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+#include <vector>
+
+#include "src/core/parse.h"
+#include "src/core/xset.h"
+
+namespace xst {
+namespace testing {
+
+/// \brief Parse shortcut: X("{a^1, b^2}").
+inline XSet X(std::string_view text) { return ParseOrDie(text); }
+
+/// \brief Deterministic generator of random extended sets.
+///
+/// Values are drawn over a small atom pool so that collisions (shared
+/// members, equal scopes) actually occur — property tests over disjoint
+/// random data would never exercise the interesting branches.
+class RandomSetGen {
+ public:
+  explicit RandomSetGen(uint64_t seed) : rng_(seed) {}
+
+  /// \brief A random atom from the pool (ints 0..7, symbols a..d).
+  XSet Atom() {
+    uint64_t pick = rng_() % 12;
+    if (pick < 8) return XSet::Int(static_cast<int64_t>(pick));
+    const char* names[] = {"a", "b", "c", "d"};
+    return XSet::Symbol(names[pick - 8]);
+  }
+
+  /// \brief A random extended set of bounded depth and breadth.
+  XSet Set(int max_depth = 2, int max_members = 4) {
+    if (max_depth <= 0) return Atom();
+    size_t count = rng_() % static_cast<uint64_t>(max_members + 1);
+    std::vector<Membership> members;
+    for (size_t i = 0; i < count; ++i) {
+      XSet element = Value(max_depth - 1, max_members);
+      XSet scope = (rng_() % 2 == 0) ? XSet::Empty() : Value(max_depth - 1, 2);
+      members.push_back(Membership{element, scope});
+    }
+    return XSet::FromMembers(std::move(members));
+  }
+
+  /// \brief Atom or set, weighted toward atoms at the leaves.
+  XSet Value(int max_depth, int max_members = 4) {
+    if (max_depth <= 0 || rng_() % 3 == 0) return Atom();
+    return Set(max_depth, max_members);
+  }
+
+  /// \brief A random classical relation: pairs over small symbol pools.
+  XSet Relation(int max_pairs = 6, int domain_size = 4, int range_size = 4) {
+    std::vector<XSet> pairs;
+    size_t count = rng_() % static_cast<uint64_t>(max_pairs + 1);
+    for (size_t i = 0; i < count; ++i) {
+      XSet first = XSet::Symbol("d" + std::to_string(rng_() % domain_size));
+      XSet second = XSet::Symbol("r" + std::to_string(rng_() % range_size));
+      pairs.push_back(XSet::Pair(first, second));
+    }
+    return XSet::Classical(pairs);
+  }
+
+  /// \brief A random classical set of atoms from the relation domain pool.
+  XSet DomainSubset(int domain_size = 4) {
+    std::vector<XSet> elements;
+    for (int i = 0; i < domain_size; ++i) {
+      if (rng_() % 2 == 0) elements.push_back(XSet::Symbol("d" + std::to_string(i)));
+    }
+    return XSet::Classical(elements);
+  }
+
+  uint64_t Next() { return rng_(); }
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+}  // namespace testing
+}  // namespace xst

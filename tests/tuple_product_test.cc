@@ -1,0 +1,183 @@
+// Tuples, concatenation, cross products, tagging, and the CST Cartesian
+// product: Defs 9.1–9.7 and Theorem 9.4.
+
+#include <gtest/gtest.h>
+
+#include "src/ops/boolean.h"
+#include "src/ops/product.h"
+#include "src/ops/tuple.h"
+#include "tests/testing.h"
+
+namespace xst {
+namespace {
+
+using testing::X;
+
+TEST(Tuples, LengthAndRecognition) {
+  EXPECT_EQ(TupleLength(X("<>")), 0);
+  EXPECT_EQ(TupleLength(X("<a>")), 1);
+  EXPECT_EQ(TupleLength(X("<a, b, c>")), 3);
+  EXPECT_FALSE(TupleLength(X("{a^1, b^3}")).has_value());  // gap
+  EXPECT_FALSE(TupleLength(X("{a^1, b^1}")).has_value());  // duplicate position
+  EXPECT_FALSE(TupleLength(X("{a}")).has_value());         // ∅ scope
+  EXPECT_FALSE(TupleLength(X("{a^0}")).has_value());       // positions start at 1
+  EXPECT_FALSE(TupleLength(XSet::Int(4)).has_value());     // atom
+  EXPECT_TRUE(IsTuple(X("<p, q>")));
+}
+
+TEST(Tuples, SameElementAtSeveralPositions) {
+  EXPECT_EQ(TupleLength(X("<a, a, a>")), 3);
+}
+
+TEST(Tuples, ElementsInOrdinalOrder) {
+  std::vector<XSet> parts;
+  ASSERT_TRUE(TupleElements(X("<c, a, b>"), &parts));
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], XSet::Symbol("c"));
+  EXPECT_EQ(parts[1], XSet::Symbol("a"));
+  EXPECT_EQ(parts[2], XSet::Symbol("b"));
+}
+
+TEST(Tuples, Get) {
+  XSet t = X("<x, y, z>");
+  EXPECT_EQ(*TupleGet(t, 1), XSet::Symbol("x"));
+  EXPECT_EQ(*TupleGet(t, 3), XSet::Symbol("z"));
+  EXPECT_TRUE(TupleGet(t, 0).status().IsOutOfRange());
+  EXPECT_TRUE(TupleGet(t, 4).status().IsOutOfRange());
+  EXPECT_TRUE(TupleGet(X("{a^2}"), 1).status().IsTypeError());
+}
+
+TEST(Tuples, ConcatPaperExample) {
+  // ⟨a,b,c,d⟩·⟨w,x,y,z⟩ = ⟨a,b,c,d,w,x,y,z⟩  (Def 9.2)
+  EXPECT_EQ(*Concat(X("<a, b, c, d>"), X("<w, x, y, z>")),
+            X("<a, b, c, d, w, x, y, z>"));
+}
+
+TEST(Tuples, ConcatLengths) {
+  // tup(x)=n & tup(y)=m → tup(x·y) = n+m.
+  EXPECT_EQ(TupleLength(*Concat(X("<a>"), X("<b, c>"))), 3);
+  EXPECT_EQ(*Concat(X("<>"), X("<a>")), X("<a>"));
+  EXPECT_EQ(*Concat(X("<a>"), X("<>")), X("<a>"));
+  EXPECT_EQ(*Concat(X("<>"), X("<>")), X("<>"));
+}
+
+TEST(Tuples, ConcatRejectsNonTuples) {
+  EXPECT_TRUE(Concat(X("{a}"), X("<b>")).status().IsTypeError());
+  EXPECT_TRUE(Concat(X("<a>"), XSet::Int(1)).status().IsTypeError());
+}
+
+TEST(Tuples, IndexedSets) {
+  EXPECT_TRUE(IsIndexed(X("{a^1, b^3}")));  // gaps allowed
+  EXPECT_TRUE(IsIndexed(X("<>")));
+  EXPECT_FALSE(IsIndexed(X("{a^1, b^1}")));
+  EXPECT_FALSE(IsIndexed(X("{a^x}")));
+}
+
+TEST(CrossProductOp, TupleShiftBasics) {
+  Result<XSet> p = CrossProduct(X("{<a, b>, <c, d>}"), X("{<e>, <f>}"));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(*p, X("{<a, b, e>, <a, b, f>, <c, d, e>, <c, d, f>}"));
+}
+
+TEST(CrossProductOp, EmptyOperands) {
+  EXPECT_EQ(*CrossProduct(X("{}"), X("{<a>}")), X("{}"));
+  EXPECT_EQ(*CrossProduct(X("{<a>}"), X("{}")), X("{}"));
+}
+
+TEST(CrossProductOp, ScopesConcatenateToo) {
+  // Members carry tuple scopes; ⊗ concatenates the scopes as well.
+  XSet a = X("{<a>^<S>}");
+  XSet b = X("{<b>^<T>}");
+  Result<XSet> p = CrossProduct(a, b);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(*p, X("{<a, b>^<S, T>}"));
+}
+
+TEST(CrossProductOp, Theorem94Associativity) {
+  // A ⊗ B ⊗ C = A ⊗ (B ⊗ C) = (A ⊗ B) ⊗ C on tuple sets.
+  testing::RandomSetGen gen(42);
+  for (int i = 0; i < 40; ++i) {
+    auto tuple_set = [&](int max_members) {
+      std::vector<XSet> tuples;
+      size_t count = gen.Next() % static_cast<uint64_t>(max_members + 1);
+      for (size_t k = 0; k < count; ++k) {
+        std::vector<XSet> elems;
+        size_t len = gen.Next() % 3;
+        for (size_t j = 0; j < len; ++j) elems.push_back(gen.Atom());
+        tuples.push_back(XSet::Tuple(elems));
+      }
+      return XSet::Classical(tuples);
+    };
+    XSet a = tuple_set(3);
+    XSet b = tuple_set(3);
+    XSet c = tuple_set(3);
+    Result<XSet> left = CrossProduct(*CrossProduct(a, b), c);
+    Result<XSet> right = CrossProduct(a, *CrossProduct(b, c));
+    ASSERT_TRUE(left.ok());
+    ASSERT_TRUE(right.ok());
+    EXPECT_EQ(*left, *right);
+  }
+}
+
+TEST(CrossProductOp, NonTupleMembersRejectedInShiftMode) {
+  EXPECT_TRUE(CrossProduct(X("{{a^9}}"), X("{<b>}")).status().IsTypeError());
+}
+
+TEST(TagOp, ClassicalMembers) {
+  // Def 9.6 (s = ∅): A^(a) = {{x^a} : x ∈ A}.
+  EXPECT_EQ(Tag(X("{x, y}"), XSet::Int(1)), X("{{x^1}, {y^1}}"));
+}
+
+TEST(TagOp, ScopedMembers) {
+  // Def 9.5 (s ≠ ∅): A^(a) = {{x^a}^{{s^a}} : x ∈ₛ A}.
+  EXPECT_EQ(Tag(X("{x^s}"), XSet::Int(2)), X("{{x^2}^{s^2}}"));
+}
+
+TEST(TagOp, TagWithSymbol) {
+  EXPECT_EQ(Tag(X("{v}"), XSet::Symbol("k")), X("{{v^k}}"));
+}
+
+TEST(CartesianProductOp, Definition97) {
+  // A × B = A⁽¹⁾ ⊗ B⁽²⁾ produces XST ordered pairs.
+  Result<XSet> p = CartesianProduct(X("{a, b}"), X("{x, y}"));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(*p, X("{<a, x>, <a, y>, <b, x>, <b, y>}"));
+}
+
+TEST(CartesianProductOp, CstCardinality) {
+  testing::RandomSetGen gen(9);
+  for (int i = 0; i < 30; ++i) {
+    XSet a = gen.DomainSubset();
+    XSet b = gen.DomainSubset();
+    Result<XSet> p = CartesianProduct(a, b);
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(p->cardinality(), a.cardinality() * b.cardinality());
+  }
+}
+
+TEST(CartesianProductOp, NotAssociativeUnlikeCross) {
+  // (A×B)×C nests pairs; the tagging collides at position 1/2 — the CST
+  // product is *not* associative, which is exactly why ⊗ exists.
+  XSet a = X("{p}");
+  XSet b = X("{q}");
+  XSet c = X("{r}");
+  Result<XSet> ab = CartesianProduct(a, b);
+  ASSERT_TRUE(ab.ok());
+  Result<XSet> ab_c = CartesianProduct(*ab, c);
+  ASSERT_TRUE(ab_c.ok());
+  Result<XSet> bc = CartesianProduct(b, c);
+  ASSERT_TRUE(bc.ok());
+  Result<XSet> a_bc = CartesianProduct(a, *bc);
+  ASSERT_TRUE(a_bc.ok());
+  EXPECT_NE(*ab_c, *a_bc);
+}
+
+TEST(CrossProductOp, DisjointUnionDetectsCollision) {
+  // Two operands already occupying position 1 cannot disjoint-concat.
+  XSet a = X("{{p^1}}");
+  XSet b = X("{{q^1}}");
+  EXPECT_TRUE(CrossProduct(a, b, ConcatMode::kDisjointUnion).status().IsTypeError());
+}
+
+}  // namespace
+}  // namespace xst

@@ -1,0 +1,121 @@
+// Value extraction (Defs 9.8–9.9), the √16 example (9.1), and the CST
+// function bridge (Theorem 9.10 + §3 definitions).
+
+#include <gtest/gtest.h>
+
+#include "src/cst/function.h"
+#include "src/cst/relation.h"
+#include "src/ops/value.h"
+#include "tests/testing.h"
+
+namespace xst {
+namespace {
+
+using testing::X;
+
+TEST(ValueOp, Example91SquareRoot) {
+  // √16 = { ⟨2⟩^⟨plus⟩, ⟨-2⟩^⟨minus⟩, ⟨2i⟩^⟨i⟩, ⟨-2i⟩^⟨neg_i⟩ }
+  XSet root16 = X("{<2>^<plus>, <-2>^<minus>, <two_i>^<i>, <neg_two_i>^<neg_i>}");
+  EXPECT_EQ(*SigmaValue(root16, XSet::Symbol("plus")), XSet::Int(2));
+  EXPECT_EQ(*SigmaValue(root16, XSet::Symbol("minus")), XSet::Int(-2));
+  EXPECT_EQ(*SigmaValue(root16, XSet::Symbol("i")), XSet::Symbol("two_i"));
+  EXPECT_EQ(*SigmaValue(root16, XSet::Symbol("neg_i")), XSet::Symbol("neg_two_i"));
+  EXPECT_TRUE(SigmaValue(root16, XSet::Symbol("missing")).status().IsNotFound());
+}
+
+TEST(ValueOp, ClassicalValue) {
+  EXPECT_EQ(*Value(X("{<b>}")), XSet::Symbol("b"));
+  EXPECT_TRUE(Value(X("{}")).status().IsNotFound());
+  EXPECT_TRUE(Value(X("{<a>, <b>}")).status().IsInvalid());  // ambiguous
+  EXPECT_EQ(*Value(X("{<a>, <a>}")), XSet::Symbol("a"));     // duplicates collapse
+}
+
+TEST(ValueOp, IgnoresNonUnaryAndWrongScopeMembers) {
+  // Only 1-tuples under the requested scope participate.
+  XSet x = X("{<a, b>, <q>^<k>, <v>}");
+  EXPECT_EQ(*Value(x), XSet::Symbol("v"));
+  EXPECT_EQ(*SigmaValue(x, XSet::Symbol("k")), XSet::Symbol("q"));
+}
+
+TEST(CstRelation, IsRelation) {
+  EXPECT_TRUE(cst::IsRelation(X("{<a, b>, <c, d>}")));
+  EXPECT_TRUE(cst::IsRelation(X("{}")));
+  EXPECT_FALSE(cst::IsRelation(X("{<a>}")));
+  EXPECT_FALSE(cst::IsRelation(X("{<a, b>^<s, t>}")));  // scoped member
+  EXPECT_FALSE(cst::IsRelation(XSet::Int(2)));
+}
+
+TEST(CstRelation, DirectOperations) {
+  XSet r = X("{<a, x>, <b, y>, <a, z>}");
+  EXPECT_EQ(cst::Image(r, X("{a}")), X("{x, z}"));
+  EXPECT_EQ(cst::Restriction(r, X("{a}")), X("{<a, x>, <a, z>}"));
+  EXPECT_EQ(cst::Domain1(r), X("{a, b}"));
+  EXPECT_EQ(cst::Domain2(r), X("{x, y, z}"));
+}
+
+TEST(CstRelation, XstPathMatchesDirectPath) {
+  // The compatibility claim: CST image/restriction/domains computed through
+  // the XST operators agree with the direct definitions on every relation.
+  testing::RandomSetGen gen(123);
+  for (int i = 0; i < 200; ++i) {
+    XSet r = gen.Relation();
+    XSet a = gen.DomainSubset();
+    EXPECT_EQ(cst::ImageViaXst(r, a), cst::Image(r, a));
+    EXPECT_EQ(cst::RestrictionViaXst(r, a), cst::Restriction(r, a));
+    EXPECT_EQ(cst::DomainViaXst(r, 1), cst::Domain1(r));
+    EXPECT_EQ(cst::DomainViaXst(r, 2), cst::Domain2(r));
+  }
+}
+
+TEST(CstRelation, WrapUnwrapInverse) {
+  XSet a = X("{p, q, r}");
+  EXPECT_EQ(cst::UnwrapUnary(cst::WrapUnary(a)), a);
+  EXPECT_EQ(cst::WrapUnary(X("{}")), X("{}"));
+  // Unwrap drops non-unary members.
+  EXPECT_EQ(cst::UnwrapUnary(X("{<a, b>, <c>}")), X("{c}"));
+}
+
+TEST(CstFunctionTest, Validation) {
+  EXPECT_TRUE(cst::IsFunctionRelation(X("{<a, x>, <b, y>}")));
+  EXPECT_FALSE(cst::IsFunctionRelation(X("{<a, x>, <a, y>}")));  // a maps twice
+  EXPECT_TRUE(cst::IsFunctionRelation(X("{<a, x>, <b, x>}")));   // many-to-one is fine
+  EXPECT_FALSE(cst::IsFunctionRelation(X("{<a>}")));
+  EXPECT_TRUE(cst::CstFunction::Make(X("{<a, x>, <a, y>}")).status().IsTypeError());
+}
+
+TEST(CstFunctionTest, ElementApplication) {
+  auto f = cst::CstFunction::Make(X("{<a, x>, <b, y>}"));
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(*f->Apply(XSet::Symbol("a")), XSet::Symbol("x"));
+  EXPECT_EQ(*f->Apply(XSet::Symbol("b")), XSet::Symbol("y"));
+  EXPECT_TRUE(f->Apply(XSet::Symbol("q")).status().IsNotFound());
+}
+
+TEST(CstFunctionTest, Theorem910Bridge) {
+  // f(x) = 𝒱(f₍σ₎({⟨x⟩})) for every functional relation and domain element.
+  testing::RandomSetGen gen(321);
+  int checked = 0;
+  for (int i = 0; i < 300 && checked < 120; ++i) {
+    XSet r = gen.Relation();
+    if (!cst::IsFunctionRelation(r)) continue;
+    auto f = cst::CstFunction::Make(r);
+    ASSERT_TRUE(f.ok());
+    for (const Membership& m : cst::Domain1(r).members()) {
+      Result<XSet> direct = f->Apply(m.element);
+      Result<XSet> via = cst::ApplyViaXst(r, m.element);
+      ASSERT_TRUE(direct.ok());
+      ASSERT_TRUE(via.ok());
+      EXPECT_EQ(*via, *direct);
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 50);
+}
+
+TEST(CstFunctionTest, BridgeOutsideDomainIsNotFound) {
+  EXPECT_TRUE(
+      cst::ApplyViaXst(X("{<a, x>}"), XSet::Symbol("zz")).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace xst

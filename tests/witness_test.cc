@@ -1,0 +1,105 @@
+// Witness synthesis: every legitimate non-"()" refined space gets a
+// constructed inhabitant that actually inhabits it, with exactly the
+// association profile the space permits.
+
+#include <gtest/gtest.h>
+
+#include "src/process/witness.h"
+#include "tests/testing.h"
+
+namespace xst {
+namespace {
+
+TEST(WitnessSynthesis, CoversExactlyTheInhabitableSpaces) {
+  int synthesized = 0, empty = 0;
+  for (const SpaceId& space : AllRefinedSpaces()) {
+    std::optional<SpaceWitness> witness = SynthesizeWitness(space);
+    if (!witness.has_value()) {
+      ++empty;
+      EXPECT_EQ(space.Notation(), "()");
+      continue;
+    }
+    ++synthesized;
+    EXPECT_TRUE(Inhabits(witness->process, witness->a, witness->b, space))
+        << space.Notation() << " not inhabited by " << witness->process.ToString();
+  }
+  EXPECT_EQ(synthesized, 28);  // 29 legitimate spaces, one provably empty
+  EXPECT_EQ(empty, 1);
+}
+
+TEST(WitnessSynthesis, WitnessExhibitsExactlyTheAllowedAssociations) {
+  for (const SpaceId& space : AllRefinedSpaces()) {
+    std::optional<SpaceWitness> witness = SynthesizeWitness(space);
+    if (!witness.has_value()) continue;
+    Associations assoc = ClassifyAssociations(witness->process);
+    EXPECT_EQ(assoc.many_to_one, space.allow_many_to_one) << space.Notation();
+    EXPECT_EQ(assoc.one_to_one, space.allow_one_to_one) << space.Notation();
+    EXPECT_EQ(assoc.one_to_many, space.allow_one_to_many) << space.Notation();
+  }
+}
+
+TEST(WitnessSynthesis, WitnessesAreOnAndOnto) {
+  // By construction A = used inputs, B = used outputs, so a single witness
+  // serves all four on/onto variants of its association set.
+  for (const SpaceId& space : AllRefinedSpaces()) {
+    std::optional<SpaceWitness> witness = SynthesizeWitness(space);
+    if (!witness.has_value()) continue;
+    EXPECT_TRUE(IsOn(witness->process, witness->a)) << space.Notation();
+    EXPECT_TRUE(IsOnto(witness->process, witness->b)) << space.Notation();
+  }
+}
+
+TEST(WitnessSynthesis, FunctionSpaceWitnessesAreFunctions) {
+  for (const SpaceId& space : AllRefinedSpaces()) {
+    if (!space.IsFunctionSpace()) continue;
+    std::optional<SpaceWitness> witness = SynthesizeWitness(space);
+    ASSERT_TRUE(witness.has_value()) << space.Notation();
+    EXPECT_TRUE(IsFunction(witness->process)) << space.Notation();
+  }
+}
+
+TEST(WitnessSynthesis, MinimalCarrierSizes) {
+  // The pure-kind witnesses use the documented minimal shapes.
+  SpaceId many_to_one_only;
+  many_to_one_only.allow_many_to_one = true;
+  auto w = SynthesizeWitness(many_to_one_only);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->a_size, 2);
+  EXPECT_EQ(w->b_size, 1);
+
+  SpaceId one_to_many_only;
+  one_to_many_only.allow_one_to_many = true;
+  w = SynthesizeWitness(one_to_many_only);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->a_size, 1);
+  EXPECT_EQ(w->b_size, 2);
+
+  SpaceId exclusive_only;
+  exclusive_only.allow_one_to_one = true;
+  w = SynthesizeWitness(exclusive_only);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->a_size, 1);
+  EXPECT_EQ(w->b_size, 1);
+}
+
+TEST(WitnessSynthesis, IllegitimateSpacesHaveNoWitness) {
+  SpaceId bad;  // S = ∅ with on required: illegitimate
+  bad.require_on = true;
+  EXPECT_FALSE(bad.IsLegitimate());
+  EXPECT_FALSE(SynthesizeWitness(bad).has_value());
+}
+
+TEST(LatticeDot, RendersAllNodesAndMarks) {
+  std::vector<SpaceId> spaces = AllRefinedSpaces();
+  std::string dot = LatticeToDot(spaces, "appendix_e");
+  for (const SpaceId& s : spaces) {
+    EXPECT_NE(dot.find("\"" + s.Notation() + "\""), std::string::npos) << s.Notation();
+  }
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);       // the empty space
+  EXPECT_NE(dot.find("fillcolor=lightgrey"), std::string::npos);  // function spaces
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xst

@@ -1,0 +1,111 @@
+// xstctl: command-line administration for set stores.
+//
+//   xstctl <store> list                 names + sizes
+//   xstctl <store> get <name>           print a set in XST notation
+//   xstctl <store> put <name> <text>    parse and store a set
+//   xstctl <store> del <name>           remove a name
+//   xstctl <store> scrub                verify every blob end to end
+//   xstctl <store> compact              reclaim dead pages
+//   xstctl <store> stats                page/pool statistics
+//   xstctl <store> catalog              dump the catalog (itself a set)
+//
+// Exit code 0 on success, 1 on any error (errors print to stderr).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/core/parse.h"
+#include "src/store/setstore.h"
+
+using namespace xst;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: xstctl <store-file> <command> [args]\n"
+               "commands: list | get <name> | put <name> <text> | del <name>\n"
+               "          scrub | compact | stats | catalog\n");
+  return 1;
+}
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "xstctl: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string path = argv[1];
+  const std::string command = argv[2];
+
+  auto store_or = SetStore::Open(path);
+  if (!store_or.ok()) return Fail(store_or.status());
+  SetStore& store = **store_or;
+
+  if (command == "list") {
+    for (const std::string& name : store.List()) {
+      Result<XSet> value = store.Get(name);
+      if (value.ok()) {
+        std::printf("%-24s %zu memberships\n", name.c_str(), value->cardinality());
+      } else {
+        std::printf("%-24s <%s>\n", name.c_str(), value.status().ToString().c_str());
+      }
+    }
+    return 0;
+  }
+  if (command == "get") {
+    if (argc < 4) return Usage();
+    Result<XSet> value = store.Get(argv[3]);
+    if (!value.ok()) return Fail(value.status());
+    std::printf("%s\n", value->ToString().c_str());
+    return 0;
+  }
+  if (command == "put") {
+    if (argc < 5) return Usage();
+    Result<XSet> value = Parse(argv[4]);
+    if (!value.ok()) return Fail(value.status());
+    Status st = store.Put(argv[3], *value);
+    if (!st.ok()) return Fail(st);
+    std::printf("stored '%s' (%zu memberships)\n", argv[3], value->cardinality());
+    return 0;
+  }
+  if (command == "del") {
+    if (argc < 4) return Usage();
+    Status st = store.Delete(argv[3]);
+    if (!st.ok()) return Fail(st);
+    std::printf("deleted '%s'\n", argv[3]);
+    return 0;
+  }
+  if (command == "scrub") {
+    Result<size_t> verified = store.Scrub();
+    if (!verified.ok()) return Fail(verified.status());
+    std::printf("scrub clean: %zu sets verified\n", *verified);
+    return 0;
+  }
+  if (command == "compact") {
+    uint32_t before = store.page_count();
+    Status st = store.Compact();
+    if (!st.ok()) return Fail(st);
+    std::printf("compacted: %u -> %u pages\n", before, store.page_count());
+    return 0;
+  }
+  if (command == "stats") {
+    const PagerStats& stats = store.pager_stats();
+    std::printf("pages:      %u (%zu KiB)\n", store.page_count(),
+                static_cast<size_t>(store.page_count()) * kPageSize / 1024);
+    std::printf("sets:       %zu\n", store.List().size());
+    std::printf("pool hits:  %lu  misses: %lu  evictions: %lu  writebacks: %lu\n",
+                (unsigned long)stats.hits, (unsigned long)stats.misses,
+                (unsigned long)stats.evictions, (unsigned long)stats.writebacks);
+    return 0;
+  }
+  if (command == "catalog") {
+    std::printf("%s\n", store.CatalogAsXSet().ToString().c_str());
+    return 0;
+  }
+  return Usage();
+}
