@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_image.dir/bench_image.cc.o"
+  "CMakeFiles/bench_image.dir/bench_image.cc.o.d"
+  "bench_image"
+  "bench_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interner.dir/bench_interner.cc.o"
+  "CMakeFiles/bench_interner.dir/bench_interner.cc.o.d"
+  "bench_interner"
+  "bench_interner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ex_appendix.dir/ex_appendix.cc.o"
+  "CMakeFiles/ex_appendix.dir/ex_appendix.cc.o.d"
+  "ex_appendix"
+  "ex_appendix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ex_appendix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ex_appendix.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_basic_spaces.dir/fig1_basic_spaces.cc.o"
+  "CMakeFiles/fig1_basic_spaces.dir/fig1_basic_spaces.cc.o.d"
+  "fig1_basic_spaces"
+  "fig1_basic_spaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_basic_spaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figE_refined_spaces.dir/figE_refined_spaces.cc.o"
+  "CMakeFiles/figE_refined_spaces.dir/figE_refined_spaces.cc.o.d"
+  "figE_refined_spaces"
+  "figE_refined_spaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figE_refined_spaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for figE_refined_spaces.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_catalan_interps.dir/tab_catalan_interps.cc.o"
+  "CMakeFiles/tab_catalan_interps.dir/tab_catalan_interps.cc.o.d"
+  "tab_catalan_interps"
+  "tab_catalan_interps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_catalan_interps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_catalan_interps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_etl.dir/csv_etl.cpp.o"
+  "CMakeFiles/csv_etl.dir/csv_etl.cpp.o.d"
+  "csv_etl"
+  "csv_etl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_etl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

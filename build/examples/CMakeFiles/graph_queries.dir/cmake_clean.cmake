@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_queries.dir/graph_queries.cpp.o"
+  "CMakeFiles/graph_queries.dir/graph_queries.cpp.o.d"
+  "graph_queries"
+  "graph_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inventory_db.dir/inventory_db.cpp.o"
+  "CMakeFiles/inventory_db.dir/inventory_db.cpp.o.d"
+  "inventory_db"
+  "inventory_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inventory_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

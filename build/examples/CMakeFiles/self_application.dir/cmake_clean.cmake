@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/self_application.dir/self_application.cpp.o"
+  "CMakeFiles/self_application.dir/self_application.cpp.o.d"
+  "self_application"
+  "self_application.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/self_application.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

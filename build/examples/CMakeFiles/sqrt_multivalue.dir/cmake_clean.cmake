@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqrt_multivalue.dir/sqrt_multivalue.cpp.o"
+  "CMakeFiles/sqrt_multivalue.dir/sqrt_multivalue.cpp.o.d"
+  "sqrt_multivalue"
+  "sqrt_multivalue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqrt_multivalue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sqrt_multivalue.
+# This may be replaced when dependencies are built.

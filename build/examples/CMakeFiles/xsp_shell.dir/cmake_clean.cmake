@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsp_shell.dir/xsp_shell.cpp.o"
+  "CMakeFiles/xsp_shell.dir/xsp_shell.cpp.o.d"
+  "xsp_shell"
+  "xsp_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsp_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/xst.dir/common/status.cc.o" "gcc" "src/CMakeFiles/xst.dir/common/status.cc.o.d"
+  "/root/repo/src/core/builder.cc" "src/CMakeFiles/xst.dir/core/builder.cc.o" "gcc" "src/CMakeFiles/xst.dir/core/builder.cc.o.d"
+  "/root/repo/src/core/interner.cc" "src/CMakeFiles/xst.dir/core/interner.cc.o" "gcc" "src/CMakeFiles/xst.dir/core/interner.cc.o.d"
+  "/root/repo/src/core/order.cc" "src/CMakeFiles/xst.dir/core/order.cc.o" "gcc" "src/CMakeFiles/xst.dir/core/order.cc.o.d"
+  "/root/repo/src/core/parse.cc" "src/CMakeFiles/xst.dir/core/parse.cc.o" "gcc" "src/CMakeFiles/xst.dir/core/parse.cc.o.d"
+  "/root/repo/src/core/print.cc" "src/CMakeFiles/xst.dir/core/print.cc.o" "gcc" "src/CMakeFiles/xst.dir/core/print.cc.o.d"
+  "/root/repo/src/core/xset.cc" "src/CMakeFiles/xst.dir/core/xset.cc.o" "gcc" "src/CMakeFiles/xst.dir/core/xset.cc.o.d"
+  "/root/repo/src/cst/function.cc" "src/CMakeFiles/xst.dir/cst/function.cc.o" "gcc" "src/CMakeFiles/xst.dir/cst/function.cc.o.d"
+  "/root/repo/src/cst/kuratowski.cc" "src/CMakeFiles/xst.dir/cst/kuratowski.cc.o" "gcc" "src/CMakeFiles/xst.dir/cst/kuratowski.cc.o.d"
+  "/root/repo/src/cst/relation.cc" "src/CMakeFiles/xst.dir/cst/relation.cc.o" "gcc" "src/CMakeFiles/xst.dir/cst/relation.cc.o.d"
+  "/root/repo/src/ops/boolean.cc" "src/CMakeFiles/xst.dir/ops/boolean.cc.o" "gcc" "src/CMakeFiles/xst.dir/ops/boolean.cc.o.d"
+  "/root/repo/src/ops/closure.cc" "src/CMakeFiles/xst.dir/ops/closure.cc.o" "gcc" "src/CMakeFiles/xst.dir/ops/closure.cc.o.d"
+  "/root/repo/src/ops/domain.cc" "src/CMakeFiles/xst.dir/ops/domain.cc.o" "gcc" "src/CMakeFiles/xst.dir/ops/domain.cc.o.d"
+  "/root/repo/src/ops/image.cc" "src/CMakeFiles/xst.dir/ops/image.cc.o" "gcc" "src/CMakeFiles/xst.dir/ops/image.cc.o.d"
+  "/root/repo/src/ops/index.cc" "src/CMakeFiles/xst.dir/ops/index.cc.o" "gcc" "src/CMakeFiles/xst.dir/ops/index.cc.o.d"
+  "/root/repo/src/ops/partition.cc" "src/CMakeFiles/xst.dir/ops/partition.cc.o" "gcc" "src/CMakeFiles/xst.dir/ops/partition.cc.o.d"
+  "/root/repo/src/ops/powerset.cc" "src/CMakeFiles/xst.dir/ops/powerset.cc.o" "gcc" "src/CMakeFiles/xst.dir/ops/powerset.cc.o.d"
+  "/root/repo/src/ops/product.cc" "src/CMakeFiles/xst.dir/ops/product.cc.o" "gcc" "src/CMakeFiles/xst.dir/ops/product.cc.o.d"
+  "/root/repo/src/ops/relative.cc" "src/CMakeFiles/xst.dir/ops/relative.cc.o" "gcc" "src/CMakeFiles/xst.dir/ops/relative.cc.o.d"
+  "/root/repo/src/ops/rescope.cc" "src/CMakeFiles/xst.dir/ops/rescope.cc.o" "gcc" "src/CMakeFiles/xst.dir/ops/rescope.cc.o.d"
+  "/root/repo/src/ops/restrict.cc" "src/CMakeFiles/xst.dir/ops/restrict.cc.o" "gcc" "src/CMakeFiles/xst.dir/ops/restrict.cc.o.d"
+  "/root/repo/src/ops/tuple.cc" "src/CMakeFiles/xst.dir/ops/tuple.cc.o" "gcc" "src/CMakeFiles/xst.dir/ops/tuple.cc.o.d"
+  "/root/repo/src/ops/value.cc" "src/CMakeFiles/xst.dir/ops/value.cc.o" "gcc" "src/CMakeFiles/xst.dir/ops/value.cc.o.d"
+  "/root/repo/src/process/calculus.cc" "src/CMakeFiles/xst.dir/process/calculus.cc.o" "gcc" "src/CMakeFiles/xst.dir/process/calculus.cc.o.d"
+  "/root/repo/src/process/compose.cc" "src/CMakeFiles/xst.dir/process/compose.cc.o" "gcc" "src/CMakeFiles/xst.dir/process/compose.cc.o.d"
+  "/root/repo/src/process/interp.cc" "src/CMakeFiles/xst.dir/process/interp.cc.o" "gcc" "src/CMakeFiles/xst.dir/process/interp.cc.o.d"
+  "/root/repo/src/process/lattice.cc" "src/CMakeFiles/xst.dir/process/lattice.cc.o" "gcc" "src/CMakeFiles/xst.dir/process/lattice.cc.o.d"
+  "/root/repo/src/process/process.cc" "src/CMakeFiles/xst.dir/process/process.cc.o" "gcc" "src/CMakeFiles/xst.dir/process/process.cc.o.d"
+  "/root/repo/src/process/spaces.cc" "src/CMakeFiles/xst.dir/process/spaces.cc.o" "gcc" "src/CMakeFiles/xst.dir/process/spaces.cc.o.d"
+  "/root/repo/src/process/witness.cc" "src/CMakeFiles/xst.dir/process/witness.cc.o" "gcc" "src/CMakeFiles/xst.dir/process/witness.cc.o.d"
+  "/root/repo/src/rel/aggregate.cc" "src/CMakeFiles/xst.dir/rel/aggregate.cc.o" "gcc" "src/CMakeFiles/xst.dir/rel/aggregate.cc.o.d"
+  "/root/repo/src/rel/algebra.cc" "src/CMakeFiles/xst.dir/rel/algebra.cc.o" "gcc" "src/CMakeFiles/xst.dir/rel/algebra.cc.o.d"
+  "/root/repo/src/rel/csv.cc" "src/CMakeFiles/xst.dir/rel/csv.cc.o" "gcc" "src/CMakeFiles/xst.dir/rel/csv.cc.o.d"
+  "/root/repo/src/rel/database.cc" "src/CMakeFiles/xst.dir/rel/database.cc.o" "gcc" "src/CMakeFiles/xst.dir/rel/database.cc.o.d"
+  "/root/repo/src/rel/generator.cc" "src/CMakeFiles/xst.dir/rel/generator.cc.o" "gcc" "src/CMakeFiles/xst.dir/rel/generator.cc.o.d"
+  "/root/repo/src/rel/index.cc" "src/CMakeFiles/xst.dir/rel/index.cc.o" "gcc" "src/CMakeFiles/xst.dir/rel/index.cc.o.d"
+  "/root/repo/src/rel/order.cc" "src/CMakeFiles/xst.dir/rel/order.cc.o" "gcc" "src/CMakeFiles/xst.dir/rel/order.cc.o.d"
+  "/root/repo/src/rel/plan.cc" "src/CMakeFiles/xst.dir/rel/plan.cc.o" "gcc" "src/CMakeFiles/xst.dir/rel/plan.cc.o.d"
+  "/root/repo/src/rel/record.cc" "src/CMakeFiles/xst.dir/rel/record.cc.o" "gcc" "src/CMakeFiles/xst.dir/rel/record.cc.o.d"
+  "/root/repo/src/rel/relation.cc" "src/CMakeFiles/xst.dir/rel/relation.cc.o" "gcc" "src/CMakeFiles/xst.dir/rel/relation.cc.o.d"
+  "/root/repo/src/rel/schema.cc" "src/CMakeFiles/xst.dir/rel/schema.cc.o" "gcc" "src/CMakeFiles/xst.dir/rel/schema.cc.o.d"
+  "/root/repo/src/store/catalog.cc" "src/CMakeFiles/xst.dir/store/catalog.cc.o" "gcc" "src/CMakeFiles/xst.dir/store/catalog.cc.o.d"
+  "/root/repo/src/store/codec.cc" "src/CMakeFiles/xst.dir/store/codec.cc.o" "gcc" "src/CMakeFiles/xst.dir/store/codec.cc.o.d"
+  "/root/repo/src/store/page.cc" "src/CMakeFiles/xst.dir/store/page.cc.o" "gcc" "src/CMakeFiles/xst.dir/store/page.cc.o.d"
+  "/root/repo/src/store/pager.cc" "src/CMakeFiles/xst.dir/store/pager.cc.o" "gcc" "src/CMakeFiles/xst.dir/store/pager.cc.o.d"
+  "/root/repo/src/store/setstore.cc" "src/CMakeFiles/xst.dir/store/setstore.cc.o" "gcc" "src/CMakeFiles/xst.dir/store/setstore.cc.o.d"
+  "/root/repo/src/xsp/eval.cc" "src/CMakeFiles/xst.dir/xsp/eval.cc.o" "gcc" "src/CMakeFiles/xst.dir/xsp/eval.cc.o.d"
+  "/root/repo/src/xsp/expr.cc" "src/CMakeFiles/xst.dir/xsp/expr.cc.o" "gcc" "src/CMakeFiles/xst.dir/xsp/expr.cc.o.d"
+  "/root/repo/src/xsp/optimizer.cc" "src/CMakeFiles/xst.dir/xsp/optimizer.cc.o" "gcc" "src/CMakeFiles/xst.dir/xsp/optimizer.cc.o.d"
+  "/root/repo/src/xsp/parser.cc" "src/CMakeFiles/xst.dir/xsp/parser.cc.o" "gcc" "src/CMakeFiles/xst.dir/xsp/parser.cc.o.d"
+  "/root/repo/src/xsp/script.cc" "src/CMakeFiles/xst.dir/xsp/script.cc.o" "gcc" "src/CMakeFiles/xst.dir/xsp/script.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

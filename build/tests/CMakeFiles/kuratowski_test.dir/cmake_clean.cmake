@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kuratowski_test.dir/kuratowski_test.cc.o"
+  "CMakeFiles/kuratowski_test.dir/kuratowski_test.cc.o.d"
+  "kuratowski_test"
+  "kuratowski_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kuratowski_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/print_parse_test.dir/print_parse_test.cc.o"
+  "CMakeFiles/print_parse_test.dir/print_parse_test.cc.o.d"
+  "print_parse_test"
+  "print_parse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/print_parse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relative_test.dir/relative_test.cc.o"
+  "CMakeFiles/relative_test.dir/relative_test.cc.o.d"
+  "relative_test"
+  "relative_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

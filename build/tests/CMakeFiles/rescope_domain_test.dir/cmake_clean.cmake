@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rescope_domain_test.dir/rescope_domain_test.cc.o"
+  "CMakeFiles/rescope_domain_test.dir/rescope_domain_test.cc.o.d"
+  "rescope_domain_test"
+  "rescope_domain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rescope_domain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restrict_image_test.dir/restrict_image_test.cc.o"
+  "CMakeFiles/restrict_image_test.dir/restrict_image_test.cc.o.d"
+  "restrict_image_test"
+  "restrict_image_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restrict_image_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spaces_lattice_test.dir/spaces_lattice_test.cc.o"
+  "CMakeFiles/spaces_lattice_test.dir/spaces_lattice_test.cc.o.d"
+  "spaces_lattice_test"
+  "spaces_lattice_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spaces_lattice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

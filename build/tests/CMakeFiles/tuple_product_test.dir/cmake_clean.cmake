@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuple_product_test.dir/tuple_product_test.cc.o"
+  "CMakeFiles/tuple_product_test.dir/tuple_product_test.cc.o.d"
+  "tuple_product_test"
+  "tuple_product_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuple_product_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

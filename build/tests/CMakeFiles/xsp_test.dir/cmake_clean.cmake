@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsp_test.dir/xsp_test.cc.o"
+  "CMakeFiles/xsp_test.dir/xsp_test.cc.o.d"
+  "xsp_test"
+  "xsp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xstctl.dir/xstctl.cc.o"
+  "CMakeFiles/xstctl.dir/xstctl.cc.o.d"
+  "xstctl"
+  "xstctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xstctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for xstctl.
+# This may be replaced when dependencies are built.
