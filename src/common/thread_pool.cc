@@ -1,0 +1,145 @@
+#include "src/common/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xst {
+
+namespace {
+
+thread_local bool tls_in_worker = false;
+
+size_t GlobalPoolSize() {
+  if (const char* env = std::getenv("XST_NUM_THREADS")) {
+    long v = std::strtol(env, nullptr, 10);
+    if (v >= 0) return static_cast<size_t>(v);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable work_available;
+  std::deque<std::function<void()>> queue;
+  std::vector<std::thread> workers;
+  bool shutting_down = false;
+
+  void WorkerLoop() {
+    tls_in_worker = true;
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        work_available.wait(lock, [this] { return shutting_down || !queue.empty(); });
+        if (queue.empty()) return;  // shutting down and drained
+        task = std::move(queue.front());
+        queue.pop_front();
+      }
+      task();
+    }
+  }
+
+  void Enqueue(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      queue.push_back(std::move(task));
+    }
+    work_available.notify_one();
+  }
+};
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(GlobalPoolSize());  // leaked, like the interner
+  return *pool;
+}
+
+ThreadPool::ThreadPool(size_t threads) : impl_(new Impl()) {
+  // One worker is pointless: the caller already participates in ParallelFor.
+  workers_count_ = threads <= 1 ? 0 : threads;
+  for (size_t i = 0; i < workers_count_; ++i) {
+    impl_->workers.emplace_back([this] { impl_->WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->shutting_down = true;
+  }
+  impl_->work_available.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+  delete impl_;
+}
+
+bool ThreadPool::InWorker() { return tls_in_worker; }
+
+void ThreadPool::ParallelFor(size_t n, size_t min_chunk,
+                             const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  if (min_chunk == 0) min_chunk = 1;
+  const size_t max_chunks = (n + min_chunk - 1) / min_chunk;
+  // Inline when there is nothing to split across, the range is a single
+  // chunk, or we are already inside a worker (nested region).
+  const size_t parallelism = workers_count_ + 1;  // workers + caller
+  if (parallelism <= 1 || max_chunks <= 1 || tls_in_worker) {
+    body(0, n);
+    return;
+  }
+  // 4 chunks per participant smooths over uneven chunk costs without
+  // shrinking chunks below the grain.
+  const size_t num_chunks = std::min(max_chunks, parallelism * 4);
+  const size_t chunk = (n + num_chunks - 1) / num_chunks;
+
+  struct Shared {
+    std::atomic<size_t> next_chunk{0};
+    std::atomic<size_t> done_chunks{0};
+    std::mutex mu;
+    std::condition_variable all_done;
+    std::exception_ptr error;  // guarded by mu
+  };
+  auto shared = std::make_shared<Shared>();
+
+  auto run_chunks = [shared, num_chunks, chunk, n, &body]() {
+    for (;;) {
+      size_t c = shared->next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      size_t begin = c * chunk;
+      size_t end = std::min(n, begin + chunk);
+      try {
+        if (begin < end) body(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(shared->mu);
+        if (!shared->error) shared->error = std::current_exception();
+      }
+      if (shared->done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 == num_chunks) {
+        std::lock_guard<std::mutex> lock(shared->mu);
+        shared->all_done.notify_all();
+      }
+    }
+  };
+
+  // The body reference only lives for this call, so every task must finish
+  // before we return — which the done_chunks wait below guarantees. Helpers
+  // beyond the number of remaining chunks exit immediately.
+  const size_t helpers = std::min(workers_count_, num_chunks - 1);
+  for (size_t i = 0; i < helpers; ++i) impl_->Enqueue(run_chunks);
+  run_chunks();  // caller participates
+  {
+    std::unique_lock<std::mutex> lock(shared->mu);
+    shared->all_done.wait(lock, [&] {
+      return shared->done_chunks.load(std::memory_order_acquire) == num_chunks;
+    });
+    if (shared->error) std::rethrow_exception(shared->error);
+  }
+}
+
+}  // namespace xst

@@ -1,0 +1,76 @@
+// A fixed-size thread pool with a chunked parallel-map primitive.
+//
+// The pool backs the bulk set-operation kernels (relative product, image,
+// cross product, canonicalization sort): whole-set operators are data
+// parallel by construction — the paper's set-processing claim is that the
+// system, not the user, gets to exploit that — so one process-wide pool is
+// shared by every operator.
+//
+// Design points (deliberately boring, in the Arrow/RocksDB tradition):
+//   * Fixed size, chosen once from std::thread::hardware_concurrency() (or
+//     the XST_NUM_THREADS environment variable); no dynamic growth.
+//   * ParallelFor is the only primitive operators use. It splits [0, n) into
+//     chunks, runs them on the workers AND the calling thread (the caller is
+//     always a worker, so a pool of size 1 degrades to a plain loop with no
+//     queueing), and returns when every chunk is done.
+//   * Nested parallelism is safe: a ParallelFor issued from inside a worker
+//     runs inline on that worker. This bounds stack depth and can never
+//     deadlock on pool capacity.
+//   * Exceptions thrown by chunk bodies are captured; the first one is
+//     rethrown on the calling thread after all chunks settle, so a parallel
+//     loop fails exactly like its serial equivalent.
+//
+// All XSet values are immutable and the interner is thread-safe, so operator
+// bodies may intern freely from any worker.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace xst {
+
+class ThreadPool {
+ public:
+  /// \brief The process-wide pool. Sized from XST_NUM_THREADS if set,
+  /// otherwise std::thread::hardware_concurrency().
+  static ThreadPool& Global();
+
+  /// \brief A pool with `threads` workers (0 and 1 both mean "run inline").
+  /// Mainly for tests; operators use Global().
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Number of worker threads (0 when the pool runs everything inline).
+  size_t size() const { return workers_count_; }
+
+  /// \brief Applies `body(begin, end)` over disjoint chunks covering [0, n).
+  ///
+  /// Chunks are at least `min_chunk` items (the grain below which splitting
+  /// costs more than it buys). The calling thread participates; the call
+  /// returns only when all chunks are done. If any body throws, the first
+  /// exception is rethrown here after the loop settles. Bodies run
+  /// concurrently and must not mutate shared state without synchronization.
+  void ParallelFor(size_t n, size_t min_chunk,
+                   const std::function<void(size_t, size_t)>& body);
+
+  /// \brief True in code dynamically reached from a pool worker (used to run
+  /// nested parallel regions inline).
+  static bool InWorker();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  size_t workers_count_;
+};
+
+/// \brief Convenience: chunked parallel loop on the global pool.
+inline void ParallelFor(size_t n, size_t min_chunk,
+                        const std::function<void(size_t, size_t)>& body) {
+  ThreadPool::Global().ParallelFor(n, min_chunk, body);
+}
+
+}  // namespace xst

@@ -82,7 +82,17 @@ class XSet {
   /// \brief String atom (data text).
   static XSet String(std::string_view text);
   /// \brief Set from memberships; canonicalizes (sorts, dedups) the input.
+  /// Large inputs sort on the global thread pool.
   static XSet FromMembers(std::vector<Membership> members);
+  /// \brief Trusted fast path: `members` is already canonical — strictly
+  /// ascending under CompareMembership (which implies deduplicated).
+  ///
+  /// Sorted-merge producers (∪/∩/∼ merges, σ-restriction, order-preserving
+  /// filters) emit canonical lists by construction; this factory skips the
+  /// O(n log n) re-sort and its deep structural comparisons, leaving O(n)
+  /// pointer work in the interner. Sortedness is debug-asserted; release
+  /// builds trust the caller. When unsure, use FromMembers.
+  static XSet FromSortedMembers(std::vector<Membership> members);
   /// \brief Classical set {e₁, e₂, …}: every element under the empty scope.
   static XSet Classical(const std::vector<XSet>& elements);
   /// \brief n-tuple ⟨e₁,…,eₙ⟩ = {e₁^1, …, eₙ^n} (Def 9.1).

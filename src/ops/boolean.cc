@@ -12,7 +12,9 @@ std::span<const Membership> Members(const XSet& s) { return s.members(); }
 }  // namespace
 
 XSet Union(const XSet& a, const XSet& b) {
-  if (a == b) return a;
+  // Like Intersect: ∪ yields a set even when both operands are the same atom
+  // (atoms have no memberships, so the union of their memberships is ∅).
+  if (a == b) return a.is_set() ? a : XSet::Empty();
   auto ma = Members(a);
   auto mb = Members(b);
   if (ma.empty()) return b.is_set() ? b : XSet::Empty();
@@ -34,7 +36,8 @@ XSet Union(const XSet& a, const XSet& b) {
   }
   for (; i < ma.size(); ++i) out.push_back(ma[i]);
   for (; j < mb.size(); ++j) out.push_back(mb[j]);
-  return XSet::FromMembers(std::move(out));
+  // The two-pointer merge of canonical inputs is canonical by construction.
+  return XSet::FromSortedMembers(std::move(out));
 }
 
 XSet Intersect(const XSet& a, const XSet& b) {
@@ -55,7 +58,8 @@ XSet Intersect(const XSet& a, const XSet& b) {
       ++j;
     }
   }
-  return XSet::FromMembers(std::move(out));
+  // An ordered subsequence of a's canonical list is canonical.
+  return XSet::FromSortedMembers(std::move(out));
 }
 
 XSet Difference(const XSet& a, const XSet& b) {
@@ -79,7 +83,7 @@ XSet Difference(const XSet& a, const XSet& b) {
       ++j;
     }
   }
-  return XSet::FromMembers(std::move(out));
+  return XSet::FromSortedMembers(std::move(out));
 }
 
 XSet SymmetricDifference(const XSet& a, const XSet& b) {

@@ -1,18 +1,34 @@
 #include "src/ops/domain.h"
 
+#include <mutex>
+
+#include "src/common/thread_pool.h"
 #include "src/ops/rescope.h"
 
 namespace xst {
 
 XSet SigmaDomain(const XSet& r, const XSet& sigma) {
+  // Each member re-scopes independently; re-scoping permutes elements, so
+  // chunk outputs are unordered and canonicalization re-sorts at the end.
+  auto ms = r.members();
   std::vector<Membership> out;
-  out.reserve(r.cardinality());
-  for (const Membership& m : r.members()) {
-    XSet x = RescopeByScope(m.element, sigma);
-    if (x.empty()) continue;  // the definition requires z^{/σ/} ≠ ∅
-    XSet s = RescopeByScope(m.scope, sigma);
-    out.push_back(Membership{x, s});
-  }
+  out.reserve(ms.size());
+  std::mutex mu;
+  ParallelFor(ms.size(), /*min_chunk=*/1024, [&](size_t lo, size_t hi) {
+    const bool solo = lo == 0 && hi == ms.size();  // single-chunk inline path
+    std::vector<Membership> local_storage;
+    std::vector<Membership>& dest = solo ? out : local_storage;
+    dest.reserve(hi - lo);
+    for (size_t i = lo; i < hi; ++i) {
+      XSet x = RescopeByScope(ms[i].element, sigma);
+      if (x.empty()) continue;  // the definition requires z^{/σ/} ≠ ∅
+      XSet s = RescopeByScope(ms[i].scope, sigma);
+      dest.push_back(Membership{x, s});
+    }
+    if (solo) return;
+    std::lock_guard<std::mutex> lock(mu);
+    out.insert(out.end(), local_storage.begin(), local_storage.end());
+  });
   return XSet::FromMembers(std::move(out));
 }
 

@@ -1,6 +1,10 @@
 #include "src/ops/index.h"
 
+#include <map>
+#include <mutex>
+
 #include "src/common/hash.h"
+#include "src/common/thread_pool.h"
 #include "src/ops/domain.h"
 #include "src/ops/rescope.h"
 #include "src/ops/restrict.h"
@@ -12,12 +16,37 @@ size_t ImageIndex::KeyHash::operator()(const Membership& m) const {
 }
 
 ImageIndex::ImageIndex(XSet r, Sigma sigma) : r_(std::move(r)), sigma_(std::move(sigma)) {
-  for (const Membership& m : r_.members()) {
-    XSet projected = RescopeByScope(m.element, sigma_.s2);
-    if (projected.empty()) continue;  // can never contribute (Def 7.4)
-    Membership out{projected, RescopeByScope(m.scope, sigma_.s2)};
-    for (const Membership& inner : m.element.members()) {
-      buckets_[inner].push_back(out);
+  // Build in parallel: per-chunk local buckets, merged in chunk order so the
+  // per-key posting lists keep the carrier's canonical order.
+  auto ms = r_.members();
+  using Buckets = std::unordered_map<Membership, std::vector<Membership>, KeyHash, KeyEq>;
+  std::mutex mu;
+  std::map<size_t, Buckets> parts;  // keyed by chunk start
+  ParallelFor(ms.size(), /*min_chunk=*/1024, [&](size_t lo, size_t hi) {
+    const bool solo = lo == 0 && hi == ms.size();  // single-chunk inline path
+    Buckets local_storage;
+    Buckets& dest = solo ? buckets_ : local_storage;
+    for (size_t i = lo; i < hi; ++i) {
+      const Membership& m = ms[i];
+      XSet projected = RescopeByScope(m.element, sigma_.s2);
+      if (projected.empty()) continue;  // can never contribute (Def 7.4)
+      Membership out{projected, RescopeByScope(m.scope, sigma_.s2)};
+      for (const Membership& inner : m.element.members()) {
+        dest[inner].push_back(out);
+      }
+    }
+    if (solo) return;
+    std::lock_guard<std::mutex> lock(mu);
+    parts.emplace(lo, std::move(local_storage));
+  });
+  for (auto& [start, local] : parts) {
+    for (auto& [key, postings] : local) {
+      auto& slot = buckets_[key];
+      if (slot.empty()) {
+        slot = std::move(postings);
+      } else {
+        slot.insert(slot.end(), postings.begin(), postings.end());
+      }
     }
   }
 }

@@ -1,0 +1,52 @@
+// Shared building blocks for the parallel set-operation kernels.
+
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/core/xset.h"
+
+namespace xst {
+
+/// \brief Members-of-R per chunk below which a parallel scan is not worth
+/// forking (the per-member work of the filter kernels is tens of ns).
+inline constexpr size_t kFilterGrain = 1024;
+
+/// \brief Runs `keep(m)` over a canonical member list in parallel and returns
+/// the kept members *in their original order*.
+///
+/// Each chunk appends in order and chunks are stitched back by starting
+/// index, so the result is an ordered subsequence of the input — when the
+/// input is a canonical membership list, the output is again canonical and
+/// eligible for XSet::FromSortedMembers. `keep` runs concurrently and must be
+/// thread-safe (pure predicates are).
+template <typename Keep>
+std::vector<Membership> ParallelFilterInOrder(std::span<const Membership> ms,
+                                              const Keep& keep) {
+  std::vector<Membership> out;
+  std::mutex mu;
+  std::map<size_t, std::vector<Membership>> chunks;  // keyed by chunk start
+  ParallelFor(ms.size(), kFilterGrain, [&](size_t lo, size_t hi) {
+    // A chunk covering the whole range runs alone (inline / 1-core path):
+    // write straight into the result, skipping the stitch.
+    const bool solo = lo == 0 && hi == ms.size();
+    std::vector<Membership> local_storage;
+    std::vector<Membership>& dest = solo ? out : local_storage;
+    for (size_t i = lo; i < hi; ++i) {
+      if (keep(ms[i])) dest.push_back(ms[i]);
+    }
+    if (solo) return;
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace(lo, std::move(local_storage));
+  });
+  for (auto& [start, kept] : chunks) {
+    out.insert(out.end(), kept.begin(), kept.end());
+  }
+  return out;
+}
+
+}  // namespace xst

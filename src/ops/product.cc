@@ -1,7 +1,9 @@
 #include "src/ops/product.h"
 
+#include <mutex>
 #include <unordered_set>
 
+#include "src/common/thread_pool.h"
 #include "src/ops/boolean.h"
 #include "src/ops/tuple.h"
 
@@ -41,17 +43,42 @@ Result<XSet> ConcatForMode(const XSet& x, const XSet& y, ConcatMode mode) {
 }  // namespace
 
 Result<XSet> CrossProduct(const XSet& a, const XSet& b, ConcatMode mode) {
+  // |A|·|B| independent concatenations: parallel over A's members, with the
+  // full inner loop over B per chunk item. The first concat error wins.
+  auto mas = a.members();
+  auto mbs = b.members();
   std::vector<Membership> out;
-  out.reserve(a.cardinality() * b.cardinality());
-  for (const Membership& ma : a.members()) {
-    for (const Membership& mb : b.members()) {
-      Result<XSet> element = ConcatForMode(ma.element, mb.element, mode);
-      if (!element.ok()) return element.status();
-      Result<XSet> scope = ConcatForMode(ma.scope, mb.scope, mode);
-      if (!scope.ok()) return scope.status();
-      out.push_back(Membership{*element, *scope});
-    }
-  }
+  out.reserve(mas.size() * mbs.size());
+  std::mutex mu;
+  Status error = Status::OK();
+  ParallelFor(mas.size(), /*min_chunk=*/std::max<size_t>(1, 512 / (mbs.size() + 1)),
+              [&](size_t lo, size_t hi) {
+                const bool solo = lo == 0 && hi == mas.size();  // inline path
+                std::vector<Membership> local_storage;
+                std::vector<Membership>& dest = solo ? out : local_storage;
+                if (!solo) dest.reserve((hi - lo) * mbs.size());
+                for (size_t i = lo; i < hi; ++i) {
+                  for (const Membership& mb : mbs) {
+                    Result<XSet> element = ConcatForMode(mas[i].element, mb.element, mode);
+                    if (!element.ok()) {
+                      std::lock_guard<std::mutex> lock(mu);
+                      if (error.ok()) error = element.status();
+                      return;
+                    }
+                    Result<XSet> scope = ConcatForMode(mas[i].scope, mb.scope, mode);
+                    if (!scope.ok()) {
+                      std::lock_guard<std::mutex> lock(mu);
+                      if (error.ok()) error = scope.status();
+                      return;
+                    }
+                    dest.push_back(Membership{*element, *scope});
+                  }
+                }
+                if (solo) return;
+                std::lock_guard<std::mutex> lock(mu);
+                out.insert(out.end(), local_storage.begin(), local_storage.end());
+              });
+  if (!error.ok()) return error;
   return XSet::FromMembers(std::move(out));
 }
 

@@ -1,10 +1,14 @@
 #include "src/ops/relative.h"
 
-#include <unordered_map>
+#include <algorithm>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "src/common/hash.h"
+#include "src/common/thread_pool.h"
 #include "src/core/atom.h"
+#include "src/core/order.h"
 #include "src/ops/boolean.h"
 #include "src/ops/rescope.h"
 
@@ -12,40 +16,217 @@ namespace xst {
 
 namespace {
 
-struct KeyHash {
-  size_t operator()(const std::pair<XSet, XSet>& k) const {
-    return static_cast<size_t>(HashCombine(k.first.hash(), k.second.hash()));
-  }
+// Items per chunk below which forking a parallel region costs more than the
+// per-member rescope work it distributes.
+constexpr size_t kGrain = 512;
+
+constexpr uint32_t kNoEntry = ~uint32_t{0};
+
+// One partition of G. Neither the join key nor G's output contribution is
+// interned: interning a throwaway set per member (a hash, a shard lock and
+// often an allocation, several times per side) dominated the join when
+// profiled. Both live as spans of canonical memberships in shared arenas
+// instead:
+//   key arena:  `elem_len` memberships of y^{/ω₁/}, then the memberships of
+//               t^{/ω₁/} up to `key_len` total, at `key_begin`;
+//   out arena:  `out_elem_len` memberships of y^{/ω₂/}, then t^{/ω₂/} up to
+//               `out_len` total, at `out_begin`.
+// Because memberships hold interned handles, element-wise equality of
+// canonicalized spans is exactly set equality of the key pair, and merging
+// two canonical spans is exactly set union. Only the merged output members
+// ever touch the interner.
+struct BuildEntry {
+  uint64_t hash;          // of the canonical key spans (length-seeded)
+  size_t key_begin;       // offset into the key arena
+  size_t out_begin;       // offset into the output-parts arena
+  uint32_t elem_len;      // key memberships belonging to the element key
+  uint32_t key_len;       // total key memberships (element + scope key)
+  uint32_t out_elem_len;  // output memberships belonging to y^{/ω₂/}
+  uint32_t out_len;       // total output memberships (y^{/ω₂/} + t^{/ω₂/})
+  uint32_t next;          // hash-chain link, kNoEntry at the end
 };
+
+// Canonicalizes v[from..) in place: sort + dedup under the structural order.
+// Projections are tiny (tuple slices), so this is a handful of compares.
+void CanonicalizeTail(std::vector<Membership>* v, size_t from) {
+  if (v->size() - from <= 1) return;
+  auto begin = v->begin() + static_cast<ptrdiff_t>(from);
+  std::sort(begin, v->end(), [](const Membership& a, const Membership& b) {
+    return CompareMembership(a, b) < 0;
+  });
+  v->erase(std::unique(begin, v->end()), v->end());
+}
+
+uint64_t HashKeySpan(const Membership* data, size_t elem_len, size_t key_len) {
+  // Seed with both lengths so the element/scope split participates: the key
+  // ⟨{a}, ∅⟩ must not collide with ⟨∅, {a}⟩.
+  uint64_t h = HashCombine(elem_len, key_len);
+  for (size_t i = 0; i < key_len; ++i) {
+    h = HashCombine(h, HashCombine(data[i].element.hash(), data[i].scope.hash()));
+  }
+  return h;
+}
+
+// Projects m's two re-scoped parts into *dst (appended): the canonical
+// element-part memberships, then the canonical scope-part memberships.
+// Returns the element-part length.
+size_t ProjectParts(const Membership& m, const XSet& spec, std::vector<Membership>* dst) {
+  size_t base = dst->size();
+  AppendRescopeByScopeRaw(m.element, spec, dst);
+  CanonicalizeTail(dst, base);
+  size_t elem_len = dst->size() - base;
+  AppendRescopeByScopeRaw(m.scope, spec, dst);
+  CanonicalizeTail(dst, base + elem_len);
+  return elem_len;
+}
+
+// Set union of two canonical membership spans: a sorted merge with adjacent
+// duplicates collapsed, interned via the sorted fast path.
+XSet UnionSpans(const Membership* a, size_t an, const Membership* b, size_t bn) {
+  if (an == 0 && bn == 0) return XSet::Empty();
+  std::vector<Membership> out;
+  out.reserve(an + bn);
+  size_t i = 0, j = 0;
+  while (i < an && j < bn) {
+    int c = CompareMembership(a[i], b[j]);
+    if (c < 0) {
+      out.push_back(a[i++]);
+    } else if (c > 0) {
+      out.push_back(b[j++]);
+    } else {
+      out.push_back(a[i++]);
+      ++j;
+    }
+  }
+  out.insert(out.end(), a + i, a + an);
+  out.insert(out.end(), b + j, b + bn);
+  return XSet::FromSortedMembers(std::move(out));
+}
+
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
 
 }  // namespace
 
 XSet RelativeProduct(const XSet& f, const XSet& g, const Sigma& sigma, const Sigma& omega,
                      const RelativeProductOptions& options) {
-  // Build phase: partition G by its re-scoped key ⟨y^{/ω₁/}, t^{/ω₁/}⟩.
-  std::unordered_map<std::pair<XSet, XSet>, std::vector<std::pair<XSet, XSet>>, KeyHash>
-      partitions;
-  partitions.reserve(g.cardinality());
-  for (const Membership& mg : g.members()) {
-    XSet yk = RescopeByScope(mg.element, omega.s1);
-    if (options.require_nonempty_key && yk.empty()) continue;
-    XSet tk = RescopeByScope(mg.scope, omega.s1);
-    partitions[{yk, tk}].push_back({RescopeByScope(mg.element, omega.s2),
-                                    RescopeByScope(mg.scope, omega.s2)});
+  // Build phase: partition G by its re-scoped key ⟨y^{/ω₁/}, t^{/ω₁/}⟩ and
+  // stash its output contribution ⟨y^{/ω₂/}, t^{/ω₂/}⟩, all as raw spans.
+  // The per-member projections run in parallel; each chunk fills local
+  // entry/arena buffers and the buffers are merged serially (offset rebasing
+  // and pointer moves only). A chunk covering the whole range (the inline /
+  // 1-core path) writes the shared structures directly.
+  auto mg = g.members();
+  std::vector<BuildEntry> entries;
+  std::vector<Membership> key_arena;
+  std::vector<Membership> out_arena;
+  entries.reserve(mg.size());
+  key_arena.reserve(mg.size() * 2);
+  out_arena.reserve(mg.size() * 2);
+  {
+    std::mutex mu;
+    ParallelFor(mg.size(), kGrain, [&](size_t lo, size_t hi) {
+      const bool solo = lo == 0 && hi == mg.size();
+      std::vector<BuildEntry> local_entries;
+      std::vector<Membership> local_keys;
+      std::vector<Membership> local_outs;
+      std::vector<BuildEntry>& dst_entries = solo ? entries : local_entries;
+      std::vector<Membership>& dst_keys = solo ? key_arena : local_keys;
+      std::vector<Membership>& dst_outs = solo ? out_arena : local_outs;
+      std::vector<Membership> key;
+      for (size_t i = lo; i < hi; ++i) {
+        const Membership& m = mg[i];
+        key.clear();
+        size_t elem_len = ProjectParts(m, omega.s1, &key);
+        if (options.require_nonempty_key && elem_len == 0) continue;
+        BuildEntry e;
+        e.hash = HashKeySpan(key.data(), elem_len, key.size());
+        e.key_begin = dst_keys.size();
+        e.elem_len = static_cast<uint32_t>(elem_len);
+        e.key_len = static_cast<uint32_t>(key.size());
+        e.next = kNoEntry;
+        dst_keys.insert(dst_keys.end(), key.begin(), key.end());
+        e.out_begin = dst_outs.size();
+        e.out_elem_len = static_cast<uint32_t>(ProjectParts(m, omega.s2, &dst_outs));
+        e.out_len = static_cast<uint32_t>(dst_outs.size() - e.out_begin);
+        dst_entries.push_back(e);
+      }
+      if (solo) return;
+      std::lock_guard<std::mutex> lock(mu);
+      size_t key_base = key_arena.size();
+      size_t out_base = out_arena.size();
+      key_arena.insert(key_arena.end(), local_keys.begin(), local_keys.end());
+      out_arena.insert(out_arena.end(), local_outs.begin(), local_outs.end());
+      for (BuildEntry& e : local_entries) {
+        e.key_begin += key_base;
+        e.out_begin += out_base;
+        entries.push_back(e);
+      }
+    });
   }
-  // Probe phase: each member of F looks up its ⟨x^{/σ₂/}, s^{/σ₂/}⟩ key.
+  // Index the entries by key hash. Duplicate keys stay as separate chain
+  // entries — a probe walks the whole chain, which is exactly join fan-out.
+  const size_t nbuckets = NextPow2(std::max<size_t>(entries.size() * 2, 16));
+  const size_t bucket_mask = nbuckets - 1;
+  std::vector<uint32_t> heads(nbuckets, kNoEntry);
+  for (uint32_t i = 0; i < entries.size(); ++i) {
+    uint32_t& head = heads[entries[i].hash & bucket_mask];
+    entries[i].next = head;
+    head = i;
+  }
+  // Probe phase: each member of F projects its ⟨x^{/σ₂/}, s^{/σ₂/}⟩ key into
+  // the same scratch form and walks the matching chain. The output parts
+  // x^{/σ₁/}, s^{/σ₁/} are only projected on the first match, so non-joining
+  // members never touch the interner; each match merges the canonical spans
+  // and interns just the two output sets. Structures are read-only now;
+  // chunks emit into local buffers.
+  auto mf = f.members();
   std::vector<Membership> out;
-  for (const Membership& mf : f.members()) {
-    XSet xk = RescopeByScope(mf.element, sigma.s2);
-    if (options.require_nonempty_key && xk.empty()) continue;
-    XSet sk = RescopeByScope(mf.scope, sigma.s2);
-    auto it = partitions.find({xk, sk});
-    if (it == partitions.end()) continue;
-    XSet x_out = RescopeByScope(mf.element, sigma.s1);
-    XSet s_out = RescopeByScope(mf.scope, sigma.s1);
-    for (const auto& [y_out, t_out] : it->second) {
-      out.push_back(Membership{Union(x_out, y_out), Union(s_out, t_out)});
-    }
+  {
+    std::mutex mu;
+    ParallelFor(mf.size(), kGrain, [&](size_t lo, size_t hi) {
+      const bool solo = lo == 0 && hi == mf.size();
+      std::vector<Membership> local_storage;
+      std::vector<Membership>& dest = solo ? out : local_storage;
+      std::vector<Membership> key;
+      std::vector<Membership> parts;
+      for (size_t i = lo; i < hi; ++i) {
+        const Membership& m = mf[i];
+        key.clear();
+        size_t elem_len = ProjectParts(m, sigma.s2, &key);
+        if (options.require_nonempty_key && elem_len == 0) continue;
+        const uint64_t h = HashKeySpan(key.data(), elem_len, key.size());
+        size_t x_len = 0;
+        bool have_parts = false;
+        for (uint32_t e = heads[h & bucket_mask]; e != kNoEntry; e = entries[e].next) {
+          const BuildEntry& be = entries[e];
+          if (be.hash != h || be.elem_len != elem_len || be.key_len != key.size() ||
+              !std::equal(key.begin(), key.end(), key_arena.begin() + be.key_begin)) {
+            continue;
+          }
+          if (!have_parts) {
+            parts.clear();
+            x_len = ProjectParts(m, sigma.s1, &parts);
+            have_parts = true;
+          }
+          const Membership* yt = out_arena.data() + be.out_begin;
+          dest.push_back(Membership{
+              UnionSpans(parts.data(), x_len, yt, be.out_elem_len),
+              UnionSpans(parts.data() + x_len, parts.size() - x_len,
+                         yt + be.out_elem_len, be.out_len - be.out_elem_len)});
+        }
+      }
+      if (solo) return;
+      std::lock_guard<std::mutex> lock(mu);
+      if (out.empty()) {
+        out = std::move(local_storage);
+      } else {
+        out.insert(out.end(), local_storage.begin(), local_storage.end());
+      }
+    });
   }
   return XSet::FromMembers(std::move(out));
 }

@@ -1,21 +1,131 @@
 #include "src/ops/rescope.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
 
+#include "src/common/hash.h"
 #include "src/core/order.h"
 
 namespace xst {
 
+namespace {
+
+// Memo cache for RescopeByScope. Interned nodes are immutable and immortal,
+// so a ⟨A, σ⟩ → result entry can never go stale; pointer identity of the key
+// pair is structural identity of the operands.
+//
+// The cache is deliberately LOSSY: a fixed-size, 2-way set-associative array
+// (like a hardware cache), not a growing hash map. Bulk operators stream
+// millions of distinct one-shot keys through rescoping; a map would pay an
+// allocation plus rehashing per miss and grow without bound, which measured
+// ~2× slower than no cache at all on unique-key joins. A fixed array caps
+// the miss cost at one indexed probe and one overwrite, keeps memory at a
+// few MB forever, and still captures the hot recurring operands (spec
+// tuples, shared key values) that dominate real workloads. Sharded like the
+// interner so parallel kernels don't serialize on one mutex.
+struct MemoSlot {
+  const internal::Node* a = nullptr;
+  const internal::Node* sigma = nullptr;
+  const internal::Node* result = nullptr;
+};
+
+constexpr size_t kMemoWays = 2;
+constexpr size_t kMemoSetsPerShard = size_t{1} << 12;
+constexpr size_t kMemoShards = 16;  // total: 16 × 4096 × 2 slots ≈ 3 MB
+
+struct MemoShard {
+  std::mutex mu;
+  MemoSlot slots[kMemoSetsPerShard * kMemoWays];
+};
+
+MemoShard* MemoShards() {
+  static MemoShard* shards = new MemoShard[kMemoShards];  // leaked with the arena
+  return shards;
+}
+
+std::atomic<uint64_t> memo_hits{0};
+std::atomic<uint64_t> memo_misses{0};
+
+uint64_t MemoHash(const internal::Node* a, const internal::Node* sigma) {
+  return HashCombine(a->hash, sigma->hash);
+}
+
+// Escape hatch for A/B benchmarking of the memo itself.
+bool MemoDisabled() {
+  static const bool disabled = std::getenv("XST_NO_RESCOPE_MEMO") != nullptr;
+  return disabled;
+}
+
+}  // namespace
+
 XSet RescopeByScope(const XSet& a, const XSet& sigma) {
-  // x ∈ₛ A contributes x^w for every w with s ∈_w σ, i.e. for every
-  // membership of σ whose element equals the old scope s.
-  std::vector<Membership> out;
-  for (const Membership& m : a.members()) {
-    for (const XSet& w : sigma.ScopesOf(m.scope)) {
-      out.push_back(Membership{m.element, w});
+  // Trivial operands produce ∅ and skip the cache: atoms have no
+  // memberships, and an empty σ drops everything.
+  if (a.cardinality() == 0 || sigma.cardinality() == 0) return XSet::Empty();
+  const bool use_memo = !MemoDisabled();
+  const internal::Node* na = a.node();
+  const internal::Node* ns = sigma.node();
+  const uint64_t h = MemoHash(na, ns);
+  MemoShard& shard = MemoShards()[(h >> 48) & (kMemoShards - 1)];
+  MemoSlot* set = &shard.slots[(h & (kMemoSetsPerShard - 1)) * kMemoWays];
+  if (use_memo) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (size_t w = 0; w < kMemoWays; ++w) {
+      if (set[w].a == na && set[w].sigma == ns) {
+        memo_hits.fetch_add(1, std::memory_order_relaxed);
+        // Keep the hit in way 0 so the colder way is the eviction victim.
+        if (w != 0) std::swap(set[0], set[w]);
+        return XSet::FromNode(set[0].result);
+      }
     }
   }
-  return XSet::FromMembers(std::move(out));
+  memo_misses.fetch_add(1, std::memory_order_relaxed);
+  std::vector<Membership> out;
+  out.reserve(a.cardinality());
+  AppendRescopeByScopeRaw(a, sigma, &out);
+  XSet result = XSet::FromMembers(std::move(out));
+  if (use_memo) {
+    // Insert into way 1 (the LRU victim); a racing compute of the same key
+    // wrote the identical interned node, so lost races are harmless.
+    std::lock_guard<std::mutex> lock(shard.mu);
+    set[1] = MemoSlot{na, ns, result.node()};
+  }
+  return result;
+}
+
+void AppendRescopeByScopeRaw(const XSet& a, const XSet& sigma,
+                             std::vector<Membership>* out) {
+  // x ∈ₛ A contributes x^w for every w with s ∈_w σ, i.e. for every
+  // membership of σ whose element equals the old scope s. σ's members are
+  // sorted by (element, scope), so the matches for one old scope are a
+  // contiguous run found by binary search — no temporary vectors.
+  if (a.cardinality() == 0 || sigma.cardinality() == 0) return;
+  auto sms = sigma.members();
+  for (const Membership& m : a.members()) {
+    auto it = std::lower_bound(sms.begin(), sms.end(), m.scope,
+                               [](const Membership& sm, const XSet& s) {
+                                 return Compare(sm.element, s) < 0;
+                               });
+    for (; it != sms.end() && it->element == m.scope; ++it) {
+      out->push_back(Membership{m.element, it->scope});
+    }
+  }
+}
+
+RescopeCacheStats GetRescopeCacheStats() {
+  RescopeCacheStats stats;
+  stats.hits = memo_hits.load(std::memory_order_relaxed);
+  stats.misses = memo_misses.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kMemoShards; ++i) {
+    MemoShard& shard = MemoShards()[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const MemoSlot& slot : shard.slots) {
+      if (slot.result != nullptr) ++stats.entries;
+    }
+  }
+  return stats;
 }
 
 XSet RescopeByElement(const XSet& a, const XSet& sigma) {

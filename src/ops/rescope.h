@@ -22,14 +22,45 @@
 
 #pragma once
 
+#include <cstdint>
+
 #include "src/core/xset.h"
 
 namespace xst {
 
 /// \brief A^{/σ/} (Def 7.3).
+///
+/// Memoized: results are cached in a sharded, thread-safe table keyed on the
+/// interned ⟨A, σ⟩ node-pointer pair. Rescoping sits in the inner loops of
+/// the relative product, σ-domain, restriction, indexes and the process
+/// calculus, and the same small operands (tuple elements, spec tuples) recur
+/// constantly; hash-consing makes the memo exact — pointer-equal inputs are
+/// structurally equal inputs — and immortal interned nodes make it safe to
+/// hold entries forever.
 XSet RescopeByScope(const XSet& a, const XSet& sigma);
 
 /// \brief A^{\σ\} (Def 7.5).
 XSet RescopeByElement(const XSet& a, const XSet& sigma);
+
+/// \brief Appends the membership list of A^{/σ/} to `*out` WITHOUT
+/// canonicalizing or interning.
+///
+/// This is the allocation-free core of RescopeByScope for callers that only
+/// need the raw membership multiset — e.g. the relative product, which
+/// hashes re-scoped join keys in scratch buffers instead of materializing a
+/// throwaway interned set per member. `*out` is appended to (not cleared);
+/// the caller canonicalizes (sort + dedup) if it needs set semantics.
+void AppendRescopeByScopeRaw(const XSet& a, const XSet& sigma,
+                             std::vector<Membership>* out);
+
+/// \brief Counters for the RescopeByScope memo cache.
+struct RescopeCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t entries = 0;
+};
+
+/// \brief Snapshot of the memo-cache counters (approximate under concurrency).
+RescopeCacheStats GetRescopeCacheStats();
 
 }  // namespace xst

@@ -4,6 +4,7 @@
 
 #include "src/common/hash.h"
 #include "src/ops/boolean.h"
+#include "src/ops/kernels.h"
 #include "src/ops/rescope.h"
 
 namespace xst {
@@ -16,27 +17,31 @@ struct MembershipHash {
   }
 };
 
+// An ordered subsequence of R's canonical member list is itself canonical.
+template <typename Keep>
+XSet FilterMembersInOrder(const XSet& r, const Keep& keep) {
+  return XSet::FromSortedMembers(ParallelFilterInOrder(r.members(), keep));
+}
+
 // Fast path for the dominant query shape: every probe is a singleton
 // {e^s} with an empty scope-probe. Then "probe ⊆ z" is simply "z contains
 // the membership ⟨e, s⟩", which one hash lookup per candidate membership
 // answers — O(|R|·width + |A|) instead of O(|R|·|A|).
 bool TrySingletonFastPath(const XSet& r,
                           const std::vector<std::pair<XSet, XSet>>& probes,
-                          std::vector<Membership>* out) {
+                          XSet* result) {
   std::unordered_set<Membership, MembershipHash> wanted;
   wanted.reserve(probes.size());
   for (const auto& [elem_probe, scope_probe] : probes) {
     if (!scope_probe.empty() || elem_probe.cardinality() != 1) return false;
     wanted.insert(elem_probe.members()[0]);
   }
-  for (const Membership& m : r.members()) {
+  *result = FilterMembersInOrder(r, [&wanted](const Membership& m) {
     for (const Membership& inner : m.element.members()) {
-      if (wanted.count(inner) != 0) {
-        out->push_back(m);
-        break;
-      }
+      if (wanted.count(inner) != 0) return true;
     }
-  }
+    return false;
+  });
   return true;
 }
 
@@ -50,18 +55,17 @@ XSet SigmaRestrict(const XSet& r, const XSet& sigma, const XSet& a) {
   for (const Membership& m : a.members()) {
     probes.push_back({RescopeByElement(m.element, sigma), RescopeByElement(m.scope, sigma)});
   }
-  std::vector<Membership> out;
-  if (!probes.empty() && !TrySingletonFastPath(r, probes, &out)) {
-    for (const Membership& m : r.members()) {
-      for (const auto& [elem_probe, scope_probe] : probes) {
-        if (IsSubset(elem_probe, m.element) && IsSubset(scope_probe, m.scope)) {
-          out.push_back(m);
-          break;
-        }
+  if (probes.empty()) return XSet::Empty();
+  XSet result;
+  if (TrySingletonFastPath(r, probes, &result)) return result;
+  return FilterMembersInOrder(r, [&probes](const Membership& m) {
+    for (const auto& [elem_probe, scope_probe] : probes) {
+      if (IsSubset(elem_probe, m.element) && IsSubset(scope_probe, m.scope)) {
+        return true;
       }
     }
-  }
-  return XSet::FromMembers(std::move(out));
+    return false;
+  });
 }
 
 }  // namespace xst

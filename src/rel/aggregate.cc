@@ -2,8 +2,10 @@
 
 #include <limits>
 #include <map>
+#include <mutex>
 
 #include "src/common/macros.h"
+#include "src/common/thread_pool.h"
 #include "src/core/order.h"
 #include "src/ops/tuple.h"
 
@@ -24,6 +26,15 @@ struct Accumulator {
     if (__builtin_add_overflow(sum, v, &sum)) sum_overflow = true;
     if (v < min) min = v;
     if (v > max) max = v;
+  }
+
+  // Folds another partial accumulator in (for merging per-chunk states).
+  void Merge(const Accumulator& o) {
+    count += o.count;
+    if (__builtin_add_overflow(sum, o.sum, &sum)) sum_overflow = true;
+    sum_overflow |= o.sum_overflow;
+    if (o.min < min) min = o.min;
+    if (o.max > max) max = o.max;
   }
 };
 
@@ -58,29 +69,55 @@ Result<Relation> GroupBy(const Relation& r, const std::vector<std::string>& keys
   XST_ASSIGN_OR_RAISE(Schema out_schema, Schema::Make(std::move(out_attrs)));
 
   // Partition: group key (as a tuple of key values) → per-aggregate state.
-  std::map<XSet, std::vector<Accumulator>, XSetLess> blocks;
-  std::vector<XSet> parts;
-  for (const Membership& m : r.tuples().members()) {
-    if (!TupleElements(m.element, &parts)) {
-      return Status::TypeError("GroupBy: non-tuple member " + m.element.ToString());
-    }
-    std::vector<XSet> key_values;
-    key_values.reserve(key_pos.size());
-    for (size_t pos : key_pos) key_values.push_back(parts[pos]);
-    XSet key = XSet::Tuple(key_values);
-    auto [it, inserted] = blocks.try_emplace(key, aggs.size());
-    for (size_t i = 0; i < aggs.size(); ++i) {
-      if (aggs[i].kind == AggKind::kCount) {
-        it->second[i].Add(0);
-      } else {
-        it->second[i].Add(parts[agg_pos[i]].int_value());
+  // Chunks accumulate into local block maps in parallel; partial accumulators
+  // merge associatively, so the merged result is order-independent.
+  using Blocks = std::map<XSet, std::vector<Accumulator>, XSetLess>;
+  Blocks blocks;
+  auto tuples = r.tuples().members();
+  std::mutex mu;
+  Status error = Status::OK();
+  ParallelFor(tuples.size(), /*min_chunk=*/1024, [&](size_t lo, size_t hi) {
+    const bool solo = lo == 0 && hi == tuples.size();  // single-chunk inline path
+    Blocks local_storage;
+    Blocks& dest = solo ? blocks : local_storage;
+    std::vector<XSet> parts;
+    for (size_t t = lo; t < hi; ++t) {
+      const Membership& m = tuples[t];
+      if (!TupleElements(m.element, &parts)) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (error.ok()) {
+          error = Status::TypeError("GroupBy: non-tuple member " + m.element.ToString());
+        }
+        return;
+      }
+      std::vector<XSet> key_values;
+      key_values.reserve(key_pos.size());
+      for (size_t pos : key_pos) key_values.push_back(parts[pos]);
+      XSet key = XSet::Tuple(key_values);
+      auto [it, inserted] = dest.try_emplace(key, aggs.size());
+      for (size_t i = 0; i < aggs.size(); ++i) {
+        if (aggs[i].kind == AggKind::kCount) {
+          it->second[i].Add(0);
+        } else {
+          it->second[i].Add(parts[agg_pos[i]].int_value());
+        }
       }
     }
-  }
+    if (solo) return;
+    std::lock_guard<std::mutex> lock(mu);
+    for (auto& [key, accs] : local_storage) {
+      auto [it, inserted] = blocks.try_emplace(key, std::move(accs));
+      if (!inserted) {
+        for (size_t i = 0; i < aggs.size(); ++i) it->second[i].Merge(accs[i]);
+      }
+    }
+  });
+  XST_RETURN_NOT_OK(error);
 
   // Fold each block to one output tuple.
   std::vector<std::vector<XSet>> rows;
   rows.reserve(blocks.size());
+  std::vector<XSet> parts;
   for (const auto& [key, accs] : blocks) {
     std::vector<XSet> row;
     TupleElements(key, &parts);

@@ -4,6 +4,7 @@
 #include "src/core/atom.h"
 #include "src/ops/boolean.h"
 #include "src/ops/domain.h"
+#include "src/ops/kernels.h"
 #include "src/ops/product.h"
 #include "src/ops/relative.h"
 #include "src/ops/restrict.h"
@@ -72,12 +73,13 @@ Result<Relation> SelectWhere(const Relation& r, const std::string& attr,
                              const std::function<bool(const XSet&)>& predicate) {
   XST_ASSIGN_OR_RAISE(int64_t pos, Position(r.schema(), attr));
   XSet position = XSet::Int(pos);
-  std::vector<Membership> kept;
-  for (const Membership& m : r.tuples().members()) {
-    std::vector<XSet> values = m.element.ElementsWithScope(position);
-    if (values.size() == 1 && predicate(values[0])) kept.push_back(m);
-  }
-  return Relation::Make(r.schema(), XSet::FromMembers(std::move(kept)));
+  // Parallel order-preserving filter; the kept tuples stay canonical.
+  std::vector<Membership> kept =
+      ParallelFilterInOrder(r.tuples().members(), [&](const Membership& m) {
+        std::vector<XSet> values = m.element.ElementsWithScope(position);
+        return values.size() == 1 && predicate(values[0]);
+      });
+  return Relation::Make(r.schema(), XSet::FromSortedMembers(std::move(kept)));
 }
 
 Result<Relation> Project(const Relation& r, const std::vector<std::string>& attrs) {

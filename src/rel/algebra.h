@@ -44,6 +44,8 @@ inline constexpr int64_t kMaxRangeProbes = 1 << 20;
 /// \brief σ_{pred(attr)}(r): general predicate selection. This is the one
 /// operation that leaves the σ-machinery (a predicate is not a set), so it
 /// scans; the algebraic selects above should be preferred when they fit.
+/// The scan is chunked over the thread pool: `predicate` may be called
+/// concurrently and must be thread-safe (pure predicates are).
 Result<Relation> SelectWhere(const Relation& r, const std::string& attr,
                              const std::function<bool(const XSet&)>& predicate);
 

@@ -35,6 +35,19 @@ TEST(Boolean, SymmetricDifferenceBasics) {
   EXPECT_EQ(SymmetricDifference(X("{a}"), X("{a}")), X("{}"));
 }
 
+TEST(Boolean, UnionWithItselfMatchesIntersectConvention) {
+  // Regression: Union(a, a) used to return `a` unconditionally, so an atom
+  // unioned with itself leaked through as the atom. Atoms are memberless, so
+  // like Intersect the result must be ∅; for sets, Union(a, a) = a.
+  XSet atom = XSet::Int(5);
+  EXPECT_EQ(Union(atom, atom), XSet::Empty());
+  EXPECT_EQ(Union(XSet::Symbol("q"), XSet::Symbol("q")), XSet::Empty());
+  EXPECT_EQ(Union(atom, atom), Intersect(atom, atom));
+  XSet s = X("{a, b^2}");
+  EXPECT_EQ(Union(s, s), s);
+  EXPECT_EQ(Union(X("{}"), X("{}")), X("{}"));
+}
+
 TEST(Boolean, AtomsBehaveAsMemberless) {
   XSet atom = XSet::Int(5);
   EXPECT_EQ(Union(atom, X("{a}")), X("{a}"));

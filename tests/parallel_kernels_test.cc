@@ -1,0 +1,200 @@
+// Property tests for the bulk kernels: the sorted-merge fast paths and
+// parallel chunking in Union/Intersect/Difference/RelativeProduct must be
+// bit-identical — pointer-equal, thanks to interning — to a naive
+// single-threaded reference evaluated straight from the definitions.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "src/core/atom.h"
+#include "src/core/order.h"
+#include "src/ops/boolean.h"
+#include "src/ops/relative.h"
+#include "src/ops/rescope.h"
+#include "tests/testing.h"
+
+namespace xst {
+namespace {
+
+using testing::RandomSetGen;
+
+// -- Naive references ---------------------------------------------------------
+//
+// These deliberately avoid the production merge loops: they restate each
+// operation membership-by-membership and let FromMembers canonicalize, so a
+// bug in the sorted fast path cannot hide in its own reference.
+
+XSet RefUnion(const XSet& a, const XSet& b) {
+  std::vector<Membership> out;
+  for (const Membership& m : a.members()) out.push_back(m);
+  for (const Membership& m : b.members()) out.push_back(m);
+  return XSet::FromMembers(std::move(out));
+}
+
+XSet RefIntersect(const XSet& a, const XSet& b) {
+  std::vector<Membership> out;
+  for (const Membership& m : a.members()) {
+    if (b.Contains(m.element, m.scope)) out.push_back(m);
+  }
+  return XSet::FromMembers(std::move(out));
+}
+
+XSet RefDifference(const XSet& a, const XSet& b) {
+  std::vector<Membership> out;
+  for (const Membership& m : a.members()) {
+    if (!b.Contains(m.element, m.scope)) out.push_back(m);
+  }
+  return XSet::FromMembers(std::move(out));
+}
+
+// Def 10.1 verbatim: quadratic loop over F×G comparing interned key pairs.
+XSet RefRelativeProduct(const XSet& f, const XSet& g, const Sigma& sigma,
+                        const Sigma& omega, const RelativeProductOptions& options = {}) {
+  std::vector<Membership> out;
+  for (const Membership& mf : f.members()) {
+    XSet xk = RescopeByScope(mf.element, sigma.s2);
+    XSet sk = RescopeByScope(mf.scope, sigma.s2);
+    if (options.require_nonempty_key && xk.empty()) continue;
+    for (const Membership& mg : g.members()) {
+      XSet yk = RescopeByScope(mg.element, omega.s1);
+      XSet tk = RescopeByScope(mg.scope, omega.s1);
+      if (options.require_nonempty_key && yk.empty()) continue;
+      if (xk != yk || sk != tk) continue;
+      out.push_back(Membership{
+          Union(RescopeByScope(mf.element, sigma.s1), RescopeByScope(mg.element, omega.s2)),
+          Union(RescopeByScope(mf.scope, sigma.s1), RescopeByScope(mg.scope, omega.s2))});
+    }
+  }
+  return XSet::FromMembers(std::move(out));
+}
+
+// -- Generators ---------------------------------------------------------------
+
+// A classical relation of ⟨key, value⟩ pairs with repeated keys, sized to
+// cross the parallel-kernel grain.
+XSet BigPairRelation(std::mt19937_64& rng, size_t n, int64_t key_space,
+                     int64_t value_space, int64_t offset = 0) {
+  std::vector<Membership> members;
+  members.reserve(n);
+  XSet empty = XSet::Empty();
+  for (size_t i = 0; i < n; ++i) {
+    XSet pair = XSet::Pair(XSet::Int(offset + static_cast<int64_t>(rng() % key_space)),
+                           XSet::Int(static_cast<int64_t>(rng() % value_space)));
+    members.push_back(Membership{pair, empty});
+  }
+  return XSet::FromMembers(std::move(members));
+}
+
+// A set of scoped memberships over a small atom pool, so Union/Intersect
+// hit real overlaps, duplicate elements under distinct scopes, etc.
+XSet BigScopedSet(std::mt19937_64& rng, size_t n, int64_t pool) {
+  std::vector<Membership> members;
+  members.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    members.push_back(Membership{XSet::Int(static_cast<int64_t>(rng() % pool)),
+                                 XSet::Int(static_cast<int64_t>(rng() % 4))});
+  }
+  return XSet::FromMembers(std::move(members));
+}
+
+// -- Properties ---------------------------------------------------------------
+
+TEST(ParallelKernels, BooleanOpsMatchReferenceOnSmallRandomSets) {
+  RandomSetGen gen(20260807);
+  for (int trial = 0; trial < 300; ++trial) {
+    XSet a = gen.Set(3, 6);
+    XSet b = (trial % 3 == 0) ? a : gen.Set(3, 6);  // sometimes identical operands
+    EXPECT_EQ(Union(a, b), RefUnion(a, b));
+    EXPECT_EQ(Intersect(a, b), RefIntersect(a, b));
+    EXPECT_EQ(Difference(a, b), RefDifference(a, b));
+  }
+}
+
+TEST(ParallelKernels, BooleanOpsMatchReferenceOnLargeSets) {
+  std::mt19937_64 rng(7);
+  // Large enough to cross the canonicalization parallel-sort threshold and
+  // the chunked-kernel grain on multi-core hosts.
+  for (size_t n : {size_t{900}, size_t{20000}}) {
+    XSet a = BigScopedSet(rng, n, static_cast<int64_t>(n));
+    XSet b = BigScopedSet(rng, n, static_cast<int64_t>(n));
+    EXPECT_EQ(Union(a, b), RefUnion(a, b));
+    EXPECT_EQ(Intersect(a, b), RefIntersect(a, b));
+    EXPECT_EQ(Difference(a, b), RefDifference(a, b));
+    EXPECT_EQ(Union(a, a), a);
+    EXPECT_EQ(Difference(a, a), XSet::Empty());
+  }
+}
+
+TEST(ParallelKernels, CanonicalizationOfShuffledInputMatchesSortedInput) {
+  // FromMembers must produce the same interned node no matter the input
+  // order (exercises the large-input merge-sort path).
+  std::mt19937_64 rng(11);
+  std::vector<Membership> members;
+  for (size_t i = 0; i < 20000; ++i) {
+    members.push_back(Membership{XSet::Int(static_cast<int64_t>(rng() % 10000)),
+                                 XSet::Int(static_cast<int64_t>(rng() % 3))});
+  }
+  XSet from_shuffled = XSet::FromMembers(members);
+  std::vector<Membership> copy = members;
+  std::sort(copy.begin(), copy.end(), [](const Membership& a, const Membership& b) {
+    return CompareMembership(a, b) < 0;
+  });
+  copy.erase(std::unique(copy.begin(), copy.end()), copy.end());
+  EXPECT_EQ(from_shuffled, XSet::FromSortedMembers(std::move(copy)));
+}
+
+TEST(ParallelKernels, RelativeProductStdMatchesReference) {
+  using lit::Spec;
+  Sigma sigma{Spec({{1, 1}}), Spec({{2, 1}})};
+  Sigma omega{Spec({{1, 1}}), Spec({{2, 2}})};
+  std::mt19937_64 rng(13);
+  // Repeated keys force join fan-out; the shared value space forces both
+  // hits and misses; 1500 members crosses the join kernel's grain.
+  for (size_t n : {size_t{120}, size_t{1500}}) {
+    XSet f = BigPairRelation(rng, n, /*key_space=*/64, /*value_space=*/48);
+    XSet g = BigPairRelation(rng, n, /*key_space=*/64, /*value_space=*/48);
+    EXPECT_EQ(RelativeProduct(f, g, sigma, omega),
+              RefRelativeProduct(f, g, sigma, omega));
+  }
+}
+
+TEST(ParallelKernels, RelativeProductMatchesReferenceOnRandomExtendedSets) {
+  // Arbitrary nested operands and fan-out σ-specs, not just tuple relations:
+  // empty keys, multi-target specs, scoped memberships.
+  using lit::Spec;
+  RandomSetGen gen(99);
+  std::vector<std::pair<Sigma, Sigma>> spec_pairs;
+  spec_pairs.push_back({Sigma{Spec({{1, 1}}), Spec({{2, 1}})},
+                        Sigma{Spec({{1, 1}}), Spec({{2, 2}})}});
+  spec_pairs.push_back({Sigma{Spec({{1, 1}, {1, 2}}), Spec({{2, 1}, {3, 1}})},
+                        Sigma{Spec({{1, 1}}), Spec({{1, 3}, {2, 2}})}});
+  for (int trial = 0; trial < 120; ++trial) {
+    XSet f = gen.Set(3, 5);
+    XSet g = gen.Set(3, 5);
+    for (const auto& [sigma, omega] : spec_pairs) {
+      EXPECT_EQ(RelativeProduct(f, g, sigma, omega),
+                RefRelativeProduct(f, g, sigma, omega));
+      RelativeProductOptions strict;
+      strict.require_nonempty_key = true;
+      EXPECT_EQ(RelativeProduct(f, g, sigma, omega, strict),
+                RefRelativeProduct(f, g, sigma, omega, strict));
+    }
+  }
+}
+
+TEST(ParallelKernels, RescopeMemoIsTransparent) {
+  // Memoized and recomputed rescopes must intern to the same node.
+  RandomSetGen gen(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    XSet a = gen.Set(3, 5);
+    XSet sigma = gen.Set(2, 4);
+    XSet first = RescopeByScope(a, sigma);
+    XSet second = RescopeByScope(a, sigma);  // memo hit
+    EXPECT_EQ(first, second);
+  }
+}
+
+}  // namespace
+}  // namespace xst

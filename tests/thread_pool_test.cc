@@ -1,0 +1,142 @@
+// ThreadPool semantics: exact coverage, inline degradation, nested
+// submission, exception propagation, and cross-thread use.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+
+namespace xst {
+namespace {
+
+// Every index in [0, n) must be visited exactly once, whatever the pool
+// size or grain.
+TEST(ThreadPool, CoversRangeExactlyOnce) {
+  for (size_t workers : {size_t{0}, size_t{1}, size_t{3}, size_t{8}}) {
+    ThreadPool pool(workers);
+    for (size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{1000}}) {
+      for (size_t grain : {size_t{1}, size_t{16}, size_t{5000}}) {
+        std::vector<std::atomic<int>> hits(n);
+        pool.ParallelFor(n, grain, [&](size_t lo, size_t hi) {
+          ASSERT_LE(lo, hi);
+          ASSERT_LE(hi, n);
+          for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+        });
+        for (size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(hits[i].load(), 1) << "workers=" << workers << " n=" << n
+                                       << " grain=" << grain << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, ZeroAndOneThreadPoolsRunInline) {
+  // With no helpers the caller must execute the whole range itself, as a
+  // single chunk on the calling thread.
+  for (size_t workers : {size_t{0}, size_t{1}}) {
+    ThreadPool pool(workers);
+    EXPECT_EQ(pool.size(), 0u);
+    std::thread::id caller = std::this_thread::get_id();
+    size_t calls = 0;
+    pool.ParallelFor(100, 1, [&](size_t lo, size_t hi) {
+      EXPECT_EQ(std::this_thread::get_id(), caller);
+      EXPECT_FALSE(ThreadPool::InWorker());
+      ++calls;
+      EXPECT_EQ(lo, 0u);
+      EXPECT_EQ(hi, 100u);
+    });
+    EXPECT_EQ(calls, 1u);
+  }
+}
+
+// A ParallelFor issued from inside a worker must run inline on that worker
+// (no re-queueing, no deadlock) and still cover its whole range.
+TEST(ThreadPool, NestedSubmissionRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<size_t> outer_count{0};
+  std::atomic<size_t> outer_invocations{0};
+  std::atomic<size_t> inner_count{0};
+  pool.ParallelFor(64, 1, [&](size_t lo, size_t hi) {
+    outer_count.fetch_add(hi - lo);
+    outer_invocations.fetch_add(1);
+    const bool in_worker = ThreadPool::InWorker();
+    pool.ParallelFor(32, 1, [&](size_t ilo, size_t ihi) {
+      inner_count.fetch_add(ihi - ilo);
+      // Inside a worker the nested region must be a single inline chunk.
+      if (in_worker) {
+        EXPECT_EQ(ilo, 0u);
+        EXPECT_EQ(ihi, 32u);
+      }
+    });
+  });
+  EXPECT_EQ(outer_count.load(), 64u);
+  // The inner loop runs once per outer chunk and must cover its full range
+  // each time.
+  EXPECT_EQ(inner_count.load(), outer_invocations.load() * 32u);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(1000, 1,
+                       [&](size_t lo, size_t) {
+                         if (lo == 0) throw std::runtime_error("chunk failed");
+                       }),
+      std::runtime_error);
+  // The pool must stay fully usable after a failed loop.
+  std::atomic<size_t> count{0};
+  pool.ParallelFor(100, 1, [&](size_t lo, size_t hi) { count.fetch_add(hi - lo); });
+  EXPECT_EQ(count.load(), 100u);
+}
+
+TEST(ThreadPool, ExceptionPropagatesFromInlinePath) {
+  ThreadPool pool(0);
+  EXPECT_THROW(pool.ParallelFor(10, 1, [](size_t, size_t) { throw std::logic_error("x"); }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, ExceptionPropagatesFromNestedLoop) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(16, 1,
+                                [&](size_t, size_t) {
+                                  pool.ParallelFor(16, 1, [](size_t lo, size_t) {
+                                    if (lo == 0) throw std::runtime_error("inner");
+                                  });
+                                }),
+               std::runtime_error);
+}
+
+// Several threads driving the same pool concurrently: chunks of distinct
+// loops must not bleed into one another.
+TEST(ThreadPool, ConcurrentCallers) {
+  ThreadPool pool(4);
+  constexpr size_t kCallers = 6;
+  constexpr size_t kPerCaller = 5000;
+  std::vector<std::atomic<size_t>> sums(kCallers);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      pool.ParallelFor(kPerCaller, 64, [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) sums[c].fetch_add(i);
+      });
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  const size_t expected = kPerCaller * (kPerCaller - 1) / 2;
+  for (size_t c = 0; c < kCallers; ++c) EXPECT_EQ(sums[c].load(), expected);
+}
+
+TEST(ThreadPool, GlobalPoolIsUsable) {
+  std::atomic<size_t> count{0};
+  ParallelFor(1000, 1, [&](size_t lo, size_t hi) { count.fetch_add(hi - lo); });
+  EXPECT_EQ(count.load(), 1000u);
+}
+
+}  // namespace
+}  // namespace xst

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Runs the perf-tracked benchmark binaries and merges their google-benchmark
+JSON into one machine-readable report (BENCH_PR1.json et al.).
+
+Usage:
+    tools/run_benches.py --build-dir build --out BENCH_PR1.json \
+        [--baseline path/to/BENCH_PR0.json] [--min-time 0.2] [--filter REGEX]
+
+The report maps benchmark name -> real_time nanoseconds (plus run metadata).
+With --baseline, each entry also records the baseline time and the speedup
+factor, so a PR's perf claim is checkable from the committed file alone.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+# The perf trajectory binaries; keep in sync with bench/CMakeLists.txt.
+BENCH_BINARIES = [
+    "bench_setops",
+    "bench_relative_product",
+    "bench_image",
+    "bench_compose",
+]
+
+
+def run_binary(path, min_time, bench_filter):
+    """Runs one benchmark binary, returns its parsed google-benchmark JSON."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        tmp_path = tmp.name
+    try:
+        cmd = [
+            path,
+            f"--benchmark_min_time={min_time}",
+            "--benchmark_format=json",
+            f"--benchmark_out={tmp_path}",
+            "--benchmark_out_format=json",
+        ]
+        if bench_filter:
+            cmd.append(f"--benchmark_filter={bench_filter}")
+        proc = subprocess.run(cmd, stdout=subprocess.DEVNULL)
+        if proc.returncode != 0:
+            print(f"warning: {path} exited {proc.returncode}, skipping",
+                  file=sys.stderr)
+            return {}
+        try:
+            with open(tmp_path) as f:
+                return json.load(f)
+        except (OSError, json.JSONDecodeError):
+            # A --filter matching nothing in this binary leaves the out file
+            # empty; that's zero benchmarks, not a fatal error.
+            return {}
+    finally:
+        os.unlink(tmp_path)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--out", default="BENCH_PR1.json")
+    parser.add_argument("--baseline", help="previous report to compute speedups against")
+    parser.add_argument("--min-time", type=float, default=0.2)
+    parser.add_argument("--filter", default=None, help="benchmark name regex")
+    parser.add_argument("--label", default=None, help="free-form label for this run")
+    args = parser.parse_args()
+
+    baseline = {}
+    if args.baseline:
+        try:
+            with open(args.baseline) as f:
+                base_report = json.load(f)
+        except OSError as e:
+            sys.exit(f"error: cannot read baseline {args.baseline}: {e}")
+        for binary, entries in base_report.get("benchmarks", {}).items():
+            for e in entries:
+                baseline[e["name"]] = e["real_time_ns"]
+
+    report = {"label": args.label, "context": None, "benchmarks": {}}
+    for binary in BENCH_BINARIES:
+        path = os.path.join(args.build_dir, "bench", binary)
+        if not os.path.exists(path):
+            print(f"warning: {path} not built, skipping", file=sys.stderr)
+            continue
+        raw = run_binary(path, args.min_time, args.filter)
+        if report["context"] is None:
+            ctx = raw.get("context", {})
+            report["context"] = {
+                "date": ctx.get("date"),
+                "num_cpus": ctx.get("num_cpus"),
+                "mhz_per_cpu": ctx.get("mhz_per_cpu"),
+                "library_build_type": ctx.get("library_build_type"),
+            }
+        entries = []
+        for b in raw.get("benchmarks", []):
+            # google-benchmark reports aggregate rows too; keep plain runs.
+            if b.get("run_type", "iteration") != "iteration":
+                continue
+            entry = {
+                "name": b["name"],
+                "real_time_ns": b["real_time"],
+                "cpu_time_ns": b["cpu_time"],
+                "iterations": b["iterations"],
+            }
+            if "items_per_second" in b:
+                entry["items_per_second"] = b["items_per_second"]
+            if b["name"] in baseline and b["real_time"] > 0:
+                entry["baseline_real_time_ns"] = baseline[b["name"]]
+                entry["speedup_vs_baseline"] = baseline[b["name"]] / b["real_time"]
+            entries.append(entry)
+        report["benchmarks"][binary] = entries
+        print(f"{binary}: {len(entries)} benchmarks", file=sys.stderr)
+
+    if not report["benchmarks"]:
+        sys.exit(f"error: no benchmark binaries found under {args.build_dir}/bench "
+                 "(build them first: cmake --build build -j)")
+
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.out}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()
