@@ -1,0 +1,18 @@
+#include "src/common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace xst {
+namespace internal {
+
+void CheckFailed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "XST_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+// ValidateOrDie lives in src/core/validate.cc next to the validator it calls.
+
+}  // namespace internal
+}  // namespace xst

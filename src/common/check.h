@@ -1,0 +1,73 @@
+// Tiered correctness-check macros for libxst.
+//
+// Three tiers, by cost and by who pays it:
+//
+//   XST_CHECK(cond)     always on, every build. For invariants whose violation
+//                       means memory is already lying to us (a corrupted node,
+//                       an impossible state machine transition). Aborts with
+//                       the failed expression and source location.
+//
+//   XST_DCHECK(cond)    debug builds only. For preconditions that are cheap to
+//                       state but too hot to test in release (e.g. "this
+//                       member list is canonically sorted" before the trusted
+//                       FromSortedMembers fast path). Under NDEBUG the
+//                       condition is *not evaluated* — it sits in an
+//                       unevaluated sizeof so variables it names still count
+//                       as used (no -Wunused-variable fallout) while side
+//                       effects are impossible to rely on. xst_lint.py rejects
+//                       side-effectful XST_DCHECK arguments for exactly that
+//                       reason.
+//
+//   XST_VALIDATE(x)     post-condition validation of a kernel result, gated by
+//                       the XST_VALIDATE_LEVEL compile definition (a CMake
+//                       cache option):
+//                         0  compiles to the bare expression (zero cost);
+//                         1  shallow: the result node's member list is checked
+//                            for strict canonical order and a coherent
+//                            hash/depth/size header;
+//                         2  deep: full recursive validation — every reachable
+//                            node canonical, interned exactly once and
+//                            pointer-equal to its canonical form, scope graph
+//                            well-founded.
+//                       XST_VALIDATE is an *expression* returning its operand,
+//                       so kernels wrap their return values:
+//                         return XST_VALIDATE(XSet::FromSortedMembers(...));
+//                       In statement position, cast: (void)XST_VALIDATE(x);
+
+#pragma once
+
+namespace xst {
+
+class XSet;
+
+namespace internal {
+
+/// \brief Prints the failed expression and location to stderr and aborts.
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line);
+
+/// \brief Validates `s` at the compiled XST_VALIDATE_LEVEL; aborts with a
+/// diagnostic on corruption, otherwise returns `s` unchanged.
+XSet ValidateOrDie(XSet s, const char* file, int line, const char* expr);
+
+}  // namespace internal
+}  // namespace xst
+
+#define XST_CHECK(cond) \
+  ((cond) ? (void)0 : ::xst::internal::CheckFailed(#cond, __FILE__, __LINE__))
+
+#ifndef NDEBUG
+#define XST_DCHECK(cond) XST_CHECK(cond)
+#else
+// Unevaluated: no side effects, no branches, no unused-variable warnings.
+#define XST_DCHECK(cond) ((void)sizeof((cond)))
+#endif
+
+#ifndef XST_VALIDATE_LEVEL
+#define XST_VALIDATE_LEVEL 0
+#endif
+
+#if XST_VALIDATE_LEVEL >= 1
+#define XST_VALIDATE(x) (::xst::internal::ValidateOrDie((x), __FILE__, __LINE__, #x))
+#else
+#define XST_VALIDATE(x) (x)
+#endif

@@ -23,4 +23,6 @@
 #define XST_ASSIGN_OR_RAISE(lhs, expr) \
   XST_ASSIGN_OR_RAISE_IMPL(XST_CONCAT(_xst_result_, __COUNTER__), lhs, expr)
 
-#define XST_DCHECK(cond) assert(cond)
+// XST_DCHECK moved to src/common/check.h (tiered check macros); the old
+// assert()-based form evaluated nothing under NDEBUG and left unused-variable
+// warnings behind.

@@ -102,7 +102,7 @@ Interner::Interner() {
   }
 }
 
-Interner::Shard& Interner::ShardFor(uint64_t hash) {
+Interner::Shard& Interner::ShardFor(uint64_t hash) const {
   return shards_[(hash >> (64 - kShardBits)) & (kNumShards - 1)];
 }
 
@@ -179,6 +179,70 @@ const internal::Node* Interner::Set(std::vector<Membership> members) {
   shard.sets.insert(n);
   return n;
 }
+
+const internal::Node* Interner::FindInt(int64_t v) const {
+  if (v >= kSmallIntMin && v <= kSmallIntMax) {
+    return small_ints_[static_cast<size_t>(v - kSmallIntMin)];
+  }
+  Shard& shard = ShardFor(HashIntAtom(v));
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.ints.find(v);
+  return it != shard.ints.end() ? it->second : nullptr;
+}
+
+const internal::Node* Interner::FindSymbol(std::string_view name) const {
+  Shard& shard = ShardFor(HashSymbolAtom(name));
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.symbols.find(std::string(name));
+  return it != shard.symbols.end() ? it->second : nullptr;
+}
+
+const internal::Node* Interner::FindString(std::string_view text) const {
+  Shard& shard = ShardFor(HashStringAtom(text));
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.strings.find(std::string(text));
+  return it != shard.strings.end() ? it->second : nullptr;
+}
+
+const internal::Node* Interner::FindSet(const std::vector<Membership>& members) const {
+  if (members.empty()) return empty_;
+  uint64_t h = HashSetNode(members);
+  Shard& shard = ShardFor(h);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.sets.find(SetKeyView{h, &members});
+  return it != shard.sets.end() ? *it : nullptr;
+}
+
+std::vector<const internal::Node*> Interner::SnapshotNodes() const {
+  std::vector<const internal::Node*> nodes;
+  for (int i = 0; i < kNumShards; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [v, n] : shard.ints) nodes.push_back(n);
+    for (const auto& [s, n] : shard.symbols) nodes.push_back(n);
+    for (const auto& [s, n] : shard.strings) nodes.push_back(n);
+    for (const internal::Node* n : shard.sets) nodes.push_back(n);
+  }
+  return nodes;
+}
+
+namespace internal {
+
+uint64_t ComputeNodeHash(const Node& n) {
+  switch (n.kind) {
+    case NodeKind::kInt:
+      return HashIntAtom(n.int_value);
+    case NodeKind::kSymbol:
+      return HashSymbolAtom(n.str_value);
+    case NodeKind::kString:
+      return HashStringAtom(n.str_value);
+    case NodeKind::kSet:
+      return HashSetNode(n.members);
+  }
+  return 0;
+}
+
+}  // namespace internal
 
 InternerStats Interner::GetStats() const {
   InternerStats stats;

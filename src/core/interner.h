@@ -48,6 +48,26 @@ class Interner {
   /// \brief The unique ∅ node.
   const internal::Node* EmptySet() const { return empty_; }
 
+  // -- Lookup-only queries (never intern) -------------------------------------
+  //
+  // Used by the structural validator (core/validate.cc) to test hash-consing
+  // coherence without perturbing the arena: a well-formed node must be
+  // pointer-equal to the node these return for its own key.
+
+  /// \brief The interned node for the integer atom `v`, or nullptr.
+  const internal::Node* FindInt(int64_t v) const;
+  /// \brief The interned node for the symbol `name`, or nullptr.
+  const internal::Node* FindSymbol(std::string_view name) const;
+  /// \brief The interned node for the string `text`, or nullptr.
+  const internal::Node* FindString(std::string_view text) const;
+  /// \brief The interned node for the canonical member list, or nullptr.
+  const internal::Node* FindSet(const std::vector<Membership>& members) const;
+
+  /// \brief Every interned node, copied out shard by shard. Safe to use
+  /// without locks afterwards: nodes are immutable and immortal. New nodes
+  /// interned concurrently may or may not appear.
+  std::vector<const internal::Node*> SnapshotNodes() const;
+
   /// \brief Snapshot of arena statistics (approximate under concurrency).
   InternerStats GetStats() const;
 
@@ -58,7 +78,7 @@ class Interner {
   struct Shard;
   static constexpr int kShardBits = 4;
   static constexpr int kNumShards = 1 << kShardBits;
-  Shard& ShardFor(uint64_t hash);
+  Shard& ShardFor(uint64_t hash) const;
 
   // Lock-free cache for the hottest atoms: tuple ordinals and small ints.
   static constexpr int64_t kSmallIntMin = -16;
@@ -68,5 +88,14 @@ class Interner {
   const internal::Node* empty_;
   Shard* shards_;  // kNumShards, leaked with the arena
 };
+
+namespace internal {
+
+/// \brief Recomputes the structural hash of `n` from its payload / children,
+/// exactly as interning would. A node whose stored hash disagrees with this
+/// is corrupt (validator use).
+uint64_t ComputeNodeHash(const Node& n);
+
+}  // namespace internal
 
 }  // namespace xst

@@ -37,4 +37,11 @@ int CompareMembership(const Membership& a, const Membership& b) {
   return Compare(a.scope, b.scope);
 }
 
+bool IsCanonicalMemberList(std::span<const Membership> members) {
+  for (size_t i = 1; i < members.size(); ++i) {
+    if (CompareMembership(members[i - 1], members[i]) >= 0) return false;
+  }
+  return true;
+}
+
 }  // namespace xst

@@ -13,6 +13,8 @@
 
 #pragma once
 
+#include <span>
+
 #include "src/core/xset.h"
 
 namespace xst {
@@ -22,6 +24,12 @@ int Compare(const XSet& a, const XSet& b);
 
 /// \brief Three-way comparison of memberships: element first, then scope.
 int CompareMembership(const Membership& a, const Membership& b);
+
+/// \brief True iff `members` is in canonical form: strictly ascending under
+/// CompareMembership (which implies no duplicates). Every producer feeding
+/// XSet::FromSortedMembers must satisfy this; pair the call with
+/// `XST_DCHECK(IsCanonicalMemberList(...))` (enforced by tools/xst_lint.py).
+bool IsCanonicalMemberList(std::span<const Membership> members);
 
 /// \brief Structural strict-less (usable as a std comparator).
 inline bool Less(const XSet& a, const XSet& b) { return Compare(a, b) < 0; }

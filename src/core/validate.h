@@ -1,0 +1,53 @@
+// Structural invariant validators for the XST value system.
+//
+// The perf substrate (trusted FromSortedMembers, scratch-arena joins, the
+// lossy rescope memo) trades re-checking for speed: a producer that breaks an
+// invariant silently corrupts *results*, not memory, so nothing crashes and
+// nothing is caught by sanitizers. These validators make every invariant
+// mechanically checkable:
+//
+//   * canonical strict member ordering (the sorted-merge contract);
+//   * hash-consing coherence — every reachable node carries the hash interning
+//     would compute, is interned exactly once, and is pointer-equal to the
+//     canonical node for its structural key;
+//   * scope-graph well-foundedness — no membership cycle reaches a node from
+//     itself (impossible via the factories, reachable only through corruption);
+//   * rescope-memo re-derivability — every resident ⟨A, σ⟩ → R entry still
+//     recomputes to the same interned R.
+//
+// Kernels wire these in through XST_VALIDATE (src/common/check.h), gated by
+// the XST_VALIDATE_LEVEL CMake option; tests and debugging call them directly.
+// All validators return Status (kCorruption on failure) and never mutate the
+// arena — lookups go through the Interner's Find* queries.
+
+#pragma once
+
+#include "src/common/status.h"
+#include "src/core/xset.h"
+
+namespace xst {
+
+/// \brief How much of the reachable structure ValidateXSet inspects.
+enum class ValidateLevel {
+  /// Top node only: strict member ordering plus a coherent hash/depth/size
+  /// header. O(cardinality); catches a FromSortedMembers contract breach at
+  /// the node that committed it.
+  kShallow = 1,
+  /// Full recursion: every reachable node shallow-valid, interned exactly
+  /// once and pointer-equal to its canonical form, scope graph well-founded.
+  kDeep = 2,
+};
+
+/// \brief Validates the structure reachable from `s` at the given level.
+Status ValidateXSet(const XSet& s, ValidateLevel level = ValidateLevel::kDeep);
+
+/// \brief Validates the whole arena: every interned node is shallow-valid,
+/// is the unique canonical node for its key, and references only interned
+/// children.
+Status ValidateInterner();
+
+/// \brief Validates every resident rescope-memo entry by recomputing it from
+/// its operands and comparing interned result pointers.
+Status ValidateRescopeMemo();
+
+}  // namespace xst

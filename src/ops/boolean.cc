@@ -1,5 +1,6 @@
 #include "src/ops/boolean.h"
 
+#include "src/common/check.h"
 #include "src/core/order.h"
 
 namespace xst {
@@ -37,7 +38,8 @@ XSet Union(const XSet& a, const XSet& b) {
   for (; i < ma.size(); ++i) out.push_back(ma[i]);
   for (; j < mb.size(); ++j) out.push_back(mb[j]);
   // The two-pointer merge of canonical inputs is canonical by construction.
-  return XSet::FromSortedMembers(std::move(out));
+  XST_DCHECK(IsCanonicalMemberList(out));
+  return XST_VALIDATE(XSet::FromSortedMembers(std::move(out)));
 }
 
 XSet Intersect(const XSet& a, const XSet& b) {
@@ -59,7 +61,8 @@ XSet Intersect(const XSet& a, const XSet& b) {
     }
   }
   // An ordered subsequence of a's canonical list is canonical.
-  return XSet::FromSortedMembers(std::move(out));
+  XST_DCHECK(IsCanonicalMemberList(out));
+  return XST_VALIDATE(XSet::FromSortedMembers(std::move(out)));
 }
 
 XSet Difference(const XSet& a, const XSet& b) {
@@ -83,7 +86,9 @@ XSet Difference(const XSet& a, const XSet& b) {
       ++j;
     }
   }
-  return XSet::FromSortedMembers(std::move(out));
+  // An ordered subsequence of a's canonical list is canonical.
+  XST_DCHECK(IsCanonicalMemberList(out));
+  return XST_VALIDATE(XSet::FromSortedMembers(std::move(out)));
 }
 
 XSet SymmetricDifference(const XSet& a, const XSet& b) {
@@ -139,7 +144,7 @@ XSet UnionAll(const std::vector<XSet>& sets) {
     auto ms = Members(s);
     out.insert(out.end(), ms.begin(), ms.end());
   }
-  return XSet::FromMembers(std::move(out));
+  return XST_VALIDATE(XSet::FromMembers(std::move(out)));
 }
 
 }  // namespace xst

@@ -1,5 +1,6 @@
 #include "src/ops/closure.h"
 
+#include "src/common/check.h"
 #include "src/ops/boolean.h"
 #include "src/ops/image.h"
 #include "src/ops/index.h"
@@ -43,7 +44,7 @@ Result<XSet> TransitiveClosure(const XSet& r, size_t max_cardinality) {
     Status st = CheckBudget(closure, max_cardinality, "TransitiveClosure");
     if (!st.ok()) return st;
   }
-  return closure;
+  return XST_VALIDATE(closure);
 }
 
 Result<XSet> ReflexiveTransitiveClosure(const XSet& r, const XSet& vertices,
@@ -68,7 +69,7 @@ Result<XSet> Reachable(const XSet& r, const XSet& sources, size_t max_cardinalit
     if (!st.ok()) return st;
     frontier = Difference(index.Lookup(frontier), reached);
   }
-  return reached;
+  return XST_VALIDATE(reached);
 }
 
 }  // namespace xst

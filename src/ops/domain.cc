@@ -2,6 +2,7 @@
 
 #include <mutex>
 
+#include "src/common/check.h"
 #include "src/common/thread_pool.h"
 #include "src/ops/rescope.h"
 
@@ -29,7 +30,7 @@ XSet SigmaDomain(const XSet& r, const XSet& sigma) {
     std::lock_guard<std::mutex> lock(mu);
     out.insert(out.end(), local_storage.begin(), local_storage.end());
   });
-  return XSet::FromMembers(std::move(out));
+  return XST_VALIDATE(XSet::FromMembers(std::move(out)));
 }
 
 }  // namespace xst

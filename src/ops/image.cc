@@ -1,5 +1,6 @@
 #include "src/ops/image.h"
 
+#include "src/common/check.h"
 #include "src/ops/domain.h"
 #include "src/ops/restrict.h"
 #include "src/ops/tuple.h"
@@ -24,7 +25,7 @@ Result<Sigma> Sigma::FromXSet(const XSet& pair) {
 }
 
 XSet Image(const XSet& r, const XSet& a, const Sigma& sigma) {
-  return SigmaDomain(SigmaRestrict(r, sigma.s1, a), sigma.s2);
+  return XST_VALIDATE(SigmaDomain(SigmaRestrict(r, sigma.s1, a), sigma.s2));
 }
 
 XSet ImageStd(const XSet& r, const XSet& a) { return Image(r, a, Sigma::Std()); }

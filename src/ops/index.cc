@@ -3,6 +3,7 @@
 #include <map>
 #include <mutex>
 
+#include "src/common/check.h"
 #include "src/common/hash.h"
 #include "src/common/thread_pool.h"
 #include "src/ops/domain.h"
@@ -74,7 +75,7 @@ XSet ImageIndex::Lookup(const XSet& probes) const {
     auto ms = image.members();
     out.insert(out.end(), ms.begin(), ms.end());
   }
-  return XSet::FromMembers(std::move(out));
+  return XST_VALIDATE(XSet::FromMembers(std::move(out)));
 }
 
 }  // namespace xst

@@ -3,6 +3,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/check.h"
 #include "src/ops/rescope.h"
 
 namespace xst {
@@ -17,7 +18,7 @@ XSet Partition(const XSet& r, const XSet& sigma) {
   for (auto& [key, members] : blocks) {
     out.push_back(Membership{XSet::FromMembers(std::move(members)), key});
   }
-  return XSet::FromMembers(std::move(out));
+  return XST_VALIDATE(XSet::FromMembers(std::move(out)));
 }
 
 XSet PartitionKeys(const XSet& partition) {

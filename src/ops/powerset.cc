@@ -1,5 +1,7 @@
 #include "src/ops/powerset.h"
 
+#include "src/common/check.h"
+
 namespace xst {
 
 namespace {
@@ -36,7 +38,7 @@ Result<XSet> PowerSet(const XSet& a) {
   for (uint32_t mask = 0; mask < count; ++mask) {
     out.push_back(Membership{SubsetForMask(ms, mask), XSet::Empty()});
   }
-  return XSet::FromMembers(std::move(out));
+  return XST_VALIDATE(XSet::FromMembers(std::move(out)));
 }
 
 Result<std::vector<XSet>> NonEmptySubsets(const XSet& a) {

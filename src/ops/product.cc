@@ -3,6 +3,7 @@
 #include <mutex>
 #include <unordered_set>
 
+#include "src/common/check.h"
 #include "src/common/thread_pool.h"
 #include "src/ops/boolean.h"
 #include "src/ops/tuple.h"
@@ -79,7 +80,7 @@ Result<XSet> CrossProduct(const XSet& a, const XSet& b, ConcatMode mode) {
                 out.insert(out.end(), local_storage.begin(), local_storage.end());
               });
   if (!error.ok()) return error;
-  return XSet::FromMembers(std::move(out));
+  return XST_VALIDATE(XSet::FromMembers(std::move(out)));
 }
 
 XSet Tag(const XSet& a, const XSet& tag) {
@@ -92,7 +93,7 @@ XSet Tag(const XSet& a, const XSet& tag) {
                      : XSet::FromMembers({Membership{m.scope, tag}});  // Def 9.5
     out.push_back(Membership{element, scope});
   }
-  return XSet::FromMembers(std::move(out));
+  return XST_VALIDATE(XSet::FromMembers(std::move(out)));
 }
 
 Result<XSet> CartesianProduct(const XSet& a, const XSet& b) {

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/check.h"
 #include "src/common/hash.h"
 #include "src/common/thread_pool.h"
 #include "src/core/atom.h"
@@ -100,6 +101,9 @@ XSet UnionSpans(const Membership* a, size_t an, const Membership* b, size_t bn) 
   }
   out.insert(out.end(), a + i, a + an);
   out.insert(out.end(), b + j, b + bn);
+  // A sorted merge of two canonical spans with equal pairs collapsed is
+  // canonical.
+  XST_DCHECK(IsCanonicalMemberList(out));
   return XSet::FromSortedMembers(std::move(out));
 }
 
@@ -228,7 +232,7 @@ XSet RelativeProduct(const XSet& f, const XSet& g, const Sigma& sigma, const Sig
       }
     });
   }
-  return XSet::FromMembers(std::move(out));
+  return XST_VALIDATE(XSet::FromMembers(std::move(out)));
 }
 
 XSet RelativeProductStd(const XSet& r, const XSet& s) {

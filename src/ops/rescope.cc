@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "src/common/check.h"
 #include "src/common/hash.h"
 #include "src/core/order.h"
 
@@ -85,7 +86,9 @@ XSet RescopeByScope(const XSet& a, const XSet& sigma) {
   std::vector<Membership> out;
   out.reserve(a.cardinality());
   AppendRescopeByScopeRaw(a, sigma, &out);
-  XSet result = XSet::FromMembers(std::move(out));
+  // Validate before the memo stores the node: a bad entry would replay the
+  // corruption on every future hit.
+  XSet result = XST_VALIDATE(XSet::FromMembers(std::move(out)));
   if (use_memo) {
     // Insert into way 1 (the LRU victim); a racing compute of the same key
     // wrote the identical interned node, so lost races are harmless.
@@ -153,7 +156,49 @@ XSet RescopeByElement(const XSet& a, const XSet& sigma) {
       out.push_back(Membership{m.element, it->second});
     }
   }
-  return XSet::FromMembers(std::move(out));
+  return XST_VALIDATE(XSet::FromMembers(std::move(out)));
 }
+
+namespace internal {
+
+std::vector<RescopeMemoEntry> SnapshotRescopeMemo() {
+  std::vector<RescopeMemoEntry> entries;
+  for (size_t i = 0; i < kMemoShards; ++i) {
+    MemoShard& shard = MemoShards()[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const MemoSlot& slot : shard.slots) {
+      if (slot.result == nullptr) continue;
+      entries.push_back(RescopeMemoEntry{XSet::FromNode(slot.a), XSet::FromNode(slot.sigma),
+                                         XSet::FromNode(slot.result)});
+    }
+  }
+  return entries;
+}
+
+bool PoisonRescopeMemoEntryForTest(const XSet& a, const XSet& sigma, const XSet& bogus) {
+  const internal::Node* na = a.node();
+  const internal::Node* ns = sigma.node();
+  const uint64_t h = MemoHash(na, ns);
+  MemoShard& shard = MemoShards()[(h >> 48) & (kMemoShards - 1)];
+  MemoSlot* set = &shard.slots[(h & (kMemoSetsPerShard - 1)) * kMemoWays];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  for (size_t w = 0; w < kMemoWays; ++w) {
+    if (set[w].a == na && set[w].sigma == ns) {
+      set[w].result = bogus.node();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ClearRescopeMemoForTest() {
+  for (size_t i = 0; i < kMemoShards; ++i) {
+    MemoShard& shard = MemoShards()[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (MemoSlot& slot : shard.slots) slot = MemoSlot{};
+  }
+}
+
+}  // namespace internal
 
 }  // namespace xst

@@ -63,4 +63,27 @@ struct RescopeCacheStats {
 /// \brief Snapshot of the memo-cache counters (approximate under concurrency).
 RescopeCacheStats GetRescopeCacheStats();
 
+namespace internal {
+
+/// \brief One resident memo entry: RescopeByScope(a, sigma) was cached as
+/// `result`. Handles stay valid forever (interned nodes are immortal).
+struct RescopeMemoEntry {
+  XSet a;
+  XSet sigma;
+  XSet result;
+};
+
+/// \brief Copies out every resident memo entry (validator use).
+std::vector<RescopeMemoEntry> SnapshotRescopeMemo();
+
+/// \brief Test hook: overwrites the cached result for ⟨a, σ⟩ with `bogus`,
+/// simulating memo corruption. Returns false when the key is not resident.
+bool PoisonRescopeMemoEntryForTest(const XSet& a, const XSet& sigma, const XSet& bogus);
+
+/// \brief Test hook: drops every memo entry (so a poisoned cache cannot leak
+/// into later tests in the same process).
+void ClearRescopeMemoForTest();
+
+}  // namespace internal
+
 }  // namespace xst

@@ -2,7 +2,9 @@
 
 #include <unordered_set>
 
+#include "src/common/check.h"
 #include "src/common/hash.h"
+#include "src/core/order.h"
 #include "src/ops/boolean.h"
 #include "src/ops/kernels.h"
 #include "src/ops/rescope.h"
@@ -20,7 +22,9 @@ struct MembershipHash {
 // An ordered subsequence of R's canonical member list is itself canonical.
 template <typename Keep>
 XSet FilterMembersInOrder(const XSet& r, const Keep& keep) {
-  return XSet::FromSortedMembers(ParallelFilterInOrder(r.members(), keep));
+  std::vector<Membership> kept = ParallelFilterInOrder(r.members(), keep);
+  XST_DCHECK(IsCanonicalMemberList(kept));
+  return XST_VALIDATE(XSet::FromSortedMembers(std::move(kept)));
 }
 
 // Fast path for the dominant query shape: every probe is a singleton

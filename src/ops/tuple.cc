@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/check.h"
+
 namespace xst {
 
 namespace {
@@ -74,7 +76,7 @@ Result<XSet> Concat(const XSet& x, const XSet& y) {
   for (const Membership& my : y.members()) {
     members.push_back(Membership{my.element, XSet::Int(my.scope.int_value() + *n)});
   }
-  return XSet::FromMembers(std::move(members));
+  return XST_VALIDATE(XSet::FromMembers(std::move(members)));
 }
 
 bool IsIndexed(const XSet& x) {

@@ -4,6 +4,7 @@
 #include <map>
 #include <mutex>
 
+#include "src/common/check.h"
 #include "src/common/macros.h"
 #include "src/common/thread_pool.h"
 #include "src/core/order.h"
@@ -106,8 +107,10 @@ Result<Relation> GroupBy(const Relation& r, const std::vector<std::string>& keys
     if (solo) return;
     std::lock_guard<std::mutex> lock(mu);
     for (auto& [key, accs] : local_storage) {
-      auto [it, inserted] = blocks.try_emplace(key, std::move(accs));
-      if (!inserted) {
+      auto it = blocks.find(key);
+      if (it == blocks.end()) {
+        blocks.emplace(key, std::move(accs));
+      } else {
         for (size_t i = 0; i < aggs.size(); ++i) it->second[i].Merge(accs[i]);
       }
     }
@@ -145,7 +148,9 @@ Result<Relation> GroupBy(const Relation& r, const std::vector<std::string>& keys
     }
     rows.push_back(std::move(row));
   }
-  return Relation::FromRows(std::move(out_schema), rows);
+  XST_ASSIGN_OR_RAISE(Relation result, Relation::FromRows(std::move(out_schema), rows));
+  (void)XST_VALIDATE(result.tuples());
+  return result;
 }
 
 Result<Relation> Aggregate(const Relation& r, const std::vector<AggSpec>& aggs) {

@@ -1,7 +1,9 @@
 #include "src/rel/algebra.h"
 
+#include "src/common/check.h"
 #include "src/common/macros.h"
 #include "src/core/atom.h"
+#include "src/core/order.h"
 #include "src/ops/boolean.h"
 #include "src/ops/domain.h"
 #include "src/ops/kernels.h"
@@ -45,7 +47,7 @@ Result<Relation> SelectIn(const Relation& r, const std::string& attr,
   probes.reserve(values.size());
   for (const XSet& v : values) probes.push_back(XSet::Tuple({v}));
   XSet selected = SigmaRestrict(r.tuples(), sigma1, XSet::Classical(probes));
-  return Relation::Make(r.schema(), selected);
+  return Relation::Make(r.schema(), XST_VALIDATE(selected));
 }
 
 Result<Relation> SelectRange(const Relation& r, const std::string& attr, int64_t lo,
@@ -79,7 +81,8 @@ Result<Relation> SelectWhere(const Relation& r, const std::string& attr,
         std::vector<XSet> values = m.element.ElementsWithScope(position);
         return values.size() == 1 && predicate(values[0]);
       });
-  return Relation::Make(r.schema(), XSet::FromSortedMembers(std::move(kept)));
+  XST_DCHECK(IsCanonicalMemberList(kept));
+  return Relation::Make(r.schema(), XST_VALIDATE(XSet::FromSortedMembers(std::move(kept))));
 }
 
 Result<Relation> Project(const Relation& r, const std::vector<std::string>& attrs) {
@@ -93,7 +96,7 @@ Result<Relation> Project(const Relation& r, const std::vector<std::string>& attr
   }
   XSet projected = SigmaDomain(r.tuples(), Spec(mapping));
   XST_ASSIGN_OR_RAISE(Schema schema, Schema::Make(std::move(out_attrs)));
-  return Relation::Make(std::move(schema), projected);
+  return Relation::Make(std::move(schema), XST_VALIDATE(projected));
 }
 
 Result<Relation> Rename(const Relation& r, const std::string& from, const std::string& to) {
@@ -160,7 +163,7 @@ Result<Relation> NaturalJoin(const Relation& r, const Relation& s) {
   XST_ASSIGN_OR_RAISE(JoinSpecs specs, MakeJoinSpecs(r, s, keys, true));
   XSet joined = RelativeProduct(r.tuples(), s.tuples(), specs.sigma, specs.omega);
   XST_ASSIGN_OR_RAISE(Schema schema, Schema::Make(std::move(specs.out_attrs)));
-  return Relation::Make(std::move(schema), joined);
+  return Relation::Make(std::move(schema), XST_VALIDATE(joined));
 }
 
 Result<Relation> SemiJoin(const Relation& r, const Relation& s) {
@@ -170,7 +173,7 @@ Result<Relation> SemiJoin(const Relation& r, const Relation& s) {
   }
   XST_ASSIGN_OR_RAISE(JoinSpecs specs, MakeJoinSpecs(r, s, keys, false));
   XSet matched = RelativeProduct(r.tuples(), s.tuples(), specs.sigma, specs.omega);
-  return Relation::Make(r.schema(), matched);
+  return Relation::Make(r.schema(), XST_VALIDATE(matched));
 }
 
 Result<Relation> CrossJoin(const Relation& r, const Relation& s) {

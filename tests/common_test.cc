@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/check.h"
 #include "src/common/macros.h"
 #include "src/common/result.h"
 #include "src/common/status.h"
@@ -110,6 +111,31 @@ TEST(MacroTest, AssignOrRaiseChains) {
   EXPECT_EQ(*ok, 2);
   EXPECT_TRUE(macro_helpers::Quarter(6).status().IsInvalid());  // 3 is odd
   EXPECT_TRUE(macro_helpers::Quarter(7).status().IsInvalid());
+}
+
+TEST(CheckTest, PassingCheckIsANoOp) {
+  XST_CHECK(1 + 1 == 2);
+  XST_DCHECK(1 + 1 == 2);
+}
+
+TEST(CheckDeathTest, FailingCheckAbortsWithExpression) {
+  EXPECT_DEATH(XST_CHECK(1 + 1 == 3), "XST_CHECK failed: 1 \\+ 1 == 3");
+}
+
+TEST(CheckTest, DcheckArgumentIsUnevaluatedUnderNdebug) {
+  int calls = 0;
+  auto counted = [&calls] {
+    ++calls;
+    return true;
+  };
+  XST_DCHECK(counted());
+#ifdef NDEBUG
+  // Release form is ((void)sizeof(cond)): the operand is an unevaluated
+  // context, so the lambda must not run — and `counted` still counts as used.
+  EXPECT_EQ(calls, 0);
+#else
+  EXPECT_EQ(calls, 1);
+#endif
 }
 
 TEST(StatusTest, CheapToCopyWhenOk) {

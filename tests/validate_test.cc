@@ -1,0 +1,235 @@
+// Structural invariant validators (core/validate.h).
+//
+// The interesting cases are negative: the factories can only produce valid
+// structure, so each corruption class is staged by hand-building an
+// internal::Node outside the arena (never interned — the arena itself must
+// stay clean for the other tests in this process) and wrapping it with
+// XSet::FromNode. Positive coverage runs the validators over the paper's
+// worked examples and over everything the suite has interned so far.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/core/interner.h"
+#include "src/core/order.h"
+#include "src/core/validate.h"
+#include "src/core/xset.h"
+#include "src/ops/boolean.h"
+#include "src/ops/rescope.h"
+#include "tests/testing.h"
+
+namespace xst {
+namespace {
+
+using testing::X;
+
+// Builds a set node with a coherent header (depth, tree_size, hash) for its
+// member list, exactly as interning would; the member list itself is taken
+// as given, so callers can stage ordering corruptions behind a "clean"
+// header and probe one invariant at a time.
+internal::Node MakeSetNode(std::vector<Membership> members) {
+  internal::Node n;
+  n.kind = NodeKind::kSet;
+  n.members = std::move(members);
+  uint32_t depth = 0;
+  uint64_t tree_size = 1;
+  for (const Membership& m : n.members) {
+    depth = std::max(depth, std::max(m.element.depth(), m.scope.depth()));
+    tree_size += m.element.tree_size() + m.scope.tree_size();
+  }
+  n.depth = n.members.empty() ? 0 : depth + 1;
+  n.tree_size = tree_size;
+  n.hash = internal::ComputeNodeHash(n);
+  return n;
+}
+
+// Corruption class 1: members out of canonical order.
+TEST(ValidateCorruptionTest, DetectsOutOfOrderMembers) {
+  XSet good = X("{1, 2, 3}");
+  std::vector<Membership> reversed(good.members().begin(), good.members().end());
+  std::reverse(reversed.begin(), reversed.end());
+  internal::Node n = MakeSetNode(std::move(reversed));
+  Status st = ValidateXSet(XSet::FromNode(&n), ValidateLevel::kShallow);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsCorruption());
+  EXPECT_NE(st.message().find("canonical order"), std::string::npos) << st.ToString();
+}
+
+// Corruption class 2: duplicate membership (strict ordering also implies
+// dedup, and the validator distinguishes the two failure messages).
+TEST(ValidateCorruptionTest, DetectsDuplicateMembership) {
+  Membership m = M(XSet::Int(7));
+  internal::Node n = MakeSetNode({m, m});
+  Status st = ValidateXSet(XSet::FromNode(&n), ValidateLevel::kShallow);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsCorruption());
+  EXPECT_NE(st.message().find("duplicate membership"), std::string::npos) << st.ToString();
+}
+
+// Corruption class 3: a structurally fine node that is foreign to the arena.
+// Shallow validation cannot see this (the node's own header is coherent);
+// deep validation must.
+TEST(ValidateCorruptionTest, DetectsForeignUninternedNode) {
+  // The member atoms are interned; the set over them deliberately never is
+  // (odd values no other test constructs a classical set from).
+  std::vector<Membership> members = {M(XSet::Int(987654321)), M(XSet::Int(987654322))};
+  std::sort(members.begin(), members.end(), [](const Membership& a, const Membership& b) {
+    return CompareMembership(a, b) < 0;
+  });
+  internal::Node n = MakeSetNode(std::move(members));
+  XSet foreign = XSet::FromNode(&n);
+
+  EXPECT_TRUE(ValidateXSet(foreign, ValidateLevel::kShallow).ok());
+  Status st = ValidateXSet(foreign, ValidateLevel::kDeep);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsCorruption());
+  EXPECT_NE(st.message().find("not interned"), std::string::npos) << st.ToString();
+}
+
+// Corruption class 3b: a bit-for-bit copy of an interned node. Interned-once
+// means pointer-equal to the canonical node, not merely findable.
+TEST(ValidateCorruptionTest, DetectsNonCanonicalDuplicateOfInternedNode) {
+  XSet good = X("{1, 2}");
+  internal::Node n = *good.node();
+  Status st = ValidateXSet(XSet::FromNode(&n), ValidateLevel::kDeep);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsCorruption());
+  EXPECT_NE(st.message().find("not pointer-equal"), std::string::npos) << st.ToString();
+}
+
+// Corruption class 4: a poisoned rescope-memo entry — the cached result no
+// longer re-derives from its operands.
+TEST(ValidateCorruptionTest, DetectsPoisonedRescopeMemoEntry) {
+  XSet a = X("{a^x, b^y}");
+  XSet sigma = X("{x^1, y^2}");
+  EXPECT_EQ(RescopeByScope(a, sigma), X("{a^1, b^2}"));
+  ASSERT_TRUE(ValidateRescopeMemo().ok());
+
+  ASSERT_TRUE(internal::PoisonRescopeMemoEntryForTest(a, sigma, X("{q^9}")));
+  Status st = ValidateRescopeMemo();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsCorruption());
+  EXPECT_NE(st.message().find("not re-derivable"), std::string::npos) << st.ToString();
+
+  // Drop the poisoned cache so later suites in this process cannot hit it.
+  internal::ClearRescopeMemoForTest();
+  EXPECT_TRUE(ValidateRescopeMemo().ok());
+}
+
+// A stale stored hash breaks hash-consing silently (lookups go to the wrong
+// bucket); the shallow header check recomputes and compares.
+TEST(ValidateCorruptionTest, DetectsStaleStoredHash) {
+  XSet good = X("{1, 2}");
+  internal::Node n = MakeSetNode(
+      std::vector<Membership>(good.members().begin(), good.members().end()));
+  n.hash ^= 0x1;
+  Status st = ValidateXSet(XSet::FromNode(&n), ValidateLevel::kShallow);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsCorruption());
+  EXPECT_NE(st.message().find("stored hash"), std::string::npos) << st.ToString();
+}
+
+TEST(ValidateCorruptionTest, DetectsCorruptDerivedHeader) {
+  XSet good = X("{1, 2}");
+  internal::Node n = MakeSetNode(
+      std::vector<Membership>(good.members().begin(), good.members().end()));
+  n.tree_size += 5;
+  Status st = ValidateXSet(XSet::FromNode(&n), ValidateLevel::kShallow);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsCorruption());
+  EXPECT_NE(st.message().find("header corrupt"), std::string::npos) << st.ToString();
+}
+
+TEST(ValidateCorruptionTest, DetectsAtomCarryingMemberships) {
+  internal::Node n;
+  n.kind = NodeKind::kInt;
+  n.int_value = 5;
+  n.depth = 0;
+  n.tree_size = 1;
+  n.hash = internal::ComputeNodeHash(n);
+  n.members.push_back(M(XSet::Int(1)));
+  Status st = ValidateXSet(XSet::FromNode(&n), ValidateLevel::kShallow);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsCorruption());
+  EXPECT_NE(st.message().find("atom carries memberships"), std::string::npos)
+      << st.ToString();
+}
+
+// Well-foundedness: a membership cycle is impossible through the factories
+// (children must exist before the parent is interned) and is exactly what
+// deep validation's gray/black walk exists to catch.
+TEST(ValidateCorruptionTest, DetectsMembershipCycle) {
+  internal::Node n;
+  n.kind = NodeKind::kSet;
+  n.members.push_back(Membership{XSet::FromNode(&n), XSet::Empty()});
+  n.depth = 1;
+  n.tree_size = 2;
+  n.hash = 0;
+  Status st = ValidateXSet(XSet::FromNode(&n), ValidateLevel::kDeep);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsCorruption());
+  EXPECT_NE(st.message().find("not well-founded"), std::string::npos) << st.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Positive coverage.
+// ---------------------------------------------------------------------------
+
+TEST(ValidatePassTest, FactoryBuiltValuesAreDeepValid) {
+  EXPECT_TRUE(ValidateXSet(XSet::Empty()).ok());
+  EXPECT_TRUE(ValidateXSet(XSet::Int(-3)).ok());
+  EXPECT_TRUE(ValidateXSet(XSet::Symbol("price")).ok());
+  EXPECT_TRUE(ValidateXSet(XSet::String("text")).ok());
+  EXPECT_TRUE(ValidateXSet(X("{a^1, b^2, {c^{d}}^3}")).ok());
+  EXPECT_TRUE(ValidateXSet(XSet::Pair(X("{1}"), X("{2}"))).ok());
+
+  testing::RandomSetGen gen(20260807);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(ValidateXSet(gen.Set(3, 4)).ok());
+  }
+}
+
+// The worked re-scoping examples from the paper (Defs 7.3 and 7.5): results
+// are both the expected values and deep-valid.
+TEST(ValidatePassTest, PaperWorkedExamplesValidate) {
+  // A^{/σ/}: {a^x, b^y, c^z}^{/{x^1, y^2, z^3}/} = {a^1, b^2, c^3}.
+  XSet by_scope = RescopeByScope(X("{a^x, b^y, c^z}"), X("{x^1, y^2, z^3}"));
+  EXPECT_EQ(by_scope, X("{a^1, b^2, c^3}"));
+  EXPECT_TRUE(ValidateXSet(by_scope).ok());
+
+  // A^{\σ\}: {a^1, b^2, c^3}^{\{w^1, v^2, t^3}\} = {a^w, b^v, c^t}.
+  XSet by_element = RescopeByElement(X("{a^1, b^2, c^3}"), X("{w^1, v^2, t^3}"));
+  EXPECT_EQ(by_element, X("{a^w, b^v, c^t}"));
+  EXPECT_TRUE(ValidateXSet(by_element).ok());
+
+  // Boolean identities over scoped members stay canonical through the
+  // sorted-merge fast paths.
+  XSet u = Union(X("{a^1, b^2}"), X("{b^2, c^3}"));
+  EXPECT_EQ(u, X("{a^1, b^2, c^3}"));
+  EXPECT_TRUE(ValidateXSet(u).ok());
+  XSet i = Intersect(X("{a^1, b^2, c^3}"), X("{b^2, c^3, d^4}"));
+  EXPECT_EQ(i, X("{b^2, c^3}"));
+  EXPECT_TRUE(ValidateXSet(i).ok());
+  XSet d = Difference(X("{a^1, b^2, c^3}"), X("{b^2}"));
+  EXPECT_EQ(d, X("{a^1, c^3}"));
+  EXPECT_TRUE(ValidateXSet(d).ok());
+}
+
+// Whole-arena and whole-memo sweeps pass on everything this suite (and the
+// parser, interner warm-up, etc.) has built so far.
+TEST(ValidatePassTest, InternerAndMemoSweepsPass) {
+  EXPECT_TRUE(ValidateInterner().ok());
+  EXPECT_TRUE(ValidateRescopeMemo().ok());
+}
+
+// XST_VALIDATE is an expression returning its operand at every level.
+TEST(ValidatePassTest, ValidateMacroIsIdentityOnValidInput) {
+  XSet v = XST_VALIDATE(X("{a^1, b^2}"));
+  EXPECT_EQ(v, X("{a^1, b^2}"));
+}
+
+}  // namespace
+}  // namespace xst

@@ -27,7 +27,7 @@ BENCH_BINARIES = [
 ]
 
 
-def run_binary(path, min_time, bench_filter):
+def run_binary(path, min_time, bench_filter, allow_missing):
     """Runs one benchmark binary, returns its parsed google-benchmark JSON."""
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
         tmp_path = tmp.name
@@ -43,6 +43,10 @@ def run_binary(path, min_time, bench_filter):
             cmd.append(f"--benchmark_filter={bench_filter}")
         proc = subprocess.run(cmd, stdout=subprocess.DEVNULL)
         if proc.returncode != 0:
+            if not allow_missing:
+                sys.exit(f"error: {path} exited {proc.returncode}; a perf-tracked "
+                         "benchmark crashed, so the report would be missing its "
+                         "numbers (pass --allow-missing to skip it instead)")
             print(f"warning: {path} exited {proc.returncode}, skipping",
                   file=sys.stderr)
             return {}
@@ -65,6 +69,9 @@ def main():
     parser.add_argument("--min-time", type=float, default=0.2)
     parser.add_argument("--filter", default=None, help="benchmark name regex")
     parser.add_argument("--label", default=None, help="free-form label for this run")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="skip perf-tracked binaries that are missing or crash "
+                             "instead of failing (writes a partial report)")
     args = parser.parse_args()
 
     baseline = {}
@@ -79,12 +86,22 @@ def main():
                 baseline[e["name"]] = e["real_time_ns"]
 
     report = {"label": args.label, "context": None, "benchmarks": {}}
+    # Fail fast on missing binaries: a partial report silently read as "the
+    # perf trajectory is covered" when a tracked binary was never built.
+    missing = [b for b in BENCH_BINARIES
+               if not os.path.exists(os.path.join(args.build_dir, "bench", b))]
+    if missing and not args.allow_missing:
+        sys.exit("error: perf-tracked benchmark binaries not built: "
+                 + ", ".join(missing)
+                 + f" (looked under {args.build_dir}/bench; build them with "
+                 "`cmake --build build -j`, or pass --allow-missing to write "
+                 "a partial report)")
     for binary in BENCH_BINARIES:
         path = os.path.join(args.build_dir, "bench", binary)
         if not os.path.exists(path):
             print(f"warning: {path} not built, skipping", file=sys.stderr)
             continue
-        raw = run_binary(path, args.min_time, args.filter)
+        raw = run_binary(path, args.min_time, args.filter, args.allow_missing)
         if report["context"] is None:
             ctx = raw.get("context", {})
             report["context"] = {

@@ -1,0 +1,370 @@
+#!/usr/bin/env python3
+"""xst-lint: project-specific structural lint for the XST C++ sources.
+
+Rules (see DESIGN.md section 7 for rationale):
+
+  thread-primitives      std::thread / std::async are forbidden outside
+                         src/common/thread_pool.* — all parallelism goes
+                         through the global pool so sanitizer runs and
+                         XST_NUM_THREADS stay authoritative.
+
+  raw-new-delete         Raw new/delete expressions are forbidden. Allowed:
+                         immediate smart-pointer wrap (same line or the line
+                         above contains `_ptr<`), `static ... = new` leaked
+                         singletons (the arena idiom), `= delete` declarations,
+                         and the arena owners themselves (core/interner.cc,
+                         common/thread_pool.cc).
+
+  interner-mutation      Mutating interner calls Interner::Global().Int/
+                         Symbol/String/Set are restricted to the core builder
+                         layer (core/xset.cc, core/builder.cc,
+                         core/interner.cc). Everything else builds values
+                         through XSet factories so hash-consing invariants
+                         have a single owner.
+
+  sorted-members-dcheck  Every XSet::FromSortedMembers call site must be
+                         paired with XST_DCHECK(IsCanonicalMemberList(...))
+                         within the 4 preceding lines. The factory trusts its
+                         input; the paired assertion is what keeps that trust
+                         honest in debug builds.
+
+  dcheck-side-effects    XST_DCHECK arguments must be side-effect free: under
+                         NDEBUG the argument is never evaluated, so `++`,
+                         `--`, or assignment inside one changes behavior
+                         between build types.
+
+Suppress a single line with a trailing comment:  // xst-lint: allow(rule-name)
+
+Usage:
+  tools/xst_lint.py [paths...]   # default: src/ relative to the repo root
+  tools/xst_lint.py --list-rules
+  tools/xst_lint.py --self-test
+"""
+
+import argparse
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# ---------------------------------------------------------------------------
+# Source preprocessing: strip comments and string/char literals so rule
+# patterns only ever match code. Line structure is preserved (stripped spans
+# become spaces) so findings report real line numbers.
+# ---------------------------------------------------------------------------
+
+
+def strip_comments_and_strings(text):
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+            elif c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\" and i + 1 < n:
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def extract_macro_args(lines, line_idx, col):
+    """Return the balanced-paren argument of a macro whose '(' is at/after
+    `col` on line `line_idx` of the stripped `lines`. Spans lines."""
+    depth = 0
+    arg = []
+    i, j = line_idx, col
+    started = False
+    while i < len(lines):
+        line = lines[i]
+        while j < len(line):
+            c = line[j]
+            if c == "(":
+                depth += 1
+                started = True
+                if depth > 1:
+                    arg.append(c)
+            elif c == ")":
+                depth -= 1
+                if depth == 0:
+                    return "".join(arg)
+                arg.append(c)
+            elif started:
+                arg.append(c)
+            j += 1
+        arg.append(" ")
+        i += 1
+        j = 0
+    return "".join(arg)
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _exempt(rel_path, names):
+    return any(rel_path.endswith(n) for n in names)
+
+
+THREAD_RE = re.compile(r"std::(thread|async)\b")
+NEW_RE = re.compile(r"\bnew\b")
+DELETE_RE = re.compile(r"\bdelete\b")
+EQ_DELETE_RE = re.compile(r"=\s*delete\b")
+INTERNER_RE = re.compile(r"Interner::Global\(\)\s*\.\s*(Int|Symbol|String|Set)\s*\(")
+FROM_SORTED_RE = re.compile(r"\bFromSortedMembers\s*\(")
+DCHECK_RE = re.compile(r"\bXST_DCHECK\s*(\()")
+PAIRING_RE = re.compile(r"XST_DCHECK\s*\(\s*IsCanonicalMemberList")
+SIDE_EFFECT_RE = re.compile(
+    r"\+\+|--|(?<![=!<>+\-*/%&|^])=(?![=])"
+)
+
+
+def rule_thread_primitives(rel_path, lines, _raw):
+    if _exempt(rel_path, ("common/thread_pool.h", "common/thread_pool.cc")):
+        return
+    for i, line in enumerate(lines, 1):
+        m = THREAD_RE.search(line)
+        if m:
+            yield i, (f"std::{m.group(1)} outside common/thread_pool; "
+                      "route parallelism through ThreadPool::Global()")
+
+
+def rule_raw_new_delete(rel_path, lines, _raw):
+    if _exempt(rel_path, ("core/interner.cc", "common/thread_pool.cc")):
+        return
+    for i, line in enumerate(lines, 1):
+        if NEW_RE.search(line):
+            prev = lines[i - 2] if i >= 2 else ""
+            wrapped = "_ptr<" in line or "_ptr<" in prev
+            leaked_singleton = "static" in line and "= new" in line
+            if not wrapped and not leaked_singleton:
+                yield i, ("raw `new`; wrap in a smart pointer on the same or "
+                          "previous line, or use a `static ... = new` singleton")
+        stripped_eq = EQ_DELETE_RE.sub(" ", line)
+        if DELETE_RE.search(stripped_eq):
+            yield i, "raw `delete`; owned memory must live behind RAII"
+
+
+def rule_interner_mutation(rel_path, lines, _raw):
+    if _exempt(rel_path, ("core/xset.cc", "core/builder.cc", "core/interner.cc")):
+        return
+    for i, line in enumerate(lines, 1):
+        m = INTERNER_RE.search(line)
+        if m:
+            yield i, (f"direct interner mutation Interner::Global().{m.group(1)}() "
+                      "outside the core builder layer; use an XSet factory")
+
+
+def rule_sorted_members_dcheck(rel_path, lines, _raw):
+    if _exempt(rel_path, ("core/xset.h", "core/xset.cc")):
+        return
+    for i, line in enumerate(lines, 1):
+        if FROM_SORTED_RE.search(line):
+            window = "\n".join(lines[max(0, i - 5):i])
+            if not PAIRING_RE.search(window):
+                yield i, ("FromSortedMembers call without a paired "
+                          "XST_DCHECK(IsCanonicalMemberList(...)) in the "
+                          "preceding 4 lines")
+
+
+def rule_dcheck_side_effects(rel_path, lines, _raw):
+    for i, line in enumerate(lines, 1):
+        for m in DCHECK_RE.finditer(line):
+            arg = extract_macro_args(lines, i - 1, m.start(1))
+            if SIDE_EFFECT_RE.search(arg):
+                yield i, ("side effect inside XST_DCHECK; the argument is "
+                          "unevaluated under NDEBUG")
+
+
+RULES = {
+    "thread-primitives": rule_thread_primitives,
+    "raw-new-delete": rule_raw_new_delete,
+    "interner-mutation": rule_interner_mutation,
+    "sorted-members-dcheck": rule_sorted_members_dcheck,
+    "dcheck-side-effects": rule_dcheck_side_effects,
+}
+
+ALLOW_RE = re.compile(r"xst-lint:\s*allow\(([a-z-]+)\)")
+
+
+def lint_text(rel_path, raw_text):
+    stripped = strip_comments_and_strings(raw_text)
+    lines = stripped.split("\n")
+    raw_lines = raw_text.split("\n")
+    findings = []
+    for rule_name, rule_fn in RULES.items():
+        for line_no, message in rule_fn(rel_path, lines, raw_lines):
+            raw_line = raw_lines[line_no - 1] if line_no <= len(raw_lines) else ""
+            allow = ALLOW_RE.search(raw_line)
+            if allow and allow.group(1) == rule_name:
+                continue
+            findings.append(Finding(rel_path, line_no, rule_name, message))
+    return findings
+
+
+def lint_paths(paths):
+    findings = []
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, names in os.walk(path):
+                for name in sorted(names):
+                    if name.endswith((".h", ".cc", ".cpp", ".hpp")):
+                        files.append(os.path.join(root, name))
+        elif os.path.isfile(path):
+            files.append(path)
+        else:
+            print(f"xst-lint: no such path: {path}", file=sys.stderr)
+            return None, 0
+    for f in sorted(files):
+        rel = os.path.relpath(f, REPO_ROOT).replace(os.sep, "/")
+        with open(f, encoding="utf-8") as fh:
+            findings.extend(lint_text(rel, fh.read()))
+    return findings, len(files)
+
+
+# ---------------------------------------------------------------------------
+# Self-test: each fixture is (rule, expect_hit, code). Fixture paths are
+# chosen to avoid every path-based exemption.
+# ---------------------------------------------------------------------------
+
+SELF_TEST_FIXTURES = [
+    ("thread-primitives", True, "std::thread t([] {});\n"),
+    ("thread-primitives", True, "auto f = std::async(work);\n"),
+    ("thread-primitives", False, "// std::thread is banned here\n"),
+    ("raw-new-delete", True, "auto* n = new Node();\n"),
+    ("raw-new-delete", True, "delete node;\n"),
+    ("raw-new-delete", False, "auto p = std::unique_ptr<Node>(new Node());\n"),
+    ("raw-new-delete", False, "auto p = std::unique_ptr<Node>(\n    new Node());\n"),
+    ("raw-new-delete", False, "static Pool* pool = new Pool();\n"),
+    ("raw-new-delete", False, "Pool(const Pool&) = delete;\n"),
+    ("raw-new-delete", False, "// a new idea, delete nothing\n"),
+    ("interner-mutation", True, "auto* n = Interner::Global().Int(7);\n"),
+    ("interner-mutation", True, "Interner::Global().Set(std::move(ms));\n"),
+    ("interner-mutation", False, "Interner::Global().EmptySet();\n"),
+    ("interner-mutation", False, "auto snap = Interner::Global().SnapshotNodes();\n"),
+    ("sorted-members-dcheck", True, "return XSet::FromSortedMembers(std::move(out));\n"),
+    ("sorted-members-dcheck", False,
+     "XST_DCHECK(IsCanonicalMemberList(out));\n"
+     "return XSet::FromSortedMembers(std::move(out));\n"),
+    ("sorted-members-dcheck", False,
+     "XST_DCHECK(IsCanonicalMemberList(kept));\n"
+     "// canonical by construction\n"
+     "return Make(s, XST_VALIDATE(XSet::FromSortedMembers(std::move(kept))));\n"),
+    ("dcheck-side-effects", True, "XST_DCHECK(++calls > 0);\n"),
+    ("dcheck-side-effects", True, "XST_DCHECK(x = Compute());\n"),
+    ("dcheck-side-effects", False, "XST_DCHECK(x == Compute());\n"),
+    ("dcheck-side-effects", False, "XST_DCHECK(a <= b && b >= c && a != c);\n"),
+    ("dcheck-side-effects", False,
+     "XST_DCHECK(IsCanonicalMemberList(\n    out));\n"),
+    ("thread-primitives", True,
+     "int x = 0;  // xst-lint: allow(raw-new-delete)\nstd::thread t;\n"),
+    ("raw-new-delete", False,
+     "auto* n = new Node();  // xst-lint: allow(raw-new-delete)\n"),
+]
+
+
+def run_self_test():
+    failures = 0
+    for idx, (rule, expect_hit, code) in enumerate(SELF_TEST_FIXTURES):
+        findings = [f for f in lint_text("selftest/fixture.cc", code) if f.rule == rule]
+        got_hit = bool(findings)
+        if got_hit != expect_hit:
+            failures += 1
+            print(f"self-test fixture {idx} FAILED: rule={rule} "
+                  f"expected_hit={expect_hit} got={got_hit}\n  code={code!r}",
+                  file=sys.stderr)
+    if failures:
+        print(f"xst-lint self-test: {failures} fixture(s) failed", file=sys.stderr)
+        return 1
+    print(f"xst-lint self-test: all {len(SELF_TEST_FIXTURES)} fixtures passed")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="*", help="files or directories (default: src/)")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name in RULES:
+            print(name)
+        return 0
+    if args.self_test:
+        return run_self_test()
+
+    paths = args.paths or [os.path.join(REPO_ROOT, "src")]
+    findings, file_count = lint_paths(paths)
+    if findings is None:
+        return 2
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"xst-lint: {len(findings)} finding(s) in {file_count} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"xst-lint: OK ({file_count} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
