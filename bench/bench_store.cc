@@ -8,6 +8,7 @@
 
 #include "bench/bench_util.h"
 #include "src/store/codec.h"
+#include "src/store/pager.h"
 #include "src/store/setstore.h"
 
 namespace xst {
@@ -95,6 +96,42 @@ void BM_StoreGetColdPool(benchmark::State& state) {
   std::remove(path.c_str());
 }
 BENCHMARK(BM_StoreGetColdPool)->Arg(1 << 14);
+
+void BM_PagerPinnedFetch(benchmark::State& state) {
+  // Pager-level cost of the pin discipline: fetch a resident page, touch it,
+  // release the pin. Measures the PageRef overhead on the hot hit path
+  // (LRU splice + pin/unpin bookkeeping) that every blob read pays per page.
+  std::string path = BenchPath("pinned_fetch");
+  std::remove(path.c_str());
+  auto pager_or = Pager::Open(path, 64);
+  if (!pager_or.ok()) {
+    state.SkipWithError("open failed");
+    return;
+  }
+  Pager& pager = **pager_or;
+  const uint32_t pages = 32;  // all resident: pure hit traffic
+  for (uint32_t i = 0; i < pages; ++i) {
+    Result<PageRef> page = pager.AllocatePage();
+    if (!page.ok() || !(*page)->AddRecord("x").ok()) {
+      state.SkipWithError("setup failed");
+      return;
+    }
+  }
+  uint32_t id = 0;
+  for (auto _ : state) {
+    Result<PageRef> page = pager.FetchPage(id);
+    if (!page.ok()) {
+      state.SkipWithError(page.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize((*page)->slot_count());
+    id = (id + 1) % pages;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["hits"] = static_cast<double>(pager.stats().hits);
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_PagerPinnedFetch);
 
 void BM_StoreManySmallSets(benchmark::State& state) {
   // Catalog-heavy workload: many named small sets.

@@ -73,10 +73,12 @@ int main() {
               ranked->ToString().c_str());
 
   // 4. Export the aggregate as CSV.
-  std::printf("outgoing CSV:\n%s", ExportCsv(*by_country).c_str());
+  Result<std::string> csv = ExportCsv(*by_country);
+  if (!csv.ok()) return Fail(csv.status());
+  std::printf("outgoing CSV:\n%s", csv->c_str());
 
   // 5. Round-trip sanity: the exported CSV re-imports to the same relation.
-  Result<Relation> back = ImportCsv(by_country->schema(), ExportCsv(*by_country));
+  Result<Relation> back = ImportCsv(by_country->schema(), *csv);
   std::printf("\nround-trip equals original: %s\n",
               back.ok() && *back == *by_country ? "yes" : "NO");
   std::remove(path.c_str());

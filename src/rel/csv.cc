@@ -136,26 +136,51 @@ Result<XSet> ValueFor(const std::string& field, AttrType type, size_t line) {
 
 }  // namespace
 
-std::string ExportCsv(const Relation& r, const CsvOptions& options) {
+Result<std::string> ExportCsv(const Schema& schema, const XSet& tuples,
+                              const CsvOptions& options) {
   std::string out;
   if (options.header) {
-    for (size_t i = 0; i < r.schema().arity(); ++i) {
+    for (size_t i = 0; i < schema.arity(); ++i) {
       if (i > 0) out.push_back(options.delimiter);
-      AppendField(r.schema().attribute(i).name, options.delimiter, &out);
+      AppendField(schema.attribute(i).name, options.delimiter, &out);
     }
     out.push_back('\n');
   }
   std::vector<XSet> parts;
-  for (const Membership& m : r.tuples().members()) {
-    if (!TupleElements(m.element, &parts)) continue;
+  size_t row = 0;
+  for (const Membership& m : tuples.members()) {
+    ++row;
+    // Ragged input must be an error: a non-tuple member used to be silently
+    // dropped, and a tuple wider than the schema indexed attribute(i) out of
+    // bounds.
+    if (!TupleElements(m.element, &parts)) {
+      return Status::TypeError("csv export: member " + std::to_string(row) +
+                               " is not a tuple: " + m.element.ToString());
+    }
+    if (parts.size() != schema.arity()) {
+      return Status::TypeError("csv export: tuple " + std::to_string(row) + " has " +
+                               std::to_string(parts.size()) + " components, schema " +
+                               schema.ToString() + " has arity " +
+                               std::to_string(schema.arity()));
+    }
     for (size_t i = 0; i < parts.size(); ++i) {
+      const Attribute& attr = schema.attribute(i);
+      if (!MatchesType(parts[i], attr.type)) {
+        return Status::TypeError("csv export: tuple " + std::to_string(row) +
+                                 " attribute '" + attr.name + "' expects " +
+                                 AttrTypeName(attr.type) + ", got " +
+                                 parts[i].ToString());
+      }
       if (i > 0) out.push_back(options.delimiter);
-      AppendField(FieldFor(parts[i], r.schema().attribute(i).type), options.delimiter,
-                  &out);
+      AppendField(FieldFor(parts[i], attr.type), options.delimiter, &out);
     }
     out.push_back('\n');
   }
   return out;
+}
+
+Result<std::string> ExportCsv(const Relation& r, const CsvOptions& options) {
+  return ExportCsv(r.schema(), r.tuples(), options);
 }
 
 Result<Relation> ImportCsv(Schema schema, std::string_view text,

@@ -27,8 +27,16 @@ struct CsvOptions {
 };
 
 /// \brief Renders the relation as CSV (deterministic: canonical tuple
-/// order).
-std::string ExportCsv(const Relation& r, const CsvOptions& options = {});
+/// order). TypeError if a member is not a tuple, does not match the schema
+/// arity, or a component's type contradicts its attribute — malformed rows
+/// are reported, never silently dropped or exported out of bounds.
+Result<std::string> ExportCsv(const Relation& r, const CsvOptions& options = {});
+
+/// \brief ExportCsv over a raw tuple set that has not passed through
+/// Relation::Make validation (e.g. freshly loaded store data); same error
+/// contract.
+Result<std::string> ExportCsv(const Schema& schema, const XSet& tuples,
+                              const CsvOptions& options = {});
 
 /// \brief Parses CSV text into a relation under `schema`.
 Result<Relation> ImportCsv(Schema schema, std::string_view text,

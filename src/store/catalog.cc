@@ -51,10 +51,25 @@ Result<Catalog> Catalog::FromXSet(const XSet& repr) {
         !parts[3].is_int()) {
       return Status::TypeError("catalog: malformed entry " + m.element.ToString());
     }
+    // Range-check before the narrowing casts: a negative or oversized field
+    // must surface as Corruption here, not wrap into a bogus page id that
+    // fails much later (or, worse, aliases a live page).
+    const int64_t first_page = parts[1].int_value();
+    const int64_t page_span = parts[2].int_value();
+    const int64_t byte_length = parts[3].int_value();
+    constexpr int64_t kMaxU32 = 0xffffffff;
+    if (first_page < 0 || first_page > kMaxU32 || page_span < 0 ||
+        page_span > kMaxU32 || byte_length < 0) {
+      return Status::Corruption(
+          "catalog: entry '" + parts[0].str_value() + "' field out of range"
+          " (first_page=" + std::to_string(first_page) +
+          ", page_span=" + std::to_string(page_span) +
+          ", byte_length=" + std::to_string(byte_length) + ")");
+    }
     CatalogEntry entry;
-    entry.first_page = static_cast<uint32_t>(parts[1].int_value());
-    entry.page_span = static_cast<uint32_t>(parts[2].int_value());
-    entry.byte_length = static_cast<uint64_t>(parts[3].int_value());
+    entry.first_page = static_cast<uint32_t>(first_page);
+    entry.page_span = static_cast<uint32_t>(page_span);
+    entry.byte_length = static_cast<uint64_t>(byte_length);
     catalog.Put(parts[0].str_value(), entry);
   }
   return catalog;

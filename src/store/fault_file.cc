@@ -1,0 +1,63 @@
+#include "src/store/fault_file.h"
+
+namespace xst {
+
+Status FaultFile::ReadAt(uint64_t offset, char* dst, size_t n) {
+  int64_t index = state_->reads++;
+  if (index == state_->fail_read) {
+    state_->triggered = true;
+    return Status::IOError("injected fault: read #" + std::to_string(index));
+  }
+  return base_->ReadAt(offset, dst, n);
+}
+
+Status FaultFile::WriteAt(uint64_t offset, const char* src, size_t n) {
+  int64_t index = state_->writes++;
+  if (state_->device_failed) {
+    return Status::IOError("injected fault: device failed");
+  }
+  if (index != state_->fail_write) {
+    return base_->WriteAt(offset, src, n);
+  }
+  state_->triggered = true;
+  state_->device_failed = true;
+  size_t landed = 0;
+  switch (state_->write_fault) {
+    case FaultState::WriteFault::kFailCleanly:
+      break;
+    case FaultState::WriteFault::kShortWrite:
+      landed = n / 3;
+      break;
+    case FaultState::WriteFault::kTornWrite:
+      landed = n / 2;
+      break;
+  }
+  if (landed > 0) base_->WriteAt(offset, src, landed).ok();  // best effort
+  return Status::IOError("injected fault: write #" + std::to_string(index) +
+                         " (wrote " + std::to_string(landed) + " of " +
+                         std::to_string(n) + " bytes)");
+}
+
+Status FaultFile::Flush() {
+  int64_t index = state_->flushes++;
+  if (state_->device_failed) {
+    return Status::IOError("injected fault: device failed");
+  }
+  if (index == state_->fail_flush) {
+    state_->triggered = true;
+    state_->device_failed = true;
+    return Status::IOError("injected fault: flush #" + std::to_string(index));
+  }
+  return base_->Flush();
+}
+
+FileFactory FaultFileFactory(std::shared_ptr<FaultState> state) {
+  return [state](const std::string& path) -> Result<std::unique_ptr<File>> {
+    Result<std::unique_ptr<File>> base = StdioFile::Open(path);
+    if (!base.ok()) return base.status();
+    return std::unique_ptr<File>(
+        new FaultFile(std::move(*base), state));
+  };
+}
+
+}  // namespace xst

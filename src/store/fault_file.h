@@ -1,0 +1,68 @@
+// FaultFile: a File that fails on schedule.
+//
+// Wraps a real File and injects one fault per plan: the k-th read, write,
+// or flush (0-based, counted across the file's lifetime). Write and flush
+// faults model a dying device and are STICKY — once the fault fires, every
+// subsequent write and flush also fails, so nothing written "after the
+// crash point" can quietly heal the file (the pager's best-effort teardown
+// flush included). Read faults are transient: only the scheduled read
+// fails, which lets a test verify that resident state survives and the
+// operation is retryable.
+//
+// A failing write can fail three ways, covering the classic torn-page
+// taxonomy:
+//   kFailCleanly  nothing reaches the device
+//   kShortWrite   a prefix (1/3) lands, the rest of the range keeps its old
+//                 bytes (or stays a hole)
+//   kTornWrite    half the page lands — the canonical torn page
+//
+// The plan and its counters live in a shared FaultState owned jointly by
+// the test and the FaultFile(s), so a test can inspect trigger state after
+// the store (and therefore the file) has been destroyed, and so one
+// schedule spans every file a scenario opens (Compact opens two).
+
+#pragma once
+
+#include <memory>
+
+#include "src/store/file.h"
+
+namespace xst {
+
+struct FaultState {
+  enum class WriteFault { kFailCleanly, kShortWrite, kTornWrite };
+
+  // Schedule: 0-based index of the operation to fail; -1 = never.
+  int64_t fail_read = -1;
+  int64_t fail_write = -1;
+  int64_t fail_flush = -1;
+  WriteFault write_fault = WriteFault::kFailCleanly;
+
+  // Counters (reads/writes/flushes attempted so far) and outcome.
+  int64_t reads = 0;
+  int64_t writes = 0;
+  int64_t flushes = 0;
+  bool triggered = false;      ///< did any scheduled fault fire?
+  bool device_failed = false;  ///< sticky: write/flush fault has fired
+};
+
+class FaultFile : public File {
+ public:
+  FaultFile(std::unique_ptr<File> base, std::shared_ptr<FaultState> state)
+      : base_(std::move(base)), state_(std::move(state)) {}
+
+  Result<uint64_t> Size() override { return base_->Size(); }
+  Status ReadAt(uint64_t offset, char* dst, size_t n) override;
+  Status WriteAt(uint64_t offset, const char* src, size_t n) override;
+  Status Flush() override;
+
+ private:
+  std::unique_ptr<File> base_;
+  std::shared_ptr<FaultState> state_;
+};
+
+/// \brief A FileFactory that wraps every opened file in a FaultFile sharing
+/// `state`.
+FileFactory FaultFileFactory(std::shared_ptr<FaultState> state);
+
+}  // namespace xst

@@ -1,0 +1,67 @@
+#include "src/store/file.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace xst {
+
+namespace {
+
+Status IOErrorFromErrno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<File>> StdioFile::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r+b");
+  if (file == nullptr) {
+    file = std::fopen(path.c_str(), "w+b");
+    if (file == nullptr) return IOErrorFromErrno("open " + path);
+  }
+  return std::unique_ptr<File>(new StdioFile(file, path));
+}
+
+StdioFile::~StdioFile() { std::fclose(file_); }
+
+Result<uint64_t> StdioFile::Size() {
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    return IOErrorFromErrno("seek " + path_);
+  }
+  long size = std::ftell(file_);
+  if (size < 0) return IOErrorFromErrno("tell " + path_);
+  return static_cast<uint64_t>(size);
+}
+
+Status StdioFile::ReadAt(uint64_t offset, char* dst, size_t n) {
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    return IOErrorFromErrno("seek " + path_);
+  }
+  size_t got = std::fread(dst, 1, n, file_);
+  if (got != n) {
+    if (std::ferror(file_)) return IOErrorFromErrno("read " + path_);
+    return Status::IOError("read " + path_ + ": short read (" + std::to_string(got) +
+                           " of " + std::to_string(n) + " bytes)");
+  }
+  return Status::OK();
+}
+
+Status StdioFile::WriteAt(uint64_t offset, const char* src, size_t n) {
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    return IOErrorFromErrno("seek " + path_);
+  }
+  size_t put = std::fwrite(src, 1, n, file_);
+  if (put != n) {
+    if (std::ferror(file_)) return IOErrorFromErrno("write " + path_);
+    return Status::IOError("write " + path_ + ": short write (" + std::to_string(put) +
+                           " of " + std::to_string(n) + " bytes)");
+  }
+  return Status::OK();
+}
+
+Status StdioFile::Flush() {
+  if (std::fflush(file_) != 0) return IOErrorFromErrno("fflush " + path_);
+  return Status::OK();
+}
+
+}  // namespace xst

@@ -1,0 +1,69 @@
+// File: the byte-level I/O seam beneath the pager.
+//
+// The pager never touches stdio directly; it reads and writes whole pages
+// through this interface. That keeps exactly one code path for real I/O
+// (StdioFile) and lets the fault-injection harness (FaultFile) interpose a
+// failing device underneath an unmodified storage stack — the property the
+// fault-injection suite depends on: every I/O failure the store can ever
+// see is producible on demand.
+//
+// Offsets are absolute; reads and writes are full-or-error (a short read or
+// short write is reported as IOError, never as a partial success).
+
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/common/result.h"
+
+namespace xst {
+
+class File {
+ public:
+  virtual ~File() = default;
+
+  /// \brief Current size in bytes.
+  virtual Result<uint64_t> Size() = 0;
+
+  /// \brief Reads exactly `n` bytes at `offset` into `dst`.
+  virtual Status ReadAt(uint64_t offset, char* dst, size_t n) = 0;
+
+  /// \brief Writes exactly `n` bytes from `src` at `offset`.
+  virtual Status WriteAt(uint64_t offset, const char* src, size_t n) = 0;
+
+  /// \brief Pushes buffered writes to the OS.
+  virtual Status Flush() = 0;
+};
+
+/// \brief Opens (creating if needed) `path` for read/write paging, or a File
+/// implementation of the caller's choosing via SetStoreOptions::file_factory.
+using FileFactory =
+    std::function<Result<std::unique_ptr<File>>(const std::string& path)>;
+
+/// \brief The production File: buffered stdio over a single descriptor.
+class StdioFile : public File {
+ public:
+  /// \brief Opens `path` read/write, creating it if absent.
+  static Result<std::unique_ptr<File>> Open(const std::string& path);
+
+  ~StdioFile() override;
+  StdioFile(const StdioFile&) = delete;
+  StdioFile& operator=(const StdioFile&) = delete;
+
+  Result<uint64_t> Size() override;
+  Status ReadAt(uint64_t offset, char* dst, size_t n) override;
+  Status WriteAt(uint64_t offset, const char* src, size_t n) override;
+  Status Flush() override;
+
+ private:
+  StdioFile(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+
+  std::FILE* file_;
+  std::string path_;
+};
+
+}  // namespace xst

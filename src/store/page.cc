@@ -35,16 +35,22 @@ uint64_t ReadU64(std::string_view bytes, size_t offset) {
   return v;
 }
 
+// Folds the caller's seed into the FNV-1a offset basis. Seed 0 maps to the
+// plain basis, so unseeded images keep the historical checksum value.
+uint64_t ChecksumBasis(uint64_t seed) {
+  return 14695981039346656037ULL ^ (seed * 0x9e3779b97f4a7c15ULL);
+}
+
 }  // namespace
 
 Page::Page() = default;
 
-Result<Page> Page::FromBytes(std::string_view bytes) {
+Result<Page> Page::FromBytes(std::string_view bytes, uint64_t seed) {
   if (bytes.size() != kPageSize) {
     return Status::Corruption("page image has wrong size " + std::to_string(bytes.size()));
   }
   uint64_t stored_checksum = ReadU64(bytes, 0);
-  uint64_t actual = HashBytes(bytes.data() + 8, kPageSize - 8);
+  uint64_t actual = HashBytes(bytes.data() + 8, kPageSize - 8, ChecksumBasis(seed));
   if (stored_checksum != actual) {
     return Status::Corruption("page checksum mismatch");
   }
@@ -70,7 +76,7 @@ Result<Page> Page::FromBytes(std::string_view bytes) {
   return page;
 }
 
-std::string Page::ToBytes() const {
+std::string Page::ToBytes(uint64_t seed) const {
   std::string body;
   body.reserve(kPageSize - 8);
   PutU32(slot_count_, &body);
@@ -83,7 +89,7 @@ std::string Page::ToBytes() const {
   body.resize(kPageSize - 8, '\0');
   std::string out;
   out.reserve(kPageSize);
-  PutU64(HashBytes(body.data(), body.size()), &out);
+  PutU64(HashBytes(body.data(), body.size(), ChecksumBasis(seed)), &out);
   out.append(body);
   return out;
 }

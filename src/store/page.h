@@ -1,7 +1,7 @@
 // Slotted pages: the on-disk unit of the set store.
 //
 // Layout (kPageSize bytes):
-//   [0..8)    checksum of bytes [8..kPageSize)   (FNV-1a 64)
+//   [0..8)    checksum of bytes [8..kPageSize)   (FNV-1a 64, seeded)
 //   [8..12)   slot count (u32)
 //   [12..16)  free-space offset (u32, grows upward from the header)
 //   [16..)    slot directory: (offset u32, length u32) per slot
@@ -32,10 +32,16 @@ class Page {
   Page();
 
   /// \brief Wraps a raw image; Corruption if the checksum does not match.
-  static Result<Page> FromBytes(std::string_view bytes);
+  ///
+  /// `seed` perturbs the checksum domain; the pager passes the page id, so a
+  /// structurally valid page written to (or read from) the wrong offset — a
+  /// misdirected write — fails validation instead of decoding silently.
+  /// Seed 0 is the historical unseeded format, kept as the default so
+  /// standalone page images (and the page-0 superblock) are unchanged.
+  static Result<Page> FromBytes(std::string_view bytes, uint64_t seed = 0);
 
-  /// \brief The raw image with a freshly computed checksum.
-  std::string ToBytes() const;
+  /// \brief The raw image with a freshly computed checksum under `seed`.
+  std::string ToBytes(uint64_t seed = 0) const;
 
   /// \brief Bytes still available for one more record (including its
   /// directory entry).

@@ -1,58 +1,76 @@
 #include "src/store/pager.h"
 
-#include <cerrno>
-#include <cstring>
+#include "src/common/check.h"
 
 namespace xst {
 
-namespace {
-
-Status IOErrorFromErrno(const std::string& what) {
-  return Status::IOError(what + ": " + std::strerror(errno));
+PageRef::PageRef(Pager* pager, internal::PageFrame* frame)
+    : pager_(pager), frame_(frame) {
+  if (frame_->pins++ == 0) ++pager_->pinned_frames_;
 }
 
-}  // namespace
+PageRef& PageRef::operator=(PageRef&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    pager_ = other.pager_;
+    frame_ = other.frame_;
+    other.pager_ = nullptr;
+    other.frame_ = nullptr;
+  }
+  return *this;
+}
+
+void PageRef::Reset() {
+  if (frame_ != nullptr) pager_->Unpin(frame_);
+  pager_ = nullptr;
+  frame_ = nullptr;
+}
+
+void Pager::Unpin(internal::PageFrame* frame) {
+  XST_CHECK(frame->pins > 0);
+  if (--frame->pins == 0) --pinned_frames_;
+}
 
 Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path, size_t capacity) {
+  Result<std::unique_ptr<File>> file = StdioFile::Open(path);
+  if (!file.ok()) return file.status();
+  return Open(std::move(*file), capacity, path);
+}
+
+Result<std::unique_ptr<Pager>> Pager::Open(std::unique_ptr<File> file,
+                                           size_t capacity, const std::string& name) {
   if (capacity == 0) return Status::Invalid("buffer pool capacity must be >= 1");
-  std::FILE* file = std::fopen(path.c_str(), "r+b");
-  if (file == nullptr) {
-    file = std::fopen(path.c_str(), "w+b");
-    if (file == nullptr) return IOErrorFromErrno("open " + path);
-  }
-  if (std::fseek(file, 0, SEEK_END) != 0) {
-    std::fclose(file);
-    return IOErrorFromErrno("seek " + path);
-  }
-  long size = std::ftell(file);
-  if (size < 0 || static_cast<size_t>(size) % kPageSize != 0) {
-    std::fclose(file);
-    return Status::Corruption(path + ": file size " + std::to_string(size) +
+  Result<uint64_t> size = file->Size();
+  if (!size.ok()) return size.status().WithContext(name);
+  if (*size % kPageSize != 0) {
+    return Status::Corruption(name + ": file size " + std::to_string(*size) +
                               " is not a whole number of pages");
   }
-  return std::unique_ptr<Pager>(
-      new Pager(file, capacity, static_cast<uint32_t>(size / kPageSize)));
+  return std::unique_ptr<Pager>(new Pager(std::move(file), name, capacity,
+                                          static_cast<uint32_t>(*size / kPageSize)));
 }
 
 Pager::~Pager() {
+  // Pin discipline: every PageRef must be released before its pager dies —
+  // a surviving handle would point into a freed frame.
+  XST_CHECK(pinned_frames_ == 0);
   Flush().ok();  // best effort on teardown
-  std::fclose(file_);
 }
 
-Result<uint32_t> Pager::AllocatePage() {
-  uint32_t page_id = page_count_;
-  Frame frame;
-  frame.dirty = true;
+Result<PageRef> Pager::AllocatePage() {
   Status st = EvictIfFull();
   if (!st.ok()) return st;
-  lru_.emplace_front(page_id, std::move(frame));
-  frames_[page_id] = lru_.begin();
+  internal::PageFrame frame;
+  frame.page_id = page_count_;
+  frame.dirty = true;
+  lru_.push_front(std::move(frame));
+  frames_[page_count_] = lru_.begin();
   ++page_count_;
   ++stats_.allocations;
-  return page_id;
+  return PageRef(this, &*lru_.begin());
 }
 
-Result<Page*> Pager::FetchPage(uint32_t page_id) {
+Result<PageRef> Pager::FetchPage(uint32_t page_id) {
   if (page_id >= page_count_) {
     return Status::OutOfRange("page " + std::to_string(page_id) + " of " +
                               std::to_string(page_count_));
@@ -61,76 +79,70 @@ Result<Page*> Pager::FetchPage(uint32_t page_id) {
   if (it != frames_.end()) {
     ++stats_.hits;
     lru_.splice(lru_.begin(), lru_, it->second);  // touch
-    return &it->second->second.page;
+    return PageRef(this, &*it->second);
   }
   ++stats_.misses;
   Status st = EvictIfFull();
   if (!st.ok()) return st;
   std::string bytes(kPageSize, '\0');
-  if (std::fseek(file_, static_cast<long>(page_id) * static_cast<long>(kPageSize),
-                 SEEK_SET) != 0) {
-    return IOErrorFromErrno("seek page " + std::to_string(page_id));
-  }
-  if (std::fread(bytes.data(), 1, kPageSize, file_) != kPageSize) {
-    return IOErrorFromErrno("read page " + std::to_string(page_id));
-  }
-  Result<Page> page = Page::FromBytes(bytes);
+  st = file_->ReadAt(static_cast<uint64_t>(page_id) * kPageSize, bytes.data(), kPageSize);
+  if (!st.ok()) return st.WithContext("page " + std::to_string(page_id));
+  Result<Page> page = Page::FromBytes(bytes, page_id);
   if (!page.ok()) {
     return page.status().WithContext("page " + std::to_string(page_id));
   }
-  Frame frame;
-  frame.page = *std::move(page);
-  lru_.emplace_front(page_id, std::move(frame));
+  internal::PageFrame frame;
+  frame.page = std::move(*page);
+  frame.page_id = page_id;
+  lru_.push_front(std::move(frame));
   frames_[page_id] = lru_.begin();
-  return &lru_.begin()->second.page;
+  return PageRef(this, &*lru_.begin());
 }
 
-Status Pager::MarkDirty(uint32_t page_id) {
-  auto it = frames_.find(page_id);
-  if (it == frames_.end()) {
-    return Status::Invalid("MarkDirty: page " + std::to_string(page_id) +
-                           " is not resident");
-  }
-  it->second->second.dirty = true;
-  return Status::OK();
-}
-
-Status Pager::WriteBack(uint32_t page_id, const Frame& frame) {
-  std::string bytes = frame.page.ToBytes();
-  if (std::fseek(file_, static_cast<long>(page_id) * static_cast<long>(kPageSize),
-                 SEEK_SET) != 0) {
-    return IOErrorFromErrno("seek page " + std::to_string(page_id));
-  }
-  if (std::fwrite(bytes.data(), 1, kPageSize, file_) != kPageSize) {
-    return IOErrorFromErrno("write page " + std::to_string(page_id));
-  }
+Status Pager::WriteBack(internal::PageFrame& frame) {
+  std::string bytes = frame.page.ToBytes(frame.page_id);
+  Status st = file_->WriteAt(static_cast<uint64_t>(frame.page_id) * kPageSize,
+                             bytes.data(), kPageSize);
+  if (!st.ok()) return st.WithContext("page " + std::to_string(frame.page_id));
   ++stats_.writebacks;
   return Status::OK();
 }
 
 Status Pager::EvictIfFull() {
   while (lru_.size() >= capacity_) {
-    auto& [victim_id, victim] = lru_.back();
-    if (victim.dirty) {
-      Status st = WriteBack(victim_id, victim);
+    // Least-recently-used unpinned frame; pinned frames are untouchable.
+    auto victim = lru_.end();
+    for (auto it = std::prev(lru_.end());; --it) {
+      if (it->pins == 0) {
+        victim = it;
+        break;
+      }
+      if (it == lru_.begin()) break;
+    }
+    if (victim == lru_.end()) {
+      return Status::ResourceExhausted(
+          name_ + ": all " + std::to_string(capacity_) +
+          " buffer-pool frames are pinned; release a PageRef or grow the pool");
+    }
+    if (victim->dirty) {
+      Status st = WriteBack(*victim);
       if (!st.ok()) return st;
     }
-    frames_.erase(victim_id);
-    lru_.pop_back();
+    frames_.erase(victim->page_id);
+    lru_.erase(victim);
     ++stats_.evictions;
   }
   return Status::OK();
 }
 
 Status Pager::Flush() {
-  for (auto& [page_id, frame] : lru_) {
+  for (internal::PageFrame& frame : lru_) {
     if (!frame.dirty) continue;
-    Status st = WriteBack(page_id, frame);
+    Status st = WriteBack(frame);
     if (!st.ok()) return st;
     frame.dirty = false;
   }
-  if (std::fflush(file_) != 0) return IOErrorFromErrno("fflush");
-  return Status::OK();
+  return file_->Flush();
 }
 
 }  // namespace xst

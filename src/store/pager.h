@@ -1,23 +1,38 @@
-// Pager: a file of pages behind an LRU buffer pool.
+// Pager: a file of pages behind an LRU buffer pool with pin discipline.
 //
 // The 1977 paper's backend context (block devices, scarce memory) is
 // simulated with a page file plus a bounded write-back cache. The pager
 // tracks hit/miss/eviction counters so the benchmarks can report locality
 // behavior, and validates checksums on every fill — a torn or tampered page
-// surfaces as Corruption, never as silent bad data.
+// surfaces as Corruption, never as silent bad data. The checksum is seeded
+// with the page id, so a misdirected write (right bytes, wrong offset) is
+// also Corruption.
+//
+// Access is exclusively through PageRef, an RAII pin handle: a pinned frame
+// is never evicted, so the reference stays valid for the handle's entire
+// lifetime — across further fetches and allocations. The historical
+// use-after-evict (holding a raw Page* across a pager call that recycled
+// the frame) is unrepresentable in this API. When every frame is pinned and
+// a fetch needs a new one, the pager returns ResourceExhausted instead of
+// invalidating anything.
+//
+// I/O goes through the File seam (file.h); tests interpose FaultFile to
+// prove every read/write/flush failure surfaces as a Status.
 //
 // Not thread-safe: the set store serializes access (single writer, as the
 // era's systems did).
 
 #pragma once
 
-#include <cstdio>
+#include <cstdint>
 #include <list>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "src/common/result.h"
+#include "src/store/file.h"
 #include "src/store/page.h"
 
 namespace xst {
@@ -30,54 +45,116 @@ struct PagerStats {
   uint64_t allocations = 0;
 };
 
+namespace internal {
+
+/// \brief A buffer-pool frame. Lives in the pager's LRU list (std::list
+/// nodes are address-stable), addressed by PageRef while pinned.
+struct PageFrame {
+  Page page;
+  uint32_t page_id = kInvalidPageId;
+  uint32_t pins = 0;
+  bool dirty = false;
+};
+
+}  // namespace internal
+
+class Pager;
+
+/// \brief RAII pin on a buffer-pool frame.
+///
+/// Holding a PageRef guarantees the frame is resident and address-stable;
+/// releasing (destruction, move-assignment, Reset) unpins it. Move-only.
+/// A PageRef must not outlive its Pager (checked at pager teardown).
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(PageRef&& other) noexcept { *this = std::move(other); }
+  PageRef& operator=(PageRef&& other) noexcept;
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+  ~PageRef() { Reset(); }
+
+  /// \brief True iff the handle pins a frame.
+  explicit operator bool() const { return frame_ != nullptr; }
+
+  Page* operator->() const { return &frame_->page; }
+  Page& operator*() const { return frame_->page; }
+
+  /// \brief The pinned page's id.
+  uint32_t id() const { return frame_->page_id; }
+
+  /// \brief Marks the pinned page dirty so eviction/flush persists it.
+  void MarkDirty() { frame_->dirty = true; }
+
+  /// \brief Unpins early (the handle becomes empty).
+  void Reset();
+
+ private:
+  friend class Pager;
+  PageRef(Pager* pager, internal::PageFrame* frame);
+
+  Pager* pager_ = nullptr;
+  internal::PageFrame* frame_ = nullptr;
+};
+
 class Pager {
  public:
-  /// \brief Opens (creating if needed) a page file. `capacity` is the
-  /// buffer-pool size in pages (≥ 1).
+  /// \brief Opens (creating if needed) a page file through StdioFile.
+  /// `capacity` is the buffer-pool size in pages (≥ 1).
   static Result<std::unique_ptr<Pager>> Open(const std::string& path, size_t capacity = 64);
+
+  /// \brief Opens over a caller-supplied File (fault injection, alternate
+  /// backends). `name` labels error messages.
+  static Result<std::unique_ptr<Pager>> Open(std::unique_ptr<File> file,
+                                             size_t capacity, const std::string& name);
 
   ~Pager();
   Pager(const Pager&) = delete;
   Pager& operator=(const Pager&) = delete;
 
-  /// \brief Appends a fresh empty page; returns its id.
-  Result<uint32_t> AllocatePage();
+  /// \brief Appends a fresh empty page and returns it pinned and dirty.
+  /// ResourceExhausted if every frame is pinned.
+  Result<PageRef> AllocatePage();
 
-  /// \brief Reads a page through the pool. The reference stays valid until
-  /// the next pager call (eviction may recycle the frame).
-  Result<Page*> FetchPage(uint32_t page_id);
+  /// \brief Reads a page through the pool, pinned. ResourceExhausted if the
+  /// page is not resident and every frame is pinned.
+  Result<PageRef> FetchPage(uint32_t page_id);
 
-  /// \brief Marks a fetched page dirty so eviction/flush persists it.
-  Status MarkDirty(uint32_t page_id);
-
-  /// \brief Writes back every dirty page and fsyncs.
+  /// \brief Writes back every dirty page and flushes the file.
   Status Flush();
 
   /// \brief Number of pages in the file.
   uint32_t page_count() const { return page_count_; }
 
+  /// \brief Currently pinned frames (for tests and invariant checks).
+  size_t pinned_frames() const { return pinned_frames_; }
+
   const PagerStats& stats() const { return stats_; }
   void ResetStats() { stats_ = PagerStats{}; }
 
  private:
-  Pager(std::FILE* file, size_t capacity, uint32_t page_count)
-      : file_(file), capacity_(capacity), page_count_(page_count) {}
+  friend class PageRef;
 
-  struct Frame {
-    Page page;
-    bool dirty = false;
-  };
+  Pager(std::unique_ptr<File> file, std::string name, size_t capacity,
+        uint32_t page_count)
+      : file_(std::move(file)),
+        name_(std::move(name)),
+        capacity_(capacity),
+        page_count_(page_count) {}
 
-  Status WriteBack(uint32_t page_id, const Frame& frame);
+  Status WriteBack(internal::PageFrame& frame);
   Status EvictIfFull();
+  void Unpin(internal::PageFrame* frame);
 
-  std::FILE* file_;
+  std::unique_ptr<File> file_;
+  std::string name_;
   size_t capacity_;
   uint32_t page_count_;
+  size_t pinned_frames_ = 0;
   PagerStats stats_;
   // LRU: most-recent at front. The map stores list iterators for O(1) touch.
-  std::list<std::pair<uint32_t, Frame>> lru_;
-  std::unordered_map<uint32_t, std::list<std::pair<uint32_t, Frame>>::iterator> frames_;
+  std::list<internal::PageFrame> lru_;
+  std::unordered_map<uint32_t, std::list<internal::PageFrame>::iterator> frames_;
 };
 
 }  // namespace xst

@@ -21,18 +21,35 @@ size_t ChunkCapacity() {
 
 }  // namespace
 
+Result<std::unique_ptr<Pager>> SetStore::OpenPager(const std::string& path) const {
+  Result<std::unique_ptr<File>> file =
+      options_.file_factory ? options_.file_factory(path) : StdioFile::Open(path);
+  if (!file.ok()) return file.status();
+  return Pager::Open(std::move(*file), options_.buffer_pool_pages, path);
+}
+
+Status SetStore::CheckOpen() const {
+  if (pager_ == nullptr) {
+    return Status::IOError("store '" + path_ +
+                           "' is closed (a compaction reopen failed); reopen it "
+                           "from the path");
+  }
+  return Status::OK();
+}
+
 Result<std::unique_ptr<SetStore>> SetStore::Open(const std::string& path,
                                                  const SetStoreOptions& options) {
-  XST_ASSIGN_OR_RAISE(std::unique_ptr<Pager> pager,
-                      Pager::Open(path, options.buffer_pool_pages));
-  std::unique_ptr<SetStore> store(new SetStore(path, std::move(pager)));
+  std::unique_ptr<SetStore> store(new SetStore(path, options));
+  XST_ASSIGN_OR_RAISE(store->pager_, store->OpenPager(path));
   if (store->pager_->page_count() == 0) {
     // Fresh store: create the superblock.
-    XST_ASSIGN_OR_RAISE(uint32_t superblock, store->pager_->AllocatePage());
-    // The sizeof-based XST_DCHECK counts as a use even under NDEBUG, so no
-    // (void) cast is needed to silence -Wunused-variable.
-    XST_DCHECK(superblock == 0);
-    XST_RETURN_NOT_OK(store->PersistCatalog());
+    {
+      XST_ASSIGN_OR_RAISE(PageRef superblock, store->pager_->AllocatePage());
+      // The sizeof-based XST_DCHECK counts as a use even under NDEBUG, so no
+      // (void) cast is needed to silence -Wunused-variable.
+      XST_DCHECK(superblock.id() == 0);
+    }
+    XST_RETURN_NOT_OK(store->PersistCatalog(store->catalog_));
   } else {
     XST_RETURN_NOT_OK(store->LoadCatalog());
   }
@@ -46,14 +63,14 @@ Result<CatalogEntry> SetStore::WriteBlob(const std::string& bytes) {
   uint32_t span = 0;
   do {
     size_t chunk = std::min(ChunkCapacity(), bytes.size() - offset);
-    XST_ASSIGN_OR_RAISE(uint32_t page_id, pager_->AllocatePage());
-    if (span == 0) entry.first_page = page_id;
-    XST_ASSIGN_OR_RAISE(Page * page, pager_->FetchPage(page_id));
+    // AllocatePage returns the frame pinned and already dirty; the pin drops
+    // at the end of each iteration, so even a capacity-1 pool makes progress.
+    XST_ASSIGN_OR_RAISE(PageRef page, pager_->AllocatePage());
+    if (span == 0) entry.first_page = page.id();
     if (chunk > 0) {
       Result<uint32_t> slot = page->AddRecord(std::string_view(bytes).substr(offset, chunk));
       if (!slot.ok()) return slot.status();
     }
-    XST_RETURN_NOT_OK(pager_->MarkDirty(page_id));
     offset += chunk;
     ++span;
   } while (offset < bytes.size());
@@ -65,8 +82,11 @@ Result<std::string> SetStore::ReadBlob(const CatalogEntry& entry) {
   std::string bytes;
   bytes.reserve(entry.byte_length);
   for (uint32_t i = 0; i < entry.page_span; ++i) {
-    XST_ASSIGN_OR_RAISE(Page * page, pager_->FetchPage(entry.first_page + i));
+    XST_ASSIGN_OR_RAISE(PageRef page, pager_->FetchPage(entry.first_page + i));
     if (page->slot_count() == 0) continue;  // empty blob chunk
+    // The record view aliases the frame; the pin keeps it valid while we
+    // copy (the old raw-pointer API dangled exactly here under pool
+    // pressure).
     XST_ASSIGN_OR_RAISE(std::string_view record, page->GetRecord(0));
     bytes.append(record);
   }
@@ -78,28 +98,56 @@ Result<std::string> SetStore::ReadBlob(const CatalogEntry& entry) {
   return bytes;
 }
 
-Status SetStore::PersistCatalog() {
+Status SetStore::PersistCatalog(const Catalog& staged) {
   // Write the catalog blob first, then swap the superblock pointer — the
   // order that keeps a crash from orphaning anything but garbage pages.
-  std::string encoded = EncodeXSetToString(catalog_.ToXSet());
+  std::string encoded = EncodeXSetToString(staged.ToXSet());
   XST_ASSIGN_OR_RAISE(CatalogEntry entry, WriteBlob(encoded));
   XSet pointer = XSet::Pair(XSet::Int(entry.first_page),
                             XSet::Int(static_cast<int64_t>(entry.byte_length)));
   XSet with_span = XSet::Pair(pointer, XSet::Int(entry.page_span));
   std::string superblock_record = EncodeXSetToString(with_span);
 
-  XST_ASSIGN_OR_RAISE(Page * superblock, pager_->FetchPage(0));
+  XST_ASSIGN_OR_RAISE(PageRef superblock, pager_->FetchPage(0));
   *superblock = Page();  // reset: the superblock holds exactly one record
   Result<uint32_t> slot = superblock->AddRecord(superblock_record);
   if (!slot.ok()) return slot.status();
-  XST_RETURN_NOT_OK(pager_->MarkDirty(0));
+  superblock.MarkDirty();
+  superblock.Reset();  // unpin before the flush sweep
   return pager_->Flush();
 }
 
+Status SetStore::ValidateBlobRange(const std::string& what, int64_t first_page,
+                                   int64_t page_span, int64_t byte_length) const {
+  const int64_t page_count = pager_->page_count();
+  const auto fail = [&](const std::string& detail) {
+    return Status::Corruption(what + ": " + detail + " (first_page=" +
+                              std::to_string(first_page) +
+                              ", page_span=" + std::to_string(page_span) +
+                              ", byte_length=" + std::to_string(byte_length) +
+                              ", file has " + std::to_string(page_count) + " pages)");
+  };
+  // Page 0 is the superblock, so every blob lives in [1, page_count).
+  if (first_page < 1) return fail("first page out of range");
+  if (page_span < 1) return fail("page span out of range");
+  if (byte_length < 0) return fail("negative byte length");
+  if (first_page > page_count - page_span) return fail("page range beyond end of file");
+  // page_span < page_count here, so the product cannot overflow.
+  if (byte_length > page_span * static_cast<int64_t>(ChunkCapacity())) {
+    return fail("byte length exceeds what the page span can hold");
+  }
+  return Status::OK();
+}
+
 Status SetStore::LoadCatalog() {
-  XST_ASSIGN_OR_RAISE(Page * superblock, pager_->FetchPage(0));
-  XST_ASSIGN_OR_RAISE(std::string_view record, superblock->GetRecord(0));
-  XST_ASSIGN_OR_RAISE(XSet with_span, DecodeXSetWhole(record));
+  XSet with_span = XSet::Empty();
+  {
+    // Scoped pin: the superblock must be unpinned before ReadBlob below, or
+    // a capacity-1 pool could never load its own catalog.
+    XST_ASSIGN_OR_RAISE(PageRef superblock, pager_->FetchPage(0));
+    XST_ASSIGN_OR_RAISE(std::string_view record, superblock->GetRecord(0));
+    XST_ASSIGN_OR_RAISE(with_span, DecodeXSetWhole(record));
+  }
   XST_ASSIGN_OR_RAISE(XSet pointer, TupleGet(with_span, 1));
   XST_ASSIGN_OR_RAISE(XSet span_val, TupleGet(with_span, 2));
   XST_ASSIGN_OR_RAISE(XSet first_val, TupleGet(pointer, 1));
@@ -107,25 +155,46 @@ Status SetStore::LoadCatalog() {
   if (!first_val.is_int() || !len_val.is_int() || !span_val.is_int()) {
     return Status::Corruption("superblock pointer is not numeric");
   }
+  // Validate before any narrowing cast: a negative or oversized value must
+  // surface here as Corruption, not wrap into a bogus page fetch or a
+  // confusing blob-length mismatch downstream.
+  XST_RETURN_NOT_OK(ValidateBlobRange("superblock catalog pointer",
+                                      first_val.int_value(), span_val.int_value(),
+                                      len_val.int_value()));
   CatalogEntry entry;
   entry.first_page = static_cast<uint32_t>(first_val.int_value());
   entry.page_span = static_cast<uint32_t>(span_val.int_value());
   entry.byte_length = static_cast<uint64_t>(len_val.int_value());
   XST_ASSIGN_OR_RAISE(std::string encoded, ReadBlob(entry));
   XST_ASSIGN_OR_RAISE(XSet repr, DecodeXSetWhole(encoded));
-  XST_ASSIGN_OR_RAISE(catalog_, Catalog::FromXSet(repr));
+  XST_ASSIGN_OR_RAISE(Catalog loaded, Catalog::FromXSet(repr));
+  for (const std::string& name : loaded.Names()) {
+    CatalogEntry e = *loaded.Get(name);
+    XST_RETURN_NOT_OK(ValidateBlobRange("catalog entry '" + name + "'",
+                                        static_cast<int64_t>(e.first_page),
+                                        static_cast<int64_t>(e.page_span),
+                                        static_cast<int64_t>(e.byte_length)));
+  }
+  catalog_ = std::move(loaded);
   return Status::OK();
 }
 
 Status SetStore::Put(const std::string& name, const XSet& value) {
+  XST_RETURN_NOT_OK(CheckOpen());
   if (name.empty()) return Status::Invalid("set names must be non-empty");
   std::string encoded = EncodeXSetToString(value);
   XST_ASSIGN_OR_RAISE(CatalogEntry entry, WriteBlob(encoded));
-  catalog_.Put(name, entry);
-  return PersistCatalog();
+  // Stage-then-commit: the in-memory catalog only advances once the persist
+  // has fully succeeded, so a failed put leaves resident state untouched.
+  Catalog staged = catalog_;
+  staged.Put(name, entry);
+  XST_RETURN_NOT_OK(PersistCatalog(staged));
+  catalog_ = std::move(staged);
+  return Status::OK();
 }
 
 Status SetStore::PutBatch(const std::vector<std::pair<std::string, XSet>>& entries) {
+  XST_RETURN_NOT_OK(CheckOpen());
   // Validate up front: the batch must be all-or-nothing, so no partial
   // catalog mutation may happen after the first write.
   std::unordered_set<std::string> seen;
@@ -142,11 +211,13 @@ Status SetStore::PutBatch(const std::vector<std::pair<std::string, XSet>>& entri
     XST_ASSIGN_OR_RAISE(CatalogEntry entry, WriteBlob(encoded));
     staged.Put(name, entry);
   }
+  XST_RETURN_NOT_OK(PersistCatalog(staged));  // the single commit point
   catalog_ = std::move(staged);
-  return PersistCatalog();  // the single commit point
+  return Status::OK();
 }
 
 Result<size_t> SetStore::Scrub() {
+  XST_RETURN_NOT_OK(CheckOpen());
   size_t verified = 0;
   for (const std::string& name : catalog_.Names()) {
     Result<XSet> value = Get(name);
@@ -159,6 +230,7 @@ Result<size_t> SetStore::Scrub() {
 }
 
 Result<XSet> SetStore::Get(const std::string& name) {
+  XST_RETURN_NOT_OK(CheckOpen());
   XST_ASSIGN_OR_RAISE(CatalogEntry entry, catalog_.Get(name));
   XST_ASSIGN_OR_RAISE(std::string encoded, ReadBlob(entry));
   Result<XSet> decoded = DecodeXSetWhole(encoded);
@@ -167,29 +239,66 @@ Result<XSet> SetStore::Get(const std::string& name) {
 }
 
 Status SetStore::Delete(const std::string& name) {
-  XST_RETURN_NOT_OK(catalog_.Remove(name));
-  return PersistCatalog();
+  XST_RETURN_NOT_OK(CheckOpen());
+  Catalog staged = catalog_;
+  XST_RETURN_NOT_OK(staged.Remove(name));
+  XST_RETURN_NOT_OK(PersistCatalog(staged));
+  catalog_ = std::move(staged);
+  return Status::OK();
+}
+
+Status SetStore::Flush() {
+  XST_RETURN_NOT_OK(CheckOpen());
+  return pager_->Flush();
+}
+
+Status SetStore::Reopen() {
+  pager_.reset();
+  Result<std::unique_ptr<Pager>> pager = OpenPager(path_);
+  if (!pager.ok()) return pager.status();  // pager_ stays null: store closed
+  pager_ = std::move(*pager);
+  Status st = LoadCatalog();
+  if (!st.ok()) {
+    // Never serve the old catalog against a file we could not load from —
+    // its page references may decode to the wrong data. Close instead.
+    pager_.reset();
+    return st;
+  }
+  return Status::OK();
 }
 
 Status SetStore::Compact() {
+  XST_RETURN_NOT_OK(CheckOpen());
   // Rewrite live blobs into a sibling file, then swap it in.
   const std::string tmp_path = path_ + ".compact";
   std::remove(tmp_path.c_str());
-  {
-    XST_ASSIGN_OR_RAISE(std::unique_ptr<SetStore> fresh, SetStore::Open(tmp_path));
+  Status st = [&]() -> Status {
+    XST_ASSIGN_OR_RAISE(std::unique_ptr<SetStore> fresh,
+                        SetStore::Open(tmp_path, options_));
     for (const std::string& name : catalog_.Names()) {
       XST_ASSIGN_OR_RAISE(XSet value, Get(name));
       XST_RETURN_NOT_OK(fresh->Put(name, value));
     }
-    XST_RETURN_NOT_OK(fresh->Flush());
+    return fresh->Flush();
+  }();
+  if (st.ok()) st = Flush();
+  if (!st.ok()) {
+    // The original file and the resident catalog are untouched; drop the
+    // half-written sibling and report.
+    std::remove(tmp_path.c_str());
+    return st.WithContext("compact " + path_);
   }
-  XST_RETURN_NOT_OK(Flush());
   pager_.reset();  // close our file before replacing it
-  if (std::rename(tmp_path.c_str(), path_.c_str()) != 0) {
-    return Status::IOError("rename during compaction failed");
+  int rc = options_.rename_fn ? options_.rename_fn(tmp_path.c_str(), path_.c_str())
+                              : std::rename(tmp_path.c_str(), path_.c_str());
+  if (rc != 0) {
+    std::remove(tmp_path.c_str());
+    Status reopened = Reopen();  // the original file is intact; keep serving it
+    Status failed = Status::IOError("compact " + path_ + ": rename failed");
+    return reopened.ok() ? failed
+                         : reopened.WithContext("compact: reopen after failed rename");
   }
-  XST_ASSIGN_OR_RAISE(pager_, Pager::Open(path_));
-  return LoadCatalog();
+  return Reopen().WithContext("compact " + path_ + ": reopen after swap");
 }
 
 }  // namespace xst

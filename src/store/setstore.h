@@ -6,9 +6,10 @@
 // mathematical identity.
 //
 // Layout:
-//   page 0           superblock: one record, the encoded pair
-//                    ⟨catalog_first_page, catalog_byte_length⟩
-//                    (⟨-1, 0⟩ while the store is empty)
+//   page 0           superblock: one record, the encoded tuple
+//                    ⟨⟨catalog_first_page, catalog_byte_length⟩, page_span⟩
+//                    (a fresh store persists an empty catalog immediately,
+//                    so the pointer is always live)
 //   pages 1..N       blob chunks; a blob occupies a contiguous page span,
 //                    one record per page
 //
@@ -16,9 +17,17 @@
 // reclaimed by Compact(), which rewrites the live blobs into a fresh file.
 // Every page is checksummed; any torn or tampered byte surfaces as
 // Corruption on read.
+//
+// Failure contract (proved by tests/fault_injection_test.cc): every I/O
+// failure surfaces as a non-OK Status, the in-memory catalog never commits
+// an update whose persist failed (staged-catalog discipline), and the file
+// on disk is always either a consistent pre-/post-state or detectably
+// corrupt via checksums and catalog range validation — never silently
+// wrong.
 
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -26,12 +35,22 @@
 #include "src/common/result.h"
 #include "src/core/xset.h"
 #include "src/store/catalog.h"
+#include "src/store/file.h"
 #include "src/store/pager.h"
 
 namespace xst {
 
 struct SetStoreOptions {
   size_t buffer_pool_pages = 64;
+
+  /// \brief Opens the store's backing files; StdioFile::Open when unset.
+  /// Applied to every file the store opens, including Compact's temp file —
+  /// the hook the fault-injection suite hangs a failing device on.
+  FileFactory file_factory;
+
+  /// \brief Compact's atomic-swap primitive; std::rename when unset
+  /// (test hook for the rename-failure recovery path).
+  std::function<int(const char* from, const char* to)> rename_fn;
 };
 
 class SetStore {
@@ -66,10 +85,13 @@ class SetStore {
   std::vector<std::string> List() const { return catalog_.Names(); }
 
   /// \brief Rewrites the store keeping only live blobs; reopens in place.
+  /// On failure the temp file is removed and the original store stays
+  /// usable; only a failed post-swap reopen leaves the store closed (the
+  /// file itself remains valid — reopen from the path).
   Status Compact();
 
   /// \brief Flushes the pool to disk.
-  Status Flush() { return pager_->Flush(); }
+  Status Flush();
 
   const PagerStats& pager_stats() const { return pager_->stats(); }
   void ResetPagerStats() { pager_->ResetStats(); }
@@ -79,15 +101,24 @@ class SetStore {
   XSet CatalogAsXSet() const { return catalog_.ToXSet(); }
 
  private:
-  SetStore(std::string path, std::unique_ptr<Pager> pager)
-      : path_(std::move(path)), pager_(std::move(pager)) {}
+  SetStore(std::string path, SetStoreOptions options)
+      : path_(std::move(path)), options_(std::move(options)) {}
 
+  Result<std::unique_ptr<Pager>> OpenPager(const std::string& path) const;
+  Status CheckOpen() const;
   Result<CatalogEntry> WriteBlob(const std::string& bytes);
   Result<std::string> ReadBlob(const CatalogEntry& entry);
-  Status PersistCatalog();
+  /// Persists `staged` to disk; the caller commits it to catalog_ only on OK.
+  Status PersistCatalog(const Catalog& staged);
   Status LoadCatalog();
+  /// Reopens pager_ + catalog_ from path_; on failure the store is closed.
+  Status Reopen();
+  /// Corruption unless the blob range is well-formed for this file.
+  Status ValidateBlobRange(const std::string& what, int64_t first_page,
+                           int64_t page_span, int64_t byte_length) const;
 
   std::string path_;
+  SetStoreOptions options_;
   std::unique_ptr<Pager> pager_;
   Catalog catalog_;
 };

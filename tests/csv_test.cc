@@ -24,8 +24,9 @@ TEST(Csv, ExportBasic) {
       MixedSchema(),
       {{XSet::Int(1), XSet::Symbol("bolt"), XSet::String("plain"), X("{a^1}")},
        {XSet::Int(2), XSet::Symbol("nut"), XSet::String("has,comma"), X("<>")}});
-  std::string csv = ExportCsv(r);
-  EXPECT_EQ(csv,
+  Result<std::string> csv = ExportCsv(r);
+  ASSERT_TRUE(csv.ok()) << csv.status().ToString();
+  EXPECT_EQ(*csv,
             "id,name,note,extra\n"
             "1,bolt,plain,<a>\n"
             "2,nut,\"has,comma\",{}\n");
@@ -35,8 +36,9 @@ TEST(Csv, QuotingEdgeCases) {
   Relation r = *Relation::FromRows(
       *Schema::Make({{"s", AttrType::kString}}),
       {{XSet::String("he said \"hi\"")}, {XSet::String("two\nlines")}, {XSet::String("")}});
-  std::string csv = ExportCsv(r);
-  Result<Relation> back = ImportCsv(r.schema(), csv);
+  Result<std::string> csv = ExportCsv(r);
+  ASSERT_TRUE(csv.ok()) << csv.status().ToString();
+  Result<Relation> back = ImportCsv(r.schema(), *csv);
   ASSERT_TRUE(back.ok()) << back.status().ToString();
   EXPECT_EQ(*back, r);
 }
@@ -46,7 +48,7 @@ TEST(Csv, RoundTripMixedTypes) {
       MixedSchema(),
       {{XSet::Int(-5), XSet::Symbol("q_1"), XSet::String("x,y\n\"z\""), X("{p^<1, 2>}")},
        {XSet::Int(0), XSet::Symbol("w"), XSet::String(""), X("<a, 3>")}});
-  Result<Relation> back = ImportCsv(r.schema(), ExportCsv(r));
+  Result<Relation> back = ImportCsv(r.schema(), *ExportCsv(r));
   ASSERT_TRUE(back.ok()) << back.status().ToString();
   EXPECT_EQ(*back, r);
 }
@@ -56,7 +58,7 @@ TEST(Csv, RoundTripGeneratedWorkload) {
   spec.row_count = 300;
   auto orders = MakeOrders(spec);
   ASSERT_TRUE(orders.ok());
-  Result<Relation> back = ImportCsv(orders->xst.schema(), ExportCsv(orders->xst));
+  Result<Relation> back = ImportCsv(orders->xst.schema(), *ExportCsv(orders->xst));
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(*back, orders->xst);
 }
@@ -91,9 +93,37 @@ TEST(Csv, AlternateDelimiter) {
   CsvOptions tsv;
   tsv.delimiter = '\t';
   Relation r = *Relation::FromRows(schema, {{XSet::Int(1), XSet::Int(2)}});
-  std::string out = ExportCsv(r, tsv);
+  std::string out = *ExportCsv(r, tsv);
   EXPECT_EQ(out, "a\tb\n1\t2\n");
   EXPECT_EQ(*ImportCsv(schema, out, tsv), r);
+}
+
+TEST(Csv, ExportRejectsRaggedTupleSet) {
+  // Regression: a tuple wider than the schema arity used to index
+  // schema.attribute(i) out of bounds, and non-tuple members were silently
+  // dropped from the output. Both must be TypeErrors through the raw
+  // tuple-set overload (the door unvalidated store-loaded data comes in).
+  Schema schema = *Schema::Make({{"a", AttrType::kInt}, {"b", AttrType::kInt}});
+  XSet ragged = X("{<1, 2>, <3, 4, 5>}");  // second tuple too wide
+  Result<std::string> wide = ExportCsv(schema, ragged);
+  EXPECT_TRUE(wide.status().IsTypeError()) << wide.status().ToString();
+
+  XSet non_tuple = X("{<1, 2>, plain_atom}");
+  Result<std::string> dropped = ExportCsv(schema, non_tuple);
+  EXPECT_TRUE(dropped.status().IsTypeError()) << dropped.status().ToString();
+
+  XSet narrow = X("{<1>}");
+  EXPECT_TRUE(ExportCsv(schema, narrow).status().IsTypeError());
+
+  // A component contradicting its declared attribute type is also an error,
+  // not a misrendered field.
+  XSet mistyped = X("{<1, sym>}");
+  EXPECT_TRUE(ExportCsv(schema, mistyped).status().IsTypeError());
+
+  // The well-formed subset still exports through the same overload.
+  Result<std::string> ok = ExportCsv(schema, X("{<1, 2>}"));
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(*ok, "a,b\n1,2\n");
 }
 
 TEST(Csv, BlankLinesAreSkipped) {

@@ -7,7 +7,10 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 
+#include "src/store/codec.h"
+#include "src/store/fault_file.h"
 #include "src/store/page.h"
 #include "src/store/pager.h"
 #include "src/store/setstore.h"
@@ -17,6 +20,11 @@ namespace xst {
 namespace {
 
 using testing::X;
+
+bool FileExists(const std::string& path) {
+  std::ifstream f(path);
+  return f.good();
+}
 
 // A unique temp path per test, removed on destruction.
 class TempFile {
@@ -101,18 +109,18 @@ TEST(PagerTest, AllocateFetchPersist) {
   {
     auto pager = Pager::Open(file.path(), 4);
     ASSERT_TRUE(pager.ok());
-    Result<uint32_t> id = (*pager)->AllocatePage();
-    ASSERT_TRUE(id.ok());
-    Result<Page*> page = (*pager)->FetchPage(*id);
+    Result<PageRef> page = (*pager)->AllocatePage();
     ASSERT_TRUE(page.ok());
+    EXPECT_EQ(page->id(), 0u);
     ASSERT_TRUE((*page)->AddRecord("persisted").ok());
-    ASSERT_TRUE((*pager)->MarkDirty(*id).ok());
+    page->MarkDirty();
+    page->Reset();
     ASSERT_TRUE((*pager)->Flush().ok());
   }
   auto pager = Pager::Open(file.path(), 4);
   ASSERT_TRUE(pager.ok());
   EXPECT_EQ((*pager)->page_count(), 1u);
-  Result<Page*> page = (*pager)->FetchPage(0);
+  Result<PageRef> page = (*pager)->FetchPage(0);
   ASSERT_TRUE(page.ok());
   EXPECT_EQ(*(*page)->GetRecord(0), "persisted");
 }
@@ -130,17 +138,15 @@ TEST(PagerTest, LruEvictionCountsAndWritesBack) {
   ASSERT_TRUE(pager_or.ok());
   Pager& pager = **pager_or;
   for (int i = 0; i < 4; ++i) {
-    Result<uint32_t> id = pager.AllocatePage();
-    ASSERT_TRUE(id.ok());
-    Result<Page*> page = pager.FetchPage(*id);
+    Result<PageRef> page = pager.AllocatePage();
     ASSERT_TRUE(page.ok());
     ASSERT_TRUE((*page)->AddRecord("page " + std::to_string(i)).ok());
-    ASSERT_TRUE(pager.MarkDirty(*id).ok());
+    page->MarkDirty();
   }
   EXPECT_GT(pager.stats().evictions, 0u);
   // Re-read everything: early pages must have been written back on eviction.
   for (uint32_t i = 0; i < 4; ++i) {
-    Result<Page*> page = pager.FetchPage(i);
+    Result<PageRef> page = pager.FetchPage(i);
     ASSERT_TRUE(page.ok()) << page.status().ToString();
     EXPECT_EQ(*(*page)->GetRecord(0), "page " + std::to_string(i));
   }
@@ -157,6 +163,151 @@ TEST(PagerTest, HotPageStaysCached) {
   pager.ResetStats();
   for (int i = 0; i < 10; ++i) ASSERT_TRUE(pager.FetchPage(0).ok());
   EXPECT_GE(pager.stats().hits, 9u);
+}
+
+TEST(PagerTest, PinnedFrameSurvivesEvictionPressure) {
+  // Regression shape for the historical use-after-evict: hold a reference
+  // across fetches that force evictions. With raw Page* the frame would be
+  // recycled under the caller; with PageRef the pin keeps it resident and
+  // the eviction picks other victims.
+  TempFile file("pager_pin_pressure");
+  auto pager_or = Pager::Open(file.path(), 2);
+  ASSERT_TRUE(pager_or.ok());
+  Pager& pager = **pager_or;
+  for (int i = 0; i < 4; ++i) {
+    Result<PageRef> page = pager.AllocatePage();
+    ASSERT_TRUE(page.ok());
+    ASSERT_TRUE((*page)->AddRecord("page " + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(pager.Flush().ok());
+
+  Result<PageRef> held = pager.FetchPage(0);
+  ASSERT_TRUE(held.ok());
+  EXPECT_EQ(pager.pinned_frames(), 1u);
+  // Sweep every other page through the 2-frame pool; page 0 must not move.
+  for (uint32_t i = 1; i < 4; ++i) {
+    Result<PageRef> page = pager.FetchPage(i);
+    ASSERT_TRUE(page.ok()) << page.status().ToString();
+    EXPECT_EQ(*(*page)->GetRecord(0), "page " + std::to_string(i));
+  }
+  EXPECT_EQ(*(*held)->GetRecord(0), "page 0");  // still valid, still page 0
+  held->Reset();
+  EXPECT_EQ(pager.pinned_frames(), 0u);
+}
+
+TEST(PagerTest, CapacityOnePoolInterleavings) {
+  // The fetch/allocate interleavings that dangled under the raw-pointer API
+  // now either succeed (pin released) or fail loudly (pin held).
+  TempFile file("pager_cap1");
+  auto pager_or = Pager::Open(file.path(), 1);
+  ASSERT_TRUE(pager_or.ok());
+  Pager& pager = **pager_or;
+  {
+    Result<PageRef> p0 = pager.AllocatePage();
+    ASSERT_TRUE(p0.ok());
+    ASSERT_TRUE((*p0)->AddRecord("zero").ok());
+    // Allocation needs a fresh frame: ResourceExhausted, and the held
+    // reference stays intact rather than dangling.
+    EXPECT_TRUE(pager.AllocatePage().status().IsResourceExhausted());
+    // Fetching the already-resident page is a second pin on the same frame,
+    // not a new one, so it succeeds.
+    {
+      Result<PageRef> again = pager.FetchPage(0);
+      ASSERT_TRUE(again.ok());
+      EXPECT_EQ(*(*again)->GetRecord(0), "zero");
+      EXPECT_EQ(pager.pinned_frames(), 1u);  // one frame, two pins
+    }
+    EXPECT_EQ(*(*p0)->GetRecord(0), "zero");
+  }
+  // Pin released: allocation succeeds. While the new page is pinned, a fetch
+  // of the now-evicted page 0 is refused rather than recycling the frame.
+  {
+    Result<PageRef> p1 = pager.AllocatePage();
+    ASSERT_TRUE(p1.ok());
+    EXPECT_EQ(p1->id(), 1u);
+    ASSERT_TRUE((*p1)->AddRecord("one").ok());
+    EXPECT_TRUE(pager.FetchPage(0).status().IsResourceExhausted());
+  }
+  Result<PageRef> p0 = pager.FetchPage(0);
+  ASSERT_TRUE(p0.ok());
+  EXPECT_EQ(*(*p0)->GetRecord(0), "zero");
+  p0->Reset();
+  Result<PageRef> p1 = pager.FetchPage(1);
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(*(*p1)->GetRecord(0), "one");
+}
+
+TEST(PagerTest, PinExhaustionReportsResourceExhausted) {
+  TempFile file("pager_exhaust");
+  auto pager_or = Pager::Open(file.path(), 2);
+  ASSERT_TRUE(pager_or.ok());
+  Pager& pager = **pager_or;
+  Result<PageRef> a = pager.AllocatePage();
+  Result<PageRef> b = pager.AllocatePage();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(pager.pinned_frames(), 2u);
+  Status st = pager.AllocatePage().status();
+  EXPECT_TRUE(st.IsResourceExhausted()) << st.ToString();
+  EXPECT_NE(st.message().find("pinned"), std::string::npos);
+  // Releasing one pin unblocks the pool.
+  b->Reset();
+  EXPECT_TRUE(pager.AllocatePage().ok());
+}
+
+TEST(PagerTest, LruTouchOrderGovernsEviction) {
+  TempFile file("pager_touch");
+  auto pager_or = Pager::Open(file.path(), 2);
+  ASSERT_TRUE(pager_or.ok());
+  Pager& pager = **pager_or;
+  for (int i = 0; i < 3; ++i) {
+    Result<PageRef> page = pager.AllocatePage();
+    ASSERT_TRUE(page.ok());
+    ASSERT_TRUE((*page)->AddRecord("page " + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(pager.Flush().ok());
+  // Pool now holds {1, 2} (0 was evicted by the third allocation).
+  ASSERT_TRUE(pager.FetchPage(1).ok());  // touch 1: LRU order is now 2 < 1
+  pager.ResetStats();
+  ASSERT_TRUE(pager.FetchPage(0).ok());  // must evict 2, not 1
+  EXPECT_EQ(pager.stats().misses, 1u);
+  EXPECT_EQ(pager.stats().evictions, 1u);
+  ASSERT_TRUE(pager.FetchPage(1).ok());  // 1 survived: hit
+  EXPECT_EQ(pager.stats().hits, 1u);
+  ASSERT_TRUE(pager.FetchPage(2).ok());  // 2 was the victim: miss again
+  EXPECT_EQ(pager.stats().misses, 2u);
+}
+
+TEST(PagerTest, StatsCountersExact) {
+  TempFile file("pager_stats");
+  auto pager_or = Pager::Open(file.path(), 2);
+  ASSERT_TRUE(pager_or.ok());
+  Pager& pager = **pager_or;
+  // 3 allocations into a 2-frame pool: the third evicts page 0 (dirty from
+  // birth → one writeback).
+  for (int i = 0; i < 3; ++i) {
+    Result<PageRef> page = pager.AllocatePage();
+    ASSERT_TRUE(page.ok());
+    ASSERT_TRUE((*page)->AddRecord("p").ok());
+  }
+  EXPECT_EQ(pager.stats().allocations, 3u);
+  EXPECT_EQ(pager.stats().evictions, 1u);
+  EXPECT_EQ(pager.stats().writebacks, 1u);
+  EXPECT_EQ(pager.stats().hits, 0u);
+  EXPECT_EQ(pager.stats().misses, 0u);
+  // Fetch resident page 2 (hit), evicted page 0 (miss + eviction of 1 +
+  // its writeback).
+  ASSERT_TRUE(pager.FetchPage(2).ok());
+  ASSERT_TRUE(pager.FetchPage(0).ok());
+  EXPECT_EQ(pager.stats().hits, 1u);
+  EXPECT_EQ(pager.stats().misses, 1u);
+  EXPECT_EQ(pager.stats().evictions, 2u);
+  EXPECT_EQ(pager.stats().writebacks, 2u);
+  // Flush writes back the two resident dirty pages... page 2 and page 0?
+  // Page 2 is dirty (allocated, never written back); page 0 was written back
+  // at eviction and re-read clean. So exactly one more writeback.
+  ASSERT_TRUE(pager.Flush().ok());
+  EXPECT_EQ(pager.stats().writebacks, 3u);
 }
 
 TEST(SetStoreTest, PutGetDeleteList) {
@@ -347,6 +498,123 @@ TEST(SetStoreTest, ScrubDetectsTamperedBlob) {
   Result<size_t> verified = (*store)->Scrub();
   EXPECT_FALSE(verified.ok());
   EXPECT_TRUE(verified.status().IsCorruption());
+}
+
+TEST(SetStoreTest, CorruptSuperblockRangeIsRejected) {
+  // Regression: out-of-range superblock values used to be narrowed into
+  // uint32 page ids and chased, producing confusing downstream errors (or a
+  // wrapped fetch). They must be rejected up front, naming the bad value.
+  TempFile file("store_badsuper");
+  const auto rewrite_superblock = [&](int64_t first, int64_t len, int64_t span) {
+    XSet pointer = XSet::Pair(XSet::Int(first), XSet::Int(len));
+    XSet with_span = XSet::Pair(pointer, XSet::Int(span));
+    Page super;
+    ASSERT_TRUE(super.AddRecord(EncodeXSetToString(with_span)).ok());
+    std::string bytes = super.ToBytes();  // seed 0 == page 0's checksum seed
+    std::fstream f(file.path(), std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(0);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+  {
+    auto store = SetStore::Open(file.path());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("x", X("{1}")).ok());
+  }
+  // Span runs past end of file.
+  rewrite_superblock(2, 10, 1 << 20);
+  auto beyond = SetStore::Open(file.path());
+  ASSERT_FALSE(beyond.ok());
+  EXPECT_TRUE(beyond.status().IsCorruption()) << beyond.status().ToString();
+  EXPECT_NE(beyond.status().message().find("page range beyond end of file"),
+            std::string::npos)
+      << beyond.status().ToString();
+  // Negative first page, with the offending value named in the message.
+  rewrite_superblock(-1, 10, 1);
+  auto negative = SetStore::Open(file.path());
+  ASSERT_FALSE(negative.ok());
+  EXPECT_TRUE(negative.status().IsCorruption());
+  EXPECT_NE(negative.status().message().find("first_page=-1"), std::string::npos)
+      << negative.status().ToString();
+  // Byte length no page span could hold.
+  rewrite_superblock(2, 1 << 30, 1);
+  auto oversized = SetStore::Open(file.path());
+  ASSERT_FALSE(oversized.ok());
+  EXPECT_TRUE(oversized.status().IsCorruption());
+  EXPECT_NE(oversized.status().message().find("byte length exceeds"),
+            std::string::npos)
+      << oversized.status().ToString();
+}
+
+TEST(SetStoreTest, CompactWriteFailureCleansUpAndKeepsServing) {
+  // Regression: a failed compaction used to leave the half-written
+  // "<path>.compact" sibling behind. Every error path must remove it and
+  // leave the original store untouched and usable.
+  TempFile file("store_compact_fail");
+  auto state = std::make_shared<FaultState>();
+  state->fail_write = 0;  // the compact target's device dies immediately
+  SetStoreOptions options;
+  options.file_factory = [state](const std::string& path) -> Result<std::unique_ptr<File>> {
+    Result<std::unique_ptr<File>> base = StdioFile::Open(path);
+    if (!base.ok()) return base.status();
+    const std::string suffix = ".compact";
+    if (path.size() >= suffix.size() &&
+        path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      return std::unique_ptr<File>(new FaultFile(std::move(*base), state));
+    }
+    return base;
+  };
+  auto store_or = SetStore::Open(file.path(), options);
+  ASSERT_TRUE(store_or.ok());
+  SetStore& store = **store_or;
+  ASSERT_TRUE(store.Put("keep", X("{<keep, 1>}")).ok());
+  ASSERT_TRUE(store.Put("churn", X("{c}")).ok());
+  ASSERT_TRUE(store.Delete("churn").ok());
+
+  Status st = store.Compact();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(state->triggered);
+  EXPECT_NE(st.message().find("compact"), std::string::npos) << st.ToString();
+  EXPECT_FALSE(FileExists(file.path() + ".compact"));
+  // The original store is fully usable: reads, writes, and a later compact
+  // (after the injected device heals) all work.
+  EXPECT_EQ(*store.Get("keep"), X("{<keep, 1>}"));
+  ASSERT_TRUE(store.Put("more", X("{2}")).ok());
+  state->fail_write = -1;
+  state->device_failed = false;
+  ASSERT_TRUE(store.Compact().ok());
+  EXPECT_EQ(*store.Get("keep"), X("{<keep, 1>}"));
+  EXPECT_EQ(store.List(), (std::vector<std::string>{"keep", "more"}));
+}
+
+TEST(SetStoreTest, CompactRenameFailureReopensOriginal) {
+  // Regression: if the atomic swap itself fails, Compact must remove the
+  // temp file and go back to serving the original file — not leave the
+  // store pointing at a closed pager.
+  TempFile file("store_compact_rename");
+  SetStoreOptions options;
+  int rename_calls = 0;
+  options.rename_fn = [&rename_calls](const char*, const char*) {
+    ++rename_calls;
+    return -1;
+  };
+  auto store_or = SetStore::Open(file.path(), options);
+  ASSERT_TRUE(store_or.ok());
+  SetStore& store = **store_or;
+  ASSERT_TRUE(store.Put("keep", X("{<keep, 1>}")).ok());
+  ASSERT_TRUE(store.Put("churn", X("{c}")).ok());
+  ASSERT_TRUE(store.Delete("churn").ok());
+
+  Status st = store.Compact();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  EXPECT_NE(st.message().find("rename failed"), std::string::npos) << st.ToString();
+  EXPECT_EQ(rename_calls, 1);
+  EXPECT_FALSE(FileExists(file.path() + ".compact"));
+  // Reopened against the original file: everything still there and writable.
+  EXPECT_EQ(*store.Get("keep"), X("{<keep, 1>}"));
+  ASSERT_TRUE(store.Put("after", X("{3}")).ok());
+  EXPECT_EQ(store.List(), (std::vector<std::string>{"after", "keep"}));
 }
 
 TEST(SetStoreTest, FailureInjectionTruncatedFile) {

@@ -33,6 +33,12 @@ Rules (see DESIGN.md section 7 for rationale):
                          `--`, or assignment inside one changes behavior
                          between build types.
 
+  raw-page-pointer       Outside src/store/, buffer-pool pages must be held
+                         as PageRef pins — binding a raw `Page*` from
+                         FetchPage/AllocatePage recreates the use-after-evict
+                         the pin API exists to prevent (the pointed-to frame
+                         can be recycled by any later pager call).
+
 Suppress a single line with a trailing comment:  // xst-lint: allow(rule-name)
 
 Usage:
@@ -173,6 +179,8 @@ PAIRING_RE = re.compile(r"XST_DCHECK\s*\(\s*IsCanonicalMemberList")
 SIDE_EFFECT_RE = re.compile(
     r"\+\+|--|(?<![=!<>+\-*/%&|^])=(?![=])"
 )
+PAGE_FETCH_RE = re.compile(r"\b(FetchPage|AllocatePage)\s*\(")
+PAGE_PTR_RE = re.compile(r"\bPage\s*\*")
 
 
 def rule_thread_primitives(rel_path, lines, _raw):
@@ -232,12 +240,29 @@ def rule_dcheck_side_effects(rel_path, lines, _raw):
                           "unevaluated under NDEBUG")
 
 
+def rule_raw_page_pointer(rel_path, lines, _raw):
+    if rel_path.startswith("src/store/"):
+        return
+    for i, line in enumerate(lines, 1):
+        m = PAGE_FETCH_RE.search(line)
+        if not m:
+            continue
+        # The raw pointer may be declared on the call line or just above
+        # (multi-line statement), so check a 3-line window ending here.
+        window = "\n".join(lines[max(0, i - 3):i])
+        if PAGE_PTR_RE.search(window):
+            yield i, (f"raw Page* bound from {m.group(1)}; hold a PageRef pin "
+                      "(a raw frame pointer dangles as soon as the pool "
+                      "evicts the page)")
+
+
 RULES = {
     "thread-primitives": rule_thread_primitives,
     "raw-new-delete": rule_raw_new_delete,
     "interner-mutation": rule_interner_mutation,
     "sorted-members-dcheck": rule_sorted_members_dcheck,
     "dcheck-side-effects": rule_dcheck_side_effects,
+    "raw-page-pointer": rule_raw_page_pointer,
 }
 
 ALLOW_RE = re.compile(r"xst-lint:\s*allow\(([a-z-]+)\)")
@@ -317,6 +342,15 @@ SELF_TEST_FIXTURES = [
      "int x = 0;  // xst-lint: allow(raw-new-delete)\nstd::thread t;\n"),
     ("raw-new-delete", False,
      "auto* n = new Node();  // xst-lint: allow(raw-new-delete)\n"),
+    ("raw-page-pointer", True, "Result<Page*> page = pager.FetchPage(id);\n"),
+    ("raw-page-pointer", True, "Page* raw = *pager->FetchPage(0);\n"),
+    ("raw-page-pointer", True,
+     "Page* raw =\n    pager.AllocatePage().ValueOrDie();\n"),
+    ("raw-page-pointer", False, "Result<PageRef> page = pager.FetchPage(id);\n"),
+    ("raw-page-pointer", False, "PageRef page = *pager.FetchPage(id);\n"),
+    ("raw-page-pointer", False, "// FetchPage used to return Page*\n"),
+    ("raw-page-pointer", False,
+     "Page* raw = *pager.FetchPage(0);  // xst-lint: allow(raw-page-pointer)\n"),
 ]
 
 
