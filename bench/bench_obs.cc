@@ -1,0 +1,76 @@
+// BEN-OBS: cost of the observability layer itself.
+//
+// The metrics/trace layer ships in release builds, so its disabled-path
+// costs are a standing budget, not a debug-only concern:
+//   - BM_SpanNoSink: an XST_TRACE_SPAN with no trace sink installed — two
+//     clock reads plus one histogram record. This is the per-kernel-call tax
+//     every instrumented op pays; the budget is < 50ns/span.
+//   - BM_SpanWithSink: the same span while a ScopedTraceSink collects the
+//     span tree (EXPLAIN-style tracing), including the vector push.
+//   - BM_CounterAdd / BM_HistogramRecord: the raw relaxed-atomic paths the
+//     hot counters (rescope memo, pager, interner) use.
+//   - BM_RegistryGetCounter: the by-name lookup, to justify the cached
+//     static-reference idiom at instrumentation sites.
+
+#include <benchmark/benchmark.h>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace xst {
+namespace {
+
+void BM_SpanNoSink(benchmark::State& state) {
+  for (auto _ : state) {
+    XST_TRACE_SPAN("bench.span_no_sink");
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanNoSink);
+
+void BM_SpanWithSink(benchmark::State& state) {
+  obs::ScopedTraceSink sink;
+  for (auto _ : state) {
+    XST_TRACE_SPAN("bench.span_with_sink");
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanWithSink);
+
+void BM_CounterAdd(benchmark::State& state) {
+  obs::Counter& c = obs::MetricsRegistry::Global().GetCounter("bench.counter");
+  for (auto _ : state) {
+    c.Add(1);
+  }
+  benchmark::DoNotOptimize(c.value());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram("bench.hist");
+  uint64_t v = 1;
+  for (auto _ : state) {
+    h.Record(v);
+    v = (v * 2862933555777941757ULL + 3037000493ULL) >> 32;  // vary the bucket
+  }
+  benchmark::DoNotOptimize(h.count());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_RegistryGetCounter(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        &obs::MetricsRegistry::Global().GetCounter("bench.lookup.counter"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegistryGetCounter);
+
+}  // namespace
+}  // namespace xst
+
+BENCHMARK_MAIN();

@@ -9,11 +9,36 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/metrics.h"
+
 namespace xst {
 
 namespace {
 
 thread_local bool tls_in_worker = false;
+
+// Pool telemetry: how often regions go parallel vs inline, and how the
+// chunks split between workers and the participating caller.
+obs::Counter& ParallelForCalls() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter("pool.parallel_for.calls");
+  return c;
+}
+obs::Counter& ParallelForInline() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter("pool.parallel_for.inline");
+  return c;
+}
+obs::Counter& TasksEnqueued() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter("pool.tasks.enqueued");
+  return c;
+}
+obs::Counter& WorkerChunks() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter("pool.chunks.worker");
+  return c;
+}
+obs::Counter& CallerChunks() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter("pool.chunks.caller");
+  return c;
+}
 
 size_t GlobalPoolSize() {
   if (const char* env = std::getenv("XST_NUM_THREADS")) {
@@ -90,7 +115,9 @@ void ThreadPool::ParallelFor(size_t n, size_t min_chunk,
   // Inline when there is nothing to split across, the range is a single
   // chunk, or we are already inside a worker (nested region).
   const size_t parallelism = workers_count_ + 1;  // workers + caller
+  ParallelForCalls().Increment();
   if (parallelism <= 1 || max_chunks <= 1 || tls_in_worker) {
+    ParallelForInline().Increment();
     body(0, n);
     return;
   }
@@ -115,7 +142,10 @@ void ThreadPool::ParallelFor(size_t n, size_t min_chunk,
       size_t begin = c * chunk;
       size_t end = std::min(n, begin + chunk);
       try {
-        if (begin < end) body(begin, end);
+        if (begin < end) {
+          (tls_in_worker ? WorkerChunks() : CallerChunks()).Increment();
+          body(begin, end);
+        }
       } catch (...) {
         std::lock_guard<std::mutex> lock(shared->mu);
         if (!shared->error) shared->error = std::current_exception();
@@ -131,6 +161,7 @@ void ThreadPool::ParallelFor(size_t n, size_t min_chunk,
   // before we return — which the done_chunks wait below guarantees. Helpers
   // beyond the number of remaining chunks exit immediately.
   const size_t helpers = std::min(workers_count_, num_chunks - 1);
+  TasksEnqueued().Add(helpers);
   for (size_t i = 0; i < helpers; ++i) impl_->Enqueue(run_chunks);
   run_chunks();  // caller participates
   {

@@ -6,6 +6,7 @@
 
 #include "src/common/hash.h"
 #include "src/core/order.h"
+#include "src/obs/metrics.h"
 
 namespace xst {
 
@@ -17,6 +18,19 @@ constexpr uint64_t kIntTag = 0xa11ce0fde1ce1e57ULL;
 constexpr uint64_t kSymbolTag = 0x5e7a9b3c1d2e4f60ULL;
 constexpr uint64_t kStringTag = 0x0df1ab7e6c5d4b3aULL;
 constexpr uint64_t kSetTag = 0x9d3c2b1a0f8e7d6cULL;
+
+// New-node counters (miss-path only: one relaxed RMW per allocation, noise
+// next to the node allocation itself). Find hits are deliberately uncounted
+// to keep the hot path untouched.
+obs::Counter& AtomInserts() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter("interner.atom_inserts");
+  return c;
+}
+
+obs::Counter& SetInserts() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter("interner.set_inserts");
+  return c;
+}
 
 uint64_t HashIntAtom(int64_t v) { return HashCombine(kIntTag, static_cast<uint64_t>(v)); }
 uint64_t HashSymbolAtom(std::string_view s) { return HashCombine(kSymbolTag, HashString(s)); }
@@ -122,6 +136,7 @@ const internal::Node* Interner::Int(int64_t v) {
   n->tree_size = 1;
   n->int_value = v;
   shard.ints.emplace(v, n);
+  AtomInserts().Increment();
   return n;
 }
 
@@ -138,6 +153,7 @@ const internal::Node* Interner::Symbol(std::string_view name) {
   n->tree_size = 1;
   n->str_value = std::string(name);
   shard.symbols.emplace(n->str_value, n);
+  AtomInserts().Increment();
   return n;
 }
 
@@ -154,6 +170,7 @@ const internal::Node* Interner::String(std::string_view text) {
   n->tree_size = 1;
   n->str_value = std::string(text);
   shard.strings.emplace(n->str_value, n);
+  AtomInserts().Increment();
   return n;
 }
 
@@ -177,6 +194,7 @@ const internal::Node* Interner::Set(std::vector<Membership> members) {
   n->tree_size = tree_size;
   n->members = std::move(members);
   shard.sets.insert(n);
+  SetInserts().Increment();
   return n;
 }
 

@@ -1,0 +1,143 @@
+#include "src/obs/trace.h"
+
+#include <chrono>
+
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
+
+namespace xst {
+namespace obs {
+
+namespace {
+
+// The installed sink and the index of the innermost open span within it.
+// Both are saved/restored by ScopedTraceSink so traced regions nest.
+thread_local ScopedTraceSink* tls_sink = nullptr;
+thread_local uint32_t tls_open = kNoParent;
+
+// No-sink spans are sampled 1-in-kSampleEvery per thread and recorded with
+// weight kSampleEvery, keeping histogram count/sum unbiased while skipped
+// spans cost only a TLS decrement and a branch. The period is exact, so any
+// kSampleEvery consecutive spans on a thread sample exactly once. Starts at
+// 1: the first span on each thread samples.
+constexpr uint32_t kSampleEvery = 8;
+thread_local uint32_t tls_sample_countdown = 1;
+
+// Raw cycle/tick counter for span durations. clock_gettime costs ~20-30ns
+// per read even through the vDSO — two of those alone would blow the span
+// budget — while rdtsc / cntvct_el0 are a few ns. Spans only ever subtract
+// two ticks from the same thread, so TSC offset between sockets is not a
+// concern, and modern invariant TSCs tick at a constant rate.
+inline uint64_t FastTicks() {
+#if defined(__x86_64__)
+  return __rdtsc();
+#elif defined(__aarch64__)
+  uint64_t v;
+  asm volatile("mrs %0, cntvct_el0" : "=r"(v));
+  return v;
+#else
+  return MonotonicNowNs();  // ticks are already nanoseconds
+#endif
+}
+
+// Tick-to-nanosecond scale, calibrated once against the monotonic clock
+// over a ~100us window on first use (first span close pays it).
+double NsPerTick() {
+  static const double scale = [] {
+    const uint64_t t0 = FastTicks();
+    const uint64_t ns0 = MonotonicNowNs();
+    uint64_t ns1 = ns0;
+    while (ns1 - ns0 < 100'000) ns1 = MonotonicNowNs();
+    const uint64_t t1 = FastTicks();
+    if (t1 == t0) return 1.0;  // non-advancing fallback source
+    return static_cast<double>(ns1 - ns0) / static_cast<double>(t1 - t0);
+  }();
+  return scale;
+}
+
+inline uint64_t TicksToNs(uint64_t ticks) {
+  return static_cast<uint64_t>(static_cast<double>(ticks) * NsPerTick());
+}
+
+}  // namespace
+
+uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+ScopedTraceSink::ScopedTraceSink() : prev_(tls_sink), prev_open_(tls_open) {
+  tls_sink = this;
+  tls_open = kNoParent;
+}
+
+ScopedTraceSink::~ScopedTraceSink() {
+  tls_sink = prev_;
+  tls_open = prev_open_;
+}
+
+std::vector<SpanRecord> ScopedTraceSink::TakeSpans() {
+  std::vector<SpanRecord> out = std::move(spans_);
+  spans_.clear();
+  // Spans still open refer to indices in the moved-out vector; callers take
+  // only after the traced region closed, so the open chain is empty here.
+  tls_open = kNoParent;
+  return out;
+}
+
+TraceSpan::TraceSpan(const char* name, Histogram* hist) : hist_(hist) {
+  if (tls_sink != nullptr) {
+    // Traced region: record every span exactly (weight 1) so the caller's
+    // span tree is complete.
+    index_ = static_cast<uint32_t>(tls_sink->spans_.size());
+    SpanRecord rec;
+    rec.name = name;
+    rec.parent = tls_open;
+    rec.start_ns = MonotonicNowNs();  // sink path can afford the real clock
+    tls_sink->spans_.push_back(rec);
+    tls_open = index_;
+    weight_ = 1;
+  } else {
+    if (--tls_sample_countdown != 0) {
+      hist_ = nullptr;  // skipped sample: the destructor does nothing
+      return;
+    }
+    tls_sample_countdown = kSampleEvery;
+    weight_ = kSampleEvery;
+  }
+  start_ticks_ = FastTicks();  // last: exclude bookkeeping from the span
+}
+
+TraceSpan::~TraceSpan() {
+  if (hist_ == nullptr) return;
+  const uint64_t dur = TicksToNs(FastTicks() - start_ticks_);
+  hist_->RecordWeighted(dur, weight_);
+  if (index_ != kNoParent && tls_sink != nullptr) {
+    SpanRecord& rec = tls_sink->spans_[index_];
+    rec.duration_ns = dur;
+    tls_open = rec.parent;
+  }
+}
+
+std::string RenderSpanTree(const std::vector<SpanRecord>& spans) {
+  // Children of span i are the records j > i with parent == i; records are
+  // in open order, so a single pass with per-node depth renders the tree.
+  std::vector<int> depth(spans.size(), 0);
+  std::string out;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& rec = spans[i];
+    if (rec.parent != kNoParent && rec.parent < i) {
+      depth[i] = depth[rec.parent] + 1;
+    }
+    out.append(static_cast<size_t>(depth[i]) * 2, ' ');
+    out.append(rec.name != nullptr ? rec.name : "<unnamed>");
+    out.append("  ").append(std::to_string(rec.duration_ns)).append("ns\n");
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace xst

@@ -2,6 +2,7 @@
 
 #include "src/common/check.h"
 #include "src/core/order.h"
+#include "src/obs/trace.h"
 
 namespace xst {
 
@@ -16,6 +17,7 @@ XSet Union(const XSet& a, const XSet& b) {
   // Like Intersect: ∪ yields a set even when both operands are the same atom
   // (atoms have no memberships, so the union of their memberships is ∅).
   if (a == b) return a.is_set() ? a : XSet::Empty();
+  XST_TRACE_SPAN("op.union");
   auto ma = Members(a);
   auto mb = Members(b);
   if (ma.empty()) return b.is_set() ? b : XSet::Empty();
@@ -44,6 +46,7 @@ XSet Union(const XSet& a, const XSet& b) {
 
 XSet Intersect(const XSet& a, const XSet& b) {
   if (a == b) return a.is_set() ? a : XSet::Empty();
+  XST_TRACE_SPAN("op.intersect");
   auto ma = Members(a);
   auto mb = Members(b);
   std::vector<Membership> out;
@@ -67,6 +70,7 @@ XSet Intersect(const XSet& a, const XSet& b) {
 
 XSet Difference(const XSet& a, const XSet& b) {
   if (a == b) return XSet::Empty();
+  XST_TRACE_SPAN("op.difference");
   auto ma = Members(a);
   auto mb = Members(b);
   std::vector<Membership> out;
@@ -136,6 +140,7 @@ bool AreDisjoint(const XSet& a, const XSet& b) {
 }
 
 XSet UnionAll(const std::vector<XSet>& sets) {
+  XST_TRACE_SPAN("op.union_all");
   std::vector<Membership> out;
   size_t total = 0;
   for (const XSet& s : sets) total += s.cardinality();

@@ -1,6 +1,7 @@
 #include "src/ops/closure.h"
 
 #include "src/common/check.h"
+#include "src/obs/trace.h"
 #include "src/ops/boolean.h"
 #include "src/ops/image.h"
 #include "src/ops/index.h"
@@ -34,6 +35,7 @@ Result<XSet> RelationPower(const XSet& r, int k, size_t max_cardinality) {
 }
 
 Result<XSet> TransitiveClosure(const XSet& r, size_t max_cardinality) {
+  XST_TRACE_SPAN("op.transitive_closure");
   // Semi-naive iteration: frontier ← new pairs only.
   XSet closure = r;
   XSet frontier = r;
@@ -60,6 +62,7 @@ Result<XSet> ReflexiveTransitiveClosure(const XSet& r, const XSet& vertices,
 }
 
 Result<XSet> Reachable(const XSet& r, const XSet& sources, size_t max_cardinality) {
+  XST_TRACE_SPAN("op.reachable");
   ImageIndex index(r, Sigma::Std());
   XSet reached;  // accumulated 1-tuples
   XSet frontier = index.Lookup(sources);

@@ -4,11 +4,13 @@
 
 #include "src/common/check.h"
 #include "src/common/thread_pool.h"
+#include "src/obs/trace.h"
 #include "src/ops/rescope.h"
 
 namespace xst {
 
 XSet SigmaDomain(const XSet& r, const XSet& sigma) {
+  XST_TRACE_SPAN("op.sigma_domain");
   // Each member re-scopes independently; re-scoping permutes elements, so
   // chunk outputs are unordered and canonicalization re-sorts at the end.
   auto ms = r.members();

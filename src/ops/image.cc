@@ -1,6 +1,7 @@
 #include "src/ops/image.h"
 
 #include "src/common/check.h"
+#include "src/obs/trace.h"
 #include "src/ops/domain.h"
 #include "src/ops/restrict.h"
 #include "src/ops/tuple.h"
@@ -25,6 +26,7 @@ Result<Sigma> Sigma::FromXSet(const XSet& pair) {
 }
 
 XSet Image(const XSet& r, const XSet& a, const Sigma& sigma) {
+  XST_TRACE_SPAN("op.image");
   return XST_VALIDATE(SigmaDomain(SigmaRestrict(r, sigma.s1, a), sigma.s2));
 }
 

@@ -6,6 +6,7 @@
 #include "src/common/check.h"
 #include "src/common/hash.h"
 #include "src/common/thread_pool.h"
+#include "src/obs/trace.h"
 #include "src/ops/domain.h"
 #include "src/ops/rescope.h"
 #include "src/ops/restrict.h"
@@ -17,6 +18,7 @@ size_t ImageIndex::KeyHash::operator()(const Membership& m) const {
 }
 
 ImageIndex::ImageIndex(XSet r, Sigma sigma) : r_(std::move(r)), sigma_(std::move(sigma)) {
+  XST_TRACE_SPAN("op.image_index.build");
   // Build in parallel: per-chunk local buckets, merged in chunk order so the
   // per-key posting lists keep the carrier's canonical order.
   auto ms = r_.members();
@@ -57,6 +59,7 @@ XSet ImageIndex::LookupOne(const XSet& probe_element) const {
 }
 
 XSet ImageIndex::Lookup(const XSet& probes) const {
+  XST_TRACE_SPAN("op.image_index.lookup");
   std::vector<Membership> out;
   for (const Membership& probe : probes.members()) {
     XSet elem_key = RescopeByElement(probe.element, sigma_.s1);

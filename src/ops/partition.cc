@@ -4,11 +4,13 @@
 #include <vector>
 
 #include "src/common/check.h"
+#include "src/obs/trace.h"
 #include "src/ops/rescope.h"
 
 namespace xst {
 
 XSet Partition(const XSet& r, const XSet& sigma) {
+  XST_TRACE_SPAN("op.partition");
   std::unordered_map<XSet, std::vector<Membership>, XSetHash> blocks;
   for (const Membership& m : r.members()) {
     blocks[RescopeByScope(m.element, sigma)].push_back(m);

@@ -1,6 +1,7 @@
 #include "src/ops/powerset.h"
 
 #include "src/common/check.h"
+#include "src/obs/trace.h"
 
 namespace xst {
 
@@ -29,6 +30,7 @@ XSet SubsetForMask(std::span<const Membership> ms, uint32_t mask) {
 }  // namespace
 
 Result<XSet> PowerSet(const XSet& a) {
+  XST_TRACE_SPAN("op.powerset");
   Status st = CheckBounds(a);
   if (!st.ok()) return st;
   auto ms = a.members();

@@ -5,6 +5,7 @@
 
 #include "src/common/check.h"
 #include "src/common/thread_pool.h"
+#include "src/obs/trace.h"
 #include "src/ops/boolean.h"
 #include "src/ops/tuple.h"
 
@@ -44,6 +45,7 @@ Result<XSet> ConcatForMode(const XSet& x, const XSet& y, ConcatMode mode) {
 }  // namespace
 
 Result<XSet> CrossProduct(const XSet& a, const XSet& b, ConcatMode mode) {
+  XST_TRACE_SPAN("op.cross_product");
   // |A|·|B| independent concatenations: parallel over A's members, with the
   // full inner loop over B per chunk item. The first concat error wins.
   auto mas = a.members();

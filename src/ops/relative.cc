@@ -10,6 +10,7 @@
 #include "src/common/thread_pool.h"
 #include "src/core/atom.h"
 #include "src/core/order.h"
+#include "src/obs/trace.h"
 #include "src/ops/boolean.h"
 #include "src/ops/rescope.h"
 
@@ -117,6 +118,7 @@ size_t NextPow2(size_t n) {
 
 XSet RelativeProduct(const XSet& f, const XSet& g, const Sigma& sigma, const Sigma& omega,
                      const RelativeProductOptions& options) {
+  XST_TRACE_SPAN("op.relative_product");
   // Build phase: partition G by its re-scoped key ⟨y^{/ω₁/}, t^{/ω₁/}⟩ and
   // stash its output contribution ⟨y^{/ω₂/}, t^{/ω₂/}⟩, all as raw spans.
   // The per-member projections run in parallel; each chunk fills local

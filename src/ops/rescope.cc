@@ -1,13 +1,13 @@
 #include "src/ops/rescope.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cstdlib>
 #include <mutex>
 
 #include "src/common/check.h"
 #include "src/common/hash.h"
 #include "src/core/order.h"
+#include "src/obs/metrics.h"
 
 namespace xst {
 
@@ -46,8 +46,20 @@ MemoShard* MemoShards() {
   return shards;
 }
 
-std::atomic<uint64_t> memo_hits{0};
-std::atomic<uint64_t> memo_misses{0};
+// Registry-backed hit/miss counters (one relaxed RMW per probe, same cost
+// as the std::atomic fields they replaced, but visible in DumpMetricsJson
+// and resettable for per-query attribution).
+obs::Counter& MemoHits() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter(internal::kRescopeMemoHitsCounter);
+  return c;
+}
+
+obs::Counter& MemoMisses() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter(internal::kRescopeMemoMissesCounter);
+  return c;
+}
 
 uint64_t MemoHash(const internal::Node* a, const internal::Node* sigma) {
   return HashCombine(a->hash, sigma->hash);
@@ -75,14 +87,14 @@ XSet RescopeByScope(const XSet& a, const XSet& sigma) {
     std::lock_guard<std::mutex> lock(shard.mu);
     for (size_t w = 0; w < kMemoWays; ++w) {
       if (set[w].a == na && set[w].sigma == ns) {
-        memo_hits.fetch_add(1, std::memory_order_relaxed);
+        MemoHits().Increment();
         // Keep the hit in way 0 so the colder way is the eviction victim.
         if (w != 0) std::swap(set[0], set[w]);
         return XSet::FromNode(set[0].result);
       }
     }
   }
-  memo_misses.fetch_add(1, std::memory_order_relaxed);
+  MemoMisses().Increment();
   std::vector<Membership> out;
   out.reserve(a.cardinality());
   AppendRescopeByScopeRaw(a, sigma, &out);
@@ -119,8 +131,8 @@ void AppendRescopeByScopeRaw(const XSet& a, const XSet& sigma,
 
 RescopeCacheStats GetRescopeCacheStats() {
   RescopeCacheStats stats;
-  stats.hits = memo_hits.load(std::memory_order_relaxed);
-  stats.misses = memo_misses.load(std::memory_order_relaxed);
+  stats.hits = MemoHits().value();
+  stats.misses = MemoMisses().value();
   for (size_t i = 0; i < kMemoShards; ++i) {
     MemoShard& shard = MemoShards()[i];
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -129,6 +141,11 @@ RescopeCacheStats GetRescopeCacheStats() {
     }
   }
   return stats;
+}
+
+void ResetRescopeCacheStats() {
+  MemoHits().Reset();
+  MemoMisses().Reset();
 }
 
 XSet RescopeByElement(const XSet& a, const XSet& sigma) {

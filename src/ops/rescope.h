@@ -63,7 +63,18 @@ struct RescopeCacheStats {
 /// \brief Snapshot of the memo-cache counters (approximate under concurrency).
 RescopeCacheStats GetRescopeCacheStats();
 
+/// \brief Zeroes the hit/miss counters (resident entries stay cached), so
+/// back-to-back query phases report per-phase hit rates — the counterpart of
+/// Pager::ResetStats.
+void ResetRescopeCacheStats();
+
 namespace internal {
+
+// Registry names of the memo counters, for callers (ExplainAnalyze) that
+// snapshot hits/misses cheaply without the full GetRescopeCacheStats slot
+// scan.
+inline constexpr const char* kRescopeMemoHitsCounter = "rescope.memo.hits";
+inline constexpr const char* kRescopeMemoMissesCounter = "rescope.memo.misses";
 
 /// \brief One resident memo entry: RescopeByScope(a, sigma) was cached as
 /// `result`. Handles stay valid forever (interned nodes are immortal).

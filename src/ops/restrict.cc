@@ -6,6 +6,7 @@
 #include "src/common/hash.h"
 #include "src/core/order.h"
 #include "src/ops/boolean.h"
+#include "src/obs/trace.h"
 #include "src/ops/kernels.h"
 #include "src/ops/rescope.h"
 
@@ -52,6 +53,7 @@ bool TrySingletonFastPath(const XSet& r,
 }  // namespace
 
 XSet SigmaRestrict(const XSet& r, const XSet& sigma, const XSet& a) {
+  XST_TRACE_SPAN("op.sigma_restrict");
   // Pre-compute the re-scoped probes ⟨a^{\σ\}, s^{\σ\}⟩ once; each probe is
   // then a pair of subset tests against every candidate membership of R.
   std::vector<std::pair<XSet, XSet>> probes;

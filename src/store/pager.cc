@@ -1,8 +1,41 @@
 #include "src/store/pager.h"
 
 #include "src/common/check.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace xst {
+
+namespace {
+
+// Process-wide mirrors of the per-instance stats (see pager.h internal).
+obs::Counter& HitsCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter(internal::kPagerHitsCounter);
+  return c;
+}
+obs::Counter& MissesCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter(internal::kPagerMissesCounter);
+  return c;
+}
+obs::Counter& EvictionsCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter(internal::kPagerEvictionsCounter);
+  return c;
+}
+obs::Counter& WritebacksCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter(internal::kPagerWritebacksCounter);
+  return c;
+}
+obs::Counter& AllocationsCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter(internal::kPagerAllocationsCounter);
+  return c;
+}
+
+}  // namespace
 
 PageRef::PageRef(Pager* pager, internal::PageFrame* frame)
     : pager_(pager), frame_(frame) {
@@ -67,6 +100,7 @@ Result<PageRef> Pager::AllocatePage() {
   frames_[page_count_] = lru_.begin();
   ++page_count_;
   ++stats_.allocations;
+  AllocationsCounter().Increment();
   return PageRef(this, &*lru_.begin());
 }
 
@@ -78,12 +112,15 @@ Result<PageRef> Pager::FetchPage(uint32_t page_id) {
   auto it = frames_.find(page_id);
   if (it != frames_.end()) {
     ++stats_.hits;
+    HitsCounter().Increment();
     lru_.splice(lru_.begin(), lru_, it->second);  // touch
     return PageRef(this, &*it->second);
   }
   ++stats_.misses;
+  MissesCounter().Increment();
   Status st = EvictIfFull();
   if (!st.ok()) return st;
+  XST_TRACE_SPAN("io.page_read");
   std::string bytes(kPageSize, '\0');
   st = file_->ReadAt(static_cast<uint64_t>(page_id) * kPageSize, bytes.data(), kPageSize);
   if (!st.ok()) return st.WithContext("page " + std::to_string(page_id));
@@ -100,11 +137,13 @@ Result<PageRef> Pager::FetchPage(uint32_t page_id) {
 }
 
 Status Pager::WriteBack(internal::PageFrame& frame) {
+  XST_TRACE_SPAN("io.page_write");
   std::string bytes = frame.page.ToBytes(frame.page_id);
   Status st = file_->WriteAt(static_cast<uint64_t>(frame.page_id) * kPageSize,
                              bytes.data(), kPageSize);
   if (!st.ok()) return st.WithContext("page " + std::to_string(frame.page_id));
   ++stats_.writebacks;
+  WritebacksCounter().Increment();
   return Status::OK();
 }
 
@@ -131,11 +170,13 @@ Status Pager::EvictIfFull() {
     frames_.erase(victim->page_id);
     lru_.erase(victim);
     ++stats_.evictions;
+    EvictionsCounter().Increment();
   }
   return Status::OK();
 }
 
 Status Pager::Flush() {
+  XST_TRACE_SPAN("io.flush");
   for (internal::PageFrame& frame : lru_) {
     if (!frame.dirty) continue;
     Status st = WriteBack(frame);

@@ -47,6 +47,16 @@ struct PagerStats {
 
 namespace internal {
 
+// Registry names of the process-wide pager counters. Per-instance stats
+// (Pager::stats) stay exact per pager; these aggregate across every pager in
+// the process, which is what ExplainAnalyze's pages-touched attribution and
+// the benchmark metrics dump read.
+inline constexpr const char* kPagerHitsCounter = "pager.fetch.hits";
+inline constexpr const char* kPagerMissesCounter = "pager.fetch.misses";
+inline constexpr const char* kPagerEvictionsCounter = "pager.evictions";
+inline constexpr const char* kPagerWritebacksCounter = "pager.writebacks";
+inline constexpr const char* kPagerAllocationsCounter = "pager.allocations";
+
 /// \brief A buffer-pool frame. Lives in the pager's LRU list (std::list
 /// nodes are address-stable), addressed by PageRef while pinned.
 struct PageFrame {

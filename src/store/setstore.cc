@@ -5,6 +5,7 @@
 
 #include "src/common/check.h"
 #include "src/common/macros.h"
+#include "src/obs/trace.h"
 #include "src/ops/tuple.h"
 #include "src/store/codec.h"
 
@@ -180,6 +181,7 @@ Status SetStore::LoadCatalog() {
 }
 
 Status SetStore::Put(const std::string& name, const XSet& value) {
+  XST_TRACE_SPAN("store.put");
   XST_RETURN_NOT_OK(CheckOpen());
   if (name.empty()) return Status::Invalid("set names must be non-empty");
   std::string encoded = EncodeXSetToString(value);
@@ -194,6 +196,7 @@ Status SetStore::Put(const std::string& name, const XSet& value) {
 }
 
 Status SetStore::PutBatch(const std::vector<std::pair<std::string, XSet>>& entries) {
+  XST_TRACE_SPAN("store.put_batch");
   XST_RETURN_NOT_OK(CheckOpen());
   // Validate up front: the batch must be all-or-nothing, so no partial
   // catalog mutation may happen after the first write.
@@ -217,6 +220,7 @@ Status SetStore::PutBatch(const std::vector<std::pair<std::string, XSet>>& entri
 }
 
 Result<size_t> SetStore::Scrub() {
+  XST_TRACE_SPAN("store.scrub");
   XST_RETURN_NOT_OK(CheckOpen());
   size_t verified = 0;
   for (const std::string& name : catalog_.Names()) {
@@ -230,6 +234,7 @@ Result<size_t> SetStore::Scrub() {
 }
 
 Result<XSet> SetStore::Get(const std::string& name) {
+  XST_TRACE_SPAN("store.get");
   XST_RETURN_NOT_OK(CheckOpen());
   XST_ASSIGN_OR_RAISE(CatalogEntry entry, catalog_.Get(name));
   XST_ASSIGN_OR_RAISE(std::string encoded, ReadBlob(entry));
@@ -239,6 +244,7 @@ Result<XSet> SetStore::Get(const std::string& name) {
 }
 
 Status SetStore::Delete(const std::string& name) {
+  XST_TRACE_SPAN("store.delete");
   XST_RETURN_NOT_OK(CheckOpen());
   Catalog staged = catalog_;
   XST_RETURN_NOT_OK(staged.Remove(name));
@@ -268,6 +274,7 @@ Status SetStore::Reopen() {
 }
 
 Status SetStore::Compact() {
+  XST_TRACE_SPAN("store.compact");
   XST_RETURN_NOT_OK(CheckOpen());
   // Rewrite live blobs into a sibling file, then swap it in.
   const std::string tmp_path = path_ + ".compact";

@@ -1,0 +1,239 @@
+#include "src/xsp/analyze.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/ops/rescope.h"
+#include "src/store/pager.h"
+
+namespace xst {
+namespace xsp {
+
+namespace {
+
+// Counter deltas are per-process, not per-thread: attribution is exact for
+// single-threaded evaluation and approximate when pool workers run chunks
+// of a kernel concurrently (their memo probes still land in the enclosing
+// node's window, which is the node that spawned them).
+uint64_t MemoHitsNow() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter(xst::internal::kRescopeMemoHitsCounter);
+  return c.value();
+}
+
+uint64_t MemoMissesNow() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter(xst::internal::kRescopeMemoMissesCounter);
+  return c.value();
+}
+
+uint64_t PagesTouchedNow() {
+  static obs::Counter& hits =
+      obs::MetricsRegistry::Global().GetCounter(xst::internal::kPagerHitsCounter);
+  static obs::Counter& misses =
+      obs::MetricsRegistry::Global().GetCounter(xst::internal::kPagerMissesCounter);
+  static obs::Counter& allocs =
+      obs::MetricsRegistry::Global().GetCounter(xst::internal::kPagerAllocationsCounter);
+  return hits.value() + misses.value() + allocs.value();
+}
+
+// Operator head ("Image") for interior nodes; the rendered value for
+// leaves, truncated so giant literals don't flood the tree. Interior labels
+// must not call ToString(): the root's label is built after its exit
+// timestamp, and rendering a large plan there would put visible time inside
+// total_wall_ns but outside every node's window, breaking the self-time
+// partition.
+std::string NodeLabel(const Expr& expr) {
+  switch (expr.kind()) {
+    case ExprKind::kUnion:
+      return "Union";
+    case ExprKind::kIntersect:
+      return "Intersect";
+    case ExprKind::kDifference:
+      return "Difference";
+    case ExprKind::kDomain:
+      return "Domain";
+    case ExprKind::kRestrict:
+      return "Restrict";
+    case ExprKind::kImage:
+      return "Image";
+    case ExprKind::kRelProduct:
+      return "RelProduct";
+    case ExprKind::kClosure:
+      return "Closure";
+    case ExprKind::kLiteral:
+    case ExprKind::kNamed:
+      break;
+  }
+  std::string text = expr.ToString();
+  constexpr size_t kMaxLeaf = 40;
+  if (text.size() > kMaxLeaf) {
+    text.resize(kMaxLeaf);
+    text.append("...");
+  }
+  return text;
+}
+
+class Analyzer : public internal::NodeObserver {
+ public:
+  void EnterNode(const Expr& expr) override {
+    Frame frame;
+    frame.expr = &expr;
+    frame.memo_hits0 = MemoHitsNow();
+    frame.memo_misses0 = MemoMissesNow();
+    frame.pages0 = PagesTouchedNow();
+    frame.start_ns = obs::MonotonicNowNs();  // last: exclude snapshot cost
+    stack_.push_back(std::move(frame));
+  }
+
+  void ExitNode(const Expr& expr, const XSet& value) override {
+    const uint64_t now = obs::MonotonicNowNs();
+    XST_CHECK(!stack_.empty() && stack_.back().expr == &expr);
+    Frame frame = std::move(stack_.back());
+    stack_.pop_back();
+    AnalyzeNode node;
+    node.op = NodeLabel(expr);
+    node.output_cardinality = value.cardinality();
+    node.is_leaf =
+        expr.kind() == ExprKind::kLiteral || expr.kind() == ExprKind::kNamed;
+    node.wall_ns = now - frame.start_ns;
+    uint64_t children_ns = 0;
+    for (const AnalyzeNode& child : frame.children) children_ns += child.wall_ns;
+    node.self_wall_ns = node.wall_ns > children_ns ? node.wall_ns - children_ns : 0;
+    node.rescope_memo_hits = MemoHitsNow() - frame.memo_hits0;
+    node.rescope_memo_misses = MemoMissesNow() - frame.memo_misses0;
+    node.pages_touched = PagesTouchedNow() - frame.pages0;
+    node.children = std::move(frame.children);
+    if (stack_.empty()) {
+      root_ = std::move(node);
+    } else {
+      stack_.back().children.push_back(std::move(node));
+    }
+  }
+
+  AnalyzeNode TakeRoot() { return std::move(root_); }
+
+ private:
+  struct Frame {
+    const Expr* expr = nullptr;
+    uint64_t start_ns = 0;
+    uint64_t memo_hits0 = 0;
+    uint64_t memo_misses0 = 0;
+    uint64_t pages0 = 0;
+    std::vector<AnalyzeNode> children;
+  };
+
+  std::vector<Frame> stack_;
+  AnalyzeNode root_;
+};
+
+uint64_t SumIntermediates(const AnalyzeNode& node, bool is_root) {
+  uint64_t total = 0;
+  if (!is_root && !node.is_leaf) total += node.output_cardinality;
+  for (const AnalyzeNode& child : node.children) {
+    total += SumIntermediates(child, /*is_root=*/false);
+  }
+  return total;
+}
+
+void RenderNode(const AnalyzeNode& node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(node.op);
+  out->append("  (rows=").append(std::to_string(node.output_cardinality));
+  out->append(" wall=").append(std::to_string(node.wall_ns)).append("ns");
+  out->append(" self=").append(std::to_string(node.self_wall_ns)).append("ns");
+  out->append(" memo=").append(std::to_string(node.rescope_memo_hits));
+  out->append("/").append(std::to_string(node.rescope_memo_misses));
+  out->append(" pages=").append(std::to_string(node.pages_touched));
+  out->append(")\n");
+  for (const AnalyzeNode& child : node.children) RenderNode(child, depth + 1, out);
+}
+
+void AppendJsonEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out->push_back(' ');
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void NodeToJson(const AnalyzeNode& node, std::string* out) {
+  out->append("{\"op\": ");
+  AppendJsonEscaped(node.op, out);
+  out->append(", \"rows\": ").append(std::to_string(node.output_cardinality));
+  out->append(", \"leaf\": ").append(node.is_leaf ? "true" : "false");
+  out->append(", \"wall_ns\": ").append(std::to_string(node.wall_ns));
+  out->append(", \"self_wall_ns\": ").append(std::to_string(node.self_wall_ns));
+  out->append(", \"memo_hits\": ").append(std::to_string(node.rescope_memo_hits));
+  out->append(", \"memo_misses\": ").append(std::to_string(node.rescope_memo_misses));
+  out->append(", \"pages\": ").append(std::to_string(node.pages_touched));
+  out->append(", \"children\": [");
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    if (i != 0) out->append(", ");
+    NodeToJson(node.children[i], out);
+  }
+  out->append("]}");
+}
+
+}  // namespace
+
+uint64_t AnalyzeResult::MaterializedIntermediateCardinality() const {
+  return SumIntermediates(root, /*is_root=*/true);
+}
+
+std::string AnalyzeResult::Render() const {
+  std::string out;
+  RenderNode(root, 0, &out);
+  out.append("total: ").append(std::to_string(total_wall_ns)).append("ns, ");
+  out.append(std::to_string(stats.nodes_evaluated)).append(" nodes, ");
+  out.append("intermediate rows: ")
+      .append(std::to_string(stats.intermediate_cardinality))
+      .append("\n");
+  return out;
+}
+
+std::string AnalyzeResult::ToJson() const {
+  std::string out = "{\"total_wall_ns\": ";
+  out.append(std::to_string(total_wall_ns));
+  out.append(", \"nodes_evaluated\": ").append(std::to_string(stats.nodes_evaluated));
+  out.append(", \"intermediate_cardinality\": ")
+      .append(std::to_string(stats.intermediate_cardinality));
+  out.append(", \"plan\": ");
+  NodeToJson(root, &out);
+  out.append("}");
+  return out;
+}
+
+Result<AnalyzeResult> ExplainAnalyze(const ExprPtr& expr, const Bindings& bindings) {
+  XST_TRACE_SPAN("xsp.explain_analyze");
+  Analyzer analyzer;
+  AnalyzeResult result;
+  const uint64_t start = obs::MonotonicNowNs();
+  Result<XSet> value = internal::EvalObserved(expr, bindings, &result.stats, &analyzer);
+  result.total_wall_ns = obs::MonotonicNowNs() - start;
+  if (!value.ok()) return value.status();
+  result.value = std::move(*value);
+  result.root = analyzer.TakeRoot();
+  return result;
+}
+
+}  // namespace xsp
+}  // namespace xst

@@ -1,0 +1,74 @@
+// EXPLAIN ANALYZE for XSP plans: evaluate a plan while attributing wall
+// time, output cardinality, rescope-memo traffic, and pager traffic to each
+// plan node — the measured form of the paper's Def 11.1 / Thm 11.2 claim
+// that composed plans win by never materializing intermediates.
+//
+// Attribution rides the evaluator's NodeObserver seam (eval.h), so the
+// numbers here are the numbers Eval produced, not a re-simulation: node
+// cardinalities sum to exactly EvalStats.intermediate_cardinality (over
+// non-root, non-leaf nodes), and per-node self times partition the total.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/xsp/eval.h"
+#include "src/xsp/expr.h"
+
+namespace xst {
+namespace xsp {
+
+/// \brief One annotated plan node (children in operand order).
+struct AnalyzeNode {
+  /// Operator head ("Image", "Union") or rendered leaf.
+  std::string op;
+  /// Cardinality of this node's result.
+  uint64_t output_cardinality = 0;
+  /// True for kLiteral/kNamed nodes (base data, not a materialized
+  /// intermediate).
+  bool is_leaf = false;
+  /// Wall time including children.
+  uint64_t wall_ns = 0;
+  /// Wall time minus the children's inclusive time.
+  uint64_t self_wall_ns = 0;
+  /// Rescope-memo hits/misses during this node (children included).
+  uint64_t rescope_memo_hits = 0;
+  uint64_t rescope_memo_misses = 0;
+  /// Pager traffic (fetch hits + misses + allocations) during this node.
+  uint64_t pages_touched = 0;
+  std::vector<AnalyzeNode> children;
+};
+
+/// \brief A finished EXPLAIN ANALYZE run.
+struct AnalyzeResult {
+  /// The query result (identical to what Eval returns).
+  XSet value;
+  /// The annotated plan tree.
+  AnalyzeNode root;
+  /// The same stats Eval would have produced.
+  EvalStats stats;
+  /// Wall time of the whole evaluation.
+  uint64_t total_wall_ns = 0;
+
+  /// \brief Sum of output cardinalities over materialized intermediates
+  /// (non-root, non-leaf nodes) — matches stats.intermediate_cardinality.
+  uint64_t MaterializedIntermediateCardinality() const;
+
+  /// \brief Multi-line annotated plan tree:
+  ///   op  (rows=N wall=NNns self=NNns memo=H/M pages=P)
+  std::string Render() const;
+
+  /// \brief JSON object: {"total_wall_ns", "nodes_evaluated",
+  /// "intermediate_cardinality", "plan": {recursive node objects}}.
+  std::string ToJson() const;
+};
+
+/// \brief Evaluates `expr` with per-node attribution. Error statuses match
+/// Eval's.
+Result<AnalyzeResult> ExplainAnalyze(const ExprPtr& expr, const Bindings& bindings);
+
+}  // namespace xsp
+}  // namespace xst

@@ -1,6 +1,8 @@
 #include "src/xsp/eval.h"
 
 #include "src/common/macros.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/ops/boolean.h"
 #include "src/ops/closure.h"
 #include "src/ops/domain.h"
@@ -14,9 +16,10 @@ namespace xsp {
 namespace {
 
 Result<XSet> EvalImpl(const ExprPtr& expr, const Bindings& bindings, EvalStats* stats,
-                      bool is_root) {
+                      internal::NodeObserver* observer, bool is_root) {
   if (expr == nullptr) return Status::Invalid("null expression");
   if (stats != nullptr) ++stats->nodes_evaluated;
+  if (observer != nullptr) observer->EnterNode(*expr);
 
   // Leaves are base data, not materialized intermediates: only computed
   // non-root results count toward the intermediate totals.
@@ -28,6 +31,7 @@ Result<XSet> EvalImpl(const ExprPtr& expr, const Bindings& bindings, EvalStats* 
       stats->peak_cardinality = std::max<uint64_t>(stats->peak_cardinality,
                                                    value.cardinality());
     }
+    if (observer != nullptr) observer->ExitNode(*expr, value);
     return value;
   };
 
@@ -42,41 +46,41 @@ Result<XSet> EvalImpl(const ExprPtr& expr, const Bindings& bindings, EvalStats* 
       return record(it->second);
     }
     case ExprKind::kUnion: {
-      XST_ASSIGN_OR_RAISE(XSet a, EvalImpl(expr->child(0), bindings, stats, false));
-      XST_ASSIGN_OR_RAISE(XSet b, EvalImpl(expr->child(1), bindings, stats, false));
+      XST_ASSIGN_OR_RAISE(XSet a, EvalImpl(expr->child(0), bindings, stats, observer, false));
+      XST_ASSIGN_OR_RAISE(XSet b, EvalImpl(expr->child(1), bindings, stats, observer, false));
       return record(Union(a, b));
     }
     case ExprKind::kIntersect: {
-      XST_ASSIGN_OR_RAISE(XSet a, EvalImpl(expr->child(0), bindings, stats, false));
-      XST_ASSIGN_OR_RAISE(XSet b, EvalImpl(expr->child(1), bindings, stats, false));
+      XST_ASSIGN_OR_RAISE(XSet a, EvalImpl(expr->child(0), bindings, stats, observer, false));
+      XST_ASSIGN_OR_RAISE(XSet b, EvalImpl(expr->child(1), bindings, stats, observer, false));
       return record(Intersect(a, b));
     }
     case ExprKind::kDifference: {
-      XST_ASSIGN_OR_RAISE(XSet a, EvalImpl(expr->child(0), bindings, stats, false));
-      XST_ASSIGN_OR_RAISE(XSet b, EvalImpl(expr->child(1), bindings, stats, false));
+      XST_ASSIGN_OR_RAISE(XSet a, EvalImpl(expr->child(0), bindings, stats, observer, false));
+      XST_ASSIGN_OR_RAISE(XSet b, EvalImpl(expr->child(1), bindings, stats, observer, false));
       return record(Difference(a, b));
     }
     case ExprKind::kDomain: {
-      XST_ASSIGN_OR_RAISE(XSet r, EvalImpl(expr->child(0), bindings, stats, false));
+      XST_ASSIGN_OR_RAISE(XSet r, EvalImpl(expr->child(0), bindings, stats, observer, false));
       return record(SigmaDomain(r, expr->sigma().s1));
     }
     case ExprKind::kRestrict: {
-      XST_ASSIGN_OR_RAISE(XSet r, EvalImpl(expr->child(0), bindings, stats, false));
-      XST_ASSIGN_OR_RAISE(XSet a, EvalImpl(expr->child(1), bindings, stats, false));
+      XST_ASSIGN_OR_RAISE(XSet r, EvalImpl(expr->child(0), bindings, stats, observer, false));
+      XST_ASSIGN_OR_RAISE(XSet a, EvalImpl(expr->child(1), bindings, stats, observer, false));
       return record(SigmaRestrict(r, expr->sigma().s1, a));
     }
     case ExprKind::kImage: {
-      XST_ASSIGN_OR_RAISE(XSet r, EvalImpl(expr->child(0), bindings, stats, false));
-      XST_ASSIGN_OR_RAISE(XSet a, EvalImpl(expr->child(1), bindings, stats, false));
+      XST_ASSIGN_OR_RAISE(XSet r, EvalImpl(expr->child(0), bindings, stats, observer, false));
+      XST_ASSIGN_OR_RAISE(XSet a, EvalImpl(expr->child(1), bindings, stats, observer, false));
       return record(Image(r, a, expr->sigma()));
     }
     case ExprKind::kRelProduct: {
-      XST_ASSIGN_OR_RAISE(XSet f, EvalImpl(expr->child(0), bindings, stats, false));
-      XST_ASSIGN_OR_RAISE(XSet g, EvalImpl(expr->child(1), bindings, stats, false));
+      XST_ASSIGN_OR_RAISE(XSet f, EvalImpl(expr->child(0), bindings, stats, observer, false));
+      XST_ASSIGN_OR_RAISE(XSet g, EvalImpl(expr->child(1), bindings, stats, observer, false));
       return record(RelativeProduct(f, g, expr->sigma(), expr->omega()));
     }
     case ExprKind::kClosure: {
-      XST_ASSIGN_OR_RAISE(XSet r, EvalImpl(expr->child(0), bindings, stats, false));
+      XST_ASSIGN_OR_RAISE(XSet r, EvalImpl(expr->child(0), bindings, stats, observer, false));
       Result<XSet> closure = TransitiveClosure(r);
       if (!closure.ok()) return closure.status();
       return record(*closure);
@@ -111,8 +115,30 @@ void ExplainImpl(const ExprPtr& expr, int depth, std::string* out) {
 
 }  // namespace
 
+// Registry mirrors of EvalStats, so query totals show up in the process
+// metrics dump alongside the cache and pool counters.
+void MirrorEvalStats(const EvalStats& stats) {
+  static obs::Counter& queries = obs::MetricsRegistry::Global().GetCounter("xsp.eval.queries");
+  static obs::Counter& nodes = obs::MetricsRegistry::Global().GetCounter("xsp.eval.nodes");
+  static obs::Counter& intermediates =
+      obs::MetricsRegistry::Global().GetCounter("xsp.eval.intermediate_cardinality");
+  queries.Increment();
+  nodes.Add(stats.nodes_evaluated);
+  intermediates.Add(stats.intermediate_cardinality);
+}
+
 Result<XSet> Eval(const ExprPtr& expr, const Bindings& bindings, EvalStats* stats) {
-  return EvalImpl(expr, bindings, stats, /*is_root=*/true);
+  XST_TRACE_SPAN("xsp.eval");
+  EvalStats local;
+  Result<XSet> result = EvalImpl(expr, bindings, &local, /*observer=*/nullptr,
+                                 /*is_root=*/true);
+  MirrorEvalStats(local);
+  if (stats != nullptr) {
+    stats->nodes_evaluated += local.nodes_evaluated;
+    stats->intermediate_cardinality += local.intermediate_cardinality;
+    stats->peak_cardinality = std::max(stats->peak_cardinality, local.peak_cardinality);
+  }
+  return result;
 }
 
 std::string Explain(const ExprPtr& expr) {
@@ -120,6 +146,23 @@ std::string Explain(const ExprPtr& expr) {
   ExplainImpl(expr, 0, &out);
   return out;
 }
+
+namespace internal {
+
+Result<XSet> EvalObserved(const ExprPtr& expr, const Bindings& bindings, EvalStats* stats,
+                          NodeObserver* observer) {
+  EvalStats local;
+  Result<XSet> result = EvalImpl(expr, bindings, &local, observer, /*is_root=*/true);
+  MirrorEvalStats(local);
+  if (stats != nullptr) {
+    stats->nodes_evaluated += local.nodes_evaluated;
+    stats->intermediate_cardinality += local.intermediate_cardinality;
+    stats->peak_cardinality = std::max(stats->peak_cardinality, local.peak_cardinality);
+  }
+  return result;
+}
+
+}  // namespace internal
 
 }  // namespace xsp
 }  // namespace xst

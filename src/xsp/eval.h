@@ -27,5 +27,30 @@ Result<XSet> Eval(const ExprPtr& expr, const Bindings& bindings, EvalStats* stat
 /// \brief Multi-line EXPLAIN rendering of a plan.
 std::string Explain(const ExprPtr& expr);
 
+namespace internal {
+
+/// \brief Per-node hooks into the recursive evaluator — the seam
+/// ExplainAnalyze attributes time and cardinality through, so EXPLAIN
+/// ANALYZE and Eval can never disagree about what a plan did.
+class NodeObserver {
+ public:
+  virtual ~NodeObserver() = default;
+
+  /// \brief Called when evaluation of `expr` begins (before its children).
+  virtual void EnterNode(const Expr& expr) = 0;
+
+  /// \brief Called when `expr` finished evaluating to `value`; children have
+  /// already exited. Not called on error paths (the whole analysis is
+  /// discarded with the Status).
+  virtual void ExitNode(const Expr& expr, const XSet& value) = 0;
+};
+
+/// \brief Eval with per-node observer callbacks. `stats` and `observer` may
+/// be null; stats semantics match Eval exactly.
+Result<XSet> EvalObserved(const ExprPtr& expr, const Bindings& bindings, EvalStats* stats,
+                          NodeObserver* observer);
+
+}  // namespace internal
+
 }  // namespace xsp
 }  // namespace xst

@@ -4,6 +4,8 @@
 
 #include "src/common/macros.h"
 #include "src/cst/relation.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/ops/relative.h"
 
 namespace xst {
@@ -200,6 +202,8 @@ class Rewriter {
 Result<ExprPtr> Optimize(const ExprPtr& expr, const Bindings& bindings,
                          OptimizerStats* stats) {
   if (expr == nullptr) return Status::Invalid("null expression");
+  XST_TRACE_SPAN("xsp.optimize");
+  OptimizerStats before = stats != nullptr ? *stats : OptimizerStats{};
   OptimizerStats local;
   OptimizerStats* sink = stats != nullptr ? stats : &local;
   ExprPtr current = expr;
@@ -209,6 +213,21 @@ Result<ExprPtr> Optimize(const ExprPtr& expr, const Bindings& bindings,
     if (!rewriter.changed()) break;
     current = next;
   }
+  // Mirror this call's rule firings (the sink may be caller-accumulated).
+  static obs::Counter& r1 = obs::MetricsRegistry::Global().GetCounter("xsp.optimizer.fuse_image");
+  static obs::Counter& r2 =
+      obs::MetricsRegistry::Global().GetCounter("xsp.optimizer.compose_images");
+  static obs::Counter& r3 =
+      obs::MetricsRegistry::Global().GetCounter("xsp.optimizer.merge_image_probes");
+  static obs::Counter& r4 =
+      obs::MetricsRegistry::Global().GetCounter("xsp.optimizer.empty_propagation");
+  static obs::Counter& r5 =
+      obs::MetricsRegistry::Global().GetCounter("xsp.optimizer.restrict_pushdown");
+  r1.Add(static_cast<uint64_t>(sink->fuse_image - before.fuse_image));
+  r2.Add(static_cast<uint64_t>(sink->compose_images - before.compose_images));
+  r3.Add(static_cast<uint64_t>(sink->merge_image_probes - before.merge_image_probes));
+  r4.Add(static_cast<uint64_t>(sink->empty_propagation - before.empty_propagation));
+  r5.Add(static_cast<uint64_t>(sink->restrict_pushdown - before.restrict_pushdown));
   return current;
 }
 

@@ -9,6 +9,11 @@ Usage:
 The report maps benchmark name -> real_time nanoseconds (plus run metadata).
 With --baseline, each entry also records the baseline time and the speedup
 factor, so a PR's perf claim is checkable from the committed file alone.
+
+With --metrics (the default), each binary also runs with XST_METRICS_OUT
+set, and its process-exit metrics dump (counters, gauges, span histograms)
+is merged into the report under "metrics", with a derived rescope-memo hit
+rate when the counters are present. --no-metrics disables this.
 """
 
 import argparse
@@ -24,13 +29,19 @@ BENCH_BINARIES = [
     "bench_relative_product",
     "bench_image",
     "bench_compose",
+    "bench_obs",
 ]
 
 
-def run_binary(path, min_time, bench_filter, allow_missing):
-    """Runs one benchmark binary, returns its parsed google-benchmark JSON."""
+def run_binary(path, min_time, bench_filter, allow_missing, want_metrics):
+    """Runs one benchmark binary; returns (google-benchmark JSON, metrics JSON).
+
+    The metrics JSON is the binary's XST_METRICS_OUT process-exit dump, or
+    None when metrics collection is off or the dump was unreadable.
+    """
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
         tmp_path = tmp.name
+    metrics_path = None
     try:
         cmd = [
             path,
@@ -41,7 +52,12 @@ def run_binary(path, min_time, bench_filter, allow_missing):
         ]
         if bench_filter:
             cmd.append(f"--benchmark_filter={bench_filter}")
-        proc = subprocess.run(cmd, stdout=subprocess.DEVNULL)
+        env = None
+        if want_metrics:
+            with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as m:
+                metrics_path = m.name
+            env = dict(os.environ, XST_METRICS_OUT=metrics_path)
+        proc = subprocess.run(cmd, stdout=subprocess.DEVNULL, env=env)
         if proc.returncode != 0:
             if not allow_missing:
                 sys.exit(f"error: {path} exited {proc.returncode}; a perf-tracked "
@@ -49,16 +65,45 @@ def run_binary(path, min_time, bench_filter, allow_missing):
                          "numbers (pass --allow-missing to skip it instead)")
             print(f"warning: {path} exited {proc.returncode}, skipping",
                   file=sys.stderr)
-            return {}
+            return {}, None
+        metrics = None
+        if metrics_path is not None:
+            try:
+                with open(metrics_path) as f:
+                    metrics = json.load(f)
+            except (OSError, json.JSONDecodeError):
+                metrics = None
         try:
             with open(tmp_path) as f:
-                return json.load(f)
+                return json.load(f), metrics
         except (OSError, json.JSONDecodeError):
             # A --filter matching nothing in this binary leaves the out file
             # empty; that's zero benchmarks, not a fatal error.
-            return {}
+            return {}, metrics
     finally:
         os.unlink(tmp_path)
+        if metrics_path is not None:
+            try:
+                os.unlink(metrics_path)
+            except OSError:
+                pass
+
+
+def summarize_metrics(metrics):
+    """Adds derived ratios (rescope-memo and pager hit rates) to a dump."""
+    counters = metrics.get("counters", {})
+    derived = {}
+    hits = counters.get("rescope.memo.hits", 0)
+    misses = counters.get("rescope.memo.misses", 0)
+    if hits + misses > 0:
+        derived["rescope_memo_hit_rate"] = hits / (hits + misses)
+    phits = counters.get("pager.fetch.hits", 0)
+    pmisses = counters.get("pager.fetch.misses", 0)
+    if phits + pmisses > 0:
+        derived["pager_hit_rate"] = phits / (phits + pmisses)
+    if derived:
+        metrics = dict(metrics, derived=derived)
+    return metrics
 
 
 def main():
@@ -72,6 +117,11 @@ def main():
     parser.add_argument("--allow-missing", action="store_true",
                         help="skip perf-tracked binaries that are missing or crash "
                              "instead of failing (writes a partial report)")
+    parser.add_argument("--metrics", dest="metrics", action="store_true", default=True,
+                        help="collect each binary's XST_METRICS_OUT dump into the "
+                             "report (default)")
+    parser.add_argument("--no-metrics", dest="metrics", action="store_false",
+                        help="skip metrics collection")
     args = parser.parse_args()
 
     baseline = {}
@@ -86,6 +136,8 @@ def main():
                 baseline[e["name"]] = e["real_time_ns"]
 
     report = {"label": args.label, "context": None, "benchmarks": {}}
+    if args.metrics:
+        report["metrics"] = {}
     # Fail fast on missing binaries: a partial report silently read as "the
     # perf trajectory is covered" when a tracked binary was never built.
     missing = [b for b in BENCH_BINARIES
@@ -101,7 +153,10 @@ def main():
         if not os.path.exists(path):
             print(f"warning: {path} not built, skipping", file=sys.stderr)
             continue
-        raw = run_binary(path, args.min_time, args.filter, args.allow_missing)
+        raw, metrics = run_binary(path, args.min_time, args.filter,
+                                  args.allow_missing, args.metrics)
+        if metrics is not None:
+            report["metrics"][binary] = summarize_metrics(metrics)
         if report["context"] is None:
             ctx = raw.get("context", {})
             report["context"] = {

@@ -39,6 +39,12 @@ Rules (see DESIGN.md section 7 for rationale):
                          the pin API exists to prevent (the pointed-to frame
                          can be recycled by any later pager call).
 
+  obs-doc-comments       Every public function in src/obs/ headers must be
+                         preceded by a doc comment. The observability layer
+                         is called from every subsystem; its contracts
+                         (sampling weights, sink thread-locality, percentile
+                         bracketing) live in those comments.
+
 Suppress a single line with a trailing comment:  // xst-lint: allow(rule-name)
 
 Usage:
@@ -256,6 +262,70 @@ def rule_raw_page_pointer(rel_path, lines, _raw):
                       "evicts the page)")
 
 
+OBS_ACCESS_RE = re.compile(r"^\s*(public|private|protected)\s*:")
+OBS_SCOPE_OPEN_RE = re.compile(
+    r"^\s*(?:template\s*<[^>]*>\s*)?(class|struct)\s+(?:alignas\s*\([^)]*\)\s*)?\w+")
+OBS_NAMESPACE_RE = re.compile(r"^\s*(?:inline\s+)?namespace\b")
+OBS_DECL_SKIP_RE = re.compile(
+    r"^\s*(?:#|\}|if\b|for\b|while\b|switch\b|return\b|case\b|using\b|typedef\b|"
+    r"XST_|static_assert\b)")
+OBS_DEFAULTED_RE = re.compile(r"=\s*(delete|default)\s*;")
+
+
+def rule_obs_doc_comments(rel_path, lines, raw):
+    if not (rel_path.startswith("src/obs/") and rel_path.endswith(".h")):
+        return
+    # Scope tracking: a stack entry per open brace, tagged with what opened
+    # it ("namespace", "class"/"struct" with a current access section, or
+    # "other" for function bodies and initializers). Declarations count as
+    # public API when every enclosing scope is a namespace or a public
+    # class/struct region.
+    stack = []
+    prev_code = ""  # last non-blank stripped line before the current one
+    for i, line in enumerate(lines, 1):
+        code = line.rstrip()
+        stripped = code.strip()
+        m = OBS_ACCESS_RE.match(code)
+        if m:
+            for entry in reversed(stack):
+                if entry[0] in ("class", "struct"):
+                    entry[1] = m.group(1)
+                    break
+        opens = code.count("{")
+        closes = code.count("}")
+        public_here = all(
+            e[0] == "namespace" or (e[0] in ("class", "struct") and e[1] == "public")
+            for e in stack)
+        starts_decl = prev_code == "" or prev_code[-1] in ";{}:"
+        if (stripped and public_here and starts_decl and "(" in stripped
+                and not OBS_DECL_SKIP_RE.match(stripped)
+                and not OBS_DEFAULTED_RE.search(stripped)
+                and not OBS_SCOPE_OPEN_RE.match(stripped)
+                and not OBS_NAMESPACE_RE.match(stripped)):
+            doc = raw[i - 2].strip() if i >= 2 else ""
+            if not (doc.startswith("//") or doc.startswith("*") or doc.endswith("*/")):
+                yield i, ("public function in an src/obs/ header without a "
+                          "preceding doc comment")
+        if opens > closes:
+            if OBS_NAMESPACE_RE.match(stripped):
+                kind = "namespace"
+            else:
+                sm = OBS_SCOPE_OPEN_RE.match(stripped)
+                if sm:
+                    kind = sm.group(1)
+                else:
+                    kind = "other"
+            for _ in range(opens - closes):
+                stack.append([kind, "private" if kind == "class" else "public"])
+        elif closes > opens:
+            for _ in range(closes - opens):
+                if stack:
+                    stack.pop()
+        if stripped:
+            prev_code = stripped
+    return
+
+
 RULES = {
     "thread-primitives": rule_thread_primitives,
     "raw-new-delete": rule_raw_new_delete,
@@ -263,6 +333,7 @@ RULES = {
     "sorted-members-dcheck": rule_sorted_members_dcheck,
     "dcheck-side-effects": rule_dcheck_side_effects,
     "raw-page-pointer": rule_raw_page_pointer,
+    "obs-doc-comments": rule_obs_doc_comments,
 }
 
 ALLOW_RE = re.compile(r"xst-lint:\s*allow\(([a-z-]+)\)")
@@ -351,13 +422,47 @@ SELF_TEST_FIXTURES = [
     ("raw-page-pointer", False, "// FetchPage used to return Page*\n"),
     ("raw-page-pointer", False,
      "Page* raw = *pager.FetchPage(0);  // xst-lint: allow(raw-page-pointer)\n"),
+    # obs-doc-comments fixtures carry an explicit path: the rule only
+    # applies under src/obs/*.h.
+    ("obs-doc-comments", True,
+     "uint64_t MonotonicNowNs();\n", "src/obs/trace.h"),
+    ("obs-doc-comments", False,
+     "/// \\brief Monotonic wall clock in nanoseconds.\n"
+     "uint64_t MonotonicNowNs();\n", "src/obs/trace.h"),
+    ("obs-doc-comments", True,
+     "class Counter {\n"
+     " public:\n"
+     "  void Add(uint64_t n);\n"
+     "};\n", "src/obs/metrics.h"),
+    ("obs-doc-comments", False,
+     "class Counter {\n"
+     " public:\n"
+     "  /// \\brief Adds n.\n"
+     "  void Add(uint64_t n);\n"
+     "};\n", "src/obs/metrics.h"),
+    ("obs-doc-comments", False,
+     "class Counter {\n"
+     "  void Helper();\n"
+     "};\n", "src/obs/metrics.h"),
+    ("obs-doc-comments", False,
+     "class Counter {\n"
+     " public:\n"
+     "  Counter(const Counter&) = delete;\n"
+     "};\n", "src/obs/metrics.h"),
+    ("obs-doc-comments", False,
+     "uint64_t MonotonicNowNs();\n", "src/xsp/eval.h"),
 ]
 
 
 def run_self_test():
     failures = 0
-    for idx, (rule, expect_hit, code) in enumerate(SELF_TEST_FIXTURES):
-        findings = [f for f in lint_text("selftest/fixture.cc", code) if f.rule == rule]
+    for idx, fixture in enumerate(SELF_TEST_FIXTURES):
+        if len(fixture) == 4:
+            rule, expect_hit, code, path = fixture
+        else:
+            rule, expect_hit, code = fixture
+            path = "selftest/fixture.cc"
+        findings = [f for f in lint_text(path, code) if f.rule == rule]
         got_hit = bool(findings)
         if got_hit != expect_hit:
             failures += 1

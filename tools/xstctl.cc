@@ -8,6 +8,7 @@
 //   xstctl <store> compact              reclaim dead pages
 //   xstctl <store> stats                page/pool statistics
 //   xstctl <store> catalog              dump the catalog (itself a set)
+//   xstctl <store> dump_metrics         process metrics registry as JSON
 //
 // Exit code 0 on success, 1 on any error (errors print to stderr).
 
@@ -16,6 +17,7 @@
 #include <string>
 
 #include "src/core/parse.h"
+#include "src/obs/metrics.h"
 #include "src/store/setstore.h"
 
 using namespace xst;
@@ -26,7 +28,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: xstctl <store-file> <command> [args]\n"
                "commands: list | get <name> | put <name> <text> | del <name>\n"
-               "          scrub | compact | stats | catalog\n");
+               "          scrub | compact | stats | catalog | dump_metrics\n");
   return 1;
 }
 
@@ -101,6 +103,13 @@ int main(int argc, char** argv) {
     std::printf("pool hits:  %lu  misses: %lu  evictions: %lu  writebacks: %lu\n",
                 (unsigned long)stats.hits, (unsigned long)stats.misses,
                 (unsigned long)stats.evictions, (unsigned long)stats.writebacks);
+    return 0;
+  }
+  if (command == "dump_metrics") {
+    // Exercise the store so the I/O counters are warm, then dump everything
+    // the registry has seen this process (pager, memo, interner, spans).
+    for (const std::string& name : store.List()) store.Get(name).ok();
+    std::printf("%s", obs::DumpMetricsJson().c_str());
     return 0;
   }
   if (command == "catalog") {
