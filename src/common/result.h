@@ -15,8 +15,12 @@ namespace xst {
 /// A Result constructed from a value is ok(); one constructed from a non-OK
 /// Status carries the error. Accessing the value of an errored Result is a
 /// programming bug and asserts in debug builds.
+///
+/// [[nodiscard]] for the same reason as Status: a dropped Result silently
+/// swallows both the value and the failure. Deliberate drops take an
+/// explicit `(void)` cast plus a comment.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value (the common, successful path).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)

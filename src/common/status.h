@@ -38,7 +38,12 @@ const char* StatusCodeToString(StatusCode code);
 /// Status is cheap to copy in the OK case (a null pointer); error states
 /// allocate a small shared state. Test with ok(), branch with code(), and
 /// propagate with XST_RETURN_NOT_OK (see macros.h).
-class Status {
+///
+/// [[nodiscard]]: a dropped Status is a swallowed failure, so discarding one
+/// is a compile error (-Werror=unused-result). The rare deliberate drop —
+/// best-effort cleanup on an already-failing path — must be an explicit
+/// `(void)` cast with a comment saying why losing the error is sound.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;

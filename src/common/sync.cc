@@ -1,0 +1,22 @@
+#include "src/common/sync.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace xst {
+
+// Out of line so the abort site (and its message) exists once, not once per
+// inlined call; the hot Lock/Unlock paths stay header-inline.
+void Mutex::AssertHeld() const {
+#ifndef NDEBUG
+  if (owner_.load(std::memory_order_relaxed) != std::this_thread::get_id()) {
+    std::fprintf(stderr,
+                 "xst::Mutex::AssertHeld: calling thread does not hold the "
+                 "mutex (a REQUIRES-annotated helper was reached without its "
+                 "lock)\n");
+    std::abort();
+  }
+#endif
+}
+
+}  // namespace xst

@@ -1,10 +1,10 @@
 #include "src/core/interner.h"
 
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "src/common/hash.h"
+#include "src/common/sync.h"
 #include "src/core/order.h"
 #include "src/obs/metrics.h"
 
@@ -80,11 +80,11 @@ struct SetTableEq {
 }  // namespace
 
 struct Interner::Shard {
-  std::mutex mu;
-  std::unordered_map<int64_t, const internal::Node*> ints;
-  std::unordered_map<std::string, const internal::Node*> symbols;
-  std::unordered_map<std::string, const internal::Node*> strings;
-  std::unordered_set<const internal::Node*, SetTableHash, SetTableEq> sets;
+  Mutex mu;
+  std::unordered_map<int64_t, const internal::Node*> ints XST_GUARDED_BY(mu);
+  std::unordered_map<std::string, const internal::Node*> symbols XST_GUARDED_BY(mu);
+  std::unordered_map<std::string, const internal::Node*> strings XST_GUARDED_BY(mu);
+  std::unordered_set<const internal::Node*, SetTableHash, SetTableEq> sets XST_GUARDED_BY(mu);
 };
 
 Interner& Interner::Global() {
@@ -101,7 +101,9 @@ Interner::Interner() {
     n->depth = 0;
     n->tree_size = 1;
     empty_ = n;
-    ShardFor(n->hash).sets.insert(n);
+    Shard& shard = ShardFor(n->hash);
+    MutexLock lock(&shard.mu);
+    shard.sets.insert(n);
   }
   small_ints_.resize(static_cast<size_t>(kSmallIntMax - kSmallIntMin + 1));
   for (int64_t v = kSmallIntMin; v <= kSmallIntMax; ++v) {
@@ -112,7 +114,9 @@ Interner::Interner() {
     n->tree_size = 1;
     n->int_value = v;
     small_ints_[static_cast<size_t>(v - kSmallIntMin)] = n;
-    ShardFor(n->hash).ints.emplace(v, n);
+    Shard& shard = ShardFor(n->hash);
+    MutexLock lock(&shard.mu);
+    shard.ints.emplace(v, n);
   }
 }
 
@@ -126,7 +130,7 @@ const internal::Node* Interner::Int(int64_t v) {
   }
   uint64_t h = HashIntAtom(v);
   Shard& shard = ShardFor(h);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.ints.find(v);
   if (it != shard.ints.end()) return it->second;
   auto* n = new internal::Node();
@@ -143,7 +147,7 @@ const internal::Node* Interner::Int(int64_t v) {
 const internal::Node* Interner::Symbol(std::string_view name) {
   uint64_t h = HashSymbolAtom(name);
   Shard& shard = ShardFor(h);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.symbols.find(std::string(name));
   if (it != shard.symbols.end()) return it->second;
   auto* n = new internal::Node();
@@ -160,7 +164,7 @@ const internal::Node* Interner::Symbol(std::string_view name) {
 const internal::Node* Interner::String(std::string_view text) {
   uint64_t h = HashStringAtom(text);
   Shard& shard = ShardFor(h);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.strings.find(std::string(text));
   if (it != shard.strings.end()) return it->second;
   auto* n = new internal::Node();
@@ -178,7 +182,7 @@ const internal::Node* Interner::Set(std::vector<Membership> members) {
   if (members.empty()) return empty_;
   uint64_t h = HashSetNode(members);
   Shard& shard = ShardFor(h);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.sets.find(SetKeyView{h, &members});
   if (it != shard.sets.end()) return *it;
   auto* n = new internal::Node();
@@ -203,21 +207,21 @@ const internal::Node* Interner::FindInt(int64_t v) const {
     return small_ints_[static_cast<size_t>(v - kSmallIntMin)];
   }
   Shard& shard = ShardFor(HashIntAtom(v));
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.ints.find(v);
   return it != shard.ints.end() ? it->second : nullptr;
 }
 
 const internal::Node* Interner::FindSymbol(std::string_view name) const {
   Shard& shard = ShardFor(HashSymbolAtom(name));
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.symbols.find(std::string(name));
   return it != shard.symbols.end() ? it->second : nullptr;
 }
 
 const internal::Node* Interner::FindString(std::string_view text) const {
   Shard& shard = ShardFor(HashStringAtom(text));
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.strings.find(std::string(text));
   return it != shard.strings.end() ? it->second : nullptr;
 }
@@ -226,7 +230,7 @@ const internal::Node* Interner::FindSet(const std::vector<Membership>& members) 
   if (members.empty()) return empty_;
   uint64_t h = HashSetNode(members);
   Shard& shard = ShardFor(h);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.sets.find(SetKeyView{h, &members});
   return it != shard.sets.end() ? *it : nullptr;
 }
@@ -235,7 +239,7 @@ std::vector<const internal::Node*> Interner::SnapshotNodes() const {
   std::vector<const internal::Node*> nodes;
   for (int i = 0; i < kNumShards; ++i) {
     Shard& shard = shards_[i];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     for (const auto& [v, n] : shard.ints) nodes.push_back(n);
     for (const auto& [s, n] : shard.symbols) nodes.push_back(n);
     for (const auto& [s, n] : shard.strings) nodes.push_back(n);
@@ -266,7 +270,7 @@ InternerStats Interner::GetStats() const {
   InternerStats stats;
   for (int i = 0; i < kNumShards; ++i) {
     Shard& shard = shards_[i];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     stats.atom_count += shard.ints.size() + shard.symbols.size() + shard.strings.size();
     stats.set_count += shard.sets.size();
     for (const internal::Node* n : shard.sets) {

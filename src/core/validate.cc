@@ -2,7 +2,6 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -10,6 +9,7 @@
 #include <vector>
 
 #include "src/common/check.h"
+#include "src/common/sync.h"
 #include "src/core/interner.h"
 #include "src/core/order.h"
 // The memo being validated lives one layer up; validation deliberately spans
@@ -117,20 +117,26 @@ Status CheckNodeInterned(const internal::Node* n) {
 // Nodes that already passed deep validation. Sound to cache: nodes are
 // immutable and immortal, so valid-once is valid-forever. Keeps level-2
 // builds from re-walking shared subtrees on every kernel post-condition.
-std::mutex g_valid_cache_mu;
-std::unordered_set<const internal::Node*>& ValidCache() {
-  static auto* cache = new std::unordered_set<const internal::Node*>();
+struct ValidNodeCache {
+  Mutex mu;
+  std::unordered_set<const internal::Node*> nodes XST_GUARDED_BY(mu);
+};
+
+ValidNodeCache& ValidCache() {
+  static auto* cache = new ValidNodeCache();  // leaked with the arena
   return *cache;
 }
 
 bool IsCachedValid(const internal::Node* n) {
-  std::lock_guard<std::mutex> lock(g_valid_cache_mu);
-  return ValidCache().count(n) != 0;
+  ValidNodeCache& cache = ValidCache();
+  MutexLock lock(&cache.mu);
+  return cache.nodes.count(n) != 0;
 }
 
 void MarkCachedValid(const internal::Node* n) {
-  std::lock_guard<std::mutex> lock(g_valid_cache_mu);
-  ValidCache().insert(n);
+  ValidNodeCache& cache = ValidCache();
+  MutexLock lock(&cache.mu);
+  cache.nodes.insert(n);
 }
 
 // Iterative post-order DFS over ⟨element, scope⟩ edges with gray/black

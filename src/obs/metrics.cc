@@ -4,7 +4,8 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
-#include <mutex>
+
+#include "src/common/sync.h"
 
 namespace xst {
 namespace obs {
@@ -38,10 +39,10 @@ void Histogram::Reset() {
 // Metric objects are held behind unique_ptr so the map can grow without
 // moving them; the registry itself is leaked, so references are immortal.
 struct MetricsRegistry::Impl {
-  mutable std::mutex mu;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  mutable Mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters XST_GUARDED_BY(mu);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges XST_GUARDED_BY(mu);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms XST_GUARDED_BY(mu);
 };
 
 // The only instance is the leaked Global() singleton, so its Impl is
@@ -54,7 +55,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter& MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   auto it = impl_->counters.find(name);
   if (it == impl_->counters.end()) {
     it = impl_->counters.emplace(std::string(name), std::make_unique<Counter>()).first;
@@ -63,7 +64,7 @@ Counter& MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   auto it = impl_->gauges.find(name);
   if (it == impl_->gauges.end()) {
     it = impl_->gauges.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -72,7 +73,7 @@ Gauge& MetricsRegistry::GetGauge(std::string_view name) {
 }
 
 Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   auto it = impl_->histograms.find(name);
   if (it == impl_->histograms.end()) {
     it = impl_->histograms.emplace(std::string(name), std::make_unique<Histogram>()).first;
@@ -82,7 +83,7 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   snap.counters.reserve(impl_->counters.size());
   for (const auto& [name, c] : impl_->counters) snap.counters.emplace_back(name, c->value());
   snap.gauges.reserve(impl_->gauges.size());
@@ -102,7 +103,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   for (auto& [name, c] : impl_->counters) c->Reset();
   for (auto& [name, g] : impl_->gauges) g->Reset();
   for (auto& [name, h] : impl_->histograms) h->Reset();

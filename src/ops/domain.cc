@@ -1,8 +1,8 @@
 #include "src/ops/domain.h"
 
-#include <mutex>
 
 #include "src/common/check.h"
+#include "src/common/sync.h"
 #include "src/common/thread_pool.h"
 #include "src/obs/trace.h"
 #include "src/ops/rescope.h"
@@ -16,7 +16,7 @@ XSet SigmaDomain(const XSet& r, const XSet& sigma) {
   auto ms = r.members();
   std::vector<Membership> out;
   out.reserve(ms.size());
-  std::mutex mu;
+  Mutex mu;
   ParallelFor(ms.size(), /*min_chunk=*/1024, [&](size_t lo, size_t hi) {
     const bool solo = lo == 0 && hi == ms.size();  // single-chunk inline path
     std::vector<Membership> local_storage;
@@ -29,7 +29,7 @@ XSet SigmaDomain(const XSet& r, const XSet& sigma) {
       dest.push_back(Membership{x, s});
     }
     if (solo) return;
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     out.insert(out.end(), local_storage.begin(), local_storage.end());
   });
   return XST_VALIDATE(XSet::FromMembers(std::move(out)));

@@ -1,9 +1,9 @@
 #include "src/ops/index.h"
 
 #include <map>
-#include <mutex>
 
 #include "src/common/check.h"
+#include "src/common/sync.h"
 #include "src/common/hash.h"
 #include "src/common/thread_pool.h"
 #include "src/obs/trace.h"
@@ -23,7 +23,7 @@ ImageIndex::ImageIndex(XSet r, Sigma sigma) : r_(std::move(r)), sigma_(std::move
   // per-key posting lists keep the carrier's canonical order.
   auto ms = r_.members();
   using Buckets = std::unordered_map<Membership, std::vector<Membership>, KeyHash, KeyEq>;
-  std::mutex mu;
+  Mutex mu;
   std::map<size_t, Buckets> parts;  // keyed by chunk start
   ParallelFor(ms.size(), /*min_chunk=*/1024, [&](size_t lo, size_t hi) {
     const bool solo = lo == 0 && hi == ms.size();  // single-chunk inline path
@@ -39,7 +39,7 @@ ImageIndex::ImageIndex(XSet r, Sigma sigma) : r_(std::move(r)), sigma_(std::move
       }
     }
     if (solo) return;
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     parts.emplace(lo, std::move(local_storage));
   });
   for (auto& [start, local] : parts) {

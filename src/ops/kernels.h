@@ -3,10 +3,10 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <span>
 #include <vector>
 
+#include "src/common/sync.h"
 #include "src/common/thread_pool.h"
 #include "src/core/xset.h"
 
@@ -28,7 +28,7 @@ template <typename Keep>
 std::vector<Membership> ParallelFilterInOrder(std::span<const Membership> ms,
                                               const Keep& keep) {
   std::vector<Membership> out;
-  std::mutex mu;
+  Mutex mu;
   std::map<size_t, std::vector<Membership>> chunks;  // keyed by chunk start
   ParallelFor(ms.size(), kFilterGrain, [&](size_t lo, size_t hi) {
     // A chunk covering the whole range runs alone (inline / 1-core path):
@@ -40,7 +40,7 @@ std::vector<Membership> ParallelFilterInOrder(std::span<const Membership> ms,
       if (keep(ms[i])) dest.push_back(ms[i]);
     }
     if (solo) return;
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     chunks.emplace(lo, std::move(local_storage));
   });
   for (auto& [start, kept] : chunks) {

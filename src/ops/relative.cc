@@ -1,11 +1,11 @@
 #include "src/ops/relative.h"
 
 #include <algorithm>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "src/common/check.h"
+#include "src/common/sync.h"
 #include "src/common/hash.h"
 #include "src/common/thread_pool.h"
 #include "src/core/atom.h"
@@ -133,7 +133,7 @@ XSet RelativeProduct(const XSet& f, const XSet& g, const Sigma& sigma, const Sig
   key_arena.reserve(mg.size() * 2);
   out_arena.reserve(mg.size() * 2);
   {
-    std::mutex mu;
+    Mutex mu;
     ParallelFor(mg.size(), kGrain, [&](size_t lo, size_t hi) {
       const bool solo = lo == 0 && hi == mg.size();
       std::vector<BuildEntry> local_entries;
@@ -161,7 +161,7 @@ XSet RelativeProduct(const XSet& f, const XSet& g, const Sigma& sigma, const Sig
         dst_entries.push_back(e);
       }
       if (solo) return;
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(&mu);
       size_t key_base = key_arena.size();
       size_t out_base = out_arena.size();
       key_arena.insert(key_arena.end(), local_keys.begin(), local_keys.end());
@@ -192,7 +192,7 @@ XSet RelativeProduct(const XSet& f, const XSet& g, const Sigma& sigma, const Sig
   auto mf = f.members();
   std::vector<Membership> out;
   {
-    std::mutex mu;
+    Mutex mu;
     ParallelFor(mf.size(), kGrain, [&](size_t lo, size_t hi) {
       const bool solo = lo == 0 && hi == mf.size();
       std::vector<Membership> local_storage;
@@ -226,7 +226,7 @@ XSet RelativeProduct(const XSet& f, const XSet& g, const Sigma& sigma, const Sig
         }
       }
       if (solo) return;
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(&mu);
       if (out.empty()) {
         out = std::move(local_storage);
       } else {

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <mutex>
 
 #include "src/common/check.h"
+#include "src/common/sync.h"
 #include "src/common/hash.h"
 #include "src/core/order.h"
 #include "src/obs/metrics.h"
@@ -37,8 +37,8 @@ constexpr size_t kMemoSetsPerShard = size_t{1} << 12;
 constexpr size_t kMemoShards = 16;  // total: 16 × 4096 × 2 slots ≈ 3 MB
 
 struct MemoShard {
-  std::mutex mu;
-  MemoSlot slots[kMemoSetsPerShard * kMemoWays];
+  Mutex mu;
+  MemoSlot slots[kMemoSetsPerShard * kMemoWays] XST_GUARDED_BY(mu);
 };
 
 MemoShard* MemoShards() {
@@ -82,9 +82,10 @@ XSet RescopeByScope(const XSet& a, const XSet& sigma) {
   const internal::Node* ns = sigma.node();
   const uint64_t h = MemoHash(na, ns);
   MemoShard& shard = MemoShards()[(h >> 48) & (kMemoShards - 1)];
-  MemoSlot* set = &shard.slots[(h & (kMemoSetsPerShard - 1)) * kMemoWays];
+  const size_t set_base = (h & (kMemoSetsPerShard - 1)) * kMemoWays;
   if (use_memo) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
+    MemoSlot* set = &shard.slots[set_base];
     for (size_t w = 0; w < kMemoWays; ++w) {
       if (set[w].a == na && set[w].sigma == ns) {
         MemoHits().Increment();
@@ -104,8 +105,8 @@ XSet RescopeByScope(const XSet& a, const XSet& sigma) {
   if (use_memo) {
     // Insert into way 1 (the LRU victim); a racing compute of the same key
     // wrote the identical interned node, so lost races are harmless.
-    std::lock_guard<std::mutex> lock(shard.mu);
-    set[1] = MemoSlot{na, ns, result.node()};
+    MutexLock lock(&shard.mu);
+    shard.slots[set_base + 1] = MemoSlot{na, ns, result.node()};
   }
   return result;
 }
@@ -135,7 +136,7 @@ RescopeCacheStats GetRescopeCacheStats() {
   stats.misses = MemoMisses().value();
   for (size_t i = 0; i < kMemoShards; ++i) {
     MemoShard& shard = MemoShards()[i];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     for (const MemoSlot& slot : shard.slots) {
       if (slot.result != nullptr) ++stats.entries;
     }
@@ -182,7 +183,7 @@ std::vector<RescopeMemoEntry> SnapshotRescopeMemo() {
   std::vector<RescopeMemoEntry> entries;
   for (size_t i = 0; i < kMemoShards; ++i) {
     MemoShard& shard = MemoShards()[i];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     for (const MemoSlot& slot : shard.slots) {
       if (slot.result == nullptr) continue;
       entries.push_back(RescopeMemoEntry{XSet::FromNode(slot.a), XSet::FromNode(slot.sigma),
@@ -197,8 +198,8 @@ bool PoisonRescopeMemoEntryForTest(const XSet& a, const XSet& sigma, const XSet&
   const internal::Node* ns = sigma.node();
   const uint64_t h = MemoHash(na, ns);
   MemoShard& shard = MemoShards()[(h >> 48) & (kMemoShards - 1)];
+  MutexLock lock(&shard.mu);
   MemoSlot* set = &shard.slots[(h & (kMemoSetsPerShard - 1)) * kMemoWays];
-  std::lock_guard<std::mutex> lock(shard.mu);
   for (size_t w = 0; w < kMemoWays; ++w) {
     if (set[w].a == na && set[w].sigma == ns) {
       set[w].result = bogus.node();
@@ -211,7 +212,7 @@ bool PoisonRescopeMemoEntryForTest(const XSet& a, const XSet& sigma, const XSet&
 void ClearRescopeMemoForTest() {
   for (size_t i = 0; i < kMemoShards; ++i) {
     MemoShard& shard = MemoShards()[i];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     for (MemoSlot& slot : shard.slots) slot = MemoSlot{};
   }
 }

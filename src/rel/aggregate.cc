@@ -2,9 +2,9 @@
 
 #include <limits>
 #include <map>
-#include <mutex>
 
 #include "src/common/check.h"
+#include "src/common/sync.h"
 #include "src/common/macros.h"
 #include "src/common/thread_pool.h"
 #include "src/core/order.h"
@@ -75,7 +75,7 @@ Result<Relation> GroupBy(const Relation& r, const std::vector<std::string>& keys
   using Blocks = std::map<XSet, std::vector<Accumulator>, XSetLess>;
   Blocks blocks;
   auto tuples = r.tuples().members();
-  std::mutex mu;
+  Mutex mu;
   Status error = Status::OK();
   ParallelFor(tuples.size(), /*min_chunk=*/1024, [&](size_t lo, size_t hi) {
     const bool solo = lo == 0 && hi == tuples.size();  // single-chunk inline path
@@ -85,7 +85,7 @@ Result<Relation> GroupBy(const Relation& r, const std::vector<std::string>& keys
     for (size_t t = lo; t < hi; ++t) {
       const Membership& m = tuples[t];
       if (!TupleElements(m.element, &parts)) {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(&mu);
         if (error.ok()) {
           error = Status::TypeError("GroupBy: non-tuple member " + m.element.ToString());
         }
@@ -105,7 +105,7 @@ Result<Relation> GroupBy(const Relation& r, const std::vector<std::string>& keys
       }
     }
     if (solo) return;
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     for (auto& [key, accs] : local_storage) {
       auto it = blocks.find(key);
       if (it == blocks.end()) {

@@ -87,7 +87,9 @@ Pager::~Pager() {
   // Pin discipline: every PageRef must be released before its pager dies —
   // a surviving handle would point into a freed frame.
   XST_CHECK(pinned_frames_ == 0);
-  Flush().ok();  // best effort on teardown
+  // Deliberate drop: a destructor has no error channel. Callers that care
+  // about durability must Flush() explicitly and check the Status first.
+  (void)Flush();
 }
 
 Result<PageRef> Pager::AllocatePage() {

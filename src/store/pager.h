@@ -19,8 +19,10 @@
 // I/O goes through the File seam (file.h); tests interpose FaultFile to
 // prove every read/write/flush failure surfaces as a Status.
 //
-// Not thread-safe: the set store serializes access (single writer, as the
-// era's systems did).
+// Not thread-safe by itself: the pager is only reachable through
+// SetStore::pager_, which is XST_GUARDED_BY the store's mutex — the 1977
+// single-writer discipline, enforced at compile time by Clang's thread-safety
+// analysis rather than by convention (see setstore.h).
 
 #pragma once
 
@@ -75,7 +77,11 @@ class Pager;
 /// Holding a PageRef guarantees the frame is resident and address-stable;
 /// releasing (destruction, move-assignment, Reset) unpins it. Move-only.
 /// A PageRef must not outlive its Pager (checked at pager teardown).
-class PageRef {
+///
+/// [[nodiscard]]: a discarded PageRef unpins immediately, so the page the
+/// caller thought it pinned is evictable right away — exactly the
+/// use-after-evict window the pin API exists to close.
+class [[nodiscard]] PageRef {
  public:
   PageRef() = default;
   PageRef(PageRef&& other) noexcept { *this = std::move(other); }

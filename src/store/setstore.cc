@@ -41,6 +41,9 @@ Status SetStore::CheckOpen() const {
 Result<std::unique_ptr<SetStore>> SetStore::Open(const std::string& path,
                                                  const SetStoreOptions& options) {
   std::unique_ptr<SetStore> store(new SetStore(path, options));
+  // Nobody else can reach the fresh store yet, but its guarded fields still
+  // demand the capability — and a one-time uncontended lock is free.
+  MutexLock lock(&store->mu_);
   XST_ASSIGN_OR_RAISE(store->pager_, store->OpenPager(path));
   if (store->pager_->page_count() == 0) {
     // Fresh store: create the superblock.
@@ -182,6 +185,7 @@ Status SetStore::LoadCatalog() {
 
 Status SetStore::Put(const std::string& name, const XSet& value) {
   XST_TRACE_SPAN("store.put");
+  MutexLock lock(&mu_);
   XST_RETURN_NOT_OK(CheckOpen());
   if (name.empty()) return Status::Invalid("set names must be non-empty");
   std::string encoded = EncodeXSetToString(value);
@@ -197,6 +201,7 @@ Status SetStore::Put(const std::string& name, const XSet& value) {
 
 Status SetStore::PutBatch(const std::vector<std::pair<std::string, XSet>>& entries) {
   XST_TRACE_SPAN("store.put_batch");
+  MutexLock lock(&mu_);
   XST_RETURN_NOT_OK(CheckOpen());
   // Validate up front: the batch must be all-or-nothing, so no partial
   // catalog mutation may happen after the first write.
@@ -221,10 +226,11 @@ Status SetStore::PutBatch(const std::vector<std::pair<std::string, XSet>>& entri
 
 Result<size_t> SetStore::Scrub() {
   XST_TRACE_SPAN("store.scrub");
+  MutexLock lock(&mu_);
   XST_RETURN_NOT_OK(CheckOpen());
   size_t verified = 0;
   for (const std::string& name : catalog_.Names()) {
-    Result<XSet> value = Get(name);
+    Result<XSet> value = GetLocked(name);
     if (!value.ok()) {
       return value.status().WithContext("scrub: set '" + name + "'");
     }
@@ -235,6 +241,11 @@ Result<size_t> SetStore::Scrub() {
 
 Result<XSet> SetStore::Get(const std::string& name) {
   XST_TRACE_SPAN("store.get");
+  MutexLock lock(&mu_);
+  return GetLocked(name);
+}
+
+Result<XSet> SetStore::GetLocked(const std::string& name) {
   XST_RETURN_NOT_OK(CheckOpen());
   XST_ASSIGN_OR_RAISE(CatalogEntry entry, catalog_.Get(name));
   XST_ASSIGN_OR_RAISE(std::string encoded, ReadBlob(entry));
@@ -245,6 +256,7 @@ Result<XSet> SetStore::Get(const std::string& name) {
 
 Status SetStore::Delete(const std::string& name) {
   XST_TRACE_SPAN("store.delete");
+  MutexLock lock(&mu_);
   XST_RETURN_NOT_OK(CheckOpen());
   Catalog staged = catalog_;
   XST_RETURN_NOT_OK(staged.Remove(name));
@@ -254,6 +266,11 @@ Status SetStore::Delete(const std::string& name) {
 }
 
 Status SetStore::Flush() {
+  MutexLock lock(&mu_);
+  return FlushLocked();
+}
+
+Status SetStore::FlushLocked() {
   XST_RETURN_NOT_OK(CheckOpen());
   return pager_->Flush();
 }
@@ -273,22 +290,25 @@ Status SetStore::Reopen() {
   return Status::OK();
 }
 
+Status SetStore::CopyLiveTo(const std::string& tmp_path) {
+  XST_ASSIGN_OR_RAISE(std::unique_ptr<SetStore> fresh,
+                      SetStore::Open(tmp_path, options_));
+  for (const std::string& name : catalog_.Names()) {
+    XST_ASSIGN_OR_RAISE(XSet value, GetLocked(name));
+    XST_RETURN_NOT_OK(fresh->Put(name, value));
+  }
+  return fresh->Flush();
+}
+
 Status SetStore::Compact() {
   XST_TRACE_SPAN("store.compact");
+  MutexLock lock(&mu_);
   XST_RETURN_NOT_OK(CheckOpen());
   // Rewrite live blobs into a sibling file, then swap it in.
   const std::string tmp_path = path_ + ".compact";
   std::remove(tmp_path.c_str());
-  Status st = [&]() -> Status {
-    XST_ASSIGN_OR_RAISE(std::unique_ptr<SetStore> fresh,
-                        SetStore::Open(tmp_path, options_));
-    for (const std::string& name : catalog_.Names()) {
-      XST_ASSIGN_OR_RAISE(XSet value, Get(name));
-      XST_RETURN_NOT_OK(fresh->Put(name, value));
-    }
-    return fresh->Flush();
-  }();
-  if (st.ok()) st = Flush();
+  Status st = CopyLiveTo(tmp_path);
+  if (st.ok()) st = FlushLocked();
   if (!st.ok()) {
     // The original file and the resident catalog are untouched; drop the
     // half-written sibling and report.

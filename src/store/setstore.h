@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/common/sync.h"
 #include "src/core/xset.h"
 #include "src/store/catalog.h"
 #include "src/store/file.h"
@@ -53,6 +54,13 @@ struct SetStoreOptions {
   std::function<int(const char* from, const char* to)> rename_fn;
 };
 
+/// \brief Thread safety: every public method serializes on one internal
+/// Mutex (`mu_`), which guards both the catalog and the pager — the 1977
+/// single-writer discipline, now a Clang-checked capability instead of a
+/// comment. The pager itself stays lock-free; it is reachable only through
+/// `pager_`, which is XST_GUARDED_BY(mu_). Coarse-grained on purpose: every
+/// operation is dominated by I/O, so a finer pager/catalog split would buy
+/// contention windows, not throughput.
 class SetStore {
  public:
   /// \brief Opens (creating if necessary) a store at `path`.
@@ -60,67 +68,97 @@ class SetStore {
                                                 const SetStoreOptions& options = {});
 
   /// \brief Writes (or replaces) a named set and persists the catalog.
-  Status Put(const std::string& name, const XSet& value);
+  Status Put(const std::string& name, const XSet& value) XST_EXCLUDES(mu_);
 
   /// \brief Writes several named sets with ONE catalog persist at the end:
   /// all-or-nothing visibility across restarts (the superblock pointer is
   /// the commit point; blobs written before a crash are unreferenced
   /// garbage, reclaimed by Compact). Names must be unique within the batch.
-  Status PutBatch(const std::vector<std::pair<std::string, XSet>>& entries);
+  Status PutBatch(const std::vector<std::pair<std::string, XSet>>& entries)
+      XST_EXCLUDES(mu_);
 
   /// \brief Full-store verification: re-reads every live blob through the
   /// checksummed page path and decodes it. Returns the number of blobs
   /// verified, or the first Corruption/IOError encountered.
-  Result<size_t> Scrub();
+  Result<size_t> Scrub() XST_EXCLUDES(mu_);
 
   /// \brief Reads a named set back. NotFound / Corruption as appropriate.
-  Result<XSet> Get(const std::string& name);
+  Result<XSet> Get(const std::string& name) XST_EXCLUDES(mu_);
 
   /// \brief Removes the name (space reclaimed at Compact()).
-  Status Delete(const std::string& name);
+  Status Delete(const std::string& name) XST_EXCLUDES(mu_);
 
-  bool Contains(const std::string& name) const { return catalog_.Contains(name); }
+  /// \brief True iff `name` is stored.
+  bool Contains(const std::string& name) const XST_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return catalog_.Contains(name);
+  }
 
   /// \brief All stored names.
-  std::vector<std::string> List() const { return catalog_.Names(); }
+  std::vector<std::string> List() const XST_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return catalog_.Names();
+  }
 
   /// \brief Rewrites the store keeping only live blobs; reopens in place.
   /// On failure the temp file is removed and the original store stays
   /// usable; only a failed post-swap reopen leaves the store closed (the
   /// file itself remains valid — reopen from the path).
-  Status Compact();
+  Status Compact() XST_EXCLUDES(mu_);
 
   /// \brief Flushes the pool to disk.
-  Status Flush();
+  Status Flush() XST_EXCLUDES(mu_);
 
-  const PagerStats& pager_stats() const { return pager_->stats(); }
-  void ResetPagerStats() { pager_->ResetStats(); }
-  uint32_t page_count() const { return pager_->page_count(); }
+  /// \brief Snapshot of the pager's hit/miss/eviction counters.
+  PagerStats pager_stats() const XST_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return pager_->stats();
+  }
+  void ResetPagerStats() XST_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    pager_->ResetStats();
+  }
+  uint32_t page_count() const XST_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return pager_->page_count();
+  }
 
   /// \brief The catalog's set representation (for inspection and tests).
-  XSet CatalogAsXSet() const { return catalog_.ToXSet(); }
+  XSet CatalogAsXSet() const XST_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return catalog_.ToXSet();
+  }
 
  private:
   SetStore(std::string path, SetStoreOptions options)
       : path_(std::move(path)), options_(std::move(options)) {}
 
   Result<std::unique_ptr<Pager>> OpenPager(const std::string& path) const;
-  Status CheckOpen() const;
-  Result<CatalogEntry> WriteBlob(const std::string& bytes);
-  Result<std::string> ReadBlob(const CatalogEntry& entry);
+  Status CheckOpen() const XST_REQUIRES(mu_);
+  Result<CatalogEntry> WriteBlob(const std::string& bytes) XST_REQUIRES(mu_);
+  Result<std::string> ReadBlob(const CatalogEntry& entry) XST_REQUIRES(mu_);
   /// Persists `staged` to disk; the caller commits it to catalog_ only on OK.
-  Status PersistCatalog(const Catalog& staged);
-  Status LoadCatalog();
+  Status PersistCatalog(const Catalog& staged) XST_REQUIRES(mu_);
+  Status LoadCatalog() XST_REQUIRES(mu_);
   /// Reopens pager_ + catalog_ from path_; on failure the store is closed.
-  Status Reopen();
+  Status Reopen() XST_REQUIRES(mu_);
+  /// Get/Flush bodies for callers already holding the lock (Scrub, Compact).
+  Result<XSet> GetLocked(const std::string& name) XST_REQUIRES(mu_);
+  Status FlushLocked() XST_REQUIRES(mu_);
+  /// Compact's rewrite pass: copies every live set into the store at
+  /// `tmp_path`. A named helper (not a lambda) so the analysis can see the
+  /// lock requirement.
+  Status CopyLiveTo(const std::string& tmp_path) XST_REQUIRES(mu_);
   /// Corruption unless the blob range is well-formed for this file.
   Status ValidateBlobRange(const std::string& what, int64_t first_page,
-                           int64_t page_span, int64_t byte_length) const;
+                           int64_t page_span, int64_t byte_length) const
+      XST_REQUIRES(mu_);
 
-  std::string path_;
-  SetStoreOptions options_;
-  std::unique_ptr<Pager> pager_;
-  Catalog catalog_;
+  std::string path_;        // immutable after construction
+  SetStoreOptions options_; // immutable after construction
+  mutable Mutex mu_;
+  std::unique_ptr<Pager> pager_ XST_GUARDED_BY(mu_);
+  Catalog catalog_ XST_GUARDED_BY(mu_);
 };
 
 }  // namespace xst

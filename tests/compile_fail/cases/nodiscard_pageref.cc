@@ -1,0 +1,11 @@
+// expect-error: nodiscard
+//
+// A discarded PageRef unpins its frame immediately — the caller meant to
+// hold the page and instead opened a use-after-evict window.
+#include "src/store/pager.h"
+
+xst::PageRef Pin();
+
+void Drop() {
+  Pin();  // must not compile: ignored PageRef
+}

@@ -1,0 +1,10 @@
+// expect-error: nodiscard
+//
+// A dropped Result<T> discards both the value and the error it may carry.
+#include "src/common/result.h"
+
+xst::Result<int> Compute();
+
+void Drop() {
+  Compute();  // must not compile: ignored Result
+}

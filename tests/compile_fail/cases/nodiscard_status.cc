@@ -1,0 +1,11 @@
+// expect-error: nodiscard
+//
+// Dropping a returned Status on the floor swallows the failure; the type is
+// [[nodiscard]] and -Werror=unused-result makes the drop a build break.
+#include "src/common/status.h"
+
+xst::Status Mutate();
+
+void Drop() {
+  Mutate();  // must not compile: ignored Status
+}

@@ -1,0 +1,9 @@
+// expect-error: still held at the end of function
+//
+// XST_ACQUIRE/XST_RELEASE: a manual Lock() with no matching Unlock() leaks
+// the capability out of the function; must be rejected.
+#include "src/common/sync.h"
+
+void Leak(xst::Mutex& mu) {
+  mu.Lock();  // must not compile: never unlocked
+}

@@ -1,0 +1,12 @@
+// expect-error: already held
+//
+// XST_CAPABILITY: the analysis tracks the mutex itself as a capability, so
+// re-acquiring a held mutex (self-deadlock on std::mutex) must be rejected.
+#include "src/common/sync.h"
+
+void Twice(xst::Mutex& mu) {
+  mu.Lock();
+  mu.Lock();  // must not compile: already held
+  mu.Unlock();
+  mu.Unlock();
+}

@@ -1,0 +1,17 @@
+// expect-error: mutex 'mu_' is held
+//
+// XST_EXCLUDES: calling a lock-taking function while already holding the
+// lock is a self-deadlock on a non-reentrant mutex; must be rejected.
+#include "src/common/sync.h"
+
+class Store {
+ public:
+  void Outer() {
+    xst::MutexLock lock(&mu_);
+    Inner();  // must not compile: Inner excludes mu_
+  }
+  void Inner() XST_EXCLUDES(mu_) { xst::MutexLock lock(&mu_); }
+
+ private:
+  xst::Mutex mu_;
+};

@@ -1,0 +1,13 @@
+// expect-error: requires holding mutex 'mu_'
+//
+// XST_GUARDED_BY: touching the field without the lock must be rejected.
+#include "src/common/sync.h"
+
+class Counter {
+ public:
+  void Bump() { ++value_; }  // must not compile: no lock held
+
+ private:
+  xst::Mutex mu_;
+  int value_ XST_GUARDED_BY(mu_) = 0;
+};

@@ -1,0 +1,14 @@
+// expect-error: requires holding mutex 'mu_'
+//
+// XST_REQUIRES: calling a lock-expected function without the lock must be
+// rejected.
+#include "src/common/sync.h"
+
+class Store {
+ public:
+  void Call() { DoLocked(); }  // must not compile: mu_ not held
+
+ private:
+  void DoLocked() XST_REQUIRES(mu_) {}
+  xst::Mutex mu_;
+};

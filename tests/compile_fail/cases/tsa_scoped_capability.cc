@@ -1,0 +1,10 @@
+// expect-error: already held
+//
+// XST_SCOPED_CAPABILITY: MutexLock participates in the analysis, so nesting
+// two locks of the same mutex in one scope must be rejected.
+#include "src/common/sync.h"
+
+void Nested(xst::Mutex* mu) {
+  xst::MutexLock a(mu);
+  xst::MutexLock b(mu);  // must not compile: already held
+}

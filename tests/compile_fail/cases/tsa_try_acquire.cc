@@ -1,0 +1,20 @@
+// expect-error: requires holding mutex 'mu_'
+//
+// XST_TRY_ACQUIRE: TryLock only confers the capability on its true branch;
+// touching guarded state without testing the result must be rejected.
+#include "src/common/sync.h"
+
+class Store {
+ public:
+  void Racy() {
+    if (mu_.TryLock()) {
+      ++value_;
+      mu_.Unlock();
+    }
+    ++value_;  // must not compile: outside the acquired branch
+  }
+
+ private:
+  xst::Mutex mu_;
+  int value_ XST_GUARDED_BY(mu_) = 0;
+};

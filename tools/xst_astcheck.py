@@ -1,0 +1,738 @@
+#!/usr/bin/env python3
+"""xst-astcheck: AST-level static checks for the XST C++ sources.
+
+Where xst_lint.py pattern-matches lines, this tool reasons about program
+structure: which expressions dominate which, what scope a declaration lives
+in, which fields carry a GUARDED_BY annotation. It runs one of two engines:
+
+  AST engine       libclang via the `clang` Python bindings (pip `libclang`),
+                   used when importable. This is the engine CI runs.
+  fallback engine  the same comment/string-stripped regex machinery as
+                   xst_lint.py, used when libclang is unavailable (the dev
+                   container ships GCC only). Structure-dependent rules are
+                   reported as SKIPPED, never silently dropped.
+
+Rules (see DESIGN.md section 10 for rationale):
+
+  bare-mutex               std::mutex / lock_guard / unique_lock /
+                           condition_variable are forbidden outside
+                           src/common/sync.* — shared state synchronizes
+                           through the annotated xst::Mutex so Clang's
+                           thread-safety analysis sees every lock.
+                           [both engines]
+
+  thread-primitives        AST port of the xst_lint rule: std::thread /
+                           std::async outside common/thread_pool.*.
+                           [both engines]
+
+  interner-mutation        AST port of the xst_lint rule: mutating
+                           Interner::Global() calls outside the core builder
+                           layer. [both engines]
+
+  pageref-raw-escape       A raw `Page*` bound out of a PageRef (or straight
+                           from FetchPage/AllocatePage) escapes the pin
+                           scope — the frame can be recycled by any later
+                           pager call. [both engines]
+
+  lock-across-parallelfor  A MutexLock (or any lock) alive at a
+                           ThreadPool::ParallelFor call site: worker chunks
+                           that take the same lock deadlock the region, and
+                           even uncontended it serializes the pool.
+                           [both engines; fallback is scope-heuristic]
+
+  result-value-unchecked   Result<T>::value()/status() use with no dominating
+                           ok() check on the same object — value() on an
+                           error Result aborts. XST_ASSIGN_OR_RAISE expands
+                           to a dominated access and never trips this.
+                           [AST engine only]
+
+  guarded-field-unlocked   Mutation of an XST_GUARDED_BY(mu) field in a
+                           method that neither holds a MutexLock on `mu` nor
+                           is annotated XST_REQUIRES(mu). Clang's own
+                           -Wthread-safety is the authoritative check; this
+                           rule keeps GCC-only builds honest.
+                           [AST engine only]
+
+Suppress a single line with a trailing comment: // xst-astcheck: allow(rule)
+For the ported rules, an existing // xst-lint: allow(...) of the same rule
+name is honored too.
+
+Usage:
+  tools/xst_astcheck.py [paths...]     # default: src/ relative to repo root
+  tools/xst_astcheck.py --list-rules
+  tools/xst_astcheck.py --self-test
+  tools/xst_astcheck.py --parity [paths...]   # AST findings must cover regex
+"""
+
+import argparse
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+
+import xst_lint  # noqa: E402  (shared stripper, Finding, ported rules)
+
+strip_comments_and_strings = xst_lint.strip_comments_and_strings
+Finding = xst_lint.Finding
+
+
+# ---------------------------------------------------------------------------
+# Engine selection
+# ---------------------------------------------------------------------------
+
+
+def load_cindex():
+    """Returns the clang.cindex module if the bindings and a libclang are
+    usable, else None (→ fallback engine)."""
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError:
+        return None
+    try:
+        cindex.Index.create()
+    except Exception:
+        return None
+    return cindex
+
+
+# ---------------------------------------------------------------------------
+# Fallback (regex) rule bodies. Each yields (line_no, message).
+# ---------------------------------------------------------------------------
+
+BARE_MUTEX_RE = re.compile(
+    r"std::(mutex|recursive_mutex|shared_mutex|timed_mutex|recursive_timed_mutex|"
+    r"lock_guard|unique_lock|shared_lock|scoped_lock|"
+    r"condition_variable|condition_variable_any)\b")
+PAGE_PTR_DECL_RE = re.compile(r"\bPage\s*\*\s*\w+\s*=")
+PAGEREF_DEREF_RE = re.compile(r"\.get\(\)|&\s*\*|operator->")
+PAGE_FETCH_RE = re.compile(r"\b(FetchPage|AllocatePage)\s*\(")
+LOCK_DECL_RE = re.compile(r"\b(MutexLock|lock_guard|unique_lock|scoped_lock)\b\s*[<\w]*\s*\w+\s*[({]")
+PARALLEL_FOR_RE = re.compile(r"\bParallelFor\s*\(")
+
+
+def _exempt(rel_path, names):
+    return any(rel_path.endswith(n) for n in names)
+
+
+def rule_bare_mutex(rel_path, lines, _raw):
+    if _exempt(rel_path, ("common/sync.h", "common/sync.cc")):
+        return
+    for i, line in enumerate(lines, 1):
+        m = BARE_MUTEX_RE.search(line)
+        if m:
+            yield i, (f"bare std::{m.group(1)}; use xst::Mutex / MutexLock / "
+                      "CondVar (src/common/sync.h) so the thread-safety "
+                      "analysis sees the lock")
+
+
+def rule_pageref_raw_escape(rel_path, lines, _raw):
+    if _exempt(rel_path, ("store/pager.h", "store/pager.cc")):
+        return  # the PageRef implementation itself
+    for i, line in enumerate(lines, 1):
+        if not PAGE_PTR_DECL_RE.search(line):
+            continue
+        window = "\n".join(lines[max(0, i - 1):min(len(lines), i + 2)])
+        if PAGEREF_DEREF_RE.search(window) or PAGE_FETCH_RE.search(window):
+            yield i, ("raw Page* bound out of a pin; keep the PageRef (the "
+                      "frame is recycled once the pin drops)")
+
+
+def rule_lock_across_parallelfor(rel_path, lines, _raw):
+    # Scope heuristic: track brace depth; a lock declared at depth d is alive
+    # until depth drops below d. Any ParallelFor seen while a lock is alive is
+    # a finding. (The AST engine uses real scopes; this catches the common
+    # single-file case.)
+    depth = 0
+    live_locks = []  # (depth_declared, line_no)
+    for i, line in enumerate(lines, 1):
+        if LOCK_DECL_RE.search(line):
+            live_locks.append((depth + line.count("{"), i))
+        if PARALLEL_FOR_RE.search(line) and live_locks:
+            yield i, (f"ParallelFor reached with a lock held (acquired line "
+                      f"{live_locks[-1][1]}); worker chunks that contend on it "
+                      "deadlock the region — copy what you need, drop the "
+                      "lock, then go parallel")
+        depth += line.count("{") - line.count("}")
+        live_locks = [(d, ln) for d, ln in live_locks if d <= depth]
+
+
+# ---------------------------------------------------------------------------
+# AST rule bodies. Each takes (rel_path, tu, cindex) and yields
+# (line_no, message). They only report locations inside the file being
+# checked (not headers pulled in by it).
+# ---------------------------------------------------------------------------
+
+STD_SYNC_TYPES = (
+    "std::mutex", "std::recursive_mutex", "std::shared_mutex",
+    "std::timed_mutex", "std::recursive_timed_mutex", "std::lock_guard",
+    "std::unique_lock", "std::shared_lock", "std::scoped_lock",
+    "std::condition_variable", "std::condition_variable_any",
+)
+LOCK_TYPES = ("MutexLock", "lock_guard", "unique_lock", "scoped_lock")
+INTERNER_MUTATORS = ("Int", "Symbol", "String", "Set")
+
+
+def _in_main_file(cursor, rel_path):
+    loc = cursor.location
+    if loc.file is None:
+        return False
+    return os.path.abspath(loc.file.name).endswith(rel_path.replace("/", os.sep))
+
+
+def _walk(cursor):
+    for child in cursor.get_children():
+        yield child
+        yield from _walk(child)
+
+
+def ast_rule_bare_mutex(rel_path, tu, cindex):
+    if _exempt(rel_path, ("common/sync.h", "common/sync.cc")):
+        return
+    K = cindex.CursorKind
+    for c in _walk(tu.cursor):
+        if c.kind not in (K.VAR_DECL, K.FIELD_DECL) or not _in_main_file(c, rel_path):
+            continue
+        spelling = c.type.get_canonical().spelling
+        if any(t in spelling for t in STD_SYNC_TYPES):
+            yield c.location.line, (f"bare {spelling.split('<')[0]}; use "
+                                    "xst::Mutex / MutexLock / CondVar "
+                                    "(src/common/sync.h)")
+
+
+def ast_rule_thread_primitives(rel_path, tu, cindex):
+    if _exempt(rel_path, ("common/thread_pool.h", "common/thread_pool.cc")):
+        return
+    K = cindex.CursorKind
+    for c in _walk(tu.cursor):
+        if not _in_main_file(c, rel_path):
+            continue
+        if (c.kind == K.VAR_DECL
+                and re.search(r"std::thread\b(?!::)", c.type.get_canonical().spelling)):
+            yield c.location.line, ("std::thread outside common/thread_pool; "
+                                    "route parallelism through ThreadPool::Global()")
+        elif c.kind == K.CALL_EXPR and c.spelling == "async":
+            ref = c.referenced
+            if ref is not None and "std" in (ref.semantic_parent.spelling or ""):
+                yield c.location.line, ("std::async outside common/thread_pool; "
+                                        "route parallelism through "
+                                        "ThreadPool::Global()")
+
+
+def ast_rule_interner_mutation(rel_path, tu, cindex):
+    if _exempt(rel_path, ("core/xset.cc", "core/builder.cc", "core/interner.cc")):
+        return
+    K = cindex.CursorKind
+    for c in _walk(tu.cursor):
+        if c.kind != K.CALL_EXPR or c.spelling not in INTERNER_MUTATORS:
+            continue
+        if not _in_main_file(c, rel_path):
+            continue
+        ref = c.referenced
+        if ref is not None and (ref.semantic_parent.spelling or "") == "Interner":
+            yield c.location.line, (
+                f"direct interner mutation Interner::Global().{c.spelling}() "
+                "outside the core builder layer; use an XSet factory")
+
+
+def ast_rule_pageref_raw_escape(rel_path, tu, cindex):
+    if _exempt(rel_path, ("store/pager.h", "store/pager.cc")):
+        return
+    K = cindex.CursorKind
+    for c in _walk(tu.cursor):
+        if c.kind != K.VAR_DECL or not _in_main_file(c, rel_path):
+            continue
+        t = c.type.get_canonical()
+        if t.kind != cindex.TypeKind.POINTER:
+            continue
+        pointee = t.get_pointee().spelling
+        if pointee.replace("const ", "").endswith("xst::Page"):
+            yield c.location.line, ("raw Page* escapes the pin scope; keep "
+                                    "the PageRef (the frame is recycled once "
+                                    "the pin drops)")
+
+
+def ast_rule_lock_across_parallelfor(rel_path, tu, cindex):
+    K = cindex.CursorKind
+    # Collect lock declarations with the extent of their enclosing compound
+    # statement, then flag ParallelFor calls inside that extent after the
+    # declaration.
+    locks = []  # (decl_end_offset, scope_end_offset, decl_line)
+
+    def visit(cursor, scope_extent):
+        for child in cursor.get_children():
+            if child.kind == K.COMPOUND_STMT:
+                visit(child, child.extent)
+                continue
+            if (child.kind == K.VAR_DECL and scope_extent is not None
+                    and any(lt in child.type.spelling for lt in LOCK_TYPES)):
+                locks.append((child.extent.end.offset, scope_extent.end.offset,
+                              child.location.line))
+            visit(child, scope_extent)
+
+    visit(tu.cursor, None)
+    for c in _walk(tu.cursor):
+        if c.kind != K.CALL_EXPR or c.spelling != "ParallelFor":
+            continue
+        if not _in_main_file(c, rel_path):
+            continue
+        off = c.extent.start.offset
+        for decl_end, scope_end, decl_line in locks:
+            if decl_end <= off <= scope_end:
+                yield c.location.line, (
+                    f"ParallelFor reached with a lock held (acquired line "
+                    f"{decl_line}); drop the lock before going parallel")
+                break
+
+
+def ast_rule_result_value_unchecked(rel_path, tu, cindex):
+    K = cindex.CursorKind
+    for fn in _walk(tu.cursor):
+        if fn.kind not in (K.FUNCTION_DECL, K.CXX_METHOD, K.FUNCTION_TEMPLATE):
+            continue
+        if not fn.is_definition() or not _in_main_file(fn, rel_path):
+            continue
+        ok_checked = {}   # base spelling -> earliest ok() offset
+        value_uses = []   # (offset, line, base spelling)
+        for c in _walk(fn):
+            if c.kind != K.CALL_EXPR:
+                continue
+            base = None
+            for child in c.get_children():
+                if child.kind == K.MEMBER_REF_EXPR:
+                    kids = list(child.get_children())
+                    if kids:
+                        toks = [t.spelling for t in kids[0].get_tokens()]
+                        base = "".join(toks)
+                    break
+            if base is None:
+                continue
+            if c.spelling == "ok":
+                off = c.extent.start.offset
+                ok_checked[base] = min(off, ok_checked.get(base, off))
+            elif c.spelling == "value":
+                obj_type = ""
+                for child in c.get_children():
+                    if child.kind == K.MEMBER_REF_EXPR:
+                        kids = list(child.get_children())
+                        if kids:
+                            obj_type = kids[0].type.get_canonical().spelling
+                        break
+                if "xst::Result<" in obj_type:
+                    value_uses.append((c.extent.start.offset, c.location.line, base))
+        for off, line, base in value_uses:
+            checked = ok_checked.get(base)
+            if checked is None or checked > off:
+                yield line, (f"Result::value() on `{base}` with no dominating "
+                             "ok() check; an error Result aborts here — test "
+                             "ok() first or use XST_ASSIGN_OR_RAISE")
+
+
+def ast_rule_guarded_field_unlocked(rel_path, tu, cindex):
+    K = cindex.CursorKind
+    # Pass 1: fields carrying a guarded_by attribute, keyed by (class, field),
+    # with the mutex expression text.
+    guarded = {}
+    for c in _walk(tu.cursor):
+        if c.kind != K.FIELD_DECL:
+            continue
+        for child in c.get_children():
+            if child.kind == K.UNEXPOSED_ATTR:
+                toks = " ".join(t.spelling for t in child.get_tokens())
+                m = re.search(r"guarded_by\s*\(\s*(.+?)\s*\)\s*$", toks)
+                if m:
+                    cls = c.semantic_parent.spelling
+                    guarded[(cls, c.spelling)] = m.group(1).lstrip("&").strip()
+    if not guarded:
+        return
+    # Pass 2: method bodies that write a guarded field while neither holding
+    # a MutexLock on its mutex nor being annotated REQUIRES.
+    for fn in _walk(tu.cursor):
+        if fn.kind != K.CXX_METHOD or not fn.is_definition():
+            continue
+        if not _in_main_file(fn, rel_path):
+            continue
+        fn_attrs = " ".join(
+            " ".join(t.spelling for t in a.get_tokens())
+            for a in fn.get_children() if a.kind == K.UNEXPOSED_ATTR)
+        held = set(re.findall(r"requires_capability\s*\(\s*&?(\w+)", fn_attrs))
+        for c in _walk(fn):
+            if c.kind == K.VAR_DECL and "MutexLock" in c.type.spelling:
+                toks = [t.spelling for t in c.get_tokens()]
+                for i, t in enumerate(toks):
+                    if t == "&" and i + 1 < len(toks):
+                        held.add(toks[i + 1])
+        cls = fn.semantic_parent.spelling
+        for c in _walk(fn):
+            if c.kind != K.BINARY_OPERATOR:
+                continue
+            kids = list(c.get_children())
+            if not kids or kids[0].kind != K.MEMBER_REF_EXPR:
+                continue
+            toks = [t.spelling for t in c.get_tokens()]
+            if "=" not in toks:
+                continue
+            field = kids[0].spelling
+            mu = guarded.get((cls, field))
+            if mu is not None and mu not in held:
+                yield c.location.line, (
+                    f"write to guarded field `{field}` without holding "
+                    f"`{mu}` (no MutexLock in scope, no XST_REQUIRES)")
+
+
+# ---------------------------------------------------------------------------
+# Rule registry
+# ---------------------------------------------------------------------------
+
+class Rule:
+    def __init__(self, name, fallback_fn, ast_fn):
+        self.name = name
+        self.fallback_fn = fallback_fn  # (rel_path, lines, raw) -> yields
+        self.ast_fn = ast_fn            # (rel_path, tu, cindex) -> yields
+
+
+RULES = [
+    Rule("bare-mutex", rule_bare_mutex, ast_rule_bare_mutex),
+    Rule("thread-primitives", xst_lint.rule_thread_primitives,
+         ast_rule_thread_primitives),
+    Rule("interner-mutation", xst_lint.rule_interner_mutation,
+         ast_rule_interner_mutation),
+    Rule("pageref-raw-escape", rule_pageref_raw_escape,
+         ast_rule_pageref_raw_escape),
+    Rule("lock-across-parallelfor", rule_lock_across_parallelfor,
+         ast_rule_lock_across_parallelfor),
+    Rule("result-value-unchecked", None, ast_rule_result_value_unchecked),
+    Rule("guarded-field-unlocked", None, ast_rule_guarded_field_unlocked),
+]
+
+# Rules whose findings must be a superset of xst_lint's same-named regex rule.
+PARITY_RULES = ("thread-primitives", "interner-mutation")
+
+ALLOW_RE = re.compile(r"xst-astcheck:\s*allow\(([a-z-]+)\)")
+LINT_ALLOW_RE = xst_lint.ALLOW_RE
+
+
+def _allowed(raw_line, rule_name):
+    m = ALLOW_RE.search(raw_line)
+    if m and m.group(1) == rule_name:
+        return True
+    # Ported rules honor the original pragma so migrating files need not
+    # double-annotate.
+    m = LINT_ALLOW_RE.search(raw_line)
+    return bool(m and m.group(1) == rule_name and rule_name in PARITY_RULES)
+
+
+# ---------------------------------------------------------------------------
+# Drivers
+# ---------------------------------------------------------------------------
+
+
+def check_text_fallback(rel_path, raw_text):
+    """Fallback engine over one file's text. Returns (findings, skipped)."""
+    stripped = strip_comments_and_strings(raw_text)
+    lines = stripped.split("\n")
+    raw_lines = raw_text.split("\n")
+    findings, skipped = [], []
+    for rule in RULES:
+        if rule.fallback_fn is None:
+            skipped.append(rule.name)
+            continue
+        for line_no, message in rule.fallback_fn(rel_path, lines, raw_lines):
+            raw_line = raw_lines[line_no - 1] if line_no <= len(raw_lines) else ""
+            if not _allowed(raw_line, rule.name):
+                findings.append(Finding(rel_path, line_no, rule.name, message))
+    return findings, skipped
+
+
+def clang_args():
+    return ["-std=c++20", "-I" + os.path.join(REPO_ROOT, "src"),
+            "-I" + REPO_ROOT, "-Wno-everything", "-ferror-limit=0"]
+
+
+def check_file_ast(path, rel_path, cindex, index):
+    raw_lines = open(path, encoding="utf-8").read().split("\n")
+    tu = index.parse(path, args=clang_args(),
+                     options=cindex.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD)
+    fatal = [d for d in tu.diagnostics if d.severity >= cindex.Diagnostic.Fatal]
+    if fatal:
+        return [Finding(rel_path, fatal[0].location.line or 1, "parse-error",
+                        f"libclang could not parse: {fatal[0].spelling}")]
+    findings = []
+    for rule in RULES:
+        for line_no, message in rule.ast_fn(rel_path, tu, cindex):
+            raw_line = raw_lines[line_no - 1] if 0 < line_no <= len(raw_lines) else ""
+            if not _allowed(raw_line, rule.name):
+                findings.append(Finding(rel_path, line_no, rule.name, message))
+    return findings
+
+
+def collect_files(paths):
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, names in os.walk(path):
+                for name in sorted(names):
+                    if name.endswith((".h", ".cc", ".cpp", ".hpp")):
+                        files.append(os.path.join(root, name))
+        elif os.path.isfile(path):
+            files.append(path)
+        else:
+            print(f"xst-astcheck: no such path: {path}", file=sys.stderr)
+            return None
+    return sorted(files)
+
+
+def check_paths(paths, cindex):
+    files = collect_files(paths)
+    if files is None:
+        return None, None, 0
+    findings, skipped_rules = [], set()
+    index = cindex.Index.create() if cindex else None
+    for f in files:
+        rel = os.path.relpath(f, REPO_ROOT).replace(os.sep, "/")
+        if cindex:
+            findings.extend(check_file_ast(f, rel, cindex, index))
+        else:
+            file_findings, skipped = check_text_fallback(rel, open(f, encoding="utf-8").read())
+            findings.extend(file_findings)
+            skipped_rules.update(skipped)
+    return findings, skipped_rules, len(files)
+
+
+def run_parity(paths, cindex):
+    """Every finding from the ported xst_lint regex rules must also be found
+    by this tool (AST findings ⊇ regex findings)."""
+    files = collect_files(paths)
+    if files is None:
+        return 2
+    missing = 0
+    for f in files:
+        rel = os.path.relpath(f, REPO_ROOT).replace(os.sep, "/")
+        text = open(f, encoding="utf-8").read()
+        regex_findings = [x for x in xst_lint.lint_text(rel, text)
+                          if x.rule in PARITY_RULES]
+        if cindex:
+            ours = check_file_ast(f, rel, cindex, cindex.Index.create())
+        else:
+            ours, _ = check_text_fallback(rel, text)
+        ours_keys = {(x.rule, x.line) for x in ours}
+        for x in regex_findings:
+            if (x.rule, x.line) not in ours_keys:
+                missing += 1
+                print(f"parity MISS: {x} (regex found, astcheck did not)",
+                      file=sys.stderr)
+    if missing:
+        print(f"xst-astcheck parity: {missing} regex finding(s) not covered",
+              file=sys.stderr)
+        return 1
+    print(f"xst-astcheck parity: OK over {len(files)} file(s) "
+          f"({'AST' if cindex else 'fallback'} engine)")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Self-test fixtures: (rule, expect_hit, code[, path]). Paths dodge the
+# path-based exemptions unless the fixture targets one.
+# ---------------------------------------------------------------------------
+
+SELF_TEST_FIXTURES = [
+    ("bare-mutex", True, "std::mutex mu;\n"),
+    ("bare-mutex", True, "std::lock_guard<std::mutex> lock(mu);\n"),
+    ("bare-mutex", True, "std::condition_variable cv;\n"),
+    ("bare-mutex", False, "xst::Mutex mu;\nMutexLock lock(&mu);\n"),
+    ("bare-mutex", False, "// std::mutex is banned outside sync.h\n"),
+    ("bare-mutex", False, "std::mutex mu_;\n", "src/common/sync.h"),
+    ("bare-mutex", False,
+     "std::mutex mu;  // xst-astcheck: allow(bare-mutex)\n"),
+    ("thread-primitives", True, "std::thread t([] {});\n"),
+    ("thread-primitives", False, "ThreadPool::Global().ParallelFor(n, 1, body);\n"),
+    ("thread-primitives", False,
+     "std::thread::id owner = std::this_thread::get_id();\n"),
+    ("thread-primitives", False,
+     "std::thread t;\n", "src/common/thread_pool.cc"),
+    ("thread-primitives", False,
+     "std::thread t([] {});  // xst-lint: allow(thread-primitives)\n"),
+    ("interner-mutation", True, "auto* n = Interner::Global().Int(7);\n"),
+    ("interner-mutation", False, "Interner::Global().EmptySet();\n"),
+    ("interner-mutation", False,
+     "Interner::Global().Int(7);\n", "src/core/xset.cc"),
+    ("pageref-raw-escape", True, "Page* p = ref.get();\n"),
+    ("pageref-raw-escape", True, "Page* p = &*pager->FetchPage(0);\n"),
+    ("pageref-raw-escape", False, "PageRef ref = *pager.FetchPage(id);\n"),
+    ("pageref-raw-escape", False, "Page* frame;\n"),  # no pin on the RHS
+    ("pageref-raw-escape", False,
+     "Page* p = ref.get();\n", "src/store/pager.cc"),
+    ("lock-across-parallelfor", True,
+     "void F() {\n"
+     "  MutexLock lock(&mu_);\n"
+     "  ThreadPool::Global().ParallelFor(n, 1, body);\n"
+     "}\n"),
+    ("lock-across-parallelfor", False,
+     "void F() {\n"
+     "  {\n"
+     "    MutexLock lock(&mu_);\n"
+     "    total = Sum();\n"
+     "  }\n"
+     "  ThreadPool::Global().ParallelFor(n, 1, body);\n"
+     "}\n"),
+    ("lock-across-parallelfor", False,
+     "void F() {\n"
+     "  ThreadPool::Global().ParallelFor(n, 1, body);\n"
+     "}\n"),
+    # AST-only rules: exercised in AST mode, SKIPPED (exit 0) in fallback.
+    ("result-value-unchecked", True,
+     "namespace xst { template <typename T> class Result {\n"
+     " public: bool ok() const; T& value(); }; }\n"
+     "int F(xst::Result<int> r) { return r.value(); }\n"),
+    ("result-value-unchecked", False,
+     "namespace xst { template <typename T> class Result {\n"
+     " public: bool ok() const; T& value(); }; }\n"
+     "int F(xst::Result<int> r) {\n"
+     "  if (!r.ok()) return -1;\n"
+     "  return r.value();\n"
+     "}\n"),
+    ("guarded-field-unlocked", True,
+     "#include \"src/common/sync.h\"\n"
+     "class C {\n"
+     " public:\n"
+     "  void Set(int v) { x_ = v; }\n"
+     " private:\n"
+     "  xst::Mutex mu_;\n"
+     "  int x_ XST_GUARDED_BY(mu_) = 0;\n"
+     "};\n"),
+    ("guarded-field-unlocked", False,
+     "#include \"src/common/sync.h\"\n"
+     "class C {\n"
+     " public:\n"
+     "  void Set(int v) { xst::MutexLock lock(&mu_); x_ = v; }\n"
+     " private:\n"
+     "  xst::Mutex mu_;\n"
+     "  int x_ XST_GUARDED_BY(mu_) = 0;\n"
+     "};\n"),
+]
+
+
+def run_self_test(cindex):
+    failures = skipped = 0
+    ast_only = {r.name for r in RULES if r.fallback_fn is None}
+    for idx, fixture in enumerate(SELF_TEST_FIXTURES):
+        if len(fixture) == 4:
+            rule, expect_hit, code, path = fixture
+        else:
+            rule, expect_hit, code = fixture
+            path = "selftest/fixture.cc"
+        if cindex:
+            hits = []
+            for r in RULES:
+                if r.name == rule:
+                    hits.extend(_probe_ast_rule(r, path, code, cindex))
+            # The pragma filter lives in the driver, not the rules; the temp
+            # file has identical content, so line numbers index `code`.
+            raw_lines = code.split("\n")
+            got_hit = any(
+                not _allowed(raw_lines[ln - 1] if 0 < ln <= len(raw_lines) else "",
+                             rule)
+                for ln, _ in hits)
+        else:
+            if rule in ast_only:
+                skipped += 1
+                continue
+            findings, _ = check_text_fallback(path, code)
+            got_hit = any(f.rule == rule for f in findings)
+        if got_hit != expect_hit:
+            failures += 1
+            print(f"self-test fixture {idx} FAILED: rule={rule} "
+                  f"expected_hit={expect_hit} got={got_hit}\n  code={code!r}",
+                  file=sys.stderr)
+    engine = "AST" if cindex else "fallback"
+    if failures:
+        print(f"xst-astcheck self-test ({engine}): {failures} fixture(s) failed",
+              file=sys.stderr)
+        return 1
+    ran = len(SELF_TEST_FIXTURES) - skipped
+    note = f", {skipped} AST-only fixture(s) skipped" if skipped else ""
+    print(f"xst-astcheck self-test ({engine}): all {ran} fixtures passed{note}")
+    return 0
+
+
+def _probe_ast_rule(rule, declared_path, code, cindex):
+    """Parses `code` in a temp file and runs `rule` against it as if the file
+    lived at `declared_path` (so endswith-based exemptions apply)."""
+    import tempfile
+    suffix = ".h" if declared_path.endswith(".h") else ".cc"
+    with tempfile.NamedTemporaryFile("w", suffix=suffix, dir=REPO_ROOT,
+                                     delete=False) as tmp:
+        tmp.write(code)
+        tmp_path = tmp.name
+    try:
+        index = cindex.Index.create()
+        tu = index.parse(tmp_path, args=clang_args())
+        main_rel = os.path.relpath(tmp_path, REPO_ROOT).replace(os.sep, "/")
+        # The rule filters cursor locations by rel_path suffix; for fixtures
+        # the temp name is the real location, while the declared path only
+        # matters for exemptions — check those against the declared path.
+        if _exempt(declared_path, _exemptions_for(rule.name)):
+            return
+        yield from rule.ast_fn(main_rel, tu, cindex)
+    finally:
+        os.unlink(tmp_path)
+
+
+def _exemptions_for(rule_name):
+    return {
+        "bare-mutex": ("common/sync.h", "common/sync.cc"),
+        "thread-primitives": ("common/thread_pool.h", "common/thread_pool.cc"),
+        "interner-mutation": ("core/xset.cc", "core/builder.cc", "core/interner.cc"),
+        "pageref-raw-escape": ("store/pager.h", "store/pager.cc"),
+    }.get(rule_name, ())
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="*", help="files or directories (default: src/)")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--self-test", action="store_true")
+    parser.add_argument("--parity", action="store_true",
+                        help="check AST findings cover xst_lint regex findings")
+    parser.add_argument("--engine", choices=("auto", "ast", "fallback"),
+                        default="auto")
+    args = parser.parse_args(argv)
+
+    cindex = None if args.engine == "fallback" else load_cindex()
+    if args.engine == "ast" and cindex is None:
+        print("xst-astcheck: --engine=ast but clang bindings are unavailable "
+              "(pip install libclang)", file=sys.stderr)
+        return 2
+
+    if args.list_rules:
+        for rule in RULES:
+            engines = "both" if rule.fallback_fn else "ast-only"
+            print(f"{rule.name} [{engines}]")
+        return 0
+    if args.self_test:
+        return run_self_test(cindex)
+
+    paths = args.paths or [os.path.join(REPO_ROOT, "src")]
+    if args.parity:
+        return run_parity(paths, cindex)
+
+    findings, skipped_rules, file_count = check_paths(paths, cindex)
+    if findings is None:
+        return 2
+    for finding in findings:
+        print(finding)
+    engine = "AST" if cindex else "fallback"
+    if findings:
+        print(f"xst-astcheck ({engine}): {len(findings)} finding(s) in "
+              f"{file_count} file(s)", file=sys.stderr)
+        return 1
+    note = (f"; rules skipped without libclang: {', '.join(sorted(skipped_rules))}"
+            if skipped_rules else "")
+    print(f"xst-astcheck ({engine}): OK ({file_count} files clean{note})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

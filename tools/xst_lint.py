@@ -174,7 +174,9 @@ def _exempt(rel_path, names):
     return any(rel_path.endswith(n) for n in names)
 
 
-THREAD_RE = re.compile(r"std::(thread|async)\b")
+# `(?!::)` spares nested names like std::thread::id, which name a type but
+# spawn nothing.
+THREAD_RE = re.compile(r"std::(thread|async)\b(?!::)")
 NEW_RE = re.compile(r"\bnew\b")
 DELETE_RE = re.compile(r"\bdelete\b")
 EQ_DELETE_RE = re.compile(r"=\s*delete\b")
@@ -384,6 +386,7 @@ SELF_TEST_FIXTURES = [
     ("thread-primitives", True, "std::thread t([] {});\n"),
     ("thread-primitives", True, "auto f = std::async(work);\n"),
     ("thread-primitives", False, "// std::thread is banned here\n"),
+    ("thread-primitives", False, "std::thread::id owner = std::this_thread::get_id();\n"),
     ("raw-new-delete", True, "auto* n = new Node();\n"),
     ("raw-new-delete", True, "delete node;\n"),
     ("raw-new-delete", False, "auto p = std::unique_ptr<Node>(new Node());\n"),
