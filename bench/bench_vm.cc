@@ -1,0 +1,250 @@
+// BEN-VM: compiled execution versus the tree-walking interpreter (§11).
+//
+// Every family compiles its plan ONCE and reuses one VmContext across
+// iterations — the amortized regime the VM exists for (compare
+// BM_ComposedApplication in bench_compose.cc):
+//
+//   * composed σ∘image∘boolean pipelines — the root image rides the cached
+//     ImageIndex access path while interior stages stream span-to-span; the
+//     interpreter re-scans the carrier and interns every stage per query;
+//   * fused boolean towers — the VM interns only the root (zero interned
+//     intermediate rows), the interpreter interns each stage;
+//   * Def 11.1 k-hop image chains — staged interpretation against the
+//     compiled chain;
+//   * closure chains — the iterative closure kernel dominates both engines,
+//     so this family measures the VM's overhead floor, not a win.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/ops/image.h"
+#include "src/xsp/compile.h"
+#include "src/xsp/eval.h"
+#include "src/xsp/expr.h"
+#include "src/xsp/vm.h"
+
+namespace xst {
+namespace {
+
+using bench::IntAtoms;
+using bench::PairRelation;
+
+// A chain of hop relations: layer i maps node j of layer i to fanout nodes
+// of layer i+1 (same shape as bench_compose.cc's HopRelations).
+std::vector<XSet> HopRelations(int hops, int64_t nodes, int64_t fanout) {
+  std::vector<XSet> layers;
+  for (int h = 0; h < hops; ++h) {
+    XSetBuilder builder;
+    for (int64_t i = 0; i < nodes; ++i) {
+      for (int64_t f = 0; f < fanout; ++f) {
+        builder.Add(XSet::Pair(XSet::Int(h * 1000000 + i),
+                               XSet::Int((h + 1) * 1000000 + (i * fanout + f) % nodes)));
+      }
+    }
+    layers.push_back(builder.Build());
+  }
+  return layers;
+}
+
+XSet ProbeFor(int h, int64_t node) {
+  return XSet::Classical({XSet::Tuple({XSet::Int(h * 1000000 + node)})});
+}
+
+// -- Composed σ∘image∘boolean pipeline ---------------------------------------
+//
+//   image[σ](h1, union(image[σ](h0, probeA), image[σ](h0, probeB)))
+//
+// The interior images and the union fuse into span flow; the root image over
+// the stable leaf carrier h1 compiles to the kIndex access path, built once
+// per VmContext and reused for every query. The carrier sizes are asymmetric
+// — a small first hop feeding a large second hop — so the per-query cost the
+// index amortizes away (the interpreter's O(|h1|) scan) dominates.
+
+constexpr int64_t kPipelineInnerNodes = 512;
+
+xsp::Bindings PipelineEnv(int64_t nodes, std::vector<XSet>* layers) {
+  layers->clear();
+  layers->push_back(HopRelations(1, kPipelineInnerNodes, 2)[0]);
+  layers->push_back(HopRelations(2, nodes, 2)[1]);
+  return xsp::Bindings{{"h0", (*layers)[0]}, {"h1", (*layers)[1]}};
+}
+
+xsp::ExprPtr PipelinePlan() {
+  return xsp::Expr::Image(
+      xsp::Expr::Named("h1"),
+      xsp::Expr::Union(
+          xsp::Expr::Image(xsp::Expr::Named("h0"), xsp::Expr::Named("probeA"),
+                           Sigma::Std()),
+          xsp::Expr::Image(xsp::Expr::Named("h0"), xsp::Expr::Named("probeB"),
+                           Sigma::Std())),
+      Sigma::Std());
+}
+
+void BM_InterpComposedPipeline(benchmark::State& state) {
+  const int64_t nodes = state.range(0);
+  std::vector<XSet> layers;
+  xsp::Bindings env = PipelineEnv(nodes, &layers);
+  xsp::ExprPtr plan = PipelinePlan();
+  int64_t which = 0;
+  for (auto _ : state) {
+    env["probeA"] = ProbeFor(0, which % kPipelineInnerNodes);
+    env["probeB"] = ProbeFor(0, (which + 1) % kPipelineInnerNodes);
+    ++which;
+    benchmark::DoNotOptimize(xsp::Eval(plan, env));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InterpComposedPipeline)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_VmComposedPipeline(benchmark::State& state) {
+  const int64_t nodes = state.range(0);
+  std::vector<XSet> layers;
+  xsp::Bindings env = PipelineEnv(nodes, &layers);
+  xsp::Program program = *xsp::Compile(PipelinePlan());
+  xsp::VmContext ctx;  // carries the ImageIndex across queries
+  int64_t which = 0;
+  for (auto _ : state) {
+    env["probeA"] = ProbeFor(0, which % kPipelineInnerNodes);
+    env["probeB"] = ProbeFor(0, (which + 1) % kPipelineInnerNodes);
+    ++which;
+    benchmark::DoNotOptimize(xsp::VmEval(program, env, &ctx));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VmComposedPipeline)->Arg(1 << 12)->Arg(1 << 14);
+
+// -- Fused boolean tower -----------------------------------------------------
+//
+//   difference(union(a, b), intersect(a, c))   over n-atom classical sets
+//
+// The VM runs the whole tower span-to-span and interns exactly one value;
+// the interpreter interns the union, the intersection, and the difference.
+
+xsp::Bindings TowerEnv(int64_t n) {
+  return xsp::Bindings{{"a", IntAtoms(n)},
+                       {"b", IntAtoms(n, n / 2)},
+                       {"c", IntAtoms(n, n / 4)}};
+}
+
+xsp::ExprPtr TowerPlan() {
+  return xsp::Expr::Difference(
+      xsp::Expr::Union(xsp::Expr::Named("a"), xsp::Expr::Named("b")),
+      xsp::Expr::Intersect(xsp::Expr::Named("a"), xsp::Expr::Named("c")));
+}
+
+void BM_InterpBooleanTower(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  xsp::Bindings env = TowerEnv(n);
+  xsp::ExprPtr plan = TowerPlan();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xsp::Eval(plan, env));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_InterpBooleanTower)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_VmBooleanTower(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  xsp::Bindings env = TowerEnv(n);
+  xsp::Program program = *xsp::Compile(TowerPlan());
+  xsp::VmContext ctx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xsp::VmEval(program, env, &ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_VmBooleanTower)->Arg(1 << 12)->Arg(1 << 15);
+
+// -- Def 11.1 k-hop image chain ----------------------------------------------
+//
+// The staged navigation query of bench_compose.cc, expressed as one plan:
+// hop k applies image[σ] to the previous hop's result. Compiled, the root
+// hop is indexed and the interior hops fuse.
+
+xsp::ExprPtr HopChainPlan(int hops) {
+  xsp::ExprPtr value = xsp::Expr::Named("probe");
+  for (int h = 0; h < hops; ++h) {
+    value = xsp::Expr::Image(xsp::Expr::Named("h" + std::to_string(h)), value,
+                             Sigma::Std());
+  }
+  return value;
+}
+
+xsp::Bindings HopChainEnv(int hops, int64_t nodes, std::vector<XSet>* layers) {
+  *layers = HopRelations(hops, nodes, 2);
+  xsp::Bindings env;
+  for (int h = 0; h < hops; ++h) env["h" + std::to_string(h)] = (*layers)[h];
+  return env;
+}
+
+void BM_InterpHopChain(benchmark::State& state) {
+  const int hops = static_cast<int>(state.range(0));
+  const int64_t nodes = 1 << 12;
+  std::vector<XSet> layers;
+  xsp::Bindings env = HopChainEnv(hops, nodes, &layers);
+  xsp::ExprPtr plan = HopChainPlan(hops);
+  int64_t which = 0;
+  for (auto _ : state) {
+    env["probe"] = ProbeFor(0, which++ % nodes);
+    benchmark::DoNotOptimize(xsp::Eval(plan, env));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InterpHopChain)->Arg(2)->Arg(3);
+
+void BM_VmHopChain(benchmark::State& state) {
+  const int hops = static_cast<int>(state.range(0));
+  const int64_t nodes = 1 << 12;
+  std::vector<XSet> layers;
+  xsp::Bindings env = HopChainEnv(hops, nodes, &layers);
+  xsp::Program program = *xsp::Compile(HopChainPlan(hops));
+  xsp::VmContext ctx;
+  int64_t which = 0;
+  for (auto _ : state) {
+    env["probe"] = ProbeFor(0, which++ % nodes);
+    benchmark::DoNotOptimize(xsp::VmEval(program, env, &ctx));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VmHopChain)->Arg(2)->Arg(3);
+
+// -- Closure chain -----------------------------------------------------------
+//
+//   union(closure(t), seed)   where t is the successor chain i → i+1
+//
+// Transitive closure produces n(n+1)/2 memberships and its iterative kernel
+// dominates both engines: this family pins the VM's overhead floor rather
+// than demonstrating a win.
+
+void BM_InterpClosureChain(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  xsp::Bindings env{{"t", PairRelation(n, 1, 1)}, {"seed", PairRelation(4)}};
+  xsp::ExprPtr plan = xsp::Expr::Union(xsp::Expr::Closure(xsp::Expr::Named("t")),
+                                       xsp::Expr::Named("seed"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xsp::Eval(plan, env));
+  }
+  state.SetItemsProcessed(state.iterations() * n * (n + 1) / 2);
+}
+BENCHMARK(BM_InterpClosureChain)->Arg(64)->Arg(256);
+
+void BM_VmClosureChain(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  xsp::Bindings env{{"t", PairRelation(n, 1, 1)}, {"seed", PairRelation(4)}};
+  xsp::Program program = *xsp::Compile(xsp::Expr::Union(
+      xsp::Expr::Closure(xsp::Expr::Named("t")), xsp::Expr::Named("seed")));
+  xsp::VmContext ctx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xsp::VmEval(program, env, &ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * n * (n + 1) / 2);
+}
+BENCHMARK(BM_VmClosureChain)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace xst
+
+BENCHMARK_MAIN();

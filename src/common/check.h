@@ -71,3 +71,19 @@ XSet ValidateOrDie(XSet s, const char* file, int line, const char* expr);
 #else
 #define XST_VALIDATE(x) (x)
 #endif
+
+// XST_VM_VALIDATE(x): the Vm validation tier. Materialization boundaries —
+// where the bytecode VM's scratch spans re-enter the interner through the
+// trusted FromSortedMembers fast path — concentrate the trust the span
+// kernels place in their canonical-output contract, so they validate even
+// in debug builds compiled with XST_VALIDATE_LEVEL=0 (at the level
+// ValidateOrDie was built with, shallow by default). Release builds at
+// level 0 keep the bare expression: the differential fuzz oracle covers
+// that configuration instead.
+#if XST_VALIDATE_LEVEL >= 1
+#define XST_VM_VALIDATE(x) XST_VALIDATE(x)
+#elif !defined(NDEBUG)
+#define XST_VM_VALIDATE(x) (::xst::internal::ValidateOrDie((x), __FILE__, __LINE__, #x))
+#else
+#define XST_VM_VALIDATE(x) (x)
+#endif

@@ -1,0 +1,89 @@
+// A shared cursor/iterator abstraction over set operands, so consumers (the
+// bytecode VM above all) stream memberships uniformly whether the operand
+// lives in the interner or in a SetStore page file.
+//
+// The unit of iteration is a BATCH: a borrowed span of canonical
+// memberships, valid until the next NextBatch() call or cursor destruction.
+// Successive batches are consecutive slices of one canonical member list,
+// so a consumer that concatenates them reconstructs the operand's canonical
+// list without re-sorting. An interned operand additionally exposes its
+// whole handle via WholeSet() — the zero-copy fast path — and atoms (which
+// have no membership list at all) are ONLY representable that way, so
+// sources must return WholeSet() for atoms or lose them.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/core/xset.h"
+
+namespace xst {
+
+/// \brief Streams one operand's canonical member list in batches.
+class MemberCursor {
+ public:
+  virtual ~MemberCursor() = default;
+
+  /// \brief The next batch of members; empty when exhausted. The span
+  /// borrows from the cursor and is invalidated by the next call.
+  virtual std::span<const Membership> NextBatch() = 0;
+
+  /// \brief The operand as an already-interned handle, when the cursor has
+  /// one (in-memory operands always do; stored cursors may stream instead).
+  /// Consumers should prefer this: it is zero-copy and preserves atoms.
+  virtual std::optional<XSet> WholeSet() const { return std::nullopt; }
+};
+
+/// \brief Cursor over an interned set (or atom): one batch, zero copies.
+class XSetCursor final : public MemberCursor {
+ public:
+  explicit XSetCursor(XSet set) : set_(std::move(set)) {}
+
+  std::span<const Membership> NextBatch() override {
+    if (done_) return {};
+    done_ = true;
+    return set_.members();
+  }
+
+  std::optional<XSet> WholeSet() const override { return set_; }
+
+ private:
+  XSet set_;
+  bool done_ = false;
+};
+
+/// \brief Opens cursors over named operands — the VM's only window onto
+/// binding environments, set stores, or anything else that names sets.
+class CursorSource {
+ public:
+  virtual ~CursorSource() = default;
+
+  /// \brief Opens a cursor over the operand bound to `name`; NotFound when
+  /// the source does not bind it.
+  virtual Result<std::unique_ptr<MemberCursor>> Open(const std::string& name) const = 0;
+};
+
+/// \brief CursorSource over an in-memory name → set map (xsp::Bindings).
+class MapCursorSource final : public CursorSource {
+ public:
+  explicit MapCursorSource(const std::map<std::string, XSet>& bindings)
+      : bindings_(bindings) {}
+
+  Result<std::unique_ptr<MemberCursor>> Open(const std::string& name) const override {
+    auto it = bindings_.find(name);
+    if (it == bindings_.end()) {
+      return Status::NotFound("unbound name '" + name + "'");
+    }
+    return std::unique_ptr<MemberCursor>(new XSetCursor(it->second));
+  }
+
+ private:
+  const std::map<std::string, XSet>& bindings_;
+};
+
+}  // namespace xst

@@ -3,6 +3,7 @@
 #include "src/common/check.h"
 #include "src/core/order.h"
 #include "src/obs/trace.h"
+#include "src/ops/span_kernels.h"
 
 namespace xst {
 
@@ -23,22 +24,7 @@ XSet Union(const XSet& a, const XSet& b) {
   if (ma.empty()) return b.is_set() ? b : XSet::Empty();
   if (mb.empty()) return a.is_set() ? a : XSet::Empty();
   std::vector<Membership> out;
-  out.reserve(ma.size() + mb.size());
-  size_t i = 0, j = 0;
-  while (i < ma.size() && j < mb.size()) {
-    int c = CompareMembership(ma[i], mb[j]);
-    if (c < 0) {
-      out.push_back(ma[i++]);
-    } else if (c > 0) {
-      out.push_back(mb[j++]);
-    } else {
-      out.push_back(ma[i]);
-      ++i;
-      ++j;
-    }
-  }
-  for (; i < ma.size(); ++i) out.push_back(ma[i]);
-  for (; j < mb.size(); ++j) out.push_back(mb[j]);
+  UnionSpans(ma, mb, &out);
   // The two-pointer merge of canonical inputs is canonical by construction.
   XST_DCHECK(IsCanonicalMemberList(out));
   return XST_VALIDATE(XSet::FromSortedMembers(std::move(out)));
@@ -47,23 +33,13 @@ XSet Union(const XSet& a, const XSet& b) {
 XSet Intersect(const XSet& a, const XSet& b) {
   if (a == b) return a.is_set() ? a : XSet::Empty();
   XST_TRACE_SPAN("op.intersect");
-  auto ma = Members(a);
-  auto mb = Members(b);
+  // IntersectSpans selects the path: two-pointer merge for small inputs,
+  // galloping search under heavy size skew, pointer-hash probing for large
+  // comparable sides (the BM_Intersect/65536 regime, where per-member
+  // structural compares dominated the plain merge).
   std::vector<Membership> out;
-  size_t i = 0, j = 0;
-  while (i < ma.size() && j < mb.size()) {
-    int c = CompareMembership(ma[i], mb[j]);
-    if (c < 0) {
-      ++i;
-    } else if (c > 0) {
-      ++j;
-    } else {
-      out.push_back(ma[i]);
-      ++i;
-      ++j;
-    }
-  }
-  // An ordered subsequence of a's canonical list is canonical.
+  IntersectSpans(Members(a), Members(b), &out);
+  // Each path emits an ordered subsequence of a canonical input.
   XST_DCHECK(IsCanonicalMemberList(out));
   return XST_VALIDATE(XSet::FromSortedMembers(std::move(out)));
 }
@@ -71,25 +47,8 @@ XSet Intersect(const XSet& a, const XSet& b) {
 XSet Difference(const XSet& a, const XSet& b) {
   if (a == b) return XSet::Empty();
   XST_TRACE_SPAN("op.difference");
-  auto ma = Members(a);
-  auto mb = Members(b);
   std::vector<Membership> out;
-  size_t i = 0, j = 0;
-  while (i < ma.size()) {
-    if (j >= mb.size()) {
-      out.push_back(ma[i++]);
-      continue;
-    }
-    int c = CompareMembership(ma[i], mb[j]);
-    if (c < 0) {
-      out.push_back(ma[i++]);
-    } else if (c > 0) {
-      ++j;
-    } else {
-      ++i;
-      ++j;
-    }
-  }
+  DifferenceSpans(Members(a), Members(b), &out);
   // An ordered subsequence of a's canonical list is canonical.
   XST_DCHECK(IsCanonicalMemberList(out));
   return XST_VALIDATE(XSet::FromSortedMembers(std::move(out)));

@@ -1,0 +1,243 @@
+#include "src/ops/span_kernels.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "src/common/check.h"
+#include "src/core/order.h"
+#include "src/ops/boolean.h"
+#include "src/ops/rescope.h"
+
+namespace xst {
+
+namespace {
+
+// Path-selection constants for IntersectSpans, tuned on the BM_Intersect
+// family: below the merge ceiling the two-pointer walk's locality wins;
+// above it, structural CompareMembership calls dominate and pointer-hash
+// probing takes over. The skew ratio picks the galloping search when one
+// side is so much smaller that O(small · log large) beats O(large).
+constexpr size_t kIntersectMergeCeiling = 2048;
+constexpr size_t kIntersectSkewRatio = 16;
+
+bool MembershipLess(const Membership& x, const Membership& y) {
+  return CompareMembership(x, y) < 0;
+}
+
+// Mixes the interned handle pair itself. Unlike MembershipHash (which reads
+// the precomputed structural hash through both node pointers), this touches
+// only the 16 bytes of the Membership — no dependent loads — and is still
+// exact for equality because interning makes pointer identity structural
+// identity. splitmix64-style finalizer to spread aligned pointers.
+uint64_t MixHandles(const Membership& m) {
+  uint64_t h = static_cast<uint64_t>(reinterpret_cast<uintptr_t>(m.element.node())) *
+               0x9e3779b97f4a7c15ULL;
+  h ^= static_cast<uint64_t>(reinterpret_cast<uintptr_t>(m.scope.node())) +
+       0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h ^= h >> 29;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace
+
+void CanonicalizeMembers(std::vector<Membership>* v, size_t from) {
+  if (v->size() - from <= 1) return;
+  auto begin = v->begin() + static_cast<ptrdiff_t>(from);
+  std::sort(begin, v->end(), MembershipLess);
+  v->erase(std::unique(begin, v->end()), v->end());
+}
+
+void UnionSpans(MemberSpan a, MemberSpan b, std::vector<Membership>* out) {
+  out->reserve(out->size() + a.size() + b.size());
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    int c = CompareMembership(a[i], b[j]);
+    if (c < 0) {
+      out->push_back(a[i++]);
+    } else if (c > 0) {
+      out->push_back(b[j++]);
+    } else {
+      out->push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+  out->insert(out->end(), a.begin() + static_cast<ptrdiff_t>(i), a.end());
+  out->insert(out->end(), b.begin() + static_cast<ptrdiff_t>(j), b.end());
+}
+
+void IntersectSpans(MemberSpan a, MemberSpan b, std::vector<Membership>* out) {
+  if (a.empty() || b.empty()) return;
+  if (a.size() > b.size()) std::swap(a, b);  // a is now the smaller side
+  out->reserve(out->size() + a.size());      // |a ∩ b| ≤ |a|
+
+  if (a.size() + b.size() <= kIntersectMergeCeiling) {
+    // Small inputs: the classic two-pointer merge walk.
+    size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+      int c = CompareMembership(a[i], b[j]);
+      if (c < 0) {
+        ++i;
+      } else if (c > 0) {
+        ++j;
+      } else {
+        out->push_back(a[i]);
+        ++i;
+        ++j;
+      }
+    }
+    return;
+  }
+
+  if (b.size() / a.size() >= kIntersectSkewRatio) {
+    // Heavy skew: walk the small side in order, galloping into the large
+    // side. Both sides share one total order, so the search frontier only
+    // moves forward; the output is an ordered subsequence of `a`, hence
+    // canonical.
+    size_t j = 0;
+    for (const Membership& m : a) {
+      size_t step = 1;
+      while (j + step < b.size() && CompareMembership(b[j + step], m) < 0) {
+        step <<= 1;
+      }
+      auto first = b.begin() + static_cast<ptrdiff_t>(j);
+      auto last = b.begin() + static_cast<ptrdiff_t>(std::min(j + step, b.size()));
+      auto it = std::lower_bound(first, last, m, MembershipLess);
+      j = static_cast<size_t>(it - b.begin());
+      if (j == b.size()) break;
+      if (b[j] == m) {
+        out->push_back(m);
+        ++j;
+      }
+    }
+    return;
+  }
+
+  // Comparable large sides: interned handles make membership equality a
+  // pointer-pair test and node hashes are precomputed, so index the smaller
+  // side in a flat open-addressing table (slot -> index into `a`) and scan
+  // the larger side in order. The output is an ordered subsequence of `b`,
+  // hence canonical, with zero structural compares. The single scratch
+  // vector is the only allocation: a node-per-insert std::unordered_set
+  // here measured ~5x slower than even the structural merge.
+  constexpr uint32_t kEmptySlot = std::numeric_limits<uint32_t>::max();
+  size_t cap = 1;
+  while (cap < a.size() * 2) cap <<= 1;
+  const size_t mask = cap - 1;
+  std::vector<uint32_t> slots(cap, kEmptySlot);
+  for (size_t i = 0; i < a.size(); ++i) {
+    size_t slot = MixHandles(a[i]) & mask;
+    while (slots[slot] != kEmptySlot) slot = (slot + 1) & mask;
+    slots[slot] = static_cast<uint32_t>(i);  // canonical `a` has no duplicates
+  }
+  for (const Membership& m : b) {
+    size_t slot = MixHandles(m) & mask;
+    for (uint32_t idx = slots[slot]; idx != kEmptySlot;
+         slot = (slot + 1) & mask, idx = slots[slot]) {
+      if (a[idx] == m) {
+        out->push_back(m);
+        break;
+      }
+    }
+  }
+}
+
+void DifferenceSpans(MemberSpan a, MemberSpan b, std::vector<Membership>* out) {
+  out->reserve(out->size() + a.size());  // |a ∼ b| ≤ |a|
+  size_t i = 0, j = 0;
+  while (i < a.size()) {
+    if (j >= b.size()) {
+      out->push_back(a[i++]);
+      continue;
+    }
+    int c = CompareMembership(a[i], b[j]);
+    if (c < 0) {
+      out->push_back(a[i++]);
+    } else if (c > 0) {
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+}
+
+void DomainSpans(MemberSpan r, const XSet& sigma, std::vector<Membership>* out) {
+  const size_t base = out->size();
+  out->reserve(base + r.size());
+  for (const Membership& m : r) {
+    XSet x = RescopeByScope(m.element, sigma);
+    if (x.empty()) continue;  // the definition requires z^{/σ/} ≠ ∅
+    XSet s = RescopeByScope(m.scope, sigma);
+    out->push_back(Membership{x, s});
+  }
+  CanonicalizeMembers(out, base);
+}
+
+RestrictProbes::RestrictProbes(const XSet& sigma, MemberSpan probes) {
+  probes_.reserve(probes.size());
+  for (const Membership& m : probes) {
+    probes_.push_back(
+        {RescopeByElement(m.element, sigma), RescopeByElement(m.scope, sigma)});
+  }
+  // Singleton regime (the dominant query shape — see restrict.cc): every
+  // probe is {e^s} with an empty scope-probe, so Keep is one hash lookup
+  // per inner membership instead of |probes| subset-test pairs.
+  singleton_ = !probes_.empty();
+  for (const auto& [elem_probe, scope_probe] : probes_) {
+    if (!scope_probe.empty() || elem_probe.cardinality() != 1) {
+      singleton_ = false;
+      break;
+    }
+  }
+  if (singleton_) {
+    wanted_.reserve(probes_.size());
+    for (const auto& [elem_probe, scope_probe] : probes_) {
+      wanted_.insert(elem_probe.members()[0]);
+    }
+  }
+}
+
+bool RestrictProbes::Keep(const Membership& m) const {
+  if (singleton_) {
+    for (const Membership& inner : m.element.members()) {
+      if (wanted_.count(inner) != 0) return true;
+    }
+    return false;
+  }
+  for (const auto& [elem_probe, scope_probe] : probes_) {
+    if (IsSubset(elem_probe, m.element) && IsSubset(scope_probe, m.scope)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void RestrictSpans(MemberSpan r, const XSet& sigma, MemberSpan probes,
+                   std::vector<Membership>* out) {
+  RestrictProbes rp(sigma, probes);
+  if (rp.empty()) return;
+  for (const Membership& m : r) {
+    if (rp.Keep(m)) out->push_back(m);
+  }
+}
+
+void ImageSpans(MemberSpan r, const Sigma& sigma, MemberSpan probes,
+                std::vector<Membership>* out) {
+  RestrictProbes rp(sigma.s1, probes);
+  if (rp.empty()) return;
+  const size_t base = out->size();
+  for (const Membership& m : r) {
+    if (!rp.Keep(m)) continue;
+    XSet x = RescopeByScope(m.element, sigma.s2);
+    if (x.empty()) continue;
+    XSet s = RescopeByScope(m.scope, sigma.s2);
+    out->push_back(Membership{x, s});
+  }
+  CanonicalizeMembers(out, base);
+}
+
+}  // namespace xst

@@ -1,0 +1,104 @@
+// Span-level set-operation kernels: the operators of boolean.h / domain.h /
+// restrict.h / image.h restated over raw canonical membership spans, without
+// interning the result.
+//
+// These are the entry points the bytecode VM (src/xsp/vm.h) executes plans
+// through: a fused chain like restrict∘image∘union runs entirely over spans
+// backed by a per-execution scratch arena, and only the final result touches
+// the interner (via XSet::FromSortedMembers, since every kernel here keeps
+// its output canonical). The interpreter kernels share the same code paths
+// where it matters — Intersect in particular routes through IntersectSpans,
+// whose adaptive path selection (merge / gallop / hash-probe) is the
+// BM_Intersect fix — so the two engines cannot drift.
+//
+// Contract for every kernel:
+//   * inputs are canonical membership spans (strictly CompareMembership-
+//     ascending, deduplicated) — exactly what XSet::members() hands out;
+//   * output is APPENDED to `*out` and the appended tail is canonical;
+//   * `*out` must be empty on entry unless documented otherwise (the VM
+//     clears arena buffers between instructions, capacity retained).
+
+#pragma once
+
+#include <span>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/core/xset.h"
+#include "src/ops/image.h"
+
+namespace xst {
+
+/// \brief A borrowed view of a canonical membership list (an interned set's
+/// members() or a scratch-arena buffer).
+using MemberSpan = std::span<const Membership>;
+
+/// \brief Hashes a membership by its interned handle pair — hash-consing
+/// makes pointer hashing exact for structural equality.
+struct MembershipHash {
+  size_t operator()(const Membership& m) const {
+    return static_cast<size_t>(HashCombine(m.element.hash(), m.scope.hash()));
+  }
+};
+
+/// \brief Canonicalizes v[from..) in place: sort + dedup under the
+/// structural membership order.
+void CanonicalizeMembers(std::vector<Membership>* v, size_t from = 0);
+
+/// \brief a ∪ b as a canonical span append (two-pointer merge).
+void UnionSpans(MemberSpan a, MemberSpan b, std::vector<Membership>* out);
+
+/// \brief a ∩ b as a canonical span append.
+///
+/// Adaptive: small inputs take the two-pointer merge; heavily skewed sizes
+/// walk the smaller side with a galloping binary search into the larger;
+/// comparable large sizes build a pointer-hash set over the smaller side and
+/// filter the larger side in order (parallel above the filter grain) — no
+/// structural compares at all on that path.
+void IntersectSpans(MemberSpan a, MemberSpan b, std::vector<Membership>* out);
+
+/// \brief a ∼ b as a canonical span append (two-pointer merge).
+void DifferenceSpans(MemberSpan a, MemberSpan b, std::vector<Membership>* out);
+
+/// \brief 𝔇_σ(r) (σ-domain, Def 7.4) over a span: re-scopes every member
+/// and canonicalizes the appended tail (re-scoping permutes order).
+void DomainSpans(MemberSpan r, const XSet& sigma, std::vector<Membership>* out);
+
+/// \brief Pre-computed re-scoped probes for σ-restriction — built once per
+/// restrict/image instruction, then O(1)–O(|probes|) per candidate member.
+///
+/// Mirrors SigmaRestrict's two regimes: when every probe re-scopes to a
+/// singleton ⟨e, s⟩ with an empty scope-probe, Keep() is one hash lookup per
+/// inner membership; otherwise it runs the general pair-of-subset-tests.
+class RestrictProbes {
+ public:
+  RestrictProbes(const XSet& sigma, MemberSpan probes);
+
+  /// \brief True when there are no probes (the restriction is ∅).
+  bool empty() const { return probes_.empty(); }
+
+  /// \brief Whether candidate member m survives r |_σ probes.
+  bool Keep(const Membership& m) const;
+
+ private:
+  std::vector<std::pair<XSet, XSet>> probes_;  // ⟨a^{\σ\}, s^{\σ\}⟩ per probe
+  std::unordered_set<Membership, MembershipHash> wanted_;  // singleton path
+  bool singleton_ = false;
+};
+
+/// \brief r |_σ probes (σ-restriction, Def 7.6) over spans: an in-order
+/// filter of r, so the appended tail is canonical by construction.
+void RestrictSpans(MemberSpan r, const XSet& sigma, MemberSpan probes,
+                   std::vector<Membership>* out);
+
+/// \brief r[probes]_σ (image, Def 7.7) as ONE fused loop: each member of r
+/// is filtered against the probes and — when kept — immediately re-scope-
+/// projected by σ₂, with a single canonicalization of the appended tail.
+/// Equivalent to SigmaDomain(SigmaRestrict(r, σ₁, probes), σ₂) but with no
+/// intermediate list, let alone an interned intermediate set.
+void ImageSpans(MemberSpan r, const Sigma& sigma, MemberSpan probes,
+                std::vector<Membership>* out);
+
+}  // namespace xst

@@ -1,0 +1,70 @@
+// SetStore-backed implementations of the core cursor abstraction
+// (src/core/cursor.h), so VM operands stream from the pager the same way
+// they stream from the interner.
+//
+// Today a stored set is decoded into the interner on open (Get) and the
+// cursor then serves fixed-size batch slices of the decoded member list —
+// the batching contract consumers must already honor, so a future
+// page-native cursor (streaming directly off B+tree leaves, ROADMAP item 1)
+// can drop in without touching any consumer. Atoms are handed over via
+// WholeSet(), which is the only representation that preserves them.
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "src/core/cursor.h"
+#include "src/store/setstore.h"
+
+namespace xst {
+
+/// \brief Members per NextBatch() from a stored cursor.
+inline constexpr size_t kStoredCursorBatch = 4096;
+
+/// \brief Cursor over one stored set, serving batch slices of its canonical
+/// member list.
+class StoredSetCursor final : public MemberCursor {
+ public:
+  explicit StoredSetCursor(XSet set) : set_(std::move(set)) {}
+
+  std::span<const Membership> NextBatch() override {
+    std::span<const Membership> ms = set_.members();
+    if (offset_ >= ms.size()) return {};
+    const size_t len = std::min(kStoredCursorBatch, ms.size() - offset_);
+    std::span<const Membership> batch = ms.subspan(offset_, len);
+    offset_ += len;
+    return batch;
+  }
+
+  std::optional<XSet> WholeSet() const override {
+    // Atoms have no member list to stream; sets stream in batches so
+    // consumers exercise the same path a page-native cursor will use.
+    if (set_.is_atom()) return set_;
+    return std::nullopt;
+  }
+
+ private:
+  XSet set_;
+  size_t offset_ = 0;
+};
+
+/// \brief CursorSource resolving names against a SetStore catalog.
+class StoreCursorSource final : public CursorSource {
+ public:
+  explicit StoreCursorSource(SetStore& store) : store_(store) {}
+
+  Result<std::unique_ptr<MemberCursor>> Open(const std::string& name) const override {
+    Result<XSet> value = store_.Get(name);
+    if (!value.ok()) return value.status();
+    return std::unique_ptr<MemberCursor>(new StoredSetCursor(std::move(*value)));
+  }
+
+ private:
+  SetStore& store_;
+};
+
+}  // namespace xst

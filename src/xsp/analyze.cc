@@ -3,10 +3,13 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/macros.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/ops/rescope.h"
 #include "src/store/pager.h"
+#include "src/xsp/compile.h"
+#include "src/xsp/vm.h"
 
 namespace xst {
 namespace xsp {
@@ -129,6 +132,69 @@ class Analyzer : public internal::NodeObserver {
   AnalyzeNode root_;
 };
 
+// Per-instruction attribution for compiled plans: one flat AnalyzeNode per
+// opcode dispatch, labeled with its disassembly line, timed by the VM
+// itself (self == wall for straight-line code) and window-delta'd against
+// the same memo/pager counters the interpreter analyzer uses.
+class VmAnalyzer : public VmObserver {
+ public:
+  explicit VmAnalyzer(const Program& program) {
+    const std::string disasm = program.ToString();
+    size_t pos = 0;
+    while (pos < disasm.size()) {
+      size_t eol = disasm.find('\n', pos);
+      if (eol == std::string::npos) eol = disasm.size();
+      labels_.push_back(disasm.substr(pos, eol - pos));
+      pos = eol + 1;
+    }
+  }
+
+  void OnInstrStart(size_t pc) override {
+    (void)pc;
+    memo_hits0_ = MemoHitsNow();
+    memo_misses0_ = MemoMissesNow();
+    pages0_ = PagesTouchedNow();
+  }
+
+  void OnInstr(size_t pc, const Instr& instr, uint64_t out_rows, bool out_interned,
+               bool interned_intermediate, uint64_t self_ns) override {
+    (void)instr;
+    (void)out_interned;
+    AnalyzeNode node;
+    node.op = pc < labels_.size() ? labels_[pc] : "?";
+    node.output_cardinality = out_rows;
+    node.is_leaf = !interned_intermediate;
+    node.wall_ns = self_ns;
+    node.self_wall_ns = self_ns;
+    node.rescope_memo_hits = MemoHitsNow() - memo_hits0_;
+    node.rescope_memo_misses = MemoMissesNow() - memo_misses0_;
+    node.pages_touched = PagesTouchedNow() - pages0_;
+    instrs_.push_back(std::move(node));
+  }
+
+  // The synthetic root: the whole program, with the per-instruction nodes
+  // as children in execution order.
+  AnalyzeNode BuildRoot(uint64_t result_rows, uint64_t total_wall_ns) {
+    AnalyzeNode root;
+    root.op = "VmProgram[" + std::to_string(instrs_.size()) + "]";
+    root.output_cardinality = result_rows;
+    root.is_leaf = false;
+    root.wall_ns = total_wall_ns;
+    uint64_t children_ns = 0;
+    for (const AnalyzeNode& child : instrs_) children_ns += child.wall_ns;
+    root.self_wall_ns = total_wall_ns > children_ns ? total_wall_ns - children_ns : 0;
+    root.children = std::move(instrs_);
+    return root;
+  }
+
+ private:
+  std::vector<std::string> labels_;
+  std::vector<AnalyzeNode> instrs_;
+  uint64_t memo_hits0_ = 0;
+  uint64_t memo_misses0_ = 0;
+  uint64_t pages0_ = 0;
+};
+
 uint64_t SumIntermediates(const AnalyzeNode& node, bool is_root) {
   uint64_t total = 0;
   if (!is_root && !node.is_leaf) total += node.output_cardinality;
@@ -205,13 +271,15 @@ std::string AnalyzeResult::Render() const {
   out.append("total: ").append(std::to_string(total_wall_ns)).append("ns, ");
   out.append(std::to_string(stats.nodes_evaluated)).append(" nodes, ");
   out.append("intermediate rows: ")
-      .append(std::to_string(stats.intermediate_cardinality))
-      .append("\n");
+      .append(std::to_string(stats.intermediate_cardinality));
+  out.append(", engine: ").append(EngineName(engine)).append("\n");
   return out;
 }
 
 std::string AnalyzeResult::ToJson() const {
-  std::string out = "{\"total_wall_ns\": ";
+  std::string out = "{\"engine\": \"";
+  out.append(EngineName(engine));
+  out.append("\", \"total_wall_ns\": ");
   out.append(std::to_string(total_wall_ns));
   out.append(", \"nodes_evaluated\": ").append(std::to_string(stats.nodes_evaluated));
   out.append(", \"intermediate_cardinality\": ")
@@ -232,6 +300,28 @@ Result<AnalyzeResult> ExplainAnalyze(const ExprPtr& expr, const Bindings& bindin
   if (!value.ok()) return value.status();
   result.value = std::move(*value);
   result.root = analyzer.TakeRoot();
+  return result;
+}
+
+Result<AnalyzeResult> ExplainAnalyze(const ExprPtr& expr, const Bindings& bindings,
+                                     Engine engine) {
+  if (engine == Engine::kInterp) return ExplainAnalyze(expr, bindings);
+  XST_TRACE_SPAN("xsp.explain_analyze");
+  XST_ASSIGN_OR_RAISE(Program program, Compile(expr));
+  VmAnalyzer analyzer(program);
+  AnalyzeResult result;
+  result.engine = Engine::kVm;
+  VmContext ctx;
+  VmStats vm_stats;
+  const uint64_t start = obs::MonotonicNowNs();
+  Result<XSet> value = VmEval(program, bindings, &ctx, &vm_stats, &analyzer);
+  result.total_wall_ns = obs::MonotonicNowNs() - start;
+  if (!value.ok()) return value.status();
+  result.value = std::move(*value);
+  result.stats.nodes_evaluated = vm_stats.instructions;
+  result.stats.intermediate_cardinality = vm_stats.interned_intermediate_rows;
+  result.stats.peak_cardinality = vm_stats.peak_rows;
+  result.root = analyzer.BuildRoot(result.value.cardinality(), result.total_wall_ns);
   return result;
 }
 

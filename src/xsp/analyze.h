@@ -28,7 +28,10 @@ struct AnalyzeNode {
   /// Cardinality of this node's result.
   uint64_t output_cardinality = 0;
   /// True for kLiteral/kNamed nodes (base data, not a materialized
-  /// intermediate).
+  /// intermediate). In an engine=vm plan, true for every instruction that
+  /// did NOT intern a non-result value, so
+  /// MaterializedIntermediateCardinality sums exactly the rows the VM
+  /// actually interned before the result — 0 for a fully fused chain.
   bool is_leaf = false;
   /// Wall time including children.
   uint64_t wall_ns = 0;
@@ -48,10 +51,12 @@ struct AnalyzeResult {
   XSet value;
   /// The annotated plan tree.
   AnalyzeNode root;
-  /// The same stats Eval would have produced.
+  /// The same stats Eval (or EvalWithEngine) would have produced.
   EvalStats stats;
   /// Wall time of the whole evaluation.
   uint64_t total_wall_ns = 0;
+  /// Which engine produced this run — rendered as the `engine=` column.
+  Engine engine = Engine::kInterp;
 
   /// \brief Sum of output cardinalities over materialized intermediates
   /// (non-root, non-leaf nodes) — matches stats.intermediate_cardinality.
@@ -69,6 +74,14 @@ struct AnalyzeResult {
 /// \brief Evaluates `expr` with per-node attribution. Error statuses match
 /// Eval's.
 Result<AnalyzeResult> ExplainAnalyze(const ExprPtr& expr, const Bindings& bindings);
+
+/// \brief Engine-selectable EXPLAIN ANALYZE. Engine::kInterp attributes per
+/// plan node as above; Engine::kVm compiles the plan and attributes per VM
+/// instruction (one child node per opcode dispatch, labeled with its
+/// disassembly), riding the VmObserver seam so the numbers are the numbers
+/// the VM produced.
+Result<AnalyzeResult> ExplainAnalyze(const ExprPtr& expr, const Bindings& bindings,
+                                     Engine engine);
 
 }  // namespace xsp
 }  // namespace xst

@@ -1,5 +1,8 @@
 #include "src/xsp/eval.h"
 
+#include <cstdlib>
+#include <string_view>
+
 #include "src/common/macros.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -9,6 +12,8 @@
 #include "src/ops/image.h"
 #include "src/ops/relative.h"
 #include "src/ops/restrict.h"
+#include "src/xsp/compile.h"
+#include "src/xsp/vm.h"
 
 namespace xst {
 namespace xsp {
@@ -145,6 +150,34 @@ std::string Explain(const ExprPtr& expr) {
   std::string out;
   ExplainImpl(expr, 0, &out);
   return out;
+}
+
+const char* EngineName(Engine engine) {
+  return engine == Engine::kVm ? "vm" : "interp";
+}
+
+Engine EngineFromEnv() {
+  const char* env = std::getenv("XST_ENGINE");
+  if (env != nullptr && std::string_view(env) == "vm") return Engine::kVm;
+  return Engine::kInterp;
+}
+
+Result<XSet> EvalWithEngine(Engine engine, const ExprPtr& expr, const Bindings& bindings,
+                            EvalStats* stats) {
+  if (engine == Engine::kInterp) return Eval(expr, bindings, stats);
+  XST_TRACE_SPAN("xsp.eval_vm");
+  XST_ASSIGN_OR_RAISE(Program program, Compile(expr));
+  // Per-thread arena: scripts and repeated queries on one thread re-execute
+  // with warm buffers (the VmContext reuse contract).
+  thread_local VmContext ctx;
+  VmStats vm_stats;
+  Result<XSet> result = VmEval(program, bindings, &ctx, &vm_stats);
+  if (stats != nullptr) {
+    stats->nodes_evaluated += vm_stats.instructions;
+    stats->intermediate_cardinality += vm_stats.interned_intermediate_rows;
+    stats->peak_cardinality = std::max(stats->peak_cardinality, vm_stats.peak_rows);
+  }
+  return result;
 }
 
 namespace internal {

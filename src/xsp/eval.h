@@ -24,6 +24,29 @@ struct EvalStats {
 /// \brief Evaluates `expr` against `bindings`. `stats` may be null.
 Result<XSet> Eval(const ExprPtr& expr, const Bindings& bindings, EvalStats* stats = nullptr);
 
+/// \brief Which execution engine runs a plan: the tree-walking interpreter
+/// or the compiled bytecode VM (compile.h / vm.h).
+enum class Engine {
+  kInterp,
+  kVm,
+};
+
+/// \brief "interp" / "vm" — the engine column of reports and EXPLAIN.
+const char* EngineName(Engine engine);
+
+/// \brief Engine selected by the XST_ENGINE environment variable ("vm" or
+/// "interp"); kInterp when unset or unrecognized.
+Engine EngineFromEnv();
+
+/// \brief Evaluates via the chosen engine. Both engines agree on the value
+/// (the differential fuzz oracle pins this); stats differ by construction:
+/// the interpreter counts every non-root operator output as an
+/// intermediate, while the VM — whose fused span chains never intern
+/// intermediates — counts nodes as instructions executed and intermediates
+/// as rows actually interned before the result.
+Result<XSet> EvalWithEngine(Engine engine, const ExprPtr& expr, const Bindings& bindings,
+                            EvalStats* stats = nullptr);
+
 /// \brief Multi-line EXPLAIN rendering of a plan.
 std::string Explain(const ExprPtr& expr);
 

@@ -67,7 +67,8 @@ Result<Script> ParseScript(std::string_view text) {
   return script;
 }
 
-Result<ScriptOutput> RunScript(const Script& script, Bindings initial, bool optimize) {
+Result<ScriptOutput> RunScript(const Script& script, Bindings initial, bool optimize,
+                               Engine engine) {
   ScriptOutput output;
   output.bindings = std::move(initial);
   for (const Statement& statement : script.statements) {
@@ -75,7 +76,7 @@ Result<ScriptOutput> RunScript(const Script& script, Bindings initial, bool opti
     if (optimize) {
       XST_ASSIGN_OR_RAISE(plan, Optimize(plan, output.bindings));
     }
-    Result<XSet> value = Eval(plan, output.bindings);
+    Result<XSet> value = EvalWithEngine(engine, plan, output.bindings);
     if (!value.ok()) {
       return value.status().WithContext("statement '" + statement.source + "'");
     }

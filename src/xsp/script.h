@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/xsp/eval.h"
 #include "src/xsp/expr.h"
 
 namespace xst {
@@ -45,9 +46,13 @@ struct ScriptOutput {
 
 /// \brief Runs every statement against `initial` (later statements see
 /// earlier bindings). Optimization is applied per statement when
-/// `optimize` is set.
+/// `optimize` is set. `engine` picks the evaluator per statement and
+/// defaults to the XST_ENGINE environment selection (eval.h), so
+/// `XST_ENGINE=vm` flips a whole script run to compiled execution without
+/// touching call sites.
 Result<ScriptOutput> RunScript(const Script& script, Bindings initial,
-                               bool optimize = false);
+                               bool optimize = false,
+                               Engine engine = EngineFromEnv());
 
 }  // namespace xsp
 }  // namespace xst

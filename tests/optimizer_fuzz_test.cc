@@ -1,6 +1,9 @@
 // Optimizer-soundness fuzzer: randomized depth-bounded XSP plans over
 // shared atom pools, asserting Eval(Optimize(e)) == Eval(e) pointwise and
 // that R1-R5 rewrite counts are consistent with the generated shapes.
+// A second differential oracle runs the same corpus through the bytecode
+// VM: Eval(e) == VmEval(Compile(Optimize(e))), so the compiled engine is
+// fuzzed against the interpreter on every CI seed.
 //
 // Deterministic and replayable: the seed comes from XST_FUZZ_SEED (default
 // 1977) and is logged on every failure, so any counterexample reproduces
@@ -12,8 +15,11 @@
 #include <functional>
 #include <string>
 
+#include "src/core/cursor.h"
+#include "src/xsp/compile.h"
 #include "src/xsp/eval.h"
 #include "src/xsp/optimizer.h"
+#include "src/xsp/vm.h"
 #include "tests/testing.h"
 
 namespace xst {
@@ -175,6 +181,43 @@ TEST(OptimizerFuzz, RuleCountsMatchGeneratedShapes) {
     EXPECT_EQ(stats.total(), 0);
     EXPECT_EQ(*Eval(optimized, env), *Eval(leaf, env));
   }
+}
+
+TEST(OptimizerFuzz, VmDifferentialOracle) {
+  // The compiled engine must agree with the interpreter on every plan the
+  // interpreter can evaluate — both on the raw plan and on its optimized
+  // form. One VmContext is shared across the whole corpus so arena and
+  // index-cache reuse paths are exercised, not just cold executions.
+  const uint64_t seed = FuzzSeed();
+  SCOPED_TRACE("XST_FUZZ_SEED=" + std::to_string(seed));
+  PlanGen gen(seed + 0x517cc1b727220a95ULL);  // independent stream
+  Bindings env = gen.MakeBindings();
+  VmContext ctx;
+
+  int evaluated = 0;
+  for (int i = 0; i < 520; ++i) {
+    ExprPtr plan = gen.Build(3);
+    SCOPED_TRACE("plan " + std::to_string(i) + ": " + plan->ToString());
+    Result<XSet> expected = Eval(plan, env);
+    if (!expected.ok()) continue;  // closure budget etc.: skip, don't count
+
+    Result<Program> raw = Compile(plan);
+    ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+    Result<XSet> via_vm = VmEval(*raw, env, &ctx);
+    ASSERT_TRUE(via_vm.ok()) << via_vm.status().ToString();
+    EXPECT_EQ(*via_vm, *expected) << raw->ToString();
+
+    Result<ExprPtr> optimized = Optimize(plan, env);
+    ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+    Result<Program> opt = Compile(*optimized);
+    ASSERT_TRUE(opt.ok()) << opt.status().ToString();
+    Result<XSet> via_opt_vm = VmEval(*opt, env, &ctx);
+    ASSERT_TRUE(via_opt_vm.ok()) << via_opt_vm.status().ToString();
+    EXPECT_EQ(*via_opt_vm, *expected)
+        << "optimized: " << (*optimized)->ToString() << "\n" << opt->ToString();
+    ++evaluated;
+  }
+  EXPECT_GE(evaluated, 500);
 }
 
 TEST(OptimizerFuzz, SeedIsReplayable) {

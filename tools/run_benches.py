@@ -30,6 +30,7 @@ BENCH_BINARIES = [
     "bench_image",
     "bench_compose",
     "bench_obs",
+    "bench_vm",
 ]
 
 

@@ -53,6 +53,13 @@ Rules (see DESIGN.md section 10 for rationale):
                            rule keeps GCC-only builds honest.
                            [AST engine only]
 
+  vm-opcode-dispatch       AST port of the xst_lint rule: a switch over the
+                           VM OpCode enum must name every enumerator and
+                           carry no `default:`, so adding an opcode breaks
+                           every dispatch site loudly. The AST engine
+                           resolves case labels through the real enum
+                           declaration. [both engines]
+
 Suppress a single line with a trailing comment: // xst-astcheck: allow(rule)
 For the ported rules, an existing // xst-lint: allow(...) of the same rule
 name is honored too.
@@ -381,6 +388,51 @@ def ast_rule_guarded_field_unlocked(rel_path, tu, cindex):
                     f"`{mu}` (no MutexLock in scope, no XST_REQUIRES)")
 
 
+def ast_rule_vm_opcode_dispatch(rel_path, tu, cindex):
+    K = cindex.CursorKind
+    # The enumerator catalog is the OpCode enum visible to this TU — the
+    # real one from src/xsp/compile.h for production files, a local one for
+    # fixtures. No enum in scope means nothing here can dispatch on it.
+    enumerators = []
+    for c in _walk(tu.cursor):
+        if c.kind == K.ENUM_DECL and c.spelling == "OpCode":
+            enumerators = [e.spelling for e in c.get_children()
+                           if e.kind == K.ENUM_CONSTANT_DECL]
+    if not enumerators:
+        return
+    for sw in _walk(tu.cursor):
+        if sw.kind != K.SWITCH_STMT or not _in_main_file(sw, rel_path):
+            continue
+        cases = []
+        has_default = False
+        for c in _walk(sw):
+            if c.kind == K.DEFAULT_STMT:
+                has_default = True
+            elif c.kind == K.CASE_STMT:
+                kids = list(c.get_children())
+                if not kids:
+                    continue
+                # The first child is the label expression; resolve it to an
+                # enum constant of OpCode (if it is one).
+                for r in [kids[0]] + list(_walk(kids[0])):
+                    ref = getattr(r, "referenced", None)
+                    if (ref is not None and ref.kind == K.ENUM_CONSTANT_DECL
+                            and (ref.semantic_parent.spelling or "") == "OpCode"):
+                        cases.append(ref.spelling)
+                        break
+        if not cases:
+            continue
+        missing = [e for e in enumerators if e not in cases]
+        if missing:
+            yield sw.location.line, ("OpCode dispatch is not exhaustive; "
+                                     "missing case(s): " + ", ".join(missing))
+        if has_default:
+            yield sw.location.line, ("OpCode dispatch must not use `default:`; "
+                                     "handle every enumerator so a new opcode "
+                                     "breaks every dispatch site instead of "
+                                     "falling through")
+
+
 # ---------------------------------------------------------------------------
 # Rule registry
 # ---------------------------------------------------------------------------
@@ -404,10 +456,12 @@ RULES = [
          ast_rule_lock_across_parallelfor),
     Rule("result-value-unchecked", None, ast_rule_result_value_unchecked),
     Rule("guarded-field-unlocked", None, ast_rule_guarded_field_unlocked),
+    Rule("vm-opcode-dispatch", xst_lint.rule_vm_opcode_dispatch,
+         ast_rule_vm_opcode_dispatch),
 ]
 
 # Rules whose findings must be a superset of xst_lint's same-named regex rule.
-PARITY_RULES = ("thread-primitives", "interner-mutation")
+PARITY_RULES = ("thread-primitives", "interner-mutation", "vm-opcode-dispatch")
 
 ALLOW_RE = re.compile(r"xst-astcheck:\s*allow\(([a-z-]+)\)")
 LINT_ALLOW_RE = xst_lint.ALLOW_RE
@@ -610,6 +664,40 @@ SELF_TEST_FIXTURES = [
      "  xst::Mutex mu_;\n"
      "  int x_ XST_GUARDED_BY(mu_) = 0;\n"
      "};\n"),
+    # vm-opcode-dispatch fixtures declare a local OpCode enum so both
+    # engines resolve the catalog without touching the on-disk one.
+    ("vm-opcode-dispatch", True,
+     "enum class OpCode : int { kAdd, kSub };\n"
+     "void Run(OpCode op) {\n"
+     "  switch (op) {\n"
+     "    case OpCode::kAdd:\n"
+     "      break;\n"
+     "  }\n"
+     "}\n"),
+    ("vm-opcode-dispatch", True,
+     "enum class OpCode : int { kAdd };\n"
+     "void Run(OpCode op) {\n"
+     "  switch (op) {\n"
+     "    case OpCode::kAdd: break;\n"
+     "    default: break;\n"
+     "  }\n"
+     "}\n"),
+    ("vm-opcode-dispatch", False,
+     "enum class OpCode : int { kAdd, kSub };\n"
+     "void Run(OpCode op) {\n"
+     "  switch (op) {\n"
+     "    case OpCode::kAdd: break;\n"
+     "    case OpCode::kSub: break;\n"
+     "  }\n"
+     "}\n"),
+    ("vm-opcode-dispatch", False,
+     "enum class ExprKind : int { kUnion };\n"
+     "void Run(ExprKind k) {\n"
+     "  switch (k) {\n"
+     "    case ExprKind::kUnion: break;\n"
+     "    default: break;\n"
+     "  }\n"
+     "}\n"),
 ]
 
 

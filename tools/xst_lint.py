@@ -45,6 +45,14 @@ Rules (see DESIGN.md section 7 for rationale):
                          (sampling weights, sink thread-locality, percentile
                          bracketing) live in those comments.
 
+  vm-opcode-dispatch     Every switch dispatching on the VM OpCode enum must
+                         handle every enumerator and must not have a
+                         `default:` — adding an opcode must break every
+                         dispatch site at compile/lint time, never fall
+                         through silently. The enumerator catalog comes from
+                         the file's own `enum class OpCode` declaration when
+                         present, else from src/xsp/compile.h.
+
 Suppress a single line with a trailing comment:  // xst-lint: allow(rule-name)
 
 Usage:
@@ -328,6 +336,79 @@ def rule_obs_doc_comments(rel_path, lines, raw):
     return
 
 
+OPCODE_ENUM_RE = re.compile(r"enum\s+class\s+OpCode\b[^{]*\{([^}]*)\}")
+OPCODE_CASE_RE = re.compile(r"\bcase\s+OpCode::(k\w+)\s*:")
+SWITCH_RE = re.compile(r"\bswitch\s*\(")
+DEFAULT_CASE_RE = re.compile(r"\bdefault\s*:")
+
+
+def _opcode_enumerators(text):
+    m = OPCODE_ENUM_RE.search(text)
+    if not m:
+        return None
+    return re.findall(r"\bk\w+\b", m.group(1))
+
+
+def rule_vm_opcode_dispatch(rel_path, lines, _raw):
+    text = "\n".join(lines)
+    if "case OpCode::" not in text:
+        return
+    enumerators = _opcode_enumerators(text)
+    if enumerators is None:
+        # The catalog lives in compile.h; files dispatching on it (the VM,
+        # tooling) are checked against the declaration on disk.
+        catalog = os.path.join(REPO_ROOT, "src", "xsp", "compile.h")
+        try:
+            with open(catalog, encoding="utf-8") as fh:
+                enumerators = _opcode_enumerators(
+                    strip_comments_and_strings(fh.read()))
+        except OSError:
+            enumerators = None
+    if not enumerators:
+        return
+    i = 0
+    n = len(lines)
+    while i < n:
+        sw = SWITCH_RE.search(lines[i])
+        if not sw:
+            i += 1
+            continue
+        # Collect the switch's balanced-brace block (cases may span lines).
+        depth = 0
+        started = False
+        block_parts = []
+        j = i
+        col = sw.end()
+        while j < n:
+            seg = lines[j][col if j == i else 0:]
+            for c in seg:
+                if c == "{":
+                    depth += 1
+                    started = True
+                elif c == "}":
+                    depth -= 1
+            block_parts.append(seg)
+            if started and depth <= 0:
+                break
+            j += 1
+        block = "\n".join(block_parts)
+        cases = OPCODE_CASE_RE.findall(block)
+        if cases:
+            missing = [e for e in enumerators if e not in cases]
+            if missing:
+                yield i + 1, ("OpCode dispatch is not exhaustive; missing "
+                              "case(s): " + ", ".join(missing))
+            if DEFAULT_CASE_RE.search(block):
+                yield i + 1, ("OpCode dispatch must not use `default:`; "
+                              "handle every enumerator so a new opcode "
+                              "breaks every dispatch site instead of "
+                              "falling through")
+            i = j + 1
+        else:
+            i += 1
+    return
+
+
 RULES = {
     "thread-primitives": rule_thread_primitives,
     "raw-new-delete": rule_raw_new_delete,
@@ -336,6 +417,7 @@ RULES = {
     "dcheck-side-effects": rule_dcheck_side_effects,
     "raw-page-pointer": rule_raw_page_pointer,
     "obs-doc-comments": rule_obs_doc_comments,
+    "vm-opcode-dispatch": rule_vm_opcode_dispatch,
 }
 
 ALLOW_RE = re.compile(r"xst-lint:\s*allow\(([a-z-]+)\)")
@@ -454,6 +536,47 @@ SELF_TEST_FIXTURES = [
      "};\n", "src/obs/metrics.h"),
     ("obs-doc-comments", False,
      "uint64_t MonotonicNowNs();\n", "src/xsp/eval.h"),
+    # vm-opcode-dispatch fixtures declare their own (small) OpCode enum so
+    # the self-test never depends on the on-disk catalog.
+    ("vm-opcode-dispatch", True,
+     "enum class OpCode : uint8_t { kAdd, kSub };\n"
+     "void Run(OpCode op) {\n"
+     "  switch (op) {\n"
+     "    case OpCode::kAdd:\n"
+     "      break;\n"
+     "  }\n"
+     "}\n"),
+    ("vm-opcode-dispatch", True,
+     "enum class OpCode { kAdd };\n"
+     "switch (op) {\n"
+     "  case OpCode::kAdd: break;\n"
+     "  default: break;\n"
+     "}\n"),
+    ("vm-opcode-dispatch", False,
+     "enum class OpCode { kAdd, kSub };\n"
+     "switch (op) {\n"
+     "  case OpCode::kAdd: break;\n"
+     "  case OpCode::kSub: break;\n"
+     "}\n"),
+    ("vm-opcode-dispatch", False,
+     "enum class OpCode { kAdd, kSub };\n"
+     "switch (op) {\n"
+     "  case OpCode::kAdd:\n"
+     "  case OpCode::kSub:\n"
+     "    break;\n"
+     "}\n"
+     "switch (kind) {\n"
+     "  case ExprKind::kUnion: break;\n"
+     "  default: break;\n"
+     "}\n"),
+    ("vm-opcode-dispatch", False,
+     "switch (kind) { case ExprKind::kUnion: break; default: break; }\n"),
+    ("vm-opcode-dispatch", False,
+     "enum class OpCode { kAdd };\n"
+     "switch (op) {  // xst-lint: allow(vm-opcode-dispatch)\n"
+     "  case OpCode::kAdd: break;\n"
+     "  default: break;\n"
+     "}\n"),
 ]
 
 

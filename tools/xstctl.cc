@@ -4,21 +4,36 @@
 //   xstctl <store> get <name>           print a set in XST notation
 //   xstctl <store> put <name> <text>    parse and store a set
 //   xstctl <store> del <name>           remove a name
+//   xstctl <store> run <script-file>    run an XSP script (@names hit the store)
+//   xstctl <store> explain <plan>       EXPLAIN ANALYZE a plan over the store
 //   xstctl <store> scrub                verify every blob end to end
 //   xstctl <store> compact              reclaim dead pages
 //   xstctl <store> stats                page/pool statistics
 //   xstctl <store> catalog              dump the catalog (itself a set)
 //   xstctl <store> dump_metrics         process metrics registry as JSON
 //
+// run/explain take --engine=vm|interp (default: the XST_ENGINE environment
+// selection) and --optimize. With --engine=vm, script operands stream from
+// the store through the cursor layer instead of being prefetched.
+//
 // Exit code 0 on success, 1 on any error (errors print to stderr).
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "src/core/parse.h"
 #include "src/obs/metrics.h"
+#include "src/store/cursor.h"
 #include "src/store/setstore.h"
+#include "src/xsp/analyze.h"
+#include "src/xsp/compile.h"
+#include "src/xsp/optimizer.h"
+#include "src/xsp/parser.h"
+#include "src/xsp/script.h"
+#include "src/xsp/vm.h"
 
 using namespace xst;
 
@@ -28,6 +43,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: xstctl <store-file> <command> [args]\n"
                "commands: list | get <name> | put <name> <text> | del <name>\n"
+               "          run <script-file> [--engine=vm|interp] [--optimize]\n"
+               "          explain <plan> [--engine=vm|interp] [--optimize]\n"
                "          scrub | compact | stats | catalog | dump_metrics\n");
   return 1;
 }
@@ -35,6 +52,120 @@ int Usage() {
 int Fail(const Status& st) {
   std::fprintf(stderr, "xstctl: %s\n", st.ToString().c_str());
   return 1;
+}
+
+// Script-local bindings first, then the store: a bind statement shadows a
+// stored set of the same name for the rest of the script.
+class ChainedCursorSource final : public CursorSource {
+ public:
+  ChainedCursorSource(const xsp::Bindings& bindings, SetStore& store)
+      : map_(bindings), store_(store) {}
+
+  Result<std::unique_ptr<MemberCursor>> Open(const std::string& name) const override {
+    Result<std::unique_ptr<MemberCursor>> local = map_.Open(name);
+    if (local.ok()) return local;
+    return store_.Open(name);
+  }
+
+ private:
+  MapCursorSource map_;
+  StoreCursorSource store_;
+};
+
+// Parses trailing [--engine=...] [--optimize] flags shared by run/explain.
+bool ParseEngineFlags(int argc, char** argv, int first, xsp::Engine* engine,
+                      bool* optimize) {
+  *engine = xsp::EngineFromEnv();
+  *optimize = false;
+  for (int i = first; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--optimize") == 0) {
+      *optimize = true;
+    } else if (std::strcmp(argv[i], "--engine=vm") == 0) {
+      *engine = xsp::Engine::kVm;
+    } else if (std::strcmp(argv[i], "--engine=interp") == 0) {
+      *engine = xsp::Engine::kInterp;
+    } else {
+      std::fprintf(stderr, "xstctl: unknown flag '%s'\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+// Copies every stored set a plan names into the binding environment (when
+// not already bound by the script) — the interpreter's path to the store.
+Status PrefetchNamedLeaves(const xsp::ExprPtr& plan, SetStore& store,
+                           xsp::Bindings* env) {
+  std::vector<std::string> names;
+  xsp::CollectNamedLeaves(plan, &names);
+  for (const std::string& name : names) {
+    if (env->count(name) != 0) continue;
+    Result<XSet> value = store.Get(name);
+    if (!value.ok()) return value.status();
+    (*env)[name] = *value;
+  }
+  return Status::OK();
+}
+
+int RunCommand(SetStore& store, const char* path, xsp::Engine engine, bool optimize) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "xstctl: cannot read script '%s'\n", path);
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto script = xsp::ParseScript(text.str());
+  if (!script.ok()) return Fail(script.status());
+
+  xsp::Bindings env;
+  xsp::VmContext ctx;  // shared arena across statements
+  ChainedCursorSource source(env, store);
+  for (const xsp::Statement& statement : script->statements) {
+    xsp::ExprPtr plan = statement.plan;
+    if (optimize) {
+      auto optimized = xsp::Optimize(plan, env);
+      if (!optimized.ok()) return Fail(optimized.status());
+      plan = *optimized;
+    }
+    Result<XSet> value = Status::Invalid("unreachable");
+    if (engine == xsp::Engine::kVm) {
+      auto program = xsp::Compile(plan);
+      if (!program.ok()) return Fail(program.status());
+      value = xsp::VmEval(*program, source, &ctx);
+    } else {
+      Status st = PrefetchNamedLeaves(plan, store, &env);
+      if (!st.ok()) return Fail(st);
+      value = xsp::Eval(plan, env);
+    }
+    if (!value.ok()) {
+      return Fail(value.status().WithContext("statement '" + statement.source + "'"));
+    }
+    if (statement.bind_name.empty()) {
+      std::printf("%s\n", value->ToString().c_str());
+    } else {
+      env[statement.bind_name] = *value;
+    }
+  }
+  return 0;
+}
+
+int ExplainCommand(SetStore& store, const char* plan_text, xsp::Engine engine,
+                   bool optimize) {
+  auto plan = xsp::ParsePlan(plan_text);
+  if (!plan.ok()) return Fail(plan.status());
+  xsp::Bindings env;
+  Status st = PrefetchNamedLeaves(*plan, store, &env);
+  if (!st.ok()) return Fail(st);
+  if (optimize) {
+    auto optimized = xsp::Optimize(*plan, env);
+    if (!optimized.ok()) return Fail(optimized.status());
+    plan = *optimized;
+  }
+  auto analyzed = xsp::ExplainAnalyze(*plan, env, engine);
+  if (!analyzed.ok()) return Fail(analyzed.status());
+  std::printf("%s", analyzed->Render().c_str());
+  return 0;
 }
 
 }  // namespace
@@ -81,6 +212,20 @@ int main(int argc, char** argv) {
     if (!st.ok()) return Fail(st);
     std::printf("deleted '%s'\n", argv[3]);
     return 0;
+  }
+  if (command == "run") {
+    if (argc < 4) return Usage();
+    xsp::Engine engine;
+    bool optimize;
+    if (!ParseEngineFlags(argc, argv, 4, &engine, &optimize)) return Usage();
+    return RunCommand(store, argv[3], engine, optimize);
+  }
+  if (command == "explain") {
+    if (argc < 4) return Usage();
+    xsp::Engine engine;
+    bool optimize;
+    if (!ParseEngineFlags(argc, argv, 4, &engine, &optimize)) return Usage();
+    return ExplainCommand(store, argv[3], engine, optimize);
   }
   if (command == "scrub") {
     Result<size_t> verified = store.Scrub();
