@@ -9,6 +9,7 @@
 #include "src/ops/rescope.h"
 #include "src/store/pager.h"
 #include "src/xsp/compile.h"
+#include "src/xsp/verify.h"
 #include "src/xsp/vm.h"
 
 namespace xst {
@@ -133,18 +134,18 @@ class Analyzer : public internal::NodeObserver {
 };
 
 // Per-instruction attribution for compiled plans: one flat AnalyzeNode per
-// opcode dispatch, labeled with its disassembly line, timed by the VM
-// itself (self == wall for straight-line code) and window-delta'd against
-// the same memo/pager counters the interpreter analyzer uses.
+// opcode dispatch, labeled with its line from `listing` (the verifier's
+// typed disassembly), timed by the VM itself (self == wall for
+// straight-line code) and window-delta'd against the same memo/pager
+// counters the interpreter analyzer uses.
 class VmAnalyzer : public VmObserver {
  public:
-  explicit VmAnalyzer(const Program& program) {
-    const std::string disasm = program.ToString();
+  explicit VmAnalyzer(const std::string& listing) {
     size_t pos = 0;
-    while (pos < disasm.size()) {
-      size_t eol = disasm.find('\n', pos);
-      if (eol == std::string::npos) eol = disasm.size();
-      labels_.push_back(disasm.substr(pos, eol - pos));
+    while (pos < listing.size()) {
+      size_t eol = listing.find('\n', pos);
+      if (eol == std::string::npos) eol = listing.size();
+      labels_.push_back(listing.substr(pos, eol - pos));
       pos = eol + 1;
     }
   }
@@ -308,13 +309,17 @@ Result<AnalyzeResult> ExplainAnalyze(const ExprPtr& expr, const Bindings& bindin
   if (engine == Engine::kInterp) return ExplainAnalyze(expr, bindings);
   XST_TRACE_SPAN("xsp.explain_analyze");
   XST_ASSIGN_OR_RAISE(Program program, Compile(expr));
-  VmAnalyzer analyzer(program);
+  // Verify unconditionally here (EXPLAIN is diagnostic, not a hot path):
+  // the proof's typed listing is what labels the per-instruction rows.
+  XST_ASSIGN_OR_RAISE(VerifiedProgram verified, Verify(std::move(program)));
+  VmAnalyzer analyzer(verified.ToString());
   AnalyzeResult result;
   result.engine = Engine::kVm;
   VmContext ctx;
   VmStats vm_stats;
   const uint64_t start = obs::MonotonicNowNs();
-  Result<XSet> value = VmEval(program, bindings, &ctx, &vm_stats, &analyzer);
+  Result<XSet> value =
+      VmEval(verified.program(), bindings, &ctx, &vm_stats, &analyzer);
   result.total_wall_ns = obs::MonotonicNowNs() - start;
   if (!value.ok()) return value.status();
   result.value = std::move(*value);

@@ -13,6 +13,7 @@
 #include "src/ops/closure.h"
 #include "src/ops/relative.h"
 #include "src/ops/span_kernels.h"
+#include "src/xsp/verify.h"
 
 namespace xst {
 namespace xsp {
@@ -55,7 +56,7 @@ void CountOpcode(OpCode op) {
     return table;
   }();
   const size_t i = static_cast<size_t>(op);
-  XST_CHECK(i < kNumOpCodes);
+  XST_DCHECK(i < kNumOpCodes);  // proven by VerifyProgram before dispatch
   counters[i]->Add(1);
 }
 
@@ -84,6 +85,14 @@ class VmExecutor {
                           VmContext* ctx, VmStats* stats, VmObserver* observer) {
     XST_TRACE_SPAN("xsp.vm.exec");
     if (program.code.empty()) return Status::Invalid("empty program");
+    // Mandatory static pass at the XST_VM_VALIDATE tier (opt-in in Release
+    // via XST_VERIFY_PROGRAMS): everything the XST_DCHECKs below assume —
+    // register/table indexes in range, operands defined, kIndex /
+    // kRelProduct / kClosure operands interned — is proven here, once per
+    // program instead of once per dispatch.
+    if (VmVerifyEnabled()) {
+      XST_RETURN_NOT_OK(VerifyProgram(program));
+    }
 
     // Pin each register to its arena buffer: cleared, capacity retained, so
     // a re-executed program allocates nothing once warm.
@@ -170,7 +179,7 @@ class VmExecutor {
         }
         case OpCode::kIndex: {
           XST_TRACE_SPAN("vm.index");
-          XST_CHECK(regs[in.a].interned && regs[in.b].interned);
+          XST_DCHECK(regs[in.a].interned && regs[in.b].interned);
           const Sigma& sigma = program.specs[in.spec].sigma;
           ImageIndex& index = GetIndex(ctx, regs[in.a].set, sigma);
           regs[in.dst].set = index.Lookup(regs[in.b].set);
@@ -182,7 +191,7 @@ class VmExecutor {
         }
         case OpCode::kRelProduct: {
           XST_TRACE_SPAN("vm.rel_product");
-          XST_CHECK(regs[in.a].interned && regs[in.b].interned);
+          XST_DCHECK(regs[in.a].interned && regs[in.b].interned);
           const SpecEntry& spec = program.specs[in.spec];
           regs[in.dst].set =
               RelativeProduct(regs[in.a].set, regs[in.b].set, spec.sigma, spec.omega);
@@ -194,7 +203,7 @@ class VmExecutor {
         }
         case OpCode::kClosure: {
           XST_TRACE_SPAN("vm.closure");
-          XST_CHECK(regs[in.a].interned);
+          XST_DCHECK(regs[in.a].interned);
           XST_ASSIGN_OR_RAISE(regs[in.dst].set, TransitiveClosure(regs[in.a].set));
           regs[in.dst].interned = true;
           if (in.dst != result_reg) {
@@ -236,7 +245,7 @@ class VmExecutor {
       stats->interned_intermediate_rows += local.interned_intermediate_rows;
       stats->peak_rows = std::max(stats->peak_rows, local.peak_rows);
     }
-    XST_CHECK(regs[result_reg].interned);  // programs end in kMaterialize
+    XST_DCHECK(regs[result_reg].interned);  // verifier: final kMaterialize
     return regs[result_reg].set;
   }
 

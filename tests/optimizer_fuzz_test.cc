@@ -13,12 +13,15 @@
 
 #include <cstdlib>
 #include <functional>
+#include <random>
 #include <string>
+#include <utility>
 
 #include "src/core/cursor.h"
 #include "src/xsp/compile.h"
 #include "src/xsp/eval.h"
 #include "src/xsp/optimizer.h"
+#include "src/xsp/verify.h"
 #include "src/xsp/vm.h"
 #include "tests/testing.h"
 
@@ -218,6 +221,118 @@ TEST(OptimizerFuzz, VmDifferentialOracle) {
     ++evaluated;
   }
   EXPECT_GE(evaluated, 500);
+}
+
+TEST(OptimizerFuzz, VerifierMutationOracle) {
+  // The static verifier's two-sided contract, fuzzed:
+  //   accept side — every compiler-emitted program verifies;
+  //   reject side — a verifier-ACCEPTED mutant is one the verifier claims
+  //     the VM can execute without misbehaving, so we execute it and hold
+  //     it to that (under the CI sanitizers, any unsoundness is a crash);
+  //     mutants the VM would misexecute outright (out-of-range registers
+  //     or table indexes, corrupt opcode bytes) must always be rejected.
+  // Mutations are single-instruction, single-field — swap registers,
+  // corrupt the opcode, re-point a load out of range — per the PR6 layout.
+  const uint64_t seed = FuzzSeed();
+  SCOPED_TRACE("XST_FUZZ_SEED=" + std::to_string(seed));
+  PlanGen gen(seed + 0x2545f4914f6cdd1dULL);  // independent stream
+  std::mt19937_64 rng(seed ^ 0xda3e39cb94b95bdbULL);
+  Bindings env = gen.MakeBindings();
+  VmContext ctx;
+
+  auto same_instr = [](const Instr& x, const Instr& y) {
+    return x.op == y.op && x.dst == y.dst && x.a == y.a && x.b == y.b &&
+           x.spec == y.spec;
+  };
+
+  int compiled = 0;
+  int mutants = 0;
+  int rejected = 0;
+  int executed = 0;
+  for (int i = 0; i < 520; ++i) {
+    ExprPtr plan = gen.Build(3);
+    SCOPED_TRACE("plan " + std::to_string(i) + ": " + plan->ToString());
+    Result<Program> program = Compile(plan);
+    ASSERT_TRUE(program.ok()) << program.status().ToString();
+    Status accept = VerifyProgram(*program);
+    ASSERT_TRUE(accept.ok()) << accept.ToString() << "\n" << program->ToString();
+    ++compiled;
+
+    // Random single-field mutants: verifier-rejected or safely executable.
+    for (int m = 0; m < 4; ++m) {
+      Program mutant = *program;
+      const size_t pc = rng() % mutant.code.size();
+      const Instr original = mutant.code[pc];
+      Instr& in = mutant.code[pc];
+      switch (rng() % 6) {
+        case 0:
+          std::swap(in.a, in.b);
+          break;
+        case 1:
+          in.op = static_cast<OpCode>(rng() % 256);
+          break;
+        case 2:
+          in.a = static_cast<uint16_t>(rng());
+          break;
+        case 3:
+          in.b = static_cast<uint16_t>(rng());
+          break;
+        case 4:
+          in.dst = static_cast<uint16_t>(rng());
+          break;
+        case 5:
+          in.spec = static_cast<uint16_t>(rng());
+          break;
+      }
+      if (same_instr(in, original)) continue;  // mutation was a no-op
+      ++mutants;
+      if (!VerifyProgram(mutant).ok()) {
+        ++rejected;
+        continue;
+      }
+      // Accepted: execution must be well-defined. A different value or an
+      // error status (closure budget, missing binding) is fine — silent
+      // memory corruption is what acceptance rules out.
+      Result<XSet> result = VmEval(mutant, env, &ctx);
+      (void)result;
+      ++executed;
+    }
+
+    // Targeted always-misexecute classes: each must be rejected, every time.
+    {
+      Program mutant = *program;  // register operand past the register file
+      mutant.code[rng() % mutant.code.size()].dst =
+          static_cast<uint16_t>(mutant.num_regs + 1 + rng() % 7);
+      EXPECT_FALSE(VerifyProgram(mutant).ok()) << mutant.ToString();
+    }
+    {
+      Program mutant = *program;  // opcode byte outside the enum
+      mutant.code[rng() % mutant.code.size()].op =
+          static_cast<OpCode>(kNumOpCodes + rng() % (256 - kNumOpCodes));
+      EXPECT_FALSE(VerifyProgram(mutant).ok());
+    }
+    {
+      Program mutant = *program;  // load re-pointed past its operand table
+      for (Instr& in : mutant.code) {
+        if (in.op == OpCode::kLoadLiteral) {
+          in.a = static_cast<uint16_t>(mutant.literals.size() + rng() % 9);
+          break;
+        }
+        if (in.op == OpCode::kLoadBinding) {
+          in.a = static_cast<uint16_t>(mutant.names.size() + rng() % 9);
+          break;
+        }
+      }
+      // Every generated plan has at least one load, so this always mutated.
+      EXPECT_FALSE(VerifyProgram(mutant).ok()) << mutant.ToString();
+    }
+  }
+  EXPECT_GE(compiled, 500);
+  EXPECT_GT(rejected, 0);
+  EXPECT_GT(mutants, 1500);
+  RecordProperty("mutants", mutants);
+  RecordProperty("rejected", rejected);
+  RecordProperty("executed_accepted", executed);
 }
 
 TEST(OptimizerFuzz, SeedIsReplayable) {

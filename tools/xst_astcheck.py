@@ -60,6 +60,17 @@ Rules (see DESIGN.md section 10 for rationale):
                            resolves case labels through the real enum
                            declaration. [both engines]
 
+  lock-order-cycle         The static lock-acquisition graph (XST_REQUIRES /
+                           XST_ACQUIRE annotations plus MutexLock scopes)
+                           must be acyclic; a cycle is a potential deadlock.
+                           The AST engine derives edges from attribute
+                           cursors and scoped-lock VAR_DECL extents; both
+                           engines feed the shared cycle detector in
+                           xst_lint. When scanning multiple files the edges
+                           are additionally aggregated tree-wide, so a cycle
+                           split across translation units is still caught.
+                           [both engines]
+
 Suppress a single line with a trailing comment: // xst-astcheck: allow(rule)
 For the ported rules, an existing // xst-lint: allow(...) of the same rule
 name is honored too.
@@ -433,6 +444,94 @@ def ast_rule_vm_opcode_dispatch(rel_path, tu, cindex):
                                      "falling through")
 
 
+# XST_REQUIRES / XST_ACQUIRE lower to clang's requires_capability /
+# acquire_capability; attribute tokens may surface either the macro name or
+# the lowered spelling depending on how the extent maps through the macro
+# expansion, so both are matched.
+ATTR_REQUIRES_RE = re.compile(
+    r"(?:\brequires_capability|\bXST_REQUIRES)\s*\(\s*([^)]*?)\s*\)")
+ATTR_ACQUIRE_RE = re.compile(
+    r"(?:\bacquire_capability|\bXST_ACQUIRE)\s*\(\s*([^)]*?)\s*\)")
+
+
+def _paren_arg_tokens(cursor):
+    """The text inside the first balanced paren group of a cursor's tokens —
+    the constructor argument of a `MutexLock lock(&mu)` declaration."""
+    toks = [t.spelling for t in cursor.get_tokens()]
+    depth = 0
+    arg = []
+    for t in toks:
+        if t == "(":
+            depth += 1
+            if depth == 1:
+                continue
+        elif t == ")":
+            depth -= 1
+            if depth == 0:
+                return "".join(arg)
+        if depth >= 1:
+            arg.append(t)
+    return None
+
+
+def ast_rule_lock_order_cycle(rel_path, tu, cindex):
+    K = cindex.CursorKind
+    fn_kinds = (K.FUNCTION_DECL, K.CXX_METHOD, K.CONSTRUCTOR, K.DESTRUCTOR,
+                K.FUNCTION_TEMPLATE)
+    edges = []  # (holder, acquired, line) — same shape the lint engine builds
+    for fn in _walk(tu.cursor):
+        if fn.kind not in fn_kinds or not _in_main_file(fn, rel_path):
+            continue
+        attrs = " ".join(
+            " ".join(t.spelling for t in a.get_tokens())
+            for a in fn.get_children() if a.kind == K.UNEXPOSED_ATTR)
+        parent = fn.semantic_parent
+        cls = None
+        if parent is not None and parent.kind in (K.CLASS_DECL, K.STRUCT_DECL,
+                                                  K.CLASS_TEMPLATE):
+            cls = parent.spelling
+        scope = f"{rel_path}:{fn.location.line}"
+        held = [h for h in (xst_lint._lock_identity(x, cls, scope)
+                            for arg in ATTR_REQUIRES_RE.findall(attrs)
+                            for x in xst_lint._lock_split_args(arg)) if h]
+        acquires = [a for a in (xst_lint._lock_identity(x, cls, scope)
+                                for arg in ATTR_ACQUIRE_RE.findall(attrs)
+                                for x in xst_lint._lock_split_args(arg)) if a]
+        # Annotation-only seam: REQUIRES(A) + ACQUIRE(B) on one declaration.
+        for h in held:
+            for a in acquires:
+                edges.append((h, a, fn.location.line))
+        if not fn.is_definition():
+            continue
+        # Scoped locks in the body, with the extent of their enclosing
+        # compound statement (= the lock's lifetime).
+        locks = []  # (identity, decl_start, decl_end, scope_end, line)
+
+        def visit(cursor, scope_extent):
+            for child in cursor.get_children():
+                ext = child.extent if child.kind == K.COMPOUND_STMT else scope_extent
+                if (child.kind == K.VAR_DECL
+                        and "MutexLock" in child.type.spelling):
+                    ident = xst_lint._lock_identity(
+                        _paren_arg_tokens(child) or "", cls, scope)
+                    if ident:
+                        end = (scope_extent.end.offset if scope_extent
+                               else child.extent.end.offset)
+                        locks.append((ident, child.extent.start.offset,
+                                      child.extent.end.offset, end,
+                                      child.location.line))
+                visit(child, ext)
+
+        visit(fn, None)
+        for ident, start, _dend, _send, line in locks:
+            for other, ostart, oend, oscope_end, _oline in locks:
+                if ostart < start and oend <= start <= oscope_end:
+                    edges.append((other, ident, line))
+            for h in held:
+                edges.append((h, ident, line))
+    yield from xst_lint.lock_cycle_findings(edges)
+
+
 # ---------------------------------------------------------------------------
 # Rule registry
 # ---------------------------------------------------------------------------
@@ -458,10 +557,13 @@ RULES = [
     Rule("guarded-field-unlocked", None, ast_rule_guarded_field_unlocked),
     Rule("vm-opcode-dispatch", xst_lint.rule_vm_opcode_dispatch,
          ast_rule_vm_opcode_dispatch),
+    Rule("lock-order-cycle", xst_lint.rule_lock_order_cycle,
+         ast_rule_lock_order_cycle),
 ]
 
 # Rules whose findings must be a superset of xst_lint's same-named regex rule.
-PARITY_RULES = ("thread-primitives", "interner-mutation", "vm-opcode-dispatch")
+PARITY_RULES = ("thread-primitives", "interner-mutation", "vm-opcode-dispatch",
+                "lock-order-cycle")
 
 ALLOW_RE = re.compile(r"xst-astcheck:\s*allow\(([a-z-]+)\)")
 LINT_ALLOW_RE = xst_lint.ALLOW_RE
@@ -551,6 +653,30 @@ def check_paths(paths, cindex):
             file_findings, skipped = check_text_fallback(rel, open(f, encoding="utf-8").read())
             findings.extend(file_findings)
             skipped_rules.update(skipped)
+    # The lock graph is global: a cycle split across translation units is
+    # still a deadlock. Aggregate the (textual) edges over every scanned
+    # file — both engines share this pass, since per-TU AST edges and
+    # per-file text edges agree on node identities — and add any cycle
+    # findings the per-file rules did not already report.
+    if len(files) > 1:
+        edges = []
+        raw_by_rel = {}
+        for f in files:
+            rel = os.path.relpath(f, REPO_ROOT).replace(os.sep, "/")
+            text = open(f, encoding="utf-8").read()
+            raw_by_rel[rel] = text.split("\n")
+            lines = strip_comments_and_strings(text).split("\n")
+            for holder, acquired, line_no in xst_lint.collect_lock_edges(rel, lines):
+                edges.append((holder, acquired, (rel, line_no)))
+        reported = {(x.path, x.line, x.rule) for x in findings}
+        for (rel, line_no), message in xst_lint.lock_cycle_findings(edges):
+            raw_lines = raw_by_rel[rel]
+            raw_line = raw_lines[line_no - 1] if line_no <= len(raw_lines) else ""
+            if _allowed(raw_line, "lock-order-cycle"):
+                continue
+            if (rel, line_no, "lock-order-cycle") in reported:
+                continue
+            findings.append(Finding(rel, line_no, "lock-order-cycle", message))
     return findings, skipped_rules, len(files)
 
 
@@ -697,6 +823,51 @@ SELF_TEST_FIXTURES = [
      "    case ExprKind::kUnion: break;\n"
      "    default: break;\n"
      "  }\n"
+     "}\n"),
+    # lock-order-cycle fixtures include the real sync.h so the AST engine
+    # sees genuine thread-safety attributes and the MutexLock type.
+    ("lock-order-cycle", True,
+     "#include \"src/common/sync.h\"\n"
+     "class S {\n"
+     " public:\n"
+     "  void F() XST_REQUIRES(a_) { xst::MutexLock l(&b_); }\n"
+     "  void G() XST_REQUIRES(b_) { xst::MutexLock l(&a_); }\n"
+     " private:\n"
+     "  xst::Mutex a_;\n"
+     "  xst::Mutex b_;\n"
+     "};\n"),
+    ("lock-order-cycle", False,
+     "#include \"src/common/sync.h\"\n"
+     "class S {\n"
+     " public:\n"
+     "  void F() XST_REQUIRES(a_) { xst::MutexLock l(&b_); }\n"
+     "  void G() XST_REQUIRES(a_) { xst::MutexLock l(&b_); }\n"
+     " private:\n"
+     "  xst::Mutex a_;\n"
+     "  xst::Mutex b_;\n"
+     "};\n"),
+    ("lock-order-cycle", True,
+     "#include \"src/common/sync.h\"\n"
+     "xst::Mutex mu;\n"
+     "void F() {\n"
+     "  xst::MutexLock outer(&mu);\n"
+     "  xst::MutexLock inner(&mu);\n"
+     "}\n"),
+    ("lock-order-cycle", False,
+     "#include \"src/common/sync.h\"\n"
+     "xst::Mutex a;\n"
+     "xst::Mutex b;\n"
+     "void F() {\n"
+     "  { xst::MutexLock l(&a); }\n"
+     "  { xst::MutexLock l(&b); }\n"
+     "}\n"),
+    ("lock-order-cycle", False,
+     "#include \"src/common/sync.h\"\n"
+     "xst::Mutex a;\n"
+     "xst::Mutex b;\n"
+     "void F() {\n"
+     "  xst::MutexLock outer(&a);\n"
+     "  xst::MutexLock inner(&b);\n"
      "}\n"),
 ]
 

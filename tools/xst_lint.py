@@ -53,6 +53,19 @@ Rules (see DESIGN.md section 7 for rationale):
                          the file's own `enum class OpCode` declaration when
                          present, else from src/xsp/compile.h.
 
+  lock-order-cycle       The static lock-acquisition graph must be acyclic.
+                         Edges come from the PR5 thread-safety annotations
+                         and scoped-lock sites: a function annotated
+                         XST_REQUIRES(A) that constructs MutexLock(&B) adds
+                         A -> B, a MutexLock constructed while an earlier
+                         MutexLock in the same function is still in scope
+                         adds earlier -> later, and a declaration carrying
+                         both XST_REQUIRES(A) and XST_ACQUIRE(B) adds A -> B.
+                         A cycle (including a self-edge: re-acquiring a held
+                         lock) is a potential deadlock; establish a single
+                         lock order instead. Member locks unify class-wide
+                         (`Class::mu_`); locals stay scoped to their function.
+
 Suppress a single line with a trailing comment:  // xst-lint: allow(rule-name)
 
 Usage:
@@ -409,6 +422,159 @@ def rule_vm_opcode_dispatch(rel_path, lines, _raw):
     return
 
 
+# ---------------------------------------------------------------------------
+# lock-order-cycle: build the static lock-acquisition graph and reject
+# cycles. The edge extractor is textual (brace-depth state machine over the
+# stripped lines) and is shared with tools/xst_astcheck.py, whose AST engine
+# re-derives the same edges from clang cursors and whose cross-file pass
+# aggregates these edges over the whole tree.
+# ---------------------------------------------------------------------------
+
+LOCK_ACQ_RE = re.compile(r"\b(?:xst::)?MutexLock\s+\w+\s*\(\s*([^();]+)\)")
+SIG_REQUIRES_RE = re.compile(r"\bXST_REQUIRES\s*\(([^)]*)\)")
+SIG_ACQUIRE_RE = re.compile(r"\bXST_ACQUIRE\s*\(([^)]*)\)")
+LOCK_CLASS_RE = re.compile(
+    r"^\s*(?:template\s*<[^>]*>\s*)?(?:class|struct)\s+"
+    r"(?:alignas\s*\([^)]*\)\s*)?(?:XST_\w+\s*\([^)]*\)\s*)?(\w+)")
+LOCK_QUAL_RE = re.compile(r"\b(\w+)::~?\w+\s*\(")
+
+
+def _lock_split_args(text):
+    return [a for a in (part.strip() for part in text.split(",")) if a]
+
+
+def _lock_identity(expr, cls, func_scope):
+    """Canonical node name for a lock expression. Bare member/field names
+    qualify by the enclosing class so `mu_` unifies across all methods of
+    one class but never across classes; everything else (locals, compound
+    paths like `shard.mu`) stays scoped to its function so unrelated
+    same-named locks in different functions never alias."""
+    e = expr.strip().lstrip("&").replace("this->", "").replace(" ", "")
+    if not e:
+        return None
+    if cls and (re.fullmatch(r"\w+", e) or "." in e or "->" in e):
+        return cls + "::" + e
+    return func_scope + "::" + e
+
+
+def collect_lock_edges(rel_path, lines):
+    """Yields (holder, acquired, line_no) lock-acquisition edges from the
+    stripped lines of one file. See the rule docstring for the edge kinds."""
+    edges = []
+    stem = rel_path.rsplit("/", 1)[-1]
+    class_stack = []  # (name, open_depth)
+    func = None       # dict: held / cls / scope / entry_depth / locks
+    depth = 0
+    sig_buf = ""
+    in_pp = False
+    for i, line in enumerate(lines, 1):
+        # Preprocessor lines (and their continuations) are not scopes; a
+        # multi-line macro body would otherwise corrupt the brace depth.
+        if in_pp or line.lstrip().startswith("#"):
+            in_pp = line.rstrip().endswith("\\")
+            sig_buf = ""
+            continue
+        opens = line.count("{")
+        closes = line.count("}")
+        if func is None:
+            boundary = ";" in line or opens or closes
+            sig = (sig_buf + " " + line).strip()
+            class_m = LOCK_CLASS_RE.match(sig)
+            if class_m and opens:
+                class_stack.append((class_m.group(1), depth))
+            elif boundary and "(" in sig:
+                req = SIG_REQUIRES_RE.search(sig)
+                acq = SIG_ACQUIRE_RE.search(sig)
+                cls = next((m.group(1) for m in LOCK_QUAL_RE.finditer(sig)
+                            if m.group(1) not in ("std", "xst")), None)
+                if cls is None and class_stack:
+                    cls = class_stack[-1][0]
+                scope = f"{stem}:{i}"
+                if req and acq:
+                    # Annotation-only seam: the body (wherever it is) takes
+                    # B while the caller already holds A.
+                    for h in _lock_split_args(req.group(1)):
+                        for a in _lock_split_args(acq.group(1)):
+                            hid = _lock_identity(h, cls, scope)
+                            aid = _lock_identity(a, cls, scope)
+                            if hid and aid:
+                                edges.append((hid, aid, i))
+                if opens and ";" not in line.split("{", 1)[0]:
+                    held = []
+                    if req:
+                        held = [h for h in
+                                (_lock_identity(x, cls, scope)
+                                 for x in _lock_split_args(req.group(1))) if h]
+                    func = {"held": held, "cls": cls, "scope": scope,
+                            "entry_depth": depth, "locks": []}
+            if boundary:
+                sig_buf = ""
+            else:
+                sig_buf = sig
+        if func is not None:
+            for m in LOCK_ACQ_RE.finditer(line):
+                prefix = line[:m.start()]
+                at_depth = depth + prefix.count("{") - prefix.count("}")
+                acquired = _lock_identity(m.group(1), func["cls"], func["scope"])
+                if acquired is None:
+                    continue
+                for holder in func["held"] + [lid for lid, _ in func["locks"]]:
+                    edges.append((holder, acquired, i))
+                func["locks"].append((acquired, at_depth))
+        depth += opens - closes
+        if depth < 0:
+            depth = 0
+        while class_stack and depth <= class_stack[-1][1]:
+            class_stack.pop()
+        if func is not None:
+            func["locks"] = [(lid, d) for lid, d in func["locks"] if depth >= d]
+            if depth <= func["entry_depth"]:
+                func = None
+    return edges
+
+
+def lock_cycle_findings(edges):
+    """Yields (site, message) for every edge on a lock-order cycle. `site`
+    is whatever third element the edges carry (a line number here; a
+    (path, line) pair in the astcheck cross-file pass)."""
+    graph = {}
+    for holder, acquired, _site in edges:
+        graph.setdefault(holder, set()).add(acquired)
+
+    def reaches(src, dst):
+        seen = set()
+        stack = [src]
+        while stack:
+            node = stack.pop()
+            if node == dst:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(graph.get(node, ()))
+        return False
+
+    emitted = set()
+    for holder, acquired, site in edges:
+        if holder == acquired:
+            message = (f"lock-order cycle: '{acquired}' acquired while "
+                       "already held (self-deadlock)")
+        elif reaches(acquired, holder):
+            message = (f"lock-order cycle: acquires '{acquired}' while "
+                       f"holding '{holder}', but '{holder}' is also "
+                       f"(transitively) acquired while '{acquired}' is held; "
+                       "establish a single lock order")
+        else:
+            continue
+        if (site, message) not in emitted:
+            emitted.add((site, message))
+            yield site, message
+
+
+def rule_lock_order_cycle(rel_path, lines, _raw):
+    yield from lock_cycle_findings(collect_lock_edges(rel_path, lines))
+
+
 RULES = {
     "thread-primitives": rule_thread_primitives,
     "raw-new-delete": rule_raw_new_delete,
@@ -418,6 +584,7 @@ RULES = {
     "raw-page-pointer": rule_raw_page_pointer,
     "obs-doc-comments": rule_obs_doc_comments,
     "vm-opcode-dispatch": rule_vm_opcode_dispatch,
+    "lock-order-cycle": rule_lock_order_cycle,
 }
 
 ALLOW_RE = re.compile(r"xst-lint:\s*allow\(([a-z-]+)\)")
@@ -576,6 +743,63 @@ SELF_TEST_FIXTURES = [
      "switch (op) {  // xst-lint: allow(vm-opcode-dispatch)\n"
      "  case OpCode::kAdd: break;\n"
      "  default: break;\n"
+     "}\n"),
+    # lock-order-cycle: two methods of one class taking the two member locks
+    # in opposite orders is the canonical deadlock.
+    ("lock-order-cycle", True,
+     "class S {\n"
+     "  void F() XST_REQUIRES(a_) { MutexLock l(&b_); }\n"
+     "  void G() XST_REQUIRES(b_) { MutexLock l(&a_); }\n"
+     "  Mutex a_;\n"
+     "  Mutex b_;\n"
+     "};\n"),
+    # Same two locks, consistent order everywhere: fine.
+    ("lock-order-cycle", False,
+     "class S {\n"
+     "  void F() XST_REQUIRES(a_) { MutexLock l(&b_); }\n"
+     "  void G() XST_REQUIRES(a_) { MutexLock l(&b_); }\n"
+     "  Mutex a_;\n"
+     "  Mutex b_;\n"
+     "};\n"),
+    # Self-deadlock: nested scoped locks on the same (non-reentrant) mutex.
+    ("lock-order-cycle", True,
+     "void F() {\n"
+     "  MutexLock outer(&mu_);\n"
+     "  MutexLock inner(&mu_);\n"
+     "}\n"),
+    # Sequential scopes never overlap, so no edge and no cycle.
+    ("lock-order-cycle", False,
+     "void F() {\n"
+     "  { MutexLock l(&a_); }\n"
+     "  { MutexLock l(&b_); }\n"
+     "}\n"),
+    # Nested different locks in one direction only: an edge, not a cycle.
+    ("lock-order-cycle", False,
+     "void F() {\n"
+     "  MutexLock outer(&a_);\n"
+     "  MutexLock inner(&b_);\n"
+     "}\n"),
+    # Out-of-line definitions qualify member locks by class, so the cycle
+    # is still visible when the bodies live in a .cc file.
+    ("lock-order-cycle", True,
+     "void Store::Load() XST_REQUIRES(mu_) { MutexLock l(&shard_mu_); }\n"
+     "void Store::Evict() XST_REQUIRES(shard_mu_) { MutexLock l(&mu_); }\n"),
+    # Two different classes each with a lock named mu_ must not alias.
+    ("lock-order-cycle", False,
+     "void A::F() XST_REQUIRES(mu_) { MutexLock l(&other_); }\n"
+     "void B::G() XST_REQUIRES(other_) { MutexLock l(&mu_); }\n"),
+    # Annotation-only seam: REQUIRES + ACQUIRE on declarations.
+    ("lock-order-cycle", True,
+     "class S {\n"
+     "  void F() XST_REQUIRES(a_) XST_ACQUIRE(b_);\n"
+     "  void G() XST_REQUIRES(b_) XST_ACQUIRE(a_);\n"
+     "  Mutex a_;\n"
+     "  Mutex b_;\n"
+     "};\n"),
+    ("lock-order-cycle", False,
+     "void F() {\n"
+     "  MutexLock outer(&mu_);\n"
+     "  MutexLock inner(&mu_);  // xst-lint: allow(lock-order-cycle)\n"
      "}\n"),
 ]
 

@@ -6,6 +6,7 @@
 //   xstctl <store> del <name>           remove a name
 //   xstctl <store> run <script-file>    run an XSP script (@names hit the store)
 //   xstctl <store> explain <plan>       EXPLAIN ANALYZE a plan over the store
+//   xstctl <store> verify <script-file> compile + statically verify a script
 //   xstctl <store> scrub                verify every blob end to end
 //   xstctl <store> compact              reclaim dead pages
 //   xstctl <store> stats                page/pool statistics
@@ -23,6 +24,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "src/core/parse.h"
 #include "src/obs/metrics.h"
@@ -33,6 +35,7 @@
 #include "src/xsp/optimizer.h"
 #include "src/xsp/parser.h"
 #include "src/xsp/script.h"
+#include "src/xsp/verify.h"
 #include "src/xsp/vm.h"
 
 using namespace xst;
@@ -45,6 +48,7 @@ int Usage() {
                "commands: list | get <name> | put <name> <text> | del <name>\n"
                "          run <script-file> [--engine=vm|interp] [--optimize]\n"
                "          explain <plan> [--engine=vm|interp] [--optimize]\n"
+               "          verify <script-file> [--optimize]\n"
                "          scrub | compact | stats | catalog | dump_metrics\n");
   return 1;
 }
@@ -168,6 +172,45 @@ int ExplainCommand(SetStore& store, const char* plan_text, xsp::Engine engine,
   return 0;
 }
 
+// Static pipeline only — parse, compile, verify — no store reads and no
+// evaluation, so a script is checkable before the data it names exists.
+// Prints the verifier's typed listing per statement; the first rejection
+// prints the diagnostic (which names the offending instruction) and exits 1.
+int VerifyCommand(const char* path, bool optimize) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "xstctl: cannot read script '%s'\n", path);
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto script = xsp::ParseScript(text.str());
+  if (!script.ok()) return Fail(script.status());
+
+  xsp::Bindings empty_env;
+  for (const xsp::Statement& statement : script->statements) {
+    xsp::ExprPtr plan = statement.plan;
+    if (optimize) {
+      auto optimized = xsp::Optimize(plan, empty_env);
+      if (!optimized.ok()) return Fail(optimized.status());
+      plan = *optimized;
+    }
+    auto program = xsp::Compile(plan);
+    if (!program.ok()) {
+      return Fail(program.status().WithContext("statement '" + statement.source + "'"));
+    }
+    auto verified = xsp::Verify(std::move(*program));
+    if (!verified.ok()) {
+      return Fail(
+          verified.status().WithContext("statement '" + statement.source + "'"));
+    }
+    std::printf("-- %s\n%s", statement.source.c_str(),
+                verified->ToString().c_str());
+  }
+  std::printf("verify OK: %zu statement(s)\n", script->statements.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -226,6 +269,19 @@ int main(int argc, char** argv) {
     bool optimize;
     if (!ParseEngineFlags(argc, argv, 4, &engine, &optimize)) return Usage();
     return ExplainCommand(store, argv[3], engine, optimize);
+  }
+  if (command == "verify") {
+    if (argc < 4) return Usage();
+    bool optimize = false;
+    for (int i = 4; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--optimize") == 0) {
+        optimize = true;
+      } else {
+        std::fprintf(stderr, "xstctl: unknown flag '%s'\n", argv[i]);
+        return Usage();
+      }
+    }
+    return VerifyCommand(argv[3], optimize);
   }
   if (command == "scrub") {
     Result<size_t> verified = store.Scrub();
