@@ -18,8 +18,11 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/common/result.h"
+#include "src/core/order.h"
 #include "src/core/xset.h"
 
 namespace xst {
@@ -37,6 +40,12 @@ class MemberCursor {
   /// one (in-memory operands always do; stored cursors may stream instead).
   /// Consumers should prefer this: it is zero-copy and preserves atoms.
   virtual std::optional<XSet> WholeSet() const { return std::nullopt; }
+
+  /// \brief Non-OK when streaming hit an error (I/O, corruption). In-memory
+  /// cursors are infallible; page-backed ones report failure here, because
+  /// NextBatch signals exhaustion and error identically (an empty span).
+  /// Consumers that stream to completion must check this afterwards.
+  virtual Status status() const { return Status::OK(); }
 };
 
 /// \brief Cursor over an interned set (or atom): one batch, zero copies.
@@ -57,6 +66,47 @@ class XSetCursor final : public MemberCursor {
   bool done_ = false;
 };
 
+/// \brief Filters an inner cursor down to members whose ELEMENT lies in
+/// [lo, hi] under the structural order — the generic (non-indexed) range
+/// access path. Batches are copied into an internal buffer; successive
+/// batches are consecutive slices of the RESULT's canonical list, so the
+/// batching contract holds relative to the restricted set.
+class ElementRangeCursor final : public MemberCursor {
+ public:
+  ElementRangeCursor(std::unique_ptr<MemberCursor> inner, XSet lo, XSet hi)
+      : inner_(std::move(inner)), lo_(std::move(lo)), hi_(std::move(hi)) {}
+
+  std::span<const Membership> NextBatch() override {
+    buffer_.clear();
+    while (!done_ && buffer_.empty()) {
+      std::span<const Membership> batch = inner_->NextBatch();
+      if (batch.empty()) {
+        done_ = true;
+        break;
+      }
+      for (const Membership& m : batch) {
+        if (Compare(m.element, hi_) > 0) {
+          // Elements ascend within the canonical list, so the first
+          // overshoot ends the range for good.
+          done_ = true;
+          break;
+        }
+        if (Compare(m.element, lo_) >= 0) buffer_.push_back(m);
+      }
+    }
+    return buffer_;
+  }
+
+  Status status() const override { return inner_->status(); }
+
+ private:
+  std::unique_ptr<MemberCursor> inner_;
+  XSet lo_;
+  XSet hi_;
+  std::vector<Membership> buffer_;
+  bool done_ = false;
+};
+
 /// \brief Opens cursors over named operands — the VM's only window onto
 /// binding environments, set stores, or anything else that names sets.
 class CursorSource {
@@ -66,6 +116,18 @@ class CursorSource {
   /// \brief Opens a cursor over the operand bound to `name`; NotFound when
   /// the source does not bind it.
   virtual Result<std::unique_ptr<MemberCursor>> Open(const std::string& name) const = 0;
+
+  /// \brief Opens a cursor over {z^w ∈ name : lo ≤ z ≤ hi} (element-interval
+  /// σ-restriction). The default filters a full cursor; sources with an
+  /// ordered index override it to seek directly (leaf-only page access).
+  /// Atoms have no members, so their range is empty.
+  virtual Result<std::unique_ptr<MemberCursor>> OpenElementRange(
+      const std::string& name, const XSet& lo, const XSet& hi) const {
+    Result<std::unique_ptr<MemberCursor>> inner = Open(name);
+    if (!inner.ok()) return inner.status();
+    return std::unique_ptr<MemberCursor>(
+        new ElementRangeCursor(std::move(*inner), lo, hi));
+  }
 };
 
 /// \brief CursorSource over an in-memory name → set map (xsp::Bindings).

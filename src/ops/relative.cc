@@ -114,6 +114,22 @@ size_t NextPow2(size_t n) {
   return p;
 }
 
+// Total order over key spans for the ordered (nested-loop) build: the
+// element/scope split first — ⟨{a}, ∅⟩ and ⟨∅, {a}⟩ are different keys —
+// then length, then membership-lexicographic. Equality under this order is
+// exactly key-pair equality, which is all the join needs; the relative
+// order of distinct keys is arbitrary but deterministic.
+int CompareKeySpans(const Membership* a, uint32_t a_elem, uint32_t a_len,
+                    const Membership* b, uint32_t b_elem, uint32_t b_len) {
+  if (a_elem != b_elem) return a_elem < b_elem ? -1 : 1;
+  if (a_len != b_len) return a_len < b_len ? -1 : 1;
+  for (uint32_t i = 0; i < a_len; ++i) {
+    int c = CompareMembership(a[i], b[i]);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
 }  // namespace
 
 XSet RelativeProduct(const XSet& f, const XSet& g, const Sigma& sigma, const Sigma& omega,
@@ -212,6 +228,103 @@ XSet RelativeProduct(const XSet& f, const XSet& g, const Sigma& sigma, const Sig
           if (be.hash != h || be.elem_len != elem_len || be.key_len != key.size() ||
               !std::equal(key.begin(), key.end(), key_arena.begin() + be.key_begin)) {
             continue;
+          }
+          if (!have_parts) {
+            parts.clear();
+            x_len = ProjectParts(m, sigma.s1, &parts);
+            have_parts = true;
+          }
+          const Membership* yt = out_arena.data() + be.out_begin;
+          dest.push_back(Membership{
+              UnionSpans(parts.data(), x_len, yt, be.out_elem_len),
+              UnionSpans(parts.data() + x_len, parts.size() - x_len,
+                         yt + be.out_elem_len, be.out_len - be.out_elem_len)});
+        }
+      }
+      if (solo) return;
+      MutexLock lock(&mu);
+      if (out.empty()) {
+        out = std::move(local_storage);
+      } else {
+        out.insert(out.end(), local_storage.begin(), local_storage.end());
+      }
+    });
+  }
+  return XST_VALIDATE(XSet::FromMembers(std::move(out)));
+}
+
+XSet RelativeProductNested(const XSet& f, const XSet& g, const Sigma& sigma, const Sigma& omega,
+                           const RelativeProductOptions& options) {
+  XST_TRACE_SPAN("op.relative_product_nested");
+  // Build phase: same per-member projections as the hash join, but serial —
+  // the ordered variant targets inner sides small enough that the sort, not
+  // the projection, is the build cost. Entries reuse BuildEntry with the
+  // hash/next chain fields idle.
+  auto mg = g.members();
+  std::vector<BuildEntry> entries;
+  std::vector<Membership> key_arena;
+  std::vector<Membership> out_arena;
+  entries.reserve(mg.size());
+  key_arena.reserve(mg.size() * 2);
+  out_arena.reserve(mg.size() * 2);
+  {
+    std::vector<Membership> key;
+    for (const Membership& m : mg) {
+      key.clear();
+      size_t elem_len = ProjectParts(m, omega.s1, &key);
+      if (options.require_nonempty_key && elem_len == 0) continue;
+      BuildEntry e;
+      e.hash = 0;
+      e.key_begin = key_arena.size();
+      e.elem_len = static_cast<uint32_t>(elem_len);
+      e.key_len = static_cast<uint32_t>(key.size());
+      e.next = kNoEntry;
+      key_arena.insert(key_arena.end(), key.begin(), key.end());
+      e.out_begin = out_arena.size();
+      e.out_elem_len = static_cast<uint32_t>(ProjectParts(m, omega.s2, &out_arena));
+      e.out_len = static_cast<uint32_t>(out_arena.size() - e.out_begin);
+      entries.push_back(e);
+    }
+  }
+  // Index the entries by sorting on the canonical key span. Duplicate keys
+  // become one contiguous run — a probe's equal_range IS the join fan-out.
+  std::sort(entries.begin(), entries.end(), [&](const BuildEntry& a, const BuildEntry& b) {
+    return CompareKeySpans(key_arena.data() + a.key_begin, a.elem_len, a.key_len,
+                           key_arena.data() + b.key_begin, b.elem_len, b.key_len) < 0;
+  });
+  // Probe phase: each F member projects its key and binary-searches the run
+  // of equal inner keys. Output handling matches the hash join: σ₁ parts are
+  // projected lazily on the first match, each match interns only the two
+  // merged output sets.
+  auto mf = f.members();
+  std::vector<Membership> out;
+  {
+    Mutex mu;
+    ParallelFor(mf.size(), kGrain, [&](size_t lo, size_t hi) {
+      const bool solo = lo == 0 && hi == mf.size();
+      std::vector<Membership> local_storage;
+      std::vector<Membership>& dest = solo ? out : local_storage;
+      std::vector<Membership> key;
+      std::vector<Membership> parts;
+      for (size_t i = lo; i < hi; ++i) {
+        const Membership& m = mf[i];
+        key.clear();
+        size_t elem_len = ProjectParts(m, sigma.s2, &key);
+        if (options.require_nonempty_key && elem_len == 0) continue;
+        auto first = std::partition_point(
+            entries.begin(), entries.end(), [&](const BuildEntry& e) {
+              return CompareKeySpans(key_arena.data() + e.key_begin, e.elem_len, e.key_len,
+                                     key.data(), static_cast<uint32_t>(elem_len),
+                                     static_cast<uint32_t>(key.size())) < 0;
+            });
+        size_t x_len = 0;
+        bool have_parts = false;
+        for (auto it = first; it != entries.end(); ++it) {
+          const BuildEntry& be = *it;
+          if (CompareKeySpans(key_arena.data() + be.key_begin, be.elem_len, be.key_len,
+                              key.data(), static_cast<uint32_t>(elem_len),
+                              static_cast<uint32_t>(key.size())) != 0) {
+            break;
           }
           if (!have_parts) {
             parts.clear();

@@ -9,6 +9,7 @@
 #include "src/obs/trace.h"
 #include "src/ops/kernels.h"
 #include "src/ops/rescope.h"
+#include "src/ops/span_kernels.h"
 
 namespace xst {
 
@@ -72,6 +73,14 @@ XSet SigmaRestrict(const XSet& r, const XSet& sigma, const XSet& a) {
     }
     return false;
   });
+}
+
+XSet ElementRangeRestrict(const XSet& r, const XSet& lo, const XSet& hi) {
+  XST_TRACE_SPAN("op.element_range");
+  std::vector<Membership> kept;
+  ElementRangeSpans(r.members(), lo, hi, &kept);
+  XST_DCHECK(IsCanonicalMemberList(kept));
+  return XST_VALIDATE(XSet::FromSortedMembers(std::move(kept)));
 }
 
 }  // namespace xst

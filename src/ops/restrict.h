@@ -22,4 +22,11 @@ namespace xst {
 /// \brief R |_σ A (Def 7.6).
 XSet SigmaRestrict(const XSet& r, const XSet& sigma, const XSet& a);
 
+/// \brief {z^w ∈ R : lo ≤ z ≤ hi} — restriction to an element interval
+/// under the structural order (core/order Compare). The degenerate σ-free
+/// selection the ordered B+tree index serves without materializing R:
+/// canonical member lists ascend element-major, so the result is one
+/// contiguous slice. lo > hi gives ∅; atoms have no members, so ∅ too.
+XSet ElementRangeRestrict(const XSet& r, const XSet& lo, const XSet& hi);
+
 }  // namespace xst

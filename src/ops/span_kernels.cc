@@ -225,6 +225,21 @@ void RestrictSpans(MemberSpan r, const XSet& sigma, MemberSpan probes,
   }
 }
 
+void ElementRangeSpans(MemberSpan r, const XSet& lo, const XSet& hi,
+                       std::vector<Membership>* out) {
+  if (Compare(lo, hi) > 0) return;  // empty interval
+  // CompareMembership orders by element first, so all members with a given
+  // element are adjacent and elements ascend across the list. The interval
+  // is the slice [first element ≥ lo, first element > hi).
+  auto first = std::partition_point(r.begin(), r.end(), [&](const Membership& m) {
+    return Compare(m.element, lo) < 0;
+  });
+  auto last = std::partition_point(first, r.end(), [&](const Membership& m) {
+    return Compare(m.element, hi) <= 0;
+  });
+  out->insert(out->end(), first, last);
+}
+
 void ImageSpans(MemberSpan r, const Sigma& sigma, MemberSpan probes,
                 std::vector<Membership>* out) {
   RestrictProbes rp(sigma.s1, probes);

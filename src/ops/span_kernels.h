@@ -93,6 +93,14 @@ class RestrictProbes {
 void RestrictSpans(MemberSpan r, const XSet& sigma, MemberSpan probes,
                    std::vector<Membership>* out);
 
+/// \brief {z^w ∈ r : lo ≤ z ≤ hi} — the element-interval range restriction
+/// under the structural order — appended to `*out`. Canonical lists ascend
+/// element-major (CompareMembership compares elements first), so the
+/// matching members are one contiguous slice located by binary search:
+/// O(log |r| + |result|), never a full scan.
+void ElementRangeSpans(MemberSpan r, const XSet& lo, const XSet& hi,
+                       std::vector<Membership>* out);
+
 /// \brief r[probes]_σ (image, Def 7.7) as ONE fused loop: each member of r
 /// is filtered against the probes and — when kept — immediately re-scope-
 /// projected by σ₂, with a single canonicalization of the appended tail.

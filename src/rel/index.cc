@@ -1,7 +1,11 @@
 #include "src/rel/index.h"
 
+#include <algorithm>
+
 #include "src/common/macros.h"
 #include "src/core/atom.h"
+#include "src/core/order.h"
+#include "src/ops/tuple.h"
 
 namespace xst {
 namespace rel {
@@ -15,7 +19,19 @@ Result<AttributeIndex> AttributeIndex::Build(const Relation& r, const std::strin
     identity.push_back({static_cast<int64_t>(i), static_cast<int64_t>(i)});
   }
   Sigma sigma{lit::Spec({{static_cast<int64_t>(pos + 1), 1}}), lit::Spec(identity)};
-  return AttributeIndex(r.schema(), attr, ImageIndex(r.tuples(), sigma));
+  // The ordered face of the index: the attribute's distinct values,
+  // ascending under the structural order, for interval predicates.
+  std::vector<XSet> keys;
+  keys.reserve(r.tuples().cardinality());
+  for (const Membership& m : r.tuples().members()) {
+    XST_ASSIGN_OR_RAISE(XSet value, TupleGet(m.element, static_cast<int64_t>(pos + 1)));
+    keys.push_back(std::move(value));
+  }
+  std::sort(keys.begin(), keys.end(),
+            [](const XSet& a, const XSet& b) { return Compare(a, b) < 0; });
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return AttributeIndex(r.schema(), attr, ImageIndex(r.tuples(), sigma),
+                        std::move(keys));
 }
 
 Result<Relation> AttributeIndex::Select(const XSet& value) const {
@@ -28,6 +44,16 @@ Result<Relation> AttributeIndex::SelectIn(const std::vector<XSet>& values) const
   for (const XSet& v : values) probes.push_back(XSet::Tuple({v}));
   XSet selected = index_->Lookup(XSet::Classical(probes));
   return Relation::Make(schema_, selected);
+}
+
+Result<Relation> AttributeIndex::SelectRange(const XSet& lo, const XSet& hi) const {
+  auto first = std::partition_point(
+      sorted_keys_->begin(), sorted_keys_->end(),
+      [&](const XSet& key) { return Compare(key, lo) < 0; });
+  auto last = std::partition_point(
+      first, sorted_keys_->end(),
+      [&](const XSet& key) { return Compare(key, hi) <= 0; });
+  return SelectIn(std::vector<XSet>(first, last));
 }
 
 }  // namespace rel

@@ -6,6 +6,12 @@
 // selects are extensionally the same σ-restriction the algebra performs,
 // just through a different access path (checked against rel::Select in the
 // tests).
+//
+// Build additionally keeps the distinct attribute values sorted under the
+// structural order (core/order), so SelectRange answers interval predicates
+// σ_{lo ≤ attr ≤ hi} in O(log k + matching keys + result) — the relational
+// face of the same ordered access path the store's B+tree serves for
+// element-interval restriction (store/btree.h).
 
 #pragma once
 
@@ -30,19 +36,27 @@ class AttributeIndex {
   /// \brief σ_{attr ∈ values}(r) through the index.
   Result<Relation> SelectIn(const std::vector<XSet>& values) const;
 
+  /// \brief σ_{lo ≤ attr ≤ hi}(r) (bounds inclusive, structural order):
+  /// binary-searches the sorted key list and probes only in-range keys.
+  /// An empty interval (lo > hi) selects nothing.
+  Result<Relation> SelectRange(const XSet& lo, const XSet& hi) const;
+
   const std::string& attribute() const { return attr_; }
   const Schema& schema() const { return schema_; }
   size_t key_count() const { return index_->key_count(); }
 
  private:
-  AttributeIndex(Schema schema, std::string attr, ImageIndex index)
+  AttributeIndex(Schema schema, std::string attr, ImageIndex index,
+                 std::vector<XSet> sorted_keys)
       : schema_(std::move(schema)),
         attr_(std::move(attr)),
-        index_(std::make_shared<ImageIndex>(std::move(index))) {}
+        index_(std::make_shared<ImageIndex>(std::move(index))),
+        sorted_keys_(std::make_shared<std::vector<XSet>>(std::move(sorted_keys))) {}
 
   Schema schema_;
   std::string attr_;
   std::shared_ptr<const ImageIndex> index_;  // shared: AttributeIndex is copyable
+  std::shared_ptr<const std::vector<XSet>> sorted_keys_;  // distinct, ascending
 };
 
 }  // namespace rel

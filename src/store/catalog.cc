@@ -34,10 +34,13 @@ XSet Catalog::ToXSet() const {
   std::vector<XSet> tuples;
   tuples.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) {
-    tuples.push_back(XSet::Tuple({XSet::String(name),
-                                  XSet::Int(entry.first_page),
-                                  XSet::Int(entry.page_span),
-                                  XSet::Int(static_cast<int64_t>(entry.byte_length))}));
+    std::vector<XSet> parts{XSet::String(name), XSet::Int(entry.first_page),
+                            XSet::Int(entry.page_span),
+                            XSet::Int(static_cast<int64_t>(entry.byte_length))};
+    // Blob entries keep the historical 4-tuple spelling byte-for-byte; only
+    // non-blob kinds carry the discriminant.
+    if (entry.kind != CatalogEntry::kKindBlob) parts.push_back(XSet::Int(entry.kind));
+    tuples.push_back(XSet::Tuple(parts));
   }
   return XSet::Classical(tuples);
 }
@@ -46,9 +49,10 @@ Result<Catalog> Catalog::FromXSet(const XSet& repr) {
   Catalog catalog;
   for (const Membership& m : repr.members()) {
     std::vector<XSet> parts;
-    if (!m.scope.empty() || !TupleElements(m.element, &parts) || parts.size() != 4 ||
-        !parts[0].is_string() || !parts[1].is_int() || !parts[2].is_int() ||
-        !parts[3].is_int()) {
+    if (!m.scope.empty() || !TupleElements(m.element, &parts) ||
+        (parts.size() != 4 && parts.size() != 5) || !parts[0].is_string() ||
+        !parts[1].is_int() || !parts[2].is_int() || !parts[3].is_int() ||
+        (parts.size() == 5 && !parts[4].is_int())) {
       return Status::TypeError("catalog: malformed entry " + m.element.ToString());
     }
     // Range-check before the narrowing casts: a negative or oversized field
@@ -66,10 +70,17 @@ Result<Catalog> Catalog::FromXSet(const XSet& repr) {
           ", page_span=" + std::to_string(page_span) +
           ", byte_length=" + std::to_string(byte_length) + ")");
     }
+    const int64_t kind = parts.size() == 5 ? parts[4].int_value()
+                                           : CatalogEntry::kKindBlob;
+    if (kind != CatalogEntry::kKindBlob && kind != CatalogEntry::kKindIndex) {
+      return Status::Corruption("catalog: entry '" + parts[0].str_value() +
+                                "' has unknown kind " + std::to_string(kind));
+    }
     CatalogEntry entry;
     entry.first_page = static_cast<uint32_t>(first_page);
     entry.page_span = static_cast<uint32_t>(page_span);
     entry.byte_length = static_cast<uint64_t>(byte_length);
+    entry.kind = static_cast<uint8_t>(kind);
     catalog.Put(parts[0].str_value(), entry);
   }
   return catalog;

@@ -7,6 +7,12 @@
 //
 // — a classical set of 4-tuples — and is persisted with the same codec and
 // pages as user data.
+//
+// Ordered-index entries (PR8) extend the tuple with a kind discriminant:
+// ⟨"name", root_page, height, member_count, kind⟩. Blob entries keep the
+// 4-tuple spelling, so catalogs written before indexes existed load
+// unchanged, and the three location fields are reinterpreted per kind
+// (first_page=root, page_span=height, byte_length=cardinality).
 
 #pragma once
 
@@ -21,11 +27,14 @@
 namespace xst {
 
 struct CatalogEntry {
-  uint32_t first_page = kInvalidFirstPage;
-  uint32_t page_span = 0;
-  uint64_t byte_length = 0;
+  uint32_t first_page = kInvalidFirstPage;  // index kind: the tree's root page
+  uint32_t page_span = 0;                   // index kind: the tree's height
+  uint64_t byte_length = 0;                 // index kind: the member count
+  uint8_t kind = kKindBlob;
 
   static constexpr uint32_t kInvalidFirstPage = 0xffffffff;
+  static constexpr uint8_t kKindBlob = 0;
+  static constexpr uint8_t kKindIndex = 1;
   bool operator==(const CatalogEntry&) const = default;
 };
 

@@ -58,9 +58,13 @@ Status DecodeImpl(std::string_view data, size_t* offset, uint32_t depth, XSet* o
     case kTagSet: {
       uint64_t count;
       if (!GetVarint(data, offset, &count)) return CorruptAt(*offset, "truncated count");
+      // The empty set encodes as kTagEmpty, never as a zero-count kTagSet:
+      // admitting both would give ∅ two on-disk spellings and break the
+      // equal-sets-have-equal-encodings property checksums and dedup rely on.
+      if (count == 0) return CorruptAt(*offset, "non-canonical zero-count set");
       // Each membership needs at least 2 tag bytes; reject absurd counts
       // before reserving memory.
-      if (count > (data.size() - *offset) / 2 + 1) {
+      if (count > (data.size() - *offset) / 2) {
         return CorruptAt(*offset, "member count overruns buffer");
       }
       std::vector<Membership> members;
@@ -92,10 +96,20 @@ void PutVarint(uint64_t v, std::string* out) {
 }
 
 bool GetVarint(std::string_view data, size_t* offset, uint64_t* out) {
+  // On every failure path *offset is restored to the start of the varint, so
+  // a caller's error message points at the malformed value, not mid-way
+  // through it.
+  const size_t start = *offset;
   uint64_t result = 0;
   int shift = 0;
   while (*offset < data.size() && shift <= 63) {
     uint8_t byte = static_cast<uint8_t>(data[(*offset)++]);
+    if (shift == 63 && (byte & 0x7e) != 0) {
+      // The 10th byte may only carry bit 64's single payload bit; anything
+      // above it would be silently shifted out of the uint64_t.
+      *offset = start;
+      return false;
+    }
     result |= static_cast<uint64_t>(byte & 0x7f) << shift;
     if ((byte & 0x80) == 0) {
       *out = result;
@@ -103,6 +117,8 @@ bool GetVarint(std::string_view data, size_t* offset, uint64_t* out) {
     }
     shift += 7;
   }
+  // Truncated, or a continuation bit still set after 10 bytes (> 64 bits).
+  *offset = start;
   return false;
 }
 

@@ -2,12 +2,17 @@
 // (src/core/cursor.h), so VM operands stream from the pager the same way
 // they stream from the interner.
 //
-// Today a stored set is decoded into the interner on open (Get) and the
-// cursor then serves fixed-size batch slices of the decoded member list —
-// the batching contract consumers must already honor, so a future
-// page-native cursor (streaming directly off B+tree leaves, ROADMAP item 1)
-// can drop in without touching any consumer. Atoms are handed over via
-// WholeSet(), which is the only representation that preserves them.
+// Two stored shapes, one contract:
+//  - blob sets decode into the interner on open (Get) and the cursor serves
+//    fixed-size batch slices of the decoded member list;
+//  - ordered-index sets (SetStore::PutIndexed) stream leaf-by-leaf off the
+//    B+tree via BTreeCursor, never materializing the whole set — one leaf
+//    page pinned per batch.
+// StoreCursorSource picks per name through SetStore::OpenCursor, so VM
+// consumers of the kLoadBinding path are storage-mode agnostic. Atoms are
+// handed over via WholeSet(), which is the only representation that
+// preserves them. Page-backed batches can fail (I/O, corruption); NextBatch
+// reports that as exhaustion and consumers must check status() afterwards.
 
 #pragma once
 
@@ -16,8 +21,10 @@
 #include <span>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "src/core/cursor.h"
+#include "src/store/btree.h"
 #include "src/store/setstore.h"
 
 namespace xst {
@@ -52,15 +59,53 @@ class StoredSetCursor final : public MemberCursor {
   size_t offset_ = 0;
 };
 
-/// \brief CursorSource resolving names against a SetStore catalog.
+/// \brief Cursor streaming an ordered-index set leaf-by-leaf. Each
+/// NextBatch() is one SetStore::ReadIndexBatch call — one leaf page of
+/// memberships — so memory stays O(leaf), not O(set). Optionally bounded
+/// above by an element (`hi`) for range σ-restriction; the lower bound is
+/// baked into the starting position by SeekElement. Invalidated by any
+/// mutation of the store.
+class BTreeCursor final : public MemberCursor {
+ public:
+  BTreeCursor(SetStore& store, BTreeCursorPos pos, std::optional<XSet> hi)
+      : store_(store), pos_(pos), hi_(std::move(hi)) {}
+
+  std::span<const Membership> NextBatch() override {
+    if (!status_.ok()) return {};
+    buffer_.clear();
+    Status read = store_.ReadIndexBatch(&pos_, hi_ ? &*hi_ : nullptr, &buffer_);
+    if (!read.ok()) {
+      status_ = std::move(read);
+      buffer_.clear();
+    }
+    return buffer_;
+  }
+
+  Status status() const override { return status_; }
+
+ private:
+  SetStore& store_;
+  BTreeCursorPos pos_;
+  std::optional<XSet> hi_;
+  std::vector<Membership> buffer_;
+  Status status_;
+};
+
+/// \brief CursorSource resolving names against a SetStore catalog. The
+/// store chooses the cursor per storage mode (blob slices vs B+tree leaf
+/// streaming), and indexed sets serve element ranges by seeking instead of
+/// filtering.
 class StoreCursorSource final : public CursorSource {
  public:
   explicit StoreCursorSource(SetStore& store) : store_(store) {}
 
   Result<std::unique_ptr<MemberCursor>> Open(const std::string& name) const override {
-    Result<XSet> value = store_.Get(name);
-    if (!value.ok()) return value.status();
-    return std::unique_ptr<MemberCursor>(new StoredSetCursor(std::move(*value)));
+    return store_.OpenCursor(name);
+  }
+
+  Result<std::unique_ptr<MemberCursor>> OpenElementRange(
+      const std::string& name, const XSet& lo, const XSet& hi) const override {
+    return store_.OpenElementRange(name, lo, hi);
   }
 
  private:

@@ -5,9 +5,11 @@
 
 #include "src/common/check.h"
 #include "src/common/macros.h"
+#include "src/core/order.h"
 #include "src/obs/trace.h"
 #include "src/ops/tuple.h"
 #include "src/store/codec.h"
+#include "src/store/cursor.h"
 
 namespace xst {
 
@@ -18,6 +20,19 @@ namespace {
 size_t ChunkCapacity() {
   static const size_t capacity = Page().FreeSpace();
   return capacity;
+}
+
+BTreeInfo IndexInfoOf(const CatalogEntry& entry) {
+  return BTreeInfo{entry.first_page, entry.page_span, entry.byte_length};
+}
+
+CatalogEntry IndexEntryOf(const BTreeInfo& info) {
+  CatalogEntry entry;
+  entry.first_page = info.root;
+  entry.page_span = info.height;
+  entry.byte_length = info.member_count;
+  entry.kind = CatalogEntry::kKindIndex;
+  return entry;
 }
 
 }  // namespace
@@ -174,10 +189,14 @@ Status SetStore::LoadCatalog() {
   XST_ASSIGN_OR_RAISE(Catalog loaded, Catalog::FromXSet(repr));
   for (const std::string& name : loaded.Names()) {
     CatalogEntry e = *loaded.Get(name);
-    XST_RETURN_NOT_OK(ValidateBlobRange("catalog entry '" + name + "'",
-                                        static_cast<int64_t>(e.first_page),
-                                        static_cast<int64_t>(e.page_span),
-                                        static_cast<int64_t>(e.byte_length)));
+    if (e.kind == CatalogEntry::kKindIndex) {
+      XST_RETURN_NOT_OK(ValidateIndexRange("catalog entry '" + name + "'", e));
+    } else {
+      XST_RETURN_NOT_OK(ValidateBlobRange("catalog entry '" + name + "'",
+                                          static_cast<int64_t>(e.first_page),
+                                          static_cast<int64_t>(e.page_span),
+                                          static_cast<int64_t>(e.byte_length)));
+    }
   }
   catalog_ = std::move(loaded);
   return Status::OK();
@@ -230,6 +249,11 @@ Result<size_t> SetStore::Scrub() {
   XST_RETURN_NOT_OK(CheckOpen());
   size_t verified = 0;
   for (const std::string& name : catalog_.Names()) {
+    XST_ASSIGN_OR_RAISE(CatalogEntry entry, catalog_.Get(name));
+    if (entry.kind == CatalogEntry::kKindIndex) {
+      Status valid = ValidateBTree(*pager_, IndexInfoOf(entry));
+      if (!valid.ok()) return valid.WithContext("scrub: set '" + name + "'");
+    }
     Result<XSet> value = GetLocked(name);
     if (!value.ok()) {
       return value.status().WithContext("scrub: set '" + name + "'");
@@ -248,10 +272,219 @@ Result<XSet> SetStore::Get(const std::string& name) {
 Result<XSet> SetStore::GetLocked(const std::string& name) {
   XST_RETURN_NOT_OK(CheckOpen());
   XST_ASSIGN_OR_RAISE(CatalogEntry entry, catalog_.Get(name));
+  if (entry.kind == CatalogEntry::kKindIndex) return GetIndexLocked(name, entry);
   XST_ASSIGN_OR_RAISE(std::string encoded, ReadBlob(entry));
   Result<XSet> decoded = DecodeXSetWhole(encoded);
   if (!decoded.ok()) return decoded.status().WithContext("set '" + name + "'");
   return decoded;
+}
+
+Result<XSet> SetStore::GetIndexLocked(const std::string& name,
+                                      const CatalogEntry& entry) {
+  const BTreeInfo info = IndexInfoOf(entry);
+#if XST_VALIDATE_LEVEL >= 2
+  XST_RETURN_NOT_OK(ValidateBTree(*pager_, info).WithContext("set '" + name + "'"));
+#endif
+  BTree tree(pager_.get(), info);
+  Result<BTreeCursorPos> pos = tree.SeekFirst();
+  if (!pos.ok()) return pos.status().WithContext("set '" + name + "'");
+  std::vector<Membership> members;
+  members.reserve(info.member_count);
+  for (;;) {
+    Result<bool> more = tree.ReadLeafBatch(&*pos, nullptr, &members);
+    if (!more.ok()) return more.status().WithContext("set '" + name + "'");
+    if (!*more) break;
+  }
+  // The leaf walk must agree with the catalog's cardinality and be strictly
+  // ascending — a half-applied mutation that reached disk surfaces here as
+  // Corruption rather than as a silently wrong set.
+  if (members.size() != info.member_count) {
+    return Status::Corruption("set '" + name + "': index holds " +
+                              std::to_string(members.size()) +
+                              " members but the catalog says " +
+                              std::to_string(info.member_count));
+  }
+  if (!IsCanonicalMemberList(members)) {
+    return Status::Corruption("set '" + name + "': index leaves out of order");
+  }
+  XST_DCHECK(IsCanonicalMemberList(members));
+  return XSet::FromSortedMembers(std::move(members));
+}
+
+Status SetStore::ValidateIndexRange(const std::string& what,
+                                    const CatalogEntry& entry) const {
+  const auto fail = [&](const std::string& detail) {
+    return Status::Corruption(what + ": " + detail +
+                              " (root=" + std::to_string(entry.first_page) +
+                              ", height=" + std::to_string(entry.page_span) +
+                              ", members=" + std::to_string(entry.byte_length) +
+                              ", file has " + std::to_string(pager_->page_count()) +
+                              " pages)");
+  };
+  if (entry.first_page < 1 || entry.first_page >= pager_->page_count()) {
+    return fail("root page out of range");
+  }
+  if (entry.page_span < 1 || entry.page_span > kMaxBTreeHeight) {
+    return fail("height out of range");
+  }
+  return Status::OK();
+}
+
+Status SetStore::CommitTreeMutation(const std::string& name, const BTreeInfo& info) {
+#if XST_VALIDATE_LEVEL >= 1
+  Status valid = ValidateBTree(*pager_, info);
+  if (!valid.ok()) {
+    Status reopen = Reopen();
+    if (!reopen.ok()) return reopen.WithContext("reopen after invalid tree '" + name + "'");
+    return valid.WithContext("mutated tree '" + name + "'");
+  }
+#endif
+  Catalog staged = catalog_;
+  staged.Put(name, IndexEntryOf(info));
+  Status persisted = PersistCatalog(staged);
+  if (!persisted.ok()) {
+    // The tree pages may be partly on disk with the old catalog still
+    // pointing at the old identity; discard resident state. A reopened
+    // store serves either the pre-state or detectable Corruption.
+    Status reopen = Reopen();
+    if (!reopen.ok()) {
+      return reopen.WithContext("reopen after failed commit of '" + name + "'");
+    }
+    return persisted.WithContext("commit of '" + name + "'");
+  }
+  catalog_ = std::move(staged);
+  return Status::OK();
+}
+
+Status SetStore::PutIndexed(const std::string& name, const XSet& value) {
+  XST_TRACE_SPAN("store.put_indexed");
+  MutexLock lock(&mu_);
+  XST_RETURN_NOT_OK(CheckOpen());
+  if (name.empty()) return Status::Invalid("set names must be non-empty");
+  if (value.is_atom()) {
+    return Status::Invalid("ordered-index storage holds member lists; atom '" +
+                           value.ToString() + "' has none (use Put)");
+  }
+  Result<BTreeInfo> info = BTree::Build(*pager_, value.members());
+  if (!info.ok()) return info.status().WithContext("index build for '" + name + "'");
+  return CommitTreeMutation(name, *info);
+}
+
+Status SetStore::InsertMember(const std::string& name, const Membership& m) {
+  XST_TRACE_SPAN("store.insert_member");
+  MutexLock lock(&mu_);
+  XST_RETURN_NOT_OK(CheckOpen());
+  XST_ASSIGN_OR_RAISE(CatalogEntry entry, catalog_.Get(name));
+  if (entry.kind != CatalogEntry::kKindIndex) {
+    return Status::Invalid("'" + name +
+                           "' is blob-stored; member mutation needs PutIndexed");
+  }
+  BTree tree(pager_.get(), IndexInfoOf(entry));
+  Result<bool> inserted = tree.Insert(m);
+  if (!inserted.ok()) {
+    Status reopen = Reopen();
+    if (!reopen.ok()) {
+      return reopen.WithContext("reopen after failed insert into '" + name + "'");
+    }
+    return inserted.status().WithContext("insert into '" + name + "'");
+  }
+  if (!*inserted) return Status::OK();  // already present; the tree is untouched
+  return CommitTreeMutation(name, tree.info());
+}
+
+Status SetStore::EraseMember(const std::string& name, const Membership& m) {
+  XST_TRACE_SPAN("store.erase_member");
+  MutexLock lock(&mu_);
+  XST_RETURN_NOT_OK(CheckOpen());
+  XST_ASSIGN_OR_RAISE(CatalogEntry entry, catalog_.Get(name));
+  if (entry.kind != CatalogEntry::kKindIndex) {
+    return Status::Invalid("'" + name +
+                           "' is blob-stored; member mutation needs PutIndexed");
+  }
+  BTree tree(pager_.get(), IndexInfoOf(entry));
+  Result<bool> erased = tree.Erase(m);
+  if (!erased.ok()) {
+    Status reopen = Reopen();
+    if (!reopen.ok()) {
+      return reopen.WithContext("reopen after failed erase from '" + name + "'");
+    }
+    return erased.status().WithContext("erase from '" + name + "'");
+  }
+  if (!*erased) return Status::OK();  // absent; the tree is untouched
+  return CommitTreeMutation(name, tree.info());
+}
+
+Result<bool> SetStore::ContainsMember(const std::string& name, const Membership& m) {
+  XST_TRACE_SPAN("store.contains_member");
+  MutexLock lock(&mu_);
+  XST_RETURN_NOT_OK(CheckOpen());
+  XST_ASSIGN_OR_RAISE(CatalogEntry entry, catalog_.Get(name));
+  if (entry.kind == CatalogEntry::kKindIndex) {
+    BTree tree(pager_.get(), IndexInfoOf(entry));
+    return tree.Contains(m);
+  }
+  XST_ASSIGN_OR_RAISE(XSet value, GetLocked(name));
+  for (const Membership& member : value.members()) {
+    if (CompareMembership(member, m) == 0) return true;
+  }
+  return false;
+}
+
+Result<StorageMode> SetStore::ModeOf(const std::string& name) const {
+  MutexLock lock(&mu_);
+  XST_RETURN_NOT_OK(CheckOpen());
+  XST_ASSIGN_OR_RAISE(CatalogEntry entry, catalog_.Get(name));
+  return entry.kind == CatalogEntry::kKindIndex ? StorageMode::kOrderedIndex
+                                                : StorageMode::kBlob;
+}
+
+Result<std::unique_ptr<MemberCursor>> SetStore::OpenCursor(const std::string& name) {
+  MutexLock lock(&mu_);
+  XST_RETURN_NOT_OK(CheckOpen());
+  XST_ASSIGN_OR_RAISE(CatalogEntry entry, catalog_.Get(name));
+  if (entry.kind == CatalogEntry::kKindIndex) {
+#if XST_VALIDATE_LEVEL >= 2
+    XST_RETURN_NOT_OK(
+        ValidateBTree(*pager_, IndexInfoOf(entry)).WithContext("set '" + name + "'"));
+#endif
+    BTree tree(pager_.get(), IndexInfoOf(entry));
+    XST_ASSIGN_OR_RAISE(BTreeCursorPos pos, tree.SeekFirst());
+    return std::unique_ptr<MemberCursor>(new BTreeCursor(*this, pos, std::nullopt));
+  }
+  XST_ASSIGN_OR_RAISE(XSet value, GetLocked(name));
+  return std::unique_ptr<MemberCursor>(new StoredSetCursor(std::move(value)));
+}
+
+Result<std::unique_ptr<MemberCursor>> SetStore::OpenElementRange(
+    const std::string& name, const XSet& lo, const XSet& hi) {
+  MutexLock lock(&mu_);
+  XST_RETURN_NOT_OK(CheckOpen());
+  XST_ASSIGN_OR_RAISE(CatalogEntry entry, catalog_.Get(name));
+  if (entry.kind == CatalogEntry::kKindIndex) {
+#if XST_VALIDATE_LEVEL >= 2
+    XST_RETURN_NOT_OK(
+        ValidateBTree(*pager_, IndexInfoOf(entry)).WithContext("set '" + name + "'"));
+#endif
+    // Seek the lower edge now; batches then touch only in-range leaves.
+    BTree tree(pager_.get(), IndexInfoOf(entry));
+    XST_ASSIGN_OR_RAISE(BTreeCursorPos pos, tree.SeekElement(lo));
+    return std::unique_ptr<MemberCursor>(new BTreeCursor(*this, pos, hi));
+  }
+  XST_ASSIGN_OR_RAISE(XSet value, GetLocked(name));
+  return std::unique_ptr<MemberCursor>(new ElementRangeCursor(
+      std::unique_ptr<MemberCursor>(new StoredSetCursor(std::move(value))), lo, hi));
+}
+
+Status SetStore::ReadIndexBatch(BTreeCursorPos* pos, const XSet* hi_element,
+                                std::vector<Membership>* out) {
+  MutexLock lock(&mu_);
+  XST_RETURN_NOT_OK(CheckOpen());
+  BTree tree(pager_.get(), BTreeInfo{});  // position-only reads ignore the root
+  const size_t before = out->size();
+  for (;;) {
+    XST_ASSIGN_OR_RAISE(bool more, tree.ReadLeafBatch(pos, hi_element, out));
+    if (!more || out->size() > before) return Status::OK();
+  }
 }
 
 Status SetStore::Delete(const std::string& name) {
@@ -294,8 +527,15 @@ Status SetStore::CopyLiveTo(const std::string& tmp_path) {
   XST_ASSIGN_OR_RAISE(std::unique_ptr<SetStore> fresh,
                       SetStore::Open(tmp_path, options_));
   for (const std::string& name : catalog_.Names()) {
+    XST_ASSIGN_OR_RAISE(CatalogEntry entry, catalog_.Get(name));
     XST_ASSIGN_OR_RAISE(XSet value, GetLocked(name));
-    XST_RETURN_NOT_OK(fresh->Put(name, value));
+    // Preserve the storage mode: an indexed set stays indexed (rebuilt
+    // compact, dropping stale nodes and dead overflow chains).
+    if (entry.kind == CatalogEntry::kKindIndex) {
+      XST_RETURN_NOT_OK(fresh->PutIndexed(name, value));
+    } else {
+      XST_RETURN_NOT_OK(fresh->Put(name, value));
+    }
   }
   return fresh->Flush();
 }

@@ -34,12 +34,20 @@
 
 #include "src/common/result.h"
 #include "src/common/sync.h"
+#include "src/core/cursor.h"
 #include "src/core/xset.h"
+#include "src/store/btree.h"
 #include "src/store/catalog.h"
 #include "src/store/file.h"
 #include "src/store/pager.h"
 
 namespace xst {
+
+/// \brief How a named set is laid out on pages.
+enum class StorageMode {
+  kBlob,          ///< one encoded value across a contiguous page span
+  kOrderedIndex,  ///< B+tree of memberships in canonical order (btree.h)
+};
 
 struct SetStoreOptions {
   size_t buffer_pool_pages = 64;
@@ -77,9 +85,55 @@ class SetStore {
   Status PutBatch(const std::vector<std::pair<std::string, XSet>>& entries)
       XST_EXCLUDES(mu_);
 
+  /// \brief Writes (or replaces) a named SET as a B+tree ordered index:
+  /// range and point access paths touch O(height + matching leaves) pages
+  /// instead of decoding the whole value. Atoms have no member list and are
+  /// rejected with Invalid. Get/Scrub/cursors work on either storage mode.
+  Status PutIndexed(const std::string& name, const XSet& value) XST_EXCLUDES(mu_);
+
+  /// \brief Inserts one membership into an ordered-index set (Invalid for
+  /// blob-stored names). Idempotent: inserting a present member is a no-op.
+  /// After an I/O failure mid-mutation the store reloads from disk, which
+  /// holds either a consistent pre-state or detectable Corruption.
+  Status InsertMember(const std::string& name, const Membership& m) XST_EXCLUDES(mu_);
+
+  /// \brief Removes one membership from an ordered-index set (Invalid for
+  /// blob-stored names). Erasing an absent member is a no-op.
+  Status EraseMember(const std::string& name, const Membership& m) XST_EXCLUDES(mu_);
+
+  /// \brief True iff the stored member list contains `m`. For indexed sets
+  /// this is one root-to-leaf descent; blob sets decode and probe.
+  Result<bool> ContainsMember(const std::string& name, const Membership& m)
+      XST_EXCLUDES(mu_);
+
+  /// \brief The storage mode of a stored name.
+  Result<StorageMode> ModeOf(const std::string& name) const XST_EXCLUDES(mu_);
+
+  /// \brief Opens a streaming cursor over the stored set's canonical member
+  /// list. Indexed sets stream leaf-by-leaf without materializing the set;
+  /// blob sets decode once and serve batch slices. The cursor is
+  /// invalidated by any mutation of the store.
+  Result<std::unique_ptr<MemberCursor>> OpenCursor(const std::string& name)
+      XST_EXCLUDES(mu_);
+
+  /// \brief Opens a cursor over {z^w ∈ name : lo ≤ z ≤ hi} (element-interval
+  /// σ-restriction under the structural order). Indexed sets seek the lower
+  /// edge and read only in-range leaves.
+  Result<std::unique_ptr<MemberCursor>> OpenElementRange(const std::string& name,
+                                                         const XSet& lo,
+                                                         const XSet& hi)
+      XST_EXCLUDES(mu_);
+
+  /// \brief One leaf batch for a streaming index cursor (the BTreeCursor
+  /// plumbing in store/cursor.h, not a user API): appends entries and
+  /// advances `pos`; an untouched `out` means the cursor is exhausted.
+  Status ReadIndexBatch(BTreeCursorPos* pos, const XSet* hi_element,
+                        std::vector<Membership>* out) XST_EXCLUDES(mu_);
+
   /// \brief Full-store verification: re-reads every live blob through the
-  /// checksummed page path and decodes it. Returns the number of blobs
-  /// verified, or the first Corruption/IOError encountered.
+  /// checksummed page path and decodes it; ordered indexes additionally get
+  /// a full structural ValidateBTree. Returns the number of sets verified,
+  /// or the first Corruption/IOError encountered.
   Result<size_t> Scrub() XST_EXCLUDES(mu_);
 
   /// \brief Reads a named set back. NotFound / Corruption as appropriate.
@@ -145,6 +199,16 @@ class SetStore {
   /// Get/Flush bodies for callers already holding the lock (Scrub, Compact).
   Result<XSet> GetLocked(const std::string& name) XST_REQUIRES(mu_);
   Status FlushLocked() XST_REQUIRES(mu_);
+  /// Materializes an ordered-index set from its leaves (count-checked).
+  Result<XSet> GetIndexLocked(const std::string& name, const CatalogEntry& entry)
+      XST_REQUIRES(mu_);
+  /// Commits a tree mutation: validate (at XST_VALIDATE level ≥ 1), stage
+  /// the new tree identity, persist; reopens from disk on failure.
+  Status CommitTreeMutation(const std::string& name, const BTreeInfo& info)
+      XST_REQUIRES(mu_);
+  /// Corruption unless an index entry's root/height are plausible.
+  Status ValidateIndexRange(const std::string& what, const CatalogEntry& entry) const
+      XST_REQUIRES(mu_);
   /// Compact's rewrite pass: copies every live set into the store at
   /// `tmp_path`. A named helper (not a lambda) so the analysis can see the
   /// lock requirement.

@@ -154,6 +154,30 @@ class Compiler {
         program_.code.push_back({OpCode::kClosure, dst, a, 0, 0});
         break;
       }
+      case ExprKind::kRange: {
+        XST_ASSIGN_OR_RAISE(uint16_t spec,
+                            AddSpec(e->sigma(), Sigma{XSet::Empty(), XSet::Empty()}));
+        // Access-path selection: a range directly over a named leaf streams
+        // through CursorSource::OpenElementRange (kLoadRange), so an
+        // ordered-index source seeks the lower edge and reads only in-range
+        // leaves — the set is never materialized here. Any other carrier is
+        // computed first and sliced in the arena (kRange).
+        if (e->child(0)->kind() == ExprKind::kNamed) {
+          if (program_.names.size() >= kMaxSlots) {
+            return Status::CapacityError("plan needs more than 65535 names");
+          }
+          XST_ASSIGN_OR_RAISE(dst, AllocReg());
+          program_.names.push_back(e->child(0)->name());
+          program_.code.push_back(
+              {OpCode::kLoadRange, dst,
+               static_cast<uint16_t>(program_.names.size() - 1), 0, spec});
+        } else {
+          XST_ASSIGN_OR_RAISE(uint16_t a, Lower(e->child(0), false));
+          XST_ASSIGN_OR_RAISE(dst, AllocReg());
+          program_.code.push_back({OpCode::kRange, dst, a, 0, spec});
+        }
+        break;
+      }
     }
     reg_of_.emplace(e.get(), dst);
     return dst;
@@ -192,6 +216,10 @@ const char* OpCodeName(OpCode op) {
       return "Closure";
     case OpCode::kMaterialize:
       return "Materialize";
+    case OpCode::kRange:
+      return "Range";
+    case OpCode::kLoadRange:
+      return "LoadRange";
   }
   return "?";
 }
@@ -218,8 +246,14 @@ std::string Program::ToString() const {
         out.append(", r").append(std::to_string(in.b));
         break;
       case OpCode::kRescope:
+      case OpCode::kRange:
         out.append(" r").append(std::to_string(in.dst));
         out.append(" <- r").append(std::to_string(in.a));
+        out.append(" sigma#").append(std::to_string(in.spec));
+        break;
+      case OpCode::kLoadRange:
+        out.append(" r").append(std::to_string(in.dst));
+        out.append(" <- @").append(names[in.a]);
         out.append(" sigma#").append(std::to_string(in.spec));
         break;
       case OpCode::kRestrict:

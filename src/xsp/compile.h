@@ -20,6 +20,10 @@
 //   kRelProduct    dst ← a /σω b                    (materialized operands)
 //   kClosure       dst ← a⁺                         (materialized operand)
 //   kMaterialize   dst ← intern(dst)                (FromSortedMembers)
+//   kRange         dst ← {z^w ∈ a : lo ≤ z ≤ hi}    (contiguous span slice)
+//   kLoadRange     dst ← range cursor over names[a] (ordered-index access
+//                  path: CursorSource::OpenElementRange seeks the lower
+//                  edge; a B+tree-backed source reads only in-range leaves)
 //
 // The VM's dispatch switch over this enum must be exhaustive; lint enforces
 // it (vm-opcode-dispatch in tools/xst_lint.py / xst_astcheck.py).
@@ -49,10 +53,12 @@ enum class OpCode : uint8_t {
   kRelProduct,
   kClosure,
   kMaterialize,
+  kRange,
+  kLoadRange,
 };
 
 /// \brief Number of OpCode enumerators (bounds per-opcode stats arrays).
-inline constexpr size_t kNumOpCodes = 12;
+inline constexpr size_t kNumOpCodes = 14;
 
 /// \brief Static name of an opcode ("LoadBinding", "Image", ...).
 const char* OpCodeName(OpCode op);
@@ -68,7 +74,8 @@ struct Instr {
   uint16_t spec = 0;
 };
 
-/// \brief σ (and for kRelProduct also ω) attached to an instruction.
+/// \brief σ (and for kRelProduct also ω) attached to an instruction. The
+/// range opcodes reuse sigma as the interval: s1 = lo, s2 = hi.
 struct SpecEntry {
   Sigma sigma{XSet::Empty(), XSet::Empty()};
   Sigma omega{XSet::Empty(), XSet::Empty()};

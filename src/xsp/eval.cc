@@ -90,6 +90,10 @@ Result<XSet> EvalImpl(const ExprPtr& expr, const Bindings& bindings, EvalStats* 
       if (!closure.ok()) return closure.status();
       return record(*closure);
     }
+    case ExprKind::kRange: {
+      XST_ASSIGN_OR_RAISE(XSet r, EvalImpl(expr->child(0), bindings, stats, observer, false));
+      return record(ElementRangeRestrict(r, expr->sigma().s1, expr->sigma().s2));
+    }
   }
   return Status::Invalid("unknown expression kind");
 }

@@ -86,6 +86,14 @@ ExprPtr Expr::Closure(ExprPtr r) {
   return node;
 }
 
+ExprPtr Expr::Range(ExprPtr r, XSet lo, XSet hi) {
+  auto node = std::shared_ptr<Expr>(new Expr());
+  node->kind_ = ExprKind::kRange;
+  node->children_ = {std::move(r)};
+  node->sigma_ = Sigma{std::move(lo), std::move(hi)};
+  return node;
+}
+
 std::string Expr::ToString() const {
   switch (kind_) {
     case ExprKind::kLiteral: {
@@ -116,6 +124,9 @@ std::string Expr::ToString() const {
              children_[0]->ToString() + ", " + children_[1]->ToString() + ")";
     case ExprKind::kClosure:
       return "closure(" + children_[0]->ToString() + ")";
+    case ExprKind::kRange:
+      return "range[" + sigma_.s1.ToString() + ", " + sigma_.s2.ToString() + "](" +
+             children_[0]->ToString() + ")";
   }
   return "?";
 }

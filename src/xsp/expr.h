@@ -31,6 +31,7 @@ enum class ExprKind {
   kImage,       ///< children[0][children[1]]_{⟨spec, spec2⟩}
   kRelProduct,  ///< children[0] /σω children[1]
   kClosure,     ///< transitive closure (children[0])⁺ of a pair relation
+  kRange,       ///< {z^w ∈ children[0] : lo ≤ z ≤ hi} (element interval)
 };
 
 class Expr;
@@ -45,7 +46,7 @@ class Expr {
   const std::vector<ExprPtr>& children() const { return children_; }
   const ExprPtr& child(size_t i) const { return children_[i]; }
   /// σ for kDomain/kRestrict (in .s1) and kImage; σ of the left operand for
-  /// kRelProduct.
+  /// kRelProduct; the interval bounds ⟨lo, hi⟩ for kRange.
   const Sigma& sigma() const { return sigma_; }
   /// ω of the right operand for kRelProduct.
   const Sigma& omega() const { return omega_; }
@@ -68,6 +69,7 @@ class Expr {
   static ExprPtr Image(ExprPtr r, ExprPtr probes, Sigma sigma);
   static ExprPtr RelProduct(ExprPtr f, ExprPtr g, Sigma sigma, Sigma omega);
   static ExprPtr Closure(ExprPtr r);
+  static ExprPtr Range(ExprPtr r, XSet lo, XSet hi);
 
  private:
   Expr() = default;

@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "src/common/macros.h"
+#include "src/core/order.h"
 #include "src/cst/relation.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -74,6 +75,8 @@ class Rewriter {
         return Expr::RelProduct(rewritten[0], rewritten[1], expr->sigma(), expr->omega());
       case ExprKind::kClosure:
         return Expr::Closure(rewritten[0]);
+      case ExprKind::kRange:
+        return Expr::Range(rewritten[0], expr->sigma().s1, expr->sigma().s2);
       default:
         return expr;
     }
@@ -138,8 +141,29 @@ class Rewriter {
           return EmptyLit();
         }
         break;
+      case ExprKind::kRange:
+        if (IsLiteralEmpty(e->child(0)) ||
+            Compare(e->sigma().s1, e->sigma().s2) > 0) {
+          Count(&stats_->empty_propagation);
+          return EmptyLit();
+        }
+        break;
       default:
         break;
+    }
+
+    // R6: fuse nested element ranges into one interval intersection. The
+    // empty-interval case (max lo > min hi) falls to R4 on the next round.
+    if (e->kind() == ExprKind::kRange && e->child(0)->kind() == ExprKind::kRange) {
+      const ExprPtr& inner = e->child(0);
+      const XSet& lo = Compare(e->sigma().s1, inner->sigma().s1) >= 0
+                           ? e->sigma().s1
+                           : inner->sigma().s1;
+      const XSet& hi = Compare(e->sigma().s2, inner->sigma().s2) <= 0
+                           ? e->sigma().s2
+                           : inner->sigma().s2;
+      Count(&stats_->range_fusion);
+      return Expr::Range(inner->child(0), lo, hi);
     }
 
     // R1: fuse 𝔇_{σ₂}(R |_{σ₁} A) into an image node.
@@ -223,6 +247,9 @@ Result<ExprPtr> Optimize(const ExprPtr& expr, const Bindings& bindings,
       obs::MetricsRegistry::Global().GetCounter("xsp.optimizer.empty_propagation");
   static obs::Counter& r5 =
       obs::MetricsRegistry::Global().GetCounter("xsp.optimizer.restrict_pushdown");
+  static obs::Counter& r6 =
+      obs::MetricsRegistry::Global().GetCounter("xsp.optimizer.range_fusion");
+  r6.Add(static_cast<uint64_t>(sink->range_fusion - before.range_fusion));
   r1.Add(static_cast<uint64_t>(sink->fuse_image - before.fuse_image));
   r2.Add(static_cast<uint64_t>(sink->compose_images - before.compose_images));
   r3.Add(static_cast<uint64_t>(sink->merge_image_probes - before.merge_image_probes));

@@ -21,6 +21,14 @@
 //   R5 restrict-pushdown   (Q ∪ R) |_σ A  →  (Q |_σ A) ∪ (R |_σ A)
 //                          (C.1 (i) lifted to restriction).
 //
+//   R6 range-fusion        range[l₂,h₂](range[l₁,h₁](R)) →
+//                          range[max(l₁,l₂), min(h₁,h₂)](R) (interval
+//                          intersection under the structural total order);
+//                          an empty interval (lo > hi) or empty carrier
+//                          collapses to ∅. Keeping ranges as single nodes
+//                          over named leaves is what lets the compiler pick
+//                          the ordered-index access path (kLoadRange).
+//
 // Optimize() applies the rules to fixpoint (bounded), resolving kNamed
 // leaves against the bindings when a rule needs carrier values (R2).
 
@@ -38,10 +46,11 @@ struct OptimizerStats {
   int merge_image_probes = 0;
   int empty_propagation = 0;
   int restrict_pushdown = 0;
+  int range_fusion = 0;
 
   int total() const {
     return fuse_image + compose_images + merge_image_probes + empty_propagation +
-           restrict_pushdown;
+           restrict_pushdown + range_fusion;
   }
 };
 

@@ -146,6 +146,20 @@ class PlanParser {
       XST_RETURN_NOT_OK(Expect(')'));
       return Expr::Closure(*r);
     }
+    if (op == "range") {
+      XST_RETURN_NOT_OK(Expect('['));
+      Result<XSet> lo = ParseValue();
+      if (!lo.ok()) return lo.status();
+      XST_RETURN_NOT_OK(Expect(','));
+      Result<XSet> hi = ParseValue();
+      if (!hi.ok()) return hi.status();
+      XST_RETURN_NOT_OK(Expect(']'));
+      XST_RETURN_NOT_OK(Expect('('));
+      Result<ExprPtr> r = ParseExpr();
+      if (!r.ok()) return r;
+      XST_RETURN_NOT_OK(Expect(')'));
+      return Expr::Range(*r, *lo, *hi);
+    }
     if (op == "domain") {
       XST_RETURN_NOT_OK(Expect('['));
       Result<XSet> spec = ParseValue();

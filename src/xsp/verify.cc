@@ -147,6 +147,20 @@ Status Step(const Program& p, size_t pc, std::vector<RegType>& types,
       XST_RETURN_NOT_OK(interned_operand(in.a, &judgment->a_before));
       return fresh_dst(RegType::kHandle);
     }
+    case OpCode::kRange: {
+      XST_RETURN_NOT_OK(require_zero(in.b, "b"));
+      XST_RETURN_NOT_OK(table_index(in.spec, p.specs.size(), "spec"));
+      XST_RETURN_NOT_OK(reg_operand(in.a, &judgment->a_before));
+      return fresh_dst(RegType::kSpan);
+    }
+    case OpCode::kLoadRange: {
+      XST_RETURN_NOT_OK(table_index(in.a, p.names.size(), "binding name"));
+      XST_RETURN_NOT_OK(require_zero(in.b, "b"));
+      XST_RETURN_NOT_OK(table_index(in.spec, p.specs.size(), "spec"));
+      // Like kLoadBinding: may stream as a span or resolve whole; span is
+      // the sound join.
+      return fresh_dst(RegType::kSpan);
+    }
     case OpCode::kMaterialize: {
       XST_RETURN_NOT_OK(require_zero(in.b, "b"));
       XST_RETURN_NOT_OK(require_zero(in.spec, "spec"));

@@ -140,6 +140,9 @@ class VmExecutor {
                  batch = cursor->NextBatch()) {
               buf->insert(buf->end(), batch.begin(), batch.end());
             }
+            // Page-backed cursors signal failure and exhaustion identically
+            // (an empty batch); a truncated operand must not evaluate.
+            XST_RETURN_NOT_OK(cursor->status());
             regs[in.dst].interned = false;
           }
           break;
@@ -208,6 +211,33 @@ class VmExecutor {
           regs[in.dst].interned = true;
           if (in.dst != result_reg) {
             local.interned_intermediate_rows += regs[in.dst].set.cardinality();
+          }
+          break;
+        }
+        case OpCode::kRange: {
+          XST_TRACE_SPAN("vm.range");
+          const Sigma& bounds = program.specs[in.spec].sigma;
+          ElementRangeSpans(regs[in.a].Span(), bounds.s1, bounds.s2,
+                            regs[in.dst].buf);
+          break;
+        }
+        case OpCode::kLoadRange: {
+          XST_TRACE_SPAN("vm.load_range");
+          const Sigma& bounds = program.specs[in.spec].sigma;
+          XST_ASSIGN_OR_RAISE(
+              std::unique_ptr<MemberCursor> cursor,
+              source.OpenElementRange(program.names[in.a], bounds.s1, bounds.s2));
+          if (std::optional<XSet> whole = cursor->WholeSet()) {
+            regs[in.dst].set = std::move(*whole);
+            regs[in.dst].interned = true;
+          } else {
+            std::vector<Membership>* buf = regs[in.dst].buf;
+            for (MemberSpan batch = cursor->NextBatch(); !batch.empty();
+                 batch = cursor->NextBatch()) {
+              buf->insert(buf->end(), batch.begin(), batch.end());
+            }
+            XST_RETURN_NOT_OK(cursor->status());
+            regs[in.dst].interned = false;
           }
           break;
         }

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <random>
+
+#include "src/core/validate.h"
 #include "src/store/codec.h"
 #include "tests/testing.h"
 
@@ -9,6 +13,15 @@ namespace xst {
 namespace {
 
 using testing::X;
+
+uint64_t FuzzSeed() {
+  if (const char* env = std::getenv("XST_FUZZ_SEED")) {
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env) return static_cast<uint64_t>(v);
+  }
+  return 1977;  // the year of the paper
+}
 
 TEST(Varint, RoundTrips) {
   for (uint64_t v : {0ull, 1ull, 127ull, 128ull, 300ull, 16383ull, 16384ull,
@@ -30,6 +43,36 @@ TEST(Varint, TruncatedFails) {
   size_t offset = 0;
   uint64_t out;
   EXPECT_FALSE(GetVarint(buf, &offset, &out));
+}
+
+TEST(Varint, OverflowBitsInTenthByteFail) {
+  // Nine 0xff continuation bytes put the decoder at shift 63; a 10th byte
+  // with any payload bit above bit 0 would be silently shifted out of the
+  // uint64_t (the pre-fix decoder returned a wrong value here).
+  std::string buf(9, static_cast<char>(0xff));
+  buf.push_back(0x7f);  // bits 1..6 overflow
+  size_t offset = 0;
+  uint64_t out = 0;
+  EXPECT_FALSE(GetVarint(buf, &offset, &out));
+  EXPECT_EQ(offset, 0u);  // failure restores the offset
+
+  // The same shape with only bit 0 set is UINT64_MAX and must still decode.
+  buf.back() = 0x01;
+  offset = 0;
+  ASSERT_TRUE(GetVarint(buf, &offset, &out));
+  EXPECT_EQ(out, 0xffffffffffffffffull);
+  EXPECT_EQ(offset, buf.size());
+}
+
+TEST(Varint, MoreThanTenBytesFailsWithOffsetRestored) {
+  // Eleven continuation bytes: > 64 bits of payload. The pre-fix decoder
+  // returned false but left *offset advanced ten bytes into the garbage.
+  std::string buf(11, static_cast<char>(0x80));
+  buf.push_back(0x00);
+  size_t offset = 0;
+  uint64_t out = 0;
+  EXPECT_FALSE(GetVarint(buf, &offset, &out));
+  EXPECT_EQ(offset, 0u);
 }
 
 TEST(ZigZag, RoundTrips) {
@@ -94,6 +137,87 @@ TEST(Codec, DecodeRejectsGarbage) {
   PutVarint(10, &trunc);
   trunc += "abc";
   EXPECT_TRUE(DecodeXSetWhole(trunc).status().IsCorruption());
+}
+
+TEST(Codec, AbsurdCountGuardIsExact) {
+  // Four payload bytes remain after the count, so at two tag bytes per
+  // membership at most two memberships can follow. The pre-fix guard
+  // (remaining/2 + 1) admitted count=3 and only failed later with a
+  // misleading "truncated value"; the exact guard rejects the count itself.
+  std::string bad;
+  bad.push_back(0x04);
+  PutVarint(3, &bad);
+  bad.append(4, '\x00');
+  Status st = DecodeXSetWhole(bad).status();
+  EXPECT_TRUE(st.IsCorruption());
+  EXPECT_NE(st.ToString().find("member count overruns buffer"), std::string::npos)
+      << st.ToString();
+  // count == remaining/2 is still admitted (and decodes: two ∅^∅ members
+  // collapse to one).
+  std::string ok;
+  ok.push_back(0x04);
+  PutVarint(2, &ok);
+  ok.append(4, '\x00');
+  EXPECT_TRUE(DecodeXSetWhole(ok).ok());
+}
+
+TEST(Codec, RejectsNonCanonicalEmptySetEncoding) {
+  // ∅ has exactly one encoding: the kTagEmpty byte. A zero-count kTagSet
+  // would be a second spelling — decode must reject it so re-encoding always
+  // round-trips byte-for-byte (the checksum/dedup assumption).
+  const std::string canonical(1, '\x00');
+  Result<XSet> empty = DecodeXSetWhole(canonical);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  EXPECT_EQ(EncodeXSetToString(*empty), canonical);
+
+  std::string zero_count;
+  zero_count.push_back(0x04);
+  zero_count.push_back(0x00);
+  Status st = DecodeXSetWhole(zero_count).status();
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+}
+
+// Seeded mutation fuzz: encode random sets, corrupt the bytes, and require
+// decode to either fail with a Status or produce a structurally valid XSet —
+// never crash, never hand back a corrupt node. Replay failures with
+// XST_FUZZ_SEED=<seed>.
+TEST(CodecFuzz, MutatedEncodingsNeverYieldInvalidSets) {
+  const uint64_t seed = FuzzSeed();
+  SCOPED_TRACE("XST_FUZZ_SEED=" + std::to_string(seed));
+  testing::RandomSetGen gen(seed);
+  std::mt19937_64 rng(seed ^ 0x5eedc0dec0ffeeull);
+  int decoded_ok = 0;
+  for (int round = 0; round < 300; ++round) {
+    const std::string clean = EncodeXSetToString(gen.Value(4, 5));
+    for (int variant = 0; variant < 8; ++variant) {
+      std::string buf = clean;
+      switch (rng() % 3) {
+        case 0:  // flip one bit
+          if (!buf.empty()) buf[rng() % buf.size()] ^= static_cast<char>(1u << (rng() % 8));
+          break;
+        case 1:  // overwrite one byte
+          if (!buf.empty()) buf[rng() % buf.size()] = static_cast<char>(rng() & 0xff);
+          break;
+        default:  // truncate to a prefix
+          buf.resize(rng() % (buf.size() + 1));
+          break;
+      }
+      Result<XSet> r = DecodeXSetWhole(buf);
+      if (r.ok()) {
+        ++decoded_ok;
+        Status valid = ValidateXSet(*r);
+        ASSERT_TRUE(valid.ok()) << valid.ToString();
+        // A decodable mutant must re-encode deterministically.
+        Result<XSet> again = DecodeXSetWhole(EncodeXSetToString(*r));
+        ASSERT_TRUE(again.ok());
+        EXPECT_EQ(*again, *r);
+      }
+    }
+  }
+  // Some mutants survive (bit flips inside atom payloads); the interesting
+  // assertion is that every survivor validates.
+  SUCCEED() << decoded_ok << " mutants decoded OK";
 }
 
 TEST(Codec, DecodeRejectsTrailingBytes) {

@@ -252,6 +252,167 @@ void SweepOp(OpKind op, const std::string& tag) {
 
 TEST(FaultInjection, Put) { SweepOp(OpKind::kPut, "put"); }
 
+// --- Ordered-index (B+tree) mutations under the same fault matrix ---
+//
+// Tree ops are sequences of page mutations (insert/erase driving splits and
+// merges), so a mid-sequence fault legitimately leaves a *prefix* of the
+// mutation list applied — each individual mutation is atomic, the sequence
+// is not. The contract adapts: every surviving state must be the seed plus
+// an exact prefix of the mutations, every read exact or Corruption, and a
+// fault-free reopen must either Scrub clean or report Corruption — never a
+// structurally broken tree served as if healthy.
+
+// ~600-byte entries: a handful per leaf, so a few dozen members span
+// multiple leaves and the mutation lists below force real splits/merges.
+Membership TreeMember(int i) {
+  return Membership{XSet::Pair(XSet::Int(i), XSet::String(std::string(500, 'x'))),
+                    XSet::Empty()};
+}
+
+XSet TreeSeedValue() {
+  std::vector<Membership> members;
+  for (int i = 0; i < 120; i += 2) members.push_back(TreeMember(i));  // 60 members
+  return XSet::FromMembers(std::move(members));
+}
+
+enum class TreeOpKind { kBuild, kInsertSplit, kEraseMerge };
+
+// The mutation list for each op; empty for kBuild (one-shot PutIndexed).
+std::vector<Membership> TreeMutations(TreeOpKind op) {
+  std::vector<Membership> ms;
+  if (op == TreeOpKind::kInsertSplit) {
+    for (int i = 1; i < 33; i += 2) ms.push_back(TreeMember(i));  // 16 inserts
+  } else if (op == TreeOpKind::kEraseMerge) {
+    for (int i = 0; i < 60; i += 2) ms.push_back(TreeMember(i));  // 30 erases
+  }
+  return ms;
+}
+
+// Every legitimate surviving value: the seed with mutations[0..j) applied.
+std::vector<XSet> TreeValidStates(TreeOpKind op) {
+  XSet seed = TreeSeedValue();
+  std::vector<Membership> mutations = TreeMutations(op);
+  std::vector<XSet> states;
+  std::vector<Membership> members(seed.members().begin(), seed.members().end());
+  states.push_back(seed);
+  for (const Membership& m : mutations) {
+    if (op == TreeOpKind::kInsertSplit) {
+      members.push_back(m);
+    } else {
+      members.erase(std::remove_if(members.begin(), members.end(),
+                                   [&](const Membership& x) {
+                                     return CompareMembership(x, m) == 0;
+                                   }),
+                    members.end());
+    }
+    states.push_back(XSet::FromMembers(members));
+  }
+  return states;
+}
+
+void SeedTreeStore(const std::string& path) {
+  std::remove(path.c_str());
+  auto store = SetStore::Open(path, SetStoreOptions{.buffer_pool_pages = 4});
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_TRUE((*store)->PutIndexed("tree", TreeSeedValue()).ok());
+}
+
+bool IsOneOf(const XSet& value, const std::vector<XSet>& states) {
+  for (const XSet& s : states) {
+    if (value == s) return true;
+  }
+  return false;
+}
+
+void SweepTreeOpChannel(TreeOpKind op, const Channel& channel,
+                        const std::string& path) {
+  const std::vector<Membership> mutations = TreeMutations(op);
+  const std::vector<XSet> valid = TreeValidStates(op);
+
+  for (int64_t k = 0;; ++k) {
+    ASSERT_LT(k, 900) << "fault schedule did not converge";
+    SCOPED_TRACE(std::string("channel=") + channel.name + " k=" + std::to_string(k));
+    ASSERT_NO_FATAL_FAILURE(SeedTreeStore(path));
+
+    auto state = std::make_shared<FaultState>();
+    channel.arm(*state, k);
+    SetStoreOptions options;
+    options.buffer_pool_pages = 4;
+    options.file_factory = FaultFileFactory(state);
+
+    Status op_status = Status::OK();
+    {
+      auto store = SetStore::Open(path, options);
+      if (store.ok()) {
+        SetStore& s = **store;
+        if (op == TreeOpKind::kBuild) {
+          op_status = s.PutIndexed("tree2", TreeSeedValue());
+        } else {
+          for (const Membership& m : mutations) {
+            op_status = op == TreeOpKind::kInsertSplit ? s.InsertMember("tree", m)
+                                                       : s.EraseMember("tree", m);
+            if (!op_status.ok()) break;
+          }
+        }
+        // Resident contract: whatever the store still serves is a valid
+        // prefix state (reads may fail under the dead device, never lie).
+        Result<XSet> got = s.Get("tree");
+        if (got.ok()) {
+          EXPECT_TRUE(IsOneOf(*got, valid)) << "resident tree is no prefix state";
+        }
+      } else {
+        op_status = store.status();
+      }
+    }
+
+    const bool fired = state->triggered;
+    auto clean = SetStore::Open(path, SetStoreOptions{.buffer_pool_pages = 4});
+    if (!clean.ok()) {
+      // Unopenable is fine, but only detectably.
+      EXPECT_TRUE(clean.status().IsCorruption()) << clean.status().ToString();
+    } else {
+      // Reopened fault-free: the tree must validate or fail detectably.
+      Status scrub = (*clean)->Scrub().status();
+      EXPECT_TRUE(scrub.ok() || scrub.IsCorruption()) << scrub.ToString();
+      Result<XSet> got = (*clean)->Get("tree");
+      if (got.ok()) {
+        EXPECT_TRUE(IsOneOf(*got, valid)) << "reopened tree is no prefix state";
+        if (op_status.ok() && op != TreeOpKind::kBuild) {
+          // Reported success is durable: the full mutation list applied.
+          EXPECT_EQ(*got, valid.back());
+        }
+      } else {
+        EXPECT_TRUE(got.status().IsCorruption()) << got.status().ToString();
+      }
+      if (op == TreeOpKind::kBuild && op_status.ok()) {
+        Result<XSet> built = (*clean)->Get("tree2");
+        ASSERT_TRUE(built.ok()) << built.status().ToString();
+        EXPECT_EQ(*built, TreeSeedValue());
+      }
+    }
+
+    if (!fired) break;
+  }
+}
+
+void SweepTreeOp(TreeOpKind op, const std::string& tag) {
+  const std::string path = TestPath(tag);
+  for (const Channel& channel : kChannels) {
+    SweepTreeOpChannel(op, channel, path);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjection, TreeBuild) { SweepTreeOp(TreeOpKind::kBuild, "tree_build"); }
+
+TEST(FaultInjection, TreeInsertSplit) {
+  SweepTreeOp(TreeOpKind::kInsertSplit, "tree_insert");
+}
+
+TEST(FaultInjection, TreeEraseMerge) {
+  SweepTreeOp(TreeOpKind::kEraseMerge, "tree_erase");
+}
+
 TEST(FaultInjection, PutBatch) { SweepOp(OpKind::kPutBatch, "putbatch"); }
 
 TEST(FaultInjection, Delete) { SweepOp(OpKind::kDelete, "delete"); }

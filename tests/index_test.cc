@@ -116,6 +116,28 @@ TEST(AttributeIndexTest, SelectInMatchesAlgebra) {
   EXPECT_EQ(*index->SelectIn(keys), *rel::SelectIn(orders->xst, "customer_id", keys));
 }
 
+TEST(AttributeIndexTest, SelectRangeMatchesAlgebra) {
+  rel::WorkloadSpec spec;
+  spec.row_count = 600;
+  spec.key_cardinality = 40;
+  auto orders = rel::MakeOrders(spec);
+  ASSERT_TRUE(orders.ok());
+  Result<rel::AttributeIndex> index = rel::AttributeIndex::Build(orders->xst, "customer_id");
+  ASSERT_TRUE(index.ok());
+  // An interval select through the index equals the union of point selects
+  // over every in-range key the scan sees.
+  for (auto [lo, hi] : std::vector<std::pair<int64_t, int64_t>>{
+           {5, 12}, {0, 39}, {30, 30}, {38, 100}, {17, 3}}) {
+    std::vector<XSet> in_range;
+    for (int64_t k = lo; k <= hi && k < 40; ++k) in_range.push_back(XSet::Int(k));
+    Result<rel::Relation> via_index = index->SelectRange(XSet::Int(lo), XSet::Int(hi));
+    Result<rel::Relation> via_scan = rel::SelectIn(orders->xst, "customer_id", in_range);
+    ASSERT_TRUE(via_index.ok());
+    ASSERT_TRUE(via_scan.ok());
+    EXPECT_EQ(*via_index, *via_scan) << "range [" << lo << ", " << hi << "]";
+  }
+}
+
 TEST(AttributeIndexTest, UnknownAttributeFails) {
   rel::WorkloadSpec spec;
   spec.row_count = 10;

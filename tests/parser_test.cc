@@ -60,6 +60,14 @@ TEST(PlanParser, RelProduct) {
   EXPECT_EQ(EvalPlan("relprod[<1>, <2>; <1>, {2^2}](@f, @g)"), X("{{a^1, 1^2}}"));
 }
 
+TEST(PlanParser, Range) {
+  EXPECT_EQ(EvalPlan("range[<a, x>, <b, y>](@r)"), X("{<a, x>, <b, y>}"));
+  EXPECT_EQ(EvalPlan("range[<b, y>, <a, x>](@r)"), X("{}"));  // lo > hi
+  EXPECT_EQ(EvalPlan("range[{}, <zz, zz, zz>](@r)"), Env()["r"]);
+  EXPECT_TRUE(ParsePlan("range[<a>](@r)").status().IsParseError());
+  EXPECT_TRUE(ParsePlan("range[<a>, <b>](").status().IsParseError());
+}
+
 TEST(PlanParser, NestedPlansAndWhitespace) {
   EXPECT_EQ(EvalPlan("image[ <1> , <2> ] ( @g , image[<1>, <2>](@f, {<a>}) )"),
             X("{<1>}"));

@@ -617,6 +617,137 @@ TEST(SetStoreTest, CompactRenameFailureReopensOriginal) {
   EXPECT_EQ(store.List(), (std::vector<std::string>{"after", "keep"}));
 }
 
+// --- Ordered-index storage mode (PR 8) ---
+
+XSet IntRun(int lo, int hi) {
+  std::vector<Membership> members;
+  for (int i = lo; i <= hi; ++i) {
+    members.push_back(Membership{XSet::Int(i), XSet::Empty()});
+  }
+  return XSet::FromMembers(std::move(members));
+}
+
+TEST(SetStoreTest, IndexedPutGetRoundTrip) {
+  TempFile file("store_idx_basic");
+  auto store_or = SetStore::Open(file.path());
+  ASSERT_TRUE(store_or.ok());
+  SetStore& store = **store_or;
+  XSet pairs = X("{<a, 1>, <b, 2>, <c, 3>}");
+  ASSERT_TRUE(store.PutIndexed("pairs", pairs).ok());
+  EXPECT_EQ(*store.Get("pairs"), pairs);
+  EXPECT_EQ(*store.ModeOf("pairs"), StorageMode::kOrderedIndex);
+  ASSERT_TRUE(store.Put("blob", pairs).ok());
+  EXPECT_EQ(*store.ModeOf("blob"), StorageMode::kBlob);
+  // Atoms have no member list to index.
+  EXPECT_TRUE(store.PutIndexed("atom", XSet::Int(7)).IsInvalid());
+  EXPECT_TRUE(store.PutIndexed("", X("{}")).IsInvalid());
+  // Replacing an indexed set re-buckets it wholesale.
+  ASSERT_TRUE(store.PutIndexed("pairs", X("{<d, 4>}")).ok());
+  EXPECT_EQ(*store.Get("pairs"), X("{<d, 4>}"));
+}
+
+TEST(SetStoreTest, IndexedMemberMutations) {
+  TempFile file("store_idx_mut");
+  auto store_or = SetStore::Open(file.path());
+  ASSERT_TRUE(store_or.ok());
+  SetStore& store = **store_or;
+  ASSERT_TRUE(store.PutIndexed("s", IntRun(0, 99)).ok());
+
+  Membership extra{XSet::Int(500), XSet::Empty()};
+  EXPECT_EQ(*store.ContainsMember("s", extra), false);
+  ASSERT_TRUE(store.InsertMember("s", extra).ok());
+  EXPECT_EQ(*store.ContainsMember("s", extra), true);
+  // Duplicate insert and absent erase are no-ops, not errors.
+  ASSERT_TRUE(store.InsertMember("s", extra).ok());
+  ASSERT_TRUE(store.EraseMember("s", Membership{XSet::Int(1000), XSet::Empty()}).ok());
+  ASSERT_TRUE(store.EraseMember("s", extra).ok());
+  EXPECT_EQ(*store.ContainsMember("s", extra), false);
+  EXPECT_EQ(*store.Get("s"), IntRun(0, 99));
+
+  // Member mutations only apply to the indexed mode.
+  ASSERT_TRUE(store.Put("b", X("{1}")).ok());
+  EXPECT_TRUE(store.InsertMember("b", extra).IsInvalid());
+  EXPECT_TRUE(store.EraseMember("b", extra).IsInvalid());
+  // ContainsMember works on both modes.
+  EXPECT_EQ(*store.ContainsMember("b", Membership{XSet::Int(1), XSet::Empty()}), true);
+}
+
+TEST(SetStoreTest, IndexedPersistsAcrossReopen) {
+  TempFile file("store_idx_reopen");
+  XSet value = IntRun(0, 2000);
+  {
+    auto store = SetStore::Open(file.path());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->PutIndexed("big", value).ok());
+    ASSERT_TRUE((*store)->InsertMember(
+        "big", Membership{XSet::Int(9999), XSet::Empty()}).ok());
+  }
+  auto store = SetStore::Open(file.path());
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(*(*store)->ModeOf("big"), StorageMode::kOrderedIndex);
+  EXPECT_EQ(*(*store)->ContainsMember(
+      "big", Membership{XSet::Int(9999), XSet::Empty()}), true);
+  EXPECT_EQ((*store)->Get("big")->cardinality(), 2002u);
+}
+
+TEST(SetStoreTest, IndexedElementRangeCursorStreamsSlice) {
+  TempFile file("store_idx_range");
+  auto store_or = SetStore::Open(file.path());
+  ASSERT_TRUE(store_or.ok());
+  SetStore& store = **store_or;
+  ASSERT_TRUE(store.PutIndexed("big", IntRun(0, 19999)).ok());
+
+  store.ResetPagerStats();
+  auto cursor = store.OpenElementRange("big", XSet::Int(5000), XSet::Int(5020));
+  ASSERT_TRUE(cursor.ok());
+  std::vector<Membership> got;
+  for (;;) {
+    auto batch = (*cursor)->NextBatch();
+    if (batch.empty()) break;
+    got.insert(got.end(), batch.begin(), batch.end());
+  }
+  ASSERT_TRUE((*cursor)->status().ok());
+  ASSERT_EQ(got.size(), 21u);
+  EXPECT_EQ(got.front().element, XSet::Int(5000));
+  EXPECT_EQ(got.back().element, XSet::Int(5020));
+  // Leaf-only access: a seek spine plus the in-range leaves, never a full
+  // tree scan or materialization.
+  PagerStats stats = store.pager_stats();
+  EXPECT_LE(stats.hits + stats.misses, 24u)
+      << "hits " << stats.hits << " misses " << stats.misses;
+}
+
+TEST(SetStoreTest, IndexedModeSurvivesCompact) {
+  TempFile file("store_idx_compact");
+  auto store_or = SetStore::Open(file.path());
+  ASSERT_TRUE(store_or.ok());
+  SetStore& store = **store_or;
+  ASSERT_TRUE(store.PutIndexed("tree", IntRun(0, 500)).ok());
+  ASSERT_TRUE(store.Put("blob", X("{<a, 1>}")).ok());
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(store.Put("churn", IntRun(0, i)).ok());
+  }
+  ASSERT_TRUE(store.Delete("churn").ok());
+  ASSERT_TRUE(store.Compact().ok());
+  EXPECT_EQ(*store.ModeOf("tree"), StorageMode::kOrderedIndex);
+  EXPECT_EQ(*store.ModeOf("blob"), StorageMode::kBlob);
+  EXPECT_EQ(*store.Get("tree"), IntRun(0, 500));
+  ASSERT_TRUE(store.InsertMember(
+      "tree", Membership{XSet::Int(777), XSet::Empty()}).ok());
+  EXPECT_EQ(*store.ContainsMember(
+      "tree", Membership{XSet::Int(777), XSet::Empty()}), true);
+}
+
+TEST(SetStoreTest, ScrubCoversIndexedSets) {
+  TempFile file("store_idx_scrub");
+  auto store_or = SetStore::Open(file.path());
+  ASSERT_TRUE(store_or.ok());
+  SetStore& store = **store_or;
+  ASSERT_TRUE(store.PutIndexed("tree", IntRun(0, 800)).ok());
+  ASSERT_TRUE(store.Put("blob", X("{1, 2}")).ok());
+  EXPECT_TRUE(store.Scrub().ok());
+}
+
 TEST(SetStoreTest, FailureInjectionTruncatedFile) {
   TempFile file("store_trunc");
   {

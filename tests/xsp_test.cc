@@ -167,6 +167,45 @@ TEST(Optimizer, PropagatesEmptiness) {
   EXPECT_TRUE(optimized->literal().empty());
 }
 
+TEST(Eval, RangeNode) {
+  Bindings env = TestBindings();
+  // Members of r ascend element-major; an interval over elements keeps the
+  // contiguous middle. <a,x> < <b,y> < <c,x> under the structural order.
+  EXPECT_EQ(*Eval(Expr::Range(Expr::Named("r"), X("<a, x>"), X("<b, y>")), env),
+            X("{<a, x>, <b, y>}"));
+  // Empty interval (lo > hi).
+  EXPECT_EQ(*Eval(Expr::Range(Expr::Named("r"), X("<b, y>"), X("<a, x>")), env),
+            X("{}"));
+  // Bounds need not be members.
+  EXPECT_EQ(*Eval(Expr::Range(Expr::Named("r"), X("{}"), X("<zz, zz, zz>")), env),
+            env["r"]);
+}
+
+TEST(Optimizer, FusesNestedRanges) {
+  Bindings env = TestBindings();
+  ExprPtr plan = Expr::Range(Expr::Range(Expr::Named("r"), X("<a, x>"), X("<c, x>")),
+                             X("<b, y>"), X("<zz, zz, zz>"));
+  OptimizerStats stats;
+  ExprPtr optimized = *Optimize(plan, env, &stats);
+  EXPECT_EQ(stats.range_fusion, 1);
+  // R6 leaves a single range directly over the named leaf — the shape the
+  // compiler turns into a streaming kLoadRange.
+  EXPECT_EQ(optimized->kind(), ExprKind::kRange);
+  EXPECT_EQ(optimized->child(0)->kind(), ExprKind::kNamed);
+  EXPECT_EQ(*Eval(optimized, env), *Eval(plan, env));
+  EXPECT_EQ(*Eval(optimized, env), X("{<b, y>, <c, x>}"));
+}
+
+TEST(Optimizer, EmptyIntervalRangeCollapses) {
+  Bindings env = TestBindings();
+  ExprPtr plan = Expr::Range(Expr::Named("r"), X("<b>"), X("<a>"));
+  OptimizerStats stats;
+  ExprPtr optimized = *Optimize(plan, env, &stats);
+  EXPECT_GE(stats.empty_propagation, 1);
+  EXPECT_EQ(optimized->kind(), ExprKind::kLiteral);
+  EXPECT_TRUE(optimized->literal().empty());
+}
+
 TEST(Optimizer, PushesRestrictThroughUnion) {
   Bindings env = TestBindings();
   env["s"] = X("{<a, z>}");

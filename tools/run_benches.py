@@ -31,6 +31,7 @@ BENCH_BINARIES = [
     "bench_compose",
     "bench_obs",
     "bench_vm",
+    "bench_btree",
 ]
 
 

@@ -2,7 +2,8 @@
 //
 //   xstctl <store> list                 names + sizes
 //   xstctl <store> get <name>           print a set in XST notation
-//   xstctl <store> put <name> <text>    parse and store a set
+//   xstctl <store> put <name> <text>    parse and store a set (blob)
+//   xstctl <store> put_indexed <name> <text>  store as a B+tree ordered index
 //   xstctl <store> del <name>           remove a name
 //   xstctl <store> run <script-file>    run an XSP script (@names hit the store)
 //   xstctl <store> explain <plan>       EXPLAIN ANALYZE a plan over the store
@@ -46,6 +47,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: xstctl <store-file> <command> [args]\n"
                "commands: list | get <name> | put <name> <text> | del <name>\n"
+               "          put_indexed <name> <text>\n"
                "          run <script-file> [--engine=vm|interp] [--optimize]\n"
                "          explain <plan> [--engine=vm|interp] [--optimize]\n"
                "          verify <script-file> [--optimize]\n"
@@ -249,6 +251,15 @@ int main(int argc, char** argv) {
     std::printf("stored '%s' (%zu memberships)\n", argv[3], value->cardinality());
     return 0;
   }
+  if (command == "put_indexed") {
+    if (argc < 5) return Usage();
+    Result<XSet> value = Parse(argv[4]);
+    if (!value.ok()) return Fail(value.status());
+    Status st = store.PutIndexed(argv[3], *value);
+    if (!st.ok()) return Fail(st);
+    std::printf("indexed '%s' (%zu memberships)\n", argv[3], value->cardinality());
+    return 0;
+  }
   if (command == "del") {
     if (argc < 4) return Usage();
     Status st = store.Delete(argv[3]);
@@ -300,7 +311,20 @@ int main(int argc, char** argv) {
     const PagerStats stats = store.pager_stats();
     std::printf("pages:      %u (%zu KiB)\n", store.page_count(),
                 static_cast<size_t>(store.page_count()) * kPageSize / 1024);
-    std::printf("sets:       %zu\n", store.List().size());
+    // Storage-mode split: indexed sets hold B+tree node/overflow pages
+    // (point and range reads touch O(height + matching leaves) of them),
+    // blob sets hold contiguous encoded spans.
+    size_t blobs = 0, indexed = 0;
+    for (const std::string& name : store.List()) {
+      Result<StorageMode> mode = store.ModeOf(name);
+      if (mode.ok() && *mode == StorageMode::kOrderedIndex) {
+        ++indexed;
+      } else {
+        ++blobs;
+      }
+    }
+    std::printf("sets:       %zu (blob: %zu, ordered-index: %zu)\n",
+                blobs + indexed, blobs, indexed);
     std::printf("pool hits:  %lu  misses: %lu  evictions: %lu  writebacks: %lu\n",
                 (unsigned long)stats.hits, (unsigned long)stats.misses,
                 (unsigned long)stats.evictions, (unsigned long)stats.writebacks);
