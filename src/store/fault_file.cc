@@ -3,42 +3,79 @@
 namespace xst {
 
 Status FaultFile::ReadAt(uint64_t offset, char* dst, size_t n) {
-  int64_t index = state_->reads++;
-  if (index == state_->fail_read) {
-    state_->triggered = true;
-    return Status::IOError("injected fault: read #" + std::to_string(index));
+  if (Scheduled()) {
+    int64_t index = state_->reads++;
+    if (index == state_->fail_read) {
+      state_->triggered = true;
+      return Status::IOError("injected fault: read #" + std::to_string(index));
+    }
   }
   return base_->ReadAt(offset, dst, n);
 }
 
 Status FaultFile::WriteAt(uint64_t offset, const char* src, size_t n) {
+  if (!Scheduled()) {
+    if (state_->device_failed) {
+      return Status::IOError("injected fault: device failed");
+    }
+    return base_->WriteAt(offset, src, n);
+  }
   int64_t index = state_->writes++;
   if (state_->device_failed) {
     return Status::IOError("injected fault: device failed");
   }
-  if (index != state_->fail_write) {
-    return base_->WriteAt(offset, src, n);
+  if (index == state_->fail_write) {
+    state_->triggered = true;
+    state_->device_failed = true;
+    size_t landed = 0;
+    switch (state_->write_fault) {
+      case FaultState::WriteFault::kFailCleanly:
+        break;
+      case FaultState::WriteFault::kShortWrite:
+        landed = n / 3;
+        break;
+      case FaultState::WriteFault::kTornWrite:
+        landed = n / 2;
+        break;
+    }
+    if (landed > 0) {
+      base_->WriteAt(offset, src, landed).ok();  // best effort
+      state_->bytes_written += static_cast<int64_t>(landed);
+    }
+    return Status::IOError("injected fault: write #" + std::to_string(index) +
+                           " (wrote " + std::to_string(landed) + " of " +
+                           std::to_string(n) + " bytes)");
   }
-  state_->triggered = true;
-  state_->device_failed = true;
-  size_t landed = 0;
-  switch (state_->write_fault) {
-    case FaultState::WriteFault::kFailCleanly:
-      break;
-    case FaultState::WriteFault::kShortWrite:
-      landed = n / 3;
-      break;
-    case FaultState::WriteFault::kTornWrite:
-      landed = n / 2;
-      break;
+  if (state_->fail_write_at_byte >= 0) {
+    int64_t budget = state_->fail_write_at_byte - state_->bytes_written;
+    if (budget <= static_cast<int64_t>(n)) {
+      // This write crosses (or lands exactly on) the crash point: the
+      // prefix up to the boundary reaches the device, nothing after.
+      state_->triggered = true;
+      state_->device_failed = true;
+      size_t landed = budget > 0 ? static_cast<size_t>(budget) : 0;
+      if (landed > 0) {
+        base_->WriteAt(offset, src, landed).ok();  // best effort
+        state_->bytes_written += static_cast<int64_t>(landed);
+      }
+      return Status::IOError("injected fault: crash at byte offset " +
+                             std::to_string(state_->fail_write_at_byte) +
+                             " (wrote " + std::to_string(landed) + " of " +
+                             std::to_string(n) + " bytes)");
+    }
   }
-  if (landed > 0) base_->WriteAt(offset, src, landed).ok();  // best effort
-  return Status::IOError("injected fault: write #" + std::to_string(index) +
-                         " (wrote " + std::to_string(landed) + " of " +
-                         std::to_string(n) + " bytes)");
+  Status st = base_->WriteAt(offset, src, n);
+  if (st.ok()) state_->bytes_written += static_cast<int64_t>(n);
+  return st;
 }
 
 Status FaultFile::Flush() {
+  if (!Scheduled()) {
+    if (state_->device_failed) {
+      return Status::IOError("injected fault: device failed");
+    }
+    return base_->Flush();
+  }
   int64_t index = state_->flushes++;
   if (state_->device_failed) {
     return Status::IOError("injected fault: device failed");
@@ -51,12 +88,35 @@ Status FaultFile::Flush() {
   return base_->Flush();
 }
 
+Status FaultFile::Truncate(uint64_t size) {
+  if (!Scheduled()) {
+    if (state_->device_failed) {
+      return Status::IOError("injected fault: device failed");
+    }
+    return base_->Truncate(size);
+  }
+  // Truncate mutates the device, so it rides the write schedule; a
+  // scheduled truncate always fails cleanly (there is no partial truncate
+  // shape worth modeling).
+  int64_t index = state_->writes++;
+  if (state_->device_failed) {
+    return Status::IOError("injected fault: device failed");
+  }
+  if (index == state_->fail_write) {
+    state_->triggered = true;
+    state_->device_failed = true;
+    return Status::IOError("injected fault: truncate as write #" +
+                           std::to_string(index));
+  }
+  return base_->Truncate(size);
+}
+
 FileFactory FaultFileFactory(std::shared_ptr<FaultState> state) {
   return [state](const std::string& path) -> Result<std::unique_ptr<File>> {
     Result<std::unique_ptr<File>> base = StdioFile::Open(path);
     if (!base.ok()) return base.status();
     return std::unique_ptr<File>(
-        new FaultFile(std::move(*base), state));
+        new FaultFile(std::move(*base), state, path));
   };
 }
 

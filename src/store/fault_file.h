@@ -16,6 +16,19 @@
 //                 bytes (or stays a hole)
 //   kTornWrite    half the page lands — the canonical torn page
 //
+// A fourth schedule, `fail_write_at_byte`, kills the device at an exact
+// byte offset of the cumulative write stream: the write that crosses the
+// boundary lands precisely the prefix up to it, then everything after
+// fails. Sweeping that offset over a WAL's append stream simulates a crash
+// at every byte of the log — the primitive beneath the crash-point
+// recovery matrix in tests/wal_recovery_test.cc.
+//
+// `path_filter` scopes a schedule to files whose path contains the
+// substring (e.g. ".wal"), so a log-offset sweep is not perturbed by
+// main-file traffic; counters advance only for matching files.
+// `device_failed` stays global on purpose — a dead device is dead for
+// every file it backs.
+//
 // The plan and its counters live in a shared FaultState owned jointly by
 // the test and the FaultFile(s), so a test can inspect trigger state after
 // the store (and therefore the file) has been destroyed, and so one
@@ -24,6 +37,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "src/store/file.h"
 
@@ -33,32 +47,54 @@ struct FaultState {
   enum class WriteFault { kFailCleanly, kShortWrite, kTornWrite };
 
   // Schedule: 0-based index of the operation to fail; -1 = never.
+  // Truncate counts as a write (it mutates the device) and always fails
+  // cleanly when scheduled.
   int64_t fail_read = -1;
   int64_t fail_write = -1;
   int64_t fail_flush = -1;
   WriteFault write_fault = WriteFault::kFailCleanly;
 
-  // Counters (reads/writes/flushes attempted so far) and outcome.
+  // Crash-at-byte-offset: once the cumulative write stream on matching
+  // files reaches this many bytes, the device dies. The boundary write
+  // lands exactly its prefix up to the offset; -1 = never.
+  int64_t fail_write_at_byte = -1;
+
+  // Substring filter on the opened path; empty = schedule applies to every
+  // file. Non-matching files never trigger faults and never advance the
+  // counters, but still observe a globally dead device.
+  std::string path_filter;
+
+  // Counters (reads/writes/flushes attempted so far on matching files,
+  // bytes actually landed by their writes) and outcome.
   int64_t reads = 0;
   int64_t writes = 0;
   int64_t flushes = 0;
+  int64_t bytes_written = 0;
   bool triggered = false;      ///< did any scheduled fault fire?
   bool device_failed = false;  ///< sticky: write/flush fault has fired
 };
 
 class FaultFile : public File {
  public:
-  FaultFile(std::unique_ptr<File> base, std::shared_ptr<FaultState> state)
-      : base_(std::move(base)), state_(std::move(state)) {}
+  FaultFile(std::unique_ptr<File> base, std::shared_ptr<FaultState> state,
+            std::string path = "")
+      : base_(std::move(base)), state_(std::move(state)), path_(std::move(path)) {}
 
   Result<uint64_t> Size() override { return base_->Size(); }
   Status ReadAt(uint64_t offset, char* dst, size_t n) override;
   Status WriteAt(uint64_t offset, const char* src, size_t n) override;
   Status Flush() override;
+  Status Truncate(uint64_t size) override;
 
  private:
+  bool Scheduled() const {
+    return state_->path_filter.empty() ||
+           path_.find(state_->path_filter) != std::string::npos;
+  }
+
   std::unique_ptr<File> base_;
   std::shared_ptr<FaultState> state_;
+  std::string path_;
 };
 
 /// \brief A FileFactory that wraps every opened file in a FaultFile sharing

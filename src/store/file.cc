@@ -1,5 +1,7 @@
 #include "src/store/file.h"
 
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstring>
 
@@ -61,6 +63,16 @@ Status StdioFile::WriteAt(uint64_t offset, const char* src, size_t n) {
 
 Status StdioFile::Flush() {
   if (std::fflush(file_) != 0) return IOErrorFromErrno("fflush " + path_);
+  return Status::OK();
+}
+
+Status StdioFile::Truncate(uint64_t size) {
+  // Drain stdio's buffer first so ftruncate sees every logical write, then
+  // cut the descriptor. A subsequent fseek repositions the stream.
+  if (std::fflush(file_) != 0) return IOErrorFromErrno("fflush " + path_);
+  if (ftruncate(fileno(file_), static_cast<off_t>(size)) != 0) {
+    return IOErrorFromErrno("truncate " + path_);
+  }
   return Status::OK();
 }
 

@@ -36,6 +36,11 @@ class File {
 
   /// \brief Pushes buffered writes to the OS.
   virtual Status Flush() = 0;
+
+  /// \brief Truncates (or extends with zeros) the file to exactly `size`
+  /// bytes. The WAL uses this to discard torn record tails after a crash and
+  /// to recycle a log segment at checkpoint.
+  virtual Status Truncate(uint64_t size) = 0;
 };
 
 /// \brief Opens (creating if needed) `path` for read/write paging, or a File
@@ -57,6 +62,7 @@ class StdioFile : public File {
   Status ReadAt(uint64_t offset, char* dst, size_t n) override;
   Status WriteAt(uint64_t offset, const char* src, size_t n) override;
   Status Flush() override;
+  Status Truncate(uint64_t size) override;
 
  private:
   StdioFile(std::FILE* file, std::string path)

@@ -3,6 +3,7 @@
 #include "src/common/check.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/store/wal.h"
 
 namespace xst {
 
@@ -87,9 +88,20 @@ Pager::~Pager() {
   // Pin discipline: every PageRef must be released before its pager dies —
   // a surviving handle would point into a freed frame.
   XST_CHECK(pinned_frames_ == 0);
+  // WAL mode: writing appended-but-unsynced frames to the main file here
+  // would let data overtake the log; the store checkpoints explicitly.
+  if (wal_ != nullptr) return;
   // Deliberate drop: a destructor has no error channel. Callers that care
   // about durability must Flush() explicitly and check the Status first.
   (void)Flush();
+}
+
+void Pager::AttachWal(Wal* wal) {
+  wal_ = wal;
+  // The log may hold committed images for pages past the main file's end
+  // (allocated since the last checkpoint); they are real logical pages.
+  uint32_t bound = wal->PageCountLowerBound();
+  if (bound > page_count_) page_count_ = bound;
 }
 
 Result<PageRef> Pager::AllocatePage() {
@@ -124,8 +136,14 @@ Result<PageRef> Pager::FetchPage(uint32_t page_id) {
   if (!st.ok()) return st;
   XST_TRACE_SPAN("io.page_read");
   std::string bytes(kPageSize, '\0');
-  st = file_->ReadAt(static_cast<uint64_t>(page_id) * kPageSize, bytes.data(), kPageSize);
-  if (!st.ok()) return st.WithContext("page " + std::to_string(page_id));
+  // WAL read-through: the log's image table holds the newest version of any
+  // page appended since the last checkpoint (including spilled frames and
+  // pages the main file does not contain yet).
+  if (wal_ == nullptr || !wal_->LookupPage(page_id, &bytes)) {
+    st = file_->ReadAt(static_cast<uint64_t>(page_id) * kPageSize, bytes.data(),
+                       kPageSize);
+    if (!st.ok()) return st.WithContext("page " + std::to_string(page_id));
+  }
   Result<Page> page = Page::FromBytes(bytes, page_id);
   if (!page.ok()) {
     return page.status().WithContext("page " + std::to_string(page_id));
@@ -166,8 +184,19 @@ Status Pager::EvictIfFull() {
           " buffer-pool frames are pinned; release a PageRef or grow the pool");
     }
     if (victim->dirty) {
-      Status st = WriteBack(*victim);
-      if (!st.ok()) return st;
+      if (wal_ != nullptr) {
+        // Spill to the log, never to the main file. A dirty-and-logged
+        // frame's image is already in the log's table; just drop it.
+        if (!victim->logged) {
+          Status st = wal_->LogPageImage(victim->page_id,
+                                         victim->page.ToBytes(victim->page_id));
+          if (!st.ok()) return st;
+          victim->logged = true;
+        }
+      } else {
+        Status st = WriteBack(*victim);
+        if (!st.ok()) return st;
+      }
     }
     frames_.erase(victim->page_id);
     lru_.erase(victim);
@@ -178,6 +207,8 @@ Status Pager::EvictIfFull() {
 }
 
 Status Pager::Flush() {
+  // In WAL mode the only legal main-file writer is ApplyCheckpointImage.
+  XST_DCHECK(wal_ == nullptr);
   XST_TRACE_SPAN("io.flush");
   for (internal::PageFrame& frame : lru_) {
     if (!frame.dirty) continue;
@@ -187,5 +218,44 @@ Status Pager::Flush() {
   }
   return file_->Flush();
 }
+
+Status Pager::DrainUnloggedToWal() {
+  XST_DCHECK(wal_ != nullptr);
+  for (internal::PageFrame& frame : lru_) {
+    if (!frame.dirty || frame.logged) continue;
+    Status st = wal_->LogPageImage(frame.page_id, frame.page.ToBytes(frame.page_id));
+    if (!st.ok()) return st.WithContext("page " + std::to_string(frame.page_id));
+    frame.logged = true;
+  }
+  return Status::OK();
+}
+
+bool Pager::HasUnloggedDirty() const {
+  for (const internal::PageFrame& frame : lru_) {
+    if (frame.dirty && !frame.logged) return true;
+  }
+  return false;
+}
+
+Status Pager::ApplyCheckpointImage(uint32_t page_id, const std::string& bytes) {
+  XST_DCHECK(wal_ != nullptr);
+  XST_DCHECK(bytes.size() == kPageSize);
+  XST_TRACE_SPAN("io.page_write");
+  Status st = file_->WriteAt(static_cast<uint64_t>(page_id) * kPageSize,
+                             bytes.data(), bytes.size());
+  if (!st.ok()) return st.WithContext("page " + std::to_string(page_id));
+  ++stats_.writebacks;
+  WritebacksCounter().Increment();
+  auto it = frames_.find(page_id);
+  if (it != frames_.end()) {
+    // The resident frame holds the same committed content the image came
+    // from (checkpoints run with no transaction open), so it is clean now.
+    it->second->dirty = false;
+    it->second->logged = false;
+  }
+  return Status::OK();
+}
+
+Status Pager::SyncFile() { return file_->Flush(); }
 
 }  // namespace xst

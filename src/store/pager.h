@@ -19,6 +19,13 @@
 // I/O goes through the File seam (file.h); tests interpose FaultFile to
 // prove every read/write/flush failure surfaces as a Status.
 //
+// With a Wal attached (AttachWal; see wal.h and DESIGN.md §14) the pager
+// NEVER writes the main file on its own: evicting a dirty frame spills its
+// image into the log instead of the file, fetches read through the log's
+// image table before touching the file, and the main file is written only
+// by ApplyCheckpointImage — the no-steal ordering that keeps uncommitted
+// (and committed-but-unsynced) pages from ever overtaking the log.
+//
 // Not thread-safe by itself: the pager is only reachable through
 // SetStore::pager_, which is XST_GUARDED_BY the store's mutex — the 1977
 // single-writer discipline, enforced at compile time by Clang's thread-safety
@@ -38,6 +45,8 @@
 #include "src/store/page.h"
 
 namespace xst {
+
+class Wal;
 
 struct PagerStats {
   uint64_t hits = 0;
@@ -66,6 +75,10 @@ struct PageFrame {
   uint32_t page_id = kInvalidPageId;
   uint32_t pins = 0;
   bool dirty = false;
+  // WAL mode: the current dirty content has been captured as a log record.
+  // MarkDirty clears it, so "dirty && !logged" is exactly the set of frames
+  // DrainUnloggedToWal must capture before a commit record seals the txn.
+  bool logged = false;
 };
 
 }  // namespace internal
@@ -100,7 +113,11 @@ class [[nodiscard]] PageRef {
   uint32_t id() const { return frame_->page_id; }
 
   /// \brief Marks the pinned page dirty so eviction/flush persists it.
-  void MarkDirty() { frame_->dirty = true; }
+  /// Any previously logged image is stale for the new content.
+  void MarkDirty() {
+    frame_->dirty = true;
+    frame_->logged = false;
+  }
 
   /// \brief Unpins early (the handle becomes empty).
   void Reset();
@@ -136,8 +153,36 @@ class Pager {
   /// page is not resident and every frame is pinned.
   Result<PageRef> FetchPage(uint32_t page_id);
 
-  /// \brief Writes back every dirty page and flushes the file.
+  /// \brief Writes back every dirty page and flushes the file. Unreachable
+  /// in WAL mode (durability is the log's job; see AttachWal).
   Status Flush();
+
+  /// \brief Puts the pager in WAL mode: dirty evictions spill to the log,
+  /// fetches read through the log's image table, teardown skips its flush,
+  /// and the logical page count covers pages that exist only as log images
+  /// (the main file lags the log until the next checkpoint). The Wal must
+  /// outlive the pager.
+  void AttachWal(Wal* wal);
+
+  /// \brief Logs every dirty-and-unlogged frame's image (the pages the
+  /// current transaction mutated that pool pressure has not already
+  /// spilled). Called immediately before the commit record is appended.
+  Status DrainUnloggedToWal();
+
+  /// \brief True iff some frame is dirty with no logged image — i.e. the
+  /// current transaction has touched pages that only a commit (or abort +
+  /// pager reload) can resolve. Lets logically-no-op mutations that still
+  /// dirtied pages (e.g. a duplicate insert that allocated overflow pages
+  /// before detection) decide between a cheap abort and a real commit.
+  bool HasUnloggedDirty() const;
+
+  /// \brief Checkpoint writer: puts `bytes` (a full page image) at the
+  /// page's offset in the main file and marks a matching resident frame
+  /// clean. The only main-file write path in WAL mode.
+  Status ApplyCheckpointImage(uint32_t page_id, const std::string& bytes);
+
+  /// \brief Fsyncs the main file (checkpoint's final barrier).
+  Status SyncFile();
 
   /// \brief Number of pages in the file.
   uint32_t page_count() const { return page_count_; }
@@ -165,6 +210,7 @@ class Pager {
   std::unique_ptr<File> file_;
   std::string name_;
   size_t capacity_;
+  Wal* wal_ = nullptr;  // unowned; null = legacy direct-write mode
   uint32_t page_count_;
   size_t pinned_frames_ = 0;
   PagerStats stats_;

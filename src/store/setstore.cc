@@ -1,11 +1,13 @@
 #include "src/store/setstore.h"
 
 #include <cstdio>
+#include <map>
 #include <unordered_set>
 
 #include "src/common/check.h"
 #include "src/common/macros.h"
 #include "src/core/order.h"
+#include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/ops/tuple.h"
 #include "src/store/codec.h"
@@ -35,6 +37,18 @@ CatalogEntry IndexEntryOf(const BTreeInfo& info) {
   return entry;
 }
 
+// Process-wide WAL lifecycle metrics (the per-record ones live in wal.cc).
+obs::Counter& CheckpointsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      internal::kWalCheckpointsCounter);
+  return c;
+}
+obs::Counter& RecoveryReplayedCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      internal::kWalRecoveryReplayedCounter);
+  return c;
+}
+
 }  // namespace
 
 Result<std::unique_ptr<Pager>> SetStore::OpenPager(const std::string& path) const {
@@ -47,8 +61,8 @@ Result<std::unique_ptr<Pager>> SetStore::OpenPager(const std::string& path) cons
 Status SetStore::CheckOpen() const {
   if (pager_ == nullptr) {
     return Status::IOError("store '" + path_ +
-                           "' is closed (a compaction reopen failed); reopen it "
-                           "from the path");
+                           "' is closed (a failure-recovery reopen failed); "
+                           "reopen it from the path");
   }
   return Status::OK();
 }
@@ -56,23 +70,86 @@ Status SetStore::CheckOpen() const {
 Result<std::unique_ptr<SetStore>> SetStore::Open(const std::string& path,
                                                  const SetStoreOptions& options) {
   std::unique_ptr<SetStore> store(new SetStore(path, options));
-  // Nobody else can reach the fresh store yet, but its guarded fields still
-  // demand the capability — and a one-time uncontended lock is free.
-  MutexLock lock(&store->mu_);
-  XST_ASSIGN_OR_RAISE(store->pager_, store->OpenPager(path));
-  if (store->pager_->page_count() == 0) {
-    // Fresh store: create the superblock.
-    {
-      XST_ASSIGN_OR_RAISE(PageRef superblock, store->pager_->AllocatePage());
-      // The sizeof-based XST_DCHECK counts as a use even under NDEBUG, so no
-      // (void) cast is needed to silence -Wunused-variable.
-      XST_DCHECK(superblock.id() == 0);
+  WalOptions wal_options;
+  wal_options.file_factory = options.file_factory;
+  XST_ASSIGN_OR_RAISE(store->wal_,
+                      Wal::Open(path + ".wal", std::move(wal_options)));
+  // A crash after a commit fsync but before a checkpoint left committed page
+  // images only in the log; fold them into the main file before the pager
+  // sees it.
+  XST_RETURN_NOT_OK(store->ReplayRecoveredImages());
+  Result<uint64_t> fresh_lsn = 0;
+  {
+    // Nobody else can reach the fresh store yet, but its guarded fields
+    // still demand the capability — and a one-time uncontended lock is free.
+    MutexLock lock(&store->mu_);
+    XST_ASSIGN_OR_RAISE(store->pager_, store->OpenPager(path));
+    store->pager_->AttachWal(store->wal_.get());
+    if (store->pager_->page_count() == 0) {
+      // Fresh store: the superblock + empty catalog are themselves the
+      // store's first WAL transaction.
+      store->wal_->BeginTxn();
+      {
+        XST_ASSIGN_OR_RAISE(PageRef superblock, store->pager_->AllocatePage());
+        // The sizeof-based XST_DCHECK counts as a use even under NDEBUG, so
+        // no (void) cast is needed to silence -Wunused-variable.
+        XST_DCHECK(superblock.id() == 0);
+      }
+      fresh_lsn = store->CommitLocked(store->catalog_);
+      if (!fresh_lsn.ok()) return fresh_lsn.status();
+    } else {
+      XST_RETURN_NOT_OK(store->LoadCatalog());
     }
-    XST_RETURN_NOT_OK(store->PersistCatalog(store->catalog_));
-  } else {
-    XST_RETURN_NOT_OK(store->LoadCatalog());
   }
+  if (*fresh_lsn > 0) XST_RETURN_NOT_OK(store->wal_->WaitDurable(*fresh_lsn));
   return store;
+}
+
+SetStore::~SetStore() {
+  MutexLock lock(&mu_);
+  if (pager_ == nullptr || wal_ == nullptr) return;
+  // Deliberate drops: a destructor has no error channel, and every
+  // acknowledged commit is already durable in the log — at worst the next
+  // Open replays instead of starting clean.
+  if (options_.checkpoint_on_close) {
+    (void)CheckpointLocked();
+  } else {
+    (void)wal_->FlushAll();
+  }
+}
+
+Status SetStore::ReplayRecoveredImages() {
+  std::map<uint32_t, std::string> images = wal_->TakeRecoveredImages();
+  if (images.empty()) return Status::OK();
+  XST_TRACE_SPAN("wal.recovery");
+  Result<std::unique_ptr<File>> file =
+      options_.file_factory ? options_.file_factory(path_) : StdioFile::Open(path_);
+  if (!file.ok()) return file.status().WithContext("wal recovery " + path_);
+  XST_ASSIGN_OR_RAISE(uint64_t size, (*file)->Size());
+  // A crash mid-checkpoint can tear the main file's last page; when the log
+  // holds that page's image the torn bytes are about to be overwritten, so
+  // trim to a whole-page size first (Pager::Open insists on one).
+  if (size % kPageSize != 0 &&
+      images.count(static_cast<uint32_t>(size / kPageSize)) > 0) {
+    Status st = (*file)->Truncate(size - size % kPageSize);
+    if (!st.ok()) return st.WithContext("wal recovery " + path_);
+  }
+  for (const auto& [page_id, image] : images) {
+    Status st = (*file)->WriteAt(static_cast<uint64_t>(page_id) * kPageSize,
+                                 image.data(), image.size());
+    if (!st.ok()) {
+      return st.WithContext("wal recovery page " + std::to_string(page_id));
+    }
+  }
+  Status st = (*file)->Flush();
+  if (!st.ok()) return st.WithContext("wal recovery " + path_);
+  file->reset();
+  RecoveryReplayedCounter().Add(images.size());
+  // The main file is self-contained now; recycle the segment. Crash-safe:
+  // until the reset's fresh header is durable, a re-crash just replays the
+  // same images again (redo is idempotent).
+  return wal_->Reset(wal_->stats().durable_lsn)
+      .WithContext("wal recovery reset " + path_);
 }
 
 Result<CatalogEntry> SetStore::WriteBlob(const std::string& bytes) {
@@ -117,9 +194,11 @@ Result<std::string> SetStore::ReadBlob(const CatalogEntry& entry) {
   return bytes;
 }
 
-Status SetStore::PersistCatalog(const Catalog& staged) {
+Status SetStore::StageCatalog(const Catalog& staged) {
   // Write the catalog blob first, then swap the superblock pointer — the
-  // order that keeps a crash from orphaning anything but garbage pages.
+  // order that keeps a half-applied transaction from referencing anything
+  // but garbage pages. Pool-only: the WAL commit that follows makes it
+  // durable; the main file is untouched until checkpoint.
   std::string encoded = EncodeXSetToString(staged.ToXSet());
   XST_ASSIGN_OR_RAISE(CatalogEntry entry, WriteBlob(encoded));
   XSet pointer = XSet::Pair(XSet::Int(entry.first_page),
@@ -132,8 +211,7 @@ Status SetStore::PersistCatalog(const Catalog& staged) {
   Result<uint32_t> slot = superblock->AddRecord(superblock_record);
   if (!slot.ok()) return slot.status();
   superblock.MarkDirty();
-  superblock.Reset();  // unpin before the flush sweep
-  return pager_->Flush();
+  return Status::OK();
 }
 
 Status SetStore::ValidateBlobRange(const std::string& what, int64_t first_page,
@@ -202,25 +280,158 @@ Status SetStore::LoadCatalog() {
   return Status::OK();
 }
 
+Status SetStore::ReopenPagerLocked() {
+  pager_.reset();
+  Result<std::unique_ptr<Pager>> pager = OpenPager(path_);
+  if (!pager.ok()) return pager.status();  // pager_ stays null: store closed
+  pager_ = std::move(*pager);
+  pager_->AttachWal(wal_.get());
+  Status st = LoadCatalog();
+  if (!st.ok()) {
+    // Never serve the old catalog against state we could not load from —
+    // its page references may decode to the wrong data. Close instead.
+    pager_.reset();
+    return st;
+  }
+  return Status::OK();
+}
+
+Status SetStore::AbortResidentLocked() {
+  wal_->AbortTxn();
+  // Pool frames may still hold the aborted transaction's content; a fresh
+  // pager rereads everything through the log's committed table + main file.
+  return ReopenPagerLocked();
+}
+
+Status SetStore::FailTxnLocked(Status cause) {
+  Status aborted = AbortResidentLocked();
+  if (!aborted.ok()) return aborted.WithContext("abort after failed mutation");
+  return cause;
+}
+
+Status SetStore::RecoverDurableLocked() {
+  Status st = wal_->RecoverResidentFromDisk();
+  if (!st.ok()) {
+    pager_.reset();  // resident state is unknowable; close the store
+    return st;
+  }
+  return ReopenPagerLocked();
+}
+
+Result<uint64_t> SetStore::CommitLocked(Catalog staged) {
+  Status st = StageCatalog(staged);
+  if (!st.ok()) return FailTxnLocked(std::move(st));
+  st = pager_->DrainUnloggedToWal();
+  if (!st.ok()) return FailTxnLocked(std::move(st));
+  Result<uint64_t> lsn = wal_->AppendCommit();
+  if (!lsn.ok()) return FailTxnLocked(lsn.status());
+  catalog_ = std::move(staged);
+  if (!options_.wal_group_commit) {
+    // Serialized durability: fsync before releasing the store lock — the
+    // baseline bench_wal compares group commit against.
+    Status durable = wal_->WaitDurable(*lsn);
+    if (!durable.ok()) {
+      Status recovered = RecoverDurableLocked();
+      if (!recovered.ok()) {
+        return recovered.WithContext("recover after failed commit");
+      }
+      return durable;
+    }
+  }
+  return lsn;
+}
+
+Status SetStore::FinishCommit(const Result<uint64_t>& lsn) {
+  if (!lsn.ok()) return lsn.status();
+  if (*lsn == 0) return Status::OK();  // logical no-op: nothing was appended
+  if (options_.wal_group_commit) {
+    Status durable = wal_->WaitDurable(*lsn);
+    if (!durable.ok()) {
+      // The commit record never became durable, so the caller must NOT see
+      // its effects: fall back to the on-disk durable prefix. Idempotent,
+      // so concurrent failed committers can each run it.
+      MutexLock lock(&mu_);
+      if (pager_ != nullptr) {
+        Status recovered = RecoverDurableLocked();
+        if (!recovered.ok()) {
+          return recovered.WithContext("recover after failed commit");
+        }
+      }
+      return durable;
+    }
+  }
+  MaybeCheckpoint();
+  return Status::OK();
+}
+
+Status SetStore::CheckpointLocked() {
+  XST_RETURN_NOT_OK(CheckOpen());
+  XST_TRACE_SPAN("store.checkpoint");
+  // Order is everything: log durable → images into the main file → main
+  // file fsync → only then recycle the segment. A crash between any two
+  // steps leaves the log authoritative and replay idempotent.
+  XST_RETURN_NOT_OK(wal_->FlushAll());
+  const uint64_t durable = wal_->stats().durable_lsn;
+  for (const auto& [page_id, image] : wal_->SnapshotResident()) {
+    XST_RETURN_NOT_OK(pager_->ApplyCheckpointImage(page_id, image));
+  }
+  XST_RETURN_NOT_OK(pager_->SyncFile());
+  XST_RETURN_NOT_OK(wal_->Reset(durable));
+  CheckpointsCounter().Increment();
+  return Status::OK();
+}
+
+void SetStore::MaybeCheckpoint() {
+  if (wal_->stats().segment_bytes < options_.wal_checkpoint_bytes) return;
+  MutexLock lock(&mu_);
+  if (pager_ == nullptr) return;
+  if (wal_->stats().segment_bytes < options_.wal_checkpoint_bytes) return;
+  // Deliberate drop: checkpoints recycle the log, they do not carry data —
+  // on failure the segment stays replayable and a later commit retries.
+  (void)CheckpointLocked();
+}
+
+Status SetStore::Checkpoint() {
+  MutexLock lock(&mu_);
+  return CheckpointLocked();
+}
+
 Status SetStore::Put(const std::string& name, const XSet& value) {
   XST_TRACE_SPAN("store.put");
-  MutexLock lock(&mu_);
+  Result<uint64_t> lsn = Status::Invalid("unset");
+  {
+    MutexLock lock(&mu_);
+    lsn = PutLocked(name, value);
+  }
+  return FinishCommit(lsn);
+}
+
+Result<uint64_t> SetStore::PutLocked(const std::string& name, const XSet& value) {
   XST_RETURN_NOT_OK(CheckOpen());
   if (name.empty()) return Status::Invalid("set names must be non-empty");
   std::string encoded = EncodeXSetToString(value);
-  XST_ASSIGN_OR_RAISE(CatalogEntry entry, WriteBlob(encoded));
-  // Stage-then-commit: the in-memory catalog only advances once the persist
-  // has fully succeeded, so a failed put leaves resident state untouched.
+  wal_->BeginTxn();
+  Result<CatalogEntry> entry = WriteBlob(encoded);
+  if (!entry.ok()) return FailTxnLocked(entry.status());
+  // Stage-then-commit: the in-memory catalog only advances once the commit
+  // record is appended, so a failed put leaves resident state untouched.
   Catalog staged = catalog_;
-  staged.Put(name, entry);
-  XST_RETURN_NOT_OK(PersistCatalog(staged));
-  catalog_ = std::move(staged);
-  return Status::OK();
+  staged.Put(name, *entry);
+  return CommitLocked(std::move(staged));
 }
 
 Status SetStore::PutBatch(const std::vector<std::pair<std::string, XSet>>& entries) {
   XST_TRACE_SPAN("store.put_batch");
-  MutexLock lock(&mu_);
+  Result<uint64_t> lsn = Status::Invalid("unset");
+  {
+    MutexLock lock(&mu_);
+    lsn = PutBatchLocked(entries);
+  }
+  return FinishCommit(lsn);
+}
+
+Result<uint64_t> SetStore::PutBatchLocked(
+    const std::vector<std::pair<std::string, XSet>>& entries) {
   XST_RETURN_NOT_OK(CheckOpen());
   // Validate up front: the batch must be all-or-nothing, so no partial
   // catalog mutation may happen after the first write.
@@ -232,15 +443,15 @@ Status SetStore::PutBatch(const std::vector<std::pair<std::string, XSet>>& entri
       return Status::Invalid("PutBatch: duplicate name '" + name + "' in batch");
     }
   }
+  wal_->BeginTxn();
   Catalog staged = catalog_;
   for (const auto& [name, value] : entries) {
     std::string encoded = EncodeXSetToString(value);
-    XST_ASSIGN_OR_RAISE(CatalogEntry entry, WriteBlob(encoded));
-    staged.Put(name, entry);
+    Result<CatalogEntry> entry = WriteBlob(encoded);
+    if (!entry.ok()) return FailTxnLocked(entry.status());
+    staged.Put(name, *entry);
   }
-  XST_RETURN_NOT_OK(PersistCatalog(staged));  // the single commit point
-  catalog_ = std::move(staged);
-  return Status::OK();
+  return CommitLocked(std::move(staged));  // the single commit point
 }
 
 Result<size_t> SetStore::Scrub() {
@@ -330,87 +541,120 @@ Status SetStore::ValidateIndexRange(const std::string& what,
   return Status::OK();
 }
 
-Status SetStore::CommitTreeMutation(const std::string& name, const BTreeInfo& info) {
+Result<uint64_t> SetStore::CommitTreeMutation(const std::string& name,
+                                              const BTreeInfo& info) {
 #if XST_VALIDATE_LEVEL >= 1
   Status valid = ValidateBTree(*pager_, info);
   if (!valid.ok()) {
-    Status reopen = Reopen();
-    if (!reopen.ok()) return reopen.WithContext("reopen after invalid tree '" + name + "'");
+    // The mutated tree is structurally wrong in the pool; discard it before
+    // a commit could make it real.
+    Status aborted = AbortResidentLocked();
+    if (!aborted.ok()) {
+      return aborted.WithContext("abort after invalid tree '" + name + "'");
+    }
     return valid.WithContext("mutated tree '" + name + "'");
   }
 #endif
   Catalog staged = catalog_;
   staged.Put(name, IndexEntryOf(info));
-  Status persisted = PersistCatalog(staged);
-  if (!persisted.ok()) {
-    // The tree pages may be partly on disk with the old catalog still
-    // pointing at the old identity; discard resident state. A reopened
-    // store serves either the pre-state or detectable Corruption.
-    Status reopen = Reopen();
-    if (!reopen.ok()) {
-      return reopen.WithContext("reopen after failed commit of '" + name + "'");
-    }
-    return persisted.WithContext("commit of '" + name + "'");
-  }
-  catalog_ = std::move(staged);
-  return Status::OK();
+  Result<uint64_t> lsn = CommitLocked(std::move(staged));
+  if (!lsn.ok()) return lsn.status().WithContext("commit of '" + name + "'");
+  return lsn;
 }
 
 Status SetStore::PutIndexed(const std::string& name, const XSet& value) {
   XST_TRACE_SPAN("store.put_indexed");
-  MutexLock lock(&mu_);
+  Result<uint64_t> lsn = Status::Invalid("unset");
+  {
+    MutexLock lock(&mu_);
+    lsn = PutIndexedLocked(name, value);
+  }
+  return FinishCommit(lsn);
+}
+
+Result<uint64_t> SetStore::PutIndexedLocked(const std::string& name,
+                                            const XSet& value) {
   XST_RETURN_NOT_OK(CheckOpen());
   if (name.empty()) return Status::Invalid("set names must be non-empty");
   if (value.is_atom()) {
     return Status::Invalid("ordered-index storage holds member lists; atom '" +
                            value.ToString() + "' has none (use Put)");
   }
+  wal_->BeginTxn();
   Result<BTreeInfo> info = BTree::Build(*pager_, value.members());
-  if (!info.ok()) return info.status().WithContext("index build for '" + name + "'");
+  if (!info.ok()) {
+    return FailTxnLocked(info.status().WithContext("index build for '" + name + "'"));
+  }
   return CommitTreeMutation(name, *info);
 }
 
 Status SetStore::InsertMember(const std::string& name, const Membership& m) {
   XST_TRACE_SPAN("store.insert_member");
-  MutexLock lock(&mu_);
+  Result<uint64_t> lsn = Status::Invalid("unset");
+  {
+    MutexLock lock(&mu_);
+    lsn = InsertMemberLocked(name, m);
+  }
+  return FinishCommit(lsn);
+}
+
+Result<uint64_t> SetStore::InsertMemberLocked(const std::string& name,
+                                              const Membership& m) {
   XST_RETURN_NOT_OK(CheckOpen());
   XST_ASSIGN_OR_RAISE(CatalogEntry entry, catalog_.Get(name));
   if (entry.kind != CatalogEntry::kKindIndex) {
     return Status::Invalid("'" + name +
                            "' is blob-stored; member mutation needs PutIndexed");
   }
+  wal_->BeginTxn();
   BTree tree(pager_.get(), IndexInfoOf(entry));
   Result<bool> inserted = tree.Insert(m);
   if (!inserted.ok()) {
-    Status reopen = Reopen();
-    if (!reopen.ok()) {
-      return reopen.WithContext("reopen after failed insert into '" + name + "'");
-    }
-    return inserted.status().WithContext("insert into '" + name + "'");
+    return FailTxnLocked(inserted.status().WithContext("insert into '" + name + "'"));
   }
-  if (!*inserted) return Status::OK();  // already present; the tree is untouched
+  if (!*inserted) {
+    // Already present: the tree's logical identity is untouched, but the
+    // encode path may have dirtied freshly allocated overflow pages before
+    // detecting the duplicate. Commit those as unreferenced garbage
+    // (Compact reclaims them) so the pool never holds uncommitted dirt with
+    // no transaction open; a clean no-op gets the cheap abort.
+    if (pager_->HasUnloggedDirty()) return CommitLocked(catalog_);
+    wal_->AbortTxn();
+    return uint64_t{0};
+  }
   return CommitTreeMutation(name, tree.info());
 }
 
 Status SetStore::EraseMember(const std::string& name, const Membership& m) {
   XST_TRACE_SPAN("store.erase_member");
-  MutexLock lock(&mu_);
+  Result<uint64_t> lsn = Status::Invalid("unset");
+  {
+    MutexLock lock(&mu_);
+    lsn = EraseMemberLocked(name, m);
+  }
+  return FinishCommit(lsn);
+}
+
+Result<uint64_t> SetStore::EraseMemberLocked(const std::string& name,
+                                             const Membership& m) {
   XST_RETURN_NOT_OK(CheckOpen());
   XST_ASSIGN_OR_RAISE(CatalogEntry entry, catalog_.Get(name));
   if (entry.kind != CatalogEntry::kKindIndex) {
     return Status::Invalid("'" + name +
                            "' is blob-stored; member mutation needs PutIndexed");
   }
+  wal_->BeginTxn();
   BTree tree(pager_.get(), IndexInfoOf(entry));
   Result<bool> erased = tree.Erase(m);
   if (!erased.ok()) {
-    Status reopen = Reopen();
-    if (!reopen.ok()) {
-      return reopen.WithContext("reopen after failed erase from '" + name + "'");
-    }
-    return erased.status().WithContext("erase from '" + name + "'");
+    return FailTxnLocked(erased.status().WithContext("erase from '" + name + "'"));
   }
-  if (!*erased) return Status::OK();  // absent; the tree is untouched
+  if (!*erased) {
+    // Absent member: same no-op discipline as a duplicate insert.
+    if (pager_->HasUnloggedDirty()) return CommitLocked(catalog_);
+    wal_->AbortTxn();
+    return uint64_t{0};
+  }
   return CommitTreeMutation(name, tree.info());
 }
 
@@ -489,13 +733,20 @@ Status SetStore::ReadIndexBatch(BTreeCursorPos* pos, const XSet* hi_element,
 
 Status SetStore::Delete(const std::string& name) {
   XST_TRACE_SPAN("store.delete");
-  MutexLock lock(&mu_);
+  Result<uint64_t> lsn = Status::Invalid("unset");
+  {
+    MutexLock lock(&mu_);
+    lsn = DeleteLocked(name);
+  }
+  return FinishCommit(lsn);
+}
+
+Result<uint64_t> SetStore::DeleteLocked(const std::string& name) {
   XST_RETURN_NOT_OK(CheckOpen());
   Catalog staged = catalog_;
-  XST_RETURN_NOT_OK(staged.Remove(name));
-  XST_RETURN_NOT_OK(PersistCatalog(staged));
-  catalog_ = std::move(staged);
-  return Status::OK();
+  XST_RETURN_NOT_OK(staged.Remove(name));  // NotFound before any txn opens
+  wal_->BeginTxn();
+  return CommitLocked(std::move(staged));
 }
 
 Status SetStore::Flush() {
@@ -505,22 +756,7 @@ Status SetStore::Flush() {
 
 Status SetStore::FlushLocked() {
   XST_RETURN_NOT_OK(CheckOpen());
-  return pager_->Flush();
-}
-
-Status SetStore::Reopen() {
-  pager_.reset();
-  Result<std::unique_ptr<Pager>> pager = OpenPager(path_);
-  if (!pager.ok()) return pager.status();  // pager_ stays null: store closed
-  pager_ = std::move(*pager);
-  Status st = LoadCatalog();
-  if (!st.ok()) {
-    // Never serve the old catalog against a file we could not load from —
-    // its page references may decode to the wrong data. Close instead.
-    pager_.reset();
-    return st;
-  }
-  return Status::OK();
+  return wal_->FlushAll();
 }
 
 Status SetStore::CopyLiveTo(const std::string& tmp_path) {
@@ -537,22 +773,31 @@ Status SetStore::CopyLiveTo(const std::string& tmp_path) {
       XST_RETURN_NOT_OK(fresh->Put(name, value));
     }
   }
-  return fresh->Flush();
+  // Checkpoint, not flush: the sibling's main file must be self-contained
+  // before the rename steals it away from its own log.
+  return fresh->Checkpoint();
 }
 
 Status SetStore::Compact() {
   XST_TRACE_SPAN("store.compact");
   MutexLock lock(&mu_);
   XST_RETURN_NOT_OK(CheckOpen());
+  // Checkpoint FIRST, atomically with the swap (same critical section): the
+  // rename must not race committed-but-unapplied log images, or a crash
+  // after the swap would replay pre-compaction pages into the compacted
+  // file. After this the log segment is empty and stays empty until the
+  // reopen below (mu_ blocks every committer).
+  XST_RETURN_NOT_OK(CheckpointLocked().WithContext("compact " + path_));
   // Rewrite live blobs into a sibling file, then swap it in.
   const std::string tmp_path = path_ + ".compact";
   std::remove(tmp_path.c_str());
+  std::remove((tmp_path + ".wal").c_str());
   Status st = CopyLiveTo(tmp_path);
-  if (st.ok()) st = FlushLocked();
   if (!st.ok()) {
     // The original file and the resident catalog are untouched; drop the
-    // half-written sibling and report.
+    // half-written sibling (and its log) and report.
     std::remove(tmp_path.c_str());
+    std::remove((tmp_path + ".wal").c_str());
     return st.WithContext("compact " + path_);
   }
   pager_.reset();  // close our file before replacing it
@@ -560,12 +805,16 @@ Status SetStore::Compact() {
                               : std::rename(tmp_path.c_str(), path_.c_str());
   if (rc != 0) {
     std::remove(tmp_path.c_str());
-    Status reopened = Reopen();  // the original file is intact; keep serving it
+    std::remove((tmp_path + ".wal").c_str());
+    Status reopened = ReopenPagerLocked();  // the original file is intact
     Status failed = Status::IOError("compact " + path_ + ": rename failed");
     return reopened.ok() ? failed
                          : reopened.WithContext("compact: reopen after failed rename");
   }
-  return Reopen().WithContext("compact " + path_ + ": reopen after swap");
+  // The sibling's log is empty (CopyLiveTo checkpoints) — drop it rather
+  // than leave an orphan next to a renamed-away path.
+  std::remove((tmp_path + ".wal").c_str());
+  return ReopenPagerLocked().WithContext("compact " + path_ + ": reopen after swap");
 }
 
 }  // namespace xst

@@ -18,12 +18,21 @@
 // Every page is checksummed; any torn or tampered byte surfaces as
 // Corruption on read.
 //
-// Failure contract (proved by tests/fault_injection_test.cc): every I/O
-// failure surfaces as a non-OK Status, the in-memory catalog never commits
-// an update whose persist failed (staged-catalog discipline), and the file
-// on disk is always either a consistent pre-/post-state or detectably
-// corrupt via checksums and catalog range validation — never silently
-// wrong.
+// Durability (DESIGN.md §14): every mutation is one WAL transaction — the
+// pages it touched become log records, a commit record seals them, and the
+// caller is acknowledged only after the log is fsynced (group commit
+// batches those fsyncs across concurrent callers). The main file is
+// written only at checkpoint; Open() replays the log's committed prefix
+// after a crash. The `<path>.wal` sidecar belongs to the main file: move
+// or delete them together.
+//
+// Failure contract (proved by tests/fault_injection_test.cc and
+// tests/wal_recovery_test.cc): every I/O failure surfaces as a non-OK
+// Status, the in-memory catalog never commits an update whose log commit
+// failed (resident state falls back to the durable prefix), and a reopened
+// store always equals an exact prefix of the acknowledged mutation history
+// — every acknowledged commit present, no partial mutation, torn log tails
+// truncated, torn pages detectable via checksums — never silently wrong.
 
 #pragma once
 
@@ -40,6 +49,7 @@
 #include "src/store/catalog.h"
 #include "src/store/file.h"
 #include "src/store/pager.h"
+#include "src/store/wal.h"
 
 namespace xst {
 
@@ -60,6 +70,23 @@ struct SetStoreOptions {
   /// \brief Compact's atomic-swap primitive; std::rename when unset
   /// (test hook for the rename-failure recovery path).
   std::function<int(const char* from, const char* to)> rename_fn;
+
+  /// \brief Checkpoint once the log segment outgrows this many bytes
+  /// (checked after each acknowledged commit) — the knob that bounds
+  /// recovery replay time. Generous default: checkpoints exist to recycle
+  /// the log, not to pace steady-state writes.
+  uint64_t wal_checkpoint_bytes = 8ull << 20;
+
+  /// \brief Group commit (default): committers release the store lock and
+  /// park on the log's CondVar while one leader fsyncs, so concurrent
+  /// commits share flushes. Off = fsync while still holding the store
+  /// lock — the serialized baseline bench_wal compares against.
+  bool wal_group_commit = true;
+
+  /// \brief Checkpoint in the destructor, leaving a cleanly closed store
+  /// with a self-contained main file and an empty log. Tests and the
+  /// recovery bench turn this off to exercise replay-on-open.
+  bool checkpoint_on_close = true;
 };
 
 /// \brief Thread safety: every public method serializes on one internal
@@ -71,9 +98,16 @@ struct SetStoreOptions {
 /// contention windows, not throughput.
 class SetStore {
  public:
-  /// \brief Opens (creating if necessary) a store at `path`.
+  /// \brief Opens (creating if necessary) a store at `path`. Replays the
+  /// committed prefix of `path + ".wal"` into the main file first if a
+  /// crash left one behind (see DESIGN.md §14).
   static Result<std::unique_ptr<SetStore>> Open(const std::string& path,
                                                 const SetStoreOptions& options = {});
+
+  /// \brief Best-effort close: checkpoints (or at least flushes the log)
+  /// so a cleanly closed store reopens without replay. Failures are
+  /// swallowed — the log already holds everything an fsynced commit needs.
+  ~SetStore();
 
   /// \brief Writes (or replaces) a named set and persists the catalog.
   Status Put(const std::string& name, const XSet& value) XST_EXCLUDES(mu_);
@@ -160,8 +194,16 @@ class SetStore {
   /// file itself remains valid — reopen from the path).
   Status Compact() XST_EXCLUDES(mu_);
 
-  /// \brief Flushes the pool to disk.
+  /// \brief Makes everything appended so far durable (fsyncs the log).
   Status Flush() XST_EXCLUDES(mu_);
+
+  /// \brief Forces a checkpoint: fsyncs the log, writes every committed
+  /// page image into the main file, fsyncs it, and recycles the log
+  /// segment. After OK the main file is self-contained.
+  Status Checkpoint() XST_EXCLUDES(mu_);
+
+  /// \brief Snapshot of the log's segment/durability counters.
+  WalStats wal_stats() const { return wal_->stats(); }
 
   /// \brief Snapshot of the pager's hit/miss/eviction counters.
   PagerStats pager_stats() const XST_EXCLUDES(mu_) {
@@ -191,11 +233,44 @@ class SetStore {
   Status CheckOpen() const XST_REQUIRES(mu_);
   Result<CatalogEntry> WriteBlob(const std::string& bytes) XST_REQUIRES(mu_);
   Result<std::string> ReadBlob(const CatalogEntry& entry) XST_REQUIRES(mu_);
-  /// Persists `staged` to disk; the caller commits it to catalog_ only on OK.
-  Status PersistCatalog(const Catalog& staged) XST_REQUIRES(mu_);
+  /// Writes `staged`'s blob + superblock pointer into the pool (no I/O to
+  /// the main file; durability comes from the WAL commit that follows).
+  Status StageCatalog(const Catalog& staged) XST_REQUIRES(mu_);
   Status LoadCatalog() XST_REQUIRES(mu_);
-  /// Reopens pager_ + catalog_ from path_; on failure the store is closed.
-  Status Reopen() XST_REQUIRES(mu_);
+  /// Applies crash-recovery images to the main file and recycles the log.
+  /// Runs in Open(), before the pager exists.
+  Status ReplayRecoveredImages();
+  /// Reopens pager_ (wal-attached) + catalog_; on failure the store closes.
+  Status ReopenPagerLocked() XST_REQUIRES(mu_);
+  /// Aborts the open WAL txn and reloads resident state from the log's
+  /// appended-committed view (mutation failed before its commit record).
+  Status AbortResidentLocked() XST_REQUIRES(mu_);
+  /// AbortResidentLocked + context plumbing for a failed mutation.
+  Status FailTxnLocked(Status cause) XST_REQUIRES(mu_);
+  /// After a failed commit fsync: rolls the log and resident state back to
+  /// the durable prefix (nothing acknowledged is lost by construction).
+  Status RecoverDurableLocked() XST_REQUIRES(mu_);
+  /// Phase 1 of every mutation, under mu_: stage the catalog, drain dirty
+  /// pages into the log, append the commit record. Returns the commit LSN
+  /// (0 = nothing to commit); resident state is already advanced.
+  Result<uint64_t> CommitLocked(Catalog staged) XST_REQUIRES(mu_);
+  /// Phase 2, after mu_ is released: group-commit wait on the LSN, then
+  /// maybe checkpoint. Error recovery re-acquires mu_.
+  Status FinishCommit(const Result<uint64_t>& lsn) XST_EXCLUDES(mu_);
+  Status CheckpointLocked() XST_REQUIRES(mu_);
+  void MaybeCheckpoint() XST_EXCLUDES(mu_);
+  /// Lock-holding bodies of the public mutations (phase 1).
+  Result<uint64_t> PutLocked(const std::string& name, const XSet& value)
+      XST_REQUIRES(mu_);
+  Result<uint64_t> PutBatchLocked(
+      const std::vector<std::pair<std::string, XSet>>& entries) XST_REQUIRES(mu_);
+  Result<uint64_t> PutIndexedLocked(const std::string& name, const XSet& value)
+      XST_REQUIRES(mu_);
+  Result<uint64_t> InsertMemberLocked(const std::string& name, const Membership& m)
+      XST_REQUIRES(mu_);
+  Result<uint64_t> EraseMemberLocked(const std::string& name, const Membership& m)
+      XST_REQUIRES(mu_);
+  Result<uint64_t> DeleteLocked(const std::string& name) XST_REQUIRES(mu_);
   /// Get/Flush bodies for callers already holding the lock (Scrub, Compact).
   Result<XSet> GetLocked(const std::string& name) XST_REQUIRES(mu_);
   Status FlushLocked() XST_REQUIRES(mu_);
@@ -203,8 +278,8 @@ class SetStore {
   Result<XSet> GetIndexLocked(const std::string& name, const CatalogEntry& entry)
       XST_REQUIRES(mu_);
   /// Commits a tree mutation: validate (at XST_VALIDATE level ≥ 1), stage
-  /// the new tree identity, persist; reopens from disk on failure.
-  Status CommitTreeMutation(const std::string& name, const BTreeInfo& info)
+  /// the new tree identity, commit; resident state reloads on failure.
+  Result<uint64_t> CommitTreeMutation(const std::string& name, const BTreeInfo& info)
       XST_REQUIRES(mu_);
   /// Corruption unless an index entry's root/height are plausible.
   Status ValidateIndexRange(const std::string& what, const CatalogEntry& entry) const
@@ -220,6 +295,10 @@ class SetStore {
 
   std::string path_;        // immutable after construction
   SetStoreOptions options_; // immutable after construction
+  // Created once in Open() before the store is reachable, then internally
+  // synchronized — phase 2 of a commit uses it without holding mu_ (that is
+  // the whole point of group commit). Lock order: mu_ before Wal::mu_.
+  std::unique_ptr<Wal> wal_;
   mutable Mutex mu_;
   std::unique_ptr<Pager> pager_ XST_GUARDED_BY(mu_);
   Catalog catalog_ XST_GUARDED_BY(mu_);

@@ -84,8 +84,12 @@ const XSet& ExpectedValue(const std::string& name) {
 // Fault-free seed: alpha (small), beta (multi-page), plus deleted churn so
 // Compact has real work to do.
 void SeedStore(const std::string& path) {
+  // The ".wal" sidecar belongs to the main file; stale ones would replay
+  // the previous iteration's state into the fresh seed.
   std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
   std::remove((path + ".compact").c_str());
+  std::remove((path + ".compact.wal").c_str());
   auto store = SetStore::Open(path, SetStoreOptions{.buffer_pool_pages = 4});
   ASSERT_TRUE(store.ok()) << store.status().ToString();
   ASSERT_TRUE((*store)->Put("alpha", AlphaValue()).ok());
@@ -247,7 +251,9 @@ void SweepOp(OpKind op, const std::string& tag) {
     SweepOpChannel(op, channel, path);
   }
   std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
   std::remove((path + ".compact").c_str());
+  std::remove((path + ".compact.wal").c_str());
 }
 
 TEST(FaultInjection, Put) { SweepOp(OpKind::kPut, "put"); }
@@ -312,6 +318,7 @@ std::vector<XSet> TreeValidStates(TreeOpKind op) {
 
 void SeedTreeStore(const std::string& path) {
   std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
   auto store = SetStore::Open(path, SetStoreOptions{.buffer_pool_pages = 4});
   ASSERT_TRUE(store.ok()) << store.status().ToString();
   ASSERT_TRUE((*store)->PutIndexed("tree", TreeSeedValue()).ok());
@@ -401,6 +408,7 @@ void SweepTreeOp(TreeOpKind op, const std::string& tag) {
     SweepTreeOpChannel(op, channel, path);
   }
   std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
 }
 
 TEST(FaultInjection, TreeBuild) { SweepTreeOp(TreeOpKind::kBuild, "tree_build"); }

@@ -23,6 +23,14 @@ import subprocess
 import sys
 import tempfile
 
+# google-benchmark reports times in the benchmark's declared unit (ns unless
+# ->Unit() was set); the report always stores nanoseconds.
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def to_ns(value, unit):
+    return value * TIME_UNIT_NS.get(unit, 1.0)
+
 # The perf trajectory binaries; keep in sync with bench/CMakeLists.txt.
 BENCH_BINARIES = [
     "bench_setops",
@@ -32,6 +40,7 @@ BENCH_BINARIES = [
     "bench_obs",
     "bench_vm",
     "bench_btree",
+    "bench_wal",
 ]
 
 
@@ -133,9 +142,17 @@ def main():
                 base_report = json.load(f)
         except OSError as e:
             sys.exit(f"error: cannot read baseline {args.baseline}: {e}")
-        for binary, entries in base_report.get("benchmarks", {}).items():
-            for e in entries:
-                baseline[e["name"]] = e["real_time_ns"]
+        base_benchmarks = base_report.get("benchmarks", {})
+        if isinstance(base_benchmarks, list):
+            # Pre-merge report format: a flat google-benchmark entry list.
+            for e in base_benchmarks:
+                if e.get("run_type", "iteration") == "iteration":
+                    baseline[e["name"]] = to_ns(e["real_time"],
+                                                e.get("time_unit", "ns"))
+        else:
+            for binary, entries in base_benchmarks.items():
+                for e in entries:
+                    baseline[e["name"]] = e["real_time_ns"]
 
     report = {"label": args.label, "context": None, "benchmarks": {}}
     if args.metrics:
@@ -172,17 +189,19 @@ def main():
             # google-benchmark reports aggregate rows too; keep plain runs.
             if b.get("run_type", "iteration") != "iteration":
                 continue
+            unit = b.get("time_unit", "ns")
+            real_ns = to_ns(b["real_time"], unit)
             entry = {
                 "name": b["name"],
-                "real_time_ns": b["real_time"],
-                "cpu_time_ns": b["cpu_time"],
+                "real_time_ns": real_ns,
+                "cpu_time_ns": to_ns(b["cpu_time"], unit),
                 "iterations": b["iterations"],
             }
             if "items_per_second" in b:
                 entry["items_per_second"] = b["items_per_second"]
-            if b["name"] in baseline and b["real_time"] > 0:
+            if b["name"] in baseline and real_ns > 0:
                 entry["baseline_real_time_ns"] = baseline[b["name"]]
-                entry["speedup_vs_baseline"] = baseline[b["name"]] / b["real_time"]
+                entry["speedup_vs_baseline"] = baseline[b["name"]] / real_ns
             entries.append(entry)
         report["benchmarks"][binary] = entries
         print(f"{binary}: {len(entries)} benchmarks", file=sys.stderr)

@@ -328,6 +328,15 @@ int main(int argc, char** argv) {
     std::printf("pool hits:  %lu  misses: %lu  evictions: %lu  writebacks: %lu\n",
                 (unsigned long)stats.hits, (unsigned long)stats.misses,
                 (unsigned long)stats.evictions, (unsigned long)stats.writebacks);
+    // Durability state: how much un-checkpointed history the log segment
+    // holds (bounds crash-recovery replay) and where the durable horizon is.
+    const WalStats wal = store.wal_stats();
+    std::printf("wal:        segment %llu, %llu KiB, durable lsn %llu, "
+                "last checkpoint lsn %llu\n",
+                (unsigned long long)wal.segment,
+                (unsigned long long)(wal.segment_bytes / 1024),
+                (unsigned long long)wal.durable_lsn,
+                (unsigned long long)wal.last_checkpoint_lsn);
     return 0;
   }
   if (command == "dump_metrics") {
