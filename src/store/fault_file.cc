@@ -26,7 +26,7 @@ Status FaultFile::WriteAt(uint64_t offset, const char* src, size_t n) {
   }
   if (index == state_->fail_write) {
     state_->triggered = true;
-    state_->device_failed = true;
+    if (!state_->transient) state_->device_failed = true;
     size_t landed = 0;
     switch (state_->write_fault) {
       case FaultState::WriteFault::kFailCleanly:
@@ -82,7 +82,7 @@ Status FaultFile::Flush() {
   }
   if (index == state_->fail_flush) {
     state_->triggered = true;
-    state_->device_failed = true;
+    if (!state_->transient) state_->device_failed = true;
     return Status::IOError("injected fault: flush #" + std::to_string(index));
   }
   return base_->Flush();
@@ -104,7 +104,7 @@ Status FaultFile::Truncate(uint64_t size) {
   }
   if (index == state_->fail_write) {
     state_->triggered = true;
-    state_->device_failed = true;
+    if (!state_->transient) state_->device_failed = true;
     return Status::IOError("injected fault: truncate as write #" +
                            std::to_string(index));
   }

@@ -5,9 +5,10 @@
 // faults model a dying device and are STICKY — once the fault fires, every
 // subsequent write and flush also fails, so nothing written "after the
 // crash point" can quietly heal the file (the pager's best-effort teardown
-// flush included). Read faults are transient: only the scheduled read
-// fails, which lets a test verify that resident state survives and the
-// operation is retryable.
+// flush included); set `transient` for the one-shot variant that models a
+// momentary error on an otherwise healthy device. Read faults are always
+// transient: only the scheduled read fails, which lets a test verify that
+// resident state survives and the operation is retryable.
 //
 // A failing write can fail three ways, covering the classic torn-page
 // taxonomy:
@@ -58,6 +59,15 @@ struct FaultState {
   // files reaches this many bytes, the device dies. The boundary write
   // lands exactly its prefix up to the offset; -1 = never.
   int64_t fail_write_at_byte = -1;
+
+  // One-shot mode: a scheduled fail_write / fail_flush fault (truncate
+  // included) fires once WITHOUT killing the device — the next operation
+  // succeeds again. Models a transient I/O error (an EINTR'd ftruncate, a
+  // momentary ENOSPC) rather than a dying device: the shape that exposes
+  // desync bugs where in-memory state advances past a failed write and a
+  // healed device then happily persists records recovery must reject.
+  // fail_write_at_byte stays sticky regardless — a crash point is a crash.
+  bool transient = false;
 
   // Substring filter on the opened path; empty = schedule applies to every
   // file. Non-matching files never trigger faults and never advance the

@@ -43,6 +43,11 @@ obs::Counter& CheckpointsCounter() {
       internal::kWalCheckpointsCounter);
   return c;
 }
+obs::Counter& CheckpointFailuresCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      internal::kWalCheckpointFailuresCounter);
+  return c;
+}
 obs::Counter& RecoveryReplayedCounter() {
   static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
       internal::kWalRecoveryReplayedCounter);
@@ -349,7 +354,10 @@ Status SetStore::FinishCommit(const Result<uint64_t>& lsn) {
     if (!durable.ok()) {
       // The commit record never became durable, so the caller must NOT see
       // its effects: fall back to the on-disk durable prefix. Idempotent,
-      // so concurrent failed committers can each run it.
+      // so concurrent failed committers can each run it. A reader that
+      // slipped in between CommitLocked and this rollback may have observed
+      // the now-discarded commit — the documented group-commit isolation
+      // caveat (setstore.h): reads see latest-appended, not latest-durable.
       MutexLock lock(&mu_);
       if (pager_ != nullptr) {
         Status recovered = RecoverDurableLocked();
@@ -378,6 +386,7 @@ Status SetStore::CheckpointLocked() {
   XST_RETURN_NOT_OK(pager_->SyncFile());
   XST_RETURN_NOT_OK(wal_->Reset(durable));
   CheckpointsCounter().Increment();
+  checkpoint_failure_streak_ = 0;
   return Status::OK();
 }
 
@@ -386,9 +395,25 @@ void SetStore::MaybeCheckpoint() {
   MutexLock lock(&mu_);
   if (pager_ == nullptr) return;
   if (wal_->stats().segment_bytes < options_.wal_checkpoint_bytes) return;
-  // Deliberate drop: checkpoints recycle the log, they do not carry data —
-  // on failure the segment stays replayable and a later commit retries.
-  (void)CheckpointLocked();
+  // The commit being acknowledged is already durable, so its Status must
+  // stay OK — but a checkpoint failure must not vanish either: it means the
+  // log cannot be recycled and grows past its bound until the device
+  // recovers (a failure at the segment-reset step additionally poisons the
+  // log, failing later commits). Count every failure and log with
+  // power-of-two backoff, since a persistently failing device (say
+  // main-file ENOSPC) would otherwise retry — and spam — once per commit.
+  Status st = CheckpointLocked();
+  if (st.ok()) return;
+  CheckpointFailuresCounter().Increment();
+  const uint64_t streak = ++checkpoint_failure_streak_;
+  if ((streak & (streak - 1)) == 0) {
+    std::fprintf(stderr,
+                 "xst: wal checkpoint of '%s' failed (%llu consecutive, log "
+                 "at %llu bytes): %s\n",
+                 path_.c_str(), static_cast<unsigned long long>(streak),
+                 static_cast<unsigned long long>(wal_->stats().segment_bytes),
+                 st.ToString().c_str());
+  }
 }
 
 Status SetStore::Checkpoint() {

@@ -28,11 +28,23 @@
 //
 // Failure contract (proved by tests/fault_injection_test.cc and
 // tests/wal_recovery_test.cc): every I/O failure surfaces as a non-OK
-// Status, the in-memory catalog never commits an update whose log commit
+// Status, no caller is ever acknowledged before its commit record is
+// fsynced, the in-memory catalog never retains an update whose log commit
 // failed (resident state falls back to the durable prefix), and a reopened
 // store always equals an exact prefix of the acknowledged mutation history
 // — every acknowledged commit present, no partial mutation, torn log tails
 // truncated, torn pages detectable via checksums — never silently wrong.
+//
+// Isolation caveat under group commit (wal_group_commit=true): a commit
+// becomes visible to concurrent readers when its record is appended under
+// the store lock, BEFORE the fsync that acknowledges it — readers see the
+// latest appended state, not the latest durable state. If that fsync then
+// fails, resident state rolls back to the durable prefix, so a reader may
+// observe a commit (only in the append-to-failed-fsync window, never
+// across a reopen) whose writer is subsequently told it failed. Writers
+// are unaffected — acknowledgment still implies durability. With
+// wal_group_commit=false the window does not exist: the fsync happens
+// under the store lock, so readers only ever see durable commits.
 
 #pragma once
 
@@ -79,8 +91,11 @@ struct SetStoreOptions {
 
   /// \brief Group commit (default): committers release the store lock and
   /// park on the log's CondVar while one leader fsyncs, so concurrent
-  /// commits share flushes. Off = fsync while still holding the store
-  /// lock — the serialized baseline bench_wal compares against.
+  /// commits share flushes. Concurrent readers may observe a commit in its
+  /// append-to-fsync window, i.e. before it is durable (see the isolation
+  /// caveat in the file comment). Off = fsync while still holding the
+  /// store lock — readers then only ever see durable commits; the
+  /// serialized baseline bench_wal compares against.
   bool wal_group_commit = true;
 
   /// \brief Checkpoint in the destructor, leaving a cleanly closed store
@@ -302,6 +317,8 @@ class SetStore {
   mutable Mutex mu_;
   std::unique_ptr<Pager> pager_ XST_GUARDED_BY(mu_);
   Catalog catalog_ XST_GUARDED_BY(mu_);
+  // Consecutive CheckpointLocked failures (MaybeCheckpoint's log backoff).
+  uint64_t checkpoint_failure_streak_ XST_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace xst

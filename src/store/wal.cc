@@ -119,23 +119,45 @@ Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path, WalOptions optio
   return wal;
 }
 
-Status Wal::InitSegment() {
+Status Wal::WriteFreshSegment(uint64_t epoch, uint64_t base_lsn) {
   Status st = file_->Truncate(0);
   if (!st.ok()) return st.WithContext("wal " + path_);
   char hdr[kWalHeaderSize] = {};
   EncodeFixed64(hdr, kWalMagic);
   EncodeFixed32(hdr + 8, kWalVersion);
-  EncodeFixed64(hdr + 16, epoch_);
-  EncodeFixed64(hdr + 24, base_lsn_);
+  EncodeFixed64(hdr + 16, epoch);
+  EncodeFixed64(hdr + 24, base_lsn);
   EncodeFixed64(hdr + 32, HashBytes(hdr, 32, kWalMagic));
   st = file_->WriteAt(0, hdr, kWalHeaderSize);
   if (!st.ok()) return st.WithContext("wal " + path_);
   st = file_->Flush();
   if (!st.ok()) return st.WithContext("wal " + path_);
+  return Status::OK();
+}
+
+Status Wal::InitSegment() {
+  XST_RETURN_NOT_OK(WriteFreshSegment(epoch_, base_lsn_));
   file_bytes_ = kWalHeaderSize;
   appended_lsn_ = base_lsn_;
   durable_lsn_ = base_lsn_;
   resident_.clear();
+  return Status::OK();
+}
+
+Status Wal::CheckSegmentHeader() {
+  XST_ASSIGN_OR_RAISE(uint64_t size, file_->Size());
+  char hdr[kWalHeaderSize];
+  if (size >= kWalHeaderSize) {
+    XST_RETURN_NOT_OK(file_->ReadAt(0, hdr, kWalHeaderSize).WithContext("wal " + path_));
+  }
+  if (size < kWalHeaderSize || DecodeFixed64(hdr) != kWalMagic ||
+      DecodeFixed32(hdr + 8) != kWalVersion ||
+      DecodeFixed64(hdr + 32) != HashBytes(hdr, 32, kWalMagic) ||
+      DecodeFixed64(hdr + 16) != epoch_ || DecodeFixed64(hdr + 24) != base_lsn_) {
+    return Status::Corruption("wal " + path_ +
+                              ": on-disk segment header does not match the "
+                              "in-memory generation (interrupted reset?)");
+  }
   return Status::OK();
 }
 
@@ -393,14 +415,31 @@ Status Wal::Reset(uint64_t checkpoint_lsn) {
   XST_DCHECK(!txn_open_);
   XST_DCHECK(buffer_.empty());  // caller runs FlushAll first
   if (device_failed_) return flush_error_.WithContext("wal reset");
-  base_lsn_ = appended_lsn_;
+  // Disk first, memory second: epoch/LSN state only advances once the fresh
+  // header is durably on the device. A failure partway through (truncate,
+  // header write, or fsync) leaves the on-disk segment in an unknown state
+  // — possibly truncated, possibly intact under the OLD header — so the
+  // device is poisoned stickily, exactly like a failed flush: were appends
+  // allowed to continue, their records would be fsynced and acknowledged
+  // against in-memory state the on-disk header no longer describes, and
+  // crash recovery would CRC-reject them as a torn tail (silent loss of
+  // acknowledged commits). Poisoned, every later append/commit fails until
+  // a reopen rebuilds the segment. Nothing durable is forfeited: the caller
+  // checkpointed before resetting, so the fsynced main file is
+  // self-contained, and resident_ is kept so reads keep working.
+  Status st = WriteFreshSegment(epoch_ + 1, appended_lsn_);
+  if (!st.ok()) {
+    device_failed_ = true;
+    flush_error_ = st.WithContext("wal reset");
+    return flush_error_;
+  }
   ++epoch_;
+  base_lsn_ = appended_lsn_;
   last_checkpoint_lsn_ = checkpoint_lsn;
-  // On failure partway through, in-memory state stays replay-consistent:
-  // resident_ is only cleared once the fresh header is durable, and the
-  // caller has already fsynced the main file, so even a lost segment header
-  // forfeits nothing.
-  return InitSegment();
+  file_bytes_ = kWalHeaderSize;
+  durable_lsn_ = appended_lsn_;
+  resident_.clear();
+  return Status::OK();
 }
 
 Status Wal::RecoverResidentFromDisk() {
@@ -415,7 +454,12 @@ Status Wal::RecoverResidentFromDisk() {
   // the device were never acknowledged, so resurrecting them would turn an
   // error the caller saw into a commit the caller never got.
   const uint64_t durable = durable_lsn_;
-  // Un-poison first: the durable prefix is consistent again, and a genuinely
+  // The on-disk header must still match the in-memory generation before the
+  // scan below can mean anything: after an interrupted Reset the segment may
+  // be truncated or carry a stale epoch, and un-poisoning over it would
+  // resume appends the next recovery scan CRC-rejects. Stay poisoned.
+  XST_RETURN_NOT_OK(CheckSegmentHeader());
+  // Un-poison: the durable prefix is consistent again, and a genuinely
   // dead device re-poisons on the next flush attempt (or right below, if
   // the un-acked tail cannot be trimmed off).
   device_failed_ = false;

@@ -68,11 +68,13 @@ namespace internal {
 
 // Registry names of the process-wide WAL metrics: records appended, commit
 // records sealed, commits acknowledged per fsync (the group-commit batch
-// size), checkpoints completed, and page images replayed by recovery.
+// size), checkpoints completed and failed, and page images replayed by
+// recovery.
 inline constexpr const char* kWalAppendsCounter = "wal.appends";
 inline constexpr const char* kWalCommitsCounter = "wal.commits";
 inline constexpr const char* kWalBatchSizeHistogram = "wal.group_commit.batch_size";
 inline constexpr const char* kWalCheckpointsCounter = "wal.checkpoints";
+inline constexpr const char* kWalCheckpointFailuresCounter = "wal.checkpoint.failures";
 inline constexpr const char* kWalRecoveryReplayedCounter = "wal.recovery.replayed";
 
 }  // namespace internal
@@ -156,15 +158,23 @@ class Wal {
   /// \brief Recycles the segment after a checkpoint: truncates the file,
   /// writes a fresh header (epoch + 1, LSN numbering continued), fsyncs,
   /// and clears the resident table. Caller guarantees the buffer is
-  /// durable (FlushAll) and the main file is fsynced first. On failure the
-  /// log state is unchanged (still replayable).
+  /// durable (FlushAll) and the main file is fsynced first. In-memory
+  /// epoch/LSN state advances only once the fresh header is durable; on
+  /// failure the on-disk segment is in an unknown state, so the device is
+  /// poisoned stickily (appends and commits fail until reopen — continuing
+  /// would acknowledge commits a crash-recovery scan must CRC-reject) while
+  /// the resident table is kept, so reads of the checkpointed state keep
+  /// working.
   Status Reset(uint64_t checkpoint_lsn) XST_EXCLUDES(mu_);
 
   /// \brief After a failed commit fsync: rebuilds the resident table from
   /// the on-disk committed prefix, discarding buffered/staged state that
   /// never reached the device, and un-poisons the device (a still-dead
-  /// device will re-poison on the next append). The store pairs this with
-  /// a fresh pager so resident state equals the durable prefix exactly.
+  /// device will re-poison on the next append). Un-poisoning first checks
+  /// that the on-disk segment header still matches the in-memory
+  /// generation — after an interrupted Reset it does not, and the log
+  /// stays poisoned. The store pairs this with a fresh pager so resident
+  /// state equals the durable prefix exactly.
   Status RecoverResidentFromDisk() XST_EXCLUDES(mu_);
 
   /// \brief Number of page images recovered by Open() (before the move).
@@ -183,7 +193,14 @@ class Wal {
   Wal(std::unique_ptr<File> file, std::string path)
       : file_(std::move(file)), path_(std::move(path)) {}
 
+  // Truncates the file and writes + fsyncs a fresh header for the given
+  // generation. Pure device I/O — no member state is touched, so callers
+  // decide what a failure means (Reset poisons; InitSegment propagates).
+  Status WriteFreshSegment(uint64_t epoch, uint64_t base_lsn) XST_REQUIRES(mu_);
   Status InitSegment() XST_REQUIRES(mu_);
+  // OK iff the on-disk header exists, validates, and carries the in-memory
+  // epoch_/base_lsn_ — the precondition for trusting a rescan of the file.
+  Status CheckSegmentHeader() XST_REQUIRES(mu_);
   // Scans committed records with LSN ≤ limit_lsn into *resident and trims
   // the rest. Open passes no limit (everything on disk survived a restart);
   // RecoverResidentFromDisk passes the durable LSN, so bytes a failed fsync

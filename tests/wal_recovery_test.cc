@@ -18,7 +18,11 @@
 //     byte, =fast trims to boundaries for sanitizer CI),
 //   * every k-th write, in clean and torn shapes,
 //   * every k-th flush (the fsync-failed path: bytes on the device that
-//     were never acknowledged must not be resurrected by recovery).
+//     were never acknowledged must not be resurrected by recovery),
+//   * every I/O step of a checkpoint's segment reset, as a TRANSIENT fault
+//     (FaultState::transient): a failed reset must poison the log rather
+//     than desync in-memory state from the on-disk header — the healed
+//     device would otherwise acknowledge commits recovery CRC-rejects.
 //
 // On top of the matrix: a seed-replayable randomized sweep (XST_FUZZ_SEED),
 // a concurrent-writers crash fuzz (recovered version per thread must be in
@@ -744,6 +748,119 @@ TEST(WalGroupCommit, CompactDuringConcurrentCommits) {
     EXPECT_TRUE(*got == VersionValue(i, final_version[i]))
         << "t" << i << " lost its last acked version";
   }
+  RemoveStoreFiles(path);
+}
+
+// --- Checkpoint faults ---
+
+obs::Counter& CheckpointFailures() {
+  return obs::MetricsRegistry::Global().GetCounter(
+      internal::kWalCheckpointFailuresCounter);
+}
+
+TEST(WalCheckpoint, TransientFaultDuringCheckpointPoisonsTheLog) {
+  // A checkpoint's segment reset (truncate + fresh header + fsync) is the
+  // one moment the log's on-disk generation changes. A transient fault
+  // there — the device heals immediately, no crash — must not let the
+  // store keep committing: with in-memory epoch/offset state desynced from
+  // the on-disk header, later commits would be fsynced and acknowledged,
+  // then CRC-rejected by recovery as a torn tail (acked-commit loss from a
+  // single momentary ftruncate/write error). Contract: the failed
+  // checkpoint poisons the log, reads keep serving the acked state, and a
+  // reopen recovers every acknowledged commit.
+  const std::string path = TestPath("ckpt_transient");
+  const std::vector<WorkloadOp> ops = Workload();
+  const std::vector<Model> states = WorkloadStates(ops);
+  for (bool flush_fault : {false, true}) {
+    bool done = false;
+    for (int64_t k = 0; !done; ++k) {
+      ASSERT_LT(k, 50) << "checkpoint I/O sweep did not converge";
+      SCOPED_TRACE(std::string("checkpoint ") +
+                   (flush_fault ? "flush" : "write") + " #" + std::to_string(k));
+      RemoveStoreFiles(path);
+      auto state = std::make_shared<FaultState>();
+      state->path_filter = ".wal";
+      state->transient = true;
+      Model expected = states.back();
+      {
+        auto store = SetStore::Open(path, CrashRunOptions(state));
+        ASSERT_TRUE(store.ok()) << store.status().ToString();
+        for (const WorkloadOp& op : ops) {
+          ASSERT_TRUE(op.apply(**store).ok()) << op.label;
+        }
+        // Every op is acked and durable, so the remaining log I/O of a
+        // checkpoint is exactly the segment reset; arm the k-th operation
+        // from here.
+        if (flush_fault) {
+          state->fail_flush = state->flushes + k;
+        } else {
+          state->fail_write = state->writes + k;
+        }
+        Status ckpt = (*store)->Checkpoint();
+        if (!state->triggered) {
+          EXPECT_TRUE(ckpt.ok()) << ckpt.ToString();
+          done = true;  // k is past every I/O the checkpoint performs
+        } else {
+          EXPECT_FALSE(ckpt.ok()) << "triggered fault must surface";
+          // Reads still serve everything acknowledged (resident table and
+          // the already-checkpointed main file are both intact).
+          EXPECT_TRUE(MatchesModel(**store, states.back()));
+          // Poisoned until reopen: a commit into a segment whose on-disk
+          // header may no longer match would be acknowledged and then lost.
+          Status put = (*store)->Put("after", BlobValue(9, 4));
+          EXPECT_FALSE(put.ok())
+              << "commit acknowledged into a desynced segment";
+          if (put.ok()) expected["after"] = BlobValue(9, 4);  // acked => durable
+        }
+      }
+      auto clean = SetStore::Open(path, CleanReopenOptions());
+      ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+      EXPECT_TRUE(MatchesModel(**clean, expected));
+      EXPECT_TRUE((*clean)->Scrub().ok());
+      if (::testing::Test::HasFailure()) break;
+    }
+    if (::testing::Test::HasFailure()) break;
+  }
+  RemoveStoreFiles(path);
+}
+
+TEST(WalCheckpoint, MaybeCheckpointFailureIsCountedNotSwallowed) {
+  // Automatic checkpoints run on the commit path and deliberately keep the
+  // commit's Status OK (the commit is already durable) — but their
+  // failures must be observable: wal.checkpoint.failures counts each one,
+  // and a reset-step failure poisons the log so the next commit fails
+  // loudly instead of being silently lost.
+  const std::string path = TestPath("ckpt_counted");
+  RemoveStoreFiles(path);
+  auto state = std::make_shared<FaultState>();
+  state->path_filter = ".wal";
+  state->transient = true;
+  const uint64_t failures_before = CheckpointFailures().value();
+  Model expected;
+  expected["a"] = BlobValue(1, 6);
+  {
+    SetStoreOptions options;
+    options.buffer_pool_pages = 8;
+    options.file_factory = FaultFileFactory(state);
+    options.checkpoint_on_close = false;
+    options.wal_checkpoint_bytes = 1;  // checkpoint after every commit
+    auto store = SetStore::Open(path, options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    // The put's own commit is one batched log write; the write after it is
+    // the automatic checkpoint's segment-reset truncate. Fail that, once.
+    state->fail_write = state->writes + 1;
+    Status put = (*store)->Put("a", BlobValue(1, 6));
+    EXPECT_TRUE(put.ok()) << put.ToString();  // the commit itself is durable
+    ASSERT_TRUE(state->triggered) << "fault did not land on the checkpoint";
+    EXPECT_EQ(CheckpointFailures().value(), failures_before + 1);
+    EXPECT_TRUE(MatchesModel(**store, expected));
+    // Poisoned until reopen: the on-disk segment is in an unknown state.
+    EXPECT_FALSE((*store)->Put("b", BlobValue(2, 6)).ok());
+  }
+  auto clean = SetStore::Open(path, CleanReopenOptions());
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_TRUE(MatchesModel(**clean, expected));
+  EXPECT_TRUE((*clean)->Scrub().ok());
   RemoveStoreFiles(path);
 }
 
