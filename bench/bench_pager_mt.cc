@@ -1,0 +1,136 @@
+// BEN-PAGER-MT: concurrent read-hit throughput through the pager latch.
+// Each benchmark runs the same read mix against two store configurations:
+// the default sharded latch (optimistic read path) and the coarse baseline
+// (serialize_reads=true, pager_latch_shards=1). The sharded/coarse ratio at
+// 8 threads is the PR10 acceptance figure; single-core hosts can only show
+// parity, so read multi-thread numbers from a multi-core runner.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/xset.h"
+#include "src/store/setstore.h"
+
+namespace xst {
+namespace {
+
+constexpr int kKeys = 64;
+constexpr int kIndexMembers = 256;
+
+std::string BenchPath(const char* tag) {
+  return "/tmp/xst_bench_pager_mt_" + std::string(tag) + ".db";
+}
+
+XSet DenseSet(int n) {
+  std::vector<Membership> members;
+  members.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    members.push_back(Membership{XSet::Int(i), XSet::Empty()});
+  }
+  return XSet::FromMembers(std::move(members));
+}
+
+// One static read-only store per configuration, built on first use and kept
+// for the process lifetime: google-benchmark re-enters the function from
+// every thread, so construction must be single-shot and race-free.
+SetStore* GetStore(bool coarse) {
+  static std::unique_ptr<SetStore> stores[2];
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::unique_ptr<SetStore>& slot = stores[coarse ? 1 : 0];
+  if (!slot) {
+    const std::string path = BenchPath(coarse ? "coarse" : "sharded");
+    std::remove(path.c_str());
+    std::remove((path + ".wal").c_str());
+    SetStoreOptions options;
+    options.buffer_pool_pages = 512;  // everything stays resident: pure hits
+    if (coarse) {
+      options.serialize_reads = true;
+      options.pager_latch_shards = 1;
+    }
+    Result<std::unique_ptr<SetStore>> store = SetStore::Open(path, options);
+    if (!store.ok()) return nullptr;
+    for (int i = 0; i < kKeys; ++i) {
+      if (!(*store)->Put("set" + std::to_string(i), DenseSet(24)).ok()) {
+        return nullptr;
+      }
+    }
+    if (!(*store)->PutIndexed("idx", DenseSet(kIndexMembers)).ok()) {
+      return nullptr;
+    }
+    slot = std::move(*store);
+  }
+  return slot.get();
+}
+
+// Full Get round-trips: pin + decode of a cached page per key.
+void BM_PagerConcurrentGet(benchmark::State& state) {
+  SetStore* store = GetStore(state.range(0) != 0);
+  if (store == nullptr) {
+    state.SkipWithError("open failed");
+    return;
+  }
+  const int t = state.thread_index();
+  int i = 0;
+  for (auto _ : state) {
+    Result<XSet> got = store->Get("set" + std::to_string((t + i++) % kKeys));
+    if (!got.ok()) {
+      state.SkipWithError(got.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(got);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(state.range(0) != 0 ? "coarse" : "sharded");
+}
+BENCHMARK(BM_PagerConcurrentGet)
+    ->ArgName("coarse")
+    ->Arg(0)
+    ->Arg(1)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+// B+tree point probes: short pin times, so latch hand-off dominates — the
+// read mix where a coarse latch hurts most.
+void BM_PagerConcurrentProbe(benchmark::State& state) {
+  SetStore* store = GetStore(state.range(0) != 0);
+  if (store == nullptr) {
+    state.SkipWithError("open failed");
+    return;
+  }
+  const int t = state.thread_index();
+  int i = 0;
+  for (auto _ : state) {
+    const Membership probe{XSet::Int((t * 17 + i++) % kIndexMembers),
+                           XSet::Empty()};
+    Result<bool> has = store->ContainsMember("idx", probe);
+    if (!has.ok() || !*has) {
+      state.SkipWithError("probe failed");
+      return;
+    }
+    benchmark::DoNotOptimize(has);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(state.range(0) != 0 ? "coarse" : "sharded");
+}
+BENCHMARK(BM_PagerConcurrentProbe)
+    ->ArgName("coarse")
+    ->Arg(0)
+    ->Arg(1)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace xst
+
+BENCHMARK_MAIN();

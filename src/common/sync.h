@@ -16,6 +16,10 @@
 //   * Never hold a MutexLock across a ParallelFor: the pool inverts control
 //     and a chunk that re-acquires the same lock self-deadlocks (astcheck's
 //     lock-across-parallelfor rule).
+//   * Every Mutex declaration carries XST_LOCK_RANK(n): the locksmith rules
+//     (lock-rank, blocking-under-latch; DESIGN.md §15) prove acquisitions
+//     are strictly rank-increasing and that nothing blocking runs while a
+//     latch-class lock (rank ≥ the pager-latch floor) is held.
 //
 // In release builds the wrappers compile to the exact same code as the std
 // types they wrap (everything is inline; the attribute is metadata only);
@@ -120,7 +124,11 @@ class CondVar {
   /// \brief Blocks until notified. `lock` must hold the mutex guarding the
   /// awaited state; it is released while blocked and reacquired on wakeup.
   /// Spurious wakeups happen: always wait in a predicate loop.
-  void Wait(MutexLock& lock) {
+  ///
+  /// A registered blocking point (locksmith): waiting releases only `lock`'s
+  /// own mutex, so the checker exempts the innermost held lock and flags a
+  /// wait that would park while any OTHER latch-class lock stays held.
+  void XST_BLOCKING Wait(MutexLock& lock) {
     lock.mu_->NoteUnlocked();
     cv_.wait(lock.lock_);
     lock.mu_->NoteLocked();

@@ -25,8 +25,23 @@
 //   XST_NO_THREAD_SAFETY_ANALYSIS  opt a function out (e.g. init/teardown
 //                                  that is single-threaded by construction)
 //
+// Locksmith annotations (tools/xst_lint.py / tools/xst_astcheck.py — Clang's
+// TSA does not consume these; the lint engines do):
+//   XST_LOCK_RANK(n)    declares a Mutex's position in the global lock
+//                       hierarchy. Every acquisition path must be strictly
+//                       rank-increasing (lock-rank rule); ranks at or above
+//                       the latch floor (DESIGN.md §15) additionally forbid
+//                       reaching any blocking point while held
+//                       (blocking-under-latch rule).
+//   XST_BLOCKING        declares a function a blocking point (file I/O,
+//                       fsync waits, condition waits, pool fan-out) for the
+//                       blocking-under-latch rule, extending the built-in
+//                       registry (File I/O, Wal::WaitDurable, CondVar::Wait,
+//                       ParallelFor).
+//
 // See DESIGN.md section 10 for the per-subsystem capability map and the
-// rules for introducing new shared state.
+// rules for introducing new shared state, and section 15 for the lock-rank
+// hierarchy.
 
 #pragma once
 
@@ -82,3 +97,14 @@
 
 #define XST_NO_THREAD_SAFETY_ANALYSIS \
   XST_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+// Locksmith: lock-rank / blocking-point declarations. On Clang these lower
+// to `annotate` attributes the AST engine reads back; the fallback engine
+// regex-parses the macro spelling, so keep the literal names stable.
+#if defined(__clang__) && (!defined(SWIG))
+#define XST_LOCK_RANK(n) __attribute__((annotate("xst::lock_rank=" #n)))
+#define XST_BLOCKING __attribute__((annotate("xst::blocking")))
+#else
+#define XST_LOCK_RANK(n)  // parsed by tools/xst_lint.py on non-Clang builds
+#define XST_BLOCKING
+#endif

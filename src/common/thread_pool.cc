@@ -51,20 +51,20 @@ size_t GlobalPoolSize() {
 }  // namespace
 
 struct ThreadPool::Impl {
-  Mutex mu;
+  Mutex pool_mu XST_LOCK_RANK(70);
   CondVar work_available;
-  std::deque<std::function<void()>> queue XST_GUARDED_BY(mu);
+  std::deque<std::function<void()>> queue XST_GUARDED_BY(pool_mu);
   std::vector<std::thread> workers;  // written once at construction, then joined
-  bool shutting_down XST_GUARDED_BY(mu) = false;
+  bool shutting_down XST_GUARDED_BY(pool_mu) = false;
 
   void WorkerLoop() {
     tls_in_worker = true;
     for (;;) {
       std::function<void()> task;
       {
-        MutexLock lock(&mu);
+        MutexLock lock(&pool_mu);
         // Explicit predicate loop (not the lambda overload) so the analysis
-        // sees the guarded reads happen with `mu` held.
+        // sees the guarded reads happen with `pool_mu` held.
         while (!shutting_down && queue.empty()) work_available.Wait(lock);
         if (queue.empty()) return;  // shutting down and drained
         task = std::move(queue.front());
@@ -76,7 +76,7 @@ struct ThreadPool::Impl {
 
   void Enqueue(std::function<void()> task) {
     {
-      MutexLock lock(&mu);
+      MutexLock lock(&pool_mu);
       queue.push_back(std::move(task));
     }
     work_available.NotifyOne();
@@ -98,7 +98,7 @@ ThreadPool::ThreadPool(size_t threads) : impl_(new Impl()) {
 
 ThreadPool::~ThreadPool() {
   {
-    MutexLock lock(&impl_->mu);
+    MutexLock lock(&impl_->pool_mu);
     impl_->shutting_down = true;
   }
   impl_->work_available.NotifyAll();
@@ -130,9 +130,9 @@ void ThreadPool::ParallelFor(size_t n, size_t min_chunk,
   struct Shared {
     std::atomic<size_t> next_chunk{0};
     std::atomic<size_t> done_chunks{0};
-    Mutex mu;
+    Mutex region_mu XST_LOCK_RANK(71);
     CondVar all_done;
-    std::exception_ptr error XST_GUARDED_BY(mu);
+    std::exception_ptr error XST_GUARDED_BY(region_mu);
   };
   auto shared = std::make_shared<Shared>();
 
@@ -148,11 +148,11 @@ void ThreadPool::ParallelFor(size_t n, size_t min_chunk,
           body(begin, end);
         }
       } catch (...) {
-        MutexLock lock(&shared->mu);
+        MutexLock lock(&shared->region_mu);
         if (!shared->error) shared->error = std::current_exception();
       }
       if (shared->done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 == num_chunks) {
-        MutexLock lock(&shared->mu);
+        MutexLock lock(&shared->region_mu);
         shared->all_done.NotifyAll();
       }
     }
@@ -166,7 +166,7 @@ void ThreadPool::ParallelFor(size_t n, size_t min_chunk,
   for (size_t i = 0; i < helpers; ++i) impl_->Enqueue(run_chunks);
   run_chunks();  // caller participates
   {
-    MutexLock lock(&shared->mu);
+    MutexLock lock(&shared->region_mu);
     while (shared->done_chunks.load(std::memory_order_acquire) != num_chunks) {
       shared->all_done.Wait(lock);
     }

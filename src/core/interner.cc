@@ -80,11 +80,11 @@ struct SetTableEq {
 }  // namespace
 
 struct Interner::Shard {
-  Mutex mu;
-  std::unordered_map<int64_t, const internal::Node*> ints XST_GUARDED_BY(mu);
-  std::unordered_map<std::string, const internal::Node*> symbols XST_GUARDED_BY(mu);
-  std::unordered_map<std::string, const internal::Node*> strings XST_GUARDED_BY(mu);
-  std::unordered_set<const internal::Node*, SetTableHash, SetTableEq> sets XST_GUARDED_BY(mu);
+  Mutex shard_mu XST_LOCK_RANK(60);
+  std::unordered_map<int64_t, const internal::Node*> ints XST_GUARDED_BY(shard_mu);
+  std::unordered_map<std::string, const internal::Node*> symbols XST_GUARDED_BY(shard_mu);
+  std::unordered_map<std::string, const internal::Node*> strings XST_GUARDED_BY(shard_mu);
+  std::unordered_set<const internal::Node*, SetTableHash, SetTableEq> sets XST_GUARDED_BY(shard_mu);
 };
 
 Interner& Interner::Global() {
@@ -102,7 +102,7 @@ Interner::Interner() {
     n->tree_size = 1;
     empty_ = n;
     Shard& shard = ShardFor(n->hash);
-    MutexLock lock(&shard.mu);
+    MutexLock lock(&shard.shard_mu);
     shard.sets.insert(n);
   }
   small_ints_.resize(static_cast<size_t>(kSmallIntMax - kSmallIntMin + 1));
@@ -115,7 +115,7 @@ Interner::Interner() {
     n->int_value = v;
     small_ints_[static_cast<size_t>(v - kSmallIntMin)] = n;
     Shard& shard = ShardFor(n->hash);
-    MutexLock lock(&shard.mu);
+    MutexLock lock(&shard.shard_mu);
     shard.ints.emplace(v, n);
   }
 }
@@ -130,7 +130,7 @@ const internal::Node* Interner::Int(int64_t v) {
   }
   uint64_t h = HashIntAtom(v);
   Shard& shard = ShardFor(h);
-  MutexLock lock(&shard.mu);
+  MutexLock lock(&shard.shard_mu);
   auto it = shard.ints.find(v);
   if (it != shard.ints.end()) return it->second;
   auto* n = new internal::Node();
@@ -147,7 +147,7 @@ const internal::Node* Interner::Int(int64_t v) {
 const internal::Node* Interner::Symbol(std::string_view name) {
   uint64_t h = HashSymbolAtom(name);
   Shard& shard = ShardFor(h);
-  MutexLock lock(&shard.mu);
+  MutexLock lock(&shard.shard_mu);
   auto it = shard.symbols.find(std::string(name));
   if (it != shard.symbols.end()) return it->second;
   auto* n = new internal::Node();
@@ -164,7 +164,7 @@ const internal::Node* Interner::Symbol(std::string_view name) {
 const internal::Node* Interner::String(std::string_view text) {
   uint64_t h = HashStringAtom(text);
   Shard& shard = ShardFor(h);
-  MutexLock lock(&shard.mu);
+  MutexLock lock(&shard.shard_mu);
   auto it = shard.strings.find(std::string(text));
   if (it != shard.strings.end()) return it->second;
   auto* n = new internal::Node();
@@ -182,7 +182,7 @@ const internal::Node* Interner::Set(std::vector<Membership> members) {
   if (members.empty()) return empty_;
   uint64_t h = HashSetNode(members);
   Shard& shard = ShardFor(h);
-  MutexLock lock(&shard.mu);
+  MutexLock lock(&shard.shard_mu);
   auto it = shard.sets.find(SetKeyView{h, &members});
   if (it != shard.sets.end()) return *it;
   auto* n = new internal::Node();
@@ -207,21 +207,21 @@ const internal::Node* Interner::FindInt(int64_t v) const {
     return small_ints_[static_cast<size_t>(v - kSmallIntMin)];
   }
   Shard& shard = ShardFor(HashIntAtom(v));
-  MutexLock lock(&shard.mu);
+  MutexLock lock(&shard.shard_mu);
   auto it = shard.ints.find(v);
   return it != shard.ints.end() ? it->second : nullptr;
 }
 
 const internal::Node* Interner::FindSymbol(std::string_view name) const {
   Shard& shard = ShardFor(HashSymbolAtom(name));
-  MutexLock lock(&shard.mu);
+  MutexLock lock(&shard.shard_mu);
   auto it = shard.symbols.find(std::string(name));
   return it != shard.symbols.end() ? it->second : nullptr;
 }
 
 const internal::Node* Interner::FindString(std::string_view text) const {
   Shard& shard = ShardFor(HashStringAtom(text));
-  MutexLock lock(&shard.mu);
+  MutexLock lock(&shard.shard_mu);
   auto it = shard.strings.find(std::string(text));
   return it != shard.strings.end() ? it->second : nullptr;
 }
@@ -230,7 +230,7 @@ const internal::Node* Interner::FindSet(const std::vector<Membership>& members) 
   if (members.empty()) return empty_;
   uint64_t h = HashSetNode(members);
   Shard& shard = ShardFor(h);
-  MutexLock lock(&shard.mu);
+  MutexLock lock(&shard.shard_mu);
   auto it = shard.sets.find(SetKeyView{h, &members});
   return it != shard.sets.end() ? *it : nullptr;
 }
@@ -239,7 +239,7 @@ std::vector<const internal::Node*> Interner::SnapshotNodes() const {
   std::vector<const internal::Node*> nodes;
   for (int i = 0; i < kNumShards; ++i) {
     Shard& shard = shards_[i];
-    MutexLock lock(&shard.mu);
+    MutexLock lock(&shard.shard_mu);
     for (const auto& [v, n] : shard.ints) nodes.push_back(n);
     for (const auto& [s, n] : shard.symbols) nodes.push_back(n);
     for (const auto& [s, n] : shard.strings) nodes.push_back(n);
@@ -270,7 +270,7 @@ InternerStats Interner::GetStats() const {
   InternerStats stats;
   for (int i = 0; i < kNumShards; ++i) {
     Shard& shard = shards_[i];
-    MutexLock lock(&shard.mu);
+    MutexLock lock(&shard.shard_mu);
     stats.atom_count += shard.ints.size() + shard.symbols.size() + shard.strings.size();
     stats.set_count += shard.sets.size();
     for (const internal::Node* n : shard.sets) {

@@ -118,8 +118,8 @@ Status CheckNodeInterned(const internal::Node* n) {
 // immutable and immortal, so valid-once is valid-forever. Keeps level-2
 // builds from re-walking shared subtrees on every kernel post-condition.
 struct ValidNodeCache {
-  Mutex mu;
-  std::unordered_set<const internal::Node*> nodes XST_GUARDED_BY(mu);
+  Mutex cache_mu XST_LOCK_RANK(50);
+  std::unordered_set<const internal::Node*> nodes XST_GUARDED_BY(cache_mu);
 };
 
 ValidNodeCache& ValidCache() {
@@ -129,13 +129,13 @@ ValidNodeCache& ValidCache() {
 
 bool IsCachedValid(const internal::Node* n) {
   ValidNodeCache& cache = ValidCache();
-  MutexLock lock(&cache.mu);
+  MutexLock lock(&cache.cache_mu);
   return cache.nodes.count(n) != 0;
 }
 
 void MarkCachedValid(const internal::Node* n) {
   ValidNodeCache& cache = ValidCache();
-  MutexLock lock(&cache.mu);
+  MutexLock lock(&cache.cache_mu);
   cache.nodes.insert(n);
 }
 

@@ -39,10 +39,10 @@ void Histogram::Reset() {
 // Metric objects are held behind unique_ptr so the map can grow without
 // moving them; the registry itself is leaked, so references are immortal.
 struct MetricsRegistry::Impl {
-  mutable Mutex mu;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters XST_GUARDED_BY(mu);
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges XST_GUARDED_BY(mu);
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms XST_GUARDED_BY(mu);
+  mutable Mutex registry_mu XST_LOCK_RANK(90);
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters XST_GUARDED_BY(registry_mu);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges XST_GUARDED_BY(registry_mu);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms XST_GUARDED_BY(registry_mu);
 };
 
 // The only instance is the leaked Global() singleton, so its Impl is
@@ -55,7 +55,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter& MetricsRegistry::GetCounter(std::string_view name) {
-  MutexLock lock(&impl_->mu);
+  MutexLock lock(&impl_->registry_mu);
   auto it = impl_->counters.find(name);
   if (it == impl_->counters.end()) {
     it = impl_->counters.emplace(std::string(name), std::make_unique<Counter>()).first;
@@ -64,7 +64,7 @@ Counter& MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::GetGauge(std::string_view name) {
-  MutexLock lock(&impl_->mu);
+  MutexLock lock(&impl_->registry_mu);
   auto it = impl_->gauges.find(name);
   if (it == impl_->gauges.end()) {
     it = impl_->gauges.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -73,7 +73,7 @@ Gauge& MetricsRegistry::GetGauge(std::string_view name) {
 }
 
 Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
-  MutexLock lock(&impl_->mu);
+  MutexLock lock(&impl_->registry_mu);
   auto it = impl_->histograms.find(name);
   if (it == impl_->histograms.end()) {
     it = impl_->histograms.emplace(std::string(name), std::make_unique<Histogram>()).first;
@@ -83,7 +83,7 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
-  MutexLock lock(&impl_->mu);
+  MutexLock lock(&impl_->registry_mu);
   snap.counters.reserve(impl_->counters.size());
   for (const auto& [name, c] : impl_->counters) snap.counters.emplace_back(name, c->value());
   snap.gauges.reserve(impl_->gauges.size());
@@ -103,7 +103,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::ResetAll() {
-  MutexLock lock(&impl_->mu);
+  MutexLock lock(&impl_->registry_mu);
   for (auto& [name, c] : impl_->counters) c->Reset();
   for (auto& [name, g] : impl_->gauges) g->Reset();
   for (auto& [name, h] : impl_->histograms) h->Reset();

@@ -16,7 +16,7 @@ XSet SigmaDomain(const XSet& r, const XSet& sigma) {
   auto ms = r.members();
   std::vector<Membership> out;
   out.reserve(ms.size());
-  Mutex mu;
+  Mutex merge_mu XST_LOCK_RANK(40);
   ParallelFor(ms.size(), /*min_chunk=*/1024, [&](size_t lo, size_t hi) {
     const bool solo = lo == 0 && hi == ms.size();  // single-chunk inline path
     std::vector<Membership> local_storage;
@@ -29,7 +29,7 @@ XSet SigmaDomain(const XSet& r, const XSet& sigma) {
       dest.push_back(Membership{x, s});
     }
     if (solo) return;
-    MutexLock lock(&mu);
+    MutexLock lock(&merge_mu);
     out.insert(out.end(), local_storage.begin(), local_storage.end());
   });
   return XST_VALIDATE(XSet::FromMembers(std::move(out)));

@@ -23,7 +23,7 @@ ImageIndex::ImageIndex(XSet r, Sigma sigma) : r_(std::move(r)), sigma_(std::move
   // per-key posting lists keep the carrier's canonical order.
   auto ms = r_.members();
   using Buckets = std::unordered_map<Membership, std::vector<Membership>, KeyHash, KeyEq>;
-  Mutex mu;
+  Mutex merge_mu XST_LOCK_RANK(40);
   std::map<size_t, Buckets> parts;  // keyed by chunk start
   ParallelFor(ms.size(), /*min_chunk=*/1024, [&](size_t lo, size_t hi) {
     const bool solo = lo == 0 && hi == ms.size();  // single-chunk inline path
@@ -39,7 +39,7 @@ ImageIndex::ImageIndex(XSet r, Sigma sigma) : r_(std::move(r)), sigma_(std::move
       }
     }
     if (solo) return;
-    MutexLock lock(&mu);
+    MutexLock lock(&merge_mu);
     parts.emplace(lo, std::move(local_storage));
   });
   for (auto& [start, local] : parts) {

@@ -28,7 +28,7 @@ template <typename Keep>
 std::vector<Membership> ParallelFilterInOrder(std::span<const Membership> ms,
                                               const Keep& keep) {
   std::vector<Membership> out;
-  Mutex mu;
+  Mutex merge_mu XST_LOCK_RANK(40);
   std::map<size_t, std::vector<Membership>> chunks;  // keyed by chunk start
   ParallelFor(ms.size(), kFilterGrain, [&](size_t lo, size_t hi) {
     // A chunk covering the whole range runs alone (inline / 1-core path):
@@ -40,7 +40,7 @@ std::vector<Membership> ParallelFilterInOrder(std::span<const Membership> ms,
       if (keep(ms[i])) dest.push_back(ms[i]);
     }
     if (solo) return;
-    MutexLock lock(&mu);
+    MutexLock lock(&merge_mu);
     chunks.emplace(lo, std::move(local_storage));
   });
   for (auto& [start, kept] : chunks) {

@@ -52,7 +52,7 @@ Result<XSet> CrossProduct(const XSet& a, const XSet& b, ConcatMode mode) {
   auto mbs = b.members();
   std::vector<Membership> out;
   out.reserve(mas.size() * mbs.size());
-  Mutex mu;
+  Mutex merge_mu XST_LOCK_RANK(40);
   Status error = Status::OK();
   ParallelFor(mas.size(), /*min_chunk=*/std::max<size_t>(1, 512 / (mbs.size() + 1)),
               [&](size_t lo, size_t hi) {
@@ -64,13 +64,13 @@ Result<XSet> CrossProduct(const XSet& a, const XSet& b, ConcatMode mode) {
                   for (const Membership& mb : mbs) {
                     Result<XSet> element = ConcatForMode(mas[i].element, mb.element, mode);
                     if (!element.ok()) {
-                      MutexLock lock(&mu);
+                      MutexLock lock(&merge_mu);
                       if (error.ok()) error = element.status();
                       return;
                     }
                     Result<XSet> scope = ConcatForMode(mas[i].scope, mb.scope, mode);
                     if (!scope.ok()) {
-                      MutexLock lock(&mu);
+                      MutexLock lock(&merge_mu);
                       if (error.ok()) error = scope.status();
                       return;
                     }
@@ -78,7 +78,7 @@ Result<XSet> CrossProduct(const XSet& a, const XSet& b, ConcatMode mode) {
                   }
                 }
                 if (solo) return;
-                MutexLock lock(&mu);
+                MutexLock lock(&merge_mu);
                 out.insert(out.end(), local_storage.begin(), local_storage.end());
               });
   if (!error.ok()) return error;

@@ -149,7 +149,7 @@ XSet RelativeProduct(const XSet& f, const XSet& g, const Sigma& sigma, const Sig
   key_arena.reserve(mg.size() * 2);
   out_arena.reserve(mg.size() * 2);
   {
-    Mutex mu;
+    Mutex merge_mu XST_LOCK_RANK(40);
     ParallelFor(mg.size(), kGrain, [&](size_t lo, size_t hi) {
       const bool solo = lo == 0 && hi == mg.size();
       std::vector<BuildEntry> local_entries;
@@ -177,7 +177,7 @@ XSet RelativeProduct(const XSet& f, const XSet& g, const Sigma& sigma, const Sig
         dst_entries.push_back(e);
       }
       if (solo) return;
-      MutexLock lock(&mu);
+      MutexLock lock(&merge_mu);
       size_t key_base = key_arena.size();
       size_t out_base = out_arena.size();
       key_arena.insert(key_arena.end(), local_keys.begin(), local_keys.end());
@@ -208,7 +208,7 @@ XSet RelativeProduct(const XSet& f, const XSet& g, const Sigma& sigma, const Sig
   auto mf = f.members();
   std::vector<Membership> out;
   {
-    Mutex mu;
+    Mutex merge_mu XST_LOCK_RANK(40);
     ParallelFor(mf.size(), kGrain, [&](size_t lo, size_t hi) {
       const bool solo = lo == 0 && hi == mf.size();
       std::vector<Membership> local_storage;
@@ -242,7 +242,7 @@ XSet RelativeProduct(const XSet& f, const XSet& g, const Sigma& sigma, const Sig
         }
       }
       if (solo) return;
-      MutexLock lock(&mu);
+      MutexLock lock(&merge_mu);
       if (out.empty()) {
         out = std::move(local_storage);
       } else {
@@ -299,7 +299,7 @@ XSet RelativeProductNested(const XSet& f, const XSet& g, const Sigma& sigma, con
   auto mf = f.members();
   std::vector<Membership> out;
   {
-    Mutex mu;
+    Mutex merge_mu XST_LOCK_RANK(40);
     ParallelFor(mf.size(), kGrain, [&](size_t lo, size_t hi) {
       const bool solo = lo == 0 && hi == mf.size();
       std::vector<Membership> local_storage;
@@ -339,7 +339,7 @@ XSet RelativeProductNested(const XSet& f, const XSet& g, const Sigma& sigma, con
         }
       }
       if (solo) return;
-      MutexLock lock(&mu);
+      MutexLock lock(&merge_mu);
       if (out.empty()) {
         out = std::move(local_storage);
       } else {

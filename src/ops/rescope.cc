@@ -37,8 +37,8 @@ constexpr size_t kMemoSetsPerShard = size_t{1} << 12;
 constexpr size_t kMemoShards = 16;  // total: 16 × 4096 × 2 slots ≈ 3 MB
 
 struct MemoShard {
-  Mutex mu;
-  MemoSlot slots[kMemoSetsPerShard * kMemoWays] XST_GUARDED_BY(mu);
+  Mutex memo_mu XST_LOCK_RANK(45);
+  MemoSlot slots[kMemoSetsPerShard * kMemoWays] XST_GUARDED_BY(memo_mu);
 };
 
 MemoShard* MemoShards() {
@@ -84,7 +84,7 @@ XSet RescopeByScope(const XSet& a, const XSet& sigma) {
   MemoShard& shard = MemoShards()[(h >> 48) & (kMemoShards - 1)];
   const size_t set_base = (h & (kMemoSetsPerShard - 1)) * kMemoWays;
   if (use_memo) {
-    MutexLock lock(&shard.mu);
+    MutexLock lock(&shard.memo_mu);
     MemoSlot* set = &shard.slots[set_base];
     for (size_t w = 0; w < kMemoWays; ++w) {
       if (set[w].a == na && set[w].sigma == ns) {
@@ -105,7 +105,7 @@ XSet RescopeByScope(const XSet& a, const XSet& sigma) {
   if (use_memo) {
     // Insert into way 1 (the LRU victim); a racing compute of the same key
     // wrote the identical interned node, so lost races are harmless.
-    MutexLock lock(&shard.mu);
+    MutexLock lock(&shard.memo_mu);
     shard.slots[set_base + 1] = MemoSlot{na, ns, result.node()};
   }
   return result;
@@ -136,7 +136,7 @@ RescopeCacheStats GetRescopeCacheStats() {
   stats.misses = MemoMisses().value();
   for (size_t i = 0; i < kMemoShards; ++i) {
     MemoShard& shard = MemoShards()[i];
-    MutexLock lock(&shard.mu);
+    MutexLock lock(&shard.memo_mu);
     for (const MemoSlot& slot : shard.slots) {
       if (slot.result != nullptr) ++stats.entries;
     }
@@ -183,7 +183,7 @@ std::vector<RescopeMemoEntry> SnapshotRescopeMemo() {
   std::vector<RescopeMemoEntry> entries;
   for (size_t i = 0; i < kMemoShards; ++i) {
     MemoShard& shard = MemoShards()[i];
-    MutexLock lock(&shard.mu);
+    MutexLock lock(&shard.memo_mu);
     for (const MemoSlot& slot : shard.slots) {
       if (slot.result == nullptr) continue;
       entries.push_back(RescopeMemoEntry{XSet::FromNode(slot.a), XSet::FromNode(slot.sigma),
@@ -198,7 +198,7 @@ bool PoisonRescopeMemoEntryForTest(const XSet& a, const XSet& sigma, const XSet&
   const internal::Node* ns = sigma.node();
   const uint64_t h = MemoHash(na, ns);
   MemoShard& shard = MemoShards()[(h >> 48) & (kMemoShards - 1)];
-  MutexLock lock(&shard.mu);
+  MutexLock lock(&shard.memo_mu);
   MemoSlot* set = &shard.slots[(h & (kMemoSetsPerShard - 1)) * kMemoWays];
   for (size_t w = 0; w < kMemoWays; ++w) {
     if (set[w].a == na && set[w].sigma == ns) {
@@ -212,7 +212,7 @@ bool PoisonRescopeMemoEntryForTest(const XSet& a, const XSet& sigma, const XSet&
 void ClearRescopeMemoForTest() {
   for (size_t i = 0; i < kMemoShards; ++i) {
     MemoShard& shard = MemoShards()[i];
-    MutexLock lock(&shard.mu);
+    MutexLock lock(&shard.memo_mu);
     for (MemoSlot& slot : shard.slots) slot = MemoSlot{};
   }
 }

@@ -75,7 +75,7 @@ Result<Relation> GroupBy(const Relation& r, const std::vector<std::string>& keys
   using Blocks = std::map<XSet, std::vector<Accumulator>, XSetLess>;
   Blocks blocks;
   auto tuples = r.tuples().members();
-  Mutex mu;
+  Mutex merge_mu XST_LOCK_RANK(40);
   Status error = Status::OK();
   ParallelFor(tuples.size(), /*min_chunk=*/1024, [&](size_t lo, size_t hi) {
     const bool solo = lo == 0 && hi == tuples.size();  // single-chunk inline path
@@ -85,7 +85,7 @@ Result<Relation> GroupBy(const Relation& r, const std::vector<std::string>& keys
     for (size_t t = lo; t < hi; ++t) {
       const Membership& m = tuples[t];
       if (!TupleElements(m.element, &parts)) {
-        MutexLock lock(&mu);
+        MutexLock lock(&merge_mu);
         if (error.ok()) {
           error = Status::TypeError("GroupBy: non-tuple member " + m.element.ToString());
         }
@@ -105,7 +105,7 @@ Result<Relation> GroupBy(const Relation& r, const std::vector<std::string>& keys
       }
     }
     if (solo) return;
-    MutexLock lock(&mu);
+    MutexLock lock(&merge_mu);
     for (auto& [key, accs] : local_storage) {
       auto it = blocks.find(key);
       if (it == blocks.end()) {

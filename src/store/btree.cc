@@ -101,20 +101,27 @@ Status FillPage(Page* page, const Node& node) {
 
 Status WriteNode(Pager& pager, uint32_t page_id, const Node& node) {
   XST_ASSIGN_OR_RAISE(PageRef page, pager.FetchPage(page_id));
-  XST_RETURN_NOT_OK(FillPage(&*page, node));
-  page.MarkDirty();
-  return Status::OK();
+  // Content mutation happens under the frame's shard latch so a concurrent
+  // optimistic reader copies either the whole old page or the whole new one
+  // (its epoch validation then rejects the new one); the guard marks the
+  // frame dirty on scope exit.
+  PageWriteGuard guard(page);
+  return FillPage(&*guard, node);
 }
 
 Result<uint32_t> AllocateNode(Pager& pager, const Node& node) {
   XST_ASSIGN_OR_RAISE(PageRef page, pager.AllocatePage());
-  XST_RETURN_NOT_OK(FillPage(&*page, node));
-  page.MarkDirty();
+  PageWriteGuard guard(page);
+  XST_RETURN_NOT_OK(FillPage(&*guard, node));
   return page.id();
 }
 
 Status ReadNode(Pager& pager, uint32_t page_id, Node* node) {
-  XST_ASSIGN_OR_RAISE(PageRef page, pager.FetchPage(page_id));
+  // Snapshot read: no pin held, safe on the concurrent optimistic read path
+  // (the copy is taken under the page's shard latch).
+  Page snapshot;
+  XST_RETURN_NOT_OK(pager.ReadPageSnapshot(page_id, &snapshot));
+  const Page* page = &snapshot;
   if (page->slot_count() == 0) return Corrupt(page_id, "missing node header");
   Result<std::string_view> header = page->GetRecord(0);
   if (!header.ok()) return Corrupt(page_id, "unreadable node header");
@@ -171,8 +178,9 @@ Result<std::string> EncodeEntry(Pager& pager, const Membership& m) {
     size_t chunk = std::min(chunk_capacity, bytes.size() - offset);
     XST_ASSIGN_OR_RAISE(PageRef page, pager.AllocatePage());
     if (span == 0) first = page.id();
+    PageWriteGuard guard(page);
     XST_RETURN_NOT_OK(
-        page->AddRecord(std::string_view(bytes).substr(offset, chunk)).status());
+        guard->AddRecord(std::string_view(bytes).substr(offset, chunk)).status());
     offset += chunk;
     ++span;
   }
@@ -197,9 +205,10 @@ Result<Membership> DecodeEntry(Pager& pager, std::string_view payload) {
     }
     overflow.reserve(length);
     for (uint64_t i = 0; i < span; ++i) {
-      XST_ASSIGN_OR_RAISE(PageRef page,
-                          pager.FetchPage(static_cast<uint32_t>(first + i)));
-      Result<std::string_view> record = page->GetRecord(0);
+      Page chunk_page;
+      XST_RETURN_NOT_OK(
+          pager.ReadPageSnapshot(static_cast<uint32_t>(first + i), &chunk_page));
+      Result<std::string_view> record = chunk_page.GetRecord(0);
       if (!record.ok()) {
         return Status::Corruption("btree: unreadable overflow chunk");
       }

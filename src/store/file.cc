@@ -24,9 +24,15 @@ Result<std::unique_ptr<File>> StdioFile::Open(const std::string& path) {
   return std::unique_ptr<File>(new StdioFile(file, path));
 }
 
-StdioFile::~StdioFile() { std::fclose(file_); }
+StdioFile::~StdioFile() {
+  // Destruction is exclusive by contract, but the guarded field still wants
+  // its capability — and an uncontended lock here is free.
+  MutexLock lock(&mu_);
+  std::fclose(file_);
+}
 
 Result<uint64_t> StdioFile::Size() {
+  MutexLock lock(&mu_);
   if (std::fseek(file_, 0, SEEK_END) != 0) {
     return IOErrorFromErrno("seek " + path_);
   }
@@ -36,6 +42,11 @@ Result<uint64_t> StdioFile::Size() {
 }
 
 Status StdioFile::ReadAt(uint64_t offset, char* dst, size_t n) {
+  // One critical section per operation: the seek+read pair must be atomic
+  // against concurrent seeks, and a whole-page read must never interleave
+  // with a concurrent whole-page write (the sharded pager reads misses with
+  // no latch held and relies on per-operation atomicity here).
+  MutexLock lock(&mu_);
   if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
     return IOErrorFromErrno("seek " + path_);
   }
@@ -49,6 +60,7 @@ Status StdioFile::ReadAt(uint64_t offset, char* dst, size_t n) {
 }
 
 Status StdioFile::WriteAt(uint64_t offset, const char* src, size_t n) {
+  MutexLock lock(&mu_);
   if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
     return IOErrorFromErrno("seek " + path_);
   }
@@ -62,11 +74,13 @@ Status StdioFile::WriteAt(uint64_t offset, const char* src, size_t n) {
 }
 
 Status StdioFile::Flush() {
+  MutexLock lock(&mu_);
   if (std::fflush(file_) != 0) return IOErrorFromErrno("fflush " + path_);
   return Status::OK();
 }
 
 Status StdioFile::Truncate(uint64_t size) {
+  MutexLock lock(&mu_);
   // Drain stdio's buffer first so ftruncate sees every logical write, then
   // cut the descriptor. A subsequent fseek repositions the stream.
   if (std::fflush(file_) != 0) return IOErrorFromErrno("fflush " + path_);

@@ -9,6 +9,13 @@
 //
 // Offsets are absolute; reads and writes are full-or-error (a short read or
 // short write is reported as IOError, never as a partial success).
+//
+// Thread safety: StdioFile serializes every operation on an internal mutex
+// (one shared FILE* position pointer is not concurrency-safe), so a whole-
+// page ReadAt never observes a torn interleaving with a concurrent whole-
+// page WriteAt — the property the sharded pager's unlatched miss reads rely
+// on (DESIGN.md §15). Every File method is a registered blocking point for
+// the locksmith blocking-under-latch rule (XST_BLOCKING).
 
 #pragma once
 
@@ -18,6 +25,7 @@
 #include <string>
 
 #include "src/common/result.h"
+#include "src/common/sync.h"
 
 namespace xst {
 
@@ -26,21 +34,21 @@ class File {
   virtual ~File() = default;
 
   /// \brief Current size in bytes.
-  virtual Result<uint64_t> Size() = 0;
+  virtual Result<uint64_t> XST_BLOCKING Size() = 0;
 
   /// \brief Reads exactly `n` bytes at `offset` into `dst`.
-  virtual Status ReadAt(uint64_t offset, char* dst, size_t n) = 0;
+  virtual Status XST_BLOCKING ReadAt(uint64_t offset, char* dst, size_t n) = 0;
 
   /// \brief Writes exactly `n` bytes from `src` at `offset`.
-  virtual Status WriteAt(uint64_t offset, const char* src, size_t n) = 0;
+  virtual Status XST_BLOCKING WriteAt(uint64_t offset, const char* src, size_t n) = 0;
 
   /// \brief Pushes buffered writes to the OS.
-  virtual Status Flush() = 0;
+  virtual Status XST_BLOCKING Flush() = 0;
 
   /// \brief Truncates (or extends with zeros) the file to exactly `size`
   /// bytes. The WAL uses this to discard torn record tails after a crash and
   /// to recycle a log segment at checkpoint.
-  virtual Status Truncate(uint64_t size) = 0;
+  virtual Status XST_BLOCKING Truncate(uint64_t size) = 0;
 };
 
 /// \brief Opens (creating if needed) `path` for read/write paging, or a File
@@ -68,8 +76,13 @@ class StdioFile : public File {
   StdioFile(std::FILE* file, std::string path)
       : file_(file), path_(std::move(path)) {}
 
-  std::FILE* file_;
-  std::string path_;
+  // Innermost lock in the hierarchy (DESIGN.md §15): it guards only the
+  // FILE* stream below and nothing acquired under it can block on another
+  // xst lock, so any thread may call into a File while holding any latch
+  // the protocol otherwise permits.
+  Mutex mu_ XST_LOCK_RANK(100);
+  std::FILE* file_ XST_GUARDED_BY(mu_);  // the stream position is the shared state
+  std::string path_;                     // immutable after construction
 };
 
 }  // namespace xst

@@ -1,5 +1,7 @@
 #include "src/store/pager.h"
 
+#include <algorithm>
+
 #include "src/common/check.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -35,12 +37,56 @@ obs::Counter& AllocationsCounter() {
       obs::MetricsRegistry::Global().GetCounter(internal::kPagerAllocationsCounter);
   return c;
 }
+obs::Counter& LatchAcquisitionsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      internal::kPagerLatchAcquisitionsCounter);
+  return c;
+}
+obs::Counter& LatchContentionCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      internal::kPagerLatchContentionCounter);
+  return c;
+}
+
+// Largest power of two that is <= n (n >= 1).
+size_t FloorPow2(size_t n) {
+  size_t p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
+size_t EffectiveShards(size_t requested, size_t capacity) {
+  // A power of two (page-id masking) no larger than requested, and small
+  // enough that every shard keeps >= 4 frames — thinner slices would turn
+  // pin pressure into spurious ResourceExhausted. One shard reproduces the
+  // historical coarse pager exactly (same LRU order, same eviction counts).
+  return FloorPow2(std::min(requested, std::max<size_t>(1, capacity / 4)));
+}
 
 }  // namespace
 
+namespace internal {
+
+ShardLatchLock::ShardLatchLock(PagerShard* shard) : shard_(shard) {
+  // Counter resolution happens before the latch is taken, so the one-time
+  // registry lookup (registry mutex, rank 90) never runs under a latch.
+  LatchAcquisitionsCounter().Increment();
+  if (!shard_->latch.TryLock()) {
+    LatchContentionCounter().Increment();
+    shard_->latch.Lock();
+  }
+}
+
+}  // namespace internal
+
 PageRef::PageRef(Pager* pager, internal::PageFrame* frame)
     : pager_(pager), frame_(frame) {
-  if (frame_->pins++ == 0) ++pager_->pinned_frames_;
+  // Pins are only ever acquired under the frame's shard latch (every PageRef
+  // is minted inside a latched pager section), so the 0->1 transition cannot
+  // race an eviction scan of the same shard.
+  if (frame_->pins.fetch_add(1, std::memory_order_relaxed) == 0) {
+    pager_->pinned_frames_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 PageRef& PageRef::operator=(PageRef&& other) noexcept {
@@ -60,34 +106,82 @@ void PageRef::Reset() {
   frame_ = nullptr;
 }
 
+void PageRef::MarkDirty() { pager_->MarkFrameDirty(frame_); }
+
 void Pager::Unpin(internal::PageFrame* frame) {
-  XST_CHECK(frame->pins > 0);
-  if (--frame->pins == 0) --pinned_frames_;
+  // Latch-free release: the evictor reads pins under the shard latch, and
+  // its acquisition of the latch orders after this release RMW; we never
+  // touch the frame after the decrement, so an immediate eviction is safe.
+  uint32_t before = frame->pins.fetch_sub(1, std::memory_order_acq_rel);
+  XST_CHECK(before > 0);
+  if (before == 1) pinned_frames_.fetch_sub(1, std::memory_order_relaxed);
 }
 
-Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path, size_t capacity) {
+void Pager::MarkFrameDirty(internal::PageFrame* frame) {
+  internal::PagerShard& shard = ShardFor(frame->page_id);
+  internal::ShardLatchLock latch(&shard);
+  frame->dirty = true;
+  frame->logged = false;
+}
+
+PageWriteGuard::PageWriteGuard(PageRef& ref) : frame_(ref.frame_) {
+  shard_ = &ref.pager_->ShardFor(frame_->page_id);
+  LatchAcquisitionsCounter().Increment();
+  if (!shard_->latch.TryLock()) {
+    LatchContentionCounter().Increment();
+    shard_->latch.Lock();
+  }
+}
+
+PageWriteGuard::~PageWriteGuard() {
+  // The write window closes dirty: content changed, so any previously
+  // logged image no longer matches and must not satisfy a commit drain.
+  frame_->dirty = true;
+  frame_->logged = false;
+  shard_->latch.Unlock();
+}
+
+Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path, size_t capacity,
+                                           size_t latch_shards) {
   Result<std::unique_ptr<File>> file = StdioFile::Open(path);
   if (!file.ok()) return file.status();
-  return Open(std::move(*file), capacity, path);
+  return Open(std::move(*file), capacity, path, latch_shards);
 }
 
 Result<std::unique_ptr<Pager>> Pager::Open(std::unique_ptr<File> file,
-                                           size_t capacity, const std::string& name) {
+                                           size_t capacity, const std::string& name,
+                                           size_t latch_shards) {
   if (capacity == 0) return Status::Invalid("buffer pool capacity must be >= 1");
+  if (latch_shards == 0) return Status::Invalid("latch_shards must be >= 1");
   Result<uint64_t> size = file->Size();
   if (!size.ok()) return size.status().WithContext(name);
   if (*size % kPageSize != 0) {
     return Status::Corruption(name + ": file size " + std::to_string(*size) +
                               " is not a whole number of pages");
   }
-  return std::unique_ptr<Pager>(new Pager(std::move(file), name, capacity,
-                                          static_cast<uint32_t>(*size / kPageSize)));
+  return std::unique_ptr<Pager>(
+      new Pager(std::move(file), name, capacity,
+                static_cast<uint32_t>(*size / kPageSize), latch_shards));
+}
+
+Pager::Pager(std::unique_ptr<File> file, std::string name, size_t capacity,
+             uint32_t page_count, size_t latch_shards)
+    : file_(std::move(file)),
+      name_(std::move(name)),
+      capacity_per_shard_(capacity / EffectiveShards(latch_shards, capacity)),
+      page_count_(page_count) {
+  size_t shards = EffectiveShards(latch_shards, capacity);
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<internal::PagerShard>());
+  }
+  shard_mask_ = static_cast<uint32_t>(shards - 1);
 }
 
 Pager::~Pager() {
   // Pin discipline: every PageRef must be released before its pager dies —
   // a surviving handle would point into a freed frame.
-  XST_CHECK(pinned_frames_ == 0);
+  XST_CHECK(pinned_frames() == 0);
   // WAL mode: writing appended-but-unsynced frames to the main file here
   // would let data overtake the log; the store checkpoints explicitly.
   if (wal_ != nullptr) return;
@@ -97,96 +191,285 @@ Pager::~Pager() {
 }
 
 void Pager::AttachWal(Wal* wal) {
+  // Runs during store open, before any concurrent access to this pager.
   wal_ = wal;
   // The log may hold committed images for pages past the main file's end
   // (allocated since the last checkpoint); they are real logical pages.
   uint32_t bound = wal->PageCountLowerBound();
-  if (bound > page_count_) page_count_ = bound;
+  if (bound > page_count_.load(std::memory_order_relaxed)) {
+    page_count_.store(bound, std::memory_order_release);
+  }
+}
+
+PagerStats Pager::stats() const {
+  PagerStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.writebacks = writebacks_.load(std::memory_order_relaxed);
+  s.allocations = allocations_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Pager::ResetStats() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+  writebacks_.store(0, std::memory_order_relaxed);
+  allocations_.store(0, std::memory_order_relaxed);
 }
 
 Result<PageRef> Pager::AllocatePage() {
-  Status st = EvictIfFull();
+  // Allocation (like all mutation) is externally serialized — the store
+  // holds SetStore::mu_ — so the id handoff below cannot race another
+  // allocator; concurrent readers only ever touch ids < page_count_.
+  uint32_t id = page_count_.load(std::memory_order_relaxed);
+  internal::PagerShard& shard = ShardFor(id);
+  internal::ShardLatchLock latch(&shard);
+  Status st = EvictIfFullLocked(shard);
   if (!st.ok()) return st;
-  internal::PageFrame frame;
-  frame.page_id = page_count_;
+  internal::PageFrame& frame = shard.lru.emplace_front();
+  frame.page_id = id;
   frame.dirty = true;
-  lru_.push_front(std::move(frame));
-  frames_[page_count_] = lru_.begin();
-  ++page_count_;
-  ++stats_.allocations;
+  shard.frames[id] = shard.lru.begin();
+  page_count_.store(id + 1, std::memory_order_release);
+  allocations_.fetch_add(1, std::memory_order_relaxed);
   AllocationsCounter().Increment();
-  return PageRef(this, &*lru_.begin());
+  return PageRef(this, &frame);
 }
 
 Result<PageRef> Pager::FetchPage(uint32_t page_id) {
-  if (page_id >= page_count_) {
-    return Status::OutOfRange("page " + std::to_string(page_id) + " of " +
-                              std::to_string(page_count_));
+  if (page_id >= page_count_.load(std::memory_order_acquire)) {
+    return Status::OutOfRange(
+        "page " + std::to_string(page_id) + " of " +
+        std::to_string(page_count_.load(std::memory_order_relaxed)));
   }
-  auto it = frames_.find(page_id);
-  if (it != frames_.end()) {
-    ++stats_.hits;
-    HitsCounter().Increment();
-    lru_.splice(lru_.begin(), lru_, it->second);  // touch
-    return PageRef(this, &*it->second);
-  }
-  ++stats_.misses;
-  MissesCounter().Increment();
-  Status st = EvictIfFull();
-  if (!st.ok()) return st;
-  XST_TRACE_SPAN("io.page_read");
+  internal::PagerShard& shard = ShardFor(page_id);
+  bool counted_miss = false;
   std::string bytes(kPageSize, '\0');
-  // WAL read-through: the log's image table holds the newest version of any
-  // page appended since the last checkpoint (including spilled frames and
-  // pages the main file does not contain yet).
-  if (wal_ == nullptr || !wal_->LookupPage(page_id, &bytes)) {
-    st = file_->ReadAt(static_cast<uint64_t>(page_id) * kPageSize, bytes.data(),
-                       kPageSize);
-    if (!st.ok()) return st.WithContext("page " + std::to_string(page_id));
+  for (;;) {
+    uint64_t ticks_before = 0;
+    {
+      // Phase 1 (latched): resident hit, or WAL image-table read-through.
+      // Wal::LookupPage takes Wal::mu_ (rank 30) over this latch (rank 20):
+      // rank-increasing and non-blocking (an in-memory map probe).
+      internal::ShardLatchLock latch(&shard);
+      auto it = shard.frames.find(page_id);
+      if (it != shard.frames.end()) {
+        if (!counted_miss) {
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          HitsCounter().Increment();
+        }
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // touch
+        return PageRef(this, &*it->second);
+      }
+      if (!counted_miss) {
+        // Counted exactly once per logical fetch, no matter how many times
+        // the race below makes us retry.
+        counted_miss = true;
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        MissesCounter().Increment();
+      }
+      if (wal_ != nullptr && wal_->LookupPage(page_id, &bytes)) {
+        Result<Page> page = Page::FromBytes(bytes, page_id);
+        if (!page.ok()) {
+          return page.status().WithContext("page " + std::to_string(page_id));
+        }
+        Status st = EvictIfFullLocked(shard);
+        if (!st.ok()) return st;
+        internal::PageFrame& frame = shard.lru.emplace_front();
+        frame.page = std::move(*page);
+        frame.page_id = page_id;
+        shard.frames[page_id] = shard.lru.begin();
+        return PageRef(this, &frame);
+      }
+      // Neither resident nor in the log: the newest version of this page is
+      // in the main file. Remember the file-write tick so the re-latch below
+      // can tell whether a checkpoint made the file newer than what we read.
+      ticks_before = file_write_ticks_.load();
+    }
+    // Phase 2 (no latch held): the main-file read. StdioFile serializes
+    // whole operations, so the page image cannot tear against a concurrent
+    // checkpoint write — at worst it is one committed version stale, which
+    // phase 3 catches.
+    Status read_st;
+    {
+      XST_TRACE_SPAN("io.page_read");
+      read_st = file_->ReadAt(static_cast<uint64_t>(page_id) * kPageSize,
+                              bytes.data(), kPageSize);
+    }
+    Result<Page> page =
+        read_st.ok() ? Page::FromBytes(bytes, page_id) : Result<Page>(read_st);
+    // Phase 3 (re-latched): adopt whatever version won the race.
+    internal::ShardLatchLock latch(&shard);
+    auto it = shard.frames.find(page_id);
+    if (it != shard.frames.end()) {
+      // Another thread cached it (the same version or a newer one).
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return PageRef(this, &*it->second);
+    }
+    if (wal_ != nullptr && wal_->LookupPage(page_id, &bytes)) {
+      // A concurrent eviction spilled a newer image into the log after our
+      // phase-1 probe; the log wins over whatever the file said.
+      Result<Page> logged = Page::FromBytes(bytes, page_id);
+      if (!logged.ok()) {
+        return logged.status().WithContext("page " + std::to_string(page_id));
+      }
+      Status st = EvictIfFullLocked(shard);
+      if (!st.ok()) return st;
+      internal::PageFrame& frame = shard.lru.emplace_front();
+      frame.page = std::move(*logged);
+      frame.page_id = page_id;
+      shard.frames[page_id] = shard.lru.begin();
+      return PageRef(this, &frame);
+    }
+    if (file_write_ticks_.load() != ticks_before) {
+      // A file write completed during our unlatched read (a checkpoint, or a
+      // legacy write-back); our bytes may be stale. Retry from the top — the
+      // newest version is now cached, logged, or durably in the file.
+      continue;
+    }
+    if (!page.ok()) {
+      return page.status().WithContext("page " + std::to_string(page_id));
+    }
+    Status st = EvictIfFullLocked(shard);
+    if (!st.ok()) return st;
+    internal::PageFrame& frame = shard.lru.emplace_front();
+    frame.page = std::move(*page);
+    frame.page_id = page_id;
+    shard.frames[page_id] = shard.lru.begin();
+    return PageRef(this, &frame);
   }
-  Result<Page> page = Page::FromBytes(bytes, page_id);
-  if (!page.ok()) {
-    return page.status().WithContext("page " + std::to_string(page_id));
-  }
-  internal::PageFrame frame;
-  frame.page = std::move(*page);
-  frame.page_id = page_id;
-  lru_.push_front(std::move(frame));
-  frames_[page_id] = lru_.begin();
-  return PageRef(this, &*lru_.begin());
 }
 
-Status Pager::WriteBack(internal::PageFrame& frame) {
+Status Pager::ReadPageSnapshot(uint32_t page_id, Page* out) {
+  if (page_id >= page_count_.load(std::memory_order_acquire)) {
+    return Status::OutOfRange(
+        "page " + std::to_string(page_id) + " of " +
+        std::to_string(page_count_.load(std::memory_order_relaxed)));
+  }
+  internal::PagerShard& shard = ShardFor(page_id);
+  bool counted_miss = false;
+  std::string bytes(kPageSize, '\0');
+  for (;;) {
+    uint64_t ticks_before = 0;
+    {
+      // Phase 1 (latched): copy a resident frame, or decode straight out of
+      // the WAL image table (see FetchPage for the rank argument).
+      internal::ShardLatchLock latch(&shard);
+      auto it = shard.frames.find(page_id);
+      if (it != shard.frames.end()) {
+        if (!counted_miss) {
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          HitsCounter().Increment();
+        }
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // touch
+        *out = it->second->page;  // in-pool copy under the latch, no pin
+        return Status::OK();
+      }
+      if (!counted_miss) {
+        counted_miss = true;
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        MissesCounter().Increment();
+      }
+      if (wal_ != nullptr && wal_->LookupPage(page_id, &bytes)) {
+        Result<Page> page = Page::FromBytes(bytes, page_id);
+        if (!page.ok()) {
+          return page.status().WithContext("page " + std::to_string(page_id));
+        }
+        *out = std::move(*page);
+        return Status::OK();
+      }
+      ticks_before = file_write_ticks_.load();
+    }
+    // Phase 2 (no latch held): main-file read; see FetchPage for why the
+    // image cannot tear.
+    Status read_st;
+    {
+      XST_TRACE_SPAN("io.page_read");
+      read_st = file_->ReadAt(static_cast<uint64_t>(page_id) * kPageSize,
+                              bytes.data(), kPageSize);
+    }
+    Result<Page> page =
+        read_st.ok() ? Page::FromBytes(bytes, page_id) : Result<Page>(read_st);
+    // Phase 3 (re-latched): prefer any version that raced in; otherwise our
+    // file bytes are current iff no file write completed in between, and
+    // only then is caching them safe.
+    internal::ShardLatchLock latch(&shard);
+    auto it = shard.frames.find(page_id);
+    if (it != shard.frames.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      *out = it->second->page;
+      return Status::OK();
+    }
+    if (wal_ != nullptr && wal_->LookupPage(page_id, &bytes)) {
+      Result<Page> logged = Page::FromBytes(bytes, page_id);
+      if (!logged.ok()) {
+        return logged.status().WithContext("page " + std::to_string(page_id));
+      }
+      *out = std::move(*logged);
+      return Status::OK();
+    }
+    if (file_write_ticks_.load() != ticks_before) {
+      continue;  // a checkpoint rewrote the file under us; retry
+    }
+    if (!page.ok()) {
+      return page.status().WithContext("page " + std::to_string(page_id));
+    }
+    // Cache the clean copy for later readers if a frame is available; a
+    // fully pinned shard only costs us the caching, never the read itself.
+    if (EvictIfFullLocked(shard).ok()) {
+      internal::PageFrame& frame = shard.lru.emplace_front();
+      frame.page = *page;
+      frame.page_id = page_id;
+      shard.frames[page_id] = shard.lru.begin();
+    }
+    *out = std::move(*page);
+    return Status::OK();
+  }
+}
+
+Status Pager::WriteBack(internal::PagerShard& shard, internal::PageFrame& frame) {
+  (void)shard;  // held capability; frame belongs to it
   XST_TRACE_SPAN("io.page_write");
   std::string bytes = frame.page.ToBytes(frame.page_id);
-  Status st = file_->WriteAt(static_cast<uint64_t>(frame.page_id) * kPageSize,
-                             bytes.data(), kPageSize);
+  // Legacy no-WAL eviction path: dirty frames exist only when the store runs
+  // without a log, and that mode is single-threaded by contract, so the I/O
+  // under the shard latch cannot stall concurrent readers.
+  Status st = file_->WriteAt(  // xst-lint: allow(blocking-under-latch)
+      static_cast<uint64_t>(frame.page_id) * kPageSize, bytes.data(),
+      kPageSize);
   if (!st.ok()) return st.WithContext("page " + std::to_string(frame.page_id));
-  ++stats_.writebacks;
+  file_write_ticks_.fetch_add(1);
+  writebacks_.fetch_add(1, std::memory_order_relaxed);
   WritebacksCounter().Increment();
   return Status::OK();
 }
 
-Status Pager::EvictIfFull() {
-  while (lru_.size() >= capacity_) {
+Status Pager::EvictIfFullLocked(internal::PagerShard& shard) {
+  while (shard.lru.size() >= capacity_per_shard_) {
     // Least-recently-used unpinned frame; pinned frames are untouchable.
-    auto victim = lru_.end();
-    for (auto it = std::prev(lru_.end());; --it) {
-      if (it->pins == 0) {
+    // The pins load is ordered after any concurrent unpin's release RMW by
+    // this thread's latch acquisition.
+    auto victim = shard.lru.end();
+    for (auto it = std::prev(shard.lru.end());; --it) {
+      if (it->pins.load(std::memory_order_acquire) == 0) {
         victim = it;
         break;
       }
-      if (it == lru_.begin()) break;
+      if (it == shard.lru.begin()) break;
     }
-    if (victim == lru_.end()) {
+    if (victim == shard.lru.end()) {
       return Status::ResourceExhausted(
-          name_ + ": all " + std::to_string(capacity_) +
+          name_ + ": all " + std::to_string(capacity_per_shard_) +
           " buffer-pool frames are pinned; release a PageRef or grow the pool");
     }
     if (victim->dirty) {
       if (wal_ != nullptr) {
         // Spill to the log, never to the main file. A dirty-and-logged
         // frame's image is already in the log's table; just drop it.
+        // LogPageImage only records into the in-memory image table (no
+        // I/O), so it is legal under the latch (Wal::mu_ ranks above it).
         if (!victim->logged) {
           Status st = wal_->LogPageImage(victim->page_id,
                                          victim->page.ToBytes(victim->page_id));
@@ -194,13 +477,13 @@ Status Pager::EvictIfFull() {
           victim->logged = true;
         }
       } else {
-        Status st = WriteBack(*victim);
+        Status st = WriteBack(shard, *victim);
         if (!st.ok()) return st;
       }
     }
-    frames_.erase(victim->page_id);
-    lru_.erase(victim);
-    ++stats_.evictions;
+    shard.frames.erase(victim->page_id);
+    shard.lru.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
     EvictionsCounter().Increment();
   }
   return Status::OK();
@@ -210,29 +493,40 @@ Status Pager::Flush() {
   // In WAL mode the only legal main-file writer is ApplyCheckpointImage.
   XST_DCHECK(wal_ == nullptr);
   XST_TRACE_SPAN("io.flush");
-  for (internal::PageFrame& frame : lru_) {
-    if (!frame.dirty) continue;
-    Status st = WriteBack(frame);
-    if (!st.ok()) return st;
-    frame.dirty = false;
+  for (auto& shard : shards_) {
+    internal::ShardLatchLock latch(shard.get());
+    for (internal::PageFrame& frame : shard->lru) {
+      if (!frame.dirty) continue;
+      Status st = WriteBack(*shard, frame);
+      if (!st.ok()) return st;
+      frame.dirty = false;
+    }
   }
   return file_->Flush();
 }
 
 Status Pager::DrainUnloggedToWal() {
   XST_DCHECK(wal_ != nullptr);
-  for (internal::PageFrame& frame : lru_) {
-    if (!frame.dirty || frame.logged) continue;
-    Status st = wal_->LogPageImage(frame.page_id, frame.page.ToBytes(frame.page_id));
-    if (!st.ok()) return st.WithContext("page " + std::to_string(frame.page_id));
-    frame.logged = true;
+  for (auto& shard : shards_) {
+    internal::ShardLatchLock latch(shard.get());
+    for (internal::PageFrame& frame : shard->lru) {
+      if (!frame.dirty || frame.logged) continue;
+      // Buffer-only append (see EvictIfFullLocked) — legal under the latch.
+      Status st =
+          wal_->LogPageImage(frame.page_id, frame.page.ToBytes(frame.page_id));
+      if (!st.ok()) return st.WithContext("page " + std::to_string(frame.page_id));
+      frame.logged = true;
+    }
   }
   return Status::OK();
 }
 
 bool Pager::HasUnloggedDirty() const {
-  for (const internal::PageFrame& frame : lru_) {
-    if (frame.dirty && !frame.logged) return true;
+  for (const auto& shard : shards_) {
+    internal::ShardLatchLock latch(shard.get());
+    for (const internal::PageFrame& frame : shard->lru) {
+      if (frame.dirty && !frame.logged) return true;
+    }
   }
   return false;
 }
@@ -240,14 +534,25 @@ bool Pager::HasUnloggedDirty() const {
 Status Pager::ApplyCheckpointImage(uint32_t page_id, const std::string& bytes) {
   XST_DCHECK(wal_ != nullptr);
   XST_DCHECK(bytes.size() == kPageSize);
-  XST_TRACE_SPAN("io.page_write");
-  Status st = file_->WriteAt(static_cast<uint64_t>(page_id) * kPageSize,
-                             bytes.data(), bytes.size());
-  if (!st.ok()) return st.WithContext("page " + std::to_string(page_id));
-  ++stats_.writebacks;
+  // The file write runs with no latch held (the checkpointer holds only
+  // SetStore::mu_, rank 10 — below the latch floor, so blocking here is
+  // legal). Ordering matters for the snapshot miss protocol: the tick
+  // increment happens after the write completes and before the WAL's image
+  // table is reset, so a reader that missed both the pool and the log either
+  // reads the new file content or sees the tick change and refuses to cache.
+  {
+    XST_TRACE_SPAN("io.page_write");
+    Status st = file_->WriteAt(static_cast<uint64_t>(page_id) * kPageSize,
+                               bytes.data(), bytes.size());
+    if (!st.ok()) return st.WithContext("page " + std::to_string(page_id));
+  }
+  file_write_ticks_.fetch_add(1);
+  writebacks_.fetch_add(1, std::memory_order_relaxed);
   WritebacksCounter().Increment();
-  auto it = frames_.find(page_id);
-  if (it != frames_.end()) {
+  internal::PagerShard& shard = ShardFor(page_id);
+  internal::ShardLatchLock latch(&shard);
+  auto it = shard.frames.find(page_id);
+  if (it != shard.frames.end()) {
     // The resident frame holds the same committed content the image came
     // from (checkpoints run with no transaction open), so it is clean now.
     it->second->dirty = false;

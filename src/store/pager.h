@@ -1,4 +1,5 @@
-// Pager: a file of pages behind an LRU buffer pool with pin discipline.
+// Pager: a file of pages behind a latch-sharded LRU buffer pool with pin
+// discipline.
 //
 // The 1977 paper's backend context (block devices, scarce memory) is
 // simulated with a page file plus a bounded write-back cache. The pager
@@ -26,21 +27,39 @@
 // by ApplyCheckpointImage — the no-steal ordering that keeps uncommitted
 // (and committed-but-unsynced) pages from ever overtaking the log.
 //
-// Not thread-safe by itself: the pager is only reachable through
-// SetStore::pager_, which is XST_GUARDED_BY the store's mutex — the 1977
-// single-writer discipline, enforced at compile time by Clang's thread-safety
-// analysis rather than by convention (see setstore.h).
+// Thread safety (DESIGN.md §15): the frame table is split into
+// `latch_shards` shards keyed by page id, each holding its own LRU list and
+// map behind a rank-20 latch. Concurrent readers stream page copies out
+// through ReadPageSnapshot while a single writer (serialized externally on
+// SetStore::mu_) mutates content under PageWriteGuard; per-frame pin counts
+// are atomic so a reader-triggered eviction scan can race the writer's
+// pins. The latch protocol:
+//   * A shard latch is held only for map/LRU surgery and in-pool byte
+//     copies — never across main-file I/O on the fetch path (misses read
+//     the file unlatched, then re-latch and double-check).
+//   * Shard latches never nest with each other; a WAL spill under a latch
+//     takes Wal::mu_, which ranks above the latch floor (rank order
+//     SetStore::mu_ < shard latch < Wal::mu_; locksmith-checked).
+//   * Frame content and the dirty/logged flags are read and written only
+//     under the owning shard's latch (a per-instance capability Clang's
+//     TSA cannot name; the locksmith rules and TSan cover it).
+// `Open` defaults to one shard — exactly the historical coarse pager, which
+// direct users (tests, single-threaded tools) rely on for deterministic
+// LRU/eviction accounting. SetStore requests a real split.
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "src/common/result.h"
+#include "src/common/sync.h"
 #include "src/store/file.h"
 #include "src/store/page.h"
 
@@ -67,18 +86,65 @@ inline constexpr const char* kPagerMissesCounter = "pager.fetch.misses";
 inline constexpr const char* kPagerEvictionsCounter = "pager.evictions";
 inline constexpr const char* kPagerWritebacksCounter = "pager.writebacks";
 inline constexpr const char* kPagerAllocationsCounter = "pager.allocations";
+// Latch-shard telemetry: every shard-latch acquisition, and the subset that
+// found the latch already held (TryLock failed → contended Lock).
+inline constexpr const char* kPagerLatchAcquisitionsCounter =
+    "pager.latch.acquisitions";
+inline constexpr const char* kPagerLatchContentionCounter =
+    "pager.latch.shard_contention";
 
-/// \brief A buffer-pool frame. Lives in the pager's LRU list (std::list
-/// nodes are address-stable), addressed by PageRef while pinned.
+/// \brief A buffer-pool frame. Lives in a shard's LRU list (std::list nodes
+/// are address-stable), addressed by PageRef while pinned.
+///
+/// `pins` is atomic: pin acquisition (0→1 and every increment) happens under
+/// the owning shard's latch, but release is latch-free — the evictor's
+/// pins==0 load under the latch is ordered after the releasing decrement,
+/// and PageRef::Reset never touches the frame after that decrement, so a
+/// frame freed by the evictor is never revisited by the releasing thread.
+/// `page`, `dirty` and `logged` are guarded by the owning shard's latch (a
+/// per-instance capability TSA cannot express; see the file comment).
 struct PageFrame {
   Page page;
   uint32_t page_id = kInvalidPageId;
-  uint32_t pins = 0;
+  std::atomic<uint32_t> pins{0};
   bool dirty = false;
   // WAL mode: the current dirty content has been captured as a log record.
-  // MarkDirty clears it, so "dirty && !logged" is exactly the set of frames
-  // DrainUnloggedToWal must capture before a commit record seals the txn.
+  // Content mutation clears it, so "dirty && !logged" is exactly the set of
+  // frames DrainUnloggedToWal must capture before a commit record seals the
+  // txn.
   bool logged = false;
+};
+
+/// \brief One latch shard: a slice of the frame table keyed by page id.
+struct PagerShard {
+  // The pager latch: the blocking floor of the lock hierarchy (DESIGN.md
+  // §15) — nothing acquired at or above this rank may reach a blocking
+  // point while held.
+  mutable Mutex latch XST_LOCK_RANK(20);
+  // LRU: most-recent at front. The map stores list iterators for O(1) touch.
+  std::list<PageFrame> lru XST_GUARDED_BY(latch);
+  std::unordered_map<uint32_t, std::list<PageFrame>::iterator> frames
+      XST_GUARDED_BY(latch);
+};
+
+/// \brief RAII shard-latch acquisition with contention telemetry: a TryLock
+/// probe counts `pager.latch.shard_contention` before falling back to a
+/// blocking Lock; every acquisition counts `pager.latch.acquisitions`.
+class XST_SCOPED_CAPABILITY ShardLatchLock {
+ public:
+  // The constructor body is opted out of TSA: the TryLock-then-Lock
+  // telemetry probe confuses the analysis inside a ctor that is itself
+  // ACQUIRE-annotated; callers still get the full scoped-capability
+  // contract from the attributes.
+  explicit ShardLatchLock(PagerShard* shard) XST_ACQUIRE(shard->latch)
+      XST_NO_THREAD_SAFETY_ANALYSIS;
+  ~ShardLatchLock() XST_RELEASE() { shard_->latch.Unlock(); }
+
+  ShardLatchLock(const ShardLatchLock&) = delete;
+  ShardLatchLock& operator=(const ShardLatchLock&) = delete;
+
+ private:
+  PagerShard* shard_;
 };
 
 }  // namespace internal
@@ -90,6 +156,12 @@ class Pager;
 /// Holding a PageRef guarantees the frame is resident and address-stable;
 /// releasing (destruction, move-assignment, Reset) unpins it. Move-only.
 /// A PageRef must not outlive its Pager (checked at pager teardown).
+///
+/// A pin keeps the frame resident but does NOT license content access under
+/// concurrency: mutate through PageWriteGuard (which latches the frame's
+/// shard) and read shared pages through Pager::ReadPageSnapshot. Direct
+/// `ref->` access remains correct wherever the caller is the only thread
+/// touching the pager (tests, tools, the store's bootstrap).
 ///
 /// [[nodiscard]]: a discarded PageRef unpins immediately, so the page the
 /// caller thought it pinned is evictable right away — exactly the
@@ -112,46 +184,85 @@ class [[nodiscard]] PageRef {
   /// \brief The pinned page's id.
   uint32_t id() const { return frame_->page_id; }
 
-  /// \brief Marks the pinned page dirty so eviction/flush persists it.
-  /// Any previously logged image is stale for the new content.
-  void MarkDirty() {
-    frame_->dirty = true;
-    frame_->logged = false;
-  }
+  /// \brief Marks the pinned page dirty so eviction/flush persists it (any
+  /// previously logged image is stale for the new content). Latches the
+  /// frame's shard for the flag flip; content written beforehand must itself
+  /// have been written under a PageWriteGuard when readers may be live.
+  void MarkDirty();
 
   /// \brief Unpins early (the handle becomes empty).
   void Reset();
 
  private:
   friend class Pager;
+  friend class PageWriteGuard;
   PageRef(Pager* pager, internal::PageFrame* frame);
 
   Pager* pager_ = nullptr;
   internal::PageFrame* frame_ = nullptr;
 };
 
+/// \brief RAII content-write window on a pinned frame: latches the frame's
+/// shard on construction, exposes the page for mutation, and on destruction
+/// marks the frame dirty (logged image invalidated) before unlatching. The
+/// only legal way to mutate page content while concurrent readers may be
+/// streaming snapshots (DESIGN.md §15).
+///
+/// Which shard is latched depends on the pinned page id — a per-instance
+/// capability Clang's TSA cannot name, so the guard is opted out of the
+/// static analysis; the locksmith blocking-under-latch rule still sees the
+/// scope (keep it free of I/O and waits).
+class [[nodiscard]] PageWriteGuard {
+ public:
+  explicit PageWriteGuard(PageRef& ref) XST_NO_THREAD_SAFETY_ANALYSIS;
+  ~PageWriteGuard() XST_NO_THREAD_SAFETY_ANALYSIS;
+
+  PageWriteGuard(const PageWriteGuard&) = delete;
+  PageWriteGuard& operator=(const PageWriteGuard&) = delete;
+
+  Page* operator->() const { return &frame_->page; }
+  Page& operator*() const { return frame_->page; }
+
+ private:
+  internal::PageFrame* frame_;
+  internal::PagerShard* shard_;
+};
+
 class Pager {
  public:
   /// \brief Opens (creating if needed) a page file through StdioFile.
-  /// `capacity` is the buffer-pool size in pages (≥ 1).
-  static Result<std::unique_ptr<Pager>> Open(const std::string& path, size_t capacity = 64);
+  /// `capacity` is the buffer-pool size in pages (≥ 1); `latch_shards`
+  /// splits the frame table (see the file comment — 1 preserves the exact
+  /// coarse LRU accounting).
+  static Result<std::unique_ptr<Pager>> Open(const std::string& path,
+                                             size_t capacity = 64,
+                                             size_t latch_shards = 1);
 
   /// \brief Opens over a caller-supplied File (fault injection, alternate
   /// backends). `name` labels error messages.
   static Result<std::unique_ptr<Pager>> Open(std::unique_ptr<File> file,
-                                             size_t capacity, const std::string& name);
+                                             size_t capacity, const std::string& name,
+                                             size_t latch_shards = 1);
 
   ~Pager();
   Pager(const Pager&) = delete;
   Pager& operator=(const Pager&) = delete;
 
   /// \brief Appends a fresh empty page and returns it pinned and dirty.
-  /// ResourceExhausted if every frame is pinned.
+  /// ResourceExhausted if every frame in the page's shard is pinned.
   Result<PageRef> AllocatePage();
 
   /// \brief Reads a page through the pool, pinned. ResourceExhausted if the
-  /// page is not resident and every frame is pinned.
+  /// page is not resident and every frame in its shard is pinned.
   Result<PageRef> FetchPage(uint32_t page_id);
+
+  /// \brief Copies the page's current content into `*out` without pinning:
+  /// hits copy the resident frame under its shard latch; misses read
+  /// through the log's image table and the main file with no latch held,
+  /// then re-latch, re-check for a raced-in newer version, and cache the
+  /// clean frame when that is provably safe. The read path of concurrent
+  /// SetStore readers (DESIGN.md §15).
+  Status ReadPageSnapshot(uint32_t page_id, Page* out);
 
   /// \brief Writes back every dirty page and flushes the file. Unreachable
   /// in WAL mode (durability is the log's job; see AttachWal).
@@ -185,38 +296,56 @@ class Pager {
   Status SyncFile();
 
   /// \brief Number of pages in the file.
-  uint32_t page_count() const { return page_count_; }
+  uint32_t page_count() const { return page_count_.load(std::memory_order_acquire); }
 
   /// \brief Currently pinned frames (for tests and invariant checks).
-  size_t pinned_frames() const { return pinned_frames_; }
+  size_t pinned_frames() const { return pinned_frames_.load(std::memory_order_relaxed); }
 
-  const PagerStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = PagerStats{}; }
+  /// \brief The number of latch shards the frame table is split into.
+  size_t latch_shards() const { return shards_.size(); }
+
+  /// \brief Consistent-enough snapshot of the counters (relaxed loads).
+  PagerStats stats() const;
+  void ResetStats();
 
  private:
   friend class PageRef;
+  friend class PageWriteGuard;
 
   Pager(std::unique_ptr<File> file, std::string name, size_t capacity,
-        uint32_t page_count)
-      : file_(std::move(file)),
-        name_(std::move(name)),
-        capacity_(capacity),
-        page_count_(page_count) {}
+        uint32_t page_count, size_t latch_shards);
 
-  Status WriteBack(internal::PageFrame& frame);
-  Status EvictIfFull();
+  internal::PagerShard& ShardFor(uint32_t page_id) const {
+    return *shards_[page_id & shard_mask_];
+  }
+  /// Legacy-mode (no WAL) dirty-page write-back to the main file.
+  Status WriteBack(internal::PagerShard& shard, internal::PageFrame& frame)
+      XST_REQUIRES(shard.latch);
+  Status EvictIfFullLocked(internal::PagerShard& shard) XST_REQUIRES(shard.latch);
   void Unpin(internal::PageFrame* frame);
+  void MarkFrameDirty(internal::PageFrame* frame);
 
-  std::unique_ptr<File> file_;
-  std::string name_;
-  size_t capacity_;
-  Wal* wal_ = nullptr;  // unowned; null = legacy direct-write mode
-  uint32_t page_count_;
-  size_t pinned_frames_ = 0;
-  PagerStats stats_;
-  // LRU: most-recent at front. The map stores list iterators for O(1) touch.
-  std::list<internal::PageFrame> lru_;
-  std::unordered_map<uint32_t, std::list<internal::PageFrame>::iterator> frames_;
+  std::unique_ptr<File> file_;  // internally synchronized (StdioFile::mu_)
+  const std::string name_;
+  const size_t capacity_per_shard_;
+  Wal* wal_ = nullptr;  // unowned; null = legacy direct-write mode; set once
+                        // before concurrency starts (AttachWal in Open)
+  std::atomic<uint32_t> page_count_;
+  std::atomic<size_t> pinned_frames_{0};
+  // Counts every main-file write (checkpoint images, legacy write-backs).
+  // A snapshot miss records it before reading the file unlatched and caches
+  // its bytes only if it is unchanged at re-latch — otherwise a checkpoint
+  // may have made the file newer than what was read (see pager.cc).
+  std::atomic<uint64_t> file_write_ticks_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> writebacks_{0};
+  std::atomic<uint64_t> allocations_{0};
+  // Immutable after construction (the vector itself; shards are internally
+  // latched). unique_ptr because Mutex is not movable.
+  std::vector<std::unique_ptr<internal::PagerShard>> shards_;
+  uint32_t shard_mask_;
 };
 
 }  // namespace xst

@@ -60,7 +60,26 @@ Result<std::unique_ptr<Pager>> SetStore::OpenPager(const std::string& path) cons
   Result<std::unique_ptr<File>> file =
       options_.file_factory ? options_.file_factory(path) : StdioFile::Open(path);
   if (!file.ok()) return file.status();
-  return Pager::Open(std::move(*file), options_.buffer_pool_pages, path);
+  return Pager::Open(std::move(*file), options_.buffer_pool_pages, path,
+                     options_.pager_latch_shards);
+}
+
+Result<SetStore::ReadView> SetStore::CaptureView(const std::string* name) const {
+  MutexLock lock(&mu_);
+  XST_RETURN_NOT_OK(CheckOpen());
+  ReadView view;
+  view.pager = pager_;
+  view.epoch = mutation_epoch_;
+  if (name != nullptr) {
+    XST_ASSIGN_OR_RAISE(view.entry, catalog_.Get(*name));
+  }
+  return view;
+}
+
+bool SetStore::ValidateView(const ReadView& view) const {
+  MutexLock lock(&mu_);
+  return pager_ != nullptr && pager_.get() == view.pager.get() &&
+         mutation_epoch_ == view.epoch;
 }
 
 Status SetStore::CheckOpen() const {
@@ -169,7 +188,11 @@ Result<CatalogEntry> SetStore::WriteBlob(const std::string& bytes) {
     XST_ASSIGN_OR_RAISE(PageRef page, pager_->AllocatePage());
     if (span == 0) entry.first_page = page.id();
     if (chunk > 0) {
-      Result<uint32_t> slot = page->AddRecord(std::string_view(bytes).substr(offset, chunk));
+      // Content goes in under the shard latch (PageWriteGuard) so the frame
+      // is never observed half-written by a concurrent reader's in-pool
+      // copy or eviction spill.
+      PageWriteGuard guard(page);
+      Result<uint32_t> slot = guard->AddRecord(std::string_view(bytes).substr(offset, chunk));
       if (!slot.ok()) return slot.status();
     }
     offset += chunk;
@@ -179,16 +202,17 @@ Result<CatalogEntry> SetStore::WriteBlob(const std::string& bytes) {
   return entry;
 }
 
-Result<std::string> SetStore::ReadBlob(const CatalogEntry& entry) {
+Result<std::string> SetStore::ReadBlobFrom(Pager& pager, const CatalogEntry& entry) {
   std::string bytes;
   bytes.reserve(entry.byte_length);
+  Page snapshot;
   for (uint32_t i = 0; i < entry.page_span; ++i) {
-    XST_ASSIGN_OR_RAISE(PageRef page, pager_->FetchPage(entry.first_page + i));
-    if (page->slot_count() == 0) continue;  // empty blob chunk
-    // The record view aliases the frame; the pin keeps it valid while we
-    // copy (the old raw-pointer API dangled exactly here under pool
-    // pressure).
-    XST_ASSIGN_OR_RAISE(std::string_view record, page->GetRecord(0));
+    // Snapshot reads: each page is copied under its shard latch (no pin
+    // taken), so this streams safely with no store lock held — the record
+    // view below aliases our private copy, never a shared frame.
+    XST_RETURN_NOT_OK(pager.ReadPageSnapshot(entry.first_page + i, &snapshot));
+    if (snapshot.slot_count() == 0) continue;  // empty blob chunk
+    XST_ASSIGN_OR_RAISE(std::string_view record, snapshot.GetRecord(0));
     bytes.append(record);
   }
   if (bytes.size() != entry.byte_length) {
@@ -197,6 +221,14 @@ Result<std::string> SetStore::ReadBlob(const CatalogEntry& entry) {
                               std::to_string(bytes.size()));
   }
   return bytes;
+}
+
+Result<XSet> SetStore::DecodeBlobSet(Pager& pager, const std::string& name,
+                                     const CatalogEntry& entry) {
+  XST_ASSIGN_OR_RAISE(std::string encoded, ReadBlobFrom(pager, entry));
+  Result<XSet> decoded = DecodeXSetWhole(encoded);
+  if (!decoded.ok()) return decoded.status().WithContext("set '" + name + "'");
+  return decoded;
 }
 
 Status SetStore::StageCatalog(const Catalog& staged) {
@@ -212,10 +244,10 @@ Status SetStore::StageCatalog(const Catalog& staged) {
   std::string superblock_record = EncodeXSetToString(with_span);
 
   XST_ASSIGN_OR_RAISE(PageRef superblock, pager_->FetchPage(0));
-  *superblock = Page();  // reset: the superblock holds exactly one record
-  Result<uint32_t> slot = superblock->AddRecord(superblock_record);
+  PageWriteGuard guard(superblock);  // marks dirty on scope exit
+  *guard = Page();  // reset: the superblock holds exactly one record
+  Result<uint32_t> slot = guard->AddRecord(superblock_record);
   if (!slot.ok()) return slot.status();
-  superblock.MarkDirty();
   return Status::OK();
 }
 
@@ -267,7 +299,7 @@ Status SetStore::LoadCatalog() {
   entry.first_page = static_cast<uint32_t>(first_val.int_value());
   entry.page_span = static_cast<uint32_t>(span_val.int_value());
   entry.byte_length = static_cast<uint64_t>(len_val.int_value());
-  XST_ASSIGN_OR_RAISE(std::string encoded, ReadBlob(entry));
+  XST_ASSIGN_OR_RAISE(std::string encoded, ReadBlobFrom(*pager_, entry));
   XST_ASSIGN_OR_RAISE(XSet repr, DecodeXSetWhole(encoded));
   XST_ASSIGN_OR_RAISE(Catalog loaded, Catalog::FromXSet(repr));
   for (const std::string& name : loaded.Names()) {
@@ -286,6 +318,9 @@ Status SetStore::LoadCatalog() {
 }
 
 Status SetStore::ReopenPagerLocked() {
+  // The identity swap alone invalidates views, but bump the epoch too so
+  // every invalidation path looks the same to a validator.
+  ++mutation_epoch_;
   pager_.reset();
   Result<std::unique_ptr<Pager>> pager = OpenPager(path_);
   if (!pager.ok()) return pager.status();  // pager_ stays null: store closed
@@ -375,6 +410,10 @@ Status SetStore::FinishCommit(const Result<uint64_t>& lsn) {
 Status SetStore::CheckpointLocked() {
   XST_RETURN_NOT_OK(CheckOpen());
   XST_TRACE_SPAN("store.checkpoint");
+  // Conservative: checkpointing never changes logical content, but it moves
+  // page images between the log and the main file; invalidating in-flight
+  // optimistic reads sidesteps every cache-coherence corner of that window.
+  ++mutation_epoch_;
   // Order is everything: log durable → images into the main file → main
   // file fsync → only then recycle the segment. A crash between any two
   // steps leaves the log authoritative and replay idempotent.
@@ -433,6 +472,7 @@ Status SetStore::Put(const std::string& name, const XSet& value) {
 
 Result<uint64_t> SetStore::PutLocked(const std::string& name, const XSet& value) {
   XST_RETURN_NOT_OK(CheckOpen());
+  ++mutation_epoch_;  // invalidate in-flight optimistic reads
   if (name.empty()) return Status::Invalid("set names must be non-empty");
   std::string encoded = EncodeXSetToString(value);
   wal_->BeginTxn();
@@ -458,6 +498,7 @@ Status SetStore::PutBatch(const std::vector<std::pair<std::string, XSet>>& entri
 Result<uint64_t> SetStore::PutBatchLocked(
     const std::vector<std::pair<std::string, XSet>>& entries) {
   XST_RETURN_NOT_OK(CheckOpen());
+  ++mutation_epoch_;  // invalidate in-flight optimistic reads
   // Validate up front: the batch must be all-or-nothing, so no partial
   // catalog mutation may happen after the first write.
   std::unordered_set<std::string> seen;
@@ -501,6 +542,20 @@ Result<size_t> SetStore::Scrub() {
 
 Result<XSet> SetStore::Get(const std::string& name) {
   XST_TRACE_SPAN("store.get");
+  if (!options_.serialize_reads) {
+    // Optimistic read: capture a view, stream pages with no store lock
+    // held, and return the result only if nothing invalidated the view.
+    // Bounded retries, then the coarse path below guarantees progress.
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      XST_ASSIGN_OR_RAISE(ReadView view, CaptureView(&name));
+      Result<XSet> value = view.entry.kind == CatalogEntry::kKindIndex
+                               ? MaterializeIndex(*view.pager, name, view.entry)
+                               : DecodeBlobSet(*view.pager, name, view.entry);
+      // An error under an invalidated view may be an artifact of racing a
+      // writer; only a validated result (or error) is real.
+      if (ValidateView(view)) return value;
+    }
+  }
   MutexLock lock(&mu_);
   return GetLocked(name);
 }
@@ -508,20 +563,19 @@ Result<XSet> SetStore::Get(const std::string& name) {
 Result<XSet> SetStore::GetLocked(const std::string& name) {
   XST_RETURN_NOT_OK(CheckOpen());
   XST_ASSIGN_OR_RAISE(CatalogEntry entry, catalog_.Get(name));
-  if (entry.kind == CatalogEntry::kKindIndex) return GetIndexLocked(name, entry);
-  XST_ASSIGN_OR_RAISE(std::string encoded, ReadBlob(entry));
-  Result<XSet> decoded = DecodeXSetWhole(encoded);
-  if (!decoded.ok()) return decoded.status().WithContext("set '" + name + "'");
-  return decoded;
+  if (entry.kind == CatalogEntry::kKindIndex) {
+    return MaterializeIndex(*pager_, name, entry);
+  }
+  return DecodeBlobSet(*pager_, name, entry);
 }
 
-Result<XSet> SetStore::GetIndexLocked(const std::string& name,
-                                      const CatalogEntry& entry) {
+Result<XSet> SetStore::MaterializeIndex(Pager& pager, const std::string& name,
+                                        const CatalogEntry& entry) {
   const BTreeInfo info = IndexInfoOf(entry);
 #if XST_VALIDATE_LEVEL >= 2
-  XST_RETURN_NOT_OK(ValidateBTree(*pager_, info).WithContext("set '" + name + "'"));
+  XST_RETURN_NOT_OK(ValidateBTree(pager, info).WithContext("set '" + name + "'"));
 #endif
-  BTree tree(pager_.get(), info);
+  BTree tree(&pager, info);
   Result<BTreeCursorPos> pos = tree.SeekFirst();
   if (!pos.ok()) return pos.status().WithContext("set '" + name + "'");
   std::vector<Membership> members;
@@ -600,6 +654,7 @@ Status SetStore::PutIndexed(const std::string& name, const XSet& value) {
 Result<uint64_t> SetStore::PutIndexedLocked(const std::string& name,
                                             const XSet& value) {
   XST_RETURN_NOT_OK(CheckOpen());
+  ++mutation_epoch_;  // invalidate in-flight optimistic reads
   if (name.empty()) return Status::Invalid("set names must be non-empty");
   if (value.is_atom()) {
     return Status::Invalid("ordered-index storage holds member lists; atom '" +
@@ -626,6 +681,7 @@ Status SetStore::InsertMember(const std::string& name, const Membership& m) {
 Result<uint64_t> SetStore::InsertMemberLocked(const std::string& name,
                                               const Membership& m) {
   XST_RETURN_NOT_OK(CheckOpen());
+  ++mutation_epoch_;  // invalidate in-flight optimistic reads
   XST_ASSIGN_OR_RAISE(CatalogEntry entry, catalog_.Get(name));
   if (entry.kind != CatalogEntry::kKindIndex) {
     return Status::Invalid("'" + name +
@@ -663,6 +719,7 @@ Status SetStore::EraseMember(const std::string& name, const Membership& m) {
 Result<uint64_t> SetStore::EraseMemberLocked(const std::string& name,
                                              const Membership& m) {
   XST_RETURN_NOT_OK(CheckOpen());
+  ++mutation_epoch_;  // invalidate in-flight optimistic reads
   XST_ASSIGN_OR_RAISE(CatalogEntry entry, catalog_.Get(name));
   if (entry.kind != CatalogEntry::kKindIndex) {
     return Status::Invalid("'" + name +
@@ -685,6 +742,24 @@ Result<uint64_t> SetStore::EraseMemberLocked(const std::string& name,
 
 Result<bool> SetStore::ContainsMember(const std::string& name, const Membership& m) {
   XST_TRACE_SPAN("store.contains_member");
+  if (!options_.serialize_reads) {
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      XST_ASSIGN_OR_RAISE(ReadView view, CaptureView(&name));
+      Result<bool> found = [&]() -> Result<bool> {
+        if (view.entry.kind == CatalogEntry::kKindIndex) {
+          BTree tree(view.pager.get(), IndexInfoOf(view.entry));
+          return tree.Contains(m);
+        }
+        Result<XSet> value = DecodeBlobSet(*view.pager, name, view.entry);
+        if (!value.ok()) return value.status();
+        for (const Membership& member : value->members()) {
+          if (CompareMembership(member, m) == 0) return true;
+        }
+        return false;
+      }();
+      if (ValidateView(view)) return found;
+    }
+  }
   MutexLock lock(&mu_);
   XST_RETURN_NOT_OK(CheckOpen());
   XST_ASSIGN_OR_RAISE(CatalogEntry entry, catalog_.Get(name));
@@ -708,6 +783,30 @@ Result<StorageMode> SetStore::ModeOf(const std::string& name) const {
 }
 
 Result<std::unique_ptr<MemberCursor>> SetStore::OpenCursor(const std::string& name) {
+  if (!options_.serialize_reads) {
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      XST_ASSIGN_OR_RAISE(ReadView view, CaptureView(&name));
+      if (view.entry.kind == CatalogEntry::kKindIndex) {
+#if XST_VALIDATE_LEVEL >= 2
+        Status valid = ValidateBTree(*view.pager, IndexInfoOf(view.entry));
+        if (!valid.ok()) {
+          if (!ValidateView(view)) continue;
+          return valid.WithContext("set '" + name + "'");
+        }
+#endif
+        BTree tree(view.pager.get(), IndexInfoOf(view.entry));
+        Result<BTreeCursorPos> pos = tree.SeekFirst();
+        if (!ValidateView(view)) continue;
+        if (!pos.ok()) return pos.status();
+        return std::unique_ptr<MemberCursor>(
+            new BTreeCursor(*this, *pos, std::nullopt));
+      }
+      Result<XSet> value = DecodeBlobSet(*view.pager, name, view.entry);
+      if (!ValidateView(view)) continue;
+      if (!value.ok()) return value.status();
+      return std::unique_ptr<MemberCursor>(new StoredSetCursor(std::move(*value)));
+    }
+  }
   MutexLock lock(&mu_);
   XST_RETURN_NOT_OK(CheckOpen());
   XST_ASSIGN_OR_RAISE(CatalogEntry entry, catalog_.Get(name));
@@ -726,6 +825,32 @@ Result<std::unique_ptr<MemberCursor>> SetStore::OpenCursor(const std::string& na
 
 Result<std::unique_ptr<MemberCursor>> SetStore::OpenElementRange(
     const std::string& name, const XSet& lo, const XSet& hi) {
+  if (!options_.serialize_reads) {
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      XST_ASSIGN_OR_RAISE(ReadView view, CaptureView(&name));
+      if (view.entry.kind == CatalogEntry::kKindIndex) {
+#if XST_VALIDATE_LEVEL >= 2
+        Status valid = ValidateBTree(*view.pager, IndexInfoOf(view.entry));
+        if (!valid.ok()) {
+          if (!ValidateView(view)) continue;
+          return valid.WithContext("set '" + name + "'");
+        }
+#endif
+        // Seek the lower edge now; batches then touch only in-range leaves.
+        BTree tree(view.pager.get(), IndexInfoOf(view.entry));
+        Result<BTreeCursorPos> pos = tree.SeekElement(lo);
+        if (!ValidateView(view)) continue;
+        if (!pos.ok()) return pos.status();
+        return std::unique_ptr<MemberCursor>(new BTreeCursor(*this, *pos, hi));
+      }
+      Result<XSet> value = DecodeBlobSet(*view.pager, name, view.entry);
+      if (!ValidateView(view)) continue;
+      if (!value.ok()) return value.status();
+      return std::unique_ptr<MemberCursor>(new ElementRangeCursor(
+          std::unique_ptr<MemberCursor>(new StoredSetCursor(std::move(*value))), lo,
+          hi));
+    }
+  }
   MutexLock lock(&mu_);
   XST_RETURN_NOT_OK(CheckOpen());
   XST_ASSIGN_OR_RAISE(CatalogEntry entry, catalog_.Get(name));
@@ -746,10 +871,31 @@ Result<std::unique_ptr<MemberCursor>> SetStore::OpenElementRange(
 
 Status SetStore::ReadIndexBatch(BTreeCursorPos* pos, const XSet* hi_element,
                                 std::vector<Membership>* out) {
+  const size_t before = out->size();
+  if (!options_.serialize_reads) {
+    const BTreeCursorPos saved = *pos;
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      XST_ASSIGN_OR_RAISE(ReadView view, CaptureView(nullptr));
+      BTree tree(view.pager.get(), BTreeInfo{});  // position-only: root unused
+      Status st = Status::OK();
+      for (;;) {
+        Result<bool> more = tree.ReadLeafBatch(pos, hi_element, out);
+        if (!more.ok()) {
+          st = more.status();
+          break;
+        }
+        if (!*more || out->size() > before) break;
+      }
+      if (ValidateView(view)) return st;
+      // Invalidated mid-batch: roll the cursor and the output back and
+      // retry from the captured position.
+      out->resize(before);
+      *pos = saved;
+    }
+  }
   MutexLock lock(&mu_);
   XST_RETURN_NOT_OK(CheckOpen());
   BTree tree(pager_.get(), BTreeInfo{});  // position-only reads ignore the root
-  const size_t before = out->size();
   for (;;) {
     XST_ASSIGN_OR_RAISE(bool more, tree.ReadLeafBatch(pos, hi_element, out));
     if (!more || out->size() > before) return Status::OK();
@@ -768,6 +914,7 @@ Status SetStore::Delete(const std::string& name) {
 
 Result<uint64_t> SetStore::DeleteLocked(const std::string& name) {
   XST_RETURN_NOT_OK(CheckOpen());
+  ++mutation_epoch_;  // invalidate in-flight optimistic reads
   Catalog staged = catalog_;
   XST_RETURN_NOT_OK(staged.Remove(name));  // NotFound before any txn opens
   wal_->BeginTxn();

@@ -74,6 +74,16 @@ enum class StorageMode {
 struct SetStoreOptions {
   size_t buffer_pool_pages = 64;
 
+  /// \brief Number of pager latch shards for the concurrent read path
+  /// (power of two; the pager clamps so every shard keeps >= 4 frames).
+  /// 1 reproduces the historical coarse pager.
+  size_t pager_latch_shards = 16;
+
+  /// \brief Serialize every read on the store lock instead of taking the
+  /// optimistic sharded-latch path — the coarse baseline bench_pager_mt
+  /// compares against, and a diagnostic escape hatch.
+  bool serialize_reads = false;
+
   /// \brief Opens the store's backing files; StdioFile::Open when unset.
   /// Applied to every file the store opens, including Compact's temp file —
   /// the hook the fault-injection suite hangs a failing device on.
@@ -104,13 +114,19 @@ struct SetStoreOptions {
   bool checkpoint_on_close = true;
 };
 
-/// \brief Thread safety: every public method serializes on one internal
-/// Mutex (`mu_`), which guards both the catalog and the pager — the 1977
-/// single-writer discipline, now a Clang-checked capability instead of a
-/// comment. The pager itself stays lock-free; it is reachable only through
-/// `pager_`, which is XST_GUARDED_BY(mu_). Coarse-grained on purpose: every
-/// operation is dominated by I/O, so a finer pager/catalog split would buy
-/// contention windows, not throughput.
+/// \brief Thread safety (DESIGN.md §15): mutations keep the 1977
+/// single-writer discipline — every write path serializes on `mu_` (rank
+/// 10), which guards the catalog, the pager identity, and the mutation
+/// epoch. Reads scale: Get/ContainsMember/cursor opens take `mu_` only long
+/// enough to capture a ReadView (pager handle + catalog entry + epoch),
+/// then stream pages through the pager's sharded latches with no store lock
+/// held, and re-take `mu_` at the end to validate the view. A mutation,
+/// checkpoint, or pager reopen that overlapped the read bumps the epoch (or
+/// swaps the pager), so validation fails and the read retries — after a few
+/// optimistic attempts it falls back to the coarse path under `mu_`, which
+/// guarantees progress. Errors observed under an invalidated view are
+/// discarded, never reported (they may be artifacts of racing a writer).
+/// `serialize_reads` turns the whole optimistic path off.
 class SetStore {
  public:
   /// \brief Opens (creating if necessary) a store at `path`. Replays the
@@ -233,6 +249,11 @@ class SetStore {
     MutexLock lock(&mu_);
     return pager_->page_count();
   }
+  /// \brief Pager latch shards actually in use (after the pager's clamp).
+  size_t pager_latch_shards() const XST_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return pager_->latch_shards();
+  }
 
   /// \brief The catalog's set representation (for inspection and tests).
   XSet CatalogAsXSet() const XST_EXCLUDES(mu_) {
@@ -244,10 +265,37 @@ class SetStore {
   SetStore(std::string path, SetStoreOptions options)
       : path_(std::move(path)), options_(std::move(options)) {}
 
+  /// A consistent read handle captured under mu_: the pager instance, the
+  /// catalog entry for the requested name, and the mutation epoch at
+  /// capture. The shared_ptr keeps the pager alive across a concurrent
+  /// Compact/reopen; the epoch detects any overlapping mutation.
+  struct ReadView {
+    std::shared_ptr<Pager> pager;
+    CatalogEntry entry;
+    uint64_t epoch = 0;
+  };
+
   Result<std::unique_ptr<Pager>> OpenPager(const std::string& path) const;
   Status CheckOpen() const XST_REQUIRES(mu_);
+  /// Captures a ReadView under mu_ (entry lookup skipped when `name` is
+  /// null). A NotFound here is linearizable: the name was absent at capture.
+  Result<ReadView> CaptureView(const std::string* name) const XST_EXCLUDES(mu_);
+  /// True iff nothing invalidated `view` since capture: same pager instance,
+  /// same mutation epoch, store still open. Results computed under a view
+  /// may be returned only when this holds.
+  bool ValidateView(const ReadView& view) const XST_EXCLUDES(mu_);
   Result<CatalogEntry> WriteBlob(const std::string& bytes) XST_REQUIRES(mu_);
-  Result<std::string> ReadBlob(const CatalogEntry& entry) XST_REQUIRES(mu_);
+  /// Streams a blob's pages out of `pager` via latched snapshot reads; no
+  /// store lock needed (static on purpose: the concurrent read path runs it
+  /// against a captured view's pager).
+  static Result<std::string> ReadBlobFrom(Pager& pager, const CatalogEntry& entry);
+  /// ReadBlobFrom + whole-set decode with name context.
+  static Result<XSet> DecodeBlobSet(Pager& pager, const std::string& name,
+                                    const CatalogEntry& entry);
+  /// Materializes an ordered-index set from its leaves (count-checked;
+  /// static for the same reason as ReadBlobFrom).
+  static Result<XSet> MaterializeIndex(Pager& pager, const std::string& name,
+                                       const CatalogEntry& entry);
   /// Writes `staged`'s blob + superblock pointer into the pool (no I/O to
   /// the main file; durability comes from the WAL commit that follows).
   Status StageCatalog(const Catalog& staged) XST_REQUIRES(mu_);
@@ -289,9 +337,6 @@ class SetStore {
   /// Get/Flush bodies for callers already holding the lock (Scrub, Compact).
   Result<XSet> GetLocked(const std::string& name) XST_REQUIRES(mu_);
   Status FlushLocked() XST_REQUIRES(mu_);
-  /// Materializes an ordered-index set from its leaves (count-checked).
-  Result<XSet> GetIndexLocked(const std::string& name, const CatalogEntry& entry)
-      XST_REQUIRES(mu_);
   /// Commits a tree mutation: validate (at XST_VALIDATE level ≥ 1), stage
   /// the new tree identity, commit; resident state reloads on failure.
   Result<uint64_t> CommitTreeMutation(const std::string& name, const BTreeInfo& info)
@@ -312,11 +357,21 @@ class SetStore {
   SetStoreOptions options_; // immutable after construction
   // Created once in Open() before the store is reachable, then internally
   // synchronized — phase 2 of a commit uses it without holding mu_ (that is
-  // the whole point of group commit). Lock order: mu_ before Wal::mu_.
+  // the whole point of group commit), and readers probe its image table
+  // under pager latches. Lock order: mu_ < shard latch < Wal::mu_.
   std::unique_ptr<Wal> wal_;
-  mutable Mutex mu_;
-  std::unique_ptr<Pager> pager_ XST_GUARDED_BY(mu_);
+  // The outermost lock in the hierarchy (DESIGN.md §15): every blocking
+  // operation (file I/O, commit fsyncs) is legal under it, because its rank
+  // sits below the pager-latch floor.
+  mutable Mutex mu_ XST_LOCK_RANK(10);
+  // shared_ptr, not unique_ptr: captured ReadViews keep the old pager alive
+  // (and its file open) across a concurrent Compact/reopen; their reads
+  // then fail validation and retry against the new instance.
+  std::shared_ptr<Pager> pager_ XST_GUARDED_BY(mu_);
   Catalog catalog_ XST_GUARDED_BY(mu_);
+  // Bumped at the start of every mutation, checkpoint, and pager reopen;
+  // ReadView validation compares it to detect overlapping writes.
+  uint64_t mutation_epoch_ XST_GUARDED_BY(mu_) = 0;
   // Consecutive CheckpointLocked failures (MaybeCheckpoint's log backoff).
   uint64_t checkpoint_failure_streak_ XST_GUARDED_BY(mu_) = 0;
 };

@@ -119,8 +119,14 @@ Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path, WalOptions optio
   return wal;
 }
 
+// The segment-lifecycle helpers below (fresh-segment init, header check,
+// recovery scan, tail truncation) perform file I/O while Wal::mu_ is held.
+// That is the group-commit design, not an oversight: the WAL file is
+// exclusively owned by this Wal, these are cold paths (open / reset /
+// recovery), and the store's optimistic read path never touches Wal::mu_ —
+// hence the per-line blocking-under-latch allowances.
 Status Wal::WriteFreshSegment(uint64_t epoch, uint64_t base_lsn) {
-  Status st = file_->Truncate(0);
+  Status st = file_->Truncate(0);  // xst-lint: allow(blocking-under-latch)
   if (!st.ok()) return st.WithContext("wal " + path_);
   char hdr[kWalHeaderSize] = {};
   EncodeFixed64(hdr, kWalMagic);
@@ -128,9 +134,9 @@ Status Wal::WriteFreshSegment(uint64_t epoch, uint64_t base_lsn) {
   EncodeFixed64(hdr + 16, epoch);
   EncodeFixed64(hdr + 24, base_lsn);
   EncodeFixed64(hdr + 32, HashBytes(hdr, 32, kWalMagic));
-  st = file_->WriteAt(0, hdr, kWalHeaderSize);
+  st = file_->WriteAt(0, hdr, kWalHeaderSize);  // xst-lint: allow(blocking-under-latch)
   if (!st.ok()) return st.WithContext("wal " + path_);
-  st = file_->Flush();
+  st = file_->Flush();  // xst-lint: allow(blocking-under-latch)
   if (!st.ok()) return st.WithContext("wal " + path_);
   return Status::OK();
 }
@@ -145,10 +151,10 @@ Status Wal::InitSegment() {
 }
 
 Status Wal::CheckSegmentHeader() {
-  XST_ASSIGN_OR_RAISE(uint64_t size, file_->Size());
+  XST_ASSIGN_OR_RAISE(uint64_t size, file_->Size());  // xst-lint: allow(blocking-under-latch)
   char hdr[kWalHeaderSize];
   if (size >= kWalHeaderSize) {
-    XST_RETURN_NOT_OK(file_->ReadAt(0, hdr, kWalHeaderSize).WithContext("wal " + path_));
+    XST_RETURN_NOT_OK(file_->ReadAt(0, hdr, kWalHeaderSize).WithContext("wal " + path_));  // xst-lint: allow(blocking-under-latch)
   }
   if (size < kWalHeaderSize || DecodeFixed64(hdr) != kWalMagic ||
       DecodeFixed32(hdr + 8) != kWalVersion ||
@@ -163,7 +169,7 @@ Status Wal::CheckSegmentHeader() {
 
 Status Wal::ScanCommittedPrefix(std::map<uint32_t, std::string>* out,
                                 uint64_t limit_lsn) {
-  XST_ASSIGN_OR_RAISE(uint64_t size, file_->Size());
+  XST_ASSIGN_OR_RAISE(uint64_t size, file_->Size());  // xst-lint: allow(blocking-under-latch)
   // Per-txn staging: images count only once their commit record is seen.
   std::map<uint64_t, std::map<uint32_t, std::string>> staged;
   uint64_t off = kWalHeaderSize;
@@ -174,7 +180,7 @@ Status Wal::ScanCommittedPrefix(std::map<uint32_t, std::string>* out,
   std::string body;
   while (off + kFrameHeaderSize <= size) {
     char fh[kFrameHeaderSize];
-    Status st = file_->ReadAt(off, fh, kFrameHeaderSize);
+    Status st = file_->ReadAt(off, fh, kFrameHeaderSize);  // xst-lint: allow(blocking-under-latch)
     if (!st.ok()) return st.WithContext("wal " + path_);
     const uint32_t len = DecodeFixed32(fh);
     const uint64_t rlsn = DecodeFixed64(fh + 4);
@@ -187,7 +193,7 @@ Status Wal::ScanCommittedPrefix(std::map<uint32_t, std::string>* out,
     if (rlsn != lsn + 1) break;
     if (rlsn > limit_lsn) break;  // beyond the durable horizon: never acked
     body.resize(len);
-    st = file_->ReadAt(off + kFrameHeaderSize, body.data(), len);
+    st = file_->ReadAt(off + kFrameHeaderSize, body.data(), len);  // xst-lint: allow(blocking-under-latch)
     if (!st.ok()) return st.WithContext("wal " + path_);
     if (HashBytes(body.data(), len, RecordSeed(epoch_, rlsn)) != crc) break;
     if (body.empty()) break;
@@ -223,7 +229,7 @@ Status Wal::ScanCommittedPrefix(std::map<uint32_t, std::string>* out,
   // tail therefore poisons the log — reads keep working, appends report the
   // truncation failure until a reopen gets a working device.
   if (size > committed_end) {
-    Status trunc = file_->Truncate(committed_end);
+    Status trunc = file_->Truncate(committed_end);  // xst-lint: allow(blocking-under-latch)
     if (!trunc.ok()) {
       device_failed_ = true;
       flush_error_ = trunc.WithContext("wal tail truncation " + path_);

@@ -218,7 +218,7 @@ class Wal {
   std::unique_ptr<File> file_;
   const std::string path_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_ XST_LOCK_RANK(30);
   CondVar cv_;
 
   uint64_t epoch_ XST_GUARDED_BY(mu_) = 0;

@@ -1,0 +1,18 @@
+// expect-lint: blocking-under-latch
+//
+// Locksmith: file I/O reached while a latch-class lock (rank >= 20) is held
+// must be flagged — latches only ever cover in-memory frame operations.
+#include "src/common/sync.h"
+#include "src/store/file.h"
+
+class BadLatch {
+ public:
+  void ReadUnderLatch() {
+    xst::MutexLock latch(&latch_);
+    (void)file_->ReadAt(0, nullptr, 0);  // blocking point under a latch
+  }
+
+ private:
+  xst::Mutex latch_ XST_LOCK_RANK(20);
+  xst::File* file_ = nullptr;
+};

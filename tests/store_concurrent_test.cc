@@ -1,0 +1,267 @@
+// Concurrent readers against the sharded pager latch: a static store read
+// from many threads must serve exact values, and readers racing a writer on
+// the optimistic read path must only ever observe fully-published versions
+// (never a torn mix of two commits). CI runs this suite under TSan with
+// XST_NUM_THREADS=4; gtest assertions are not thread-safe, so worker threads
+// count failures atomically and the main thread asserts at the end.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/cursor.h"
+#include "src/core/order.h"
+#include "src/store/setstore.h"
+#include "tests/testing.h"
+
+namespace xst {
+namespace {
+
+using testing::X;
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag) {
+    path_ = ::testing::TempDir();
+    if (path_.empty()) path_ = "/tmp/";
+    if (path_.back() != '/') path_ += '/';
+    path_ += "xst_concurrent_test_" + tag + "_" + std::to_string(::getpid());
+    Remove();
+  }
+  ~TempFile() { Remove(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  void Remove() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".wal").c_str());
+  }
+
+  std::string path_;
+};
+
+// "{0, 1, ..., n-1}" — version n of the hot set; each version is
+// distinguishable by size and internally consistent, so a torn read (members
+// from two different versions) breaks the size/content agreement.
+std::string DenseSetText(int n) {
+  std::string out = "{";
+  for (int i = 0; i < n; ++i) {
+    if (i) out += ", ";
+    out += std::to_string(i);
+  }
+  return out + "}";
+}
+
+TEST(StoreConcurrentTest, ParallelReadersSeeExactValues) {
+  TempFile tmp("static");
+  SetStoreOptions options;
+  options.buffer_pool_pages = 8;  // small pool: force misses + evictions
+  Result<std::unique_ptr<SetStore>> store = SetStore::Open(tmp.path(), options);
+  ASSERT_TRUE(store.ok());
+
+  constexpr int kSets = 12;
+  std::vector<XSet> expected;
+  for (int i = 0; i < kSets; ++i) {
+    expected.push_back(X(DenseSetText(i + 3)));
+    ASSERT_TRUE((*store)->Put("set" + std::to_string(i), expected.back()).ok());
+  }
+  ASSERT_TRUE((*store)->PutIndexed("idx", X(DenseSetText(64))).ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 40;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&, t] {
+      for (int iter = 0; iter < kIters; ++iter) {
+        const int i = (t + iter) % kSets;
+        Result<XSet> got = (*store)->Get("set" + std::to_string(i));
+        if (!got.ok() || !(*got == expected[i])) failures.fetch_add(1);
+        // Point probes on the B+tree index, hit and miss.
+        const Membership hit{XSet::Int(iter % 64), XSet::Empty()};
+        const Membership miss{XSet::Int(999), XSet::Empty()};
+        Result<bool> has = (*store)->ContainsMember("idx", hit);
+        if (!has.ok() || !*has) failures.fetch_add(1);
+        has = (*store)->ContainsMember("idx", miss);
+        if (!has.ok() || *has) failures.fetch_add(1);
+        // Full cursor stream over the index: canonical order, exact count.
+        Result<std::unique_ptr<MemberCursor>> cur = (*store)->OpenCursor("idx");
+        if (!cur.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        size_t count = 0;
+        bool ordered = true;
+        const Membership* prev = nullptr;
+        Membership prev_copy;
+        for (auto batch = (*cur)->NextBatch(); !batch.empty();
+             batch = (*cur)->NextBatch()) {
+          for (const Membership& m : batch) {
+            if (prev != nullptr && CompareMembership(*prev, m) >= 0) {
+              ordered = false;
+            }
+            prev_copy = m;
+            prev = &prev_copy;
+            ++count;
+          }
+        }
+        if (!(*cur)->status().ok() || count != 64 || !ordered) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(StoreConcurrentTest, ReadersRacingWriterSeeOnlyPublishedVersions) {
+  TempFile tmp("race");
+  SetStoreOptions options;
+  options.buffer_pool_pages = 8;
+  Result<std::unique_ptr<SetStore>> store = SetStore::Open(tmp.path(), options);
+  ASSERT_TRUE(store.ok());
+
+  constexpr int kVersions = 48;
+  std::atomic<int> published{0};  // highest version whose Put has returned
+  std::atomic<int> failures{0};
+  std::atomic<bool> done{false};
+
+  std::thread writer([&] {
+    for (int v = 1; v <= kVersions; ++v) {
+      if (!(*store)->Put("hot", X(DenseSetText(v))).ok()) {
+        failures.fetch_add(1);
+        break;
+      }
+      published.store(v);
+    }
+    done.store(true);
+  });
+
+  constexpr int kThreads = 4;
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&] {
+      int last_seen = 0;
+      while (!done.load() || last_seen < 1) {
+        const int floor_version = published.load();
+        Result<XSet> got = (*store)->Get("hot");
+        if (!got.ok()) {
+          // Only the pre-first-commit window may miss.
+          if (floor_version > 0) failures.fetch_add(1);
+          continue;
+        }
+        const int n = static_cast<int>(got->members().size());
+        // A read must be some whole published version: dense 0..n-1 (group
+        // commit may expose a version past `published`, never a torn one),
+        // and at least as new as what was published before the read began.
+        if (n < floor_version || n > kVersions || !(*got == X(DenseSetText(n)))) {
+          failures.fetch_add(1);
+        }
+        last_seen = n;
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(published.load(), kVersions);
+
+  Result<XSet> final_value = (*store)->Get("hot");
+  ASSERT_TRUE(final_value.ok());
+  EXPECT_TRUE(*final_value == X(DenseSetText(kVersions)));
+}
+
+TEST(StoreConcurrentTest, IndexProbesMonotoneUnderRewrites) {
+  TempFile tmp("mono");
+  SetStoreOptions options;
+  options.buffer_pool_pages = 8;
+  Result<std::unique_ptr<SetStore>> store = SetStore::Open(tmp.path(), options);
+  ASSERT_TRUE(store.ok());
+
+  // Versions only grow, so any member of version 1 stays present forever:
+  // a ContainsMember that raced a rewrite and answered "no" would be a
+  // stale (pre-publication) or torn index view.
+  constexpr int kVersions = 24;
+  ASSERT_TRUE((*store)->PutIndexed("mono", X(DenseSetText(4))).ok());
+  const Membership anchor{XSet::Int(0), XSet::Empty()};
+
+  std::atomic<int> failures{0};
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (int v = 2; v <= kVersions; ++v) {
+      if (!(*store)->PutIndexed("mono", X(DenseSetText(4 * v))).ok()) {
+        failures.fetch_add(1);
+        break;
+      }
+    }
+    done.store(true);
+  });
+
+  constexpr int kThreads = 4;
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&] {
+      while (!done.load()) {
+        Result<bool> has = (*store)->ContainsMember("mono", anchor);
+        if (!has.ok() || !*has) failures.fetch_add(1);
+        // Range scans must stream a whole version: count divisible by 4.
+        Result<std::unique_ptr<MemberCursor>> cur = (*store)->OpenCursor("mono");
+        if (!cur.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        size_t count = 0;
+        for (auto batch = (*cur)->NextBatch(); !batch.empty();
+             batch = (*cur)->NextBatch()) {
+          count += batch.size();
+        }
+        if (!(*cur)->status().ok() || count % 4 != 0 || count == 0 ||
+            count > 4 * kVersions) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// The serialize_reads escape hatch (the coarse baseline the benchmark
+// compares against) must stay correct under the same contention.
+TEST(StoreConcurrentTest, SerializedReadsBaselineStillCorrect) {
+  TempFile tmp("coarse");
+  SetStoreOptions options;
+  options.buffer_pool_pages = 8;
+  options.serialize_reads = true;
+  options.pager_latch_shards = 1;
+  Result<std::unique_ptr<SetStore>> store = SetStore::Open(tmp.path(), options);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->pager_latch_shards(), 1u);
+
+  const XSet value = X(DenseSetText(16));
+  ASSERT_TRUE((*store)->Put("s", value).ok());
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        Result<XSet> got = (*store)->Get("s");
+        if (!got.ok() || !(*got == value)) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace xst

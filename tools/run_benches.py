@@ -40,6 +40,7 @@ BENCH_BINARIES = [
     "bench_obs",
     "bench_vm",
     "bench_btree",
+    "bench_pager_mt",
     "bench_wal",
 ]
 

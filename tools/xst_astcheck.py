@@ -71,6 +71,26 @@ Rules (see DESIGN.md section 10 for rationale):
                            split across translation units is still caught.
                            [both engines]
 
+  lock-rank                Locksmith port of the xst_lint rule: every
+                           XST_LOCK_RANK(n)-annotated mutex lives in one
+                           global hierarchy, held sets propagate through the
+                           call graph, and every acquisition must be strictly
+                           rank-increasing. The AST engine additionally reads
+                           ranks from the lowered annotate attribute.
+                           [both engines]
+
+  blocking-under-latch     Locksmith port: blocking points (File I/O,
+                           Wal::WaitDurable/FlushAll, CondVar::Wait,
+                           ParallelFor, anything XST_BLOCKING) must not be
+                           reachable while a latch-class lock (rank >= the
+                           latch floor) is held. The AST engine recognizes
+                           XST_BLOCKING on declarations in included headers
+                           through resolved call references. [both engines]
+
+  guarded-field-inference  Locksmith port: a field written only under a lock
+                           but not annotated XST_GUARDED_BY is flagged at its
+                           declaration. [both engines]
+
 Suppress a single line with a trailing comment: // xst-astcheck: allow(rule)
 For the ported rules, an existing // xst-lint: allow(...) of the same rule
 name is honored too.
@@ -80,6 +100,7 @@ Usage:
   tools/xst_astcheck.py --list-rules
   tools/xst_astcheck.py --self-test
   tools/xst_astcheck.py --parity [paths...]   # AST findings must cover regex
+  tools/xst_astcheck.py --latch-floor N       # latch-class rank floor (20)
 """
 
 import argparse
@@ -533,6 +554,87 @@ def ast_rule_lock_order_cycle(rel_path, tu, cindex):
 
 
 # ---------------------------------------------------------------------------
+# Locksmith: lock-rank / blocking-under-latch / guarded-field-inference.
+#
+# Both engines share xst_lint's ConcurrencyModel and checker. The AST engine
+# starts from the same stripped-text model (so its findings are a superset of
+# the regex engine's — parity by construction) and unions in facts only the
+# compiler can see: XST_LOCK_RANK / XST_BLOCKING lower to annotate attributes,
+# so ranks survive odd formatting and a call into an XST_BLOCKING function
+# declared in an *included header* is recognized through the resolved
+# reference, which the single-file text scan cannot do.
+# ---------------------------------------------------------------------------
+
+ANNOTATE_RANK_RE = re.compile(r"xst::lock_rank=\D*(\d+)")
+ANNOTATE_BLOCKING_RE = re.compile(r"xst::blocking")
+
+
+def _cursor_annotations(cursor, cindex):
+    """Joined token text of every attribute child of `cursor`."""
+    K = cindex.CursorKind
+    out = []
+    for child in cursor.get_children():
+        if child.kind in (K.UNEXPOSED_ATTR, getattr(K, "ANNOTATE_ATTR", K.UNEXPOSED_ATTR)):
+            spelling = child.spelling or ""
+            toks = " ".join(t.spelling for t in child.get_tokens())
+            out.append(spelling + " " + toks)
+    return " ".join(out)
+
+
+def _ast_concurrency_model(rel_path, tu, cindex):
+    text = open(tu.spelling, encoding="utf-8").read()
+    lines = strip_comments_and_strings(text).split("\n")
+    model = xst_lint.collect_concurrency_model([(rel_path, lines)])
+    K = cindex.CursorKind
+    fn_kinds = (K.FUNCTION_DECL, K.CXX_METHOD, K.CONSTRUCTOR, K.DESTRUCTOR,
+                K.FUNCTION_TEMPLATE)
+    for c in _walk(tu.cursor):
+        if c.kind in (K.VAR_DECL, K.FIELD_DECL) and _in_main_file(c, rel_path):
+            m = ANNOTATE_RANK_RE.search(_cursor_annotations(c, cindex))
+            if m is None:
+                continue
+            rank = int(m.group(1))
+            parent = c.semantic_parent
+            cls = None
+            if parent is not None and parent.kind in (
+                    K.CLASS_DECL, K.STRUCT_DECL, K.CLASS_TEMPLATE):
+                cls = parent.spelling
+            ident = f"{cls}::{c.spelling}" if cls else c.spelling
+            # Union, never override: a new rank for an already-known name
+            # would make the by-name fallback ambiguous and *suppress*
+            # textual findings, breaking the superset guarantee.
+            ranks = model.rank_names.setdefault(c.spelling, set())
+            if not ranks or rank in ranks:
+                model.ranks.setdefault(ident, (rank, (rel_path, c.location.line)))
+                ranks.add(rank)
+        elif c.kind in fn_kinds:
+            # XST_BLOCKING on any visible declaration (headers included).
+            if ANNOTATE_BLOCKING_RE.search(_cursor_annotations(c, cindex)):
+                model.blocking_names.add(c.spelling)
+        elif c.kind == K.CALL_EXPR and _in_main_file(c, rel_path):
+            ref = c.referenced
+            if ref is not None and ANNOTATE_BLOCKING_RE.search(
+                    _cursor_annotations(ref, cindex)):
+                model.blocking_names.add(c.spelling)
+    return model
+
+
+def _ast_concurrency_rule(rule_name):
+    def run(rel_path, tu, cindex):
+        model = _ast_concurrency_model(rel_path, tu, cindex)
+        for rule, (path, line_no), message in xst_lint.concurrency_findings(model):
+            if rule == rule_name and path == rel_path:
+                yield line_no, message
+    run.__name__ = "ast_rule_" + rule_name.replace("-", "_")
+    return run
+
+
+ast_rule_lock_rank = _ast_concurrency_rule("lock-rank")
+ast_rule_blocking_under_latch = _ast_concurrency_rule("blocking-under-latch")
+ast_rule_guarded_field_inference = _ast_concurrency_rule("guarded-field-inference")
+
+
+# ---------------------------------------------------------------------------
 # Rule registry
 # ---------------------------------------------------------------------------
 
@@ -559,11 +661,17 @@ RULES = [
          ast_rule_vm_opcode_dispatch),
     Rule("lock-order-cycle", xst_lint.rule_lock_order_cycle,
          ast_rule_lock_order_cycle),
+    Rule("lock-rank", xst_lint.rule_lock_rank, ast_rule_lock_rank),
+    Rule("blocking-under-latch", xst_lint.rule_blocking_under_latch,
+         ast_rule_blocking_under_latch),
+    Rule("guarded-field-inference", xst_lint.rule_guarded_field_inference,
+         ast_rule_guarded_field_inference),
 ]
 
 # Rules whose findings must be a superset of xst_lint's same-named regex rule.
 PARITY_RULES = ("thread-primitives", "interner-mutation", "vm-opcode-dispatch",
-                "lock-order-cycle")
+                "lock-order-cycle", "lock-rank", "blocking-under-latch",
+                "guarded-field-inference")
 
 ALLOW_RE = re.compile(r"xst-astcheck:\s*allow\(([a-z-]+)\)")
 LINT_ALLOW_RE = xst_lint.ALLOW_RE
@@ -661,11 +769,13 @@ def check_paths(paths, cindex):
     if len(files) > 1:
         edges = []
         raw_by_rel = {}
+        stripped_by_rel = {}
         for f in files:
             rel = os.path.relpath(f, REPO_ROOT).replace(os.sep, "/")
             text = open(f, encoding="utf-8").read()
             raw_by_rel[rel] = text.split("\n")
             lines = strip_comments_and_strings(text).split("\n")
+            stripped_by_rel[rel] = lines
             for holder, acquired, line_no in xst_lint.collect_lock_edges(rel, lines):
                 edges.append((holder, acquired, (rel, line_no)))
         reported = {(x.path, x.line, x.rule) for x in findings}
@@ -677,6 +787,20 @@ def check_paths(paths, cindex):
             if (rel, line_no, "lock-order-cycle") in reported:
                 continue
             findings.append(Finding(rel, line_no, "lock-order-cycle", message))
+        # The locksmith rules are likewise whole-program: ranks declared in
+        # one header resolve acquisitions in another TU, and held sets
+        # propagate through cross-file call edges. Both engines share the
+        # textual tree-wide model (per-TU AST facts already landed above).
+        model = xst_lint.collect_concurrency_model(
+            sorted(stripped_by_rel.items()))
+        for rule_name, (rel, line_no), message in xst_lint.concurrency_findings(model):
+            raw_lines = raw_by_rel[rel]
+            raw_line = raw_lines[line_no - 1] if line_no <= len(raw_lines) else ""
+            if _allowed(raw_line, rule_name):
+                continue
+            if (rel, line_no, rule_name) in reported:
+                continue
+            findings.append(Finding(rel, line_no, rule_name, message))
     return findings, skipped_rules, len(files)
 
 
@@ -869,6 +993,137 @@ SELF_TEST_FIXTURES = [
      "  xst::MutexLock outer(&a);\n"
      "  xst::MutexLock inner(&b);\n"
      "}\n"),
+    # Locksmith fixtures run in both engines: the AST engine builds the same
+    # textual model and unions attribute-derived facts over it.
+    ("lock-rank", True,
+     "#include \"src/common/sync.h\"\n"
+     "class S {\n"
+     " public:\n"
+     "  void F() {\n"
+     "    xst::MutexLock outer(&lo_);\n"
+     "    xst::MutexLock inner(&hi_);\n"
+     "  }\n"
+     " private:\n"
+     "  xst::Mutex lo_ XST_LOCK_RANK(30);\n"
+     "  xst::Mutex hi_ XST_LOCK_RANK(10);\n"
+     "};\n"),
+    ("lock-rank", False,
+     "#include \"src/common/sync.h\"\n"
+     "class S {\n"
+     " public:\n"
+     "  void F() {\n"
+     "    xst::MutexLock outer(&lo_);\n"
+     "    xst::MutexLock inner(&hi_);\n"
+     "  }\n"
+     " private:\n"
+     "  xst::Mutex lo_ XST_LOCK_RANK(10);\n"
+     "  xst::Mutex hi_ XST_LOCK_RANK(30);\n"
+     "};\n"),
+    ("lock-rank", True,
+     "#include \"src/common/sync.h\"\n"
+     "class S {\n"
+     " public:\n"
+     "  void F() XST_REQUIRES(hi_) { Helper(); }\n"
+     "  void Helper() { xst::MutexLock l(&lo_); }\n"
+     " private:\n"
+     "  xst::Mutex hi_ XST_LOCK_RANK(30);\n"
+     "  xst::Mutex lo_ XST_LOCK_RANK(10);\n"
+     "};\n"),
+    ("lock-rank", False,
+     "#include \"src/common/sync.h\"\n"
+     "class S {\n"
+     " public:\n"
+     "  void F() {\n"
+     "    xst::MutexLock outer(&lo_);\n"
+     "    xst::MutexLock inner(&hi_);  // xst-lint: allow(lock-rank)\n"
+     "  }\n"
+     " private:\n"
+     "  xst::Mutex lo_ XST_LOCK_RANK(30);\n"
+     "  xst::Mutex hi_ XST_LOCK_RANK(10);\n"
+     "};\n"),
+    ("blocking-under-latch", True,
+     "#include \"src/common/sync.h\"\n"
+     "#include \"src/store/file.h\"\n"
+     "class C {\n"
+     " public:\n"
+     "  void F() {\n"
+     "    xst::MutexLock l(&latch_);\n"
+     "    file_->ReadAt(0, nullptr, 8);\n"
+     "  }\n"
+     " private:\n"
+     "  xst::Mutex latch_ XST_LOCK_RANK(20);\n"
+     "  xst::File* file_;\n"
+     "};\n"),
+    ("blocking-under-latch", False,
+     "#include \"src/common/sync.h\"\n"
+     "#include \"src/store/file.h\"\n"
+     "class C {\n"
+     " public:\n"
+     "  void F() {\n"
+     "    xst::MutexLock l(&mu_);\n"
+     "    file_->ReadAt(0, nullptr, 8);\n"
+     "  }\n"
+     " private:\n"
+     "  xst::Mutex mu_ XST_LOCK_RANK(10);\n"
+     "  xst::File* file_;\n"
+     "};\n"),
+    ("blocking-under-latch", True,
+     "#include \"src/common/sync.h\"\n"
+     "void XST_BLOCKING Stall();\n"
+     "class C {\n"
+     " public:\n"
+     "  void F() {\n"
+     "    xst::MutexLock l(&latch_);\n"
+     "    Stall();\n"
+     "  }\n"
+     " private:\n"
+     "  xst::Mutex latch_ XST_LOCK_RANK(20);\n"
+     "};\n"),
+    ("blocking-under-latch", False,
+     "#include \"src/common/sync.h\"\n"
+     "#include \"src/store/file.h\"\n"
+     "class C {\n"
+     " public:\n"
+     "  void F() {\n"
+     "    xst::MutexLock l(&latch_);\n"
+     "    file_->ReadAt(0, nullptr, 8);  // xst-lint: allow(blocking-under-latch)\n"
+     "  }\n"
+     " private:\n"
+     "  xst::Mutex latch_ XST_LOCK_RANK(20);\n"
+     "  xst::File* file_;\n"
+     "};\n"),
+    ("guarded-field-inference", True,
+     "#include \"src/common/sync.h\"\n"
+     "class C {\n"
+     " public:\n"
+     "  void Set(int v) {\n"
+     "    xst::MutexLock l(&mu_);\n"
+     "    x_ = v;\n"
+     "  }\n"
+     " private:\n"
+     "  xst::Mutex mu_ XST_LOCK_RANK(10);\n"
+     "  int x_ = 0;\n"
+     "};\n"),
+    ("guarded-field-inference", False,
+     "#include \"src/common/sync.h\"\n"
+     "class C {\n"
+     " public:\n"
+     "  void Set(int v) {\n"
+     "    xst::MutexLock l(&mu_);\n"
+     "    x_ = v;\n"
+     "  }\n"
+     " private:\n"
+     "  xst::Mutex mu_ XST_LOCK_RANK(10);\n"
+     "  int x_ XST_GUARDED_BY(mu_) = 0;\n"
+     "};\n"),
+    ("guarded-field-inference", False,
+     "#include \"src/common/sync.h\"\n"
+     "class C {\n"
+     " public:\n"
+     "  void Set(int v) { x_ = v; }\n"
+     " private:\n"
+     "  int x_ = 0;\n"
+     "};\n"),
 ]
 
 
@@ -957,7 +1212,12 @@ def main(argv):
                         help="check AST findings cover xst_lint regex findings")
     parser.add_argument("--engine", choices=("auto", "ast", "fallback"),
                         default="auto")
+    parser.add_argument("--latch-floor", type=int,
+                        default=xst_lint.LATCH_FLOOR_DEFAULT,
+                        help="minimum rank treated as latch-class by "
+                             "blocking-under-latch (default: %(default)s)")
     args = parser.parse_args(argv)
+    xst_lint.LATCH_FLOOR = args.latch_floor
 
     cindex = None if args.engine == "fallback" else load_cindex()
     if args.engine == "ast" and cindex is None:

@@ -66,12 +66,39 @@ Rules (see DESIGN.md section 7 for rationale):
                          lock order instead. Member locks unify class-wide
                          (`Class::mu_`); locals stay scoped to their function.
 
+  lock-rank              Every XST_LOCK_RANK(n)-annotated mutex lives in one
+                         global hierarchy. The checker builds a call graph,
+                         propagates held-lock sets interprocedurally through
+                         XST_REQUIRES annotations, MutexLock scopes, and the
+                         pager's ShardLatchLock/PageWriteGuard latch guards,
+                         and rejects any acquisition whose rank is not
+                         strictly greater than every rank already held on
+                         that path. Unranked locks do not participate.
+
+  blocking-under-latch   Blocking points — File::Size/ReadAt/WriteAt/Flush/
+                         Truncate, Wal::WaitDurable/FlushAll, CondVar::Wait,
+                         ThreadPool::ParallelFor, plus anything declared
+                         XST_BLOCKING — must not be reachable while a lock of
+                         rank >= the latch floor (default 20) is held.
+                         CondVar::Wait exempts the innermost held lock (Wait
+                         releases it while blocked). Locks below the floor
+                         (the store's outer mu_) may legally cover I/O.
+
+  guarded-field-inference  A field written while a lock is held (a MutexLock
+                         in scope or an XST_REQUIRES on the method) but not
+                         annotated XST_GUARDED_BY is flagged at its
+                         declaration: either the annotation is missing or
+                         the locking is accidental. Atomics, const and
+                         mutex/condvar members are exempt. Only direct
+                         assignment/increment writes are recognized.
+
 Suppress a single line with a trailing comment:  // xst-lint: allow(rule-name)
 
 Usage:
   tools/xst_lint.py [paths...]   # default: src/ relative to the repo root
   tools/xst_lint.py --list-rules
   tools/xst_lint.py --self-test
+  tools/xst_lint.py --latch-floor N [paths...]   # blocking-under-latch floor
 """
 
 import argparse
@@ -575,6 +602,366 @@ def rule_lock_order_cycle(rel_path, lines, _raw):
     yield from lock_cycle_findings(collect_lock_edges(rel_path, lines))
 
 
+# ---------------------------------------------------------------------------
+# locksmith: the concurrency-protocol rules (lock-rank, blocking-under-latch,
+# guarded-field-inference). One textual collector builds a ConcurrencyModel —
+# ranked locks, XST_BLOCKING declarations, guarded/unguarded fields, and per-
+# function acquisition/call/write sites with the locks held at each — and one
+# checker walks it. tools/xst_astcheck.py reuses both: its AST engine parses
+# the same facts from clang cursors and unions them into this model, so the
+# AST findings are a superset of the textual ones by construction and one
+# `xst-lint: allow(rule)` pragma suppresses the same site in both engines.
+# ---------------------------------------------------------------------------
+
+# Locks with rank >= this floor are latch-class: blocking calls under them
+# are findings. SetStore::mu_ (rank 10) sits below the floor on purpose —
+# the single-writer store lock legally covers WAL waits and file I/O.
+LATCH_FLOOR_DEFAULT = 20
+LATCH_FLOOR = LATCH_FLOOR_DEFAULT
+
+RANK_DECL_RE = re.compile(
+    r"\b(?:xst::)?Mutex\s+(\w+)\s+XST_LOCK_RANK\s*\(\s*(\d+)\s*\)")
+BLOCKING_DECL_RE = re.compile(r"\bXST_BLOCKING\s+(\w+)\s*\(")
+GUARDED_FIELD_RE = re.compile(r"\b(\w+)\s+XST_(?:PT_)?GUARDED_BY\s*\(")
+# Trailing-underscore members only (the project's field naming convention);
+# declarations are matched after XST_* annotation groups are stripped, and
+# any remaining paren (function declarations, paren-init) disqualifies.
+FIELD_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+|static\s+|constexpr\s+)*"
+    r"[A-Za-z_][\w:<>,\s*&]*[\s*&](\w+_)\s*(?:=[^;]*|\{[^;]*\})?;")
+FIELD_WRITE_RE = re.compile(
+    r"(?<![\w.])(\w+_)\s*(?:=(?!=)|\+=|-=|\*=|/=|%=|&=|\|=|\^=|<<=|>>=|\+\+|--)"
+    r"|(?:\+\+|--)\s*(\w+_)\b")
+# The sharded pager's scoped latch guards: both take a PagerShard's latch in
+# their constructor, so a textual guard declaration is a latch acquisition.
+GUARD_ACQ_RE = re.compile(
+    r"\b(?:internal::)?(?:ShardLatchLock|PageWriteGuard)\s+\w+\s*[({]")
+SHARD_LATCH_IDENTITY = "PagerShard::latch"
+CALL_RE = re.compile(r"\b(\w+)\s*\(")
+# Identifier-before-( matches that are never function calls of interest.
+NOT_CALL_NAMES = frozenset((
+    "if", "for", "while", "switch", "return", "sizeof", "catch", "new",
+    "delete", "alignas", "alignof", "decltype", "noexcept", "throw",
+    "static_cast", "const_cast", "reinterpret_cast", "dynamic_cast",
+    "static_assert", "assert", "defined", "operator", "void", "int", "bool",
+    "char", "auto", "unsigned", "signed", "long", "short", "float", "double",
+    "size_t", "uint8_t", "uint16_t", "uint32_t", "uint64_t", "int8_t",
+    "int16_t", "int32_t", "int64_t"))
+# Blocking points recognized by method-call shape (`x.Name(` / `x->Name(`).
+# The XST_BLOCKING annotations on File/Wal/CondVar declarations add the same
+# names when those headers are in the scanned set; the built-in registry
+# keeps single-file scans and fixtures honest without them.
+BLOCKING_REGISTRY = frozenset((
+    "ReadAt", "WriteAt", "Size", "Flush", "Truncate",
+    "WaitDurable", "FlushAll", "Wait", "ParallelFor"))
+
+
+class ConcurrencyModel:
+    """Everything the locksmith rules need, aggregated over 1..N files."""
+
+    def __init__(self):
+        self.ranks = {}        # lock identity -> (rank, (path, line))
+        self.rank_names = {}   # bare lock name -> set of declared ranks
+        self.fields = {}       # (class, field) -> {"site", "guarded"}
+        self.blocking_names = set()  # names declared XST_BLOCKING
+        self.functions = []    # per-function dicts, see _collect_file
+
+
+def _fn_name_from_sig(sig):
+    """The declared function name in a signature line: the first
+    identifier-before-( that is not a keyword or builtin type."""
+    stripped = re.sub(r"\bXST_\w+\s*\((?:[^()]|\([^()]*\))*\)", " ", sig)
+    for m in CALL_RE.finditer(stripped):
+        if m.group(1) not in NOT_CALL_NAMES:
+            return m.group(1)
+    return None
+
+
+def _rank_identity(name, cls_ctx, func, stem, line_no):
+    """Identity for a ranked-lock declaration, chosen to unify with what
+    _lock_identity produces at that lock's acquisition sites."""
+    if func is not None:
+        return _lock_identity(name, func["cls"], func["scope"])
+    if cls_ctx:
+        return cls_ctx + "::" + name
+    return f"{stem}:{line_no}::{name}"
+
+
+def collect_concurrency_model(files, model=None):
+    """Builds (or extends) a ConcurrencyModel from [(rel_path, stripped_lines)]."""
+    if model is None:
+        model = ConcurrencyModel()
+    for rel_path, lines in files:
+        _collect_file(model, rel_path, lines)
+    return model
+
+
+def _collect_file(model, rel_path, lines):
+    stem = rel_path.rsplit("/", 1)[-1]
+    class_stack = []  # (name, open_depth)
+    func = None       # dict, see below
+    depth = 0
+    sig_buf = ""
+    in_pp = False
+    for i, line in enumerate(lines, 1):
+        if in_pp or line.lstrip().startswith("#"):
+            in_pp = line.rstrip().endswith("\\")
+            sig_buf = ""
+            continue
+        opens = line.count("{")
+        closes = line.count("}")
+        cls_ctx = class_stack[-1][0] if class_stack else None
+
+        # Declarations: ranks, blocking annotations, fields. Visible at any
+        # scope — ranked locks may be class members, namespace globals, or
+        # function-local merge mutexes.
+        for m in RANK_DECL_RE.finditer(line):
+            name, rank = m.group(1), int(m.group(2))
+            ident = _rank_identity(name, cls_ctx, func, stem, i)
+            if ident:
+                model.ranks.setdefault(ident, (rank, (rel_path, i)))
+            model.rank_names.setdefault(name, set()).add(rank)
+        for m in BLOCKING_DECL_RE.finditer(line):
+            model.blocking_names.add(m.group(1))
+        if cls_ctx and func is None and ";" in line:
+            decl = re.sub(r"\bXST_\w+\s*\((?:[^()]|\([^()]*\))*\)", " ", line)
+            fm = FIELD_DECL_RE.match(decl)
+            if (fm and "(" not in decl
+                    and not re.search(r"\b(?:atomic|Mutex|CondVar|const)\b", line)):
+                gm = GUARDED_FIELD_RE.search(line)
+                model.fields.setdefault(
+                    (cls_ctx, fm.group(1)),
+                    {"site": (rel_path, i),
+                     "guarded": bool(gm and gm.group(1) == fm.group(1))})
+
+        # Function boundary tracking (same discipline as collect_lock_edges).
+        if func is None:
+            boundary = ";" in line or opens or closes
+            sig = (sig_buf + " " + line).strip()
+            class_m = LOCK_CLASS_RE.match(sig)
+            if class_m and opens:
+                class_stack.append((class_m.group(1), depth))
+            elif boundary and "(" in sig and opens and ";" not in line.split("{", 1)[0]:
+                req = SIG_REQUIRES_RE.search(sig)
+                cls = next((m.group(1) for m in LOCK_QUAL_RE.finditer(sig)
+                            if m.group(1) not in ("std", "xst")), None)
+                if cls is None and class_stack:
+                    cls = class_stack[-1][0]
+                scope = f"{stem}:{i}"
+                held = []
+                if req:
+                    held = [h for h in
+                            (_lock_identity(x, cls, scope)
+                             for x in _lock_split_args(req.group(1))
+                             if not x.strip().startswith("!")) if h]
+                name = _fn_name_from_sig(sig)
+                if name:
+                    func = {"name": name, "cls": cls, "scope": scope,
+                            "site": (rel_path, i), "entry_held": held,
+                            "entry_depth": depth, "locks": [],
+                            "acquisitions": [], "calls": [], "writes": []}
+                    model.functions.append(func)
+            if boundary:
+                sig_buf = ""
+            else:
+                sig_buf = sig
+        if func is not None:
+            active = [lid for lid, _ in func["locks"]]
+            held_now = func["entry_held"] + active
+            # On a one-line definition the signature shares the line with the
+            # body; text before the opening brace (the function's own name,
+            # default arguments) is not body code.
+            body_col = (line.find("{") + 1
+                        if func["site"] == (rel_path, i) else 0)
+            for m in LOCK_ACQ_RE.finditer(line):
+                prefix = line[:m.start()]
+                at_depth = depth + prefix.count("{") - prefix.count("}")
+                acquired = _lock_identity(m.group(1), func["cls"], func["scope"])
+                if acquired is None:
+                    continue
+                func["acquisitions"].append((acquired, (rel_path, i),
+                                             list(held_now)))
+                func["locks"].append((acquired, at_depth))
+                held_now = held_now + [acquired]
+            for m in GUARD_ACQ_RE.finditer(line):
+                prefix = line[:m.start()]
+                at_depth = depth + prefix.count("{") - prefix.count("}")
+                func["acquisitions"].append((SHARD_LATCH_IDENTITY, (rel_path, i),
+                                             list(held_now)))
+                func["locks"].append((SHARD_LATCH_IDENTITY, at_depth))
+                held_now = held_now + [SHARD_LATCH_IDENTITY]
+            for m in CALL_RE.finditer(line):
+                if m.start() < body_col:
+                    continue
+                name = m.group(1)
+                if name in NOT_CALL_NAMES or name.startswith("XST_"):
+                    continue
+                prefix = line[:m.start()].rstrip()
+                if prefix.endswith(".") or prefix.endswith("->"):
+                    receiver = "this" if prefix.endswith("this->") else "other"
+                elif prefix.endswith("::"):
+                    qm = re.search(r"(\w+)\s*::$", prefix)
+                    receiver = "::" + qm.group(1) if qm else "other"
+                else:
+                    receiver = ""
+                func["calls"].append((name, receiver, (rel_path, i),
+                                      list(held_now)))
+            if held_now and func["cls"]:
+                for m in FIELD_WRITE_RE.finditer(line):
+                    if m.start() < body_col:
+                        continue
+                    field = m.group(1) or m.group(2)
+                    prefix = line[:m.start()].rstrip()
+                    if ((prefix.endswith(".") or prefix.endswith("->"))
+                            and not prefix.endswith("this->")):
+                        continue  # a write through some other object
+                    func["writes"].append((field, (rel_path, i), list(held_now)))
+        depth += opens - closes
+        if depth < 0:
+            depth = 0
+        while class_stack and depth <= class_stack[-1][1]:
+            class_stack.pop()
+        if func is not None:
+            func["locks"] = [(lid, d) for lid, d in func["locks"] if depth >= d]
+            if depth <= func["entry_depth"]:
+                func = None
+
+
+def concurrency_findings(model, latch_floor=None):
+    """Yields (rule, (path, line), message) over a ConcurrencyModel."""
+    floor = LATCH_FLOOR if latch_floor is None else latch_floor
+
+    def rank_of(ident):
+        info = model.ranks.get(ident)
+        if info is not None:
+            return info[0]
+        # Compound expressions the textual engine cannot type (`shard.latch`,
+        # `pool->merge_mu`) resolve by their final component when that name
+        # has exactly one declared rank tree-wide.
+        m = re.search(r"(\w+)$", ident)
+        if m:
+            ranks = model.rank_names.get(m.group(1))
+            if ranks is not None and len(ranks) == 1:
+                return next(iter(ranks))
+        return None
+
+    def best_held(ids, base=(-1, None)):
+        best = base
+        for h in ids:
+            r = rank_of(h)
+            if r is not None and r > best[0]:
+                best = (r, h)
+        return best
+
+    by_name = {}
+    for f in model.functions:
+        by_name.setdefault(f["name"], []).append(f)
+
+    # Interprocedural held-set propagation: the highest-ranked lock held at a
+    # call site flows into the callee's entry ceiling, to a fixed point. Only
+    # unambiguous callee names propagate — a name declared by two unrelated
+    # functions would otherwise smear one caller's locks over the other's
+    # callees (Get on the store vs Get on the catalog).
+    entry = {id(f): best_held(f["entry_held"]) for f in model.functions}
+    for _ in range(len(model.functions) + 1):
+        changed = False
+        for f in model.functions:
+            base = entry[id(f)]
+            for name, receiver, _site, held in f["calls"]:
+                if receiver == "other":
+                    # A member call through another object: the callee locks
+                    # that instance's mutexes, not this one's — propagating
+                    # our held set would fabricate self-deadlocks (Compact
+                    # holding mu_ while driving fresh->Put on a sibling).
+                    continue
+                targets = by_name.get(name)
+                if not targets or len({t["site"] for t in targets}) > 1:
+                    continue
+                target = targets[0]
+                # The receiver must be consistent with the target's class,
+                # or the single in-scope definition of a popular name would
+                # capture every other class's call (MetricsRegistry::Global
+                # misbound to Interner::Global).
+                if receiver == "this":
+                    if target["cls"] != f["cls"]:
+                        continue
+                elif receiver.startswith("::"):
+                    # Qualified call: the qualifier must be the target's
+                    # class; a None-class target is a namespace-qualified
+                    # free function and stays eligible.
+                    if target["cls"] is not None and target["cls"] != receiver[2:]:
+                        continue
+                elif target["cls"] is not None and target["cls"] != f["cls"]:
+                    continue  # bare call cannot reach another class's method
+                site_best = best_held(held, base)
+                for t in targets:
+                    if site_best[0] > entry[id(t)][0]:
+                        entry[id(t)] = site_best
+                        changed = True
+        if not changed:
+            break
+
+    for f in model.functions:
+        for ident, site, held in f["acquisitions"]:
+            r = rank_of(ident)
+            if r is None:
+                continue
+            hrank, hname = best_held(held, entry[id(f)])
+            if hname is not None and r <= hrank:
+                yield ("lock-rank", site,
+                       f"acquires '{ident}' (rank {r}) while '{hname}' "
+                       f"(rank {hrank}) is held; lock ranks must strictly "
+                       "increase along every acquisition path")
+        for name, receiver, site, held in f["calls"]:
+            blocking = (name in model.blocking_names
+                        or (receiver and name in BLOCKING_REGISTRY)
+                        or name == "ParallelFor")
+            if not blocking:
+                continue
+            if name == "Wait":
+                # CondVar::Wait releases the lock it is passed — the
+                # innermost one held — while blocked; with none held
+                # locally, the (single) entry lock is the one released.
+                if held:
+                    hrank, hname = best_held(held[:-1], entry[id(f)])
+                else:
+                    hrank, hname = (-1, None)
+            else:
+                hrank, hname = best_held(held, entry[id(f)])
+            if hname is not None and hrank >= floor:
+                yield ("blocking-under-latch", site,
+                       f"blocking call '{name}' reached while '{hname}' "
+                       f"(rank {hrank} >= latch floor {floor}) is held; "
+                       "latch-class locks must never cover blocking points")
+
+    flagged = set()
+    for f in model.functions:
+        for field, site, held in f["writes"]:
+            info = model.fields.get((f["cls"], field))
+            if info is None or info["guarded"] or (f["cls"], field) in flagged:
+                continue
+            flagged.add((f["cls"], field))
+            yield ("guarded-field-inference", info["site"],
+                   f"field '{f['cls']}::{field}' is written at "
+                   f"{site[0]}:{site[1]} with '{held[-1]}' held but carries "
+                   "no XST_GUARDED_BY; annotate the invariant (or mark the "
+                   "declaration if the locking is coincidental)")
+
+
+def _concurrency_rule(rule_name):
+    def rule(rel_path, lines, _raw):
+        model = collect_concurrency_model([(rel_path, lines)])
+        for rule_id, (_path, line_no), message in concurrency_findings(model):
+            if rule_id == rule_name:
+                yield line_no, message
+    return rule
+
+
+rule_lock_rank = _concurrency_rule("lock-rank")
+rule_blocking_under_latch = _concurrency_rule("blocking-under-latch")
+rule_guarded_field_inference = _concurrency_rule("guarded-field-inference")
+
+
 RULES = {
     "thread-primitives": rule_thread_primitives,
     "raw-new-delete": rule_raw_new_delete,
@@ -585,7 +972,17 @@ RULES = {
     "obs-doc-comments": rule_obs_doc_comments,
     "vm-opcode-dispatch": rule_vm_opcode_dispatch,
     "lock-order-cycle": rule_lock_order_cycle,
+    "lock-rank": rule_lock_rank,
+    "blocking-under-latch": rule_blocking_under_latch,
+    "guarded-field-inference": rule_guarded_field_inference,
 }
+
+# Rules whose facts span translation units: lint_paths re-runs them over a
+# tree-wide ConcurrencyModel so a rank declared in a header constrains
+# acquisitions in every .cc, and a field declared in a header is matched
+# with writes in the out-of-line method bodies.
+CROSS_FILE_RULES = ("lock-rank", "blocking-under-latch",
+                    "guarded-field-inference")
 
 ALLOW_RE = re.compile(r"xst-lint:\s*allow\(([a-z-]+)\)")
 
@@ -619,10 +1016,31 @@ def lint_paths(paths):
         else:
             print(f"xst-lint: no such path: {path}", file=sys.stderr)
             return None, 0
+    stripped_by_rel = {}
+    raw_by_rel = {}
     for f in sorted(files):
         rel = os.path.relpath(f, REPO_ROOT).replace(os.sep, "/")
         with open(f, encoding="utf-8") as fh:
-            findings.extend(lint_text(rel, fh.read()))
+            text = fh.read()
+        raw_by_rel[rel] = text.split("\n")
+        stripped_by_rel[rel] = strip_comments_and_strings(text).split("\n")
+        findings.extend(lint_text(rel, text))
+    # Whole-tree pass: the concurrency rules see every file at once, so
+    # cross-file facts (ranks in headers, fields vs. their .cc writes,
+    # held sets flowing through calls into another TU) land as findings
+    # the per-file pass could not derive.
+    if len(stripped_by_rel) > 1:
+        model = collect_concurrency_model(sorted(stripped_by_rel.items()))
+        reported = {(x.path, x.line, x.rule) for x in findings}
+        for rule_id, (rel, line_no), message in concurrency_findings(model):
+            if (rel, line_no, rule_id) in reported:
+                continue
+            raw_lines = raw_by_rel.get(rel, ())
+            raw_line = raw_lines[line_no - 1] if line_no <= len(raw_lines) else ""
+            allow = ALLOW_RE.search(raw_line)
+            if allow and allow.group(1) == rule_id:
+                continue
+            findings.append(Finding(rel, line_no, rule_id, message))
     return findings, len(files)
 
 
@@ -801,6 +1219,207 @@ SELF_TEST_FIXTURES = [
      "  MutexLock outer(&mu_);\n"
      "  MutexLock inner(&mu_);  // xst-lint: allow(lock-order-cycle)\n"
      "}\n"),
+    # lock-rank: descending rank order inside one function.
+    ("lock-rank", True,
+     "class S {\n"
+     "  void F() {\n"
+     "    MutexLock outer(&hi_);\n"
+     "    MutexLock inner(&lo_);\n"
+     "  }\n"
+     "  Mutex hi_ XST_LOCK_RANK(30);\n"
+     "  Mutex lo_ XST_LOCK_RANK(10);\n"
+     "};\n"),
+    # Equal ranks are not strictly increasing either.
+    ("lock-rank", True,
+     "class S {\n"
+     "  void F() XST_REQUIRES(a_) { MutexLock l(&b_); }\n"
+     "  Mutex a_ XST_LOCK_RANK(20);\n"
+     "  Mutex b_ XST_LOCK_RANK(20);\n"
+     "};\n"),
+    # Ascending order is the protocol working as intended.
+    ("lock-rank", False,
+     "class S {\n"
+     "  void F() {\n"
+     "    MutexLock outer(&lo_);\n"
+     "    MutexLock inner(&hi_);\n"
+     "  }\n"
+     "  Mutex lo_ XST_LOCK_RANK(10);\n"
+     "  Mutex hi_ XST_LOCK_RANK(30);\n"
+     "};\n"),
+    # Interprocedural: the caller's held lock flows into the callee.
+    ("lock-rank", True,
+     "class S {\n"
+     "  void F() {\n"
+     "    MutexLock l(&hi_);\n"
+     "    Helper();\n"
+     "  }\n"
+     "  void Helper() { MutexLock l(&lo_); }\n"
+     "  Mutex hi_ XST_LOCK_RANK(30);\n"
+     "  Mutex lo_ XST_LOCK_RANK(10);\n"
+     "};\n"),
+    # Interprocedural through this->: same instance, still propagates.
+    ("lock-rank", True,
+     "class S {\n"
+     "  void F() {\n"
+     "    MutexLock l(&hi_);\n"
+     "    this->Helper();\n"
+     "  }\n"
+     "  void Helper() { MutexLock l(&lo_); }\n"
+     "  Mutex hi_ XST_LOCK_RANK(30);\n"
+     "  Mutex lo_ XST_LOCK_RANK(10);\n"
+     "};\n"),
+    # A member call through another object locks that instance's mutexes,
+    # not ours: no self-deadlock when a sibling re-enters the same method.
+    ("lock-rank", False,
+     "class S {\n"
+     "  void F() {\n"
+     "    MutexLock l(&mu_);\n"
+     "    sibling_->Helper();\n"
+     "  }\n"
+     "  void Helper() { MutexLock l(&mu_); }\n"
+     "  Mutex mu_ XST_LOCK_RANK(10);\n"
+     "};\n"),
+    # Unranked locks do not participate.
+    ("lock-rank", False,
+     "class S {\n"
+     "  void F() {\n"
+     "    MutexLock outer(&hi_);\n"
+     "    MutexLock inner(&plain_);\n"
+     "  }\n"
+     "  Mutex hi_ XST_LOCK_RANK(30);\n"
+     "  Mutex plain_;\n"
+     "};\n"),
+    ("lock-rank", False,
+     "class S {\n"
+     "  void F() XST_REQUIRES(hi_) {\n"
+     "    MutexLock l(&lo_);  // xst-lint: allow(lock-rank)\n"
+     "  }\n"
+     "  Mutex hi_ XST_LOCK_RANK(30);\n"
+     "  Mutex lo_ XST_LOCK_RANK(10);\n"
+     "};\n"),
+    # blocking-under-latch: file I/O while a latch-class (rank >= 20) lock
+    # is held.
+    ("blocking-under-latch", True,
+     "class C {\n"
+     "  void F() {\n"
+     "    MutexLock l(&latch_);\n"
+     "    file_->ReadAt(0, buf, 8);\n"
+     "  }\n"
+     "  Mutex latch_ XST_LOCK_RANK(20);\n"
+     "};\n"),
+    # Below the floor the same I/O is legal (the store's outer lock).
+    ("blocking-under-latch", False,
+     "class C {\n"
+     "  void F() {\n"
+     "    MutexLock l(&store_mu_);\n"
+     "    file_->ReadAt(0, buf, 8);\n"
+     "  }\n"
+     "  Mutex store_mu_ XST_LOCK_RANK(10);\n"
+     "};\n"),
+    # XST_BLOCKING-declared functions join the registry, bare calls included.
+    ("blocking-under-latch", True,
+     "Status XST_BLOCKING Stall();\n"
+     "class C {\n"
+     "  void F() {\n"
+     "    MutexLock l(&latch_);\n"
+     "    Stall();\n"
+     "  }\n"
+     "  Mutex latch_ XST_LOCK_RANK(20);\n"
+     "};\n"),
+    # Interprocedural: the latch is held by the caller, the I/O happens in
+    # the callee.
+    ("blocking-under-latch", True,
+     "class C {\n"
+     "  void F() {\n"
+     "    MutexLock l(&latch_);\n"
+     "    Helper();\n"
+     "  }\n"
+     "  void Helper() { file_->WriteAt(0, buf, 8); }\n"
+     "  Mutex latch_ XST_LOCK_RANK(20);\n"
+     "};\n"),
+    # CondVar::Wait releases the innermost lock while blocked: not a finding.
+    ("blocking-under-latch", False,
+     "class C {\n"
+     "  void F() {\n"
+     "    MutexLock l(&latch_);\n"
+     "    cv_.Wait(l);\n"
+     "  }\n"
+     "  Mutex latch_ XST_LOCK_RANK(20);\n"
+     "};\n"),
+    # ...but an outer latch is still held across the wait.
+    ("blocking-under-latch", True,
+     "class C {\n"
+     "  void F() XST_REQUIRES(outer_) {\n"
+     "    MutexLock l(&inner_);\n"
+     "    cv_.Wait(l);\n"
+     "  }\n"
+     "  Mutex outer_ XST_LOCK_RANK(20);\n"
+     "  Mutex inner_ XST_LOCK_RANK(30);\n"
+     "};\n"),
+    ("blocking-under-latch", False, "file_->ReadAt(0, buf, 8);\n"),
+    ("blocking-under-latch", False,
+     "class C {\n"
+     "  void F() {\n"
+     "    MutexLock l(&latch_);\n"
+     "    file_->ReadAt(0, buf, 8);  // xst-lint: allow(blocking-under-latch)\n"
+     "  }\n"
+     "  Mutex latch_ XST_LOCK_RANK(20);\n"
+     "};\n"),
+    # guarded-field-inference: a locked write to an unannotated field.
+    ("guarded-field-inference", True,
+     "class C {\n"
+     "  void Set(int v) {\n"
+     "    MutexLock l(&mu_);\n"
+     "    x_ = v;\n"
+     "  }\n"
+     "  Mutex mu_ XST_LOCK_RANK(10);\n"
+     "  int x_ = 0;\n"
+     "};\n"),
+    # XST_REQUIRES counts as holding the lock too.
+    ("guarded-field-inference", True,
+     "class C {\n"
+     "  void Bump() XST_REQUIRES(mu_) { ++count_; }\n"
+     "  Mutex mu_ XST_LOCK_RANK(10);\n"
+     "  uint64_t count_ = 0;\n"
+     "};\n"),
+    # Annotated fields are the protocol working.
+    ("guarded-field-inference", False,
+     "class C {\n"
+     "  void Set(int v) {\n"
+     "    MutexLock l(&mu_);\n"
+     "    x_ = v;\n"
+     "  }\n"
+     "  Mutex mu_ XST_LOCK_RANK(10);\n"
+     "  int x_ XST_GUARDED_BY(mu_) = 0;\n"
+     "};\n"),
+    # Atomics are deliberately lock-free; no annotation expected.
+    ("guarded-field-inference", False,
+     "class C {\n"
+     "  void Set(int v) {\n"
+     "    MutexLock l(&mu_);\n"
+     "    x_.store(v);\n"
+     "    y_ = v;\n"
+     "  }\n"
+     "  Mutex mu_ XST_LOCK_RANK(10);\n"
+     "  std::atomic<int> x_{0};\n"
+     "  std::atomic<int> y_{0};\n"
+     "};\n"),
+    # Unlocked writes are Clang TSA's problem, not an inference miss.
+    ("guarded-field-inference", False,
+     "class C {\n"
+     "  void Set(int v) { x_ = v; }\n"
+     "  Mutex mu_ XST_LOCK_RANK(10);\n"
+     "  int x_ = 0;\n"
+     "};\n"),
+    ("guarded-field-inference", False,
+     "class C {\n"
+     "  void Set(int v) {\n"
+     "    MutexLock l(&mu_);\n"
+     "    x_ = v;\n"
+     "  }\n"
+     "  Mutex mu_ XST_LOCK_RANK(10);\n"
+     "  int x_ = 0;  // xst-lint: allow(guarded-field-inference)\n"
+     "};\n"),
 ]
 
 
@@ -832,7 +1451,14 @@ def main(argv):
     parser.add_argument("paths", nargs="*", help="files or directories (default: src/)")
     parser.add_argument("--list-rules", action="store_true")
     parser.add_argument("--self-test", action="store_true")
+    parser.add_argument("--latch-floor", type=int, default=LATCH_FLOOR_DEFAULT,
+                        metavar="N",
+                        help="minimum lock rank treated as a latch by "
+                             "blocking-under-latch (default: %(default)s)")
     args = parser.parse_args(argv)
+
+    global LATCH_FLOOR
+    LATCH_FLOOR = args.latch_floor
 
     if args.list_rules:
         for name in RULES:

@@ -328,6 +328,17 @@ int main(int argc, char** argv) {
     std::printf("pool hits:  %lu  misses: %lu  evictions: %lu  writebacks: %lu\n",
                 (unsigned long)stats.hits, (unsigned long)stats.misses,
                 (unsigned long)stats.evictions, (unsigned long)stats.writebacks);
+    // Latch-shard telemetry: process-wide counters, so under xstctl they
+    // cover exactly this invocation's work on the store opened above.
+    auto& registry = obs::MetricsRegistry::Global();
+    std::printf("latch:      %zu shards, acquisitions: %llu, contended: %llu\n",
+                store.pager_latch_shards(),
+                (unsigned long long)registry
+                    .GetCounter(internal::kPagerLatchAcquisitionsCounter)
+                    .value(),
+                (unsigned long long)registry
+                    .GetCounter(internal::kPagerLatchContentionCounter)
+                    .value());
     // Durability state: how much un-checkpointed history the log segment
     // holds (bounds crash-recovery replay) and where the durable horizon is.
     const WalStats wal = store.wal_stats();
